@@ -1,0 +1,870 @@
+//! Two-pass assembler.
+//!
+//! Pass 1 computes the address of every line (labels, data, instruction
+//! sizes); pass 2 resolves symbols, encodes instructions and produces the
+//! [`Image`] and [`Listing`]. Instruction sizes are computed so that they
+//! never change between passes: immediates written as symbols always use an
+//! extension word even if their resolved value could have come from the
+//! hardware constant generators.
+
+use std::collections::BTreeMap;
+
+use eilid_msp430::{
+    encode_with, Condition, Instruction, OneOpOpcode, Operand, Reg, TwoOpOpcode, Width,
+};
+
+use crate::ast::{Directive, Expr, OperandSpec, Program, Statement};
+use crate::error::{AsmError, AsmErrorKind};
+use crate::image::{Image, Segment};
+use crate::listing::{Listing, ListingEntry};
+use crate::parser::parse;
+
+/// Location counter value used before the first `.org` directive.
+pub const DEFAULT_ORG: u16 = 0xE000;
+
+/// Assembles source text into an [`Image`].
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] found while parsing or assembling.
+///
+/// # Examples
+///
+/// ```
+/// use eilid_asm::assemble;
+///
+/// let image = assemble(
+///     "    .org 0xe000\n    .global main\nmain:\n    mov #0x1f4, r10\n    ret\n",
+/// )?;
+/// assert_eq!(image.symbol("main"), Some(0xe000));
+/// assert_eq!(image.code_size(), 6);
+/// # Ok::<(), eilid_asm::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Image, AsmError> {
+    let program = parse(source)?;
+    assemble_program(&program)
+}
+
+/// Assembles an already-parsed [`Program`].
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] found while assembling.
+pub fn assemble_program(program: &Program) -> Result<Image, AsmError> {
+    let symbols = first_pass(program)?;
+    second_pass(program, symbols)
+}
+
+/// The canonical (emulated-instruction-expanded) form of an instruction
+/// before symbol resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Proto {
+    TwoOp {
+        opcode: TwoOpOpcode,
+        width: Width,
+        src: ProtoOperand,
+        dst: ProtoOperand,
+    },
+    OneOp {
+        opcode: OneOpOpcode,
+        width: Width,
+        operand: ProtoOperand,
+    },
+    Reti,
+    Jump {
+        condition: Condition,
+        target: Expr,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ProtoOperand {
+    Register(Reg),
+    Immediate(Expr),
+    Absolute(Expr),
+    Indexed { reg: Reg, offset: Expr },
+    Indirect(Reg),
+    IndirectAutoInc(Reg),
+}
+
+impl ProtoOperand {
+    fn extension_words_as_src(&self) -> u16 {
+        match self {
+            ProtoOperand::Register(_)
+            | ProtoOperand::Indirect(_)
+            | ProtoOperand::IndirectAutoInc(_) => 0,
+            ProtoOperand::Immediate(expr) => match expr {
+                Expr::Number(v) if eilid_msp430::constant_generator(*v).is_some() => 0,
+                _ => 1,
+            },
+            ProtoOperand::Absolute(_) | ProtoOperand::Indexed { .. } => 1,
+        }
+    }
+
+    fn extension_words_as_dst(&self) -> u16 {
+        match self {
+            ProtoOperand::Register(_) => 0,
+            ProtoOperand::Absolute(_) | ProtoOperand::Indexed { .. } => 1,
+            // Invalid as destinations; rejected during encoding.
+            _ => 0,
+        }
+    }
+
+    /// `true` when constant-generator encoding may be used without changing
+    /// the instruction size computed in pass 1.
+    fn allows_constant_generator(&self) -> bool {
+        match self {
+            ProtoOperand::Immediate(expr) => matches!(expr, Expr::Number(_)),
+            _ => true,
+        }
+    }
+}
+
+impl Proto {
+    fn size_bytes(&self) -> u16 {
+        match self {
+            Proto::TwoOp { src, dst, .. } => {
+                2 + 2 * (src.extension_words_as_src() + dst.extension_words_as_dst())
+            }
+            Proto::OneOp { operand, .. } => 2 + 2 * operand.extension_words_as_src(),
+            Proto::Reti | Proto::Jump { .. } => 2,
+        }
+    }
+}
+
+fn split_width(mnemonic: &str) -> (&str, Width) {
+    if let Some(base) = mnemonic.strip_suffix(".b") {
+        (base, Width::Byte)
+    } else if let Some(base) = mnemonic.strip_suffix(".w") {
+        (base, Width::Word)
+    } else {
+        (mnemonic, Width::Word)
+    }
+}
+
+fn two_op_opcode(base: &str) -> Option<TwoOpOpcode> {
+    Some(match base {
+        "mov" => TwoOpOpcode::Mov,
+        "add" => TwoOpOpcode::Add,
+        "addc" => TwoOpOpcode::Addc,
+        "subc" => TwoOpOpcode::Subc,
+        "sub" => TwoOpOpcode::Sub,
+        "cmp" => TwoOpOpcode::Cmp,
+        "dadd" => TwoOpOpcode::Dadd,
+        "bit" => TwoOpOpcode::Bit,
+        "bic" => TwoOpOpcode::Bic,
+        "bis" => TwoOpOpcode::Bis,
+        "xor" => TwoOpOpcode::Xor,
+        "and" => TwoOpOpcode::And,
+        _ => return None,
+    })
+}
+
+fn one_op_opcode(base: &str) -> Option<OneOpOpcode> {
+    Some(match base {
+        "rrc" => OneOpOpcode::Rrc,
+        "swpb" => OneOpOpcode::Swpb,
+        "rra" => OneOpOpcode::Rra,
+        "sxt" => OneOpOpcode::Sxt,
+        "push" => OneOpOpcode::Push,
+        "call" => OneOpOpcode::Call,
+        _ => return None,
+    })
+}
+
+fn jump_condition(base: &str) -> Option<Condition> {
+    Some(match base {
+        "jne" | "jnz" => Condition::Jne,
+        "jeq" | "jz" => Condition::Jeq,
+        "jnc" | "jlo" => Condition::Jnc,
+        "jc" | "jhs" => Condition::Jc,
+        "jn" => Condition::Jn,
+        "jge" => Condition::Jge,
+        "jl" => Condition::Jl,
+        "jmp" => Condition::Jmp,
+        _ => return None,
+    })
+}
+
+fn operand_to_proto(line: usize, spec: &OperandSpec) -> Result<ProtoOperand, AsmError> {
+    Ok(match spec {
+        OperandSpec::Register(r) => ProtoOperand::Register(*r),
+        OperandSpec::Immediate(e) => ProtoOperand::Immediate(e.clone()),
+        OperandSpec::Absolute(e) => ProtoOperand::Absolute(e.clone()),
+        OperandSpec::Indexed { reg, offset } => ProtoOperand::Indexed {
+            reg: *reg,
+            offset: offset.clone(),
+        },
+        OperandSpec::Indirect(r) => ProtoOperand::Indirect(*r),
+        OperandSpec::IndirectAutoInc(r) => ProtoOperand::IndirectAutoInc(*r),
+        OperandSpec::Target(e) => {
+            return Err(AsmError::new(line, AsmErrorKind::BadOperand(e.to_string())))
+        }
+    })
+}
+
+fn expect_operands(
+    line: usize,
+    mnemonic: &str,
+    operands: &[OperandSpec],
+    expected: usize,
+) -> Result<(), AsmError> {
+    if operands.len() != expected {
+        return Err(AsmError::new(
+            line,
+            AsmErrorKind::OperandCount {
+                mnemonic: mnemonic.to_string(),
+                expected,
+                found: operands.len(),
+            },
+        ));
+    }
+    Ok(())
+}
+
+/// Expands a source-level mnemonic (including emulated instructions) to its
+/// canonical [`Proto`] form.
+fn expand(line: usize, mnemonic: &str, operands: &[OperandSpec]) -> Result<Proto, AsmError> {
+    let (base, width) = split_width(mnemonic);
+
+    if let Some(opcode) = two_op_opcode(base) {
+        expect_operands(line, mnemonic, operands, 2)?;
+        return Ok(Proto::TwoOp {
+            opcode,
+            width,
+            src: operand_to_proto(line, &operands[0])?,
+            dst: operand_to_proto(line, &operands[1])?,
+        });
+    }
+    if let Some(opcode) = one_op_opcode(base) {
+        expect_operands(line, mnemonic, operands, 1)?;
+        return Ok(Proto::OneOp {
+            opcode,
+            width,
+            operand: operand_to_proto(line, &operands[0])?,
+        });
+    }
+    if base == "reti" {
+        expect_operands(line, mnemonic, operands, 0)?;
+        return Ok(Proto::Reti);
+    }
+    if let Some(condition) = jump_condition(base) {
+        expect_operands(line, mnemonic, operands, 1)?;
+        let target = match &operands[0] {
+            OperandSpec::Target(e) | OperandSpec::Immediate(e) | OperandSpec::Absolute(e) => {
+                e.clone()
+            }
+            other => {
+                return Err(AsmError::new(
+                    line,
+                    AsmErrorKind::BadOperand(other.to_string()),
+                ))
+            }
+        };
+        return Ok(Proto::Jump { condition, target });
+    }
+
+    // Emulated instructions.
+    match base {
+        "ret" => {
+            expect_operands(line, mnemonic, operands, 0)?;
+            Ok(Proto::TwoOp {
+                opcode: TwoOpOpcode::Mov,
+                width: Width::Word,
+                src: ProtoOperand::IndirectAutoInc(Reg::SP),
+                dst: ProtoOperand::Register(Reg::PC),
+            })
+        }
+        "nop" => {
+            expect_operands(line, mnemonic, operands, 0)?;
+            Ok(Proto::TwoOp {
+                opcode: TwoOpOpcode::Mov,
+                width: Width::Word,
+                src: ProtoOperand::Immediate(Expr::Number(0)),
+                dst: ProtoOperand::Register(Reg::CG),
+            })
+        }
+        "pop" => {
+            expect_operands(line, mnemonic, operands, 1)?;
+            Ok(Proto::TwoOp {
+                opcode: TwoOpOpcode::Mov,
+                width,
+                src: ProtoOperand::IndirectAutoInc(Reg::SP),
+                dst: operand_to_proto(line, &operands[0])?,
+            })
+        }
+        "br" => {
+            expect_operands(line, mnemonic, operands, 1)?;
+            let src = match &operands[0] {
+                OperandSpec::Immediate(e) | OperandSpec::Target(e) => {
+                    ProtoOperand::Immediate(e.clone())
+                }
+                other => operand_to_proto(line, other)?,
+            };
+            Ok(Proto::TwoOp {
+                opcode: TwoOpOpcode::Mov,
+                width: Width::Word,
+                src,
+                dst: ProtoOperand::Register(Reg::PC),
+            })
+        }
+        "clr" => unary_emulated(line, mnemonic, operands, width, TwoOpOpcode::Mov, 0),
+        "inc" => unary_emulated(line, mnemonic, operands, width, TwoOpOpcode::Add, 1),
+        "incd" => unary_emulated(line, mnemonic, operands, width, TwoOpOpcode::Add, 2),
+        "dec" => unary_emulated(line, mnemonic, operands, width, TwoOpOpcode::Sub, 1),
+        "decd" => unary_emulated(line, mnemonic, operands, width, TwoOpOpcode::Sub, 2),
+        "tst" => unary_emulated(line, mnemonic, operands, width, TwoOpOpcode::Cmp, 0),
+        "inv" => unary_emulated(line, mnemonic, operands, width, TwoOpOpcode::Xor, 0xFFFF),
+        "adc" => unary_emulated(line, mnemonic, operands, width, TwoOpOpcode::Addc, 0),
+        "sbc" => unary_emulated(line, mnemonic, operands, width, TwoOpOpcode::Subc, 0),
+        "rla" => {
+            expect_operands(line, mnemonic, operands, 1)?;
+            let op = operand_to_proto(line, &operands[0])?;
+            Ok(Proto::TwoOp {
+                opcode: TwoOpOpcode::Add,
+                width,
+                src: op.clone(),
+                dst: op,
+            })
+        }
+        "clrc" => sr_emulated(line, mnemonic, operands, TwoOpOpcode::Bic, 1),
+        "setc" => sr_emulated(line, mnemonic, operands, TwoOpOpcode::Bis, 1),
+        "clrz" => sr_emulated(line, mnemonic, operands, TwoOpOpcode::Bic, 2),
+        "setz" => sr_emulated(line, mnemonic, operands, TwoOpOpcode::Bis, 2),
+        "clrn" => sr_emulated(line, mnemonic, operands, TwoOpOpcode::Bic, 4),
+        "setn" => sr_emulated(line, mnemonic, operands, TwoOpOpcode::Bis, 4),
+        "dint" => sr_emulated(line, mnemonic, operands, TwoOpOpcode::Bic, 8),
+        "eint" => sr_emulated(line, mnemonic, operands, TwoOpOpcode::Bis, 8),
+        other => Err(AsmError::new(
+            line,
+            AsmErrorKind::UnknownMnemonic(other.to_string()),
+        )),
+    }
+}
+
+fn unary_emulated(
+    line: usize,
+    mnemonic: &str,
+    operands: &[OperandSpec],
+    width: Width,
+    opcode: TwoOpOpcode,
+    immediate: u16,
+) -> Result<Proto, AsmError> {
+    expect_operands(line, mnemonic, operands, 1)?;
+    Ok(Proto::TwoOp {
+        opcode,
+        width,
+        src: ProtoOperand::Immediate(Expr::Number(immediate)),
+        dst: operand_to_proto(line, &operands[0])?,
+    })
+}
+
+fn sr_emulated(
+    line: usize,
+    mnemonic: &str,
+    operands: &[OperandSpec],
+    opcode: TwoOpOpcode,
+    mask: u16,
+) -> Result<Proto, AsmError> {
+    expect_operands(line, mnemonic, operands, 0)?;
+    Ok(Proto::TwoOp {
+        opcode,
+        width: Width::Word,
+        src: ProtoOperand::Immediate(Expr::Number(mask)),
+        dst: ProtoOperand::Register(Reg::SR),
+    })
+}
+
+fn eval(line: usize, expr: &Expr, symbols: &BTreeMap<String, u16>) -> Result<u16, AsmError> {
+    match expr {
+        Expr::Number(n) => Ok(*n),
+        Expr::Symbol(name) => symbols
+            .get(name)
+            .copied()
+            .ok_or_else(|| AsmError::new(line, AsmErrorKind::UndefinedSymbol(name.clone()))),
+        Expr::Add(a, b) => Ok(eval(line, a, symbols)?.wrapping_add(eval(line, b, symbols)?)),
+        Expr::Sub(a, b) => Ok(eval(line, a, symbols)?.wrapping_sub(eval(line, b, symbols)?)),
+    }
+}
+
+fn define_symbol(
+    line: usize,
+    symbols: &mut BTreeMap<String, u16>,
+    name: &str,
+    value: u16,
+) -> Result<(), AsmError> {
+    if symbols.insert(name.to_string(), value).is_some() {
+        return Err(AsmError::new(
+            line,
+            AsmErrorKind::DuplicateSymbol(name.to_string()),
+        ));
+    }
+    Ok(())
+}
+
+fn data_size(
+    line: usize,
+    directive: &Directive,
+    symbols: &BTreeMap<String, u16>,
+) -> Result<u32, AsmError> {
+    Ok(match directive {
+        Directive::Word(values) => 2 * values.len() as u32,
+        Directive::Byte(values) => values.len() as u32,
+        Directive::Ascii(s) => s.len() as u32,
+        Directive::Space(e) => u32::from(eval(line, e, symbols)?),
+        _ => 0,
+    })
+}
+
+fn first_pass(program: &Program) -> Result<BTreeMap<String, u16>, AsmError> {
+    let mut symbols = BTreeMap::new();
+    let mut lc: u32 = u32::from(DEFAULT_ORG);
+
+    for line in &program.lines {
+        let n = line.number;
+        if let Some(label) = &line.label {
+            define_symbol(n, &mut symbols, label, lc as u16)?;
+        }
+        match &line.statement {
+            Statement::Empty => {}
+            Statement::Directive(directive) => match directive {
+                Directive::Org(e) => {
+                    lc = u32::from(eval(n, e, &symbols)?);
+                }
+                Directive::Equ { name, value } => {
+                    let v = eval(n, value, &symbols)?;
+                    define_symbol(n, &mut symbols, name, v)?;
+                }
+                Directive::Global(_) | Directive::Isr { .. } => {}
+                other => {
+                    lc += data_size(n, other, &symbols)?;
+                }
+            },
+            Statement::Instruction { mnemonic, operands } => {
+                let proto = expand(n, mnemonic, operands)?;
+                lc += u32::from(proto.size_bytes());
+            }
+        }
+        if lc > 0x1_0000 {
+            return Err(AsmError::new(n, AsmErrorKind::AddressOverflow));
+        }
+    }
+    Ok(symbols)
+}
+
+struct OutputBuilder {
+    segments: Vec<Segment>,
+    current_base: u16,
+    current_bytes: Vec<u8>,
+}
+
+impl OutputBuilder {
+    fn new(base: u16) -> Self {
+        OutputBuilder {
+            segments: Vec::new(),
+            current_base: base,
+            current_bytes: Vec::new(),
+        }
+    }
+
+    fn flush(&mut self) {
+        if !self.current_bytes.is_empty() {
+            self.segments.push(Segment {
+                base: self.current_base,
+                bytes: std::mem::take(&mut self.current_bytes),
+            });
+        }
+    }
+
+    fn set_origin(&mut self, base: u16) {
+        self.flush();
+        self.current_base = base;
+    }
+
+    fn location(&self) -> u16 {
+        self.current_base
+            .wrapping_add(self.current_bytes.len() as u16)
+    }
+
+    fn emit(&mut self, bytes: &[u8]) {
+        self.current_bytes.extend_from_slice(bytes);
+    }
+
+    fn finish(mut self, line: usize) -> Result<Vec<Segment>, AsmError> {
+        self.flush();
+        let mut segments = self.segments;
+        segments.sort_by_key(|s| s.base);
+        for pair in segments.windows(2) {
+            if pair[0].overlaps(&pair[1]) {
+                return Err(AsmError::new(
+                    line,
+                    AsmErrorKind::OverlappingSegments {
+                        address: pair[1].base,
+                    },
+                ));
+            }
+        }
+        Ok(segments)
+    }
+}
+
+fn second_pass(program: &Program, symbols: BTreeMap<String, u16>) -> Result<Image, AsmError> {
+    let mut out = OutputBuilder::new(DEFAULT_ORG);
+    let mut listing = Listing::new();
+    let mut entry_symbol: Option<(usize, String)> = None;
+    let mut isr_bindings: Vec<(usize, String, Expr)> = Vec::new();
+
+    for line in &program.lines {
+        let n = line.number;
+        let mut address = None;
+        let mut bytes: Vec<u8> = Vec::new();
+
+        match &line.statement {
+            Statement::Empty => {}
+            Statement::Directive(directive) => match directive {
+                Directive::Org(e) => {
+                    let base = eval(n, e, &symbols)?;
+                    out.set_origin(base);
+                }
+                Directive::Equ { .. } => {}
+                Directive::Global(name) => {
+                    entry_symbol = Some((n, name.clone()));
+                }
+                Directive::Isr { name, vector } => {
+                    isr_bindings.push((n, name.clone(), vector.clone()));
+                }
+                Directive::Word(values) => {
+                    address = Some(out.location());
+                    for v in values {
+                        let value = eval(n, v, &symbols)?;
+                        bytes.push((value & 0xFF) as u8);
+                        bytes.push((value >> 8) as u8);
+                    }
+                }
+                Directive::Byte(values) => {
+                    address = Some(out.location());
+                    for v in values {
+                        bytes.push((eval(n, v, &symbols)? & 0xFF) as u8);
+                    }
+                }
+                Directive::Ascii(s) => {
+                    address = Some(out.location());
+                    bytes.extend_from_slice(s.as_bytes());
+                }
+                Directive::Space(e) => {
+                    address = Some(out.location());
+                    bytes.resize(usize::from(eval(n, e, &symbols)?), 0);
+                }
+            },
+            Statement::Instruction { mnemonic, operands } => {
+                let proto = expand(n, mnemonic, operands)?;
+                address = Some(out.location());
+                bytes = encode_proto(n, &proto, out.location(), &symbols)?;
+                debug_assert_eq!(bytes.len() as u16, proto.size_bytes());
+            }
+        }
+
+        if !bytes.is_empty() {
+            out.emit(&bytes);
+        } else {
+            address = address.or(None);
+        }
+        listing.entries.push(ListingEntry {
+            line: n,
+            address,
+            bytes,
+            source: if line.text.is_empty() {
+                crate::ast::render_line(line)
+            } else {
+                line.text.clone()
+            },
+        });
+    }
+
+    let last_line = program.lines.last().map(|l| l.number).unwrap_or(0);
+    let segments = out.finish(last_line)?;
+
+    let entry = match entry_symbol {
+        Some((n, name)) => Some(
+            symbols
+                .get(&name)
+                .copied()
+                .ok_or_else(|| AsmError::new(n, AsmErrorKind::UndefinedSymbol(name)))?,
+        ),
+        None => None,
+    };
+
+    let mut vectors = Vec::new();
+    for (n, name, vector_expr) in isr_bindings {
+        let handler = symbols
+            .get(&name)
+            .copied()
+            .ok_or_else(|| AsmError::new(n, AsmErrorKind::UndefinedSymbol(name.clone())))?;
+        let vector = eval(n, &vector_expr, &symbols)?;
+        if vector > 15 {
+            return Err(AsmError::new(n, AsmErrorKind::BadVector(vector)));
+        }
+        vectors.push((vector as u8, handler));
+    }
+
+    Ok(Image {
+        segments,
+        symbols,
+        listing,
+        entry,
+        vectors,
+    })
+}
+
+fn proto_operand_to_operand(
+    line: usize,
+    operand: &ProtoOperand,
+    symbols: &BTreeMap<String, u16>,
+) -> Result<Operand, AsmError> {
+    Ok(match operand {
+        ProtoOperand::Register(r) => Operand::Register(*r),
+        ProtoOperand::Immediate(e) => Operand::Immediate(eval(line, e, symbols)?),
+        ProtoOperand::Absolute(e) => Operand::Absolute(eval(line, e, symbols)?),
+        ProtoOperand::Indexed { reg, offset } => Operand::Indexed {
+            reg: *reg,
+            offset: eval(line, offset, symbols)? as i16,
+        },
+        ProtoOperand::Indirect(r) => Operand::Indirect(*r),
+        ProtoOperand::IndirectAutoInc(r) => Operand::IndirectAutoInc(*r),
+    })
+}
+
+fn encode_proto(
+    line: usize,
+    proto: &Proto,
+    address: u16,
+    symbols: &BTreeMap<String, u16>,
+) -> Result<Vec<u8>, AsmError> {
+    let (instruction, allow_cg) = match proto {
+        Proto::TwoOp {
+            opcode,
+            width,
+            src,
+            dst,
+        } => (
+            Instruction::TwoOp {
+                opcode: *opcode,
+                width: *width,
+                src: proto_operand_to_operand(line, src, symbols)?,
+                dst: proto_operand_to_operand(line, dst, symbols)?,
+            },
+            src.allows_constant_generator(),
+        ),
+        Proto::OneOp {
+            opcode,
+            width,
+            operand,
+        } => (
+            Instruction::OneOp {
+                opcode: *opcode,
+                width: *width,
+                operand: proto_operand_to_operand(line, operand, symbols)?,
+            },
+            operand.allows_constant_generator(),
+        ),
+        Proto::Reti => (
+            Instruction::OneOp {
+                opcode: OneOpOpcode::Reti,
+                width: Width::Word,
+                operand: Operand::Register(Reg::CG),
+            },
+            true,
+        ),
+        Proto::Jump { condition, target } => {
+            let target_addr = eval(line, target, symbols)?;
+            let next = i32::from(address) + 2;
+            let delta = i32::from(target_addr) - next;
+            if delta % 2 != 0 || !(-1024..=1022).contains(&delta) {
+                return Err(AsmError::new(
+                    line,
+                    AsmErrorKind::JumpOutOfRange {
+                        target: target_addr,
+                        from: address,
+                    },
+                ));
+            }
+            (
+                Instruction::Jump {
+                    condition: *condition,
+                    offset: (delta / 2) as i16,
+                },
+                true,
+            )
+        }
+    };
+
+    let words = encode_with(&instruction, allow_cg)
+        .map_err(|e| AsmError::new(line, AsmErrorKind::Encode(e.to_string())))?;
+    let mut bytes = Vec::with_capacity(words.len() * 2);
+    for w in words {
+        bytes.push((w & 0xFF) as u8);
+        bytes.push((w >> 8) as u8);
+    }
+    Ok(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_basic_program_with_symbols() {
+        let image = assemble(
+            "    .org 0xe000\n    .global main\n    .equ THRESH, 0x01f4\nmain:\n    mov #THRESH, r10\n    call #helper\n    jmp main\nhelper:\n    ret\n",
+        )
+        .unwrap();
+        assert_eq!(image.symbol("main"), Some(0xE000));
+        assert_eq!(image.symbol("THRESH"), Some(0x01F4));
+        // mov #THRESH, r10 (4) + call #helper (4) + jmp (2) + ret (2)
+        assert_eq!(image.code_size(), 12);
+        assert_eq!(image.symbol("helper"), Some(0xE00A));
+        assert_eq!(image.entry, Some(0xE000));
+    }
+
+    #[test]
+    fn symbolic_immediates_never_use_constant_generators() {
+        // ONE resolves to 1, which the CG could produce, but symbolic
+        // immediates must keep their extension word so pass-1 sizes hold.
+        let image = assemble("    .equ ONE, 1\n    mov #ONE, r10\n    mov #1, r11\n").unwrap();
+        // 4 bytes for the symbolic form + 2 bytes for the literal form.
+        assert_eq!(image.code_size(), 6);
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let image = assemble("    call #later\n    ret\nlater:\n    ret\n").unwrap();
+        assert_eq!(image.symbol("later"), Some(DEFAULT_ORG + 6));
+    }
+
+    #[test]
+    fn emulated_instructions_expand() {
+        let image = assemble(
+            "    ret\n    nop\n    pop r10\n    br #0xf000\n    clr r5\n    inc r5\n    dec r5\n    tst r5\n    eint\n    dint\n",
+        )
+        .unwrap();
+        // Sizes: ret 2, nop 2, pop 2, br 4, clr 2, inc 2, dec 2, tst 2, eint 2, dint 2.
+        assert_eq!(image.code_size(), 22);
+        let rendered = image.listing.render();
+        assert!(rendered.contains("ret"));
+        assert!(rendered.contains("30 41"), "ret encodes as 0x4130: {rendered}");
+    }
+
+    #[test]
+    fn data_directives_emit_bytes() {
+        let image = assemble(
+            "    .org 0xd000\n    .word 0x1234, 0xabcd\n    .byte 1, 2, 3\n    .ascii \"ok\"\n    .space 4\n",
+        )
+        .unwrap();
+        assert_eq!(image.code_size(), 4 + 3 + 2 + 4);
+        let mem = image.to_memory().unwrap();
+        assert_eq!(mem.read_word(0xD000), 0x1234);
+        assert_eq!(mem.read_word(0xD002), 0xABCD);
+        assert_eq!(mem.read_byte(0xD004), 1);
+        assert_eq!(mem.read_byte(0xD007), b'o');
+    }
+
+    #[test]
+    fn isr_directive_installs_vector() {
+        let image = assemble(
+            "    .org 0xe000\n    .global main\nmain:\n    jmp main\n    .isr timer_isr, 8\ntimer_isr:\n    reti\n",
+        )
+        .unwrap();
+        assert_eq!(image.vectors, vec![(8, 0xE002)]);
+        let mem = image.to_memory().unwrap();
+        assert_eq!(mem.read_word(0xFFF0), 0xE002);
+        assert_eq!(mem.read_word(0xFFFE), 0xE000);
+    }
+
+    #[test]
+    fn jump_targets_encode_correct_offsets() {
+        let image = assemble("start:\n    nop\n    jmp start\n").unwrap();
+        let mem = image.to_memory().unwrap();
+        // jmp start at 0xE002: offset = (0xE000 - 0xE004)/2 = -2.
+        let word = mem.read_word(DEFAULT_ORG + 2);
+        assert_eq!(word, 0x2000 | (0b111 << 10) | 0x03FE);
+    }
+
+    #[test]
+    fn listing_addresses_follow_layout() {
+        let source = "main:\n    mov #0x1f4, r10\n    call #f\n    ret\nf:\n    ret\n";
+        let image = assemble(source).unwrap();
+        assert_eq!(image.listing.address_of_line(2), Some(0xE000));
+        assert_eq!(image.listing.address_of_line(3), Some(0xE004));
+        // Return address of the call on line 3 is the address after it.
+        assert_eq!(image.listing.address_after_line(3), Some(0xE008));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            assemble("    frob r1, r2\n").unwrap_err().kind(),
+            AsmErrorKind::UnknownMnemonic(_)
+        ));
+        assert!(matches!(
+            assemble("    mov #undefined_symbol, r10\n").unwrap_err().kind(),
+            AsmErrorKind::UndefinedSymbol(_)
+        ));
+        assert!(matches!(
+            assemble("    mov r99, r10\n").unwrap_err().kind(),
+            AsmErrorKind::BadOperand(_)
+        ));
+        assert!(matches!(
+            assemble("a:\na:\n").unwrap_err().kind(),
+            AsmErrorKind::DuplicateSymbol(_)
+        ));
+        assert!(matches!(
+            assemble("    mov r1\n").unwrap_err().kind(),
+            AsmErrorKind::OperandCount { .. }
+        ));
+        assert!(matches!(
+            assemble("    .isr handler, 99\nhandler:\n    reti\n")
+                .unwrap_err()
+                .kind(),
+            AsmErrorKind::BadVector(_)
+        ));
+        assert!(matches!(
+            assemble("    .org 0xe000\n    jmp far\n    .org 0xa000\nfar:\n    nop\n")
+                .unwrap_err()
+                .kind(),
+            AsmErrorKind::JumpOutOfRange { .. }
+        ));
+        assert!(matches!(
+            assemble("    .org 0xe000\n    nop\n    .org 0xe000\n    nop\n")
+                .unwrap_err()
+                .kind(),
+            AsmErrorKind::OverlappingSegments { .. }
+        ));
+    }
+
+    #[test]
+    fn executes_on_the_simulator() {
+        use eilid_msp430::Cpu;
+        let image = assemble(
+            "    .org 0xe000\n    .global main\n    .equ SIM_CTL, 0x0100\n    .equ DONE, 0x00ff\nmain:\n    mov #0x0400, sp\n    mov #5, r10\n    call #double\n    mov r10, &0x0102\n    mov #DONE, &SIM_CTL\nhang:\n    jmp hang\ndouble:\n    add r10, r10\n    ret\n",
+        )
+        .unwrap();
+        let mut cpu = Cpu::new(image.to_memory().unwrap());
+        cpu.reset();
+        cpu.run(10_000).unwrap();
+        assert!(cpu.peripherals.sim_done());
+        assert_eq!(cpu.peripherals.sim_output(), &[10]);
+    }
+
+    #[test]
+    fn width_suffixes() {
+        let image = assemble("    mov.b #0x41, &0x0140\n    mov.w #0x1234, r10\n").unwrap();
+        assert_eq!(image.code_size(), 6 + 4);
+    }
+
+    #[test]
+    fn rla_and_inv_and_flag_helpers() {
+        let image = assemble("    rla r10\n    inv r10\n    clrc\n    setc\n    adc r10\n    sbc r10\n    incd r10\n    decd r10\n").unwrap();
+        // rla 2, inv 2, clrc 2, setc 2, adc 2, sbc 2, incd 2, decd 2
+        assert_eq!(image.code_size(), 16);
+    }
+}

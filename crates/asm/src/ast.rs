@@ -1,0 +1,417 @@
+//! Abstract syntax of the assembly dialect.
+//!
+//! The EILID instrumenter rewrites programs at the assembly level (paper
+//! §IV-A), so the AST deliberately preserves the *textual* shape of each
+//! source line: mnemonics stay as written (including emulated instructions
+//! like `ret` and `pop`), labels stay attached to their lines, and every
+//! line remembers its original text so instrumented output remains readable.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use eilid_msp430::Reg;
+
+/// A constant expression appearing in an operand or directive.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A numeric literal.
+    Number(u16),
+    /// A reference to a label or `.equ` symbol.
+    Symbol(String),
+    /// `lhs + rhs`.
+    Add(Box<Expr>, Box<Expr>),
+    /// `lhs - rhs`.
+    Sub(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// `true` if the expression contains no symbol references.
+    pub fn is_literal(&self) -> bool {
+        match self {
+            Expr::Number(_) => true,
+            Expr::Symbol(_) => false,
+            Expr::Add(a, b) | Expr::Sub(a, b) => a.is_literal() && b.is_literal(),
+        }
+    }
+
+    /// Names of all symbols referenced by the expression.
+    pub fn symbols(&self) -> Vec<&str> {
+        match self {
+            Expr::Number(_) => vec![],
+            Expr::Symbol(s) => vec![s.as_str()],
+            Expr::Add(a, b) | Expr::Sub(a, b) => {
+                let mut v = a.symbols();
+                v.extend(b.symbols());
+                v
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Number(n) => {
+                if *n > 9 {
+                    write!(f, "{n:#x}")
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Expr::Symbol(s) => write!(f, "{s}"),
+            Expr::Add(a, b) => write!(f, "{a}+{b}"),
+            Expr::Sub(a, b) => write!(f, "{a}-{b}"),
+        }
+    }
+}
+
+/// An operand as written in the source, before symbol resolution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OperandSpec {
+    /// Register direct, e.g. `r12`, `sp`.
+    Register(Reg),
+    /// Immediate, e.g. `#0x1f4` or `#label`.
+    Immediate(Expr),
+    /// Absolute, e.g. `&0x0112` or `&ADC_DATA`.
+    Absolute(Expr),
+    /// Indexed, e.g. `2(r1)`.
+    Indexed {
+        /// Base register.
+        reg: Reg,
+        /// Offset expression.
+        offset: Expr,
+    },
+    /// Register indirect, e.g. `@r13`.
+    Indirect(Reg),
+    /// Register indirect with post-increment, e.g. `@sp+`.
+    IndirectAutoInc(Reg),
+    /// A bare symbol or number used as a branch / call / `br` target.
+    Target(Expr),
+}
+
+impl fmt::Display for OperandSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OperandSpec::Register(r) => write!(f, "{r}"),
+            OperandSpec::Immediate(e) => write!(f, "#{e}"),
+            OperandSpec::Absolute(e) => write!(f, "&{e}"),
+            OperandSpec::Indexed { reg, offset } => write!(f, "{offset}({reg})"),
+            OperandSpec::Indirect(r) => write!(f, "@{r}"),
+            OperandSpec::IndirectAutoInc(r) => write!(f, "@{r}+"),
+            OperandSpec::Target(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// A directive understood by the assembler.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Directive {
+    /// `.org addr` — set the location counter.
+    Org(Expr),
+    /// `.equ name, value` — define an absolute symbol.
+    Equ {
+        /// Symbol name.
+        name: String,
+        /// Symbol value.
+        value: Expr,
+    },
+    /// `.word v, ...` — emit 16-bit words.
+    Word(Vec<Expr>),
+    /// `.byte v, ...` — emit bytes.
+    Byte(Vec<Expr>),
+    /// `.space n` — reserve `n` zero bytes.
+    Space(Expr),
+    /// `.ascii "text"` — emit the bytes of a string (no terminator).
+    Ascii(String),
+    /// `.global name` — mark the program entry point.
+    Global(String),
+    /// `.isr name, vector` — bind label `name` to interrupt vector `vector`.
+    Isr {
+        /// Handler label.
+        name: String,
+        /// Vector index (0–15).
+        vector: Expr,
+    },
+}
+
+impl Directive {
+    /// The directive's dot-name, e.g. `".org"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Directive::Org(_) => ".org",
+            Directive::Equ { .. } => ".equ",
+            Directive::Word(_) => ".word",
+            Directive::Byte(_) => ".byte",
+            Directive::Space(_) => ".space",
+            Directive::Ascii(_) => ".ascii",
+            Directive::Global(_) => ".global",
+            Directive::Isr { .. } => ".isr",
+        }
+    }
+}
+
+/// The content of one source line (after the optional label).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Statement {
+    /// Nothing but a label and/or comment.
+    Empty,
+    /// An assembler directive.
+    Directive(Directive),
+    /// An instruction, kept in its source form.
+    Instruction {
+        /// Lower-cased mnemonic as written (e.g. `"call"`, `"ret"`, `"mov.b"`).
+        mnemonic: String,
+        /// Operands in source order.
+        operands: Vec<OperandSpec>,
+    },
+}
+
+impl Statement {
+    /// `true` if the statement is an instruction with the given base
+    /// mnemonic (ignoring a `.b`/`.w` width suffix).
+    pub fn is_instruction(&self, base: &str) -> bool {
+        match self {
+            Statement::Instruction { mnemonic, .. } => {
+                mnemonic == base
+                    || mnemonic
+                        .strip_suffix(".b")
+                        .or_else(|| mnemonic.strip_suffix(".w"))
+                        .map(|m| m == base)
+                        .unwrap_or(false)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// One line of an assembly source file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceLine {
+    /// 1-based line number in the original file.
+    pub number: usize,
+    /// Label defined on this line, if any (without the trailing `:`).
+    pub label: Option<String>,
+    /// The parsed statement.
+    pub statement: Statement,
+    /// The original text of the line (without trailing newline).
+    pub text: String,
+}
+
+impl SourceLine {
+    /// Creates a synthetic line (used by the instrumenter when inserting
+    /// instructions that have no origin in the user's source).
+    pub fn synthetic(statement: Statement, text: impl Into<String>) -> Self {
+        SourceLine {
+            number: 0,
+            label: None,
+            statement,
+            text: text.into(),
+        }
+    }
+}
+
+/// A parsed assembly program: an ordered list of source lines.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// Lines in source order.
+    pub lines: Vec<SourceLine>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program { lines: Vec::new() }
+    }
+
+    /// Renders the program back to assembly text.
+    ///
+    /// Lines are re-rendered from their parsed form, so instrumented
+    /// programs serialise cleanly even when they contain synthetic lines.
+    pub fn to_source(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str(&render_line(line));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// All labels defined in the program, in source order.
+    pub fn labels(&self) -> Vec<&str> {
+        self.lines
+            .iter()
+            .filter_map(|l| l.label.as_deref())
+            .collect()
+    }
+}
+
+/// Renders a single line back to assembly text.
+pub fn render_line(line: &SourceLine) -> String {
+    let mut out = String::new();
+    if let Some(label) = &line.label {
+        out.push_str(label);
+        out.push(':');
+    }
+    match &line.statement {
+        Statement::Empty => {}
+        Statement::Directive(d) => {
+            if !out.is_empty() {
+                out.push(' ');
+            } else {
+                out.push_str("    ");
+            }
+            out.push_str(&render_directive(d));
+        }
+        Statement::Instruction { mnemonic, operands } => {
+            if !out.is_empty() {
+                out.push(' ');
+            } else {
+                out.push_str("    ");
+            }
+            out.push_str(mnemonic);
+            if !operands.is_empty() {
+                out.push(' ');
+                let rendered: Vec<String> = operands.iter().map(|o| o.to_string()).collect();
+                out.push_str(&rendered.join(", "));
+            }
+        }
+    }
+    out
+}
+
+fn render_directive(d: &Directive) -> String {
+    match d {
+        Directive::Org(e) => format!(".org {e}"),
+        Directive::Equ { name, value } => format!(".equ {name}, {value}"),
+        Directive::Word(values) => format!(
+            ".word {}",
+            values
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Directive::Byte(values) => format!(
+            ".byte {}",
+            values
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Directive::Space(e) => format!(".space {e}"),
+        Directive::Ascii(s) => format!(".ascii \"{s}\""),
+        Directive::Global(s) => format!(".global {s}"),
+        Directive::Isr { name, vector } => format!(".isr {name}, {vector}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_literal_and_symbols() {
+        let e = Expr::Add(
+            Box::new(Expr::Symbol("base".into())),
+            Box::new(Expr::Number(4)),
+        );
+        assert!(!e.is_literal());
+        assert_eq!(e.symbols(), vec!["base"]);
+        assert_eq!(e.to_string(), "base+4");
+        assert!(Expr::Number(3).is_literal());
+    }
+
+    #[test]
+    fn operand_display() {
+        assert_eq!(
+            OperandSpec::Immediate(Expr::Number(0x1F4)).to_string(),
+            "#0x1f4"
+        );
+        assert_eq!(
+            OperandSpec::Indexed {
+                reg: Reg::SP,
+                offset: Expr::Number(2)
+            }
+            .to_string(),
+            "2(r1)"
+        );
+        assert_eq!(OperandSpec::IndirectAutoInc(Reg::SP).to_string(), "@r1+");
+        assert_eq!(
+            OperandSpec::Absolute(Expr::Symbol("ADC_DATA".into())).to_string(),
+            "&ADC_DATA"
+        );
+    }
+
+    #[test]
+    fn statement_mnemonic_matching() {
+        let call = Statement::Instruction {
+            mnemonic: "call".into(),
+            operands: vec![],
+        };
+        assert!(call.is_instruction("call"));
+        assert!(!call.is_instruction("ret"));
+        let movb = Statement::Instruction {
+            mnemonic: "mov.b".into(),
+            operands: vec![],
+        };
+        assert!(movb.is_instruction("mov"));
+        assert!(!Statement::Empty.is_instruction("mov"));
+    }
+
+    #[test]
+    fn render_roundtrip_shapes() {
+        let line = SourceLine {
+            number: 1,
+            label: Some("foo".into()),
+            statement: Statement::Instruction {
+                mnemonic: "mov".into(),
+                operands: vec![
+                    OperandSpec::Immediate(Expr::Number(0xE200)),
+                    OperandSpec::Register(Reg::R6),
+                ],
+            },
+            text: String::new(),
+        };
+        assert_eq!(render_line(&line), "foo: mov #0xe200, r6");
+
+        let directive = SourceLine::synthetic(
+            Statement::Directive(Directive::Isr {
+                name: "timer_isr".into(),
+                vector: Expr::Number(8),
+            }),
+            "",
+        );
+        assert_eq!(render_line(&directive), "    .isr timer_isr, 8");
+    }
+
+    #[test]
+    fn program_source_rendering_and_labels() {
+        let program = Program {
+            lines: vec![
+                SourceLine {
+                    number: 1,
+                    label: Some("main".into()),
+                    statement: Statement::Empty,
+                    text: "main:".into(),
+                },
+                SourceLine::synthetic(
+                    Statement::Instruction {
+                        mnemonic: "ret".into(),
+                        operands: vec![],
+                    },
+                    "",
+                ),
+            ],
+        };
+        assert_eq!(program.labels(), vec!["main"]);
+        assert_eq!(program.to_source(), "main:\n    ret\n");
+    }
+
+    #[test]
+    fn directive_names() {
+        assert_eq!(Directive::Org(Expr::Number(0)).name(), ".org");
+        assert_eq!(Directive::Global("main".into()).name(), ".global");
+    }
+}

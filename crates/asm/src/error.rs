@@ -1,0 +1,176 @@
+//! Assembler error types.
+
+use std::fmt;
+
+/// An error produced while parsing or assembling a source file.
+///
+/// Every error carries the 1-based source line it was detected on, so build
+/// tooling (and the EILID instrumenter's iterated-build pipeline) can report
+/// actionable diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    line: usize,
+    kind: AsmErrorKind,
+}
+
+/// The specific failure behind an [`AsmError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// The mnemonic is not a known instruction or emulated instruction.
+    UnknownMnemonic(String),
+    /// The directive is not supported.
+    UnknownDirective(String),
+    /// An operand could not be parsed.
+    BadOperand(String),
+    /// The instruction has the wrong number of operands.
+    OperandCount {
+        /// Mnemonic being assembled.
+        mnemonic: String,
+        /// Number of operands expected.
+        expected: usize,
+        /// Number of operands found.
+        found: usize,
+    },
+    /// A register name is invalid.
+    BadRegister(String),
+    /// A numeric literal could not be parsed.
+    BadNumber(String),
+    /// An expression references an undefined symbol.
+    UndefinedSymbol(String),
+    /// A symbol was defined more than once.
+    DuplicateSymbol(String),
+    /// A label or `.equ` name is syntactically invalid.
+    BadSymbolName(String),
+    /// A jump target is out of the ±512-word conditional-jump range.
+    JumpOutOfRange {
+        /// Target address.
+        target: u16,
+        /// Address of the jump instruction.
+        from: u16,
+    },
+    /// An instruction could not be encoded.
+    Encode(String),
+    /// A string literal is malformed.
+    BadString(String),
+    /// Two segments overlap in the output image.
+    OverlappingSegments {
+        /// Start of the overlapping region.
+        address: u16,
+    },
+    /// The location counter overflowed the 64 KiB address space.
+    AddressOverflow,
+    /// An `.isr` directive names an invalid vector index.
+    BadVector(u16),
+    /// A malformed directive argument list.
+    BadDirectiveArgs(String),
+}
+
+impl AsmError {
+    /// Creates an error at the given 1-based source line.
+    pub fn new(line: usize, kind: AsmErrorKind) -> Self {
+        AsmError { line, kind }
+    }
+
+    /// 1-based source line the error was detected on.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The underlying failure.
+    pub fn kind(&self) -> &AsmErrorKind {
+        &self.kind
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.kind)
+    }
+}
+
+impl fmt::Display for AsmErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            AsmErrorKind::UnknownDirective(d) => write!(f, "unknown directive `{d}`"),
+            AsmErrorKind::BadOperand(o) => write!(f, "cannot parse operand `{o}`"),
+            AsmErrorKind::OperandCount {
+                mnemonic,
+                expected,
+                found,
+            } => write!(
+                f,
+                "`{mnemonic}` expects {expected} operand(s), found {found}"
+            ),
+            AsmErrorKind::BadRegister(r) => write!(f, "invalid register `{r}`"),
+            AsmErrorKind::BadNumber(n) => write!(f, "invalid numeric literal `{n}`"),
+            AsmErrorKind::UndefinedSymbol(s) => write!(f, "undefined symbol `{s}`"),
+            AsmErrorKind::DuplicateSymbol(s) => write!(f, "symbol `{s}` defined more than once"),
+            AsmErrorKind::BadSymbolName(s) => write!(f, "invalid symbol name `{s}`"),
+            AsmErrorKind::JumpOutOfRange { target, from } => write!(
+                f,
+                "jump from {from:#06x} to {target:#06x} exceeds the conditional-jump range"
+            ),
+            AsmErrorKind::Encode(e) => write!(f, "encoding failed: {e}"),
+            AsmErrorKind::BadString(s) => write!(f, "malformed string literal {s}"),
+            AsmErrorKind::OverlappingSegments { address } => {
+                write!(f, "output segments overlap at {address:#06x}")
+            }
+            AsmErrorKind::AddressOverflow => write!(f, "location counter overflowed 0xffff"),
+            AsmErrorKind::BadVector(v) => write!(f, "interrupt vector {v} is out of range 0..=15"),
+            AsmErrorKind::BadDirectiveArgs(d) => write!(f, "malformed arguments for `{d}`"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_includes_line() {
+        let err = AsmError::new(17, AsmErrorKind::UnknownMnemonic("frob".into()));
+        assert_eq!(err.line(), 17);
+        assert_eq!(err.to_string(), "line 17: unknown mnemonic `frob`");
+    }
+
+    #[test]
+    fn kind_accessor() {
+        let err = AsmError::new(3, AsmErrorKind::UndefinedSymbol("foo".into()));
+        assert!(matches!(err.kind(), AsmErrorKind::UndefinedSymbol(s) if s == "foo"));
+    }
+
+    #[test]
+    fn all_kinds_have_nonempty_messages() {
+        let kinds = vec![
+            AsmErrorKind::UnknownMnemonic("x".into()),
+            AsmErrorKind::UnknownDirective("x".into()),
+            AsmErrorKind::BadOperand("x".into()),
+            AsmErrorKind::OperandCount {
+                mnemonic: "mov".into(),
+                expected: 2,
+                found: 1,
+            },
+            AsmErrorKind::BadRegister("r99".into()),
+            AsmErrorKind::BadNumber("0xzz".into()),
+            AsmErrorKind::UndefinedSymbol("x".into()),
+            AsmErrorKind::DuplicateSymbol("x".into()),
+            AsmErrorKind::BadSymbolName("1x".into()),
+            AsmErrorKind::JumpOutOfRange {
+                target: 0xF000,
+                from: 0x1000,
+            },
+            AsmErrorKind::Encode("bad".into()),
+            AsmErrorKind::BadString("\"x".into()),
+            AsmErrorKind::OverlappingSegments { address: 0xE000 },
+            AsmErrorKind::AddressOverflow,
+            AsmErrorKind::BadVector(99),
+            AsmErrorKind::BadDirectiveArgs(".isr".into()),
+        ];
+        for kind in kinds {
+            assert!(!kind.to_string().is_empty());
+        }
+    }
+}

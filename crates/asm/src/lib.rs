@@ -1,0 +1,61 @@
+//! # eilid-asm — MSP430 assembler toolchain substrate
+//!
+//! The EILID paper instruments device software at the assembly level: its
+//! `EILIDinst` script consumes the application's `.s` file plus the `.lst`
+//! listing produced by the MSP430 GCC toolchain, and emits an instrumented
+//! `.s` that is rebuilt (three times in total, Figure 2 of the paper).
+//!
+//! This crate is the toolchain substrate of the reproduction:
+//!
+//! * [`parse`] turns assembly text into a [`Program`] AST that preserves the
+//!   source shape (labels, mnemonics, emulated instructions) — the form the
+//!   instrumenter rewrites;
+//! * [`assemble`] / [`assemble_program`] run a two-pass assembler producing
+//!   an [`Image`] (segments + symbols + interrupt vectors, the `.elf`
+//!   analogue) and a [`Listing`] (the `.lst` analogue);
+//! * [`Image::to_memory`] loads the result straight into the
+//!   [`eilid_msp430`] simulator.
+//!
+//! # Examples
+//!
+//! ```
+//! use eilid_asm::assemble;
+//! use eilid_msp430::Cpu;
+//!
+//! let image = assemble(
+//!     "    .org 0xe000
+//!     .global main
+//! main:
+//!     mov #0x0400, sp
+//!     mov #21, r10
+//!     add r10, r10
+//!     mov r10, &0x0102      ; debug output
+//!     mov #0x00ff, &0x0100  ; signal completion
+//! hang:
+//!     jmp hang
+//! ",
+//! )?;
+//! let mut cpu = Cpu::new(image.to_memory()?);
+//! cpu.reset();
+//! cpu.run(10_000)?;
+//! assert_eq!(cpu.peripherals.sim_output(), &[42]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assembler;
+pub mod ast;
+pub mod error;
+pub mod image;
+pub mod listing;
+pub mod parser;
+
+pub use assembler::{assemble, assemble_program, DEFAULT_ORG};
+pub use ast::{render_line, Directive, Expr, OperandSpec, Program, SourceLine, Statement};
+
+pub use error::{AsmError, AsmErrorKind};
+pub use image::{Image, Segment};
+pub use listing::{Listing, ListingEntry};
+pub use parser::{parse, parse_expr, parse_line};

@@ -1,0 +1,164 @@
+//! Listing (`.lst`) generation.
+//!
+//! The paper's instrumenter takes two inputs: the `.s` file to rewrite and a
+//! `.lst` listing from which it recovers the address of every instruction —
+//! in particular the return address of each call site (the address of the
+//! instruction following the call). [`Listing`] is this crate's `.lst`
+//! equivalent: one entry per source line recording the line's address and
+//! the bytes it emitted.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One line of the listing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ListingEntry {
+    /// 1-based source line number (0 for synthetic lines).
+    pub line: usize,
+    /// Address of the first byte emitted for this line, if any.
+    pub address: Option<u16>,
+    /// Bytes emitted for this line.
+    pub bytes: Vec<u8>,
+    /// Source text of the line.
+    pub source: String,
+}
+
+impl ListingEntry {
+    /// Number of bytes emitted by the line.
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Address of the first byte *after* this line's output, if the line
+    /// emitted anything.
+    pub fn end_address(&self) -> Option<u16> {
+        self.address
+            .map(|a| a.wrapping_add(self.bytes.len() as u16))
+    }
+}
+
+/// A whole-program listing: one [`ListingEntry`] per source line.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Listing {
+    /// Entries in source order.
+    pub entries: Vec<ListingEntry>,
+}
+
+impl Listing {
+    /// Creates an empty listing.
+    pub fn new() -> Self {
+        Listing::default()
+    }
+
+    /// Address of the code emitted for 1-based source line `line`, if any.
+    pub fn address_of_line(&self, line: usize) -> Option<u16> {
+        self.entries
+            .iter()
+            .find(|e| e.line == line)
+            .and_then(|e| e.address)
+    }
+
+    /// Address of the first emitting line *after* 1-based source line
+    /// `line`. For a call site this is the call's return address, which is
+    /// what `EILIDinst` stores on the shadow stack (paper Figure 3).
+    pub fn address_after_line(&self, line: usize) -> Option<u16> {
+        let entry = self.entries.iter().find(|e| e.line == line)?;
+        entry.end_address()
+    }
+
+    /// Total bytes emitted by the listing.
+    pub fn total_bytes(&self) -> usize {
+        self.entries.iter().map(|e| e.size()).sum()
+    }
+
+    /// Renders the listing in a human-readable `.lst`-style format.
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for Listing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for entry in &self.entries {
+            match entry.address {
+                Some(addr) if !entry.bytes.is_empty() => {
+                    let hex: Vec<String> =
+                        entry.bytes.iter().map(|b| format!("{b:02x}")).collect();
+                    writeln!(f, "{addr:04x}: {:<18} {}", hex.join(" "), entry.source)?;
+                }
+                _ => writeln!(f, "{:24}{}", "", entry.source)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Listing {
+        Listing {
+            entries: vec![
+                ListingEntry {
+                    line: 1,
+                    address: None,
+                    bytes: vec![],
+                    source: "main:".into(),
+                },
+                ListingEntry {
+                    line: 2,
+                    address: Some(0xE000),
+                    bytes: vec![0x36, 0x40, 0x00, 0xE2],
+                    source: "    mov #0xe200, r6".into(),
+                },
+                ListingEntry {
+                    line: 3,
+                    address: Some(0xE004),
+                    bytes: vec![0x30, 0x41],
+                    source: "    ret".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn address_lookup_per_line() {
+        let listing = sample();
+        assert_eq!(listing.address_of_line(1), None);
+        assert_eq!(listing.address_of_line(2), Some(0xE000));
+        assert_eq!(listing.address_of_line(3), Some(0xE004));
+        assert_eq!(listing.address_of_line(99), None);
+    }
+
+    #[test]
+    fn return_address_is_end_of_call_line() {
+        let listing = sample();
+        // If line 2 were a call, its return address would be 0xE004.
+        assert_eq!(listing.address_after_line(2), Some(0xE004));
+        assert_eq!(listing.address_after_line(1), None);
+    }
+
+    #[test]
+    fn totals_and_render() {
+        let listing = sample();
+        assert_eq!(listing.total_bytes(), 6);
+        let rendered = listing.render();
+        assert!(rendered.contains("e000: 36 40 00 e2"));
+        assert!(rendered.contains("mov #0xe200, r6"));
+        assert!(rendered.contains("main:"));
+    }
+
+    #[test]
+    fn entry_helpers() {
+        let entry = ListingEntry {
+            line: 4,
+            address: Some(0xFFFE),
+            bytes: vec![1, 2],
+            source: String::new(),
+        };
+        assert_eq!(entry.size(), 2);
+        assert_eq!(entry.end_address(), Some(0x0000));
+    }
+}

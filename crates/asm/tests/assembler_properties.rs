@@ -1,0 +1,89 @@
+//! Property-based tests over the assembler: determinism, render/parse
+//! round-trips and size bookkeeping for arbitrary generated programs.
+
+use eilid_asm::{assemble, assemble_program, parse, render_line};
+use proptest::prelude::*;
+
+/// A tiny generator of valid assembly programs: random sequences of
+/// instructions from a safe template set plus labels and data directives.
+fn arb_program_source() -> impl Strategy<Value = String> {
+    let instruction = prop_oneof![
+        Just("    nop".to_string()),
+        Just("    ret".to_string()),
+        (0u16..0x400).prop_map(|v| format!("    mov #{v}, r10")),
+        (0u16..0x400).prop_map(|v| format!("    add #{v}, r11")),
+        (2u16..16).prop_map(|n| format!("    mov {n}(r1), r12")),
+        Just("    push r9".to_string()),
+        Just("    pop r9".to_string()),
+        Just("    mov @r13, r14".to_string()),
+        Just("    mov r14, &0x0200".to_string()),
+        (1u16..32).prop_map(|v| format!("    .word {v}, {}", v * 3)),
+        (1u16..16).prop_map(|v| format!("    .byte {v}")),
+        Just("    .space 4".to_string()),
+    ];
+    prop::collection::vec(instruction, 1..40).prop_map(|lines| {
+        let mut source = String::from("    .org 0xe000\n    .global main\nmain:\n");
+        for (i, line) in lines.iter().enumerate() {
+            if i % 7 == 3 {
+                source.push_str(&format!("label_{i}:\n"));
+            }
+            source.push_str(line);
+            source.push('\n');
+        }
+        source.push_str("    ret\n");
+        source
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Assembling the same source twice yields identical images.
+    #[test]
+    fn assembly_is_deterministic(source in arb_program_source()) {
+        let a = assemble(&source).expect("generated source assembles");
+        let b = assemble(&source).expect("generated source assembles");
+        prop_assert_eq!(a, b);
+    }
+
+    /// Rendering the parsed program back to text and re-assembling it yields
+    /// an image with identical code bytes.
+    #[test]
+    fn render_parse_roundtrip_preserves_code(source in arb_program_source()) {
+        let program = parse(&source).expect("parses");
+        let direct = assemble_program(&program).expect("assembles");
+
+        let rendered: String = program
+            .lines
+            .iter()
+            .map(|l| format!("{}\n", render_line(l)))
+            .collect();
+        let roundtripped = assemble(&rendered).expect("re-rendered source assembles");
+
+        prop_assert_eq!(direct.segments, roundtripped.segments);
+        prop_assert_eq!(direct.symbols, roundtripped.symbols);
+    }
+
+    /// The listing's per-line byte counts always sum to the image size, and
+    /// every listed address falls inside a segment.
+    #[test]
+    fn listing_is_consistent_with_segments(source in arb_program_source()) {
+        let image = assemble(&source).expect("assembles");
+        prop_assert_eq!(image.listing.total_bytes(), image.code_size());
+        for entry in &image.listing.entries {
+            if let (Some(addr), false) = (entry.address, entry.bytes.is_empty()) {
+                let inside = image.segments.iter().any(|s| {
+                    addr >= s.base && u32::from(addr) + entry.bytes.len() as u32 <= s.end()
+                });
+                prop_assert!(inside, "line at {addr:#06x} escapes all segments");
+            }
+        }
+    }
+
+    /// The entry point always resolves to the `main` label.
+    #[test]
+    fn entry_point_matches_main(source in arb_program_source()) {
+        let image = assemble(&source).expect("assembles");
+        prop_assert_eq!(image.entry, image.symbol("main"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Criterion bench for the design-choice ablations (register-resident
+//! shadow-stack index and forward-edge protection).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eilid::{DeviceBuilder, EilidConfig};
+use eilid_workloads::WorkloadId;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_shadow_stack");
+    group.sample_size(10);
+    let source = WorkloadId::LightSensor.workload().source;
+
+    group.bench_function("index_in_register", |b| {
+        b.iter(|| {
+            let mut device = DeviceBuilder::new()
+                .config(EilidConfig::default())
+                .build_eilid(&source)
+                .unwrap();
+            device.run_for(20_000_000).cycles()
+        })
+    });
+    group.bench_function("index_in_memory", |b| {
+        let config = EilidConfig {
+            index_in_register: false,
+            shadow_stack_capacity: 96,
+            ..EilidConfig::default()
+        };
+        b.iter(|| {
+            let mut device = DeviceBuilder::new()
+                .config(config.clone())
+                .build_eilid(&source)
+                .unwrap();
+            device.run_for(20_000_000).cycles()
+        })
+    });
+
+    let charlie = WorkloadId::Charlieplexing.workload().source;
+    group.bench_function("forward_edge_enabled", |b| {
+        b.iter(|| {
+            let mut device = DeviceBuilder::new().build_eilid(&charlie).unwrap();
+            device.run_for(30_000_000).cycles()
+        })
+    });
+    group.bench_function("forward_edge_disabled", |b| {
+        b.iter(|| {
+            let mut device = DeviceBuilder::new()
+                .config(EilidConfig::backward_edge_only())
+                .build_eilid(&charlie)
+                .unwrap();
+            device.run_for(30_000_000).cycles()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for the SS VI micro-costs: wall-clock cost of measuring the
+//! per-call store/check overhead (and of the shadow-stack reference model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eilid::sw::ShadowStack;
+use eilid_bench::measure_micro_costs;
+
+fn bench_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_store_check");
+    group.sample_size(10);
+    group.bench_function("measure_micro_costs", |b| {
+        b.iter(|| {
+            let costs = measure_micro_costs(&eilid::EilidConfig::default());
+            assert!(costs.check_cycles > 0.0);
+            costs.total_cycles_per_call
+        })
+    });
+    group.bench_function("shadow_stack_model_push_pop", |b| {
+        b.iter(|| {
+            let mut stack = ShadowStack::new(112);
+            for i in 0..100u16 {
+                stack.store_return_address(0xE000 + 2 * i).unwrap();
+            }
+            for i in (0..100u16).rev() {
+                stack.check_return_address(0xE000 + 2 * i).unwrap();
+            }
+            stack.max_depth()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for Table IV's running-time column: simulates each
+//! workload to completion, original vs. EILID-protected.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eilid::DeviceBuilder;
+use eilid_workloads::WorkloadId;
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_runtime");
+    group.sample_size(10);
+    for id in WorkloadId::ALL {
+        let source = id.workload().source;
+        group.bench_with_input(BenchmarkId::new("original", id.name()), &source, |b, src| {
+            b.iter(|| {
+                let mut device = DeviceBuilder::new().build_baseline(src).unwrap();
+                let outcome = device.run_for(20_000_000);
+                assert!(outcome.is_completed());
+                outcome.cycles()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("eilid", id.name()), &source, |b, src| {
+            b.iter(|| {
+                let mut device = DeviceBuilder::new().build_eilid(src).unwrap();
+                let outcome = device.run_for(20_000_000);
+                assert!(outcome.is_completed());
+                outcome.cycles()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

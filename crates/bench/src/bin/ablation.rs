@@ -1,0 +1,29 @@
+//! Prints the design-choice ablations: register-resident shadow-stack index,
+//! forward-edge protection, and shadow-stack sizing.
+
+use eilid_bench::{
+    forward_edge_ablation, index_register_ablation, render_ablation, shadow_stack_sizing,
+};
+use eilid_workloads::WorkloadId;
+
+fn main() {
+    let rows = index_register_ablation(&[WorkloadId::LightSensor, WorkloadId::FireSensor]);
+    println!(
+        "{}",
+        render_ablation("Shadow-stack index in r5 vs. secure memory (SS-B, paper SS V-B)", &rows)
+    );
+    let rows = forward_edge_ablation(&[WorkloadId::Charlieplexing]);
+    println!(
+        "{}",
+        render_ablation("Forward-edge (P3) protection on vs. off", &rows)
+    );
+    println!("Shadow-stack sizing (paper default: 256 bytes of secure DMEM):");
+    for row in shadow_stack_sizing(&[16, 32, 64, 112, 128, 192]) {
+        println!(
+            "  capacity {:>3} entries -> {:>4} bytes of secure DMEM {}",
+            row.capacity,
+            row.secure_dmem_bytes,
+            if row.fits_default_region { "(fits)" } else { "(exceeds default region)" }
+        );
+    }
+}

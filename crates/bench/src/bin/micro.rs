@@ -1,0 +1,8 @@
+//! Prints the §VI micro-costs: per-call store/check overhead of EILIDsw.
+
+use eilid_bench::measure_micro_costs;
+
+fn main() {
+    let costs = measure_micro_costs(&eilid::EilidConfig::default());
+    println!("{}", costs.render());
+}

@@ -1,0 +1,5 @@
+//! Prints Table I: qualitative comparison of CFA and CFI techniques.
+
+fn main() {
+    println!("{}", eilid_hwcost::render_table1());
+}

@@ -1,0 +1,20 @@
+//! Prints Table II: control-flow instruction sets of low-end platforms.
+
+use eilid::PlatformIsa;
+
+fn main() {
+    println!(
+        "{:<18} {:<8} {:<8} {:<22} {}",
+        "Platform", "Call", "Return", "Return from Interrupt", "Indirect Call"
+    );
+    for row in PlatformIsa::table() {
+        println!(
+            "{:<18} {:<8} {:<8} {:<22} {}",
+            row.platform.name(),
+            row.call.join(", ").to_uppercase(),
+            row.ret.join(", ").to_uppercase(),
+            row.reti.join(", ").to_uppercase(),
+            row.indirect_call.join(", ").to_uppercase()
+        );
+    }
+}

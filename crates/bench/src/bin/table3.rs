@@ -1,0 +1,10 @@
+//! Prints Table III: registers reserved for EILID.
+
+use eilid::ReservedRegisters;
+
+fn main() {
+    println!("{:<10} Description", "Registers");
+    for (reg, description) in ReservedRegisters::default().table_rows() {
+        println!("{:<10} {}", reg.to_string(), description);
+    }
+}

@@ -1,0 +1,22 @@
+//! Prints Table IV: EILID software overhead on the seven evaluation
+//! applications (compile time, binary size, running time).
+//!
+//! Pass `--quick` to use 3 compile iterations instead of the paper's 50.
+
+use eilid_bench::{measure_all, Table4Options};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let options = if quick {
+        Table4Options::quick()
+    } else {
+        Table4Options::default()
+    };
+    eprintln!(
+        "measuring {} workloads with {} compile iterations each...",
+        eilid_workloads::WorkloadId::ALL.len(),
+        options.compile_iterations
+    );
+    let table = measure_all(&options);
+    println!("{}", table.render());
+}

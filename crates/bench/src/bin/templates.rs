@@ -1,0 +1,6 @@
+//! Prints the instrumentation templates of Figures 3-8 by instrumenting a
+//! miniature program with one site of every kind.
+
+fn main() {
+    println!("{}", eilid_bench::render_instrumentation_templates());
+}

@@ -1,0 +1,66 @@
+//! # eilid-casu — CASU: the active Root-of-Trust that EILID builds on
+//!
+//! CASU ("Compromise Avoidance via Secure Updates", ICCAD 2022) is a hybrid
+//! hardware/software Root-of-Trust for low-end MCUs. It *prevents* (rather
+//! than detects) software compromise by monitoring CPU bus signals in
+//! hardware and resetting the device whenever:
+//!
+//! * program memory or the interrupt-vector table is written outside an
+//!   authenticated update session (software immutability),
+//! * an instruction is fetched from writable memory (W⊕X),
+//! * trusted code in the secure ROM is entered anywhere but its entry point,
+//!   left outside its leave section, or interrupted (atomicity),
+//! * non-secure code touches the secure data region — the extension EILID
+//!   adds for its shadow stack.
+//!
+//! This crate models that hardware as a [`CasuMonitor`] evaluated over the
+//! per-step [`StepTrace`](eilid_msp430::StepTrace)s of the
+//! [`eilid_msp430`] simulator, plus the authenticated-update protocol
+//! ([`UpdateAuthority`] / [`UpdateEngine`]) with a self-contained
+//! HMAC-SHA-256 implementation.
+//!
+//! The EILID core crate (`eilid`) composes this monitor with its
+//! instrumenter and trusted software to obtain run-time CFI on top of
+//! CASU's static guarantees.
+//!
+//! # Examples
+//!
+//! Authenticated update flow:
+//!
+//! ```
+//! use eilid_casu::{CasuMonitor, CasuPolicy, MemoryLayout, UpdateAuthority, UpdateEngine};
+//! use eilid_msp430::Memory;
+//!
+//! let layout = MemoryLayout::default();
+//! let key = b"device-key";
+//! let mut authority = UpdateAuthority::new(key);
+//! let mut engine = UpdateEngine::new(key, layout.clone());
+//! let mut monitor = CasuMonitor::new(layout, CasuPolicy::default());
+//! let mut memory = Memory::new();
+//!
+//! let request = authority.authorize(0xE000, &[0x03, 0x43]); // nop
+//! engine.apply(&request, &mut memory, &mut monitor)?;
+//! assert_eq!(memory.read_word(0xE000), 0x4303);
+//! # Ok::<(), eilid_casu::UpdateError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attest;
+pub mod hmac;
+pub mod layout;
+pub mod monitor;
+pub mod policy;
+pub mod sha256;
+pub mod update;
+pub mod violation;
+
+pub use attest::{AttestError, AttestationReport, AttestationVerifier, Attestor, Challenge};
+pub use hmac::{hmac_sha256, verify_tag, TAG_SIZE};
+pub use layout::{LayoutError, MemoryLayout, Region};
+pub use monitor::CasuMonitor;
+pub use policy::{CasuPolicy, VIOLATION_STROBE_ADDR};
+pub use sha256::{sha256, Sha256, DIGEST_SIZE};
+pub use update::{UpdateAuthority, UpdateEngine, UpdateError, UpdateRequest};
+pub use violation::{CfiFault, Violation};

@@ -1,0 +1,469 @@
+//! The CASU/EILID hardware monitor.
+//!
+//! The monitor is a passive observer of the core's per-step bus signals
+//! ([`StepTrace`]): program counter, instruction fetch addresses, and every
+//! data read/write. It evaluates the configured [`CasuPolicy`] over each
+//! step and reports the first [`Violation`] it finds; the device layer then
+//! resets the core, exactly as the CASU hardware asserts the reset line.
+
+use serde::{Deserialize, Serialize};
+
+use eilid_msp430::{StepEvent, StepTrace};
+
+use crate::layout::{MemoryLayout, Region};
+use crate::policy::CasuPolicy;
+use crate::violation::{CfiFault, Violation};
+
+/// Stateful hardware monitor evaluated once per simulator step.
+///
+/// # Examples
+///
+/// Detecting a code-injection attempt (executing from data memory):
+///
+/// ```
+/// use eilid_casu::{CasuMonitor, CasuPolicy, MemoryLayout, Violation};
+/// use eilid_msp430::{Cpu, Memory};
+///
+/// // Program at 0xE000 jumps straight into DMEM (0x0300).
+/// let mut mem = Memory::new();
+/// mem.write_word(0xE000, 0x4030); // mov #0x0300, pc  (br #0x0300)
+/// mem.write_word(0xE002, 0x0300);
+/// mem.write_word(0x0300, 0x4303); // nop "payload" in DMEM
+/// mem.write_word(0xFFFE, 0xE000);
+///
+/// let mut cpu = Cpu::new(mem);
+/// cpu.reset();
+/// let mut monitor = CasuMonitor::new(MemoryLayout::default(), CasuPolicy::default());
+///
+/// let mut detected = None;
+/// for _ in 0..4 {
+///     let trace = cpu.step()?;
+///     if let Some(v) = monitor.check(&trace) {
+///         detected = Some(v);
+///         break;
+///     }
+/// }
+/// assert!(matches!(
+///     detected,
+///     Some(Violation::ExecutionFromWritableMemory { pc: 0x0300, .. })
+/// ));
+/// # Ok::<(), eilid_msp430::StepError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CasuMonitor {
+    layout: MemoryLayout,
+    policy: CasuPolicy,
+    prev_pc: Option<u16>,
+    update_region: Option<(u16, u16)>,
+    violations_detected: u64,
+}
+
+impl CasuMonitor {
+    /// Creates a monitor for the given layout and policy.
+    pub fn new(layout: MemoryLayout, policy: CasuPolicy) -> Self {
+        CasuMonitor {
+            layout,
+            policy,
+            prev_pc: None,
+            update_region: None,
+            violations_detected: 0,
+        }
+    }
+
+    /// The monitored memory layout.
+    pub fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+
+    /// The enforced policy.
+    pub fn policy(&self) -> &CasuPolicy {
+        &self.policy
+    }
+
+    /// Number of violations this monitor has reported since construction.
+    pub fn violations_detected(&self) -> u64 {
+        self.violations_detected
+    }
+
+    /// Clears transition state after a device reset.
+    pub fn reset(&mut self) {
+        self.prev_pc = None;
+        self.update_region = None;
+    }
+
+    /// Opens an authorised update session: writes within `start..=end` of
+    /// PMEM are permitted until [`CasuMonitor::end_update_session`].
+    ///
+    /// The CASU secure-update routine calls this after verifying the update
+    /// request's MAC; see [`crate::update`].
+    pub fn begin_update_session(&mut self, start: u16, end: u16) {
+        self.update_region = Some((start, end));
+    }
+
+    /// Closes the update session opened by
+    /// [`CasuMonitor::begin_update_session`].
+    pub fn end_update_session(&mut self) {
+        self.update_region = None;
+    }
+
+    /// `true` while an authorised update session is open.
+    pub fn update_session_active(&self) -> bool {
+        self.update_region.is_some()
+    }
+
+    fn write_allowed_by_update(&self, addr: u16) -> bool {
+        match self.update_region {
+            Some((start, end)) => addr >= start && addr <= end,
+            None => false,
+        }
+    }
+
+    /// Evaluates one step trace and returns the first violation found, if
+    /// any. The caller is expected to reset the device (and call
+    /// [`CasuMonitor::reset`]) when a violation is reported.
+    pub fn check(&mut self, trace: &StepTrace) -> Option<Violation> {
+        let violation = self.evaluate(trace);
+        if violation.is_some() {
+            self.violations_detected += 1;
+        }
+        // Track the last executed address for entry/exit transition checks.
+        self.prev_pc = Some(trace.pc);
+        violation
+    }
+
+    fn evaluate(&self, trace: &StepTrace) -> Option<Violation> {
+        let pc = trace.pc;
+        let pc_secure = self.layout.in_secure_rom(pc);
+
+        // 1. The EILID violation strobe has priority: it is the trusted
+        //    software asking for a reset.
+        for write in &trace.writes {
+            if write.addr == self.policy.violation_strobe && write.value != 0 {
+                return Some(Violation::Cfi {
+                    fault: CfiFault::from_code(write.value),
+                });
+            }
+        }
+
+        // 2. Atomicity of secure execution.
+        if self.policy.enforce_atomicity
+            && matches!(trace.event, StepEvent::InterruptTaken { .. })
+            && pc_secure
+        {
+            return Some(Violation::SecureAtomicityViolation { pc });
+        }
+
+        // 3. W ⊕ X: instruction fetches only from executable regions.
+        if self.policy.enforce_wxorx {
+            for &fetch in &trace.fetch_addresses {
+                if !self.layout.is_executable(fetch) {
+                    return Some(Violation::ExecutionFromWritableMemory {
+                        pc: fetch,
+                        region: self.layout.region_of(fetch),
+                    });
+                }
+            }
+        }
+
+        // 4. Memory-protection rules for data accesses.
+        for write in &trace.writes {
+            match self.layout.region_of(write.addr) {
+                Region::Pmem if self.policy.enforce_pmem_immutability => {
+                    if !self.write_allowed_by_update(write.addr) {
+                        return Some(Violation::PmemWrite {
+                            addr: write.addr,
+                            pc,
+                        });
+                    }
+                }
+                Region::SecureRom if self.policy.enforce_pmem_immutability => {
+                    return Some(Violation::SecureRomWrite {
+                        addr: write.addr,
+                        pc,
+                    });
+                }
+                Region::VectorTable if self.policy.enforce_pmem_immutability => {
+                    if !self.write_allowed_by_update(write.addr) {
+                        return Some(Violation::VectorTableWrite {
+                            addr: write.addr,
+                            pc,
+                        });
+                    }
+                }
+                Region::SecureDmem if self.policy.enforce_secure_dmem_exclusivity => {
+                    if !pc_secure {
+                        return Some(Violation::SecureDataAccess {
+                            addr: write.addr,
+                            pc,
+                            write: true,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        if self.policy.enforce_secure_dmem_exclusivity && !pc_secure {
+            for read in &trace.reads {
+                if self.layout.in_secure_dmem(read.addr) {
+                    return Some(Violation::SecureDataAccess {
+                        addr: read.addr,
+                        pc,
+                        write: false,
+                    });
+                }
+            }
+        }
+
+        // 5. Secure ROM entry/exit gates.
+        if self.policy.enforce_secure_rom_isolation {
+            let prev_secure = self
+                .prev_pc
+                .map(|p| self.layout.in_secure_rom(p))
+                .unwrap_or(false);
+            if pc_secure && !prev_secure && pc != self.policy.secure_entry {
+                return Some(Violation::SecureEntryViolation {
+                    pc,
+                    entry: self.policy.secure_entry,
+                });
+            }
+            if !pc_secure && prev_secure {
+                let from = self.prev_pc.expect("prev_secure implies prev_pc");
+                if !self.policy.secure_leave.contains(&from) {
+                    return Some(Violation::SecureExitViolation { from, to: pc });
+                }
+            }
+        }
+
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eilid_msp430::{AccessKind, MemAccess, Width};
+
+    fn monitor() -> CasuMonitor {
+        let policy = CasuPolicy::with_secure_gates(0xF800, 0xF880..=0xF88F);
+        CasuMonitor::new(MemoryLayout::default(), policy)
+    }
+
+    fn executed(pc: u16) -> StepTrace {
+        StepTrace {
+            pc,
+            next_pc: pc.wrapping_add(2),
+            event: StepEvent::Executed,
+            instruction: None,
+            instruction_size: 2,
+            fetch_addresses: vec![pc],
+            reads: vec![],
+            writes: vec![],
+            cycles: 1,
+            total_cycles: 1,
+        }
+    }
+
+    fn write(addr: u16, value: u16) -> MemAccess {
+        MemAccess {
+            addr,
+            value,
+            width: Width::Word,
+            kind: AccessKind::Write,
+        }
+    }
+
+    fn read(addr: u16, value: u16) -> MemAccess {
+        MemAccess {
+            addr,
+            value,
+            width: Width::Word,
+            kind: AccessKind::Read,
+        }
+    }
+
+    #[test]
+    fn clean_execution_in_pmem_passes() {
+        let mut m = monitor();
+        for pc in (0xE000u16..0xE020).step_by(2) {
+            assert_eq!(m.check(&executed(pc)), None);
+        }
+        assert_eq!(m.violations_detected(), 0);
+    }
+
+    #[test]
+    fn pmem_write_is_blocked_and_update_session_allows_it() {
+        let mut m = monitor();
+        let mut trace = executed(0xE000);
+        trace.writes.push(write(0xE100, 0x1234));
+        assert!(matches!(
+            m.check(&trace),
+            Some(Violation::PmemWrite { addr: 0xE100, .. })
+        ));
+
+        m.begin_update_session(0xE100, 0xE1FF);
+        assert!(m.update_session_active());
+        assert_eq!(m.check(&trace), None);
+        // Writes outside the authorised window still fault.
+        let mut outside = executed(0xE000);
+        outside.writes.push(write(0xE200, 0x1));
+        assert!(m.check(&outside).is_some());
+        m.end_update_session();
+        assert!(m.check(&trace).is_some());
+    }
+
+    #[test]
+    fn secure_rom_and_vector_table_writes_are_blocked() {
+        let mut m = monitor();
+        let mut trace = executed(0xE000);
+        trace.writes.push(write(0xF900, 0x1));
+        assert!(matches!(
+            m.check(&trace),
+            Some(Violation::SecureRomWrite { .. })
+        ));
+        let mut trace = executed(0xE000);
+        trace.writes.push(write(0xFFF0, 0x1));
+        assert!(matches!(
+            m.check(&trace),
+            Some(Violation::VectorTableWrite { .. })
+        ));
+    }
+
+    #[test]
+    fn wxorx_blocks_execution_from_dmem_and_peripherals() {
+        let mut m = monitor();
+        assert!(matches!(
+            m.check(&executed(0x0300)),
+            Some(Violation::ExecutionFromWritableMemory {
+                region: Region::Dmem,
+                ..
+            })
+        ));
+        assert!(matches!(
+            m.check(&executed(0x0100)),
+            Some(Violation::ExecutionFromWritableMemory {
+                region: Region::Peripheral,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn secure_dmem_is_exclusive_to_secure_rom_code() {
+        let mut m = monitor();
+        // Non-secure read of the shadow stack.
+        let mut trace = executed(0xE000);
+        trace.reads.push(read(0x1000, 0xAAAA));
+        assert!(matches!(
+            m.check(&trace),
+            Some(Violation::SecureDataAccess { write: false, .. })
+        ));
+        // Non-secure write.
+        let mut trace = executed(0xE000);
+        trace.writes.push(write(0x1002, 0xBBBB));
+        assert!(matches!(
+            m.check(&trace),
+            Some(Violation::SecureDataAccess { write: true, .. })
+        ));
+        // The same accesses from secure-ROM code are fine (after a legal entry).
+        let mut m = monitor();
+        assert_eq!(m.check(&executed(0xE000)), None);
+        assert_eq!(m.check(&executed(0xF800)), None); // entry point
+        let mut trace = executed(0xF802);
+        trace.writes.push(write(0x1000, 0xCCCC));
+        trace.reads.push(read(0x1002, 0xDDDD));
+        assert_eq!(m.check(&trace), None);
+    }
+
+    #[test]
+    fn secure_entry_must_use_the_entry_point() {
+        let mut m = monitor();
+        assert_eq!(m.check(&executed(0xE000)), None);
+        assert!(matches!(
+            m.check(&executed(0xF850)),
+            Some(Violation::SecureEntryViolation { pc: 0xF850, .. })
+        ));
+        // Entering at the published entry point is fine.
+        let mut m = monitor();
+        assert_eq!(m.check(&executed(0xE000)), None);
+        assert_eq!(m.check(&executed(0xF800)), None);
+    }
+
+    #[test]
+    fn secure_exit_must_use_the_leave_section() {
+        let mut m = monitor();
+        assert_eq!(m.check(&executed(0xE000)), None);
+        assert_eq!(m.check(&executed(0xF800)), None);
+        assert_eq!(m.check(&executed(0xF810)), None);
+        // Leaving from 0xF810 (not in the leave section 0xF880..=0xF88F) faults.
+        assert!(matches!(
+            m.check(&executed(0xE004)),
+            Some(Violation::SecureExitViolation {
+                from: 0xF810,
+                to: 0xE004
+            })
+        ));
+
+        // Leaving from inside the leave section is fine.
+        let mut m = monitor();
+        assert_eq!(m.check(&executed(0xF800)), None);
+        assert_eq!(m.check(&executed(0xF884)), None);
+        assert_eq!(m.check(&executed(0xE004)), None);
+    }
+
+    #[test]
+    fn interrupt_during_secure_execution_is_atomicity_violation() {
+        let mut m = monitor();
+        assert_eq!(m.check(&executed(0xF800)), None);
+        let trace = StepTrace {
+            pc: 0xF802,
+            next_pc: 0xE100,
+            event: StepEvent::InterruptTaken { vector: 8 },
+            instruction: None,
+            instruction_size: 0,
+            fetch_addresses: vec![],
+            reads: vec![],
+            writes: vec![],
+            cycles: 6,
+            total_cycles: 10,
+        };
+        assert!(matches!(
+            m.check(&trace),
+            Some(Violation::SecureAtomicityViolation { pc: 0xF802 })
+        ));
+    }
+
+    #[test]
+    fn violation_strobe_reports_cfi_fault() {
+        let mut m = monitor();
+        let mut trace = executed(0xF800);
+        trace.writes.push(write(crate::policy::VIOLATION_STROBE_ADDR, 0xDEA1));
+        let v = m.check(&trace);
+        assert!(matches!(
+            v,
+            Some(Violation::Cfi {
+                fault: CfiFault::ReturnAddress
+            })
+        ));
+        assert!(v.unwrap().is_cfi());
+        assert_eq!(m.violations_detected(), 1);
+    }
+
+    #[test]
+    fn permissive_policy_disables_checks() {
+        let mut m = CasuMonitor::new(MemoryLayout::default(), CasuPolicy::permissive());
+        let mut trace = executed(0x0300);
+        trace.writes.push(write(0xE000, 1));
+        trace.reads.push(read(0x1000, 2));
+        assert_eq!(m.check(&trace), None);
+    }
+
+    #[test]
+    fn reset_clears_transition_state() {
+        let mut m = monitor();
+        assert_eq!(m.check(&executed(0xF800)), None);
+        m.reset();
+        // After reset there is no "previous secure pc", so executing PMEM
+        // directly is not an exit violation.
+        assert_eq!(m.check(&executed(0xE000)), None);
+    }
+}

@@ -1,0 +1,338 @@
+//! Authenticated software update (CASU's "secure update" service).
+//!
+//! CASU's defining property is that program memory can only change through
+//! an authenticated update: the update authority (the verifier in RA terms)
+//! signs `(target address ‖ payload ‖ nonce)` with a device-unique symmetric
+//! key, and the trusted update routine on the device verifies the MAC,
+//! checks the nonce for freshness, opens a hardware update window and writes
+//! the payload. Everything else that touches PMEM causes a reset.
+//!
+//! This module models both ends of that protocol: [`UpdateAuthority`]
+//! (verifier side) and [`UpdateEngine`] (device side).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use eilid_msp430::Memory;
+
+use crate::hmac::{hmac_sha256, verify_tag, TAG_SIZE};
+use crate::layout::{MemoryLayout, Region};
+use crate::monitor::CasuMonitor;
+use crate::sha256::sha256;
+
+/// An authenticated request to replace a range of program memory.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateRequest {
+    /// First address to be written.
+    pub target: u16,
+    /// New contents.
+    pub payload: Vec<u8>,
+    /// Monotonically increasing freshness counter.
+    pub nonce: u64,
+    /// HMAC-SHA-256 over `target ‖ payload ‖ nonce`.
+    pub mac: [u8; TAG_SIZE],
+}
+
+impl UpdateRequest {
+    fn message(target: u16, payload: &[u8], nonce: u64) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(payload.len() + 10);
+        msg.extend_from_slice(&target.to_le_bytes());
+        msg.extend_from_slice(&nonce.to_le_bytes());
+        msg.extend_from_slice(payload);
+        msg
+    }
+}
+
+/// Why an update request was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpdateError {
+    /// The MAC did not verify under the device key.
+    BadMac,
+    /// The nonce was not strictly greater than the last accepted nonce.
+    StaleNonce {
+        /// Nonce presented by the request.
+        presented: u64,
+        /// Last nonce the device accepted.
+        last_accepted: u64,
+    },
+    /// The target range is not entirely inside application PMEM.
+    TargetOutsidePmem {
+        /// First offending address.
+        addr: u16,
+    },
+    /// The payload is empty.
+    EmptyPayload,
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::BadMac => write!(f, "update rejected: MAC verification failed"),
+            UpdateError::StaleNonce {
+                presented,
+                last_accepted,
+            } => write!(
+                f,
+                "update rejected: nonce {presented} is not fresher than {last_accepted}"
+            ),
+            UpdateError::TargetOutsidePmem { addr } => {
+                write!(f, "update rejected: {addr:#06x} is outside application PMEM")
+            }
+            UpdateError::EmptyPayload => write!(f, "update rejected: empty payload"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// Verifier-side helper that produces authenticated update requests.
+#[derive(Debug, Clone)]
+pub struct UpdateAuthority {
+    key: Vec<u8>,
+    next_nonce: u64,
+}
+
+impl UpdateAuthority {
+    /// Creates an authority holding the device key.
+    pub fn new(key: &[u8]) -> Self {
+        UpdateAuthority {
+            key: key.to_vec(),
+            next_nonce: 1,
+        }
+    }
+
+    /// Builds an authenticated update request for `payload` at `target`.
+    pub fn authorize(&mut self, target: u16, payload: &[u8]) -> UpdateRequest {
+        let nonce = self.next_nonce;
+        self.next_nonce += 1;
+        let mac = hmac_sha256(&self.key, &UpdateRequest::message(target, payload, nonce));
+        UpdateRequest {
+            target,
+            payload: payload.to_vec(),
+            nonce,
+            mac,
+        }
+    }
+}
+
+/// Device-side update engine (the trusted update routine in secure ROM).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UpdateEngine {
+    key: Vec<u8>,
+    layout: MemoryLayout,
+    last_nonce: u64,
+    updates_applied: u64,
+}
+
+impl UpdateEngine {
+    /// Creates an engine holding the device key for the given layout.
+    pub fn new(key: &[u8], layout: MemoryLayout) -> Self {
+        UpdateEngine {
+            key: key.to_vec(),
+            layout,
+            last_nonce: 0,
+            updates_applied: 0,
+        }
+    }
+
+    /// Number of updates successfully applied.
+    pub fn updates_applied(&self) -> u64 {
+        self.updates_applied
+    }
+
+    /// Last accepted nonce.
+    pub fn last_nonce(&self) -> u64 {
+        self.last_nonce
+    }
+
+    /// Verifies a request without applying it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`UpdateError`] describing the first check that failed.
+    pub fn verify(&self, request: &UpdateRequest) -> Result<(), UpdateError> {
+        if request.payload.is_empty() {
+            return Err(UpdateError::EmptyPayload);
+        }
+        let expected = hmac_sha256(
+            &self.key,
+            &UpdateRequest::message(request.target, &request.payload, request.nonce),
+        );
+        if !verify_tag(&expected, &request.mac) {
+            return Err(UpdateError::BadMac);
+        }
+        if request.nonce <= self.last_nonce {
+            return Err(UpdateError::StaleNonce {
+                presented: request.nonce,
+                last_accepted: self.last_nonce,
+            });
+        }
+        let end = u32::from(request.target) + request.payload.len() as u32 - 1;
+        if end > 0xFFFF {
+            return Err(UpdateError::TargetOutsidePmem { addr: request.target });
+        }
+        for addr in [request.target, end as u16] {
+            if self.layout.region_of(addr) != Region::Pmem {
+                return Err(UpdateError::TargetOutsidePmem { addr });
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies and applies a request: opens a hardware update window on the
+    /// monitor, writes the payload and closes the window again.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`UpdateError`] if verification fails; memory is untouched
+    /// in that case.
+    pub fn apply(
+        &mut self,
+        request: &UpdateRequest,
+        memory: &mut Memory,
+        monitor: &mut CasuMonitor,
+    ) -> Result<(), UpdateError> {
+        self.verify(request)?;
+        let end = request.target.wrapping_add(request.payload.len() as u16 - 1);
+        monitor.begin_update_session(request.target, end);
+        memory
+            .load(request.target, &request.payload)
+            .expect("range checked by verify");
+        monitor.end_update_session();
+        self.last_nonce = request.nonce;
+        self.updates_applied += 1;
+        Ok(())
+    }
+
+    /// Measurement (SHA-256) of the PMEM region, used to confirm the
+    /// software state after an update — the static-integrity guarantee that
+    /// CASU maintains between updates.
+    pub fn measure_pmem(&self, memory: &Memory) -> [u8; 32] {
+        let start = usize::from(*self.layout.pmem.start());
+        let end = usize::from(*self.layout.pmem.end()) + 1;
+        sha256(memory.slice(start..end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::CasuPolicy;
+
+    const KEY: &[u8] = b"eilid-device-key-0001";
+
+    fn engine() -> (UpdateAuthority, UpdateEngine, CasuMonitor, Memory) {
+        let layout = MemoryLayout::default();
+        (
+            UpdateAuthority::new(KEY),
+            UpdateEngine::new(KEY, layout.clone()),
+            CasuMonitor::new(layout, CasuPolicy::default()),
+            Memory::new(),
+        )
+    }
+
+    #[test]
+    fn authorized_update_is_applied() {
+        let (mut authority, mut engine, mut monitor, mut memory) = engine();
+        let request = authority.authorize(0xE000, &[0xAA, 0xBB, 0xCC, 0xDD]);
+        engine.apply(&request, &mut memory, &mut monitor).unwrap();
+        assert_eq!(memory.read_byte(0xE000), 0xAA);
+        assert_eq!(memory.read_byte(0xE003), 0xDD);
+        assert_eq!(engine.updates_applied(), 1);
+        assert!(!monitor.update_session_active());
+    }
+
+    #[test]
+    fn forged_mac_is_rejected() {
+        let (mut authority, mut engine, mut monitor, mut memory) = engine();
+        let mut request = authority.authorize(0xE000, &[1, 2, 3]);
+        request.payload[0] = 0xFF;
+        assert_eq!(
+            engine.apply(&request, &mut memory, &mut monitor),
+            Err(UpdateError::BadMac)
+        );
+        assert_eq!(memory.read_byte(0xE000), 0);
+    }
+
+    #[test]
+    fn wrong_key_is_rejected() {
+        let (_, mut engine, mut monitor, mut memory) = engine();
+        let mut rogue = UpdateAuthority::new(b"attacker-key");
+        let request = rogue.authorize(0xE000, &[1, 2, 3]);
+        assert_eq!(
+            engine.apply(&request, &mut memory, &mut monitor),
+            Err(UpdateError::BadMac)
+        );
+    }
+
+    #[test]
+    fn replayed_nonce_is_rejected() {
+        let (mut authority, mut engine, mut monitor, mut memory) = engine();
+        let request = authority.authorize(0xE000, &[1, 2]);
+        engine.apply(&request, &mut memory, &mut monitor).unwrap();
+        assert!(matches!(
+            engine.apply(&request, &mut memory, &mut monitor),
+            Err(UpdateError::StaleNonce { .. })
+        ));
+        // A fresh request from the same authority still works.
+        let second = authority.authorize(0xE010, &[3, 4]);
+        engine.apply(&second, &mut memory, &mut monitor).unwrap();
+        assert_eq!(engine.last_nonce(), 2);
+    }
+
+    #[test]
+    fn update_outside_pmem_is_rejected() {
+        let (mut authority, mut engine, mut monitor, mut memory) = engine();
+        for target in [0x0200u16, 0xF900, 0xFFF0, 0x1000] {
+            let request = authority.authorize(target, &[1, 2, 3, 4]);
+            assert!(matches!(
+                engine.apply(&request, &mut memory, &mut monitor),
+                Err(UpdateError::TargetOutsidePmem { .. })
+            ));
+        }
+        // A payload that starts in PMEM but runs past its end is rejected too.
+        let request = authority.authorize(0xF7FE, &[1, 2, 3, 4]);
+        assert!(matches!(
+            engine.apply(&request, &mut memory, &mut monitor),
+            Err(UpdateError::TargetOutsidePmem { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_payload_is_rejected() {
+        let (mut authority, mut engine, mut monitor, mut memory) = engine();
+        let request = authority.authorize(0xE000, &[]);
+        assert_eq!(
+            engine.apply(&request, &mut memory, &mut monitor),
+            Err(UpdateError::EmptyPayload)
+        );
+    }
+
+    #[test]
+    fn pmem_measurement_changes_with_update() {
+        let (mut authority, mut engine, mut monitor, mut memory) = engine();
+        let before = engine.measure_pmem(&memory);
+        let request = authority.authorize(0xE000, &[9, 9, 9]);
+        engine.apply(&request, &mut memory, &mut monitor).unwrap();
+        let after = engine.measure_pmem(&memory);
+        assert_ne!(before, after);
+        // Measurement is deterministic.
+        assert_eq!(after, engine.measure_pmem(&memory));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(UpdateError::BadMac.to_string().contains("MAC"));
+        assert!(UpdateError::EmptyPayload.to_string().contains("empty"));
+        assert!(UpdateError::StaleNonce {
+            presented: 1,
+            last_accepted: 5
+        }
+        .to_string()
+        .contains("fresher"));
+        assert!(UpdateError::TargetOutsidePmem { addr: 0x10 }
+            .to_string()
+            .contains("PMEM"));
+    }
+}

@@ -1,0 +1,180 @@
+//! EILID-enabled (and baseline) device simulation.
+//!
+//! A [`Device`] couples the MSP430 core with the CASU/EILID hardware
+//! monitor. The [`DeviceBuilder`] offers two deployment modes:
+//!
+//! * [`DeviceBuilder::build_baseline`] — the application exactly as written,
+//!   with no instrumentation and no monitor. This is the "Original" column
+//!   of Table IV.
+//! * [`DeviceBuilder::build_eilid`] — the application run through the
+//!   `EILIDinst` pipeline, linked against the trusted-software runtime, with
+//!   the hardware monitor enforcing CASU's rules plus the EILID shadow-stack
+//!   extension. This is the "EILID" column of Table IV.
+
+pub mod builder;
+pub mod outcome;
+
+pub use builder::DeviceBuilder;
+pub use outcome::RunOutcome;
+
+use eilid_casu::{CasuMonitor, MemoryLayout, Violation};
+use eilid_msp430::{Cpu, StepTrace};
+
+use crate::config::EilidConfig;
+use crate::error::EilidError;
+use crate::instrument::BuildArtifacts;
+
+/// A simulated device, optionally protected by the EILID hardware monitor.
+#[derive(Debug, Clone)]
+pub struct Device {
+    cpu: Cpu,
+    monitor: Option<CasuMonitor>,
+    layout: MemoryLayout,
+    config: EilidConfig,
+    artifacts: Option<BuildArtifacts>,
+    resets: u64,
+}
+
+impl Device {
+    pub(crate) fn from_parts(
+        cpu: Cpu,
+        monitor: Option<CasuMonitor>,
+        layout: MemoryLayout,
+        config: EilidConfig,
+        artifacts: Option<BuildArtifacts>,
+    ) -> Self {
+        Device {
+            cpu,
+            monitor,
+            layout,
+            config,
+            artifacts,
+            resets: 0,
+        }
+    }
+
+    /// The simulated core (registers, memory, peripherals).
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// Mutable access to the core — used by attack injectors that model an
+    /// adversary with arbitrary write access to data memory.
+    pub fn cpu_mut(&mut self) -> &mut Cpu {
+        &mut self.cpu
+    }
+
+    /// The device's memory layout.
+    pub fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+
+    /// The EILID configuration the device was built with.
+    pub fn config(&self) -> &EilidConfig {
+        &self.config
+    }
+
+    /// Build artifacts (instrumented image, report, metrics) for
+    /// EILID-protected devices; `None` for baseline devices.
+    pub fn artifacts(&self) -> Option<&BuildArtifacts> {
+        self.artifacts.as_ref()
+    }
+
+    /// `true` when the hardware monitor is attached.
+    pub fn is_protected(&self) -> bool {
+        self.monitor.is_some()
+    }
+
+    /// Number of monitor-triggered resets performed so far.
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+
+    /// Total clock cycles consumed since construction.
+    pub fn cycles(&self) -> u64 {
+        self.cpu.total_cycles()
+    }
+
+    /// Resets the core (and monitor state), as the hardware does after a
+    /// violation.
+    pub fn reset(&mut self) {
+        self.cpu.reset();
+        if let Some(monitor) = &mut self.monitor {
+            monitor.reset();
+        }
+        self.resets += 1;
+    }
+
+    /// Executes one step and evaluates the monitor over it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EilidError::Step`] if the core hits an undecodable
+    /// instruction word (callers usually map this to
+    /// [`RunOutcome::Fault`]).
+    pub fn step(&mut self) -> Result<(StepTrace, Option<Violation>), EilidError> {
+        // Hardware IRQ gating: interrupts are deferred while trusted
+        // software executes in the secure ROM.
+        let in_secure = self.layout.in_secure_rom(self.cpu.regs.pc());
+        self.cpu
+            .set_irq_inhibited(self.monitor.is_some() && in_secure);
+        let trace = self.cpu.step()?;
+        let violation = self
+            .monitor
+            .as_mut()
+            .and_then(|monitor| monitor.check(&trace));
+        Ok((trace, violation))
+    }
+
+    /// Runs until completion, violation, fault or the configured cycle
+    /// budget.
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_for(self.config.max_cycles)
+    }
+
+    /// Runs with an explicit cycle budget.
+    pub fn run_for(&mut self, max_cycles: u64) -> RunOutcome {
+        self.run_with_hook(max_cycles, |_, _| {})
+    }
+
+    /// Runs while invoking `hook` after every step. The hook receives
+    /// mutable access to the core, which is how the attack injectors model
+    /// an adversary exploiting a memory-corruption bug at run time.
+    pub fn run_with_hook<F>(&mut self, max_cycles: u64, mut hook: F) -> RunOutcome
+    where
+        F: FnMut(&mut Cpu, &StepTrace),
+    {
+        let start_cycles = self.cpu.total_cycles();
+        loop {
+            let elapsed = self.cpu.total_cycles() - start_cycles;
+            if self.cpu.peripherals.sim_done() {
+                return RunOutcome::Completed {
+                    cycles: elapsed,
+                    exit_code: self.cpu.peripherals.exit_code(),
+                    output: self.cpu.peripherals.sim_output().to_vec(),
+                };
+            }
+            if elapsed >= max_cycles {
+                return RunOutcome::Timeout { cycles: elapsed };
+            }
+            match self.step() {
+                Ok((trace, None)) => hook(&mut self.cpu, &trace),
+                Ok((_, Some(violation))) => {
+                    let cycles = self.cpu.total_cycles() - start_cycles;
+                    // The hardware resets the device; we stop and report so
+                    // callers can observe the detection.
+                    self.reset();
+                    return RunOutcome::Violation { violation, cycles };
+                }
+                Err(EilidError::Step(step_error)) => {
+                    let cycles = self.cpu.total_cycles() - start_cycles;
+                    return RunOutcome::Fault {
+                        pc: step_error.address,
+                        cycles,
+                    };
+                }
+                Err(_) => unreachable!("Device::step only returns step errors"),
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Result of running a (protected or baseline) device.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use eilid_casu::Violation;
+
+/// Why a device run ended.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// The application signalled completion through the simulation-control
+    /// register.
+    Completed {
+        /// Clock cycles consumed.
+        cycles: u64,
+        /// Exit code the application reported.
+        exit_code: u16,
+        /// Words the application wrote to the debug-output register.
+        output: Vec<u16>,
+    },
+    /// The hardware monitor detected a violation and the device was reset.
+    Violation {
+        /// The detected violation.
+        violation: Violation,
+        /// Clock cycles consumed before detection.
+        cycles: u64,
+    },
+    /// The cycle budget was exhausted before completion.
+    Timeout {
+        /// Clock cycles consumed.
+        cycles: u64,
+    },
+    /// The core hit an undecodable instruction (treated as a fault by the
+    /// monitor-less baseline device).
+    Fault {
+        /// Program counter of the fault.
+        pc: u16,
+        /// Clock cycles consumed.
+        cycles: u64,
+    },
+}
+
+impl RunOutcome {
+    /// Clock cycles consumed by the run.
+    pub fn cycles(&self) -> u64 {
+        match self {
+            RunOutcome::Completed { cycles, .. }
+            | RunOutcome::Violation { cycles, .. }
+            | RunOutcome::Timeout { cycles }
+            | RunOutcome::Fault { cycles, .. } => *cycles,
+        }
+    }
+
+    /// `true` if the application ran to completion.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RunOutcome::Completed { .. })
+    }
+
+    /// The detected violation, if any.
+    pub fn violation(&self) -> Option<&Violation> {
+        match self {
+            RunOutcome::Violation { violation, .. } => Some(violation),
+            _ => None,
+        }
+    }
+
+    /// Run time in microseconds at the given clock frequency.
+    pub fn micros(&self, clock_hz: u64) -> f64 {
+        eilid_msp430::cycles_to_micros(self.cycles(), clock_hz)
+    }
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunOutcome::Completed {
+                cycles, exit_code, ..
+            } => write!(f, "completed in {cycles} cycles (exit code {exit_code})"),
+            RunOutcome::Violation { violation, cycles } => {
+                write!(f, "reset after {cycles} cycles: {violation}")
+            }
+            RunOutcome::Timeout { cycles } => write!(f, "timed out after {cycles} cycles"),
+            RunOutcome::Fault { pc, cycles } => {
+                write!(f, "faulted at {pc:#06x} after {cycles} cycles")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eilid_casu::CfiFault;
+
+    #[test]
+    fn accessors() {
+        let done = RunOutcome::Completed {
+            cycles: 1000,
+            exit_code: 0,
+            output: vec![1, 2],
+        };
+        assert!(done.is_completed());
+        assert_eq!(done.cycles(), 1000);
+        assert!(done.violation().is_none());
+        assert!((done.micros(100_000_000) - 10.0).abs() < 1e-9);
+
+        let violated = RunOutcome::Violation {
+            violation: Violation::Cfi {
+                fault: CfiFault::ReturnAddress,
+            },
+            cycles: 500,
+        };
+        assert!(!violated.is_completed());
+        assert!(violated.violation().unwrap().is_cfi());
+
+        let timeout = RunOutcome::Timeout { cycles: 99 };
+        assert_eq!(timeout.cycles(), 99);
+        let fault = RunOutcome::Fault { pc: 0xE000, cycles: 5 };
+        assert_eq!(fault.cycles(), 5);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let outcomes = vec![
+            RunOutcome::Completed {
+                cycles: 1,
+                exit_code: 2,
+                output: vec![],
+            },
+            RunOutcome::Violation {
+                violation: Violation::Cfi {
+                    fault: CfiFault::IndirectCall,
+                },
+                cycles: 3,
+            },
+            RunOutcome::Timeout { cycles: 4 },
+            RunOutcome::Fault { pc: 0xE000, cycles: 5 },
+        ];
+        for o in outcomes {
+            assert!(!o.to_string().is_empty());
+        }
+    }
+}

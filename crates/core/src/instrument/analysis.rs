@@ -1,0 +1,346 @@
+//! Static analysis of the application assembly.
+//!
+//! Before rewriting anything, `EILIDinst` needs to know where the
+//! instrumentation sites are: direct and indirect call sites, `ret` and
+//! `reti` instructions, ISR entry points, and the set of legitimate
+//! function entry points for the forward-edge table. It also flags the
+//! conditions the paper discusses in §V and §VII: use of the reserved
+//! registers `r4`–`r7`, indirect jumps, and recursion.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use eilid_asm::{Directive, Expr, OperandSpec, Program, Statement};
+use eilid_msp430::Reg;
+
+/// A direct or indirect call site.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CallSite {
+    /// Index of the line in the program.
+    pub line_index: usize,
+    /// Call target: a label for direct calls, a register for indirect ones.
+    pub target: CallTarget,
+    /// Label of the enclosing function, if known.
+    pub caller: Option<String>,
+}
+
+/// The target of a call instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CallTarget {
+    /// `call #label` or `call #0x....`.
+    Direct(Expr),
+    /// `call rN` — the paper's indirect-call case (Figure 8).
+    Indirect(Reg),
+}
+
+impl CallTarget {
+    /// `true` for indirect (register) calls.
+    pub fn is_indirect(&self) -> bool {
+        matches!(self, CallTarget::Indirect(_))
+    }
+}
+
+/// Everything the rewriter needs to know about the application.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AppAnalysis {
+    /// Every call site, in source order.
+    pub call_sites: Vec<CallSite>,
+    /// Line indices of every `ret`.
+    pub returns: Vec<usize>,
+    /// Line indices of every `reti`.
+    pub interrupt_returns: Vec<usize>,
+    /// ISR handler labels (from `.isr` directives) and their vectors.
+    pub isr_handlers: BTreeMap<String, u16>,
+    /// Program entry label (from `.global`).
+    pub entry_label: Option<String>,
+    /// Labels that are direct-call targets.
+    pub called_functions: BTreeSet<String>,
+    /// Labels whose address is taken in an immediate operand of a non-call
+    /// instruction (potential indirect-call targets).
+    pub address_taken: BTreeSet<String>,
+    /// Lines that use one of the EILID-reserved registers `r4`–`r7`.
+    pub reserved_register_uses: Vec<(usize, Reg)>,
+    /// Lines containing indirect jumps (`br rN` / `mov rN, pc`).
+    pub indirect_jumps: Vec<usize>,
+    /// Functions that participate in a call-graph cycle (recursion).
+    pub recursive_functions: BTreeSet<String>,
+}
+
+impl AppAnalysis {
+    /// Labels that must be registered in the forward-edge function table:
+    /// direct-call targets plus address-taken labels (excluding ISR
+    /// handlers, which are never legal indirect-call targets).
+    pub fn function_table_labels(&self) -> Vec<String> {
+        let mut labels: BTreeSet<String> = self
+            .called_functions
+            .union(&self.address_taken)
+            .cloned()
+            .collect();
+        for isr in self.isr_handlers.keys() {
+            labels.remove(isr);
+        }
+        labels.into_iter().collect()
+    }
+
+    /// Number of indirect call sites.
+    pub fn indirect_call_count(&self) -> usize {
+        self.call_sites
+            .iter()
+            .filter(|c| c.target.is_indirect())
+            .count()
+    }
+}
+
+/// Analyses a parsed application program.
+///
+/// # Examples
+///
+/// ```
+/// use eilid::instrument::analyze;
+/// use eilid_asm::parse;
+///
+/// let program = parse("    .global main\nmain:\n    call #work\n    ret\nwork:\n    ret\n")?;
+/// let analysis = analyze(&program);
+/// assert_eq!(analysis.call_sites.len(), 1);
+/// assert_eq!(analysis.returns.len(), 2);
+/// assert!(analysis.called_functions.contains("work"));
+/// # Ok::<(), eilid_asm::AsmError>(())
+/// ```
+pub fn analyze(program: &Program) -> AppAnalysis {
+    let mut analysis = AppAnalysis::default();
+    let labels: BTreeSet<String> = program
+        .labels()
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+
+    // First pass: directives (entry, ISRs).
+    for line in &program.lines {
+        if let Statement::Directive(directive) = &line.statement {
+            match directive {
+                Directive::Global(name) => analysis.entry_label = Some(name.clone()),
+                Directive::Isr { name, vector } => {
+                    if let Expr::Number(v) = vector {
+                        analysis.isr_handlers.insert(name.clone(), *v);
+                    } else {
+                        analysis.isr_handlers.insert(name.clone(), u16::MAX);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Second pass: instructions.
+    let mut current_function: Option<String> = None;
+    let mut call_graph: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+
+    for (index, line) in program.lines.iter().enumerate() {
+        if let Some(label) = &line.label {
+            current_function = Some(label.clone());
+        }
+        let Statement::Instruction { mnemonic, operands } = &line.statement else {
+            continue;
+        };
+        let base = mnemonic
+            .strip_suffix(".b")
+            .or_else(|| mnemonic.strip_suffix(".w"))
+            .unwrap_or(mnemonic);
+
+        // Reserved-register usage (r4–r7) anywhere in the application.
+        for operand in operands {
+            for reg in operand_registers(operand) {
+                if reg.is_eilid_reserved() {
+                    analysis.reserved_register_uses.push((index, reg));
+                }
+            }
+        }
+
+        match base {
+            "call" => {
+                let target = match operands.first() {
+                    Some(OperandSpec::Immediate(e)) => CallTarget::Direct(e.clone()),
+                    Some(OperandSpec::Register(r)) => CallTarget::Indirect(*r),
+                    Some(OperandSpec::Indirect(r)) | Some(OperandSpec::IndirectAutoInc(r)) => {
+                        CallTarget::Indirect(*r)
+                    }
+                    _ => CallTarget::Direct(Expr::Number(0)),
+                };
+                if let CallTarget::Direct(Expr::Symbol(name)) = &target {
+                    analysis.called_functions.insert(name.clone());
+                    if let Some(caller) = &current_function {
+                        call_graph
+                            .entry(caller.clone())
+                            .or_default()
+                            .insert(name.clone());
+                    }
+                }
+                analysis.call_sites.push(CallSite {
+                    line_index: index,
+                    target,
+                    caller: current_function.clone(),
+                });
+            }
+            "ret" => analysis.returns.push(index),
+            "reti" => analysis.interrupt_returns.push(index),
+            "br" => {
+                if matches!(
+                    operands.first(),
+                    Some(OperandSpec::Register(_))
+                        | Some(OperandSpec::Indirect(_))
+                        | Some(OperandSpec::IndirectAutoInc(_))
+                        | Some(OperandSpec::Indexed { .. })
+                ) {
+                    analysis.indirect_jumps.push(index);
+                }
+            }
+            "mov" => {
+                if operands.len() == 2
+                    && operands[1] == OperandSpec::Register(Reg::PC)
+                    && !matches!(operands[0], OperandSpec::Immediate(_))
+                {
+                    analysis.indirect_jumps.push(index);
+                }
+            }
+            _ => {}
+        }
+
+        // Address-taken labels: `#label` immediates outside call instructions.
+        if base != "call" {
+            for operand in operands {
+                if let OperandSpec::Immediate(expr) = operand {
+                    for symbol in expr.symbols() {
+                        if labels.contains(symbol) {
+                            analysis.address_taken.insert(symbol.to_string());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    analysis.recursive_functions = find_cycles(&call_graph);
+    analysis
+}
+
+fn operand_registers(operand: &OperandSpec) -> Vec<Reg> {
+    match operand {
+        OperandSpec::Register(r)
+        | OperandSpec::Indirect(r)
+        | OperandSpec::IndirectAutoInc(r)
+        | OperandSpec::Indexed { reg: r, .. } => vec![*r],
+        _ => vec![],
+    }
+}
+
+/// Returns every node that can reach itself in the call graph.
+fn find_cycles(graph: &BTreeMap<String, BTreeSet<String>>) -> BTreeSet<String> {
+    let mut recursive = BTreeSet::new();
+    for start in graph.keys() {
+        let mut stack: Vec<&String> = graph
+            .get(start)
+            .map(|s| s.iter().collect())
+            .unwrap_or_default();
+        let mut visited: BTreeSet<&String> = BTreeSet::new();
+        while let Some(node) = stack.pop() {
+            if node == start {
+                recursive.insert(start.clone());
+                break;
+            }
+            if visited.insert(node) {
+                if let Some(next) = graph.get(node) {
+                    stack.extend(next.iter());
+                }
+            }
+        }
+    }
+    recursive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eilid_asm::parse;
+
+    fn analyze_source(source: &str) -> AppAnalysis {
+        analyze(&parse(source).expect("test source parses"))
+    }
+
+    #[test]
+    fn finds_call_sites_and_returns() {
+        let analysis = analyze_source(
+            "    .global main\nmain:\n    call #f\n    call #g\n    ret\nf:\n    ret\ng:\n    call #f\n    ret\n",
+        );
+        assert_eq!(analysis.call_sites.len(), 3);
+        assert_eq!(analysis.returns.len(), 3);
+        assert_eq!(analysis.entry_label.as_deref(), Some("main"));
+        assert!(analysis.called_functions.contains("f"));
+        assert!(analysis.called_functions.contains("g"));
+        assert_eq!(analysis.call_sites[0].caller.as_deref(), Some("main"));
+        assert_eq!(analysis.call_sites[2].caller.as_deref(), Some("g"));
+        assert_eq!(analysis.indirect_call_count(), 0);
+    }
+
+    #[test]
+    fn finds_indirect_calls_and_address_taken_labels() {
+        let analysis = analyze_source(
+            "main:\n    mov #handler, r13\n    call r13\n    ret\nhandler:\n    ret\n",
+        );
+        assert_eq!(analysis.indirect_call_count(), 1);
+        assert!(analysis.address_taken.contains("handler"));
+        assert_eq!(analysis.function_table_labels(), vec!["handler".to_string()]);
+    }
+
+    #[test]
+    fn finds_isrs_and_interrupt_returns() {
+        let analysis = analyze_source(
+            "    .isr timer_isr, 8\nmain:\n    jmp main\ntimer_isr:\n    push r15\n    pop r15\n    reti\n",
+        );
+        assert_eq!(analysis.isr_handlers.get("timer_isr"), Some(&8));
+        assert_eq!(analysis.interrupt_returns.len(), 1);
+        // ISR handlers are not legal indirect-call targets.
+        assert!(analysis.function_table_labels().is_empty());
+    }
+
+    #[test]
+    fn flags_reserved_registers_and_indirect_jumps() {
+        let analysis = analyze_source(
+            "main:\n    mov #1, r4\n    mov r5, r10\n    br r12\n    mov r11, pc\n    ret\n",
+        );
+        let regs: Vec<Reg> = analysis
+            .reserved_register_uses
+            .iter()
+            .map(|(_, r)| *r)
+            .collect();
+        assert!(regs.contains(&Reg::R4));
+        assert!(regs.contains(&Reg::R5));
+        assert_eq!(analysis.indirect_jumps.len(), 2);
+    }
+
+    #[test]
+    fn detects_direct_and_mutual_recursion() {
+        let analysis = analyze_source(
+            "main:\n    call #a\n    ret\na:\n    call #a\n    ret\nb:\n    call #c\n    ret\nc:\n    call #b\n    ret\n",
+        );
+        assert!(analysis.recursive_functions.contains("a"));
+        assert!(analysis.recursive_functions.contains("b"));
+        assert!(analysis.recursive_functions.contains("c"));
+        assert!(!analysis.recursive_functions.contains("main"));
+    }
+
+    #[test]
+    fn non_recursive_graph_is_clean() {
+        let analysis =
+            analyze_source("main:\n    call #a\n    ret\na:\n    call #b\n    ret\nb:\n    ret\n");
+        assert!(analysis.recursive_functions.is_empty());
+    }
+
+    #[test]
+    fn numeric_call_targets_are_direct() {
+        let analysis = analyze_source("main:\n    call #0xe100\n    ret\n");
+        assert_eq!(analysis.call_sites.len(), 1);
+        assert!(!analysis.call_sites[0].target.is_indirect());
+        assert!(analysis.called_functions.is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! Control-flow instruction sets of popular low-end platforms (paper
+//! Table II).
+//!
+//! `EILIDinst` discovers instrumentation sites by their mnemonics; this
+//! module records which mnemonics play the call / return /
+//! return-from-interrupt / indirect-call roles on each supported platform.
+//! The reproduction instruments the MSP430 dialect, but the table is kept
+//! complete so the Table II harness can regenerate the paper's comparison.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+
+/// A low-end MCU platform from Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Platform {
+    /// TI MSP430 (the platform of the paper's prototype and of this
+    /// reproduction).
+    Msp430,
+    /// Atmel/Microchip AVR ATMega32.
+    AvrAtmega32,
+    /// Microchip PIC16.
+    Pic16,
+}
+
+impl Platform {
+    /// All platforms listed in Table II.
+    pub const ALL: [Platform; 3] = [Platform::Msp430, Platform::AvrAtmega32, Platform::Pic16];
+
+    /// Human-readable platform name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Platform::Msp430 => "TI MSP430",
+            Platform::AvrAtmega32 => "AVR ATMega32",
+            Platform::Pic16 => "Microchip PIC16",
+        }
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// The control-flow instruction roles of one platform (one row of
+/// Table II).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct PlatformIsa {
+    /// The platform.
+    pub platform: Platform,
+    /// Direct-call mnemonics.
+    pub call: Vec<&'static str>,
+    /// Function-return mnemonics.
+    pub ret: Vec<&'static str>,
+    /// Return-from-interrupt mnemonics.
+    pub reti: Vec<&'static str>,
+    /// Indirect-call mnemonics (register or pointer operands).
+    pub indirect_call: Vec<&'static str>,
+}
+
+impl PlatformIsa {
+    /// Returns the Table II row for `platform`.
+    pub fn for_platform(platform: Platform) -> PlatformIsa {
+        match platform {
+            Platform::Msp430 => PlatformIsa {
+                platform,
+                call: vec!["call"],
+                ret: vec!["ret"],
+                reti: vec!["reti"],
+                indirect_call: vec!["call"],
+            },
+            Platform::AvrAtmega32 => PlatformIsa {
+                platform,
+                call: vec!["call"],
+                ret: vec!["ret"],
+                reti: vec!["reti"],
+                indirect_call: vec!["rcall", "icall"],
+            },
+            Platform::Pic16 => PlatformIsa {
+                platform,
+                call: vec!["call"],
+                ret: vec!["return"],
+                reti: vec!["retfie"],
+                indirect_call: vec!["call", "rcall"],
+            },
+        }
+    }
+
+    /// All rows of Table II.
+    pub fn table() -> Vec<PlatformIsa> {
+        Platform::ALL
+            .iter()
+            .map(|&p| PlatformIsa::for_platform(p))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_paper() {
+        let rows = PlatformIsa::table();
+        assert_eq!(rows.len(), 3);
+        let msp = &rows[0];
+        assert_eq!(msp.platform, Platform::Msp430);
+        assert_eq!(msp.call, vec!["call"]);
+        assert_eq!(msp.ret, vec!["ret"]);
+        assert_eq!(msp.reti, vec!["reti"]);
+
+        let avr = PlatformIsa::for_platform(Platform::AvrAtmega32);
+        assert!(avr.indirect_call.contains(&"icall"));
+
+        let pic = PlatformIsa::for_platform(Platform::Pic16);
+        assert_eq!(pic.ret, vec!["return"]);
+        assert_eq!(pic.reti, vec!["retfie"]);
+    }
+
+    #[test]
+    fn platform_names() {
+        assert_eq!(Platform::Msp430.to_string(), "TI MSP430");
+        assert_eq!(Platform::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,155 @@
+//! Instrumentation report and warnings.
+//!
+//! The paper's instrumenter raises compile-time warnings for indirect jumps
+//! outside `switch` lowering (§VII) and requires spill code when the
+//! reserved registers are already in use (§V). The report carries those
+//! warnings plus the per-site counts the evaluation section reports.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use eilid_msp430::Reg;
+
+/// A non-fatal condition detected during instrumentation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Warning {
+    /// The application uses one of the EILID-reserved registers `r4`–`r7`
+    /// (paper §V: two extra spill instructions would be required per use).
+    ReservedRegisterUse {
+        /// 1-based source line.
+        line: usize,
+        /// The reserved register.
+        register: Reg,
+    },
+    /// The application contains an indirect jump, which EILID does not
+    /// protect (paper §VII).
+    IndirectJump {
+        /// 1-based source line.
+        line: usize,
+    },
+    /// The application contains recursion, which EILID does not handle
+    /// (paper §VII); deep recursion can exhaust the shadow stack.
+    Recursion {
+        /// The recursive function's label.
+        function: String,
+    },
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Warning::ReservedRegisterUse { line, register } => write!(
+                f,
+                "line {line}: application uses EILID-reserved register {register}; spill code required"
+            ),
+            Warning::IndirectJump { line } => {
+                write!(f, "line {line}: indirect jump is not protected by EILID")
+            }
+            Warning::Recursion { function } => write!(
+                f,
+                "function `{function}` is recursive; EILID does not bound recursion depth"
+            ),
+        }
+    }
+}
+
+/// Summary of what the instrumenter did to an application.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct InstrumentationReport {
+    /// Direct call sites instrumented for P1 (store).
+    pub call_sites: usize,
+    /// `ret` instructions instrumented for P1 (check).
+    pub returns: usize,
+    /// ISR prologues instrumented for P2 (store).
+    pub isr_entries: usize,
+    /// `reti` instructions instrumented for P2 (check).
+    pub isr_exits: usize,
+    /// Indirect call sites instrumented for P3 (check).
+    pub indirect_calls: usize,
+    /// Function entry points registered in the forward-edge table.
+    pub functions_registered: usize,
+    /// Assembly lines inserted by the instrumenter.
+    pub inserted_lines: usize,
+    /// Non-fatal findings.
+    pub warnings: Vec<Warning>,
+}
+
+impl InstrumentationReport {
+    /// Total number of instrumented sites across P1, P2 and P3.
+    pub fn total_sites(&self) -> usize {
+        self.call_sites + self.returns + self.isr_entries + self.isr_exits + self.indirect_calls
+    }
+
+    /// `true` if the instrumenter made no changes (already-safe program or
+    /// all protections disabled).
+    pub fn is_empty(&self) -> bool {
+        self.inserted_lines == 0
+    }
+}
+
+impl fmt::Display for InstrumentationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "instrumented {} call sites, {} returns, {} ISR entries, {} ISR exits, {} indirect calls",
+            self.call_sites, self.returns, self.isr_entries, self.isr_exits, self.indirect_calls
+        )?;
+        writeln!(
+            f,
+            "registered {} functions, inserted {} lines",
+            self.functions_registered, self.inserted_lines
+        )?;
+        for warning in &self.warnings {
+            writeln!(f, "warning: {warning}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_emptiness() {
+        let report = InstrumentationReport {
+            call_sites: 3,
+            returns: 2,
+            isr_entries: 1,
+            isr_exits: 1,
+            indirect_calls: 1,
+            functions_registered: 4,
+            inserted_lines: 16,
+            warnings: vec![],
+        };
+        assert_eq!(report.total_sites(), 8);
+        assert!(!report.is_empty());
+        assert!(InstrumentationReport::default().is_empty());
+    }
+
+    #[test]
+    fn warnings_render() {
+        let warnings = vec![
+            Warning::ReservedRegisterUse {
+                line: 10,
+                register: Reg::R4,
+            },
+            Warning::IndirectJump { line: 20 },
+            Warning::Recursion {
+                function: "fib".into(),
+            },
+        ];
+        for w in &warnings {
+            assert!(!w.to_string().is_empty());
+        }
+        let report = InstrumentationReport {
+            warnings,
+            ..Default::default()
+        };
+        let rendered = report.to_string();
+        assert!(rendered.contains("r4"));
+        assert!(rendered.contains("indirect jump"));
+        assert!(rendered.contains("fib"));
+    }
+}

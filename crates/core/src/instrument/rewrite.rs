@@ -1,0 +1,653 @@
+//! Assembly rewriting: inserting the EILID instrumentation.
+//!
+//! The rewriter reproduces the paper's instrumentation templates:
+//!
+//! * Figure 3 — before every call: load the call's return address into `r6`
+//!   and call `NS_EILID_store_ra`;
+//! * Figure 4 — before every `ret`: load the return address from the main
+//!   stack into `r6` and call `NS_EILID_check_ra`;
+//! * Figures 5/6 — at every ISR entry / before every `reti`: load the saved
+//!   PC and SR into `r6`/`r7` and call `NS_EILID_store_rfi` /
+//!   `NS_EILID_check_rfi`;
+//! * Figure 7 — at the program entry point: register every legitimate
+//!   function address via `NS_EILID_store_ind`;
+//! * Figure 8 — before every indirect call: load the target into `r6` and
+//!   call `NS_EILID_check_ind`.
+//!
+//! Return addresses depend on the final layout of the *instrumented* binary,
+//! so the `mov #…, r6` of Figure 3 is emitted with a placeholder and patched
+//! from the listing of the next build iteration (Figure 2's iterated
+//! compilation), exactly like the paper's flow.
+
+use std::collections::BTreeMap;
+
+use eilid_asm::{Expr, Listing, OperandSpec, Program, SourceLine, Statement};
+use eilid_msp430::Reg;
+
+use crate::config::EilidConfig;
+use crate::error::EilidError;
+use crate::instrument::analysis::{AppAnalysis, CallTarget};
+use crate::instrument::report::{InstrumentationReport, Warning};
+use crate::sw::dispatch::Selector;
+
+/// A `mov #…, r6` whose immediate must be patched to the call site's return
+/// address once the instrumented layout is known.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatchPoint {
+    /// Index (into the instrumented program's lines) of the `mov` to patch.
+    pub mov_line_index: usize,
+    /// Index of the original call instruction whose end address is the
+    /// return address to store.
+    pub call_line_index: usize,
+}
+
+/// Output of the rewriting step.
+#[derive(Debug, Clone)]
+pub struct RewrittenProgram {
+    /// The instrumented program (with placeholder return addresses).
+    pub program: Program,
+    /// Placeholders to patch after the next build iteration.
+    pub patch_points: Vec<PatchPoint>,
+    /// Instrumentation statistics and warnings.
+    pub report: InstrumentationReport,
+}
+
+fn instruction(mnemonic: &str, operands: Vec<OperandSpec>) -> SourceLine {
+    let statement = Statement::Instruction {
+        mnemonic: mnemonic.to_string(),
+        operands,
+    };
+    SourceLine::synthetic(statement, "")
+}
+
+fn call_trampoline(selector: Selector) -> SourceLine {
+    instruction(
+        "call",
+        vec![OperandSpec::Immediate(Expr::Symbol(
+            selector.trampoline_symbol().to_string(),
+        ))],
+    )
+}
+
+fn mov_imm_to_r6(expr: Expr) -> SourceLine {
+    instruction(
+        "mov",
+        vec![OperandSpec::Immediate(expr), OperandSpec::Register(Reg::R6)],
+    )
+}
+
+/// Splits a line that carries both a label and a statement into a label-only
+/// line and a statement-only line, so instrumentation can be inserted
+/// between them (jumps to the label must still pass through the inserted
+/// code).
+fn split_label(line: &SourceLine) -> (Option<SourceLine>, SourceLine) {
+    if line.label.is_some() && line.statement != Statement::Empty {
+        let label_line = SourceLine {
+            number: line.number,
+            label: line.label.clone(),
+            statement: Statement::Empty,
+            text: String::new(),
+        };
+        let statement_line = SourceLine {
+            number: line.number,
+            label: None,
+            statement: line.statement.clone(),
+            text: String::new(),
+        };
+        (Some(label_line), statement_line)
+    } else {
+        (None, line.clone())
+    }
+}
+
+/// Rewrites `original` according to the analysis and configuration.
+///
+/// `trampolines` maps each `NS_EILID_*` symbol to its address in the
+/// already-assembled runtime image; the rewriter injects them as `.equ`
+/// definitions so the instrumented application links against the fixed ROM.
+///
+/// # Errors
+///
+/// Returns [`EilidError::Instrument`] when forward-edge protection is
+/// enabled but the function table cannot hold all discovered functions, or
+/// when an entry point is required but missing.
+pub fn rewrite(
+    original: &Program,
+    analysis: &AppAnalysis,
+    trampolines: &BTreeMap<String, u16>,
+    config: &EilidConfig,
+) -> Result<RewrittenProgram, EilidError> {
+    let mut report = InstrumentationReport::default();
+    collect_warnings(original, analysis, &mut report);
+
+    let function_labels = analysis.function_table_labels();
+    if config.protect_indirect_calls
+        && function_labels.len() > usize::from(config.function_table_capacity)
+    {
+        return Err(EilidError::Instrument(format!(
+            "{} functions exceed the function-table capacity of {}",
+            function_labels.len(),
+            config.function_table_capacity
+        )));
+    }
+    let needs_registration =
+        config.protect_indirect_calls && analysis.indirect_call_count() > 0;
+    if needs_registration && analysis.entry_label.is_none() {
+        return Err(EilidError::Instrument(
+            "forward-edge protection needs a `.global` entry point to register functions".into(),
+        ));
+    }
+
+    let mut lines: Vec<SourceLine> = Vec::with_capacity(original.lines.len() * 2);
+    let mut patch_points = Vec::new();
+
+    // Link against the runtime: one `.equ` per trampoline symbol.
+    for (symbol, addr) in trampolines {
+        lines.push(SourceLine::synthetic(
+            Statement::Directive(eilid_asm::Directive::Equ {
+                name: symbol.clone(),
+                value: Expr::Number(*addr),
+            }),
+            format!("    .equ {symbol}, 0x{addr:04x}"),
+        ));
+        report.inserted_lines += 1;
+    }
+
+    let is_call_site: BTreeMap<usize, &CallTarget> = analysis
+        .call_sites
+        .iter()
+        .map(|c| (c.line_index, &c.target))
+        .collect();
+    let is_return: std::collections::BTreeSet<usize> = analysis.returns.iter().copied().collect();
+    let is_reti: std::collections::BTreeSet<usize> =
+        analysis.interrupt_returns.iter().copied().collect();
+
+    for (index, line) in original.lines.iter().enumerate() {
+        let is_entry_line = analysis
+            .entry_label
+            .as_deref()
+            .map(|entry| line.label.as_deref() == Some(entry))
+            .unwrap_or(false);
+        let is_isr_entry = line
+            .label
+            .as_deref()
+            .map(|l| analysis.isr_handlers.contains_key(l))
+            .unwrap_or(false);
+
+        // --- instrumentation that goes right after a label ---
+        if (is_entry_line && needs_registration) || (is_isr_entry && config.protect_interrupts) {
+            let (label_line, mut statement_line) = split_label(line);
+            if let Some(label_line) = label_line {
+                lines.push(label_line);
+            } else {
+                // The line is label-only: emit it as-is and continue with an
+                // empty statement so the label is not defined twice.
+                lines.push(line.clone());
+                statement_line = SourceLine::synthetic(Statement::Empty, "");
+            }
+
+            if is_entry_line && needs_registration {
+                // Figure 7: register every legitimate function address.
+                for function in &function_labels {
+                    lines.push(mov_imm_to_r6(Expr::Symbol(function.clone())));
+                    lines.push(call_trampoline(Selector::StoreIndirectTarget));
+                    report.inserted_lines += 2;
+                }
+                report.functions_registered = function_labels.len();
+            }
+            if is_isr_entry && config.protect_interrupts {
+                // Figure 5: capture the interrupt context before the ISR
+                // body runs. Unlike the paper's simplified listing, the
+                // EILID working registers r4/r6/r7 are saved first: the
+                // interrupt may have preempted an instrumentation sequence
+                // in non-secure code that still needs their values. With the
+                // three words pushed, the saved PC sits at SP+8 and the
+                // saved SR at SP+6.
+                for reg in [Reg::R4, Reg::R6, Reg::R7] {
+                    lines.push(instruction("push", vec![OperandSpec::Register(reg)]));
+                }
+                lines.push(instruction(
+                    "mov",
+                    vec![
+                        OperandSpec::Indexed {
+                            reg: Reg::SP,
+                            offset: Expr::Number(8),
+                        },
+                        OperandSpec::Register(Reg::R6),
+                    ],
+                ));
+                lines.push(instruction(
+                    "mov",
+                    vec![
+                        OperandSpec::Indexed {
+                            reg: Reg::SP,
+                            offset: Expr::Number(6),
+                        },
+                        OperandSpec::Register(Reg::R7),
+                    ],
+                ));
+                lines.push(call_trampoline(Selector::StoreInterruptContext));
+                report.inserted_lines += 6;
+                report.isr_entries += 1;
+            }
+
+            // Emit the statement part of the split line (if any) and continue
+            // with per-statement instrumentation below by falling through to
+            // the shared handling with `statement_line`.
+            push_statement_with_site_instrumentation(
+                &mut lines,
+                &mut patch_points,
+                &mut report,
+                &statement_line,
+                index,
+                is_call_site.get(&index).copied(),
+                is_return.contains(&index),
+                is_reti.contains(&index),
+                config,
+            );
+            continue;
+        }
+
+        push_statement_with_site_instrumentation(
+            &mut lines,
+            &mut patch_points,
+            &mut report,
+            line,
+            index,
+            is_call_site.get(&index).copied(),
+            is_return.contains(&index),
+            is_reti.contains(&index),
+            config,
+        );
+    }
+
+    Ok(RewrittenProgram {
+        program: Program { lines },
+        patch_points,
+        report,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_statement_with_site_instrumentation(
+    lines: &mut Vec<SourceLine>,
+    patch_points: &mut Vec<PatchPoint>,
+    report: &mut InstrumentationReport,
+    line: &SourceLine,
+    _original_index: usize,
+    call_target: Option<&CallTarget>,
+    is_return: bool,
+    is_reti: bool,
+    config: &EilidConfig,
+) {
+    let needs_pre_instrumentation = (call_target.is_some()
+        && (config.protect_returns || config.protect_indirect_calls))
+        || (is_return && config.protect_returns)
+        || (is_reti && config.protect_interrupts);
+
+    // Keep any label ahead of the inserted code so branches to it are
+    // protected too.
+    let (label_line, statement_line) = if needs_pre_instrumentation {
+        split_label(line)
+    } else {
+        (None, line.clone())
+    };
+    if let Some(label_line) = label_line {
+        lines.push(label_line);
+    }
+
+    if let Some(target) = call_target {
+        // Figure 8: validate the target of an indirect call.
+        if config.protect_indirect_calls {
+            if let CallTarget::Indirect(reg) = target {
+                lines.push(instruction(
+                    "mov",
+                    vec![
+                        OperandSpec::Register(*reg),
+                        OperandSpec::Register(Reg::R6),
+                    ],
+                ));
+                lines.push(call_trampoline(Selector::CheckIndirectTarget));
+                report.inserted_lines += 2;
+                report.indirect_calls += 1;
+            }
+        }
+        // Figure 3: store the return address. The immediate is a placeholder
+        // patched from the next iteration's listing. The placeholder must
+        // not be representable by the constant generators, so that patching
+        // in the real PMEM address never changes the instruction size
+        // between build iterations.
+        if config.protect_returns {
+            let mov_index = lines.len();
+            lines.push(mov_imm_to_r6(Expr::Number(0xAAAA)));
+            lines.push(call_trampoline(Selector::StoreReturnAddress));
+            report.inserted_lines += 2;
+            report.call_sites += 1;
+            // The call instruction will be pushed right below; its index is
+            // the current length (after the two inserted lines).
+            patch_points.push(PatchPoint {
+                mov_line_index: mov_index,
+                call_line_index: lines.len(),
+            });
+        }
+    }
+
+    if is_return && config.protect_returns {
+        // Figure 4: check the return address sitting on top of the main
+        // stack.
+        lines.push(instruction(
+            "mov",
+            vec![
+                OperandSpec::Indirect(Reg::SP),
+                OperandSpec::Register(Reg::R6),
+            ],
+        ));
+        lines.push(call_trampoline(Selector::CheckReturnAddress));
+        report.inserted_lines += 2;
+        report.returns += 1;
+    }
+
+    if is_reti && config.protect_interrupts {
+        // Figure 6: re-check the interrupt context before returning, then
+        // restore the saved working registers (pushed at the ISR entry) so
+        // the interrupted code resumes with its r4/r6/r7 intact.
+        lines.push(instruction(
+            "mov",
+            vec![
+                OperandSpec::Indexed {
+                    reg: Reg::SP,
+                    offset: Expr::Number(8),
+                },
+                OperandSpec::Register(Reg::R6),
+            ],
+        ));
+        lines.push(instruction(
+            "mov",
+            vec![
+                OperandSpec::Indexed {
+                    reg: Reg::SP,
+                    offset: Expr::Number(6),
+                },
+                OperandSpec::Register(Reg::R7),
+            ],
+        ));
+        lines.push(call_trampoline(Selector::CheckInterruptContext));
+        for reg in [Reg::R7, Reg::R6, Reg::R4] {
+            lines.push(instruction("pop", vec![OperandSpec::Register(reg)]));
+        }
+        report.inserted_lines += 6;
+        report.isr_exits += 1;
+    }
+
+    lines.push(statement_line);
+}
+
+fn collect_warnings(
+    _original: &Program,
+    analysis: &AppAnalysis,
+    report: &mut InstrumentationReport,
+) {
+    for (index, register) in &analysis.reserved_register_uses {
+        report.warnings.push(Warning::ReservedRegisterUse {
+            line: *index + 1,
+            register: *register,
+        });
+    }
+    for index in &analysis.indirect_jumps {
+        report.warnings.push(Warning::IndirectJump { line: *index + 1 });
+    }
+    for function in &analysis.recursive_functions {
+        report.warnings.push(Warning::Recursion {
+            function: function.clone(),
+        });
+    }
+}
+
+/// Patches every [`PatchPoint`]'s `mov #…, r6` with the call's return
+/// address as found in `listing` (the listing of the instrumented build,
+/// whose entries correspond one-to-one with the rewritten program's lines).
+///
+/// # Errors
+///
+/// Returns [`EilidError::Instrument`] if a patch point refers to a line that
+/// emitted no code (which would indicate an internal inconsistency).
+pub fn patch_return_addresses(
+    program: &mut Program,
+    patch_points: &[PatchPoint],
+    listing: &Listing,
+) -> Result<(), EilidError> {
+    for point in patch_points {
+        let return_address = listing
+            .entries
+            .get(point.call_line_index)
+            .and_then(|e| e.end_address())
+            .ok_or_else(|| {
+                EilidError::Instrument(format!(
+                    "call site at rewritten line {} emitted no code",
+                    point.call_line_index
+                ))
+            })?;
+        let line = program.lines.get_mut(point.mov_line_index).ok_or_else(|| {
+            EilidError::Instrument(format!(
+                "patch point {} out of range",
+                point.mov_line_index
+            ))
+        })?;
+        match &mut line.statement {
+            Statement::Instruction { mnemonic, operands }
+                if mnemonic == "mov" && operands.len() == 2 =>
+            {
+                operands[0] = OperandSpec::Immediate(Expr::Number(return_address));
+            }
+            _ => {
+                return Err(EilidError::Instrument(format!(
+                    "patch point {} does not refer to a mov instruction",
+                    point.mov_line_index
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instrument::analysis::analyze;
+    use eilid_asm::parse;
+
+    fn trampolines() -> BTreeMap<String, u16> {
+        Selector::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.trampoline_symbol().to_string(), 0xF700 + 8 * i as u16))
+            .collect()
+    }
+
+    fn rewrite_source(source: &str, config: &EilidConfig) -> RewrittenProgram {
+        let program = parse(source).expect("parses");
+        let analysis = analyze(&program);
+        rewrite(&program, &analysis, &trampolines(), config).expect("rewrites")
+    }
+
+    #[test]
+    fn call_and_ret_instrumentation_matches_figures_3_and_4() {
+        let rewritten = rewrite_source(
+            "    .global main\nmain:\n    call #foo\n    ret\nfoo:\n    ret\n",
+            &EilidConfig::default(),
+        );
+        let source = rewritten.program.to_source();
+        assert!(source.contains("call #NS_EILID_store_ra"));
+        assert!(source.contains("call #NS_EILID_check_ra"));
+        assert!(source.contains("mov @r1, r6"));
+        assert_eq!(rewritten.report.call_sites, 1);
+        assert_eq!(rewritten.report.returns, 2);
+        assert_eq!(rewritten.patch_points.len(), 1);
+        // The patch point's call line really is the original call.
+        let call_line = &rewritten.program.lines[rewritten.patch_points[0].call_line_index];
+        assert!(call_line.statement.is_instruction("call"));
+    }
+
+    #[test]
+    fn isr_instrumentation_matches_figures_5_and_6() {
+        let rewritten = rewrite_source(
+            "    .isr timer_isr, 8\nmain:\n    jmp main\ntimer_isr:\n    push r15\n    pop r15\n    reti\n",
+            &EilidConfig::default(),
+        );
+        let source = rewritten.program.to_source();
+        assert!(source.contains("call #NS_EILID_store_rfi"));
+        assert!(source.contains("call #NS_EILID_check_rfi"));
+        assert!(source.contains("push r4"));
+        assert!(source.contains("mov 8(r1), r6"));
+        assert!(source.contains("mov 6(r1), r7"));
+        assert!(source.contains("pop r4"));
+        assert_eq!(rewritten.report.isr_entries, 1);
+        assert_eq!(rewritten.report.isr_exits, 1);
+        // The store must come after the label but before the ISR body.
+        let isr_label_pos = rewritten
+            .program
+            .lines
+            .iter()
+            .position(|l| l.label.as_deref() == Some("timer_isr"))
+            .unwrap();
+        let store_pos = rewritten
+            .program
+            .lines
+            .iter()
+            .position(|l| l.text.is_empty() && matches!(&l.statement, Statement::Instruction { mnemonic, operands } if mnemonic == "call" && operands.first().map(|o| o.to_string().contains("store_rfi")).unwrap_or(false)))
+            .unwrap();
+        // The ISR body's own `push r15` must come after the inserted
+        // context-capture sequence (the sequence itself pushes r4/r6/r7).
+        let push_r15_pos = rewritten
+            .program
+            .lines
+            .iter()
+            .position(|l| matches!(&l.statement, Statement::Instruction { mnemonic, operands } if mnemonic == "push" && operands == &vec![OperandSpec::Register(Reg::R15)]))
+            .unwrap();
+        assert!(isr_label_pos < store_pos);
+        assert!(store_pos < push_r15_pos);
+    }
+
+    #[test]
+    fn indirect_call_and_registration_match_figures_7_and_8() {
+        let rewritten = rewrite_source(
+            "    .global main\nmain:\n    mov #handler, r13\n    call r13\n    ret\nhandler:\n    ret\n",
+            &EilidConfig::default(),
+        );
+        let source = rewritten.program.to_source();
+        assert!(source.contains("call #NS_EILID_store_ind"));
+        assert!(source.contains("call #NS_EILID_check_ind"));
+        assert!(source.contains("mov r13, r6"));
+        assert!(source.contains("mov #handler, r6"));
+        assert_eq!(rewritten.report.indirect_calls, 1);
+        assert_eq!(rewritten.report.functions_registered, 1);
+    }
+
+    #[test]
+    fn disabled_protections_insert_nothing_for_their_sites() {
+        let config = EilidConfig {
+            protect_returns: false,
+            protect_interrupts: false,
+            protect_indirect_calls: false,
+            ..EilidConfig::default()
+        };
+        let rewritten = rewrite_source(
+            "    .global main\nmain:\n    call #foo\n    ret\nfoo:\n    ret\n",
+            &config,
+        );
+        let source = rewritten.program.to_source();
+        // The `.equ` linkage lines still mention the trampoline symbols, but
+        // no calls to them may be inserted.
+        assert!(!source.contains("call #NS_EILID_store_ra"));
+        assert!(!source.contains("call #NS_EILID_check_ra"));
+        assert_eq!(rewritten.report.total_sites(), 0);
+    }
+
+    #[test]
+    fn function_table_overflow_is_an_error() {
+        let config = EilidConfig {
+            function_table_capacity: 1,
+            ..EilidConfig::default()
+        };
+        let program = parse(
+            "    .global main\nmain:\n    mov #a, r13\n    mov #b, r12\n    call r13\n    ret\na:\n    ret\nb:\n    ret\n",
+        )
+        .unwrap();
+        let analysis = analyze(&program);
+        let err = rewrite(&program, &analysis, &trampolines(), &config).unwrap_err();
+        assert!(err.to_string().contains("function-table capacity"));
+    }
+
+    #[test]
+    fn labelled_sites_keep_their_labels_ahead_of_the_checks() {
+        let rewritten = rewrite_source(
+            "    .global main\nmain:\n    call #foo\n    ret\nfoo: ret\n",
+            &EilidConfig::default(),
+        );
+        // `foo: ret` must become `foo:` / check instrumentation / `ret`.
+        let foo_pos = rewritten
+            .program
+            .lines
+            .iter()
+            .position(|l| l.label.as_deref() == Some("foo"))
+            .unwrap();
+        assert_eq!(rewritten.program.lines[foo_pos].statement, Statement::Empty);
+        let ret_after: Vec<&SourceLine> = rewritten.program.lines[foo_pos..]
+            .iter()
+            .filter(|l| l.statement.is_instruction("ret"))
+            .collect();
+        assert!(!ret_after.is_empty());
+        let check_pos = rewritten.program.lines[foo_pos..]
+            .iter()
+            .position(|l| matches!(&l.statement, Statement::Instruction { mnemonic, operands } if mnemonic == "call" && operands.first().map(|o| o.to_string().contains("check_ra")).unwrap_or(false)))
+            .unwrap();
+        let ret_pos = rewritten.program.lines[foo_pos..]
+            .iter()
+            .position(|l| l.statement.is_instruction("ret"))
+            .unwrap();
+        assert!(check_pos < ret_pos);
+    }
+
+    #[test]
+    fn warnings_are_propagated() {
+        let rewritten = rewrite_source(
+            "    .global main\nmain:\n    mov #1, r4\n    br r12\n    call #rec\n    ret\nrec:\n    call #rec\n    ret\n",
+            &EilidConfig::default(),
+        );
+        let warnings = &rewritten.report.warnings;
+        assert!(warnings.iter().any(|w| matches!(w, Warning::ReservedRegisterUse { .. })));
+        assert!(warnings.iter().any(|w| matches!(w, Warning::IndirectJump { .. })));
+        assert!(warnings.iter().any(|w| matches!(w, Warning::Recursion { .. })));
+    }
+
+    #[test]
+    fn patching_fills_in_return_addresses() {
+        let original = parse("    .global main\nmain:\n    call #foo\n    ret\nfoo:\n    ret\n").unwrap();
+        let analysis = analyze(&original);
+        let mut rewritten =
+            rewrite(&original, &analysis, &trampolines(), &EilidConfig::default()).unwrap();
+        let image = eilid_asm::assemble_program(&rewritten.program).unwrap();
+        patch_return_addresses(
+            &mut rewritten.program,
+            &rewritten.patch_points,
+            &image.listing,
+        )
+        .unwrap();
+        // The patched immediate equals the address right after the call.
+        let call_index = rewritten.patch_points[0].call_line_index;
+        let expected = image.listing.entries[call_index].end_address().unwrap();
+        let mov_line = &rewritten.program.lines[rewritten.patch_points[0].mov_line_index];
+        match &mov_line.statement {
+            Statement::Instruction { operands, .. } => {
+                assert_eq!(
+                    operands[0],
+                    OperandSpec::Immediate(Expr::Number(expected))
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Re-assembling after the patch succeeds and keeps the same layout.
+        let patched_image = eilid_asm::assemble_program(&rewritten.program).unwrap();
+        assert_eq!(patched_image.code_size(), image.code_size());
+    }
+}

@@ -1,0 +1,76 @@
+//! # eilid — Execution Integrity for Low-end IoT Devices
+//!
+//! A from-scratch reproduction of **EILID** (DATE 2025): a hybrid
+//! hardware/software Root-of-Trust architecture that enforces *real-time*
+//! control-flow integrity (CFI) on low-end, bare-metal microcontrollers.
+//! EILID extends the CASU active RoT (software immutability + W⊕X +
+//! authenticated updates) with:
+//!
+//! * **P1 — return-address integrity**: every call stores its return address
+//!   on a shadow stack in secure data memory; every return is checked
+//!   against it.
+//! * **P2 — return-from-interrupt integrity**: the interrupt context (saved
+//!   PC and SR) is captured at ISR entry and re-validated before `reti`.
+//! * **P3 — indirect-call integrity** (function level): indirect call
+//!   targets are validated against a table of legitimate function entry
+//!   points.
+//!
+//! The three paper components map onto this crate as follows:
+//!
+//! | Paper | Here |
+//! |---|---|
+//! | `EILIDinst` (compile-time instrumenter) | [`instrument`] — analysis, rewriting (Figures 3–8) and the three-iteration build pipeline (Figure 2) |
+//! | `EILIDsw` (trusted software in secure ROM) | [`sw`] — the dispatch ABI (Table III), shadow-stack/function-table models and the emitted MSP430 runtime (Figure 9) |
+//! | `EILIDhw` (CASU hardware + secure-memory extension) | [`eilid_casu`] monitor, attached by the [`device`] layer |
+//!
+//! # Quick start
+//!
+//! ```
+//! use eilid::{DeviceBuilder, EilidConfig};
+//!
+//! let app = "    .org 0xe000
+//!     .global main
+//! main:
+//!     mov #0x0400, sp
+//!     mov #21, r10
+//!     call #double
+//!     mov r10, &0x0102      ; debug output
+//!     mov #0x00ff, &0x0100  ; done
+//! hang:
+//!     jmp hang
+//! double:
+//!     add r10, r10
+//!     ret
+//! ";
+//!
+//! // Original device (Table IV "Original" column).
+//! let mut baseline = DeviceBuilder::new().build_baseline(app)?;
+//! // EILID-protected device (instrumented + monitored).
+//! let mut protected = DeviceBuilder::new()
+//!     .config(EilidConfig::default())
+//!     .build_eilid(app)?;
+//!
+//! let base = baseline.run();
+//! let eilid = protected.run();
+//! assert!(base.is_completed() && eilid.is_completed());
+//! assert!(eilid.cycles() > base.cycles(), "CFI protection costs cycles");
+//! # Ok::<(), eilid::EilidError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod device;
+pub mod error;
+pub mod instrument;
+pub mod sw;
+
+pub use config::{ConfigError, EilidConfig, DEFAULT_CLOCK_HZ};
+pub use device::{Device, DeviceBuilder, RunOutcome};
+pub use error::EilidError;
+pub use instrument::{
+    analyze, AppAnalysis, BuildArtifacts, BuildMetrics, InstrumentationReport, InstrumentedBuild,
+    Platform, PlatformIsa, Warning,
+};
+pub use sw::{ReservedRegisters, Runtime, Selector, ShadowStack};

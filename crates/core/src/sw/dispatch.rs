@@ -1,0 +1,182 @@
+//! Trusted-software ABI: reserved registers, dispatch selectors and symbol
+//! names.
+//!
+//! The paper reserves registers `r4`–`r7` for EILID (Table III): `r4` holds
+//! the dispatch selector passed to the secure entry point, `r5` the shadow
+//! stack index, `r6`/`r7` the arguments of the `S_EILID_*` routines. The
+//! instrumented code reaches the secure software only through small
+//! non-secure trampolines (`NS_EILID_*`) that load `r4` and branch to the
+//! single secure entry point (`S_EILID_entry`), matching Figure 9(a).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use eilid_msp430::Reg;
+
+/// The reserved-register assignment of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReservedRegisters {
+    /// Dispatch selector for `S_EILID_entry` (and argument of
+    /// `S_EILID_init`).
+    pub selector: Reg,
+    /// Shadow-stack index register.
+    pub index: Reg,
+    /// First argument register of the `S_EILID` functions.
+    pub arg0: Reg,
+    /// Second argument register of the `S_EILID` functions.
+    pub arg1: Reg,
+}
+
+impl Default for ReservedRegisters {
+    fn default() -> Self {
+        ReservedRegisters {
+            selector: Reg::R4,
+            index: Reg::R5,
+            arg0: Reg::R6,
+            arg1: Reg::R7,
+        }
+    }
+}
+
+impl ReservedRegisters {
+    /// All four reserved registers in Table III order.
+    pub fn all(&self) -> [Reg; 4] {
+        [self.selector, self.index, self.arg0, self.arg1]
+    }
+
+    /// `true` if `reg` is reserved for EILID.
+    pub fn contains(&self, reg: Reg) -> bool {
+        self.all().contains(&reg)
+    }
+
+    /// Renders the register/role rows of the paper's Table III.
+    pub fn table_rows(&self) -> Vec<(Reg, &'static str)> {
+        vec![
+            (self.selector, "Used as an argument of S_EILID_init()"),
+            (self.index, "Used as a pointer to the shadow stack's current index"),
+            (self.arg0, "Used as an argument of other S_EILID functions"),
+            (self.arg1, "Used as an argument of other S_EILID functions"),
+        ]
+    }
+}
+
+/// The `S_EILID` routine selected through `r4` at the secure entry point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Selector {
+    /// Push a function return address onto the shadow stack (P1).
+    StoreReturnAddress,
+    /// Pop and compare a function return address (P1).
+    CheckReturnAddress,
+    /// Push an interrupt context — saved PC and SR (P2).
+    StoreInterruptContext,
+    /// Pop and compare an interrupt context (P2).
+    CheckInterruptContext,
+    /// Register a legitimate indirect-call target in the function table (P3).
+    StoreIndirectTarget,
+    /// Validate an indirect-call target against the function table (P3).
+    CheckIndirectTarget,
+}
+
+impl Selector {
+    /// All selectors in dispatch order.
+    pub const ALL: [Selector; 6] = [
+        Selector::StoreReturnAddress,
+        Selector::CheckReturnAddress,
+        Selector::StoreInterruptContext,
+        Selector::CheckInterruptContext,
+        Selector::StoreIndirectTarget,
+        Selector::CheckIndirectTarget,
+    ];
+
+    /// Numeric value loaded into `r4` by the non-secure trampoline.
+    pub fn code(self) -> u16 {
+        match self {
+            Selector::StoreReturnAddress => 1,
+            Selector::CheckReturnAddress => 2,
+            Selector::StoreInterruptContext => 3,
+            Selector::CheckInterruptContext => 4,
+            Selector::StoreIndirectTarget => 5,
+            Selector::CheckIndirectTarget => 6,
+        }
+    }
+
+    /// Name of the non-secure trampoline the instrumenter calls
+    /// (`NS_EILID_*`, Figures 3–8).
+    pub fn trampoline_symbol(self) -> &'static str {
+        match self {
+            Selector::StoreReturnAddress => "NS_EILID_store_ra",
+            Selector::CheckReturnAddress => "NS_EILID_check_ra",
+            Selector::StoreInterruptContext => "NS_EILID_store_rfi",
+            Selector::CheckInterruptContext => "NS_EILID_check_rfi",
+            Selector::StoreIndirectTarget => "NS_EILID_store_ind",
+            Selector::CheckIndirectTarget => "NS_EILID_check_ind",
+        }
+    }
+
+    /// Name of the secure routine in the body section (`S_EILID_*`,
+    /// Figure 9).
+    pub fn secure_symbol(self) -> &'static str {
+        match self {
+            Selector::StoreReturnAddress => "S_EILID_store_ra",
+            Selector::CheckReturnAddress => "S_EILID_check_ra",
+            Selector::StoreInterruptContext => "S_EILID_store_rfi",
+            Selector::CheckInterruptContext => "S_EILID_check_rfi",
+            Selector::StoreIndirectTarget => "S_EILID_store_ind",
+            Selector::CheckIndirectTarget => "S_EILID_check_ind",
+        }
+    }
+}
+
+impl fmt::Display for Selector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.secure_symbol())
+    }
+}
+
+/// Symbol name of the secure entry section.
+pub const ENTRY_SYMBOL: &str = "S_EILID_entry";
+
+/// Symbol name of the secure leave (exit) section.
+pub const LEAVE_SYMBOL: &str = "S_EILID_leave";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_registers_match_table_iii() {
+        let regs = ReservedRegisters::default();
+        assert_eq!(regs.selector, Reg::R4);
+        assert_eq!(regs.index, Reg::R5);
+        assert_eq!(regs.arg0, Reg::R6);
+        assert_eq!(regs.arg1, Reg::R7);
+        assert!(regs.contains(Reg::R5));
+        assert!(!regs.contains(Reg::R8));
+        assert_eq!(regs.table_rows().len(), 4);
+        assert!(regs.all().iter().all(|r| r.is_eilid_reserved()));
+    }
+
+    #[test]
+    fn selector_codes_are_unique_and_dense() {
+        let codes: Vec<u16> = Selector::ALL.iter().map(|s| s.code()).collect();
+        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn selector_symbols_follow_paper_naming() {
+        assert_eq!(
+            Selector::StoreReturnAddress.trampoline_symbol(),
+            "NS_EILID_store_ra"
+        );
+        assert_eq!(
+            Selector::CheckInterruptContext.secure_symbol(),
+            "S_EILID_check_rfi"
+        );
+        assert_eq!(Selector::CheckIndirectTarget.to_string(), "S_EILID_check_ind");
+        for s in Selector::ALL {
+            assert!(s.trampoline_symbol().starts_with("NS_EILID_"));
+            assert!(s.secure_symbol().starts_with("S_EILID_"));
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! `EILIDsw` — the trusted software component.
+//!
+//! This module contains the trusted-software ABI ([`dispatch`]), the
+//! reference models of the shadow stack and function table
+//! ([`shadow_stack`]), the assembly emitter for the runtime ([`emit`]) and
+//! the assembled [`Runtime`] used by the device builder and the
+//! instrumenter.
+
+pub mod dispatch;
+pub mod emit;
+pub mod runtime;
+pub mod shadow_stack;
+
+pub use dispatch::{ReservedRegisters, Selector, ENTRY_SYMBOL, LEAVE_SYMBOL};
+pub use emit::{emit_runtime_source, RuntimeParams, DEFAULT_TRAMPOLINE_ORG};
+pub use runtime::Runtime;
+pub use shadow_stack::{CfiResult, FunctionTable, ShadowStack};

@@ -1,0 +1,209 @@
+//! Table I: qualitative comparison of CFA and CFI techniques.
+//!
+//! The paper's Table I compares prior work along five axes: real-time
+//! protection, forward-edge coverage, backward-edge coverage, interrupt
+//! (return-from-interrupt) coverage, and target platform. EILID is the only
+//! entry that combines real-time protection with low-end hardware.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::prior_work::Method;
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// CFI or CFA family.
+    pub method: Method,
+    /// Technique name.
+    pub work: &'static str,
+    /// Real-time protection (prevention rather than detection).
+    pub real_time: bool,
+    /// Forward-edge coverage.
+    pub forward_edge: bool,
+    /// Backward-edge coverage.
+    pub backward_edge: bool,
+    /// Interrupt / return-from-interrupt coverage.
+    pub interrupt: bool,
+    /// Prototyping platform.
+    pub platform: &'static str,
+    /// One-line technique summary.
+    pub technique: &'static str,
+}
+
+impl fmt::Display for Table1Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tick = |b: bool| if b { "yes" } else { "-" };
+        write!(
+            f,
+            "{:<4} {:<11} {:<4} {:<4} {:<4} {:<4} {:<18} {}",
+            self.method.label(),
+            self.work,
+            tick(self.real_time),
+            tick(self.forward_edge),
+            tick(self.backward_edge),
+            tick(self.interrupt),
+            self.platform,
+            self.technique
+        )
+    }
+}
+
+/// All rows of Table I, in the paper's order (EILID last).
+pub fn table1() -> Vec<Table1Row> {
+    vec![
+        Table1Row {
+            method: Method::Cfi,
+            work: "HAFIX",
+            real_time: true,
+            forward_edge: false,
+            backward_edge: true,
+            interrupt: false,
+            platform: "Intel Siskiyou Peak",
+            technique: "Extends Intel ISA with shadow stack",
+        },
+        Table1Row {
+            method: Method::Cfi,
+            work: "HCFI",
+            real_time: true,
+            forward_edge: true,
+            backward_edge: true,
+            interrupt: false,
+            platform: "Leon3",
+            technique: "Extends Sparc V8 ISA with shadow stack and labels",
+        },
+        Table1Row {
+            method: Method::Cfi,
+            work: "FIXER",
+            real_time: true,
+            forward_edge: true,
+            backward_edge: true,
+            interrupt: false,
+            platform: "RocketChip",
+            technique: "Extends RISC-V ISA with shadow stack",
+        },
+        Table1Row {
+            method: Method::Cfi,
+            work: "Silhouette",
+            real_time: true,
+            forward_edge: true,
+            backward_edge: true,
+            interrupt: true,
+            platform: "ARMv7-M",
+            technique: "Uses ARM MPU for hardened shadow-stacks and labels",
+        },
+        Table1Row {
+            method: Method::Cfi,
+            work: "CaRE",
+            real_time: true,
+            forward_edge: false,
+            backward_edge: true,
+            interrupt: true,
+            platform: "ARMv8-M",
+            technique: "Uses ARM TrustZone for shadow stack & nested interrupts",
+        },
+        Table1Row {
+            method: Method::Cfa,
+            work: "Tiny-CFA",
+            real_time: false,
+            forward_edge: true,
+            backward_edge: true,
+            interrupt: false,
+            platform: "openMSP430",
+            technique: "Hybrid CFA with shadow stack",
+        },
+        Table1Row {
+            method: Method::Cfa,
+            work: "ACFA",
+            real_time: false,
+            forward_edge: true,
+            backward_edge: true,
+            interrupt: true,
+            platform: "openMSP430",
+            technique: "Active hybrid CFA with secure auditing of code",
+        },
+        Table1Row {
+            method: Method::Cfa,
+            work: "LO-FAT",
+            real_time: false,
+            forward_edge: true,
+            backward_edge: true,
+            interrupt: false,
+            platform: "Pulpino",
+            technique: "Hardware-based CFA solution",
+        },
+        Table1Row {
+            method: Method::Cfa,
+            work: "CFA+",
+            real_time: false,
+            forward_edge: true,
+            backward_edge: true,
+            interrupt: true,
+            platform: "ARMv8.5-A",
+            technique: "Leverages ARM's Branch Target Identification",
+        },
+        Table1Row {
+            method: Method::Cfi,
+            work: "EILID",
+            real_time: true,
+            forward_edge: true,
+            backward_edge: true,
+            interrupt: true,
+            platform: "openMSP430",
+            technique: "Uses CASU for shadow stack",
+        },
+    ]
+}
+
+/// Renders the whole table as text (used by the Table I harness binary).
+pub fn render_table1() -> String {
+    let mut out = String::from(
+        "Method Work        RT   F    B    Int  Platform           Technique\n",
+    );
+    for row in table1() {
+        out.push_str(&row.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_ten_rows_and_ends_with_eilid() {
+        let rows = table1();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows.last().unwrap().work, "EILID");
+    }
+
+    #[test]
+    fn eilid_is_the_only_low_end_real_time_technique() {
+        let rows = table1();
+        let low_end_real_time: Vec<&Table1Row> = rows
+            .iter()
+            .filter(|r| r.real_time && r.platform == "openMSP430")
+            .collect();
+        assert_eq!(low_end_real_time.len(), 1);
+        assert_eq!(low_end_real_time[0].work, "EILID");
+    }
+
+    #[test]
+    fn cfa_rows_are_never_real_time() {
+        for row in table1() {
+            if row.method == Method::Cfa {
+                assert!(!row.real_time, "{} is CFA and cannot be real-time", row.work);
+            }
+        }
+    }
+
+    #[test]
+    fn rendering_contains_all_works() {
+        let rendered = render_table1();
+        for row in table1() {
+            assert!(rendered.contains(row.work));
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Instruction cycle-count model.
+//!
+//! The paper measures run-time overhead in microseconds at a 100 MHz clock
+//! using Vivado behavioural simulation of the openMSP430 core. The simulator
+//! reproduces the same accounting by charging each instruction the cycle
+//! count documented in the MSP430 family user guide, so instrumented-versus-
+//! original ratios match the hardware's.
+
+use crate::instruction::{Instruction, OneOpOpcode, Operand};
+use crate::registers::Reg;
+
+/// Number of clock cycles consumed by taking an interrupt (push PC, push SR,
+/// fetch vector).
+pub const INTERRUPT_CYCLES: u64 = 6;
+
+/// Number of clock cycles consumed by `reti`.
+pub const RETI_CYCLES: u64 = 5;
+
+/// Source-operand cost classes used by the format-I cycle table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SrcClass {
+    Register,
+    Indirect,
+    IndirectAutoInc,
+    Immediate,
+    Memory,
+}
+
+fn src_class(op: &Operand) -> SrcClass {
+    match op {
+        Operand::Register(_) => SrcClass::Register,
+        Operand::Indirect(_) => SrcClass::Indirect,
+        Operand::IndirectAutoInc(_) => SrcClass::IndirectAutoInc,
+        Operand::Immediate(v) => {
+            if crate::instruction::constant_generator(*v).is_some() {
+                // Constant-generator immediates behave like register sources.
+                SrcClass::Register
+            } else {
+                SrcClass::Immediate
+            }
+        }
+        Operand::Indexed { .. } | Operand::Absolute(_) | Operand::Symbolic { .. } => {
+            SrcClass::Memory
+        }
+    }
+}
+
+fn dst_is_register(op: &Operand) -> Option<Reg> {
+    match op {
+        Operand::Register(r) => Some(*r),
+        _ => None,
+    }
+}
+
+/// Returns the cycle count of `instruction`.
+///
+/// The table follows the MSP430x1xx family user guide (format I table 3-15,
+/// format II table 3-16, jumps 2 cycles). Cycle counts do not depend on
+/// whether a conditional jump is taken.
+///
+/// # Examples
+///
+/// ```
+/// use eilid_msp430::{cycle_count, Instruction, Operand, Reg, TwoOpOpcode, Width};
+///
+/// let mov = Instruction::TwoOp {
+///     opcode: TwoOpOpcode::Mov,
+///     width: Width::Word,
+///     src: Operand::Register(Reg::R10),
+///     dst: Operand::Register(Reg::R11),
+/// };
+/// assert_eq!(cycle_count(&mov), 1);
+/// ```
+pub fn cycle_count(instruction: &Instruction) -> u64 {
+    match instruction {
+        Instruction::Jump { .. } => 2,
+        Instruction::OneOp {
+            opcode, operand, ..
+        } => one_op_cycles(*opcode, operand),
+        Instruction::TwoOp { src, dst, .. } => two_op_cycles(src, dst),
+    }
+}
+
+fn two_op_cycles(src: &Operand, dst: &Operand) -> u64 {
+    let class = src_class(src);
+    match dst_is_register(dst) {
+        Some(Reg::PC) => match class {
+            SrcClass::Register => 2,
+            SrcClass::Indirect => 2,
+            SrcClass::IndirectAutoInc => 3,
+            SrcClass::Immediate => 3,
+            SrcClass::Memory => 3,
+        },
+        Some(_) => match class {
+            SrcClass::Register => 1,
+            SrcClass::Indirect => 2,
+            SrcClass::IndirectAutoInc => 2,
+            SrcClass::Immediate => 2,
+            SrcClass::Memory => 3,
+        },
+        // Destination in memory (indexed, absolute, symbolic).
+        None => match class {
+            SrcClass::Register => 4,
+            SrcClass::Indirect => 5,
+            SrcClass::IndirectAutoInc => 5,
+            SrcClass::Immediate => 5,
+            SrcClass::Memory => 6,
+        },
+    }
+}
+
+fn one_op_cycles(opcode: OneOpOpcode, operand: &Operand) -> u64 {
+    let class = src_class(operand);
+    match opcode {
+        OneOpOpcode::Reti => RETI_CYCLES,
+        OneOpOpcode::Call => match class {
+            SrcClass::Register => 4,
+            SrcClass::Indirect => 4,
+            SrcClass::IndirectAutoInc => 5,
+            SrcClass::Immediate => 5,
+            SrcClass::Memory => 5,
+        },
+        OneOpOpcode::Push => match class {
+            SrcClass::Register => 3,
+            SrcClass::Indirect => 4,
+            SrcClass::IndirectAutoInc => 4,
+            SrcClass::Immediate => 4,
+            SrcClass::Memory => 5,
+        },
+        OneOpOpcode::Rrc | OneOpOpcode::Rra | OneOpOpcode::Swpb | OneOpOpcode::Sxt => match class {
+            SrcClass::Register => 1,
+            SrcClass::Indirect => 3,
+            SrcClass::IndirectAutoInc => 3,
+            SrcClass::Immediate => 3,
+            SrcClass::Memory => 4,
+        },
+    }
+}
+
+/// Converts a cycle count into microseconds at the given clock frequency.
+///
+/// # Examples
+///
+/// ```
+/// use eilid_msp430::cycles_to_micros;
+///
+/// // 100 cycles at 100 MHz is exactly one microsecond.
+/// assert!((cycles_to_micros(100, 100_000_000) - 1.0).abs() < 1e-9);
+/// ```
+pub fn cycles_to_micros(cycles: u64, clock_hz: u64) -> f64 {
+    cycles as f64 / clock_hz as f64 * 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flags::Width;
+    use crate::instruction::{Condition, TwoOpOpcode};
+
+    fn two_op(src: Operand, dst: Operand) -> Instruction {
+        Instruction::TwoOp {
+            opcode: TwoOpOpcode::Mov,
+            width: Width::Word,
+            src,
+            dst,
+        }
+    }
+
+    #[test]
+    fn register_to_register_is_one_cycle() {
+        assert_eq!(
+            cycle_count(&two_op(
+                Operand::Register(Reg::R10),
+                Operand::Register(Reg::R11)
+            )),
+            1
+        );
+    }
+
+    #[test]
+    fn ret_is_two_cycles_via_pc_destination() {
+        // ret = mov @sp+, pc -> 3 cycles per the family guide's @Rn+ -> PC row.
+        let ret = two_op(
+            Operand::IndirectAutoInc(Reg::SP),
+            Operand::Register(Reg::PC),
+        );
+        assert_eq!(cycle_count(&ret), 3);
+    }
+
+    #[test]
+    fn immediate_to_memory_is_five_cycles() {
+        assert_eq!(
+            cycle_count(&two_op(
+                Operand::Immediate(0x1234),
+                Operand::Absolute(0x0200)
+            )),
+            5
+        );
+    }
+
+    #[test]
+    fn memory_to_memory_is_six_cycles() {
+        assert_eq!(
+            cycle_count(&two_op(
+                Operand::Absolute(0x0200),
+                Operand::Absolute(0x0202)
+            )),
+            6
+        );
+    }
+
+    #[test]
+    fn constant_generator_counts_as_register_source() {
+        assert_eq!(
+            cycle_count(&two_op(Operand::Immediate(1), Operand::Register(Reg::R6))),
+            1
+        );
+        assert_eq!(
+            cycle_count(&two_op(
+                Operand::Immediate(0x300),
+                Operand::Register(Reg::R6)
+            )),
+            2
+        );
+    }
+
+    #[test]
+    fn call_and_push_and_reti_costs() {
+        let call_imm = Instruction::OneOp {
+            opcode: OneOpOpcode::Call,
+            width: Width::Word,
+            operand: Operand::Immediate(0xE000),
+        };
+        assert_eq!(cycle_count(&call_imm), 5);
+        let call_reg = Instruction::OneOp {
+            opcode: OneOpOpcode::Call,
+            width: Width::Word,
+            operand: Operand::Register(Reg::R13),
+        };
+        assert_eq!(cycle_count(&call_reg), 4);
+        let push = Instruction::OneOp {
+            opcode: OneOpOpcode::Push,
+            width: Width::Word,
+            operand: Operand::Register(Reg::R4),
+        };
+        assert_eq!(cycle_count(&push), 3);
+        let reti = Instruction::OneOp {
+            opcode: OneOpOpcode::Reti,
+            width: Width::Word,
+            operand: Operand::Register(Reg::CG),
+        };
+        assert_eq!(cycle_count(&reti), RETI_CYCLES);
+    }
+
+    #[test]
+    fn jumps_are_two_cycles() {
+        assert_eq!(
+            cycle_count(&Instruction::Jump {
+                condition: Condition::Jne,
+                offset: 10
+            }),
+            2
+        );
+    }
+
+    #[test]
+    fn micros_conversion() {
+        let us = cycles_to_micros(2_094 * 100, 100_000_000);
+        assert!((us - 2_094.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,195 @@
+//! Disassembler and execution-trace rendering.
+//!
+//! Useful for inspecting assembled/instrumented images (the EILID CLI's
+//! `disasm` command) and for debugging simulator runs. The disassembler is a
+//! thin layer over the [`decoder`](crate::decoder): it walks a memory range,
+//! decodes each instruction and renders it with its address and raw words.
+
+use std::fmt;
+
+use crate::decoder::decode;
+use crate::memory::Memory;
+
+/// One disassembled instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisasmLine {
+    /// Address of the instruction.
+    pub address: u16,
+    /// Raw instruction words.
+    pub words: Vec<u16>,
+    /// Rendered mnemonic and operands, or `None` if the word does not decode.
+    pub text: Option<String>,
+}
+
+impl fmt::Display for DisasmLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let raw: Vec<String> = self.words.iter().map(|w| format!("{w:04x}")).collect();
+        match &self.text {
+            Some(text) => write!(f, "{:04x}:  {:<15} {}", self.address, raw.join(" "), text),
+            None => write!(
+                f,
+                "{:04x}:  {:<15} .word {:#06x}",
+                self.address,
+                raw.join(" "),
+                self.words.first().copied().unwrap_or(0)
+            ),
+        }
+    }
+}
+
+/// Disassembles the instructions stored in `[start, end)`.
+///
+/// Undecodable words are rendered as `.word` directives and skipped two
+/// bytes at a time, so data interleaved with code does not derail the walk.
+///
+/// # Examples
+///
+/// ```
+/// use eilid_msp430::{disassemble_range, Memory};
+///
+/// let mut mem = Memory::new();
+/// mem.write_word(0xE000, 0x4036); // mov #0xe200, r6
+/// mem.write_word(0xE002, 0xE200);
+/// mem.write_word(0xE004, 0x4130); // ret
+/// let lines = disassemble_range(&mem, 0xE000, 0xE006);
+/// assert_eq!(lines.len(), 2);
+/// assert!(lines[0].to_string().contains("mov #0xe200, r6"));
+/// assert!(lines[1].to_string().contains("mov @r1+, r0"));
+/// ```
+pub fn disassemble_range(memory: &Memory, start: u16, end: u16) -> Vec<DisasmLine> {
+    let mut lines = Vec::new();
+    let mut pc = start & !1;
+    while pc < end {
+        match decode(memory, pc) {
+            Ok(decoded) => {
+                let next = decoded.next_address();
+                lines.push(DisasmLine {
+                    address: pc,
+                    words: decoded.words,
+                    text: Some(decoded.instruction.to_string()),
+                });
+                if next <= pc {
+                    break;
+                }
+                pc = next;
+            }
+            Err(_) => {
+                lines.push(DisasmLine {
+                    address: pc,
+                    words: vec![memory.read_word(pc)],
+                    text: None,
+                });
+                pc = pc.wrapping_add(2);
+                if pc == 0 {
+                    break;
+                }
+            }
+        }
+    }
+    lines
+}
+
+/// Renders a disassembly as text, one instruction per line.
+pub fn render_disassembly(memory: &Memory, start: u16, end: u16) -> String {
+    disassemble_range(memory, start, end)
+        .iter()
+        .map(|l| l.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_a_simple_block() {
+        let mut mem = Memory::new();
+        // mov #5, r10 ; call #0xe100 ; ret
+        mem.write_word(0xE000, 0x403A);
+        mem.write_word(0xE002, 0x0005);
+        mem.write_word(0xE004, 0x12B0);
+        mem.write_word(0xE006, 0xE100);
+        mem.write_word(0xE008, 0x4130);
+        let lines = disassemble_range(&mem, 0xE000, 0xE00A);
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].address, 0xE000);
+        assert_eq!(lines[1].address, 0xE004);
+        assert_eq!(lines[2].address, 0xE008);
+        assert!(lines[1].text.as_deref().unwrap().contains("call"));
+    }
+
+    #[test]
+    fn renders_undecodable_words_as_data() {
+        let mut mem = Memory::new();
+        mem.write_word(0xE000, 0x0FFF); // not an instruction
+        mem.write_word(0xE002, 0x4303); // nop
+        let text = render_disassembly(&mem, 0xE000, 0xE004);
+        assert!(text.contains(".word 0x0fff"));
+        assert!(text.contains("mov #0x0, r3"));
+    }
+
+    #[test]
+    fn odd_start_is_aligned_and_range_end_respected() {
+        let mut mem = Memory::new();
+        mem.write_word(0xE000, 0x4303);
+        mem.write_word(0xE002, 0x4303);
+        let lines = disassemble_range(&mem, 0xE001, 0xE002);
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].address, 0xE000);
+    }
+
+    #[test]
+    fn display_formats_address_and_words() {
+        let line = DisasmLine {
+            address: 0xE004,
+            words: vec![0x12B0, 0xE100],
+            text: Some("call #0xe100".into()),
+        };
+        let rendered = line.to_string();
+        assert!(rendered.starts_with("e004:"));
+        assert!(rendered.contains("12b0 e100"));
+        assert!(rendered.contains("call #0xe100"));
+    }
+
+    #[test]
+    fn disassembly_of_assembled_program_roundtrips_mnemonics() {
+        // Encode a few instructions via the encoder and check the
+        // disassembly mentions each mnemonic.
+        use crate::encoder::encode;
+        use crate::flags::Width;
+        use crate::instruction::{Instruction, OneOpOpcode, Operand, TwoOpOpcode};
+        use crate::registers::Reg;
+
+        let program = [
+            Instruction::TwoOp {
+                opcode: TwoOpOpcode::Add,
+                width: Width::Word,
+                src: Operand::Immediate(0x10),
+                dst: Operand::Register(Reg::R9),
+            },
+            Instruction::OneOp {
+                opcode: OneOpOpcode::Push,
+                width: Width::Word,
+                operand: Operand::Register(Reg::R9),
+            },
+            Instruction::OneOp {
+                opcode: OneOpOpcode::Reti,
+                width: Width::Word,
+                operand: Operand::Register(Reg::CG),
+            },
+        ];
+        let mut mem = Memory::new();
+        let mut addr = 0xC000u16;
+        for instr in &program {
+            for w in encode(instr).unwrap() {
+                mem.write_word(addr, w);
+                addr += 2;
+            }
+        }
+        let text = render_disassembly(&mem, 0xC000, addr);
+        assert!(text.contains("add"));
+        assert!(text.contains("push"));
+        assert!(text.contains("reti"));
+    }
+}

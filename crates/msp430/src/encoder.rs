@@ -1,0 +1,376 @@
+//! Instruction encoder.
+//!
+//! Converts the typed [`Instruction`] model back into raw instruction words.
+//! The encoder is the code generator used by the assembler crate and by the
+//! EILID trusted-software emitter.
+
+use std::fmt;
+
+use crate::instruction::{constant_generator, Instruction, OneOpOpcode, Operand};
+use crate::registers::Reg;
+
+/// Error produced when an [`Instruction`] cannot be encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The destination operand uses an addressing mode that format I cannot
+    /// express (immediate, indirect, or auto-increment destinations).
+    InvalidDestination {
+        /// The offending operand.
+        operand: Operand,
+    },
+    /// A jump offset falls outside the signed 10-bit range −511..=512 words.
+    JumpOffsetOutOfRange {
+        /// The offending word offset.
+        offset: i16,
+    },
+    /// `reti` takes no operand; any explicit operand other than the implicit
+    /// placeholder is rejected.
+    RetiWithOperand,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::InvalidDestination { operand } => {
+                write!(f, "operand `{operand}` cannot be used as a destination")
+            }
+            EncodeError::JumpOffsetOutOfRange { offset } => {
+                write!(f, "jump offset {offset} words exceeds the 10-bit range")
+            }
+            EncodeError::RetiWithOperand => write!(f, "reti does not take an operand"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Encoded form of a source operand: register field, `As` bits and optional
+/// extension word.
+struct SrcEncoding {
+    reg: u16,
+    as_bits: u16,
+    ext: Option<u16>,
+}
+
+fn encode_source(operand: &Operand, allow_cg: bool) -> SrcEncoding {
+    match operand {
+        Operand::Register(r) => SrcEncoding {
+            reg: (*r).into(),
+            as_bits: 0b00,
+            ext: None,
+        },
+        Operand::Indexed { reg, offset } => SrcEncoding {
+            reg: (*reg).into(),
+            as_bits: 0b01,
+            ext: Some(*offset as u16),
+        },
+        Operand::Indirect(r) => SrcEncoding {
+            reg: (*r).into(),
+            as_bits: 0b10,
+            ext: None,
+        },
+        Operand::IndirectAutoInc(r) => SrcEncoding {
+            reg: (*r).into(),
+            as_bits: 0b11,
+            ext: None,
+        },
+        Operand::Immediate(v) => {
+            if let Some((reg, as_bits)) = constant_generator(*v).filter(|_| allow_cg) {
+                SrcEncoding {
+                    reg: reg.into(),
+                    as_bits,
+                    ext: None,
+                }
+            } else {
+                SrcEncoding {
+                    reg: Reg::PC.into(),
+                    as_bits: 0b11,
+                    ext: Some(*v),
+                }
+            }
+        }
+        Operand::Absolute(addr) => SrcEncoding {
+            reg: Reg::SR.into(),
+            as_bits: 0b01,
+            ext: Some(*addr),
+        },
+        Operand::Symbolic { offset } => SrcEncoding {
+            reg: Reg::PC.into(),
+            as_bits: 0b01,
+            ext: Some(*offset as u16),
+        },
+    }
+}
+
+/// Encoded form of a destination operand: register field, `Ad` bit and
+/// optional extension word.
+struct DstEncoding {
+    reg: u16,
+    ad: u16,
+    ext: Option<u16>,
+}
+
+fn encode_destination(operand: &Operand) -> Result<DstEncoding, EncodeError> {
+    match operand {
+        Operand::Register(r) => Ok(DstEncoding {
+            reg: (*r).into(),
+            ad: 0,
+            ext: None,
+        }),
+        Operand::Indexed { reg, offset } => Ok(DstEncoding {
+            reg: (*reg).into(),
+            ad: 1,
+            ext: Some(*offset as u16),
+        }),
+        Operand::Absolute(addr) => Ok(DstEncoding {
+            reg: Reg::SR.into(),
+            ad: 1,
+            ext: Some(*addr),
+        }),
+        Operand::Symbolic { offset } => Ok(DstEncoding {
+            reg: Reg::PC.into(),
+            ad: 1,
+            ext: Some(*offset as u16),
+        }),
+        other => Err(EncodeError::InvalidDestination { operand: *other }),
+    }
+}
+
+/// Encodes an instruction into its raw words.
+///
+/// # Errors
+///
+/// Returns an [`EncodeError`] for invalid destinations, out-of-range jump
+/// offsets, or a `reti` with an explicit memory operand.
+///
+/// # Examples
+///
+/// ```
+/// use eilid_msp430::{encode, Instruction, Operand, Reg, TwoOpOpcode, Width};
+///
+/// let mov = Instruction::TwoOp {
+///     opcode: TwoOpOpcode::Mov,
+///     width: Width::Word,
+///     src: Operand::Immediate(0xe200),
+///     dst: Operand::Register(Reg::R6),
+/// };
+/// assert_eq!(encode(&mov)?, vec![0x4036, 0xe200]);
+/// # Ok::<(), eilid_msp430::EncodeError>(())
+/// ```
+pub fn encode(instruction: &Instruction) -> Result<Vec<u16>, EncodeError> {
+    encode_with(instruction, true)
+}
+
+/// Encodes an instruction with explicit control over constant-generator use.
+///
+/// When `use_constant_generators` is `false`, immediates that the hardware
+/// constant generators could produce (0, 1, 2, 4, 8, `0xFFFF`) are still
+/// emitted with an explicit extension word. The assembler uses this for
+/// symbolic immediates whose value is unknown during its sizing pass, so that
+/// instruction sizes never change between passes.
+///
+/// # Errors
+///
+/// Returns the same errors as [`encode`].
+pub fn encode_with(
+    instruction: &Instruction,
+    use_constant_generators: bool,
+) -> Result<Vec<u16>, EncodeError> {
+    let allow_cg = use_constant_generators;
+    match instruction {
+        Instruction::TwoOp {
+            opcode,
+            width,
+            src,
+            dst,
+        } => {
+            let s = encode_source(src, allow_cg);
+            let d = encode_destination(dst)?;
+            let bw = u16::from(width.is_byte());
+            let word =
+                (opcode.encoding() << 12) | (s.reg << 8) | (d.ad << 7) | (bw << 6) | (s.as_bits << 4) | d.reg;
+            let mut words = vec![word];
+            words.extend(s.ext);
+            words.extend(d.ext);
+            Ok(words)
+        }
+        Instruction::OneOp {
+            opcode,
+            width,
+            operand,
+        } => {
+            if *opcode == OneOpOpcode::Reti {
+                if !matches!(operand, Operand::Register(Reg::CG)) {
+                    return Err(EncodeError::RetiWithOperand);
+                }
+                return Ok(vec![0x1000 | (OneOpOpcode::Reti.encoding() << 7)]);
+            }
+            let s = encode_source(operand, allow_cg);
+            let bw = u16::from(width.is_byte() && matches!(opcode, OneOpOpcode::Rrc | OneOpOpcode::Rra | OneOpOpcode::Push));
+            let word = 0x1000 | (opcode.encoding() << 7) | (bw << 6) | (s.as_bits << 4) | s.reg;
+            let mut words = vec![word];
+            words.extend(s.ext);
+            Ok(words)
+        }
+        Instruction::Jump { condition, offset } => {
+            if !(-512..=511).contains(offset) {
+                return Err(EncodeError::JumpOffsetOutOfRange { offset: *offset });
+            }
+            let word = 0x2000 | (condition.encoding() << 10) | ((*offset as u16) & 0x03FF);
+            Ok(vec![word])
+        }
+    }
+}
+
+/// Encodes an instruction, returning the words as little-endian bytes.
+///
+/// # Errors
+///
+/// Propagates the same errors as [`encode`].
+pub fn encode_bytes(instruction: &Instruction) -> Result<Vec<u8>, EncodeError> {
+    let words = encode(instruction)?;
+    let mut bytes = Vec::with_capacity(words.len() * 2);
+    for w in words {
+        bytes.push((w & 0xFF) as u8);
+        bytes.push((w >> 8) as u8);
+    }
+    Ok(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::TwoOpOpcode;
+    use crate::flags::Width;
+    use crate::instruction::Condition;
+
+    #[test]
+    fn encode_register_mov() {
+        let mov = Instruction::TwoOp {
+            opcode: TwoOpOpcode::Mov,
+            width: Width::Word,
+            src: Operand::Register(Reg::R10),
+            dst: Operand::Register(Reg::R11),
+        };
+        assert_eq!(encode(&mov).unwrap(), vec![0x4A0B]);
+    }
+
+    #[test]
+    fn encode_uses_constant_generators() {
+        let mov1 = Instruction::TwoOp {
+            opcode: TwoOpOpcode::Mov,
+            width: Width::Word,
+            src: Operand::Immediate(1),
+            dst: Operand::Register(Reg::R6),
+        };
+        assert_eq!(encode(&mov1).unwrap(), vec![0x4316]);
+
+        let add8 = Instruction::TwoOp {
+            opcode: TwoOpOpcode::Add,
+            width: Width::Word,
+            src: Operand::Immediate(8),
+            dst: Operand::Register(Reg::R5),
+        };
+        // src reg = r2 (SR), As = 11.
+        assert_eq!(encode(&add8).unwrap(), vec![0x5235]);
+    }
+
+    #[test]
+    fn encode_call_immediate() {
+        let call = Instruction::OneOp {
+            opcode: OneOpOpcode::Call,
+            width: Width::Word,
+            operand: Operand::Immediate(0xE000),
+        };
+        assert_eq!(encode(&call).unwrap(), vec![0x12B0, 0xE000]);
+    }
+
+    #[test]
+    fn encode_reti() {
+        let reti = Instruction::OneOp {
+            opcode: OneOpOpcode::Reti,
+            width: Width::Word,
+            operand: Operand::Register(Reg::CG),
+        };
+        assert_eq!(encode(&reti).unwrap(), vec![0x1300]);
+        let bad = Instruction::OneOp {
+            opcode: OneOpOpcode::Reti,
+            width: Width::Word,
+            operand: Operand::Register(Reg::R4),
+        };
+        assert_eq!(encode(&bad).unwrap_err(), EncodeError::RetiWithOperand);
+    }
+
+    #[test]
+    fn encode_rejects_invalid_destination() {
+        let bad = Instruction::TwoOp {
+            opcode: TwoOpOpcode::Mov,
+            width: Width::Word,
+            src: Operand::Register(Reg::R4),
+            dst: Operand::Immediate(1),
+        };
+        let err = encode(&bad).unwrap_err();
+        assert!(matches!(err, EncodeError::InvalidDestination { .. }));
+        assert!(err.to_string().contains("destination"));
+    }
+
+    #[test]
+    fn encode_rejects_out_of_range_jump() {
+        let bad = Instruction::Jump {
+            condition: Condition::Jmp,
+            offset: 600,
+        };
+        assert_eq!(
+            encode(&bad).unwrap_err(),
+            EncodeError::JumpOffsetOutOfRange { offset: 600 }
+        );
+    }
+
+    #[test]
+    fn encode_without_constant_generator_forces_extension_word() {
+        let mov1 = Instruction::TwoOp {
+            opcode: TwoOpOpcode::Mov,
+            width: Width::Word,
+            src: Operand::Immediate(1),
+            dst: Operand::Register(Reg::R6),
+        };
+        assert_eq!(encode_with(&mov1, false).unwrap(), vec![0x4036, 0x0001]);
+        assert_eq!(encode_with(&mov1, true).unwrap(), vec![0x4316]);
+    }
+
+    #[test]
+    fn encode_bytes_little_endian() {
+        let mov = Instruction::TwoOp {
+            opcode: TwoOpOpcode::Mov,
+            width: Width::Word,
+            src: Operand::Immediate(0xE200),
+            dst: Operand::Register(Reg::R6),
+        };
+        assert_eq!(encode_bytes(&mov).unwrap(), vec![0x36, 0x40, 0x00, 0xE2]);
+    }
+
+    #[test]
+    fn encoded_size_matches_size_bytes() {
+        let samples = [
+            Instruction::TwoOp {
+                opcode: TwoOpOpcode::Cmp,
+                width: Width::Word,
+                src: Operand::Immediate(0x1234),
+                dst: Operand::Absolute(0x0200),
+            },
+            Instruction::OneOp {
+                opcode: OneOpOpcode::Push,
+                width: Width::Word,
+                operand: Operand::Register(Reg::R4),
+            },
+            Instruction::Jump {
+                condition: Condition::Jne,
+                offset: 5,
+            },
+        ];
+        for instr in samples {
+            let words = encode(&instr).unwrap();
+            assert_eq!(words.len() as u16 * 2, instr.size_bytes(), "{instr}");
+        }
+    }
+}

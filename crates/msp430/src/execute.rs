@@ -1,0 +1,297 @@
+//! Instruction execution semantics.
+//!
+//! The executor operates on a [`Cpu`](crate::cpu::Cpu) through its bus
+//! helpers so that every data access is recorded for the hardware monitor.
+
+use crate::cpu::Cpu;
+use crate::flags::{self, AluResult, StatusFlags, Width};
+use crate::instruction::{Condition, Instruction, OneOpOpcode, Operand, TwoOpOpcode};
+use crate::registers::Reg;
+
+/// Executes a decoded instruction.
+///
+/// The caller must already have advanced the program counter past the
+/// instruction (register reads of `r0` observe the address of the *next*
+/// instruction, matching the hardware's fetch pipeline).
+pub(crate) fn execute(cpu: &mut Cpu, instruction: &Instruction) {
+    match instruction {
+        Instruction::Jump { condition, offset } => execute_jump(cpu, *condition, *offset),
+        Instruction::OneOp {
+            opcode,
+            width,
+            operand,
+        } => execute_one_op(cpu, *opcode, *width, operand),
+        Instruction::TwoOp {
+            opcode,
+            width,
+            src,
+            dst,
+        } => execute_two_op(cpu, *opcode, *width, src, dst),
+    }
+}
+
+/// Location a destination operand resolves to.
+enum Place {
+    Register(Reg),
+    Memory(u16),
+}
+
+fn read_source(cpu: &mut Cpu, operand: &Operand, width: Width) -> u16 {
+    match operand {
+        Operand::Register(r) => truncate(cpu.regs.read(*r), width),
+        Operand::Immediate(v) => truncate(*v, width),
+        Operand::Indexed { reg, offset } => {
+            let addr = cpu.regs.read(*reg).wrapping_add(*offset as u16);
+            cpu.bus_read(addr, width)
+        }
+        Operand::Absolute(addr) => cpu.bus_read(*addr, width),
+        Operand::Symbolic { offset } => {
+            // The decoder normally resolves symbolic operands; treat a raw one
+            // as PC-relative to the current (already advanced) PC.
+            let addr = cpu.regs.pc().wrapping_add(*offset as u16);
+            cpu.bus_read(addr, width)
+        }
+        Operand::Indirect(r) => {
+            let addr = cpu.regs.read(*r);
+            cpu.bus_read(addr, width)
+        }
+        Operand::IndirectAutoInc(r) => {
+            let addr = cpu.regs.read(*r);
+            let value = cpu.bus_read(addr, width);
+            // SP and PC always advance by a full word even for byte accesses.
+            let increment = if matches!(r, Reg::SP | Reg::PC) {
+                2
+            } else {
+                u16::from(width.bytes())
+            };
+            cpu.regs.write(*r, addr.wrapping_add(increment));
+            value
+        }
+    }
+}
+
+fn resolve_destination(cpu: &mut Cpu, operand: &Operand) -> Place {
+    match operand {
+        Operand::Register(r) => Place::Register(*r),
+        Operand::Indexed { reg, offset } => {
+            Place::Memory(cpu.regs.read(*reg).wrapping_add(*offset as u16))
+        }
+        Operand::Absolute(addr) => Place::Memory(*addr),
+        Operand::Symbolic { offset } => Place::Memory(cpu.regs.pc().wrapping_add(*offset as u16)),
+        // Not legal destinations; resolve defensively to their address/value
+        // so a malformed program faults visibly instead of corrupting state.
+        Operand::Indirect(r) | Operand::IndirectAutoInc(r) => {
+            Place::Memory(cpu.regs.read(*r))
+        }
+        Operand::Immediate(_) => Place::Memory(0),
+    }
+}
+
+fn read_place(cpu: &mut Cpu, place: &Place, width: Width) -> u16 {
+    match place {
+        Place::Register(r) => truncate(cpu.regs.read(*r), width),
+        Place::Memory(addr) => cpu.bus_read(*addr, width),
+    }
+}
+
+fn write_place(cpu: &mut Cpu, place: &Place, value: u16, width: Width) {
+    match place {
+        Place::Register(r) => {
+            // Byte operations clear the upper byte of the destination register.
+            cpu.regs.write(*r, truncate(value, width));
+        }
+        Place::Memory(addr) => cpu.bus_write(*addr, truncate(value, width), width),
+    }
+}
+
+fn truncate(value: u16, width: Width) -> u16 {
+    (u32::from(value) & width.mask()) as u16
+}
+
+fn flags_of(cpu: &Cpu) -> StatusFlags {
+    StatusFlags::from_word(cpu.regs.sr())
+}
+
+fn store_flags(cpu: &mut Cpu, flags: StatusFlags) {
+    cpu.regs.set_sr(flags.to_word());
+}
+
+fn execute_two_op(
+    cpu: &mut Cpu,
+    opcode: TwoOpOpcode,
+    width: Width,
+    src: &Operand,
+    dst: &Operand,
+) {
+    let src_value = read_source(cpu, src, width);
+    let place = resolve_destination(cpu, dst);
+    let mut flags = flags_of(cpu);
+
+    match opcode {
+        TwoOpOpcode::Mov => {
+            write_place(cpu, &place, src_value, width);
+        }
+        TwoOpOpcode::Add | TwoOpOpcode::Addc => {
+            let dst_value = read_place(cpu, &place, width);
+            let carry_in = opcode == TwoOpOpcode::Addc && flags.carry();
+            let result = flags::add(src_value, dst_value, carry_in, width);
+            result.apply(&mut flags);
+            store_flags(cpu, flags);
+            write_place(cpu, &place, result.value, width);
+            return;
+        }
+        TwoOpOpcode::Sub | TwoOpOpcode::Subc | TwoOpOpcode::Cmp => {
+            let dst_value = read_place(cpu, &place, width);
+            let carry_in = if opcode == TwoOpOpcode::Subc {
+                flags.carry()
+            } else {
+                true
+            };
+            let result = flags::sub(src_value, dst_value, carry_in, width);
+            result.apply(&mut flags);
+            store_flags(cpu, flags);
+            if opcode != TwoOpOpcode::Cmp {
+                write_place(cpu, &place, result.value, width);
+            }
+            return;
+        }
+        TwoOpOpcode::Dadd => {
+            let dst_value = read_place(cpu, &place, width);
+            let result = flags::dadd(src_value, dst_value, flags.carry(), width);
+            result.apply(&mut flags);
+            store_flags(cpu, flags);
+            write_place(cpu, &place, result.value, width);
+            return;
+        }
+        TwoOpOpcode::Bit | TwoOpOpcode::And => {
+            let dst_value = read_place(cpu, &place, width);
+            let value = src_value & dst_value;
+            let result = flags::logic(value, width, false);
+            result.apply(&mut flags);
+            store_flags(cpu, flags);
+            if opcode == TwoOpOpcode::And {
+                write_place(cpu, &place, value, width);
+            }
+            return;
+        }
+        TwoOpOpcode::Xor => {
+            let dst_value = read_place(cpu, &place, width);
+            let value = src_value ^ dst_value;
+            let sign = width.sign_bit() as u16;
+            let overflow = (src_value & sign != 0) && (dst_value & sign != 0);
+            let result = flags::logic(value, width, overflow);
+            result.apply(&mut flags);
+            store_flags(cpu, flags);
+            write_place(cpu, &place, value, width);
+            return;
+        }
+        TwoOpOpcode::Bic => {
+            let dst_value = read_place(cpu, &place, width);
+            write_place(cpu, &place, dst_value & !src_value, width);
+        }
+        TwoOpOpcode::Bis => {
+            let dst_value = read_place(cpu, &place, width);
+            write_place(cpu, &place, dst_value | src_value, width);
+        }
+    }
+}
+
+fn execute_one_op(cpu: &mut Cpu, opcode: OneOpOpcode, width: Width, operand: &Operand) {
+    match opcode {
+        OneOpOpcode::Call => {
+            let target = read_source(cpu, operand, Width::Word);
+            let return_address = cpu.regs.pc();
+            cpu.push_word(return_address);
+            cpu.regs.set_pc(target);
+        }
+        OneOpOpcode::Push => {
+            let value = read_source(cpu, operand, width);
+            cpu.push_word(value);
+        }
+        OneOpOpcode::Reti => {
+            let sr = cpu.pop_word();
+            cpu.regs.set_sr(sr);
+            let pc = cpu.pop_word();
+            cpu.regs.set_pc(pc);
+        }
+        OneOpOpcode::Rrc | OneOpOpcode::Rra => {
+            let place = match operand {
+                Operand::Register(r) => Place::Register(*r),
+                _ => resolve_destination(cpu, operand),
+            };
+            let value = read_place(cpu, &place, width);
+            let mut flags = flags_of(cpu);
+            let high_bit = match opcode {
+                OneOpOpcode::Rrc => {
+                    if flags.carry() {
+                        width.sign_bit() as u16
+                    } else {
+                        0
+                    }
+                }
+                _ => value & width.sign_bit() as u16,
+            };
+            let carry_out = value & 1 != 0;
+            let result = ((value >> 1) & !(width.sign_bit() as u16)) | high_bit;
+            let alu = AluResult {
+                value: truncate(result, width),
+                carry: carry_out,
+                zero: truncate(result, width) == 0,
+                negative: result & width.sign_bit() as u16 != 0,
+                overflow: false,
+            };
+            alu.apply(&mut flags);
+            store_flags(cpu, flags);
+            write_place(cpu, &place, result, width);
+        }
+        OneOpOpcode::Swpb => {
+            let place = match operand {
+                Operand::Register(r) => Place::Register(*r),
+                _ => resolve_destination(cpu, operand),
+            };
+            let value = read_place(cpu, &place, Width::Word);
+            let swapped = value.rotate_left(8);
+            write_place(cpu, &place, swapped, Width::Word);
+        }
+        OneOpOpcode::Sxt => {
+            let place = match operand {
+                Operand::Register(r) => Place::Register(*r),
+                _ => resolve_destination(cpu, operand),
+            };
+            let value = read_place(cpu, &place, Width::Word) & 0x00FF;
+            let extended = if value & 0x0080 != 0 {
+                value | 0xFF00
+            } else {
+                value
+            };
+            let mut flags = flags_of(cpu);
+            flags.set_zero(extended == 0);
+            flags.set_negative(extended & 0x8000 != 0);
+            flags.set_carry(extended != 0);
+            flags.set_overflow(false);
+            store_flags(cpu, flags);
+            write_place(cpu, &place, extended, Width::Word);
+        }
+    }
+}
+
+fn execute_jump(cpu: &mut Cpu, condition: Condition, offset: i16) {
+    let flags = flags_of(cpu);
+    let taken = match condition {
+        Condition::Jne => !flags.zero(),
+        Condition::Jeq => flags.zero(),
+        Condition::Jnc => !flags.carry(),
+        Condition::Jc => flags.carry(),
+        Condition::Jn => flags.negative(),
+        Condition::Jge => flags.negative() == flags.overflow(),
+        Condition::Jl => flags.negative() != flags.overflow(),
+        Condition::Jmp => true,
+    };
+    if taken {
+        // PC already points at the next instruction; the encoded offset is
+        // relative to that address.
+        let pc = cpu.regs.pc();
+        cpu.regs
+            .set_pc(pc.wrapping_add((offset as u16).wrapping_mul(2)));
+    }
+}

@@ -1,0 +1,251 @@
+//! Flat 64 KiB von-Neumann memory.
+//!
+//! Low-end MSP430-class devices expose a single 16-bit address space that
+//! holds peripherals, data memory (SRAM) and program memory (flash/ROM).
+//! The simulator models it as a flat byte array; policy about which ranges
+//! are writable or executable lives in the CASU monitor crate, not here.
+
+use std::fmt;
+use std::ops::Range;
+
+use serde::{Deserialize, Serialize};
+
+/// Total size of the MSP430 address space in bytes.
+pub const ADDRESS_SPACE: usize = 0x1_0000;
+
+/// Address of the reset vector (the last word of the interrupt vector table).
+pub const RESET_VECTOR: u16 = 0xFFFE;
+
+/// First address of the interrupt vector table.
+pub const IVT_BASE: u16 = 0xFFE0;
+
+/// Error produced by [`Memory::load`] when an image does not fit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadImageError {
+    base: u16,
+    len: usize,
+}
+
+impl LoadImageError {
+    /// Base address the caller attempted to load at.
+    pub fn base(&self) -> u16 {
+        self.base
+    }
+
+    /// Length of the rejected image in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl fmt::Display for LoadImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "image of {} bytes at {:#06x} exceeds the 64 KiB address space",
+            self.len, self.base
+        )
+    }
+}
+
+impl std::error::Error for LoadImageError {}
+
+/// Flat 64 KiB memory with little-endian word access.
+///
+/// # Examples
+///
+/// ```
+/// use eilid_msp430::Memory;
+///
+/// let mut mem = Memory::new();
+/// mem.write_word(0x0200, 0xBEEF);
+/// assert_eq!(mem.read_word(0x0200), 0xBEEF);
+/// assert_eq!(mem.read_byte(0x0200), 0xEF);
+/// assert_eq!(mem.read_byte(0x0201), 0xBE);
+/// ```
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Memory {
+    #[serde(with = "serde_bytes_array")]
+    bytes: Vec<u8>,
+}
+
+mod serde_bytes_array {
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(bytes: &[u8], ser: S) -> Result<S::Ok, S::Error> {
+        ser.serialize_bytes(bytes)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(de: D) -> Result<Vec<u8>, D::Error> {
+        let v: Vec<u8> = Vec::deserialize(de)?;
+        Ok(v)
+    }
+}
+
+impl Memory {
+    /// Creates a memory image with every byte cleared to zero.
+    pub fn new() -> Self {
+        Memory {
+            bytes: vec![0; ADDRESS_SPACE],
+        }
+    }
+
+    /// Reads one byte.
+    pub fn read_byte(&self, addr: u16) -> u8 {
+        self.bytes[usize::from(addr)]
+    }
+
+    /// Writes one byte.
+    pub fn write_byte(&mut self, addr: u16, value: u8) {
+        self.bytes[usize::from(addr)] = value;
+    }
+
+    /// Reads a little-endian word. The address is aligned down to an even
+    /// boundary first, mirroring the bus behaviour of the core.
+    pub fn read_word(&self, addr: u16) -> u16 {
+        let addr = addr & !1;
+        let lo = u16::from(self.read_byte(addr));
+        let hi = u16::from(self.read_byte(addr.wrapping_add(1)));
+        (hi << 8) | lo
+    }
+
+    /// Writes a little-endian word at an even-aligned address.
+    pub fn write_word(&mut self, addr: u16, value: u16) {
+        let addr = addr & !1;
+        self.write_byte(addr, (value & 0xFF) as u8);
+        self.write_byte(addr.wrapping_add(1), (value >> 8) as u8);
+    }
+
+    /// Copies `image` into memory starting at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadImageError`] if the image would extend past `0xFFFF`.
+    pub fn load(&mut self, base: u16, image: &[u8]) -> Result<(), LoadImageError> {
+        let end = usize::from(base) + image.len();
+        if end > ADDRESS_SPACE {
+            return Err(LoadImageError {
+                base,
+                len: image.len(),
+            });
+        }
+        self.bytes[usize::from(base)..end].copy_from_slice(image);
+        Ok(())
+    }
+
+    /// Returns a read-only view of an address range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range end exceeds the 64 KiB address space.
+    pub fn slice(&self, range: Range<usize>) -> &[u8] {
+        &self.bytes[range]
+    }
+
+    /// Word stored at the reset vector.
+    pub fn reset_vector(&self) -> u16 {
+        self.read_word(RESET_VECTOR)
+    }
+
+    /// Word stored at interrupt vector `index` (0–15, where 15 is reset).
+    pub fn interrupt_vector(&self, index: u8) -> u16 {
+        let addr = IVT_BASE.wrapping_add(u16::from(index) * 2);
+        self.read_word(addr)
+    }
+
+    /// Fills an address range with a byte value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range end exceeds the 64 KiB address space.
+    pub fn fill(&mut self, range: Range<usize>, value: u8) {
+        self.bytes[range].fill(value);
+    }
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Memory::new()
+    }
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let nonzero = self.bytes.iter().filter(|&&b| b != 0).count();
+        f.debug_struct("Memory")
+            .field("size", &self.bytes.len())
+            .field("nonzero_bytes", &nonzero)
+            .finish()
+    }
+}
+
+impl PartialEq for Memory {
+    fn eq(&self, other: &Self) -> bool {
+        self.bytes == other.bytes
+    }
+}
+
+impl Eq for Memory {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_access_is_little_endian() {
+        let mut mem = Memory::new();
+        mem.write_word(0x0200, 0x1234);
+        assert_eq!(mem.read_byte(0x0200), 0x34);
+        assert_eq!(mem.read_byte(0x0201), 0x12);
+        assert_eq!(mem.read_word(0x0200), 0x1234);
+    }
+
+    #[test]
+    fn word_access_aligns_down() {
+        let mut mem = Memory::new();
+        mem.write_word(0x0201, 0xABCD);
+        assert_eq!(mem.read_word(0x0200), 0xABCD);
+        assert_eq!(mem.read_word(0x0201), 0xABCD);
+    }
+
+    #[test]
+    fn load_image_and_reset_vector() {
+        let mut mem = Memory::new();
+        mem.load(0xFFFE, &[0x00, 0xF0]).expect("fits");
+        assert_eq!(mem.reset_vector(), 0xF000);
+    }
+
+    #[test]
+    fn load_out_of_range_is_error() {
+        let mut mem = Memory::new();
+        let err = mem.load(0xFFFE, &[0, 0, 0]).unwrap_err();
+        assert_eq!(err.base(), 0xFFFE);
+        assert_eq!(err.len(), 3);
+        assert!(err.to_string().contains("64 KiB"));
+    }
+
+    #[test]
+    fn interrupt_vector_lookup() {
+        let mut mem = Memory::new();
+        mem.write_word(0xFFE0, 0xE000);
+        mem.write_word(0xFFF0, 0xE100);
+        assert_eq!(mem.interrupt_vector(0), 0xE000);
+        assert_eq!(mem.interrupt_vector(8), 0xE100);
+    }
+
+    #[test]
+    fn fill_and_slice() {
+        let mut mem = Memory::new();
+        mem.fill(0x0200..0x0210, 0xAA);
+        assert!(mem.slice(0x0200..0x0210).iter().all(|&b| b == 0xAA));
+        assert_eq!(mem.read_byte(0x0210), 0);
+    }
+
+    #[test]
+    fn debug_shows_nonzero_count() {
+        let mut mem = Memory::new();
+        mem.write_byte(0x10, 1);
+        let dbg = format!("{:?}", mem);
+        assert!(dbg.contains("nonzero_bytes: 1"));
+    }
+}

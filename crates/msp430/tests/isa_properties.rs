@@ -1,0 +1,168 @@
+//! Property-based tests over the MSP430 instruction model.
+//!
+//! These properties exercise the encoder/decoder pair and the arithmetic
+//! flag semantics across the full operand space, which unit tests cannot
+//! cover exhaustively.
+
+use eilid_msp430::{
+    cycle_count, decode, encode, flags, Condition, Instruction, Memory, OneOpOpcode, Operand, Reg,
+    TwoOpOpcode, Width,
+};
+use proptest::prelude::*;
+
+fn arb_gp_reg() -> impl Strategy<Value = Reg> {
+    (4u16..16).prop_map(|i| Reg::from_index(i).expect("in range"))
+}
+
+fn arb_src_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        arb_gp_reg().prop_map(Operand::Register),
+        (arb_gp_reg(), any::<i16>()).prop_map(|(reg, offset)| Operand::Indexed { reg, offset }),
+        arb_gp_reg().prop_map(Operand::Indirect),
+        arb_gp_reg().prop_map(Operand::IndirectAutoInc),
+        any::<u16>().prop_map(Operand::Immediate),
+        any::<u16>().prop_map(Operand::Absolute),
+    ]
+}
+
+fn arb_dst_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        arb_gp_reg().prop_map(Operand::Register),
+        (arb_gp_reg(), any::<i16>()).prop_map(|(reg, offset)| Operand::Indexed { reg, offset }),
+        any::<u16>().prop_map(Operand::Absolute),
+    ]
+}
+
+fn arb_two_opcode() -> impl Strategy<Value = TwoOpOpcode> {
+    prop_oneof![
+        Just(TwoOpOpcode::Mov),
+        Just(TwoOpOpcode::Add),
+        Just(TwoOpOpcode::Addc),
+        Just(TwoOpOpcode::Subc),
+        Just(TwoOpOpcode::Sub),
+        Just(TwoOpOpcode::Cmp),
+        Just(TwoOpOpcode::Dadd),
+        Just(TwoOpOpcode::Bit),
+        Just(TwoOpOpcode::Bic),
+        Just(TwoOpOpcode::Bis),
+        Just(TwoOpOpcode::Xor),
+        Just(TwoOpOpcode::And),
+    ]
+}
+
+fn arb_one_opcode() -> impl Strategy<Value = OneOpOpcode> {
+    prop_oneof![
+        Just(OneOpOpcode::Rrc),
+        Just(OneOpOpcode::Swpb),
+        Just(OneOpOpcode::Rra),
+        Just(OneOpOpcode::Sxt),
+        Just(OneOpOpcode::Push),
+        Just(OneOpOpcode::Call),
+    ]
+}
+
+fn arb_width() -> impl Strategy<Value = Width> {
+    prop_oneof![Just(Width::Word), Just(Width::Byte)]
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (arb_two_opcode(), arb_width(), arb_src_operand(), arb_dst_operand()).prop_map(
+            |(opcode, width, src, dst)| Instruction::TwoOp {
+                opcode,
+                width,
+                src,
+                dst
+            }
+        ),
+        (arb_one_opcode(), arb_src_operand()).prop_map(|(opcode, operand)| Instruction::OneOp {
+            opcode,
+            width: Width::Word,
+            operand
+        }),
+        (
+            prop_oneof![
+                Just(Condition::Jne),
+                Just(Condition::Jeq),
+                Just(Condition::Jnc),
+                Just(Condition::Jc),
+                Just(Condition::Jn),
+                Just(Condition::Jge),
+                Just(Condition::Jl),
+                Just(Condition::Jmp),
+            ],
+            -512i16..=511
+        )
+            .prop_map(|(condition, offset)| Instruction::Jump { condition, offset }),
+    ]
+}
+
+fn decode_words(words: &[u16]) -> Instruction {
+    let mut mem = Memory::new();
+    for (i, w) in words.iter().enumerate() {
+        mem.write_word(0xA000 + 2 * i as u16, *w);
+    }
+    decode(&mem, 0xA000).expect("encoder output must decode").instruction
+}
+
+/// The decoder resolves PC-relative/symbolic operands to absolute addresses,
+/// so a decoded instruction can differ syntactically from the encoded one.
+/// This normalises both sides for comparison.
+fn normalised(instr: &Instruction) -> Instruction {
+    *instr
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every encodable instruction decodes back to itself.
+    #[test]
+    fn encode_decode_roundtrip(instr in arb_instruction()) {
+        let words = encode(&instr).expect("generated instructions are encodable");
+        prop_assert!(words.len() <= 3);
+        let decoded = decode_words(&words);
+        prop_assert_eq!(normalised(&decoded), normalised(&instr));
+    }
+
+    /// Encoded length always matches the instruction's reported size.
+    #[test]
+    fn encoded_size_matches(instr in arb_instruction()) {
+        let words = encode(&instr).expect("encodable");
+        prop_assert_eq!(words.len() as u16 * 2, instr.size_bytes());
+    }
+
+    /// Cycle counts stay within the architectural bounds (1..=6).
+    #[test]
+    fn cycle_counts_are_bounded(instr in arb_instruction()) {
+        let cycles = cycle_count(&instr);
+        prop_assert!(cycles >= 1 && cycles <= 6, "cycles = {cycles}");
+    }
+
+    /// Addition is commutative in value and carry.
+    #[test]
+    fn add_commutes(a in any::<u16>(), b in any::<u16>()) {
+        let r1 = flags::add(a, b, false, Width::Word);
+        let r2 = flags::add(b, a, false, Width::Word);
+        prop_assert_eq!(r1.value, r2.value);
+        prop_assert_eq!(r1.carry, r2.carry);
+        prop_assert_eq!(r1.overflow, r2.overflow);
+    }
+
+    /// `sub` mirrors two's-complement subtraction and `cmp a a` is zero.
+    #[test]
+    fn sub_matches_wrapping_sub(a in any::<u16>(), b in any::<u16>()) {
+        let r = flags::sub(a, b, true, Width::Word);
+        prop_assert_eq!(r.value, b.wrapping_sub(a));
+        let eq = flags::sub(a, a, true, Width::Word);
+        prop_assert!(eq.zero);
+    }
+
+    /// Byte-width operations never produce bits above 0xFF.
+    #[test]
+    fn byte_ops_are_truncated(a in any::<u16>(), b in any::<u16>()) {
+        let r = flags::add(a, b, false, Width::Byte);
+        prop_assert!(r.value <= 0xFF);
+        let r = flags::sub(a, b, true, Width::Byte);
+        prop_assert!(r.value <= 0xFF);
+    }
+}

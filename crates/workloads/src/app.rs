@@ -1,0 +1,208 @@
+//! Workload registry.
+//!
+//! The seven applications the paper evaluates in Table IV, with the metadata
+//! the benchmark harness needs (reference compile-time/size/run-time rows
+//! from the paper are kept in the bench crate, not here).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    charlieplexing, fire_sensor, lcd_sensor, light_sensor, syringe_pump, temp_sensor,
+    ultrasonic_ranger,
+};
+
+/// Identifier of one of the seven evaluation applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum WorkloadId {
+    /// Ambient-light sampling with an LED indicator.
+    LightSensor,
+    /// Ultrasonic distance measurement.
+    UltrasonicRanger,
+    /// Flame + temperature alarm.
+    FireSensor,
+    /// Stepper-driven syringe pump (timer interrupt).
+    SyringePump,
+    /// Periodic temperature conversion (timer interrupt).
+    TempSensor,
+    /// Charlieplexed LED animation (indirect calls).
+    Charlieplexing,
+    /// Character LCD output.
+    LcdSensor,
+}
+
+impl WorkloadId {
+    /// All workloads in the order Table IV lists them.
+    pub const ALL: [WorkloadId; 7] = [
+        WorkloadId::LightSensor,
+        WorkloadId::UltrasonicRanger,
+        WorkloadId::FireSensor,
+        WorkloadId::SyringePump,
+        WorkloadId::TempSensor,
+        WorkloadId::Charlieplexing,
+        WorkloadId::LcdSensor,
+    ];
+
+    /// Human-readable name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadId::LightSensor => "LightSensor",
+            WorkloadId::UltrasonicRanger => "UltrasonicRanger",
+            WorkloadId::FireSensor => "FireSensor",
+            WorkloadId::SyringePump => "SyringePump",
+            WorkloadId::TempSensor => "TempSensor",
+            WorkloadId::Charlieplexing => "Charlieplexing",
+            WorkloadId::LcdSensor => "LcdSensor",
+        }
+    }
+
+    /// Builds the workload descriptor (including its assembly source).
+    pub fn workload(self) -> Workload {
+        let (source, description, uses_interrupts, uses_indirect_calls) = match self {
+            WorkloadId::LightSensor => (
+                light_sensor::source(),
+                "ambient-light sampling with an LED threshold indicator",
+                false,
+                false,
+            ),
+            WorkloadId::UltrasonicRanger => (
+                ultrasonic_ranger::source(),
+                "ultrasonic distance measurement with software division",
+                false,
+                false,
+            ),
+            WorkloadId::FireSensor => (
+                fire_sensor::source(),
+                "flame and temperature monitoring with an alarm output",
+                false,
+                false,
+            ),
+            WorkloadId::SyringePump => (
+                syringe_pump::source(),
+                "stepper-motor syringe pump with a timer-interrupt step counter",
+                true,
+                false,
+            ),
+            WorkloadId::TempSensor => (
+                temp_sensor::source(),
+                "periodic temperature sampling and conversion",
+                true,
+                false,
+            ),
+            WorkloadId::Charlieplexing => (
+                charlieplexing::source(),
+                "charlieplexed LED animation selected through a function pointer",
+                false,
+                true,
+            ),
+            WorkloadId::LcdSensor => (
+                lcd_sensor::source(),
+                "character LCD output with controller busy-waits",
+                false,
+                false,
+            ),
+        };
+        Workload {
+            id: self,
+            name: self.name(),
+            description,
+            source,
+            uses_interrupts,
+            uses_indirect_calls,
+        }
+    }
+}
+
+impl fmt::Display for WorkloadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A fully described evaluation application.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Which application this is.
+    pub id: WorkloadId,
+    /// Name as printed in Table IV.
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Assembly source in the `eilid-asm` dialect.
+    pub source: String,
+    /// `true` if the application uses the timer interrupt (exercises P2).
+    pub uses_interrupts: bool,
+    /// `true` if the application performs indirect calls (exercises P3).
+    pub uses_indirect_calls: bool,
+}
+
+/// All seven workloads in Table IV order.
+pub fn all() -> Vec<Workload> {
+    WorkloadId::ALL.iter().map(|id| id.workload()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_seven_applications() {
+        let workloads = all();
+        assert_eq!(workloads.len(), 7);
+        let names: Vec<&str> = workloads.iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "LightSensor",
+                "UltrasonicRanger",
+                "FireSensor",
+                "SyringePump",
+                "TempSensor",
+                "Charlieplexing",
+                "LcdSensor"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_workload_assembles_and_has_an_attack_point() {
+        for workload in all() {
+            let image = eilid_asm::assemble(&workload.source)
+                .unwrap_or_else(|e| panic!("{} fails to assemble: {e}", workload.name));
+            assert!(
+                image.symbol("attack_point").is_some(),
+                "{} lacks an attack_point label",
+                workload.name
+            );
+            assert!(image.symbol("main").is_some());
+            assert!(image.code_size() > 50, "{} is implausibly small", workload.name);
+            if workload.uses_interrupts {
+                assert!(
+                    image.symbol("isr_attack_point").is_some(),
+                    "{} lacks an isr_attack_point label",
+                    workload.name
+                );
+                assert!(!image.vectors.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn feature_flags_match_the_sources() {
+        for workload in all() {
+            assert_eq!(
+                workload.uses_interrupts,
+                workload.source.contains(".isr"),
+                "{}",
+                workload.name
+            );
+            assert_eq!(
+                workload.uses_indirect_calls,
+                workload.source.contains("call r13"),
+                "{}",
+                workload.name
+            );
+        }
+    }
+}

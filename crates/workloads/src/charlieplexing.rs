@@ -1,0 +1,117 @@
+//! Charlieplexing — LED matrix animation driven through a function pointer.
+//!
+//! Port of the `msp430-examples` charlieplexing demo: render animation
+//! frames on six charlieplexed LEDs. The current animation is selected
+//! through a function pointer kept in data memory and invoked with an
+//! indirect call, which makes this the workload that exercises P3
+//! (indirect-call integrity).
+
+use crate::common::with_standard_header_and_init;
+
+/// Number of animation frames rendered.
+pub const FRAMES: u16 = 150;
+
+/// Data-memory address of the animation function pointer (the target of the
+/// indirect-call hijack attack).
+pub const PATTERN_PTR_ADDR: u16 = 0x0240;
+
+/// Assembly source of the workload.
+pub fn source() -> String {
+    with_standard_header_and_init(
+        "    .global main
+    .equ PATTERN_PTR, 0x0240
+    .equ FRAMES, 150
+
+main:
+    mov #STACK_TOP, sp
+    call #init_device
+    mov #0x003f, &GPIO_DIR
+    clr r9                      ; frames rendered
+    mov #pattern_blink, &PATTERN_PTR
+    mov #FRAMES, r8
+charlie_loop:
+    mov &PATTERN_PTR, r13
+    call r13                    ; render the current animation frame
+    call #swap_pattern
+    mov #1100, r14
+    call #delay
+    dec r8
+    jnz charlie_loop
+    mov r9, &SIM_OUT
+    mov #0, &SIM_EXIT
+    mov #DONE, &SIM_CTL
+charlie_hang:
+    jmp charlie_hang
+
+; Alternate between the two animations every eight frames.
+swap_pattern:
+    mov r8, r15
+    and #7, r15
+    jnz swap_keep
+    cmp #pattern_blink, &PATTERN_PTR
+    jeq swap_to_chase
+    mov #pattern_blink, &PATTERN_PTR
+    ret
+swap_to_chase:
+    mov #pattern_chase, &PATTERN_PTR
+    ret
+swap_keep:
+    ret
+
+; Animation A: blink all six LEDs together.
+pattern_blink:
+attack_point:
+    inc r9
+    xor #0x003f, &GPIO_OUT
+    ret
+
+; Animation B: walk a single lit LED across the six pins.
+pattern_chase:
+    inc r9
+    mov &GPIO_OUT, r15
+    add r15, r15
+    and #0x003f, r15
+    jnz pattern_chase_apply
+    mov #1, r15
+pattern_chase_apply:
+attack_gadget:
+    mov r15, &GPIO_OUT
+    ret
+
+; Frame-period delay.
+delay:
+delay_loop:
+    dec r14
+    jnz delay_loop
+    ret
+",
+        25,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eilid::{DeviceBuilder, RunOutcome};
+
+    #[test]
+    fn assembles_and_renders_every_frame() {
+        let mut device = DeviceBuilder::new().build_baseline(&source()).unwrap();
+        match device.run_for(3_000_000) {
+            RunOutcome::Completed { output, .. } => {
+                assert_eq!(output, vec![FRAMES]);
+            }
+            other => panic!("unexpected outcome: {other}"),
+        }
+    }
+
+    #[test]
+    fn eilid_registers_both_patterns_and_checks_the_indirect_call() {
+        let mut device = DeviceBuilder::new().build_eilid(&source()).unwrap();
+        let report = device.artifacts().unwrap().report.clone();
+        assert_eq!(report.indirect_calls, 1);
+        assert!(report.functions_registered >= 2, "both patterns must be registered");
+        let outcome = device.run_for(6_000_000);
+        assert!(outcome.is_completed(), "legitimate indirect calls must pass: {outcome}");
+    }
+}

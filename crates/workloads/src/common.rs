@@ -1,0 +1,106 @@
+//! Shared assembly fragments for the evaluation applications.
+//!
+//! Every workload starts from the same peripheral map (the synthetic
+//! equivalents of the sensors/actuators the paper's applications use) and
+//! the same program skeleton: `.org 0xe000`, a `main` entry point that sets
+//! up the stack, a bounded main loop, and a completion write to the
+//! simulation-control register.
+
+/// Default number of the timer interrupt vector used by interrupt-driven
+/// workloads.
+pub const TIMER_VECTOR: u16 = 8;
+
+/// Standard `.equ` block mapping peripheral registers and simulation
+/// controls. Prepended to every workload source.
+pub fn standard_equates() -> &'static str {
+    "    .org 0xe000
+    .equ SIM_CTL, 0x0100
+    .equ SIM_OUT, 0x0102
+    .equ SIM_EXIT, 0x0104
+    .equ ADC_CTL, 0x0110
+    .equ ADC_DATA, 0x0112
+    .equ TIMER_CTL, 0x0120
+    .equ TIMER_COUNT, 0x0122
+    .equ TIMER_CMP, 0x0124
+    .equ GPIO_OUT, 0x0130
+    .equ GPIO_IN, 0x0132
+    .equ GPIO_DIR, 0x0134
+    .equ UART_TX, 0x0140
+    .equ UART_STATUS, 0x0142
+    .equ ULTRA_CTL, 0x0150
+    .equ ULTRA_ECHO, 0x0152
+    .equ DONE, 0x00ff
+    .equ STACK_TOP, 0x0400
+"
+}
+
+/// Builds a complete workload source from the standard equates plus the
+/// application body.
+pub fn with_standard_header(body: &str) -> String {
+    format!("{}{}", standard_equates(), body)
+}
+
+/// Generates a boot-time device-initialisation routine with `writes`
+/// configuration/calibration stores.
+///
+/// The paper's applications are compiled C programs whose binaries contain a
+/// substantial amount of straight-line start-up code (peripheral
+/// configuration, calibration constants, static-data initialisation) that
+/// executes once and contains no calls. The hand-written assembly workloads
+/// would otherwise consist almost entirely of call-dense loop bodies, which
+/// would exaggerate the *relative* binary-size overhead of the
+/// instrumentation. `init_device` reproduces that start-up code: `writes`
+/// stores of deterministic calibration words into the scratch area at
+/// `0x0260..`, executed exactly once from `main`.
+pub fn init_block(writes: usize) -> String {
+    let mut out = String::from("
+; Boot-time configuration and calibration-constant initialisation.
+init_device:
+");
+    for i in 0..writes {
+        let addr = 0x0260 + 2 * (i as u16 % 64);
+        let value = (0x1234u16)
+            .wrapping_mul(i as u16 + 1)
+            .rotate_left((i % 7) as u32);
+        out.push_str(&format!("    mov #0x{value:04x}, &0x{addr:04x}
+"));
+    }
+    out.push_str("    ret
+");
+    out
+}
+
+/// Builds a complete workload source: standard equates, the application
+/// body, and an `init_device` routine with `init_writes` stores.
+pub fn with_standard_header_and_init(body: &str, init_writes: usize) -> String {
+    format!("{}{}{}", standard_equates(), body, init_block(init_writes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_block_size_scales_with_writes() {
+        let small = with_standard_header_and_init(
+            "    .global main\nmain:\n    call #init_device\nhang:\n    jmp hang\n",
+            10,
+        );
+        let large = with_standard_header_and_init(
+            "    .global main\nmain:\n    call #init_device\nhang:\n    jmp hang\n",
+            40,
+        );
+        let small_size = eilid_asm::assemble(&small).unwrap().code_size();
+        let large_size = eilid_asm::assemble(&large).unwrap().code_size();
+        assert_eq!(large_size - small_size, 30 * 6, "each write is a 6-byte store");
+    }
+
+    #[test]
+    fn header_assembles_on_its_own() {
+        let source = with_standard_header("    .global main\nmain:\n    jmp main\n");
+        let image = eilid_asm::assemble(&source).expect("header + stub assembles");
+        assert_eq!(image.symbol("SIM_CTL"), Some(0x0100));
+        assert_eq!(image.symbol("ULTRA_ECHO"), Some(0x0152));
+        assert_eq!(image.symbol("main"), Some(0xE000));
+    }
+}

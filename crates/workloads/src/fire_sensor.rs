@@ -1,0 +1,107 @@
+//! FireSensor — flame and temperature monitoring with an alarm output.
+//!
+//! Port of the Seeed LaunchPad `FireSensor` demo: sample a flame sensor and
+//! a temperature channel, low-pass filter both, and raise an alarm when both
+//! cross their thresholds. It has the densest call pattern of the seven
+//! applications, giving it the highest run-time overhead in Table IV.
+
+use crate::common::with_standard_header_and_init;
+
+/// Number of monitoring iterations.
+pub const ITERATIONS: u16 = 170;
+
+/// Assembly source of the workload.
+pub fn source() -> String {
+    with_standard_header_and_init(
+        "    .global main
+    .equ FLAME_THRESHOLD, 0x02c0
+    .equ TEMP_THRESHOLD, 0x0280
+
+main:
+    mov #STACK_TOP, sp
+    call #init_device
+    mov #0x0003, &GPIO_DIR
+    clr r9                     ; alarm count
+    clr r10                    ; filtered flame level
+    clr r11                    ; filtered temperature
+    mov #170, r8
+fire_loop:
+    call #read_flame
+    call #read_temp
+    call #check_alarm
+    mov #560, r14
+    call #delay
+    dec r8
+    jnz fire_loop
+    mov r9, &SIM_OUT
+    mov #0, &SIM_EXIT
+    mov #DONE, &SIM_CTL
+fire_hang:
+    jmp fire_hang
+
+; Sample the flame channel and low-pass filter it into r10.
+read_flame:
+attack_point:
+    mov #1, &ADC_CTL
+    mov &ADC_DATA, r15
+    add r15, r10
+    rra r10
+    ret
+
+; Sample the temperature channel and low-pass filter it into r11.
+read_temp:
+    mov #1, &ADC_CTL
+    mov &ADC_DATA, r15
+    add r15, r11
+    rra r11
+    ret
+
+; Raise the alarm (both GPIO bits) only when flame and temperature agree.
+check_alarm:
+    cmp #FLAME_THRESHOLD, r10
+    jl check_clear
+    cmp #TEMP_THRESHOLD, r11
+    jl check_clear
+    bis #3, &GPIO_OUT
+    inc r9
+    ret
+check_clear:
+    bic #3, &GPIO_OUT
+    ret
+
+; Sampling-interval delay.
+delay:
+delay_loop:
+    dec r14
+    jnz delay_loop
+    ret
+",
+        50,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eilid::{DeviceBuilder, RunOutcome};
+
+    #[test]
+    fn assembles_and_completes_on_baseline() {
+        let mut device = DeviceBuilder::new().build_baseline(&source()).unwrap();
+        match device.run_for(3_000_000) {
+            RunOutcome::Completed { output, .. } => {
+                assert_eq!(output.len(), 1);
+                assert!(output[0] < u16::from(ITERATIONS));
+            }
+            other => panic!("unexpected outcome: {other}"),
+        }
+    }
+
+    #[test]
+    fn eilid_instrumentation_covers_all_four_functions() {
+        let device = DeviceBuilder::new().build_eilid(&source()).unwrap();
+        let report = &device.artifacts().unwrap().report;
+        assert_eq!(report.call_sites, 5, "init + four call sites per loop body");
+        assert_eq!(report.returns, 6, "init, read_flame, read_temp, check_alarm x2, delay");
+    }
+}

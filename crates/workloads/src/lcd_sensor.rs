@@ -1,0 +1,106 @@
+//! LcdSensor — writing sensor text to a character LCD.
+//!
+//! Port of the `msp430-examples` LCD demo: stream a line of characters to
+//! the display controller, waiting for the (slow) controller between
+//! characters. Long busy-waits with few calls give it the lowest run-time
+//! overhead of the seven applications.
+
+use crate::common::with_standard_header_and_init;
+
+/// Characters per line written to the LCD.
+pub const MESSAGE_LEN: u16 = 26;
+
+/// Number of lines written.
+pub const REPEATS: u16 = 3;
+
+/// Assembly source of the workload.
+pub fn source() -> String {
+    with_standard_header_and_init(
+        "    .global main
+    .equ MESSAGE_LEN, 26
+    .equ REPEATS, 3
+
+main:
+    mov #STACK_TOP, sp
+    call #init_device
+    clr r9                      ; characters written
+    mov #REPEATS, r11
+lcd_outer:
+    mov #MESSAGE_LEN, r8
+    mov #0x0041, r10            ; start each line at 'A'
+lcd_line:
+    mov r10, r15
+    call #lcd_putc
+    inc r10
+    dec r8
+    jnz lcd_line
+    call #lcd_newline
+    dec r11
+    jnz lcd_outer
+    mov r9, &SIM_OUT
+    mov #0, &SIM_EXIT
+    mov #DONE, &SIM_CTL
+lcd_hang:
+    jmp lcd_hang
+
+; Write one character to the LCD, then wait for the controller.
+lcd_putc:
+attack_point:
+    mov r15, &UART_TX
+    inc r9
+    mov #1650, r14
+    call #lcd_wait
+    ret
+
+; Send a newline and wait.
+lcd_newline:
+    mov #0x000a, &UART_TX
+    mov #1650, r14
+    call #lcd_wait
+    ret
+
+; Busy-wait until the (modelled) LCD controller is ready again.
+lcd_wait:
+lcd_wait_loop:
+    dec r14
+    jnz lcd_wait_loop
+    ret
+",
+        78,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eilid::{DeviceBuilder, RunOutcome};
+
+    #[test]
+    fn assembles_and_writes_the_expected_text() {
+        let mut device = DeviceBuilder::new().build_baseline(&source()).unwrap();
+        let outcome = device.run_for(3_000_000);
+        match outcome {
+            RunOutcome::Completed { output, .. } => {
+                assert_eq!(output, vec![MESSAGE_LEN * REPEATS]);
+            }
+            other => panic!("unexpected outcome: {other}"),
+        }
+        let text = device.cpu().peripherals.uart_output().to_vec();
+        assert_eq!(text.len() as u16, MESSAGE_LEN * REPEATS + REPEATS);
+        assert!(text.starts_with(b"ABCDEFGH"));
+        assert_eq!(text.iter().filter(|&&b| b == b'\n').count() as u16, REPEATS);
+    }
+
+    #[test]
+    fn lcd_has_the_lowest_overhead_profile() {
+        // Two call pairs per character against a ~5000-cycle busy wait keeps
+        // the EILID overhead in the low single digits, mirroring the paper's
+        // LcdSensor row.
+        let builder = DeviceBuilder::new();
+        let base = builder.build_baseline(&source()).unwrap().run_for(3_000_000);
+        let eilid = builder.build_eilid(&source()).unwrap().run_for(6_000_000);
+        let overhead = eilid.cycles() as f64 / base.cycles() as f64 - 1.0;
+        assert!(base.is_completed() && eilid.is_completed());
+        assert!(overhead > 0.0 && overhead < 0.08, "overhead {overhead:.3}");
+    }
+}

@@ -1,0 +1,46 @@
+//! # eilid-workloads — the paper's evaluation applications and attacks
+//!
+//! The EILID paper evaluates its overhead on seven publicly available
+//! embedded applications ported to openMSP430 (Table IV): `LightSensor`,
+//! `UltrasonicRanger`, `FireSensor`, `SyringePump`, `TempSensor`,
+//! `Charlieplexing` and `LcdSensor`. Those exact C sources target real
+//! sensor hardware, so this crate provides faithful re-implementations in
+//! the reproduction's MSP430 assembly dialect against the simulator's
+//! synthetic peripherals, preserving the structural features that drive the
+//! instrumentation overhead: function/call density, interrupt usage and
+//! indirect calls.
+//!
+//! The crate also contains the run-time [`attacks`] of the paper's threat
+//! model, used by the attack-coverage tests and the `attack_demo` example.
+//!
+//! # Examples
+//!
+//! ```
+//! use eilid::DeviceBuilder;
+//! use eilid_workloads::WorkloadId;
+//!
+//! let workload = WorkloadId::LightSensor.workload();
+//! let mut device = DeviceBuilder::new().build_eilid(&workload.source)?;
+//! let outcome = device.run();
+//! assert!(outcome.is_completed());
+//! # Ok::<(), eilid::EilidError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod attacks;
+pub mod charlieplexing;
+pub mod common;
+pub mod fire_sensor;
+pub mod lcd_sensor;
+pub mod light_sensor;
+pub mod syringe_pump;
+pub mod temp_sensor;
+pub mod ultrasonic_ranger;
+
+pub use app::{all, Workload, WorkloadId};
+pub use attacks::{
+    dmem_execution_source, inject, pmem_overwrite_source, AttackError, AttackResult, CfiAttack,
+};

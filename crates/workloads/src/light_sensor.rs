@@ -1,0 +1,104 @@
+//! LightSensor — ambient-light sampling with an LED threshold indicator.
+//!
+//! Port of the Seeed LaunchPad `LightSensor` demo used by the paper: sample
+//! the light sensor through the ADC, smooth the reading, and drive an LED
+//! when the ambient level crosses a threshold. It is the smallest of the
+//! seven evaluation applications (Table IV, first row).
+
+use crate::common::with_standard_header_and_init;
+
+/// Number of samples the application takes before finishing.
+pub const SAMPLES: u16 = 16;
+
+/// Assembly source of the workload.
+pub fn source() -> String {
+    with_standard_header_and_init(
+        "    .global main
+
+main:
+    mov #STACK_TOP, sp
+    call #init_device
+    mov #0x0001, &GPIO_DIR
+    clr r9                    ; bright-sample count
+    clr r11                   ; smoothed light level
+    mov #16, r8               ; samples to take
+light_loop:
+    call #read_light
+    call #update_led
+    mov #600, r14
+    call #delay
+    dec r8
+    jnz light_loop
+    mov r9, &SIM_OUT
+    mov #0, &SIM_EXIT
+    mov #DONE, &SIM_CTL
+light_hang:
+    jmp light_hang
+
+; Sample the light sensor and fold it into the smoothed value in r11.
+read_light:
+attack_point:
+    mov #1, &ADC_CTL
+    mov &ADC_DATA, r15
+    add r15, r11
+    rra r11
+    ret
+
+; Drive the LED from the smoothed value and count bright samples.
+update_led:
+    cmp #0x0180, r11
+    jl update_led_off
+    bis #1, &GPIO_OUT
+    inc r9
+    ret
+update_led_off:
+    bic #1, &GPIO_OUT
+    ret
+
+; Busy-wait: r14 iterations of the sensor settling delay.
+delay:
+delay_loop:
+    dec r14
+    jnz delay_loop
+    ret
+",
+        24,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eilid::{DeviceBuilder, RunOutcome};
+
+    #[test]
+    fn assembles_and_completes_on_baseline() {
+        let mut device = DeviceBuilder::new().build_baseline(&source()).unwrap();
+        match device.run_for(1_000_000) {
+            RunOutcome::Completed { output, .. } => {
+                assert_eq!(output.len(), 1);
+                assert!(output[0] > 0 && output[0] <= u16::from(SAMPLES));
+            }
+            other => panic!("unexpected outcome: {other}"),
+        }
+    }
+
+    #[test]
+    fn completes_identically_under_eilid() {
+        let builder = DeviceBuilder::new();
+        let base = builder.build_baseline(&source()).unwrap().run_for(1_000_000);
+        let eilid = builder.build_eilid(&source()).unwrap().run_for(2_000_000);
+        match (base, eilid) {
+            (
+                RunOutcome::Completed { output: a, cycles: ca, .. },
+                RunOutcome::Completed { output: b, cycles: cb, .. },
+            ) => {
+                assert_eq!(a, b);
+                assert!(cb > ca);
+                let overhead = cb as f64 / ca as f64 - 1.0;
+                assert!(overhead < 0.30, "run-time overhead {overhead:.2} is implausible");
+            }
+            other => panic!("unexpected outcomes: {other:?}"),
+        }
+    }
+}

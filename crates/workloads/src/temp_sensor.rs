@@ -1,0 +1,115 @@
+//! TempSensor — periodic temperature sampling and conversion.
+//!
+//! Port of the `msp430-examples` temperature-sensor demo: read the ADC,
+//! convert the raw value to tenths of a degree with a shift-and-add
+//! multiply, and keep a running sum, with a timer interrupt acting as the
+//! sampling tick.
+
+use crate::common::with_standard_header_and_init;
+
+/// Number of temperature samples taken.
+pub const SAMPLES: u16 = 40;
+
+/// Assembly source of the workload.
+pub fn source() -> String {
+    with_standard_header_and_init(
+        "    .global main
+    .isr sample_isr, 8
+    .equ SAMPLE_TARGET, 40
+
+main:
+    mov #STACK_TOP, sp
+    call #init_device
+    clr r9                     ; sampling ticks observed
+    clr r10                    ; latest converted temperature
+    clr r11                    ; running sum of temperatures
+    mov #400, &TIMER_CMP
+    mov #0x0003, &TIMER_CTL
+    eint
+    mov #SAMPLE_TARGET, r8
+temp_loop:
+    call #read_and_convert
+    mov #900, r14
+    call #delay
+    dec r8
+    jnz temp_loop
+    dint
+    mov r10, &SIM_OUT
+    mov #0, &SIM_EXIT
+    mov #DONE, &SIM_CTL
+temp_hang:
+    jmp temp_hang
+
+; Read the ADC and convert the raw value: temp = raw * 5 / 8, computed with
+; shifts and adds (no hardware multiplier on this class of device).
+read_and_convert:
+attack_point:
+    mov #1, &ADC_CTL
+    mov &ADC_DATA, r15
+    mov r15, r13
+    add r13, r13              ; raw * 2
+    add r13, r13              ; raw * 4
+    add r15, r13              ; raw * 5
+    rra r13
+    rra r13
+    rra r13                   ; (raw * 5) / 8
+    mov r13, r10
+    add r13, r11
+    ret
+
+; Sampling-period delay.
+delay:
+delay_loop:
+    dec r14
+    jnz delay_loop
+    ret
+
+; Sampling tick: acknowledge the timer and count the tick.
+sample_isr:
+isr_attack_point:
+    push r12
+    mov &TIMER_CTL, r12
+    bis #4, r12
+    mov r12, &TIMER_CTL
+    inc r9
+    pop r12
+    reti
+",
+        25,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eilid::{DeviceBuilder, RunOutcome};
+
+    #[test]
+    fn assembles_and_completes_on_baseline() {
+        let mut device = DeviceBuilder::new().build_baseline(&source()).unwrap();
+        match device.run_for(3_000_000) {
+            RunOutcome::Completed { output, .. } => {
+                assert_eq!(output.len(), 1);
+                // temp = raw * 5 / 8 for raw < 0x400 stays below 0x280.
+                assert!(output[0] < 0x0280);
+            }
+            other => panic!("unexpected outcome: {other}"),
+        }
+    }
+
+    #[test]
+    fn conversion_matches_reference_formula() {
+        use eilid_msp430::AdcStimulus;
+        let mut device = DeviceBuilder::new()
+            .adc_stimulus(AdcStimulus::Constant(0x0200))
+            .build_baseline(&source())
+            .unwrap();
+        let outcome = device.run_for(3_000_000);
+        match outcome {
+            RunOutcome::Completed { output, .. } => {
+                assert_eq!(output[0], 0x0200 * 5 / 8);
+            }
+            other => panic!("unexpected outcome: {other}"),
+        }
+    }
+}

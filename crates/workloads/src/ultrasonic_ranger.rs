@@ -1,0 +1,99 @@
+//! UltrasonicRanger — distance measurement with an ultrasonic transducer.
+//!
+//! Port of the Seeed LaunchPad `UltrasonicRanger` demo: trigger a ping, read
+//! the echo round-trip time and convert it to centimetres with a software
+//! division (repeated subtraction), counting "near object" events.
+
+use crate::common::with_standard_header_and_init;
+
+/// Number of pings the application performs.
+pub const PINGS: u16 = 100;
+
+/// Assembly source of the workload.
+pub fn source() -> String {
+    with_standard_header_and_init(
+        "    .global main
+
+main:
+    mov #STACK_TOP, sp
+    call #init_device
+    clr r9                    ; near-object count
+    mov #100, r8              ; pings to perform
+ultra_loop:
+    call #ping
+    call #convert_distance
+    mov #520, r14
+    call #delay
+    dec r8
+    jnz ultra_loop
+    mov r9, &SIM_OUT
+    mov #0, &SIM_EXIT
+    mov #DONE, &SIM_CTL
+ultra_hang:
+    jmp ultra_hang
+
+; Trigger a ping and read the raw echo time into r15.
+ping:
+attack_point:
+    mov #1, &ULTRA_CTL
+    mov &ULTRA_ECHO, r15
+    ret
+
+; Convert the echo time to centimetres (divide by 58 via repeated
+; subtraction) and count near objects.
+convert_distance:
+    clr r13
+convert_loop:
+    cmp #58, r15
+    jl convert_done
+    sub #58, r15
+    inc r13
+    jmp convert_loop
+convert_done:
+    cmp #12, r13
+    jge convert_far
+    inc r9
+convert_far:
+    mov r13, &GPIO_OUT
+    ret
+
+; Inter-ping settling delay.
+delay:
+delay_loop:
+    dec r14
+    jnz delay_loop
+    ret
+",
+        28,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eilid::{DeviceBuilder, RunOutcome};
+
+    #[test]
+    fn assembles_and_completes_on_baseline() {
+        let mut device = DeviceBuilder::new().build_baseline(&source()).unwrap();
+        match device.run_for(2_000_000) {
+            RunOutcome::Completed { output, .. } => {
+                assert_eq!(output.len(), 1);
+                assert!(output[0] > 0 && output[0] < u16::from(PINGS));
+            }
+            other => panic!("unexpected outcome: {other}"),
+        }
+    }
+
+    #[test]
+    fn division_loop_produces_sensible_distances() {
+        // The synthetic transducer produces echoes of 580..=1092 units, so
+        // the software division must yield 10..=18 centimetres; GPIO_OUT
+        // holds the most recent distance when the run finishes.
+        let mut device = DeviceBuilder::new().build_baseline(&source()).unwrap();
+        let outcome = device.run_for(2_000_000);
+        assert!(outcome.is_completed());
+        let last_distance = device.cpu().peripherals.read(0x0130);
+        assert!((10..=18).contains(&last_distance), "{last_distance}");
+    }
+}

@@ -1,0 +1,27 @@
+//! Overhead report: a quick version of the paper's full evaluation.
+//!
+//! Prints Table IV (with 3 compile iterations instead of 50), the §VI
+//! micro-costs, and the Figure 10 hardware comparison in one go. For the
+//! full-fidelity run use the `eilid-bench` binaries.
+//!
+//! Run with: `cargo run --release --example overhead_report`
+
+use eilid_bench::{
+    measure_all, measure_micro_costs, render_figure10a, render_figure10b, Table4Options,
+};
+
+fn main() {
+    println!("== EILID overhead report (quick settings) ==\n");
+
+    println!("--- Table IV: software overhead ---");
+    let table = measure_all(&Table4Options::quick());
+    println!("{}", table.render());
+
+    println!("--- SS VI micro-costs ---");
+    let micro = measure_micro_costs(&eilid::EilidConfig::default());
+    println!("{}", micro.render());
+
+    println!("--- Figure 10: hardware overhead ---");
+    println!("{}", render_figure10a());
+    println!("{}", render_figure10b());
+}

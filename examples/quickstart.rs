@@ -1,0 +1,96 @@
+//! Quickstart: protect a small sensor application with EILID and compare it
+//! against the unprotected original.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use eilid::{DeviceBuilder, EilidConfig, RunOutcome};
+
+const APP: &str = "    .org 0xe000
+    .global main
+    .equ SIM_CTL, 0x0100
+    .equ SIM_OUT, 0x0102
+    .equ ADC_CTL, 0x0110
+    .equ ADC_DATA, 0x0112
+    .equ DONE, 0x00ff
+main:
+    mov #0x0400, sp
+    clr r9
+    mov #8, r8
+loop:
+    call #read_sensor
+    add r15, r9
+    mov #220, r14             ; sensor settling time (busy wait)
+settle:
+    dec r14
+    jnz settle
+    dec r8
+    jnz loop
+    mov r9, &SIM_OUT
+    mov #DONE, &SIM_CTL
+hang:
+    jmp hang
+read_sensor:
+    mov #1, &ADC_CTL
+    mov &ADC_DATA, r15
+    ret
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== EILID quickstart ==\n");
+    let config = EilidConfig::default();
+    let builder = DeviceBuilder::new().config(config.clone());
+
+    // 1. The original application on an unprotected device.
+    let mut baseline = builder.build_baseline(APP)?;
+    let base = baseline.run();
+    println!("original device : {base}");
+
+    // 2. The same application, instrumented (Figure 2 pipeline) and run on an
+    //    EILID-protected device.
+    let mut protected = builder.build_eilid(APP)?;
+    let artifacts = protected.artifacts().expect("protected build has artifacts").clone();
+    println!(
+        "instrumentation : {} call sites, {} returns, {} lines inserted",
+        artifacts.report.call_sites, artifacts.report.returns, artifacts.report.inserted_lines
+    );
+    println!(
+        "binary size     : {} -> {} bytes ({:+.1}%)",
+        artifacts.metrics.original_binary_bytes,
+        artifacts.metrics.instrumented_binary_bytes,
+        artifacts.metrics.binary_size_overhead() * 100.0
+    );
+    println!(
+        "build pipeline  : {} iterations (paper Figure 2), {:.2?} vs {:.2?} baseline",
+        artifacts.metrics.iterations,
+        artifacts.metrics.instrumented_compile_time,
+        artifacts.metrics.original_compile_time
+    );
+
+    let eilid = protected.run();
+    println!("EILID device    : {eilid}");
+
+    match (&base, &eilid) {
+        (RunOutcome::Completed { output: a, .. }, RunOutcome::Completed { output: b, .. }) => {
+            assert_eq!(a, b, "protection must not change program results");
+            let overhead = eilid.cycles() as f64 / base.cycles() as f64 - 1.0;
+            println!(
+                "\nsame output ({a:?}), run-time overhead {:.1}% at {} MHz",
+                overhead * 100.0,
+                config.clock_hz / 1_000_000
+            );
+        }
+        other => panic!("unexpected outcomes: {other:?}"),
+    }
+
+    // 3. Peek at the instrumented assembly (Figures 3 and 4 templates).
+    println!("\nfirst instrumented lines:");
+    for line in artifacts
+        .instrumented_source
+        .lines()
+        .filter(|l| l.contains("NS_EILID"))
+        .take(4)
+    {
+        println!("    {line}");
+    }
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Safety-critical scenario: the syringe pump from the paper's motivation.
+//!
+//! A syringe pump is exactly the kind of safety-critical, time-critical
+//! device for which after-the-fact control-flow *attestation* is too late:
+//! by the time a verifier notices the hijack, the wrong dose has been
+//! delivered. This example runs the pump workload under EILID, shows that
+//! the timer-driven step counting still works (P2), and demonstrates that a
+//! hijacked interrupt context is stopped in real time.
+//!
+//! Run with: `cargo run --example syringe_pump_cfi`
+
+use eilid::DeviceBuilder;
+use eilid_workloads::{inject, CfiAttack, WorkloadId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Syringe pump under EILID ==\n");
+    let workload = WorkloadId::SyringePump.workload();
+
+    // Normal operation on the protected device.
+    let mut device = DeviceBuilder::new().build_eilid(&workload.source)?;
+    let report = device.artifacts().expect("artifacts").report.clone();
+    println!(
+        "instrumentation: {} call sites, {} returns, ISR entry/exit {}/{}",
+        report.call_sites, report.returns, report.isr_entries, report.isr_exits
+    );
+    let outcome = device.run();
+    println!("normal dose delivery: {outcome}");
+    assert!(outcome.is_completed(), "pump must work under protection");
+
+    // The same pump with an adversary tampering with the interrupt context.
+    let mut victim = DeviceBuilder::new().build_eilid(&workload.source)?;
+    let attack = inject(&mut victim, CfiAttack::IsrContextTamper, 60_000_000)?;
+    println!("under ISR-context attack: {}", attack.outcome);
+    assert!(
+        attack.detected_as_expected(),
+        "the tampered interrupt context must be caught by P2"
+    );
+    println!("\nEILID stopped the hijacked interrupt return before any further dosing.");
+
+    // The unprotected pump silently mis-executes instead.
+    let mut unprotected = DeviceBuilder::new().build_baseline(&workload.source)?;
+    let attack = inject(&mut unprotected, CfiAttack::IsrContextTamper, 10_000_000)?;
+    println!("unprotected pump under the same attack: {}", attack.outcome);
+    assert!(!attack.detected());
+    Ok(())
+}

@@ -1,0 +1,194 @@
+//! `eilid-cli` — command-line front end for the EILID reproduction.
+//!
+//! ```text
+//! eilid-cli instrument <app.s>             print the instrumented assembly + report
+//! eilid-cli run <app.s> [--protect] [--max-cycles N]
+//!                                          assemble (and optionally protect) then simulate
+//! eilid-cli disasm <app.s>                 assemble and disassemble the image
+//! eilid-cli workloads                      list the paper's evaluation applications
+//! eilid-cli attack <workload> <attack>     inject a threat-model attack on a protected device
+//! ```
+
+use std::process::ExitCode;
+
+use eilid::{DeviceBuilder, EilidConfig, InstrumentedBuild, Runtime};
+use eilid_casu::{CasuPolicy, MemoryLayout};
+use eilid_msp430::render_disassembly;
+use eilid_workloads::{CfiAttack, WorkloadId};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("instrument") => cmd_instrument(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("disasm") => cmd_disasm(&args[1..]),
+        Some("workloads") => cmd_workloads(),
+        Some("attack") => cmd_attack(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `eilid-cli help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "eilid-cli — EILID (DATE 2025) reproduction\n\n\
+         USAGE:\n  eilid-cli instrument <app.s>\n  eilid-cli run <app.s> [--protect] [--max-cycles N]\n  eilid-cli disasm <app.s>\n  eilid-cli workloads\n  eilid-cli attack <workload> <attack>\n\n\
+         Attacks: return-address, isr-context, indirect-call, code-injection"
+    );
+}
+
+fn read_source(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+fn cmd_instrument(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: eilid-cli instrument <app.s>")?;
+    let source = read_source(path)?;
+    let config = EilidConfig::default();
+    let runtime = Runtime::build(&config, &MemoryLayout::default(), &CasuPolicy::default())
+        .map_err(|e| e.to_string())?;
+    let artifacts = InstrumentedBuild::new(config)
+        .run(&source, &runtime)
+        .map_err(|e| e.to_string())?;
+    println!("{}", artifacts.instrumented_source);
+    eprintln!("{}", artifacts.report);
+    eprintln!(
+        "binary size: {} -> {} bytes ({:+.1}%), {} build iterations",
+        artifacts.metrics.original_binary_bytes,
+        artifacts.metrics.instrumented_binary_bytes,
+        artifacts.metrics.binary_size_overhead() * 100.0,
+        artifacts.metrics.iterations
+    );
+    Ok(())
+}
+
+fn parse_max_cycles(args: &[String]) -> Result<u64, String> {
+    match args.iter().position(|a| a == "--max-cycles") {
+        Some(i) => args
+            .get(i + 1)
+            .ok_or("--max-cycles needs a value")?
+            .parse::<u64>()
+            .map_err(|e| format!("invalid --max-cycles value: {e}")),
+        None => Ok(50_000_000),
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let path = args
+        .first()
+        .ok_or("usage: eilid-cli run <app.s> [--protect] [--max-cycles N]")?;
+    let source = read_source(path)?;
+    let protect = args.iter().any(|a| a == "--protect");
+    let max_cycles = parse_max_cycles(args)?;
+
+    let builder = DeviceBuilder::new();
+    let mut device = if protect {
+        builder.build_eilid(&source).map_err(|e| e.to_string())?
+    } else {
+        builder.build_baseline(&source).map_err(|e| e.to_string())?
+    };
+    let outcome = device.run_for(max_cycles);
+    println!(
+        "{} device: {outcome}",
+        if protect { "EILID" } else { "baseline" }
+    );
+    println!(
+        "debug output: {:?}",
+        device.cpu().peripherals.sim_output()
+    );
+    if !device.cpu().peripherals.uart_output().is_empty() {
+        println!(
+            "uart output : {}",
+            String::from_utf8_lossy(device.cpu().peripherals.uart_output())
+        );
+    }
+    Ok(())
+}
+
+fn cmd_disasm(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: eilid-cli disasm <app.s>")?;
+    let source = read_source(path)?;
+    let image = eilid_asm::assemble(&source).map_err(|e| e.to_string())?;
+    let memory = image.to_memory().map_err(|e| e.to_string())?;
+    for segment in &image.segments {
+        println!("; segment {:#06x} ({} bytes)", segment.base, segment.bytes.len());
+        println!(
+            "{}",
+            render_disassembly(
+                &memory,
+                segment.base,
+                segment.base.wrapping_add(segment.bytes.len() as u16)
+            )
+        );
+    }
+    Ok(())
+}
+
+fn cmd_workloads() -> Result<(), String> {
+    println!("{:<18} {:<5} {:<9} description", "name", "ISR", "indirect");
+    for workload in eilid_workloads::all() {
+        println!(
+            "{:<18} {:<5} {:<9} {}",
+            workload.name,
+            if workload.uses_interrupts { "yes" } else { "-" },
+            if workload.uses_indirect_calls { "yes" } else { "-" },
+            workload.description
+        );
+    }
+    Ok(())
+}
+
+fn parse_workload(name: &str) -> Result<WorkloadId, String> {
+    WorkloadId::ALL
+        .into_iter()
+        .find(|id| id.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown workload `{name}` (see `eilid-cli workloads`)"))
+}
+
+fn parse_attack(name: &str) -> Result<CfiAttack, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "return-address" | "ra" => Ok(CfiAttack::ReturnAddressOverwrite),
+        "isr-context" | "rfi" => Ok(CfiAttack::IsrContextTamper),
+        "indirect-call" | "ind" => Ok(CfiAttack::IndirectCallHijack),
+        "code-injection" | "inject" => Ok(CfiAttack::CodeInjectionJump),
+        other => Err(format!(
+            "unknown attack `{other}` (return-address, isr-context, indirect-call, code-injection)"
+        )),
+    }
+}
+
+fn cmd_attack(args: &[String]) -> Result<(), String> {
+    let workload = parse_workload(args.first().ok_or("usage: eilid-cli attack <workload> <attack>")?)?;
+    let attack = parse_attack(args.get(1).ok_or("usage: eilid-cli attack <workload> <attack>")?)?;
+    let source = workload.workload().source;
+
+    let mut device = DeviceBuilder::new()
+        .build_eilid(&source)
+        .map_err(|e| e.to_string())?;
+    let result = eilid_workloads::inject(&mut device, attack, 60_000_000)
+        .map_err(|e| e.to_string())?;
+    println!("{workload} under {attack}: {}", result.outcome);
+    if result.detected() {
+        println!(
+            "detected{}",
+            if result.detected_as_expected() {
+                " with the expected fault class"
+            } else {
+                " (unexpected fault class)"
+            }
+        );
+    } else {
+        println!("NOT detected — this should not happen on a protected device");
+    }
+    Ok(())
+}

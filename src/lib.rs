@@ -1,0 +1,26 @@
+//! Umbrella crate of the EILID reproduction workspace.
+//!
+//! This crate exists to host the workspace-level examples (`examples/`) and
+//! integration tests (`tests/`); the actual functionality lives in the
+//! member crates, re-exported here for convenience:
+//!
+//! * [`eilid`] — the core library (instrumenter, trusted software, device);
+//! * [`eilid_msp430`] — the MSP430 instruction-set simulator substrate;
+//! * [`eilid_asm`] — the assembler/toolchain substrate;
+//! * [`eilid_casu`] — the CASU active Root-of-Trust (hardware monitor,
+//!   authenticated updates);
+//! * [`eilid_workloads`] — the paper's seven evaluation applications and the
+//!   run-time attack injectors;
+//! * [`eilid_hwcost`] — the hardware-cost model and prior-work comparison;
+//! * [`eilid_bench`] — the harness that regenerates every table and figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use eilid;
+pub use eilid_asm;
+pub use eilid_bench;
+pub use eilid_casu;
+pub use eilid_hwcost;
+pub use eilid_msp430;
+pub use eilid_workloads;

@@ -1,0 +1,89 @@
+//! Attack-coverage matrix: every applicable attack class against every
+//! workload, on protected and unprotected devices.
+
+use eilid::DeviceBuilder;
+use eilid_workloads::{inject, AttackError, CfiAttack, WorkloadId};
+
+/// Which attacks apply to which workloads.
+fn applicable(attack: CfiAttack, workload: &eilid_workloads::Workload) -> bool {
+    match attack {
+        CfiAttack::ReturnAddressOverwrite | CfiAttack::CodeInjectionJump => true,
+        CfiAttack::IsrContextTamper => workload.uses_interrupts,
+        CfiAttack::IndirectCallHijack => workload.uses_indirect_calls,
+    }
+}
+
+/// The full matrix: EILID devices detect every applicable attack with the
+/// expected fault class.
+#[test]
+fn eilid_detects_every_applicable_attack() {
+    let mut covered = 0;
+    for id in WorkloadId::ALL {
+        let workload = id.workload();
+        for attack in CfiAttack::ALL {
+            if !applicable(attack, &workload) {
+                continue;
+            }
+            let mut device = DeviceBuilder::new()
+                .build_eilid(&workload.source)
+                .expect("workload builds");
+            let result = inject(&mut device, attack, 60_000_000).expect("attack applies");
+            assert!(
+                result.detected(),
+                "{id}: {attack} went undetected ({})",
+                result.outcome
+            );
+            assert!(
+                result.detected_as_expected(),
+                "{id}: {attack} detected with the wrong fault ({})",
+                result.outcome
+            );
+            covered += 1;
+        }
+    }
+    // 7 workloads × (RA overwrite + code injection) + 2 ISR workloads + 1
+    // indirect-call workload.
+    assert_eq!(covered, 7 * 2 + 2 + 1, "attack matrix coverage changed");
+}
+
+/// Unprotected devices never detect the attacks (they have no monitor), so
+/// the hijacks either complete with corrupted behaviour or hang.
+#[test]
+fn baseline_devices_never_detect_attacks() {
+    for (id, attack) in [
+        (WorkloadId::LightSensor, CfiAttack::ReturnAddressOverwrite),
+        (WorkloadId::SyringePump, CfiAttack::IsrContextTamper),
+        (WorkloadId::Charlieplexing, CfiAttack::IndirectCallHijack),
+        (WorkloadId::TempSensor, CfiAttack::ReturnAddressOverwrite),
+    ] {
+        let workload = id.workload();
+        let mut device = DeviceBuilder::new()
+            .build_baseline(&workload.source)
+            .expect("workload builds");
+        let result = inject(&mut device, attack, 10_000_000).expect("attack applies");
+        assert!(
+            !result.detected(),
+            "{id}: baseline device unexpectedly detected {attack}"
+        );
+    }
+}
+
+/// Attacks that need a feature the workload lacks are rejected with a
+/// descriptive error instead of silently doing nothing.
+#[test]
+fn inapplicable_attacks_are_rejected() {
+    let mut device = DeviceBuilder::new()
+        .build_eilid(&WorkloadId::FireSensor.workload().source)
+        .unwrap();
+    assert!(matches!(
+        inject(&mut device, CfiAttack::IsrContextTamper, 1_000_000),
+        Err(AttackError::MissingSymbol(_))
+    ));
+    let mut device = DeviceBuilder::new()
+        .build_eilid(&WorkloadId::LightSensor.workload().source)
+        .unwrap();
+    assert!(matches!(
+        inject(&mut device, CfiAttack::IndirectCallHijack, 1_000_000),
+        Err(AttackError::MissingSymbol(_))
+    ));
+}

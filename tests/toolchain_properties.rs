@@ -1,0 +1,95 @@
+//! Cross-crate property tests: the assembler, the instrumenter and the
+//! simulator must agree for arbitrary (well-formed) programs.
+
+use eilid::{DeviceBuilder, EilidConfig};
+use proptest::prelude::*;
+
+/// Generates a random but well-formed application: `main` calls a chain of
+/// `depth` leaf-ish functions, each doing a little register arithmetic, and
+/// reports a checksum.
+fn generate_app(depth: usize, work_per_function: usize, seed: u16) -> String {
+    let mut source = String::from(
+        "    .org 0xe000\n    .global main\n    .equ SIM_CTL, 0x0100\n    .equ SIM_OUT, 0x0102\n    .equ DONE, 0x00ff\nmain:\n    mov #0x0400, sp\n    clr r9\n",
+    );
+    source.push_str(&format!("    mov #{seed}, r10\n"));
+    source.push_str("    call #f0\n");
+    source.push_str("    mov r9, &SIM_OUT\n    mov #DONE, &SIM_CTL\nhang:\n    jmp hang\n");
+    for i in 0..depth {
+        source.push_str(&format!("f{i}:\n"));
+        for j in 0..work_per_function {
+            match (i + j) % 4 {
+                0 => source.push_str("    add r10, r9\n"),
+                1 => source.push_str("    xor r10, r9\n"),
+                2 => source.push_str("    inc r10\n"),
+                _ => source.push_str("    rla r9\n"),
+            }
+        }
+        if i + 1 < depth {
+            source.push_str(&format!("    call #f{}\n", i + 1));
+        }
+        source.push_str("    ret\n");
+    }
+    source
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For arbitrary call-chain programs, instrumentation never changes the
+    /// computed result and always costs extra cycles.
+    #[test]
+    fn instrumentation_is_transparent_for_generated_programs(
+        depth in 1usize..8,
+        work in 1usize..12,
+        seed in 0u16..1000,
+    ) {
+        let source = generate_app(depth, work, seed);
+        let builder = DeviceBuilder::new();
+        let mut baseline = builder.build_baseline(&source).expect("generated app assembles");
+        let mut protected = builder.build_eilid(&source).expect("generated app instruments");
+
+        let base = baseline.run_for(5_000_000);
+        let eilid = protected.run_for(10_000_000);
+        prop_assert!(base.is_completed(), "baseline: {base}");
+        prop_assert!(eilid.is_completed(), "eilid: {eilid}");
+        match (base, eilid) {
+            (
+                eilid::RunOutcome::Completed { output: a, cycles: ca, .. },
+                eilid::RunOutcome::Completed { output: b, cycles: cb, .. },
+            ) => {
+                prop_assert_eq!(a, b);
+                prop_assert!(cb > ca);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// The shadow stack depth needed equals the call depth, so a capacity
+    /// equal to the depth passes and one less overflows.
+    #[test]
+    fn shadow_stack_capacity_boundary(depth in 2usize..10) {
+        let source = generate_app(depth, 2, 7);
+        let enough = EilidConfig {
+            shadow_stack_capacity: depth as u16,
+            ..EilidConfig::default()
+        };
+        let mut device = DeviceBuilder::new().config(enough).build_eilid(&source).unwrap();
+        prop_assert!(device.run_for(10_000_000).is_completed());
+
+        let short = EilidConfig {
+            shadow_stack_capacity: depth as u16 - 1,
+            ..EilidConfig::default()
+        };
+        let mut device = DeviceBuilder::new().config(short).build_eilid(&source).unwrap();
+        let outcome = device.run_for(10_000_000);
+        prop_assert!(
+            matches!(
+                outcome.violation(),
+                Some(eilid_casu::Violation::Cfi {
+                    fault: eilid_casu::CfiFault::ShadowStackOverflow
+                })
+            ),
+            "expected overflow, got {}", outcome
+        );
+    }
+}
