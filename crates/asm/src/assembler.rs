@@ -751,7 +751,10 @@ mod tests {
         assert_eq!(image.code_size(), 22);
         let rendered = image.listing.render();
         assert!(rendered.contains("ret"));
-        assert!(rendered.contains("30 41"), "ret encodes as 0x4130: {rendered}");
+        assert!(
+            rendered.contains("30 41"),
+            "ret encodes as 0x4130: {rendered}"
+        );
     }
 
     #[test]
@@ -806,7 +809,9 @@ mod tests {
             AsmErrorKind::UnknownMnemonic(_)
         ));
         assert!(matches!(
-            assemble("    mov #undefined_symbol, r10\n").unwrap_err().kind(),
+            assemble("    mov #undefined_symbol, r10\n")
+                .unwrap_err()
+                .kind(),
             AsmErrorKind::UndefinedSymbol(_)
         ));
         assert!(matches!(

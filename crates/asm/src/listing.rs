@@ -83,8 +83,7 @@ impl fmt::Display for Listing {
         for entry in &self.entries {
             match entry.address {
                 Some(addr) if !entry.bytes.is_empty() => {
-                    let hex: Vec<String> =
-                        entry.bytes.iter().map(|b| format!("{b:02x}")).collect();
+                    let hex: Vec<String> = entry.bytes.iter().map(|b| format!("{b:02x}")).collect();
                     writeln!(f, "{addr:04x}: {:<18} {}", hex.join(" "), entry.source)?;
                 }
                 _ => writeln!(f, "{:24}{}", "", entry.source)?,

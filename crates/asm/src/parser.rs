@@ -404,7 +404,10 @@ mod tests {
         let line = parse_line(1, "    jne loop").unwrap();
         match line.statement {
             Statement::Instruction { operands, .. } => {
-                assert_eq!(operands[0], OperandSpec::Target(Expr::Symbol("loop".into())));
+                assert_eq!(
+                    operands[0],
+                    OperandSpec::Target(Expr::Symbol("loop".into()))
+                );
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -19,11 +19,19 @@ fn bench_compile(c: &mut Criterion) {
     group.sample_size(20);
     for id in WorkloadId::ALL {
         let source = id.workload().source;
-        group.bench_with_input(BenchmarkId::new("original", id.name()), &source, |b, src| {
-            b.iter(|| eilid_asm::assemble(src).unwrap().code_size())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("original", id.name()),
+            &source,
+            |b, src| b.iter(|| eilid_asm::assemble(src).unwrap().code_size()),
+        );
         group.bench_with_input(BenchmarkId::new("eilid", id.name()), &source, |b, src| {
-            b.iter(|| pipeline.run(src, &runtime).unwrap().metrics.instrumented_binary_bytes)
+            b.iter(|| {
+                pipeline
+                    .run(src, &runtime)
+                    .unwrap()
+                    .metrics
+                    .instrumented_binary_bytes
+            })
         });
     }
     group.finish();

@@ -10,14 +10,18 @@ fn bench_runtime(c: &mut Criterion) {
     group.sample_size(10);
     for id in WorkloadId::ALL {
         let source = id.workload().source;
-        group.bench_with_input(BenchmarkId::new("original", id.name()), &source, |b, src| {
-            b.iter(|| {
-                let mut device = DeviceBuilder::new().build_baseline(src).unwrap();
-                let outcome = device.run_for(20_000_000);
-                assert!(outcome.is_completed());
-                outcome.cycles()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("original", id.name()),
+            &source,
+            |b, src| {
+                b.iter(|| {
+                    let mut device = DeviceBuilder::new().build_baseline(src).unwrap();
+                    let outcome = device.run_for(20_000_000);
+                    assert!(outcome.is_completed());
+                    outcome.cycles()
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("eilid", id.name()), &source, |b, src| {
             b.iter(|| {
                 let mut device = DeviceBuilder::new().build_eilid(src).unwrap();

@@ -43,7 +43,10 @@ fn run_cycles(source: &str, config: &EilidConfig, max_cycles: u64) -> u64 {
         .build_eilid(source)
         .expect("workload builds");
     let outcome = device.run_for(max_cycles);
-    assert!(outcome.is_completed(), "ablation run did not complete: {outcome}");
+    assert!(
+        outcome.is_completed(),
+        "ablation run did not complete: {outcome}"
+    );
     outcome.cycles()
 }
 

@@ -10,7 +10,10 @@ fn main() {
     let rows = index_register_ablation(&[WorkloadId::LightSensor, WorkloadId::FireSensor]);
     println!(
         "{}",
-        render_ablation("Shadow-stack index in r5 vs. secure memory (SS-B, paper SS V-B)", &rows)
+        render_ablation(
+            "Shadow-stack index in r5 vs. secure memory (SS-B, paper SS V-B)",
+            &rows
+        )
     );
     let rows = forward_edge_ablation(&[WorkloadId::Charlieplexing]);
     println!(
@@ -23,7 +26,11 @@ fn main() {
             "  capacity {:>3} entries -> {:>4} bytes of secure DMEM {}",
             row.capacity,
             row.secure_dmem_bytes,
-            if row.fits_default_region { "(fits)" } else { "(exceeds default region)" }
+            if row.fits_default_region {
+                "(fits)"
+            } else {
+                "(exceeds default region)"
+            }
         );
     }
 }

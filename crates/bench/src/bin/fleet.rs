@@ -1,0 +1,14 @@
+//! Prints the fleet attestation-throughput scenario: one full sweep at
+//! several fleet sizes and thread counts.
+
+use eilid_bench::fleet::{measure_attestation_throughput, render_fleet_throughput};
+
+fn main() {
+    let mut rows = Vec::new();
+    for &devices in &[64usize, 256, 1024] {
+        for &threads in &[1usize, 2, 4, 8] {
+            rows.push(measure_attestation_throughput(devices, threads));
+        }
+    }
+    print!("{}", render_fleet_throughput(&rows));
+}

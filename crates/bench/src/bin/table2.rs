@@ -4,8 +4,8 @@ use eilid::PlatformIsa;
 
 fn main() {
     println!(
-        "{:<18} {:<8} {:<8} {:<22} {}",
-        "Platform", "Call", "Return", "Return from Interrupt", "Indirect Call"
+        "{:<18} {:<8} {:<8} {:<22} Indirect Call",
+        "Platform", "Call", "Return", "Return from Interrupt"
     );
     for row in PlatformIsa::table() {
         println!(

@@ -6,7 +6,11 @@ use eilid_hwcost::{figure10, TechniqueCost};
 /// Renders one of the Figure 10 bar charts as ASCII art.
 ///
 /// `select` extracts the plotted quantity (LUTs for 10a, registers for 10b).
-pub fn render_bar_chart(title: &str, bars: &[TechniqueCost], select: impl Fn(&TechniqueCost) -> u32) -> String {
+pub fn render_bar_chart(
+    title: &str,
+    bars: &[TechniqueCost],
+    select: impl Fn(&TechniqueCost) -> u32,
+) -> String {
     let max = bars.iter().map(&select).max().unwrap_or(1).max(1);
     let width = 50usize;
     let mut out = format!("{title}\n");
@@ -88,7 +92,9 @@ mod tests {
     fn bar_charts_render_every_technique() {
         let a = render_figure10a();
         let b = render_figure10b();
-        for name in ["EILID", "HAFIX", "HCFI", "Tiny-CFA", "ACFA", "LO-FAT", "LiteHAX"] {
+        for name in [
+            "EILID", "HAFIX", "HCFI", "Tiny-CFA", "ACFA", "LO-FAT", "LiteHAX",
+        ] {
             assert!(a.contains(name), "{name} missing from 10a");
             assert!(b.contains(name), "{name} missing from 10b");
         }

@@ -1,0 +1,99 @@
+//! Fleet-scale attestation throughput: the perf baseline future
+//! scaling work (sharded verifiers, batched MACs, async transports)
+//! measures itself against.
+
+use eilid_casu::DeviceKey;
+use eilid_fleet::{FleetBuilder, HealthClass};
+
+/// One throughput measurement row.
+#[derive(Debug, Clone)]
+pub struct FleetThroughputRow {
+    /// Devices in the fleet.
+    pub devices: usize,
+    /// Worker threads used by the sweep.
+    pub threads: usize,
+    /// Wall-clock seconds for one full attestation sweep.
+    pub sweep_seconds: f64,
+    /// Devices verified per second.
+    pub devices_per_second: f64,
+}
+
+/// Builds a fleet of `devices` and times one full attestation sweep on
+/// `threads` workers.
+///
+/// # Panics
+///
+/// Panics if the fleet fails to build or any device fails attestation —
+/// a throughput number for a broken sweep would be meaningless.
+pub fn measure_attestation_throughput(devices: usize, threads: usize) -> FleetThroughputRow {
+    let root = DeviceKey::new(b"bench-fleet-root-key-0123456789").expect("key length");
+    let (mut fleet, mut verifier) = FleetBuilder::new(root)
+        .devices(devices)
+        .threads(threads)
+        .build()
+        .expect("bench fleet builds");
+
+    let report = verifier.sweep(&mut fleet);
+    assert_eq!(
+        report.count(HealthClass::Attested),
+        devices,
+        "bench fleet must attest clean"
+    );
+    // The sweep measures itself; reuse its numbers rather than
+    // re-timing around the call.
+    FleetThroughputRow {
+        devices,
+        threads,
+        sweep_seconds: report.elapsed.as_secs_f64(),
+        devices_per_second: report.devices_per_second(),
+    }
+}
+
+/// Renders throughput rows as an aligned text table.
+pub fn render_fleet_throughput(rows: &[FleetThroughputRow]) -> String {
+    let mut out = String::from(
+        "Fleet attestation throughput (full-PMEM challenge per device)\n\
+         devices  threads  sweep [s]  devices/s\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{:>7}  {:>7}  {:>9.4}  {:>9.0}\n",
+            row.devices, row.threads, row.sweep_seconds, row.devices_per_second
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_measurement_is_sane() {
+        let row = measure_attestation_throughput(14, 2);
+        assert_eq!(row.devices, 14);
+        assert!(row.sweep_seconds > 0.0);
+        assert!(row.devices_per_second > 0.0);
+    }
+
+    #[test]
+    fn render_includes_every_row() {
+        let rows = vec![
+            FleetThroughputRow {
+                devices: 100,
+                threads: 1,
+                sweep_seconds: 0.5,
+                devices_per_second: 200.0,
+            },
+            FleetThroughputRow {
+                devices: 100,
+                threads: 4,
+                sweep_seconds: 0.25,
+                devices_per_second: 400.0,
+            },
+        ];
+        let table = render_fleet_throughput(&rows);
+        assert_eq!(table.lines().count(), 4);
+        assert!(table.contains("400"));
+    }
+}

@@ -13,6 +13,7 @@
 //! | Figure 10 (hardware overhead) | [`figures`], [`eilid_hwcost`] | `figure10` |
 //! | §VI micro-costs | [`micro`] | `micro` |
 //! | Design-choice ablations | [`ablation`] | `ablation` |
+//! | Fleet attestation throughput (beyond the paper) | [`fleet`] | `fleet` |
 //!
 //! The Criterion benches under `benches/` exercise the same code paths with
 //! statistical timing; the binaries print the tables in the paper's layout
@@ -24,6 +25,7 @@
 
 pub mod ablation;
 pub mod figures;
+pub mod fleet;
 pub mod micro;
 pub mod paper_reference;
 pub mod table4;
@@ -33,6 +35,7 @@ pub use ablation::{
     AblationRow, ShadowSizingRow,
 };
 pub use figures::{render_figure10a, render_figure10b, render_instrumentation_templates};
+pub use fleet::{measure_attestation_throughput, render_fleet_throughput, FleetThroughputRow};
 pub use micro::{measure_micro_costs, MicroCosts};
 pub use paper_reference::{paper_averages, paper_micro_costs, paper_table4, PaperTable4Row};
 pub use table4::{measure_all, measure_workload, Table4, Table4Options, Table4Row};

@@ -112,13 +112,17 @@ pub fn measure_micro_costs(config: &EilidConfig) -> MicroCosts {
     let builder = DeviceBuilder::new().config(config.clone());
 
     // Baseline cycles.
-    let mut baseline = builder.build_baseline(&source).expect("micro source builds");
+    let mut baseline = builder
+        .build_baseline(&source)
+        .expect("micro source builds");
     let base = baseline.run_for(10_000_000);
     assert!(base.is_completed(), "baseline microbenchmark: {base}");
 
     // Protected run, attributing cycles by dispatch selector while the PC is
     // inside the runtime (trampolines at 0xF700.., secure ROM at 0xF800..).
-    let mut device = builder.build_eilid(&source).expect("micro source instruments");
+    let mut device = builder
+        .build_eilid(&source)
+        .expect("micro source instruments");
     let runtime_start = 0xF700u16;
     let secure_start = 0xF800u16;
     let mut store_cycles = 0u64;
@@ -203,10 +207,7 @@ mod tests {
         // The total per-call overhead is consistent with its parts.
         assert!(costs.total_cycles_per_call > 0.0);
         assert!(
-            (costs.total_cycles_per_call
-                - (costs.store_cycles + costs.check_cycles))
-                .abs()
-                < 15.0,
+            (costs.total_cycles_per_call - (costs.store_cycles + costs.check_cycles)).abs() < 15.0,
             "total {} vs parts {}",
             costs.total_cycles_per_call,
             costs.store_cycles + costs.check_cycles

@@ -183,10 +183,16 @@ mod tests {
         assert!((light.size_overhead() - 0.0558).abs() < 0.002);
         assert!((light.compile_overhead() - 0.3053).abs() < 0.002);
 
-        let fire = rows.iter().find(|r| r.workload == WorkloadId::FireSensor).unwrap();
+        let fire = rows
+            .iter()
+            .find(|r| r.workload == WorkloadId::FireSensor)
+            .unwrap();
         assert!((fire.runtime_overhead() - 0.1323).abs() < 0.002);
 
-        let lcd = rows.iter().find(|r| r.workload == WorkloadId::LcdSensor).unwrap();
+        let lcd = rows
+            .iter()
+            .find(|r| r.workload == WorkloadId::LcdSensor)
+            .unwrap();
         assert!((lcd.runtime_overhead() - 0.0262).abs() < 0.002);
     }
 

@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 use eilid_msp430::Memory;
 
 use crate::hmac::{hmac_sha256, verify_tag, TAG_SIZE};
+use crate::key::DeviceKey;
 use crate::layout::MemoryLayout;
 use crate::sha256::sha256;
 
@@ -47,6 +48,15 @@ fn report_message(challenge: &Challenge, measurement: &[u8; 32]) -> Vec<u8> {
     msg
 }
 
+/// SHA-256 measurement of the application PMEM region of `memory` —
+/// the quantity both the attestation protocol and the update engine's
+/// post-update confirmation are defined over.
+pub fn measure_pmem(memory: &Memory, layout: &MemoryLayout) -> [u8; 32] {
+    let start = usize::from(*layout.pmem.start());
+    let end = usize::from(*layout.pmem.end()) + 1;
+    sha256(memory.slice(start..end))
+}
+
 /// Device-side attestation routine (conceptually part of the secure ROM).
 #[derive(Debug, Clone)]
 pub struct Attestor {
@@ -57,6 +67,11 @@ impl Attestor {
     /// Creates an attestor holding the device key.
     pub fn new(key: &[u8]) -> Self {
         Attestor { key: key.to_vec() }
+    }
+
+    /// Creates an attestor from a length-checked [`DeviceKey`].
+    pub fn with_key(key: &DeviceKey) -> Self {
+        Attestor::new(key.as_bytes())
     }
 
     /// Produces a report for `challenge` over the device memory.
@@ -98,7 +113,10 @@ impl std::fmt::Display for AttestError {
                 write!(f, "attestation report answers a different challenge")
             }
             AttestError::UnexpectedMeasurement => {
-                write!(f, "attested software state does not match the expected measurement")
+                write!(
+                    f,
+                    "attested software state does not match the expected measurement"
+                )
             }
         }
     }
@@ -110,6 +128,11 @@ impl AttestationVerifier {
     /// Creates a verifier holding the device key.
     pub fn new(key: &[u8]) -> Self {
         AttestationVerifier { key: key.to_vec() }
+    }
+
+    /// Creates a verifier from a length-checked [`DeviceKey`].
+    pub fn with_key(key: &DeviceKey) -> Self {
+        AttestationVerifier::new(key.as_bytes())
     }
 
     /// Issues a challenge over the application PMEM region of `layout`.
@@ -177,7 +200,9 @@ mod tests {
 
         // With a known-good reference measurement the check still passes.
         let expected = report.measurement;
-        verifier.verify(&challenge, &report, Some(&expected)).unwrap();
+        verifier
+            .verify(&challenge, &report, Some(&expected))
+            .unwrap();
     }
 
     #[test]
@@ -214,7 +239,13 @@ mod tests {
         );
 
         let honest = Attestor::new(KEY);
-        let stale = honest.attest(&memory, Challenge { nonce: 6, ..challenge });
+        let stale = honest.attest(
+            &memory,
+            Challenge {
+                nonce: 6,
+                ..challenge
+            },
+        );
         assert_eq!(
             verifier.verify(&challenge, &stale, None),
             Err(AttestError::ChallengeMismatch)
@@ -230,7 +261,10 @@ mod tests {
         let a = attestor.attest(&memory, verifier.challenge_pmem(&layout, 1));
         let b = attestor.attest(&memory, verifier.challenge_pmem(&layout, 2));
         assert_eq!(a.measurement, b.measurement);
-        assert_ne!(a.mac, b.mac, "replay protection requires nonce-dependent MACs");
+        assert_ne!(
+            a.mac, b.mac,
+            "replay protection requires nonce-dependent MACs"
+        );
     }
 
     #[test]

@@ -49,6 +49,7 @@
 
 pub mod attest;
 pub mod hmac;
+pub mod key;
 pub mod layout;
 pub mod monitor;
 pub mod policy;
@@ -56,8 +57,11 @@ pub mod sha256;
 pub mod update;
 pub mod violation;
 
-pub use attest::{AttestError, AttestationReport, AttestationVerifier, Attestor, Challenge};
+pub use attest::{
+    measure_pmem, AttestError, AttestationReport, AttestationVerifier, Attestor, Challenge,
+};
 pub use hmac::{hmac_sha256, verify_tag, TAG_SIZE};
+pub use key::{DeviceKey, KeyError, MIN_KEY_LEN};
 pub use layout::{LayoutError, MemoryLayout, Region};
 pub use monitor::CasuMonitor;
 pub use policy::{CasuPolicy, VIOLATION_STROBE_ADDR};

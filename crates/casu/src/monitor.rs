@@ -168,13 +168,14 @@ impl CasuMonitor {
         // 4. Memory-protection rules for data accesses.
         for write in &trace.writes {
             match self.layout.region_of(write.addr) {
-                Region::Pmem if self.policy.enforce_pmem_immutability => {
-                    if !self.write_allowed_by_update(write.addr) {
-                        return Some(Violation::PmemWrite {
-                            addr: write.addr,
-                            pc,
-                        });
-                    }
+                Region::Pmem
+                    if self.policy.enforce_pmem_immutability
+                        && !self.write_allowed_by_update(write.addr) =>
+                {
+                    return Some(Violation::PmemWrite {
+                        addr: write.addr,
+                        pc,
+                    });
                 }
                 Region::SecureRom if self.policy.enforce_pmem_immutability => {
                     return Some(Violation::SecureRomWrite {
@@ -182,22 +183,21 @@ impl CasuMonitor {
                         pc,
                     });
                 }
-                Region::VectorTable if self.policy.enforce_pmem_immutability => {
-                    if !self.write_allowed_by_update(write.addr) {
-                        return Some(Violation::VectorTableWrite {
-                            addr: write.addr,
-                            pc,
-                        });
-                    }
+                Region::VectorTable
+                    if self.policy.enforce_pmem_immutability
+                        && !self.write_allowed_by_update(write.addr) =>
+                {
+                    return Some(Violation::VectorTableWrite {
+                        addr: write.addr,
+                        pc,
+                    });
                 }
-                Region::SecureDmem if self.policy.enforce_secure_dmem_exclusivity => {
-                    if !pc_secure {
-                        return Some(Violation::SecureDataAccess {
-                            addr: write.addr,
-                            pc,
-                            write: true,
-                        });
-                    }
+                Region::SecureDmem if self.policy.enforce_secure_dmem_exclusivity && !pc_secure => {
+                    return Some(Violation::SecureDataAccess {
+                        addr: write.addr,
+                        pc,
+                        write: true,
+                    });
                 }
                 _ => {}
             }
@@ -436,7 +436,9 @@ mod tests {
     fn violation_strobe_reports_cfi_fault() {
         let mut m = monitor();
         let mut trace = executed(0xF800);
-        trace.writes.push(write(crate::policy::VIOLATION_STROBE_ADDR, 0xDEA1));
+        trace
+            .writes
+            .push(write(crate::policy::VIOLATION_STROBE_ADDR, 0xDEA1));
         let v = m.check(&trace);
         assert!(matches!(
             v,

@@ -17,9 +17,9 @@ use serde::{Deserialize, Serialize};
 use eilid_msp430::Memory;
 
 use crate::hmac::{hmac_sha256, verify_tag, TAG_SIZE};
+use crate::key::DeviceKey;
 use crate::layout::{MemoryLayout, Region};
 use crate::monitor::CasuMonitor;
-use crate::sha256::sha256;
 
 /// An authenticated request to replace a range of program memory.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -77,7 +77,10 @@ impl fmt::Display for UpdateError {
                 "update rejected: nonce {presented} is not fresher than {last_accepted}"
             ),
             UpdateError::TargetOutsidePmem { addr } => {
-                write!(f, "update rejected: {addr:#06x} is outside application PMEM")
+                write!(
+                    f,
+                    "update rejected: {addr:#06x} is outside application PMEM"
+                )
             }
             UpdateError::EmptyPayload => write!(f, "update rejected: empty payload"),
         }
@@ -95,11 +98,34 @@ pub struct UpdateAuthority {
 
 impl UpdateAuthority {
     /// Creates an authority holding the device key.
+    ///
+    /// Prefer [`UpdateAuthority::with_key`], which enforces a minimum key
+    /// length; this raw constructor is kept for tests and legacy callers.
     pub fn new(key: &[u8]) -> Self {
         UpdateAuthority {
             key: key.to_vec(),
             next_nonce: 1,
         }
+    }
+
+    /// Creates an authority from a length-checked [`DeviceKey`].
+    pub fn with_key(key: &DeviceKey) -> Self {
+        UpdateAuthority::new(key.as_bytes())
+    }
+
+    /// Creates an authority that will issue `next_nonce` as its next
+    /// freshness counter — used by a verifier resuming from persisted
+    /// per-device state rather than a factory-fresh device.
+    pub fn with_key_resuming(key: &DeviceKey, next_nonce: u64) -> Self {
+        UpdateAuthority {
+            key: key.as_bytes().to_vec(),
+            next_nonce: next_nonce.max(1),
+        }
+    }
+
+    /// The nonce the next authorized request will carry.
+    pub fn next_nonce(&self) -> u64 {
+        self.next_nonce
     }
 
     /// Builds an authenticated update request for `payload` at `target`.
@@ -127,6 +153,9 @@ pub struct UpdateEngine {
 
 impl UpdateEngine {
     /// Creates an engine holding the device key for the given layout.
+    ///
+    /// Prefer [`UpdateEngine::with_key`], which enforces a minimum key
+    /// length; this raw constructor is kept for tests and legacy callers.
     pub fn new(key: &[u8], layout: MemoryLayout) -> Self {
         UpdateEngine {
             key: key.to_vec(),
@@ -134,6 +163,11 @@ impl UpdateEngine {
             last_nonce: 0,
             updates_applied: 0,
         }
+    }
+
+    /// Creates an engine from a length-checked [`DeviceKey`].
+    pub fn with_key(key: &DeviceKey, layout: MemoryLayout) -> Self {
+        UpdateEngine::new(key.as_bytes(), layout)
     }
 
     /// Number of updates successfully applied.
@@ -170,7 +204,9 @@ impl UpdateEngine {
         }
         let end = u32::from(request.target) + request.payload.len() as u32 - 1;
         if end > 0xFFFF {
-            return Err(UpdateError::TargetOutsidePmem { addr: request.target });
+            return Err(UpdateError::TargetOutsidePmem {
+                addr: request.target,
+            });
         }
         for addr in [request.target, end as u16] {
             if self.layout.region_of(addr) != Region::Pmem {
@@ -194,7 +230,9 @@ impl UpdateEngine {
         monitor: &mut CasuMonitor,
     ) -> Result<(), UpdateError> {
         self.verify(request)?;
-        let end = request.target.wrapping_add(request.payload.len() as u16 - 1);
+        let end = request
+            .target
+            .wrapping_add(request.payload.len() as u16 - 1);
         monitor.begin_update_session(request.target, end);
         memory
             .load(request.target, &request.payload)
@@ -209,9 +247,7 @@ impl UpdateEngine {
     /// software state after an update — the static-integrity guarantee that
     /// CASU maintains between updates.
     pub fn measure_pmem(&self, memory: &Memory) -> [u8; 32] {
-        let start = usize::from(*self.layout.pmem.start());
-        let end = usize::from(*self.layout.pmem.end()) + 1;
-        sha256(memory.slice(start..end))
+        crate::attest::measure_pmem(memory, &self.layout)
     }
 }
 

@@ -1,0 +1,175 @@
+//! Adversarial tests for the attestation protocol: every way an attacker
+//! (controlling the transport, per the threat model) can mangle a report
+//! must fail verification — wrong nonce, truncated attested range,
+//! flipped measurement bytes and replayed reports. A randomized sweep
+//! backs the hand-picked cases.
+
+use eilid_casu::{AttestError, AttestationVerifier, Attestor, Challenge, DeviceKey, MemoryLayout};
+use eilid_msp430::Memory;
+use proptest::prelude::*;
+
+const ROOT: &[u8] = b"fleet-root-key-0123456789abcdef";
+
+fn setup() -> (Attestor, AttestationVerifier, Memory, MemoryLayout) {
+    let key = DeviceKey::new(ROOT).unwrap().derive(42);
+    let mut memory = Memory::new();
+    // A plausible firmware image: non-uniform so range truncation changes
+    // the measurement.
+    let image: Vec<u8> = (0..512u32).map(|i| (i * 31 % 251) as u8).collect();
+    memory.load(0xE000, &image).unwrap();
+    (
+        Attestor::with_key(&key),
+        AttestationVerifier::with_key(&key),
+        memory,
+        MemoryLayout::default(),
+    )
+}
+
+#[test]
+fn wrong_nonce_fails_verification() {
+    let (attestor, verifier, memory, layout) = setup();
+    let issued = verifier.challenge_pmem(&layout, 1000);
+
+    // The prover answers a challenge with a different nonce (e.g. an
+    // attacker precomputed a response to a guessed nonce).
+    let wrong = Challenge {
+        nonce: 999,
+        ..issued
+    };
+    let report = attestor.attest(&memory, wrong);
+    assert_eq!(
+        verifier.verify(&issued, &report, None),
+        Err(AttestError::ChallengeMismatch)
+    );
+
+    // Rewriting the embedded challenge to look fresh breaks the MAC
+    // instead: the nonce is authenticated.
+    let mut forged = report;
+    forged.challenge.nonce = issued.nonce;
+    assert_eq!(
+        verifier.verify(&issued, &forged, None),
+        Err(AttestError::BadMac)
+    );
+}
+
+#[test]
+fn truncated_range_fails_verification() {
+    let (attestor, verifier, memory, layout) = setup();
+    let issued = verifier.challenge_pmem(&layout, 7);
+
+    // The prover attests a truncated range (hiding the tail of PMEM where
+    // an implant lives).
+    let truncated = Challenge {
+        end: issued.end - 0x100,
+        ..issued
+    };
+    let report = attestor.attest(&memory, truncated);
+    assert_eq!(
+        verifier.verify(&issued, &report, None),
+        Err(AttestError::ChallengeMismatch)
+    );
+
+    // Claiming the full range over the truncated measurement breaks the
+    // MAC: the range bounds are authenticated.
+    let mut forged = report;
+    forged.challenge = issued;
+    assert_eq!(
+        verifier.verify(&issued, &forged, None),
+        Err(AttestError::BadMac)
+    );
+}
+
+#[test]
+fn flipped_measurement_byte_fails_verification() {
+    let (attestor, verifier, memory, layout) = setup();
+    let issued = verifier.challenge_pmem(&layout, 3);
+    let good = attestor.attest(&memory, issued);
+    verifier.verify(&issued, &good, None).unwrap();
+
+    for position in [0, 15, 31] {
+        let mut tampered = good;
+        tampered.measurement[position] ^= 0x01;
+        assert_eq!(
+            verifier.verify(&issued, &tampered, None),
+            Err(AttestError::BadMac),
+            "flipping measurement byte {position} must break the MAC"
+        );
+    }
+}
+
+#[test]
+fn replayed_report_fails_verification() {
+    let (attestor, verifier, memory, layout) = setup();
+
+    // Round 1: honest attestation, attacker records the report.
+    let round1 = verifier.challenge_pmem(&layout, 100);
+    let recorded = attestor.attest(&memory, round1);
+    verifier.verify(&round1, &recorded, None).unwrap();
+
+    // The device is then compromised; the attacker replays the recorded
+    // report against the next challenge instead of attesting the (now
+    // modified) memory.
+    let round2 = verifier.challenge_pmem(&layout, 101);
+    assert_eq!(
+        verifier.verify(&round2, &recorded, None),
+        Err(AttestError::ChallengeMismatch),
+        "a recorded report must not satisfy a fresh challenge"
+    );
+}
+
+#[test]
+fn report_from_anothers_device_key_fails_verification() {
+    let root = DeviceKey::new(ROOT).unwrap();
+    let layout = MemoryLayout::default();
+    let memory = Memory::new();
+    let verifier_for_7 = AttestationVerifier::with_key(&root.derive(7));
+    let challenge = verifier_for_7.challenge_pmem(&layout, 1);
+
+    // Device 8 (compromised) cannot answer for device 7.
+    let report = Attestor::with_key(&root.derive(8)).attest(&memory, challenge);
+    assert_eq!(
+        verifier_for_7.verify(&challenge, &report, None),
+        Err(AttestError::BadMac)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any single-bit flip anywhere in the report (challenge fields,
+    /// measurement or MAC) must fail verification.
+    #[test]
+    fn any_single_bit_flip_is_rejected(
+        nonce in 0u64..1_000_000,
+        flip_byte in 0usize..44,
+        flip_bit in 0u8..8,
+    ) {
+        let (attestor, verifier, memory, layout) = setup();
+        let issued = Challenge { nonce, ..verifier.challenge_pmem(&layout, 0) };
+        let mut report = attestor.attest(&memory, issued);
+
+        // Flip one bit across the concatenated mutable fields:
+        // nonce (8) ‖ measurement (32) ‖ start (2) ‖ end (2).
+        let mask = 1u8 << flip_bit;
+        match flip_byte {
+            0..=7 => report.challenge.nonce ^= u64::from(mask) << (8 * flip_byte as u32),
+            8..=39 => report.measurement[flip_byte - 8] ^= mask,
+            40..=41 => report.challenge.start ^= u16::from(mask) << (8 * (flip_byte - 40) as u32),
+            _ => report.challenge.end ^= u16::from(mask) << (8 * (flip_byte - 42) as u32),
+        }
+        prop_assert!(verifier.verify(&issued, &report, None).is_err());
+    }
+
+    /// Flipping any byte of the MAC itself is rejected.
+    #[test]
+    fn mac_tampering_is_rejected(position in 0usize..32, mask in 1u8..=255) {
+        let (attestor, verifier, memory, layout) = setup();
+        let issued = verifier.challenge_pmem(&layout, 5);
+        let mut report = attestor.attest(&memory, issued);
+        report.mac[position] ^= mask;
+        prop_assert_eq!(
+            verifier.verify(&issued, &report, None),
+            Err(AttestError::BadMac)
+        );
+    }
+}

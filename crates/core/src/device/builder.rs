@@ -220,10 +220,7 @@ double:
         let base_outcome = baseline.run();
         let eilid_outcome = protected.run();
         match (&base_outcome, &eilid_outcome) {
-            (
-                RunOutcome::Completed { output: a, .. },
-                RunOutcome::Completed { output: b, .. },
-            ) => {
+            (RunOutcome::Completed { output: a, .. }, RunOutcome::Completed { output: b, .. }) => {
                 assert_eq!(a, b, "instrumentation must not change results");
                 assert_eq!(a, &vec![28]);
             }
@@ -246,10 +243,14 @@ double:
     #[test]
     fn protected_device_reports_artifacts() {
         let device = DeviceBuilder::new().build_eilid(APP).unwrap();
-        let artifacts = device.artifacts().expect("protected devices carry artifacts");
+        let artifacts = device
+            .artifacts()
+            .expect("protected devices carry artifacts");
         assert_eq!(artifacts.report.call_sites, 2);
         assert_eq!(artifacts.report.returns, 1);
-        assert!(artifacts.metrics.instrumented_binary_bytes > artifacts.metrics.original_binary_bytes);
+        assert!(
+            artifacts.metrics.instrumented_binary_bytes > artifacts.metrics.original_binary_bytes
+        );
         assert!(DeviceBuilder::new()
             .build_baseline(APP)
             .unwrap()

@@ -80,6 +80,25 @@ impl Device {
         self.artifacts.as_ref()
     }
 
+    /// The attached hardware monitor, if any.
+    pub fn monitor(&self) -> Option<&CasuMonitor> {
+        self.monitor.as_ref()
+    }
+
+    /// Mutable access to the attached hardware monitor — used by the
+    /// update engine, which must open an authorised update session on the
+    /// monitor before writing program memory.
+    pub fn monitor_mut(&mut self) -> Option<&mut CasuMonitor> {
+        self.monitor.as_mut()
+    }
+
+    /// Simultaneous mutable access to the core and the monitor, for
+    /// callers (like [`eilid_casu::UpdateEngine::apply`]) that write
+    /// memory under an open update session.
+    pub fn cpu_and_monitor_mut(&mut self) -> (&mut Cpu, Option<&mut CasuMonitor>) {
+        (&mut self.cpu, self.monitor.as_mut())
+    }
+
     /// `true` when the hardware monitor is attached.
     pub fn is_protected(&self) -> bool {
         self.monitor.is_some()
@@ -103,6 +122,20 @@ impl Device {
             monitor.reset();
         }
         self.resets += 1;
+    }
+
+    /// Reboots the device into its current program image: core, monitor
+    /// *and* peripherals return to their power-on state (unlike
+    /// [`Device::reset`], which models the hardware violation reset and
+    /// leaves peripherals untouched). Used after an OTA update to start
+    /// the new firmware from its reset vector; not counted in
+    /// [`Device::resets`].
+    pub fn reboot(&mut self) {
+        self.cpu.peripherals.reset();
+        self.cpu.reset();
+        if let Some(monitor) = &mut self.monitor {
+            monitor.reset();
+        }
     }
 
     /// Executes one step and evaluates the monitor over it.

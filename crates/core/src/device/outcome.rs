@@ -116,7 +116,10 @@ mod tests {
 
         let timeout = RunOutcome::Timeout { cycles: 99 };
         assert_eq!(timeout.cycles(), 99);
-        let fault = RunOutcome::Fault { pc: 0xE000, cycles: 5 };
+        let fault = RunOutcome::Fault {
+            pc: 0xE000,
+            cycles: 5,
+        };
         assert_eq!(fault.cycles(), 5);
     }
 
@@ -135,7 +138,10 @@ mod tests {
                 cycles: 3,
             },
             RunOutcome::Timeout { cycles: 4 },
-            RunOutcome::Fault { pc: 0xE000, cycles: 5 },
+            RunOutcome::Fault {
+                pc: 0xE000,
+                cycles: 5,
+            },
         ];
         for o in outcomes {
             assert!(!o.to_string().is_empty());

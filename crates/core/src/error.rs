@@ -92,11 +92,9 @@ mod tests {
 
     #[test]
     fn conversions_and_messages() {
-        let asm_err: EilidError = eilid_asm::AsmError::new(
-            2,
-            eilid_asm::AsmErrorKind::UnknownMnemonic("frob".into()),
-        )
-        .into();
+        let asm_err: EilidError =
+            eilid_asm::AsmError::new(2, eilid_asm::AsmErrorKind::UnknownMnemonic("frob".into()))
+                .into();
         assert!(asm_err.to_string().contains("assembly failed"));
         assert!(std::error::Error::source(&asm_err).is_some());
 

@@ -109,11 +109,7 @@ impl AppAnalysis {
 /// ```
 pub fn analyze(program: &Program) -> AppAnalysis {
     let mut analysis = AppAnalysis::default();
-    let labels: BTreeSet<String> = program
-        .labels()
-        .iter()
-        .map(|s| (*s).to_string())
-        .collect();
+    let labels: BTreeSet<String> = program.labels().iter().map(|s| (*s).to_string()).collect();
 
     // First pass: directives (entry, ISRs).
     for line in &program.lines {
@@ -195,13 +191,12 @@ pub fn analyze(program: &Program) -> AppAnalysis {
                     analysis.indirect_jumps.push(index);
                 }
             }
-            "mov" => {
+            "mov"
                 if operands.len() == 2
                     && operands[1] == OperandSpec::Register(Reg::PC)
-                    && !matches!(operands[0], OperandSpec::Immediate(_))
-                {
-                    analysis.indirect_jumps.push(index);
-                }
+                    && !matches!(operands[0], OperandSpec::Immediate(_)) =>
+            {
+                analysis.indirect_jumps.push(index);
             }
             _ => {}
         }
@@ -289,7 +284,10 @@ mod tests {
         );
         assert_eq!(analysis.indirect_call_count(), 1);
         assert!(analysis.address_taken.contains("handler"));
-        assert_eq!(analysis.function_table_labels(), vec!["handler".to_string()]);
+        assert_eq!(
+            analysis.function_table_labels(),
+            vec!["handler".to_string()]
+        );
     }
 
     #[test]

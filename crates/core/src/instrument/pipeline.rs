@@ -212,7 +212,9 @@ triple:
         let build = InstrumentedBuild::new(EilidConfig::default());
         let artifacts = build.run(APP, &runtime()).unwrap();
         assert_eq!(artifacts.metrics.iterations, 3);
-        assert!(artifacts.metrics.instrumented_binary_bytes > artifacts.metrics.original_binary_bytes);
+        assert!(
+            artifacts.metrics.instrumented_binary_bytes > artifacts.metrics.original_binary_bytes
+        );
         assert!(artifacts.metrics.added_bytes() > 0);
         assert!(artifacts.metrics.binary_size_overhead() > 0.0);
         assert_eq!(artifacts.report.call_sites, 1);
@@ -236,7 +238,11 @@ triple:
             .iter()
             .position(|l| match &l.statement {
                 eilid_asm::Statement::Instruction { mnemonic, operands } => {
-                    mnemonic == "call" && operands.first().map(|o| o.to_string() == "#triple").unwrap_or(false)
+                    mnemonic == "call"
+                        && operands
+                            .first()
+                            .map(|o| o.to_string() == "#triple")
+                            .unwrap_or(false)
                 }
                 _ => false,
             })

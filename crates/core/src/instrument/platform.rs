@@ -11,7 +11,6 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-
 /// A low-end MCU platform from Table II.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Platform {

@@ -130,8 +130,7 @@ pub fn rewrite(
             config.function_table_capacity
         )));
     }
-    let needs_registration =
-        config.protect_indirect_calls && analysis.indirect_call_count() > 0;
+    let needs_registration = config.protect_indirect_calls && analysis.indirect_call_count() > 0;
     if needs_registration && analysis.entry_label.is_none() {
         return Err(EilidError::Instrument(
             "forward-edge protection needs a `.global` entry point to register functions".into(),
@@ -302,10 +301,7 @@ fn push_statement_with_site_instrumentation(
             if let CallTarget::Indirect(reg) = target {
                 lines.push(instruction(
                     "mov",
-                    vec![
-                        OperandSpec::Register(*reg),
-                        OperandSpec::Register(Reg::R6),
-                    ],
+                    vec![OperandSpec::Register(*reg), OperandSpec::Register(Reg::R6)],
                 ));
                 lines.push(call_trampoline(Selector::CheckIndirectTarget));
                 report.inserted_lines += 2;
@@ -394,7 +390,9 @@ fn collect_warnings(
         });
     }
     for index in &analysis.indirect_jumps {
-        report.warnings.push(Warning::IndirectJump { line: *index + 1 });
+        report
+            .warnings
+            .push(Warning::IndirectJump { line: *index + 1 });
     }
     for function in &analysis.recursive_functions {
         report.warnings.push(Warning::Recursion {
@@ -428,10 +426,7 @@ pub fn patch_return_addresses(
                 ))
             })?;
         let line = program.lines.get_mut(point.mov_line_index).ok_or_else(|| {
-            EilidError::Instrument(format!(
-                "patch point {} out of range",
-                point.mov_line_index
-            ))
+            EilidError::Instrument(format!("patch point {} out of range", point.mov_line_index))
         })?;
         match &mut line.statement {
             Statement::Instruction { mnemonic, operands }
@@ -615,17 +610,29 @@ mod tests {
             &EilidConfig::default(),
         );
         let warnings = &rewritten.report.warnings;
-        assert!(warnings.iter().any(|w| matches!(w, Warning::ReservedRegisterUse { .. })));
-        assert!(warnings.iter().any(|w| matches!(w, Warning::IndirectJump { .. })));
-        assert!(warnings.iter().any(|w| matches!(w, Warning::Recursion { .. })));
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w, Warning::ReservedRegisterUse { .. })));
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w, Warning::IndirectJump { .. })));
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w, Warning::Recursion { .. })));
     }
 
     #[test]
     fn patching_fills_in_return_addresses() {
-        let original = parse("    .global main\nmain:\n    call #foo\n    ret\nfoo:\n    ret\n").unwrap();
+        let original =
+            parse("    .global main\nmain:\n    call #foo\n    ret\nfoo:\n    ret\n").unwrap();
         let analysis = analyze(&original);
-        let mut rewritten =
-            rewrite(&original, &analysis, &trampolines(), &EilidConfig::default()).unwrap();
+        let mut rewritten = rewrite(
+            &original,
+            &analysis,
+            &trampolines(),
+            &EilidConfig::default(),
+        )
+        .unwrap();
         let image = eilid_asm::assemble_program(&rewritten.program).unwrap();
         patch_return_addresses(
             &mut rewritten.program,
@@ -639,10 +646,7 @@ mod tests {
         let mov_line = &rewritten.program.lines[rewritten.patch_points[0].mov_line_index];
         match &mov_line.statement {
             Statement::Instruction { operands, .. } => {
-                assert_eq!(
-                    operands[0],
-                    OperandSpec::Immediate(Expr::Number(expected))
-                );
+                assert_eq!(operands[0], OperandSpec::Immediate(Expr::Number(expected)));
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -54,7 +54,10 @@ impl ReservedRegisters {
     pub fn table_rows(&self) -> Vec<(Reg, &'static str)> {
         vec![
             (self.selector, "Used as an argument of S_EILID_init()"),
-            (self.index, "Used as a pointer to the shadow stack's current index"),
+            (
+                self.index,
+                "Used as a pointer to the shadow stack's current index",
+            ),
             (self.arg0, "Used as an argument of other S_EILID functions"),
             (self.arg1, "Used as an argument of other S_EILID functions"),
         ]
@@ -173,7 +176,10 @@ mod tests {
             Selector::CheckInterruptContext.secure_symbol(),
             "S_EILID_check_rfi"
         );
-        assert_eq!(Selector::CheckIndirectTarget.to_string(), "S_EILID_check_ind");
+        assert_eq!(
+            Selector::CheckIndirectTarget.to_string(),
+            "S_EILID_check_ind"
+        );
         for s in Selector::ALL {
             assert!(s.trampoline_symbol().starts_with("NS_EILID_"));
             assert!(s.secure_symbol().starts_with("S_EILID_"));

@@ -101,7 +101,10 @@ pub fn emit_runtime_source(params: &RuntimeParams) -> String {
 }
 
 fn emit_constants(out: &mut String, p: &RuntimeParams) {
-    out.push_str(&format!("    .equ EILID_SHADOW_BASE, 0x{:04x}\n", p.shadow_base));
+    out.push_str(&format!(
+        "    .equ EILID_SHADOW_BASE, 0x{:04x}\n",
+        p.shadow_base
+    ));
     out.push_str(&format!(
         "    .equ EILID_SHADOW_CAP, {}\n",
         p.shadow_capacity
@@ -347,7 +350,8 @@ mod tests {
 
     #[test]
     fn emitted_source_assembles() {
-        let image = eilid_asm::assemble(&emit_runtime_source(&params())).expect("runtime assembles");
+        let image =
+            eilid_asm::assemble(&emit_runtime_source(&params())).expect("runtime assembles");
         assert!(image.symbol("S_EILID_entry").is_some());
         assert!(image.symbol("S_EILID_leave").is_some());
         assert!(image.symbol("NS_EILID_check_ind").is_some());

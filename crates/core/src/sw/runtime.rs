@@ -170,7 +170,7 @@ mod tests {
         assert_eq!(symbols.len(), 6);
         for selector in Selector::ALL {
             let addr = symbols[selector.trampoline_symbol()];
-            assert!(addr >= 0xF700 && addr < 0xF800, "{addr:#06x}");
+            assert!((0xF700..0xF800).contains(&addr), "{addr:#06x}");
         }
     }
 
@@ -189,12 +189,7 @@ mod tests {
             shadow_stack_capacity: 0,
             ..EilidConfig::default()
         };
-        assert!(Runtime::build(
-            &config,
-            &MemoryLayout::default(),
-            &CasuPolicy::default()
-        )
-        .is_err());
+        assert!(Runtime::build(&config, &MemoryLayout::default(), &CasuPolicy::default()).is_err());
     }
 
     #[test]

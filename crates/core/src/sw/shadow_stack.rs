@@ -80,10 +80,7 @@ impl ShadowStack {
     /// Returns [`CfiFault::ShadowStackUnderflow`] when empty and
     /// [`CfiFault::ReturnAddress`] on a mismatch.
     pub fn check_return_address(&mut self, observed: u16) -> CfiResult {
-        let expected = self
-            .entries
-            .pop()
-            .ok_or(CfiFault::ShadowStackUnderflow)?;
+        let expected = self.entries.pop().ok_or(CfiFault::ShadowStackUnderflow)?;
         if expected != observed {
             return Err(CfiFault::ReturnAddress);
         }
@@ -286,9 +283,6 @@ mod tests {
         table.check(0xE200).unwrap();
         assert_eq!(table.check(0xE300), Err(CfiFault::IndirectCall));
         table.register(0xE300).unwrap();
-        assert_eq!(
-            table.register(0xE400),
-            Err(CfiFault::FunctionTableOverflow)
-        );
+        assert_eq!(table.register(0xE400), Err(CfiFault::FunctionTableOverflow));
     }
 }

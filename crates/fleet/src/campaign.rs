@@ -1,0 +1,407 @@
+//! Staged OTA campaigns: canary wave → full rollout, with automatic
+//! halt-and-rollback.
+//!
+//! A campaign pushes one authenticated firmware patch to every device of
+//! one cohort. Devices are partitioned into waves (a canary fraction
+//! first, then the remainder). After each wave the engine probes the
+//! updated devices — a post-update attestation against the *expected*
+//! post-patch golden measurement plus a bounded smoke run from reset —
+//! and halts the campaign, rolling every already-updated device back to
+//! the previous firmware, when the wave's failure rate exceeds the
+//! configured threshold.
+
+use eilid::RunOutcome;
+use eilid_casu::{measure_pmem, AttestationVerifier, Challenge, MemoryLayout, UpdateAuthority};
+use eilid_workloads::WorkloadId;
+
+use crate::device::{DeviceId, SimDevice};
+use crate::error::FleetError;
+use crate::exec::parallel_map_mut;
+use crate::fleet::Fleet;
+use crate::report::LedgerEvent;
+use crate::verifier::Verifier;
+
+/// Configuration of one staged OTA campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// The firmware cohort to update.
+    pub cohort: WorkloadId,
+    /// First PMEM address the patch writes.
+    pub target: u16,
+    /// The patch bytes.
+    pub payload: Vec<u8>,
+    /// Fraction of the cohort updated in the canary wave (default 0.1).
+    pub canary_fraction: f64,
+    /// Post-update failure rate above which the campaign halts and rolls
+    /// back (default 0.25).
+    pub failure_threshold: f64,
+    /// Cycle budget for the post-update smoke run (default 2 million).
+    pub smoke_cycles: u64,
+}
+
+impl CampaignConfig {
+    /// A campaign for `cohort` writing `payload` at `target` with default
+    /// staging parameters.
+    pub fn new(cohort: WorkloadId, target: u16, payload: Vec<u8>) -> Self {
+        CampaignConfig {
+            cohort,
+            target,
+            payload,
+            canary_fraction: 0.1,
+            failure_threshold: 0.25,
+            smoke_cycles: 2_000_000,
+        }
+    }
+
+    fn validate(&self) -> Result<(), FleetError> {
+        if self.payload.is_empty() {
+            return Err(FleetError::InvalidCampaign("empty payload".into()));
+        }
+        if !(0.0..=1.0).contains(&self.canary_fraction) || self.canary_fraction <= 0.0 {
+            return Err(FleetError::InvalidCampaign(format!(
+                "canary fraction {} outside (0, 1]",
+                self.canary_fraction
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.failure_threshold) {
+            return Err(FleetError::InvalidCampaign(format!(
+                "failure threshold {} outside [0, 1]",
+                self.failure_threshold
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of one wave.
+#[derive(Debug, Clone)]
+pub struct WaveReport {
+    /// Wave index (0 = canary).
+    pub wave: usize,
+    /// Devices the wave attempted to update.
+    pub size: usize,
+    /// Devices that accepted and applied the update.
+    pub updated: usize,
+    /// Devices for which the rollout failed: the update was rejected
+    /// (`updated < size`) or a post-update health probe (attestation or
+    /// smoke run) failed. The ledger's `UpdateRejected`/`ProbeFailed`
+    /// events distinguish the two.
+    pub failures: usize,
+}
+
+impl WaveReport {
+    /// The wave's post-update failure rate in `[0, 1]`.
+    pub fn failure_rate(&self) -> f64 {
+        if self.size == 0 {
+            return 0.0;
+        }
+        self.failures as f64 / self.size as f64
+    }
+}
+
+/// How a campaign ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignOutcome {
+    /// Every wave passed; the new firmware is the cohort's golden image.
+    Completed {
+        /// Total devices updated.
+        updated: usize,
+    },
+    /// A wave exceeded the failure threshold; every updated device was
+    /// rolled back to the previous firmware.
+    HaltedAndRolledBack {
+        /// Index of the failing wave.
+        wave: usize,
+        /// The observed failure rate.
+        failure_rate: f64,
+        /// Devices that were rolled back.
+        rolled_back: usize,
+    },
+}
+
+/// Full record of one campaign run.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// How the campaign ended.
+    pub outcome: CampaignOutcome,
+    /// Per-wave statistics, in rollout order.
+    pub waves: Vec<WaveReport>,
+}
+
+impl CampaignReport {
+    /// `true` when the rollout completed on every wave.
+    pub fn is_completed(&self) -> bool {
+        matches!(self.outcome, CampaignOutcome::Completed { .. })
+    }
+}
+
+/// The staged-rollout engine.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    config: CampaignConfig,
+}
+
+impl Campaign {
+    /// Creates a campaign from a validated config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidCampaign`] for out-of-range staging
+    /// parameters or an empty payload.
+    pub fn new(config: CampaignConfig) -> Result<Self, FleetError> {
+        config.validate()?;
+        Ok(Campaign { config })
+    }
+
+    /// Runs the campaign over `fleet`, drawing authenticated update
+    /// requests from per-device authorities derived from the verifier's
+    /// root key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::UnknownCohort`] if no fleet device runs the
+    /// configured cohort firmware.
+    pub fn run(
+        &self,
+        fleet: &mut Fleet,
+        verifier: &mut Verifier,
+    ) -> Result<CampaignReport, FleetError> {
+        let cohort = self.config.cohort;
+        let members = fleet.cohort_members(cohort);
+        if members.is_empty() {
+            return Err(FleetError::UnknownCohort(cohort));
+        }
+
+        let layout = MemoryLayout::default();
+        let golden = &fleet.cohort(cohort).expect("cohort exists").golden;
+
+        // Range-check before slicing the golden image: Memory::slice
+        // panics past the 64 KiB address space.
+        let start = usize::from(self.config.target);
+        let end = start + self.config.payload.len();
+        if end > 0x1_0000 {
+            return Err(FleetError::InvalidCampaign(format!(
+                "patch of {} bytes at {:#06x} runs past the 64 KiB address space",
+                self.config.payload.len(),
+                self.config.target
+            )));
+        }
+
+        // Rollback payload: the bytes the patch overwrites, taken from
+        // the golden pre-update image.
+        let rollback_payload = golden.slice(start..end).to_vec();
+
+        // Expected post-patch measurement, computed on a golden copy.
+        let mut patched_golden = golden.clone();
+        patched_golden
+            .load(self.config.target, &self.config.payload)
+            .map_err(|e| FleetError::InvalidCampaign(e.to_string()))?;
+        let expected_after = measure_pmem(&patched_golden, &layout);
+
+        let waves = fleet.wave_partition(cohort, &[self.config.canary_fraction, 1.0]);
+        let threads = fleet.threads();
+        let root = verifier.root().clone();
+        let smoke_cycles = self.config.smoke_cycles;
+        let target = self.config.target;
+        let payload = self.config.payload.clone();
+
+        let mut wave_reports: Vec<WaveReport> = Vec::new();
+        let mut updated_so_far: Vec<DeviceId> = Vec::new();
+
+        for (wave_index, wave_ids) in waves.iter().enumerate() {
+            if wave_ids.is_empty() {
+                continue;
+            }
+            let (events, updated, failures) = {
+                let mut devices = fleet.devices_by_ids_mut(wave_ids);
+                roll_out_wave(
+                    &mut devices,
+                    threads,
+                    &root,
+                    target,
+                    &payload,
+                    expected_after,
+                    smoke_cycles,
+                )
+            };
+            for event in events {
+                fleet.ledger_mut().record(event);
+            }
+            updated_so_far.extend(&updated);
+
+            let report = WaveReport {
+                wave: wave_index,
+                size: wave_ids.len(),
+                updated: updated.len(),
+                failures,
+            };
+            fleet.ledger_mut().record(LedgerEvent::WaveCompleted {
+                wave: wave_index,
+                updated: report.updated,
+                failures: report.failures,
+            });
+            let failure_rate = report.failure_rate();
+            wave_reports.push(report);
+
+            if failure_rate > self.config.failure_threshold {
+                fleet.ledger_mut().record(LedgerEvent::CampaignHalted {
+                    wave: wave_index,
+                    failure_rate,
+                });
+                let rolled_back = self.roll_back(
+                    fleet,
+                    &root,
+                    &updated_so_far,
+                    target,
+                    &rollback_payload,
+                    threads,
+                );
+                return Ok(CampaignReport {
+                    outcome: CampaignOutcome::HaltedAndRolledBack {
+                        wave: wave_index,
+                        failure_rate,
+                        rolled_back,
+                    },
+                    waves: wave_reports,
+                });
+            }
+        }
+
+        // Every wave passed: promote the patched image to golden so
+        // future attestation sweeps expect the new firmware.
+        fleet.cohort_mut(cohort).expect("cohort exists").golden = patched_golden;
+        verifier.promote_measurement(cohort, expected_after);
+        Ok(CampaignReport {
+            outcome: CampaignOutcome::Completed {
+                updated: updated_so_far.len(),
+            },
+            waves: wave_reports,
+        })
+    }
+
+    /// Rolls `devices` back to the pre-campaign firmware bytes.
+    fn roll_back(
+        &self,
+        fleet: &mut Fleet,
+        root: &eilid_casu::DeviceKey,
+        ids: &[DeviceId],
+        target: u16,
+        rollback_payload: &[u8],
+        threads: usize,
+    ) -> usize {
+        let events = {
+            let mut devices = fleet.devices_by_ids_mut(ids);
+            parallel_map_mut(&mut devices, threads, |device| {
+                let key = root.derive(device.id());
+                let mut authority = resumed_authority(&key, device);
+                let request = authority.authorize(target, rollback_payload);
+                let result = device.apply_update(&request);
+                device.reboot();
+                match result {
+                    Ok(()) => Some(LedgerEvent::RolledBack {
+                        device: device.id(),
+                    }),
+                    Err(error) => Some(LedgerEvent::UpdateRejected {
+                        device: device.id(),
+                        error,
+                    }),
+                }
+            })
+        };
+        let mut rolled_back = 0;
+        for event in events.into_iter().flatten() {
+            if matches!(event, LedgerEvent::RolledBack { .. }) {
+                rolled_back += 1;
+            }
+            fleet.ledger_mut().record(event);
+        }
+        rolled_back
+    }
+}
+
+/// Builds an update authority for `device` whose nonce resumes above the
+/// device engine's last accepted nonce. The real verifier persists this
+/// state; re-deriving it from the (trusted, device-reported) engine state
+/// keeps the simulation honest without a database.
+fn resumed_authority(key: &eilid_casu::DeviceKey, device: &SimDevice) -> UpdateAuthority {
+    UpdateAuthority::with_key_resuming(key, device.engine().last_nonce() + 1)
+}
+
+/// Applies the patch, reboots and probes one wave of devices. Returns the
+/// ledger events plus the updated ids and failure count.
+fn roll_out_wave(
+    devices: &mut [&mut SimDevice],
+    threads: usize,
+    root: &eilid_casu::DeviceKey,
+    target: u16,
+    payload: &[u8],
+    expected_after: [u8; 32],
+    smoke_cycles: u64,
+) -> (Vec<LedgerEvent>, Vec<DeviceId>, usize) {
+    let results = parallel_map_mut(devices, threads, |device| {
+        let key = root.derive(device.id());
+        let mut authority = resumed_authority(&key, device);
+        let request = authority.authorize(target, payload);
+        let nonce = request.nonce;
+        let mut events = Vec::new();
+
+        match device.apply_update(&request) {
+            Ok(()) => events.push(LedgerEvent::UpdateApplied {
+                device: device.id(),
+                nonce,
+            }),
+            Err(error) => {
+                events.push(LedgerEvent::UpdateRejected {
+                    device: device.id(),
+                    error,
+                });
+                return (events, None, true);
+            }
+        }
+
+        // Post-update health probe 1: attest against the expected
+        // post-patch measurement.
+        let layout = device.device().layout();
+        let challenge = Challenge {
+            nonce: nonce ^ 0x4F54_4121, // decorrelate from update nonces
+            start: *layout.pmem.start(),
+            end: *layout.pmem.end(),
+        };
+        let report = device.attest(challenge);
+        let attested = AttestationVerifier::with_key(&key)
+            .verify(&challenge, &report, Some(&expected_after))
+            .is_ok();
+
+        // Post-update health probe 2: reboot into the new firmware and
+        // smoke-run it. Completion and still-running are healthy;
+        // violations and faults are not.
+        device.reboot();
+        let outcome = device.run_slice(smoke_cycles);
+        let healthy_run = matches!(
+            outcome,
+            RunOutcome::Completed { .. } | RunOutcome::Timeout { .. }
+        );
+
+        let failed = !(attested && healthy_run);
+        if failed {
+            events.push(LedgerEvent::ProbeFailed {
+                device: device.id(),
+            });
+        }
+        (events, Some(device.id()), failed)
+    });
+
+    let mut events = Vec::new();
+    let mut updated = Vec::new();
+    let mut failures = 0;
+    for (device_events, id, failed) in results {
+        events.extend(device_events);
+        if let Some(id) = id {
+            updated.push(id);
+        }
+        if failed {
+            failures += 1;
+        }
+    }
+    (events, updated, failures)
+}

@@ -1,0 +1,102 @@
+//! One simulated fleet member: an EILID-protected device plus the
+//! device-resident halves of the update and attestation protocols.
+
+use eilid::{Device, RunOutcome};
+use eilid_casu::{
+    AttestationReport, Attestor, Challenge, DeviceKey, UpdateEngine, UpdateError, UpdateRequest,
+};
+use eilid_workloads::WorkloadId;
+
+/// Fleet-wide device identifier (also the key-derivation index).
+pub type DeviceId = u64;
+
+/// A fleet member: the simulated device and its device-side protocol
+/// state (update engine, attestor), all keyed with the device-unique key.
+#[derive(Debug, Clone)]
+pub struct SimDevice {
+    id: DeviceId,
+    cohort: WorkloadId,
+    device: Device,
+    engine: UpdateEngine,
+    attestor: Attestor,
+    last_outcome: Option<RunOutcome>,
+}
+
+impl SimDevice {
+    /// Assembles a fleet member from a cloned prototype device.
+    pub(crate) fn new(id: DeviceId, cohort: WorkloadId, device: Device, key: &DeviceKey) -> Self {
+        let layout = device.layout().clone();
+        SimDevice {
+            id,
+            cohort,
+            device,
+            engine: UpdateEngine::with_key(key, layout),
+            attestor: Attestor::with_key(key),
+            last_outcome: None,
+        }
+    }
+
+    /// The device's fleet-wide id.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// Which firmware cohort (workload) this device runs.
+    pub fn cohort(&self) -> WorkloadId {
+        self.cohort
+    }
+
+    /// The underlying simulated device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Mutable access to the underlying device — used by tests and
+    /// attack injectors that model adversaries with memory access.
+    pub fn device_mut(&mut self) -> &mut Device {
+        &mut self.device
+    }
+
+    /// Device-side update state (applied count, last nonce).
+    pub fn engine(&self) -> &UpdateEngine {
+        &self.engine
+    }
+
+    /// Outcome of the most recent run slice, if any.
+    pub fn last_outcome(&self) -> Option<&RunOutcome> {
+        self.last_outcome.as_ref()
+    }
+
+    /// Answers an attestation challenge over the device's memory.
+    pub fn attest(&self, challenge: Challenge) -> AttestationReport {
+        self.attestor.attest(&self.device.cpu().memory, challenge)
+    }
+
+    /// Verifies and applies an authenticated update through the CASU
+    /// engine, opening the hardware update window on the device monitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`UpdateError`] of the first failed check; device
+    /// memory is untouched in that case.
+    pub fn apply_update(&mut self, request: &UpdateRequest) -> Result<(), UpdateError> {
+        let (cpu, monitor) = self.device.cpu_and_monitor_mut();
+        let monitor = monitor.expect("fleet devices are always monitor-protected");
+        self.engine.apply(request, &mut cpu.memory, monitor)
+    }
+
+    /// Reboots into the current firmware image (post-OTA restart).
+    pub fn reboot(&mut self) {
+        self.device.reboot();
+        self.last_outcome = None;
+    }
+
+    /// Runs the device for (up to) `cycles` clock cycles and records the
+    /// outcome. A device that already completed reports completion
+    /// without consuming cycles.
+    pub fn run_slice(&mut self, cycles: u64) -> RunOutcome {
+        let outcome = self.device.run_for(cycles);
+        self.last_outcome = Some(outcome.clone());
+        outcome
+    }
+}

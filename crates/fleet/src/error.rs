@@ -1,0 +1,61 @@
+//! Fleet-level errors.
+
+use std::fmt;
+
+use eilid::EilidError;
+use eilid_casu::KeyError;
+use eilid_workloads::WorkloadId;
+
+/// Why a fleet operation failed.
+#[derive(Debug)]
+pub enum FleetError {
+    /// Building a device prototype failed.
+    Build(EilidError),
+    /// A key was rejected.
+    Key(KeyError),
+    /// The builder was asked for zero devices.
+    EmptyFleet,
+    /// The builder was given an empty workload mix.
+    EmptyWorkloadMix,
+    /// A campaign referenced a cohort the fleet does not run.
+    UnknownCohort(WorkloadId),
+    /// A campaign config value is out of range.
+    InvalidCampaign(String),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Build(e) => write!(f, "device build failed: {e}"),
+            FleetError::Key(e) => write!(f, "key rejected: {e}"),
+            FleetError::EmptyFleet => write!(f, "a fleet needs at least one device"),
+            FleetError::EmptyWorkloadMix => write!(f, "the workload mix must not be empty"),
+            FleetError::UnknownCohort(id) => {
+                write!(f, "no devices in this fleet run the {id} firmware")
+            }
+            FleetError::InvalidCampaign(msg) => write!(f, "invalid campaign config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Build(e) => Some(e),
+            FleetError::Key(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EilidError> for FleetError {
+    fn from(e: EilidError) -> Self {
+        FleetError::Build(e)
+    }
+}
+
+impl From<KeyError> for FleetError {
+    fn from(e: KeyError) -> Self {
+        FleetError::Key(e)
+    }
+}

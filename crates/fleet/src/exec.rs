@@ -1,0 +1,70 @@
+//! Multi-threaded work scheduling over device slices.
+//!
+//! The fleet's workloads are embarrassingly parallel (per-device
+//! attestation, per-device simulation slices), so a scoped-thread
+//! chunked map is all the scheduler we need — no async runtime, no work
+//! stealing. Results come back in input order.
+
+use std::thread;
+
+/// Maps `f` over `items` on up to `threads` worker threads, preserving
+/// input order in the result.
+///
+/// With `threads <= 1` (or a single item) the map runs inline, which
+/// keeps single-core environments and tests deterministic and
+/// profiler-friendly.
+pub fn parallel_map_mut<I, T, F>(items: &mut [I], threads: usize, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(&mut I) -> T + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, items.len());
+    if threads == 1 {
+        return items.iter_mut().map(&f).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk_size)
+            .map(|chunk| scope.spawn(|| chunk.iter_mut().map(&f).collect::<Vec<T>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("fleet worker thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_mutates() {
+        let mut items: Vec<u64> = (0..100).collect();
+        let doubled = parallel_map_mut(&mut items, 4, |x| {
+            *x *= 2;
+            *x
+        });
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<u64>>());
+        assert_eq!(items[99], 198);
+    }
+
+    #[test]
+    fn handles_empty_and_single_thread() {
+        let mut empty: Vec<u8> = vec![];
+        assert!(parallel_map_mut(&mut empty, 4, |x| *x).is_empty());
+        let mut one = vec![5u8];
+        assert_eq!(parallel_map_mut(&mut one, 0, |x| *x + 1), vec![6]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let mut items = vec![1u8, 2, 3];
+        assert_eq!(parallel_map_mut(&mut items, 64, |x| *x), vec![1, 2, 3]);
+    }
+}

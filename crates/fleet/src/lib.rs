@@ -1,0 +1,71 @@
+//! # eilid-fleet — fleet-scale orchestration for EILID devices
+//!
+//! EILID/CASU target deployments of *many* low-end devices, but the rest
+//! of this workspace simulates one MSP430 at a time. This crate adds the
+//! verifier-side fleet layer:
+//!
+//! * [`Fleet`] / [`FleetBuilder`] — spawns N concurrent simulated EILID
+//!   devices with heterogeneous firmware (the seven
+//!   [`eilid_workloads`] applications) and per-device keys derived from a
+//!   single fleet root key ([`eilid_casu::DeviceKey::derive`]). Device
+//!   construction instruments each distinct firmware once and clones the
+//!   prototype, so spinning up thousands of devices stays cheap.
+//! * [`Verifier`] — issues batched attestation challenges across the
+//!   fleet, verifies the reports on a multi-threaded scheduler
+//!   (`std::thread::scope` + chunked work lists, no async runtime) and
+//!   aggregates per-device health into a [`FleetReport`].
+//! * [`Campaign`] — drives staged OTA rollouts (canary wave → full wave)
+//!   through the authenticated-update protocol
+//!   ([`eilid_casu::UpdateAuthority`] / [`eilid_casu::UpdateEngine`]),
+//!   with automatic halt-and-rollback when a wave's post-update health
+//!   check fails beyond a configured threshold.
+//! * violation telemetry — devices that trip the
+//!   [`eilid_casu::CasuMonitor`] report their
+//!   [`eilid_casu::Violation`] upstream; the fleet [`Ledger`] records the
+//!   reset and subsequent recovery.
+//!
+//! # Threat model
+//!
+//! The *verifier* (and everything in this crate that runs on it: root
+//! key, update authority, golden images) is trusted. The *transport* is
+//! attacker-controlled: reports and update requests may be dropped,
+//! replayed or mangled, which the MAC/nonce checks in [`eilid_casu`]
+//! must catch. *Devices* may be compromised up to the paper's threat
+//! model — software adversaries are contained by CASU/EILID, and a
+//! physically tampered device is expected to be *flagged* by
+//! attestation, not prevented.
+//!
+//! # Examples
+//!
+//! ```
+//! use eilid_casu::DeviceKey;
+//! use eilid_fleet::{FleetBuilder, HealthClass};
+//!
+//! let root = DeviceKey::new(b"fleet-root-key-0123456789abcdef")?;
+//! let (mut fleet, mut verifier) = FleetBuilder::new(root)
+//!     .devices(16)
+//!     .threads(2)
+//!     .build()?;
+//!
+//! let report = verifier.sweep(&mut fleet);
+//! assert_eq!(report.count(HealthClass::Attested), 16);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod device;
+pub mod error;
+pub mod exec;
+pub mod fleet;
+pub mod report;
+pub mod verifier;
+
+pub use campaign::{Campaign, CampaignConfig, CampaignOutcome, CampaignReport, WaveReport};
+pub use device::{DeviceId, SimDevice};
+pub use error::FleetError;
+pub use fleet::{Fleet, FleetBuilder, SliceReport};
+pub use report::{DeviceHealth, FleetReport, HealthClass, Ledger, LedgerEvent};
+pub use verifier::Verifier;

@@ -1,0 +1,183 @@
+//! The fleet verifier: batched attestation sweeps and measurement
+//! bookkeeping.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use eilid_casu::{
+    measure_pmem, AttestError, AttestationVerifier, Challenge, DeviceKey, MemoryLayout,
+};
+use eilid_workloads::WorkloadId;
+
+use crate::device::DeviceId;
+use crate::exec::parallel_map_mut;
+use crate::fleet::Fleet;
+use crate::report::{DeviceHealth, FleetReport, HealthClass, LedgerEvent};
+
+/// Known-good measurements of one firmware cohort: the current version
+/// plus every previous version still considered "stale but authentic".
+#[derive(Debug, Clone)]
+struct MeasurementHistory {
+    current: [u8; 32],
+    previous: Vec<[u8; 32]>,
+}
+
+/// The trusted fleet verifier.
+///
+/// Holds the fleet root key (from which every device key is re-derived
+/// on demand), the per-cohort golden measurements, and the per-device
+/// update-authority state (freshness nonces).
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    root: DeviceKey,
+    expected: BTreeMap<WorkloadId, MeasurementHistory>,
+    next_nonce: u64,
+}
+
+impl Verifier {
+    /// Enrolls a fleet: records each cohort's golden measurement.
+    pub(crate) fn enroll(root: DeviceKey, fleet: &Fleet) -> Self {
+        let mut expected = BTreeMap::new();
+        for cohort in fleet.cohort_ids() {
+            let golden = &fleet.cohort(cohort).expect("cohort exists").golden;
+            let layout = MemoryLayout::default();
+            expected.insert(
+                cohort,
+                MeasurementHistory {
+                    current: measure_pmem(golden, &layout),
+                    previous: Vec::new(),
+                },
+            );
+        }
+        Verifier {
+            root,
+            expected,
+            next_nonce: 1,
+        }
+    }
+
+    /// Re-derives the key of `device` from the fleet root.
+    pub fn device_key(&self, device: DeviceId) -> DeviceKey {
+        self.root.derive(device)
+    }
+
+    /// The fleet root key (campaigns derive per-device authorities from
+    /// it).
+    pub(crate) fn root(&self) -> &DeviceKey {
+        &self.root
+    }
+
+    /// The current golden measurement for `cohort`.
+    pub fn expected_measurement(&self, cohort: WorkloadId) -> Option<[u8; 32]> {
+        self.expected.get(&cohort).map(|h| h.current)
+    }
+
+    /// Promotes `measurement` to the current golden value for `cohort`,
+    /// demoting the old value to "stale but authentic".
+    pub(crate) fn promote_measurement(&mut self, cohort: WorkloadId, measurement: [u8; 32]) {
+        if let Some(history) = self.expected.get_mut(&cohort) {
+            if history.current != measurement {
+                let old = history.current;
+                history.previous.push(old);
+                history.current = measurement;
+            }
+        }
+    }
+
+    /// Reserves a block of `count` fresh challenge nonces and returns the
+    /// first.
+    fn reserve_nonces(&mut self, count: u64) -> u64 {
+        let base = self.next_nonce;
+        self.next_nonce += count;
+        base
+    }
+
+    /// Classifies one verified-or-not report measurement.
+    fn classify(
+        history: &MeasurementHistory,
+        verified: Result<(), AttestError>,
+        measurement: &[u8; 32],
+    ) -> (HealthClass, Option<AttestError>) {
+        match verified {
+            Err(error) => (HealthClass::Unverified, Some(error)),
+            Ok(()) if measurement == &history.current => (HealthClass::Attested, None),
+            Ok(()) if history.previous.contains(measurement) => (HealthClass::Stale, None),
+            Ok(()) => (
+                HealthClass::Tampered,
+                Some(AttestError::UnexpectedMeasurement),
+            ),
+        }
+    }
+
+    /// Issues one batched attestation sweep across the whole fleet.
+    ///
+    /// Every device gets a fresh challenge over its full application PMEM
+    /// range; reports are produced and verified on the fleet's worker
+    /// pool; flagged devices are recorded in the fleet ledger.
+    pub fn sweep(&mut self, fleet: &mut Fleet) -> FleetReport {
+        let ids: Vec<DeviceId> = fleet.devices().iter().map(|d| d.id()).collect();
+        self.sweep_devices(fleet, &ids)
+    }
+
+    /// Issues a batched attestation sweep over a subset of devices.
+    pub fn sweep_devices(&mut self, fleet: &mut Fleet, ids: &[DeviceId]) -> FleetReport {
+        // Reserve enough nonces that `base + id` is unique across sweeps
+        // even when attesting a sparse subset of high device ids.
+        let nonce_span = ids.iter().copied().max().unwrap_or(0) + 1;
+        let nonce_base = self.reserve_nonces(nonce_span);
+        let root = self.root.clone();
+        let expected = self.expected.clone();
+        let threads = fleet.threads();
+
+        let start = Instant::now();
+        let mut targets = fleet.devices_by_ids_mut(ids);
+        let healths: Vec<DeviceHealth> = parallel_map_mut(&mut targets, threads, |device| {
+            let layout = device.device().layout();
+            let challenge = Challenge {
+                // Offset nonces so no two devices ever share one.
+                nonce: nonce_base + device.id(),
+                start: *layout.pmem.start(),
+                end: *layout.pmem.end(),
+            };
+            let report = device.attest(challenge);
+            let key = root.derive(device.id());
+            let verifier = AttestationVerifier::with_key(&key);
+            let verified = verifier.verify(&challenge, &report, None);
+            let history = &expected[&device.cohort()];
+            let (class, error) = Verifier::classify(history, verified, &report.measurement);
+            DeviceHealth {
+                device: device.id(),
+                cohort: device.cohort(),
+                class,
+                error,
+            }
+        });
+        let elapsed = start.elapsed();
+        drop(targets);
+
+        // Ids that matched no device were never challenged; surface them
+        // rather than letting the report silently shrink.
+        let challenged: std::collections::BTreeSet<DeviceId> =
+            healths.iter().map(|h| h.device).collect();
+        let missing: Vec<DeviceId> = ids
+            .iter()
+            .copied()
+            .filter(|id| !challenged.contains(id))
+            .collect();
+
+        for health in &healths {
+            if health.class != HealthClass::Attested {
+                fleet.ledger_mut().record(LedgerEvent::AttestationFlagged {
+                    device: health.device,
+                    class: health.class,
+                });
+            }
+        }
+        FleetReport {
+            devices: healths,
+            missing,
+            elapsed,
+            threads,
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Fleet integration tests: batched attestation, violation telemetry,
+//! staged OTA campaigns with halt-and-rollback, and the release-mode
+//! 1 000-device scale test.
+
+use std::time::Instant;
+
+use eilid_casu::{DeviceKey, UpdateAuthority};
+use eilid_fleet::{
+    Campaign, CampaignConfig, CampaignOutcome, FleetBuilder, HealthClass, LedgerEvent,
+};
+use eilid_workloads::WorkloadId;
+
+const ROOT: &[u8] = b"fleet-root-key-0123456789abcdef";
+
+fn root_key() -> DeviceKey {
+    DeviceKey::new(ROOT).unwrap()
+}
+
+/// A bricking patch: its first instruction writes program memory, which
+/// the CASU monitor answers with an immediate `PmemWrite` violation
+/// reset. The write targets a byte *inside the patch's own range*
+/// (0xE006) so that a campaign rollback of the patched range restores
+/// the device byte-for-byte, even though the simulator commits the
+/// violating write before the reset lands. Assembled with the workspace
+/// assembler so the encoding always matches the simulator.
+fn evil_patch() -> Vec<u8> {
+    let image = eilid_asm::assemble(
+        "    .org 0xe000\n    .global main\nmain:\n    mov #0x1234, &0xe006\n    jmp main\n",
+    )
+    .unwrap();
+    image.segments[0].bytes.clone()
+}
+
+/// A benign patch: data bytes in the unused PMEM gap between the
+/// application image and the EILID trampolines; never executed.
+const BENIGN_PATCH: [u8; 8] = [0xE1, 0x1D, 0x20, 0x26, 0x07, 0x28, 0x00, 0x01];
+const BENIGN_TARGET: u16 = 0xF600;
+
+#[test]
+fn fresh_fleet_attests_clean() {
+    let (mut fleet, mut verifier) = FleetBuilder::new(root_key())
+        .devices(14)
+        .threads(2)
+        .build()
+        .unwrap();
+    assert_eq!(fleet.len(), 14);
+    // Round-robin over all seven workloads → two devices per cohort.
+    assert_eq!(fleet.cohort_ids().len(), 7);
+
+    let report = verifier.sweep(&mut fleet);
+    assert_eq!(report.count(HealthClass::Attested), 14);
+    assert_eq!(report.count(HealthClass::Tampered), 0);
+    assert!(report.devices_per_second() > 0.0);
+}
+
+#[test]
+fn tampered_pmem_is_flagged_by_the_sweep() {
+    let (mut fleet, mut verifier) = FleetBuilder::new(root_key())
+        .devices(8)
+        .threads(2)
+        .workloads(&[WorkloadId::LightSensor])
+        .build()
+        .unwrap();
+
+    // A physical attacker flips one instruction byte on two devices.
+    for &victim in &[2usize, 5] {
+        let device = &mut fleet.devices_mut()[victim];
+        let memory = &mut device.device_mut().cpu_mut().memory;
+        let original = memory.read_byte(0xE010);
+        memory.write_byte(0xE010, original ^ 0x01);
+    }
+
+    let report = verifier.sweep(&mut fleet);
+    assert_eq!(report.count(HealthClass::Attested), 6);
+    assert_eq!(report.count(HealthClass::Tampered), 2);
+    assert_eq!(report.devices_in(HealthClass::Tampered), vec![2, 5]);
+    // Flagged devices land in the ledger.
+    assert!(fleet
+        .ledger()
+        .events()
+        .iter()
+        .any(|e| matches!(e, LedgerEvent::AttestationFlagged { device: 2, .. })));
+}
+
+#[test]
+fn violation_telemetry_records_reset_and_recovery() {
+    let (mut fleet, verifier) = FleetBuilder::new(root_key())
+        .devices(4)
+        .threads(1)
+        .workloads(&[WorkloadId::LightSensor])
+        .build()
+        .unwrap();
+
+    // Tamper device 1's entry point so execution jumps into DMEM.
+    {
+        let device = &mut fleet.devices_mut()[1];
+        let memory = &mut device.device_mut().cpu_mut().memory;
+        memory.load(0xE000, &evil_patch()).unwrap();
+    }
+
+    let report = fleet.run_slice(5_000_000);
+    assert_eq!(report.completed, 3);
+    assert_eq!(report.violations, 1);
+    assert_eq!(fleet.ledger().violation_resets(1), 1);
+    assert_eq!(fleet.ledger().total_violation_resets(), 1);
+
+    // Repair the device through the authenticated update path (the same
+    // bytes an untampered sibling holds), reboot, and watch it recover.
+    {
+        let span = 0xE000..0xE000 + evil_patch().len();
+        let good_bytes: Vec<u8> = fleet.devices()[0]
+            .device()
+            .cpu()
+            .memory
+            .slice(span)
+            .to_vec();
+        let key = verifier.device_key(1);
+        let device = &mut fleet.devices_mut()[1];
+        let mut authority =
+            UpdateAuthority::with_key_resuming(&key, device.engine().last_nonce() + 1);
+        let request = authority.authorize(0xE000, &good_bytes);
+        device.apply_update(&request).unwrap();
+        device.reboot();
+    }
+
+    let report = fleet.run_slice(5_000_000);
+    assert_eq!(report.completed, 4);
+    assert_eq!(report.violations, 0);
+    assert_eq!(fleet.ledger().recovered_devices(), vec![1]);
+
+    // Recovery is recorded once, not on every later slice.
+    fleet.run_slice(5_000_000);
+    fleet.run_slice(5_000_000);
+    assert_eq!(fleet.ledger().recovered_devices(), vec![1]);
+}
+
+#[test]
+fn campaign_patch_past_address_space_is_rejected_not_a_panic() {
+    let (mut fleet, mut verifier) = FleetBuilder::new(root_key())
+        .devices(2)
+        .threads(1)
+        .workloads(&[WorkloadId::LightSensor])
+        .build()
+        .unwrap();
+    let config = CampaignConfig::new(WorkloadId::LightSensor, 0xFFFE, vec![0; 8]);
+    let result = Campaign::new(config)
+        .unwrap()
+        .run(&mut fleet, &mut verifier);
+    assert!(
+        matches!(result, Err(eilid_fleet::FleetError::InvalidCampaign(_))),
+        "got {result:?}"
+    );
+}
+
+#[test]
+fn good_campaign_completes_and_new_firmware_attests() {
+    let (mut fleet, mut verifier) = FleetBuilder::new(root_key())
+        .devices(10)
+        .threads(2)
+        .workloads(&[WorkloadId::LightSensor])
+        .build()
+        .unwrap();
+
+    let config = CampaignConfig::new(
+        WorkloadId::LightSensor,
+        BENIGN_TARGET,
+        BENIGN_PATCH.to_vec(),
+    );
+    let report = Campaign::new(config)
+        .unwrap()
+        .run(&mut fleet, &mut verifier)
+        .unwrap();
+
+    assert!(report.is_completed(), "outcome: {:?}", report.outcome);
+    assert_eq!(report.outcome, CampaignOutcome::Completed { updated: 10 });
+    // Canary wave (10% of 10 = 1 device) then the rest.
+    assert_eq!(report.waves.len(), 2);
+    assert_eq!(report.waves[0].size, 1);
+    assert_eq!(report.waves[1].size, 9);
+    assert_eq!(report.waves.iter().map(|w| w.failures).sum::<usize>(), 0);
+
+    // The new firmware is now golden: everyone attests clean against it.
+    let sweep = verifier.sweep(&mut fleet);
+    assert_eq!(sweep.count(HealthClass::Attested), 10);
+
+    // And the devices still work after the patch + reboot.
+    let slice = fleet.run_slice(5_000_000);
+    assert_eq!(slice.completed, 10);
+}
+
+#[test]
+fn bad_campaign_halts_on_the_canary_wave_and_rolls_back() {
+    let (mut fleet, mut verifier) = FleetBuilder::new(root_key())
+        .devices(20)
+        .threads(2)
+        .workloads(&[WorkloadId::LightSensor])
+        .build()
+        .unwrap();
+
+    // The patch bricks the entry point: canary devices violate W⊕X on
+    // their post-update smoke run.
+    let config = CampaignConfig::new(WorkloadId::LightSensor, 0xE000, evil_patch());
+    let report = Campaign::new(config)
+        .unwrap()
+        .run(&mut fleet, &mut verifier)
+        .unwrap();
+
+    match report.outcome {
+        CampaignOutcome::HaltedAndRolledBack {
+            wave,
+            failure_rate,
+            rolled_back,
+        } => {
+            assert_eq!(wave, 0, "the canary wave must catch the bad firmware");
+            assert!(failure_rate > 0.99, "failure rate {failure_rate}");
+            assert_eq!(rolled_back, 2, "10% canary of 20 devices");
+        }
+        other => panic!("bad campaign was not halted: {other:?}"),
+    }
+    // Only the canary was ever updated.
+    assert_eq!(report.waves.len(), 1);
+
+    // Rollback restored the original firmware fleet-wide: everyone
+    // attests clean against the unchanged golden measurement and runs.
+    let sweep = verifier.sweep(&mut fleet);
+    assert_eq!(sweep.count(HealthClass::Attested), 20);
+    let slice = fleet.run_slice(5_000_000);
+    assert_eq!(slice.completed, 20);
+    assert_eq!(slice.violations, 0);
+
+    // The ledger tells the whole story.
+    let events = fleet.ledger().events();
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, LedgerEvent::CampaignHalted { wave: 0, .. })));
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| matches!(e, LedgerEvent::RolledBack { .. }))
+            .count(),
+        2
+    );
+}
+
+/// The acceptance-scale test: ≥ 1 000 heterogeneous devices, a full
+/// attestation sweep, a staged OTA campaign with an injected bad wave
+/// (halts + rolls back), a good campaign (completes), and tampered
+/// devices flagged — all in well under 60 s in release mode.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-mode scale test; run with `cargo test --release -p eilid_fleet`"
+)]
+fn thousand_device_fleet_sweep_and_staged_campaign() {
+    let start = Instant::now();
+    const DEVICES: usize = 1_000;
+
+    let (mut fleet, mut verifier) = FleetBuilder::new(root_key())
+        .devices(DEVICES)
+        .threads(8)
+        .build()
+        .unwrap();
+    assert_eq!(fleet.len(), DEVICES);
+
+    // 1. Baseline sweep: every device healthy.
+    let sweep = verifier.sweep(&mut fleet);
+    assert_eq!(sweep.count(HealthClass::Attested), DEVICES);
+    println!("baseline sweep: {sweep}");
+
+    // 2. Injected bad wave: a bricking patch for the LightSensor cohort
+    //    must halt on the canary and roll back.
+    let cohort = WorkloadId::LightSensor;
+    let cohort_size = fleet.cohort_members(cohort).len();
+    let bad = CampaignConfig::new(cohort, 0xE000, evil_patch());
+    let bad_report = Campaign::new(bad)
+        .unwrap()
+        .run(&mut fleet, &mut verifier)
+        .unwrap();
+    match bad_report.outcome {
+        CampaignOutcome::HaltedAndRolledBack {
+            wave, rolled_back, ..
+        } => {
+            assert_eq!(wave, 0);
+            let canary = bad_report.waves[0].size;
+            assert!(
+                canary >= cohort_size / 12 && canary <= cohort_size / 8,
+                "canary wave of {canary} is not ~10% of {cohort_size}"
+            );
+            assert_eq!(
+                rolled_back, canary,
+                "every updated canary device rolls back"
+            );
+        }
+        other => panic!("bad wave was not halted: {other:?}"),
+    }
+
+    // 3. Good campaign on the same cohort completes in two waves.
+    let good = CampaignConfig::new(cohort, BENIGN_TARGET, BENIGN_PATCH.to_vec());
+    let good_report = Campaign::new(good)
+        .unwrap()
+        .run(&mut fleet, &mut verifier)
+        .unwrap();
+    assert_eq!(
+        good_report.outcome,
+        CampaignOutcome::Completed {
+            updated: cohort_size
+        }
+    );
+
+    // 4. Physical tampering on a handful of devices in another cohort.
+    let tampered: Vec<u64> = fleet
+        .cohort_members(WorkloadId::FireSensor)
+        .into_iter()
+        .take(5)
+        .collect();
+    for &id in &tampered {
+        let device = &mut fleet.devices_mut()[id as usize];
+        let memory = &mut device.device_mut().cpu_mut().memory;
+        let original = memory.read_byte(0xE020);
+        memory.write_byte(0xE020, original ^ 0x80);
+    }
+
+    // 5. Final sweep: healthy devices attest (including the whole updated
+    //    cohort against its new golden), tampered devices are flagged.
+    let final_sweep = verifier.sweep(&mut fleet);
+    assert_eq!(final_sweep.count(HealthClass::Tampered), tampered.len());
+    assert_eq!(
+        final_sweep.count(HealthClass::Attested),
+        DEVICES - tampered.len()
+    );
+    assert_eq!(
+        final_sweep.devices_in(HealthClass::Tampered),
+        tampered,
+        "exactly the tampered devices are flagged"
+    );
+    println!("final sweep: {final_sweep}");
+
+    let elapsed = start.elapsed();
+    println!("scale test wall time: {elapsed:?}");
+    assert!(
+        elapsed.as_secs() < 60,
+        "scale test took {elapsed:?}, budget is 60s"
+    );
+}

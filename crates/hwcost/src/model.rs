@@ -181,8 +181,10 @@ mod tests {
         assert!(permissive.luts < full.luts);
         assert!(permissive.registers <= full.registers);
 
-        let mut no_wxorx = CasuPolicy::default();
-        no_wxorx.enforce_wxorx = false;
+        let no_wxorx = CasuPolicy {
+            enforce_wxorx: false,
+            ..Default::default()
+        };
         let partial = eilid_monitor_cost(&no_wxorx, &EilidConfig::default());
         assert_eq!(full.luts - partial.luts, 2 * LUTS_PER_RANGE_RULE);
         assert_eq!(full.luts, 99);

@@ -158,9 +158,8 @@ pub fn table1() -> Vec<Table1Row> {
 
 /// Renders the whole table as text (used by the Table I harness binary).
 pub fn render_table1() -> String {
-    let mut out = String::from(
-        "Method Work        RT   F    B    Int  Platform           Technique\n",
-    );
+    let mut out =
+        String::from("Method Work        RT   F    B    Int  Platform           Technique\n");
     for row in table1() {
         out.push_str(&row.to_string());
         out.push('\n');
@@ -194,7 +193,11 @@ mod tests {
     fn cfa_rows_are_never_real_time() {
         for row in table1() {
             if row.method == Method::Cfa {
-                assert!(!row.real_time, "{} is CFA and cannot be real-time", row.work);
+                assert!(
+                    !row.real_time,
+                    "{} is CFA and cannot be real-time",
+                    row.work
+                );
             }
         }
     }

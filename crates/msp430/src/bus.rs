@@ -153,7 +153,10 @@ mod tests {
             instruction_size: 4,
             fetch_addresses: vec![0xF000, 0xF002],
             reads: vec![],
-            writes: vec![write(0x0200, 0x1234, Width::Word), write(0x0300, 0x55, Width::Byte)],
+            writes: vec![
+                write(0x0200, 0x1234, Width::Word),
+                write(0x0300, 0x55, Width::Byte),
+            ],
             cycles: 5,
             total_cycles: 5,
         };

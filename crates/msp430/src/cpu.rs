@@ -388,7 +388,10 @@ mod tests {
         assert_eq!(cpu.regs.pc(), 0xF100);
         assert_eq!(cpu.regs.sp(), 0x03FE);
         assert_eq!(cpu.memory.read_word(0x03FE), 0xF004);
-        assert!(trace.writes.iter().any(|w| w.addr == 0x03FE && w.value == 0xF004));
+        assert!(trace
+            .writes
+            .iter()
+            .any(|w| w.addr == 0x03FE && w.value == 0xF004));
         assert_eq!(trace.cycles, 5);
     }
 
@@ -510,10 +513,14 @@ mod tests {
         // Program: enable GIE, enable timer, loop. ISR at 0xE100: reti.
         let mut mem = Memory::new();
         let program: Vec<u16> = vec![
-            0x40B2, 0x0002, TIMER_COMPARE, // mov #2, &TIMER_COMPARE
-            0x40B2, 0x0003, TIMER_CTL,     // mov #3, &TIMER_CTL (enable + irq)
-            0xD232, // bis #8, sr (GIE) via constant generator
-            0x3FFF, // jmp $
+            0x40B2,
+            0x0002,
+            TIMER_COMPARE, // mov #2, &TIMER_COMPARE
+            0x40B2,
+            0x0003,
+            TIMER_CTL, // mov #3, &TIMER_CTL (enable + irq)
+            0xD232,    // bis #8, sr (GIE) via constant generator
+            0x3FFF,    // jmp $
         ];
         for (i, w) in program.iter().enumerate() {
             mem.write_word(0xF000 + 2 * i as u16, *w);
@@ -560,10 +567,14 @@ mod tests {
         // enable timer/GIE then set CPUOFF; ISR clears CPUOFF on the stacked SR.
         let mut mem = Memory::new();
         let program: Vec<u16> = vec![
-            0x40B2, 0x0002, TIMER_COMPARE,
-            0x40B2, 0x0003, TIMER_CTL,
-            0xD232,         // bis #8, sr (GIE)
-            0xD132,         // bis #16(=CPUOFF? constant gen can't do 16)
+            0x40B2,
+            0x0002,
+            TIMER_COMPARE,
+            0x40B2,
+            0x0003,
+            TIMER_CTL,
+            0xD232, // bis #8, sr (GIE)
+            0xD132, // bis #16(=CPUOFF? constant gen can't do 16)
         ];
         // Replace the last word with an explicit immediate form: bis #0x0010, sr
         let mut words = program;
@@ -604,8 +615,12 @@ mod tests {
         use crate::peripherals::{TIMER_COMPARE, TIMER_CTL, TIMER_IRQ_VECTOR};
         let mut mem = Memory::new();
         let program: Vec<u16> = vec![
-            0x40B2, 0x0001, TIMER_COMPARE,
-            0x40B2, 0x0003, TIMER_CTL,
+            0x40B2,
+            0x0001,
+            TIMER_COMPARE,
+            0x40B2,
+            0x0003,
+            TIMER_CTL,
             0xD232, // bis #8, sr (GIE)
             0x3FFF, // jmp $
         ];

@@ -133,8 +133,8 @@ pub fn decode(memory: &Memory, pc: u16) -> Result<Decoded, DecodeError> {
 }
 
 fn decode_jump(word: u16) -> Instruction {
-    let condition = Condition::from_encoding((word >> 10) & 0b111)
-        .expect("3-bit condition is always valid");
+    let condition =
+        Condition::from_encoding((word >> 10) & 0b111).expect("3-bit condition is always valid");
     let raw = word & 0x03FF;
     // Sign-extend the 10-bit offset.
     let offset = if raw & 0x0200 != 0 {
@@ -382,7 +382,7 @@ mod tests {
     fn decode_symbolic_source_resolves_to_absolute() {
         // mov TARGET, r6 where TARGET is PC-relative: src reg PC, As=01.
         // ext word holds (target - ext_addr).
-        let word = 0x4000 | (0 << 8) | (1 << 4) | 6;
+        let word = 0x4000 | (1 << 4) | 6;
         let ext_addr: u16 = 0xF002;
         let target: u16 = 0xE400;
         let d = decode_words(&[word, target.wrapping_sub(ext_addr)]);

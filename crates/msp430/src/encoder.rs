@@ -187,8 +187,12 @@ pub fn encode_with(
             let s = encode_source(src, allow_cg);
             let d = encode_destination(dst)?;
             let bw = u16::from(width.is_byte());
-            let word =
-                (opcode.encoding() << 12) | (s.reg << 8) | (d.ad << 7) | (bw << 6) | (s.as_bits << 4) | d.reg;
+            let word = (opcode.encoding() << 12)
+                | (s.reg << 8)
+                | (d.ad << 7)
+                | (bw << 6)
+                | (s.as_bits << 4)
+                | d.reg;
             let mut words = vec![word];
             words.extend(s.ext);
             words.extend(d.ext);
@@ -206,7 +210,13 @@ pub fn encode_with(
                 return Ok(vec![0x1000 | (OneOpOpcode::Reti.encoding() << 7)]);
             }
             let s = encode_source(operand, allow_cg);
-            let bw = u16::from(width.is_byte() && matches!(opcode, OneOpOpcode::Rrc | OneOpOpcode::Rra | OneOpOpcode::Push));
+            let bw = u16::from(
+                width.is_byte()
+                    && matches!(
+                        opcode,
+                        OneOpOpcode::Rrc | OneOpOpcode::Rra | OneOpOpcode::Push
+                    ),
+            );
             let word = 0x1000 | (opcode.encoding() << 7) | (bw << 6) | (s.as_bits << 4) | s.reg;
             let mut words = vec![word];
             words.extend(s.ext);
@@ -240,9 +250,9 @@ pub fn encode_bytes(instruction: &Instruction) -> Result<Vec<u8>, EncodeError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::instruction::TwoOpOpcode;
     use crate::flags::Width;
     use crate::instruction::Condition;
+    use crate::instruction::TwoOpOpcode;
 
     #[test]
     fn encode_register_mov() {

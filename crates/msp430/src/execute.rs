@@ -62,7 +62,7 @@ fn read_source(cpu: &mut Cpu, operand: &Operand, width: Width) -> u16 {
             let increment = if matches!(r, Reg::SP | Reg::PC) {
                 2
             } else {
-                u16::from(width.bytes())
+                width.bytes()
             };
             cpu.regs.write(*r, addr.wrapping_add(increment));
             value
@@ -80,9 +80,7 @@ fn resolve_destination(cpu: &mut Cpu, operand: &Operand) -> Place {
         Operand::Symbolic { offset } => Place::Memory(cpu.regs.pc().wrapping_add(*offset as u16)),
         // Not legal destinations; resolve defensively to their address/value
         // so a malformed program faults visibly instead of corrupting state.
-        Operand::Indirect(r) | Operand::IndirectAutoInc(r) => {
-            Place::Memory(cpu.regs.read(*r))
-        }
+        Operand::Indirect(r) | Operand::IndirectAutoInc(r) => Place::Memory(cpu.regs.read(*r)),
         Operand::Immediate(_) => Place::Memory(0),
     }
 }
@@ -116,13 +114,7 @@ fn store_flags(cpu: &mut Cpu, flags: StatusFlags) {
     cpu.regs.set_sr(flags.to_word());
 }
 
-fn execute_two_op(
-    cpu: &mut Cpu,
-    opcode: TwoOpOpcode,
-    width: Width,
-    src: &Operand,
-    dst: &Operand,
-) {
+fn execute_two_op(cpu: &mut Cpu, opcode: TwoOpOpcode, width: Width, src: &Operand, dst: &Operand) {
     let src_value = read_source(cpu, src, width);
     let place = resolve_destination(cpu, dst);
     let mut flags = flags_of(cpu);
@@ -138,7 +130,6 @@ fn execute_two_op(
             result.apply(&mut flags);
             store_flags(cpu, flags);
             write_place(cpu, &place, result.value, width);
-            return;
         }
         TwoOpOpcode::Sub | TwoOpOpcode::Subc | TwoOpOpcode::Cmp => {
             let dst_value = read_place(cpu, &place, width);
@@ -153,7 +144,6 @@ fn execute_two_op(
             if opcode != TwoOpOpcode::Cmp {
                 write_place(cpu, &place, result.value, width);
             }
-            return;
         }
         TwoOpOpcode::Dadd => {
             let dst_value = read_place(cpu, &place, width);
@@ -161,7 +151,6 @@ fn execute_two_op(
             result.apply(&mut flags);
             store_flags(cpu, flags);
             write_place(cpu, &place, result.value, width);
-            return;
         }
         TwoOpOpcode::Bit | TwoOpOpcode::And => {
             let dst_value = read_place(cpu, &place, width);
@@ -172,7 +161,6 @@ fn execute_two_op(
             if opcode == TwoOpOpcode::And {
                 write_place(cpu, &place, value, width);
             }
-            return;
         }
         TwoOpOpcode::Xor => {
             let dst_value = read_place(cpu, &place, width);
@@ -183,7 +171,6 @@ fn execute_two_op(
             result.apply(&mut flags);
             store_flags(cpu, flags);
             write_place(cpu, &place, value, width);
-            return;
         }
         TwoOpOpcode::Bic => {
             let dst_value = read_place(cpu, &place, width);

@@ -383,10 +383,7 @@ mod tests {
         sr.set_cpu_off(true);
         assert!(sr.carry() && sr.overflow() && sr.negative() && sr.zero());
         assert!(sr.gie() && sr.cpu_off());
-        assert_eq!(
-            StatusFlags::from_word(sr.to_word()).to_word(),
-            sr.to_word()
-        );
+        assert_eq!(StatusFlags::from_word(sr.to_word()).to_word(), sr.to_word());
         assert_eq!(sr.to_string(), "[VNZCI]");
     }
 

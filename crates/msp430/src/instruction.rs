@@ -387,7 +387,9 @@ impl Instruction {
             Instruction::TwoOp { src, dst, .. } => {
                 2 + 2 * (src.src_extension_words() + dst.dst_extension_words())
             }
-            Instruction::OneOp { opcode, operand, .. } => {
+            Instruction::OneOp {
+                opcode, operand, ..
+            } => {
                 if *opcode == OneOpOpcode::Reti {
                     2
                 } else {

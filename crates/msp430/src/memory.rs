@@ -36,6 +36,11 @@ impl LoadImageError {
     pub fn len(&self) -> usize {
         self.len
     }
+
+    /// `true` for a zero-length image.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
 }
 
 impl fmt::Display for LoadImageError {
@@ -69,6 +74,9 @@ pub struct Memory {
     bytes: Vec<u8>,
 }
 
+// Unused under the vendored stub serde, whose derive ignores
+// `#[serde(with = ...)]`; a real serde calls back into it.
+#[allow(dead_code)]
 mod serde_bytes_array {
     use serde::{Deserialize, Deserializer, Serializer};
 

@@ -188,6 +188,16 @@ impl Peripherals {
         self.adc_stimulus = stimulus;
     }
 
+    /// Returns every peripheral to its power-on state while keeping the
+    /// configured ADC stimulus and GPIO input, as a device reboot does.
+    pub fn reset(&mut self) {
+        let stimulus = self.adc_stimulus.clone();
+        let gpio_in = self.gpio_in;
+        *self = Peripherals::new();
+        self.adc_stimulus = stimulus;
+        self.gpio_in = gpio_in;
+    }
+
     /// Sets the value presented on the GPIO input port.
     pub fn set_gpio_in(&mut self, value: u16) {
         self.gpio_in = value;

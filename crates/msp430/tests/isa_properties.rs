@@ -67,14 +67,18 @@ fn arb_width() -> impl Strategy<Value = Width> {
 
 fn arb_instruction() -> impl Strategy<Value = Instruction> {
     prop_oneof![
-        (arb_two_opcode(), arb_width(), arb_src_operand(), arb_dst_operand()).prop_map(
-            |(opcode, width, src, dst)| Instruction::TwoOp {
+        (
+            arb_two_opcode(),
+            arb_width(),
+            arb_src_operand(),
+            arb_dst_operand()
+        )
+            .prop_map(|(opcode, width, src, dst)| Instruction::TwoOp {
                 opcode,
                 width,
                 src,
                 dst
-            }
-        ),
+            }),
         (arb_one_opcode(), arb_src_operand()).prop_map(|(opcode, operand)| Instruction::OneOp {
             opcode,
             width: Width::Word,
@@ -102,7 +106,9 @@ fn decode_words(words: &[u16]) -> Instruction {
     for (i, w) in words.iter().enumerate() {
         mem.write_word(0xA000 + 2 * i as u16, *w);
     }
-    decode(&mem, 0xA000).expect("encoder output must decode").instruction
+    decode(&mem, 0xA000)
+        .expect("encoder output must decode")
+        .instruction
 }
 
 /// The decoder resolves PC-relative/symbolic operands to absolute addresses,
@@ -135,7 +141,7 @@ proptest! {
     #[test]
     fn cycle_counts_are_bounded(instr in arb_instruction()) {
         let cycles = cycle_count(&instr);
-        prop_assert!(cycles >= 1 && cycles <= 6, "cycles = {cycles}");
+        prop_assert!((1..=6).contains(&cycles), "cycles = {cycles}");
     }
 
     /// Addition is commutative in value and carry.

@@ -176,7 +176,11 @@ mod tests {
                 workload.name
             );
             assert!(image.symbol("main").is_some());
-            assert!(image.code_size() > 50, "{} is implausibly small", workload.name);
+            assert!(
+                image.code_size() > 50,
+                "{} is implausibly small",
+                workload.name
+            );
             if workload.uses_interrupts {
                 assert!(
                     image.symbol("isr_attack_point").is_some(),

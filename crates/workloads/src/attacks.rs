@@ -147,9 +147,10 @@ fn lookup_in_memoryless_image(device: &Device, name: &str) -> Option<u16> {
     crate::app::all().iter().find_map(|w| {
         let image = eilid_asm::assemble(&w.source).ok()?;
         let segment = image.segments.first()?;
-        let loaded = device.cpu().memory.slice(
-            usize::from(segment.base)..usize::from(segment.base) + segment.bytes.len(),
-        );
+        let loaded = device
+            .cpu()
+            .memory
+            .slice(usize::from(segment.base)..usize::from(segment.base) + segment.bytes.len());
         if loaded == segment.bytes.as_slice() {
             image.symbol(name)
         } else {
@@ -276,7 +277,11 @@ mod tests {
             let result = inject(&mut device, CfiAttack::ReturnAddressOverwrite, 20_000_000)
                 .expect("attack applies to every workload");
             assert!(result.detected(), "{id}: attack not detected");
-            assert!(result.detected_as_expected(), "{id}: wrong fault {:?}", result.outcome);
+            assert!(
+                result.detected_as_expected(),
+                "{id}: wrong fault {:?}",
+                result.outcome
+            );
         }
     }
 
@@ -330,12 +335,16 @@ mod tests {
     #[test]
     fn casu_level_attacks_are_detected_by_the_monitor() {
         let builder = DeviceBuilder::new();
-        let mut pmem = builder.build_monitored_raw(&pmem_overwrite_source()).unwrap();
+        let mut pmem = builder
+            .build_monitored_raw(&pmem_overwrite_source())
+            .unwrap();
         assert!(matches!(
             pmem.run_for(100_000).violation(),
             Some(Violation::PmemWrite { .. })
         ));
-        let mut wxorx = builder.build_monitored_raw(&dmem_execution_source()).unwrap();
+        let mut wxorx = builder
+            .build_monitored_raw(&dmem_execution_source())
+            .unwrap();
         assert!(matches!(
             wxorx.run_for(100_000).violation(),
             Some(Violation::ExecutionFromWritableMemory { .. })
@@ -353,6 +362,8 @@ mod tests {
             Some(CfiFault::ReturnAddress)
         );
         assert_eq!(CfiAttack::CodeInjectionJump.expected_fault(), None);
-        assert!(AttackError::MissingSymbol("x".into()).to_string().contains('x'));
+        assert!(AttackError::MissingSymbol("x".into())
+            .to_string()
+            .contains('x'));
     }
 }

@@ -110,8 +110,14 @@ mod tests {
         let mut device = DeviceBuilder::new().build_eilid(&source()).unwrap();
         let report = device.artifacts().unwrap().report.clone();
         assert_eq!(report.indirect_calls, 1);
-        assert!(report.functions_registered >= 2, "both patterns must be registered");
+        assert!(
+            report.functions_registered >= 2,
+            "both patterns must be registered"
+        );
         let outcome = device.run_for(6_000_000);
-        assert!(outcome.is_completed(), "legitimate indirect calls must pass: {outcome}");
+        assert!(
+            outcome.is_completed(),
+            "legitimate indirect calls must pass: {outcome}"
+        );
     }
 }

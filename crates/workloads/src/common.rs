@@ -53,20 +53,26 @@ pub fn with_standard_header(body: &str) -> String {
 /// stores of deterministic calibration words into the scratch area at
 /// `0x0260..`, executed exactly once from `main`.
 pub fn init_block(writes: usize) -> String {
-    let mut out = String::from("
+    let mut out = String::from(
+        "
 ; Boot-time configuration and calibration-constant initialisation.
 init_device:
-");
+",
+    );
     for i in 0..writes {
         let addr = 0x0260 + 2 * (i as u16 % 64);
         let value = (0x1234u16)
             .wrapping_mul(i as u16 + 1)
             .rotate_left((i % 7) as u32);
-        out.push_str(&format!("    mov #0x{value:04x}, &0x{addr:04x}
-"));
+        out.push_str(&format!(
+            "    mov #0x{value:04x}, &0x{addr:04x}
+"
+        ));
     }
-    out.push_str("    ret
-");
+    out.push_str(
+        "    ret
+",
+    );
     out
 }
 
@@ -92,7 +98,11 @@ mod tests {
         );
         let small_size = eilid_asm::assemble(&small).unwrap().code_size();
         let large_size = eilid_asm::assemble(&large).unwrap().code_size();
-        assert_eq!(large_size - small_size, 30 * 6, "each write is a 6-byte store");
+        assert_eq!(
+            large_size - small_size,
+            30 * 6,
+            "each write is a 6-byte store"
+        );
     }
 
     #[test]

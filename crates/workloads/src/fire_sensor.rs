@@ -91,7 +91,7 @@ mod tests {
         match device.run_for(3_000_000) {
             RunOutcome::Completed { output, .. } => {
                 assert_eq!(output.len(), 1);
-                assert!(output[0] < u16::from(ITERATIONS));
+                assert!(output[0] < ITERATIONS);
             }
             other => panic!("unexpected outcome: {other}"),
         }
@@ -102,6 +102,9 @@ mod tests {
         let device = DeviceBuilder::new().build_eilid(&source()).unwrap();
         let report = &device.artifacts().unwrap().report;
         assert_eq!(report.call_sites, 5, "init + four call sites per loop body");
-        assert_eq!(report.returns, 6, "init, read_flame, read_temp, check_alarm x2, delay");
+        assert_eq!(
+            report.returns, 6,
+            "init, read_flame, read_temp, check_alarm x2, delay"
+        );
     }
 }

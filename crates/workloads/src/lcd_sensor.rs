@@ -97,7 +97,10 @@ mod tests {
         // the EILID overhead in the low single digits, mirroring the paper's
         // LcdSensor row.
         let builder = DeviceBuilder::new();
-        let base = builder.build_baseline(&source()).unwrap().run_for(3_000_000);
+        let base = builder
+            .build_baseline(&source())
+            .unwrap()
+            .run_for(3_000_000);
         let eilid = builder.build_eilid(&source()).unwrap().run_for(6_000_000);
         let overhead = eilid.cycles() as f64 / base.cycles() as f64 - 1.0;
         assert!(base.is_completed() && eilid.is_completed());

@@ -77,7 +77,7 @@ mod tests {
         match device.run_for(1_000_000) {
             RunOutcome::Completed { output, .. } => {
                 assert_eq!(output.len(), 1);
-                assert!(output[0] > 0 && output[0] <= u16::from(SAMPLES));
+                assert!(output[0] > 0 && output[0] <= SAMPLES);
             }
             other => panic!("unexpected outcome: {other}"),
         }
@@ -86,17 +86,31 @@ mod tests {
     #[test]
     fn completes_identically_under_eilid() {
         let builder = DeviceBuilder::new();
-        let base = builder.build_baseline(&source()).unwrap().run_for(1_000_000);
+        let base = builder
+            .build_baseline(&source())
+            .unwrap()
+            .run_for(1_000_000);
         let eilid = builder.build_eilid(&source()).unwrap().run_for(2_000_000);
         match (base, eilid) {
             (
-                RunOutcome::Completed { output: a, cycles: ca, .. },
-                RunOutcome::Completed { output: b, cycles: cb, .. },
+                RunOutcome::Completed {
+                    output: a,
+                    cycles: ca,
+                    ..
+                },
+                RunOutcome::Completed {
+                    output: b,
+                    cycles: cb,
+                    ..
+                },
             ) => {
                 assert_eq!(a, b);
                 assert!(cb > ca);
                 let overhead = cb as f64 / ca as f64 - 1.0;
-                assert!(overhead < 0.30, "run-time overhead {overhead:.2} is implausible");
+                assert!(
+                    overhead < 0.30,
+                    "run-time overhead {overhead:.2} is implausible"
+                );
             }
             other => panic!("unexpected outcomes: {other:?}"),
         }

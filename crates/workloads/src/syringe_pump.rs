@@ -99,7 +99,10 @@ mod tests {
     #[test]
     fn eilid_device_survives_interrupts_and_matches_tick_order() {
         let builder = DeviceBuilder::new();
-        let base = builder.build_baseline(&source()).unwrap().run_for(3_000_000);
+        let base = builder
+            .build_baseline(&source())
+            .unwrap()
+            .run_for(3_000_000);
         let mut eilid_device = builder.build_eilid(&source()).unwrap();
         let report = eilid_device.artifacts().unwrap().report.clone();
         assert_eq!(report.isr_entries, 1);

@@ -79,7 +79,7 @@ mod tests {
         match device.run_for(2_000_000) {
             RunOutcome::Completed { output, .. } => {
                 assert_eq!(output.len(), 1);
-                assert!(output[0] > 0 && output[0] < u16::from(PINGS));
+                assert!(output[0] > 0 && output[0] < PINGS);
             }
             other => panic!("unexpected outcome: {other}"),
         }

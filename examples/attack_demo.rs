@@ -18,8 +18,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     println!(
-        "{:<18} {:<28} {:<28} {}",
-        "workload", "attack", "unprotected device", "EILID device"
+        "{:<18} {:<28} {:<28} EILID device",
+        "workload", "attack", "unprotected device"
     );
     for (workload, attack) in scenarios {
         let source = workload.workload().source;
@@ -56,11 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // CASU-level attacks expressed as malicious programs.
     println!("\nCASU substrate attacks:");
-    let mut device = DeviceBuilder::new()
-        .build_monitored_raw(&eilid_workloads::pmem_overwrite_source())?;
+    let mut device =
+        DeviceBuilder::new().build_monitored_raw(&eilid_workloads::pmem_overwrite_source())?;
     println!("  PMEM overwrite    : {}", device.run_for(100_000));
-    let mut device = DeviceBuilder::new()
-        .build_monitored_raw(&eilid_workloads::dmem_execution_source())?;
+    let mut device =
+        DeviceBuilder::new().build_monitored_raw(&eilid_workloads::dmem_execution_source())?;
     println!("  DMEM execution    : {}", device.run_for(100_000));
 
     println!("\nAll attacks against the EILID device were detected and the device reset.");

@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. The same application, instrumented (Figure 2 pipeline) and run on an
     //    EILID-protected device.
     let mut protected = builder.build_eilid(APP)?;
-    let artifacts = protected.artifacts().expect("protected build has artifacts").clone();
+    let artifacts = protected
+        .artifacts()
+        .expect("protected build has artifacts")
+        .clone();
     println!(
         "instrumentation : {} call sites, {} returns, {} lines inserted",
         artifacts.report.call_sites, artifacts.report.returns, artifacts.report.inserted_lines

@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "    .org 0xe000\n    .global main\nmain:\n    mov #0x0400, sp\n    mov #1, &0x0102\n    mov #0x00ff, &0x0100\nhang:\n    jmp hang\n",
     )?;
     v1.load_into(&mut memory)?;
-    println!("v1 measurement: {:02x?}...", &engine.measure_pmem(&memory)[..8]);
+    println!(
+        "v1 measurement: {:02x?}...",
+        &engine.measure_pmem(&memory)[..8]
+    );
 
     let mut cpu = Cpu::new(memory.clone());
     cpu.reset();
@@ -40,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let request = authority.authorize(v2.segments[0].base, payload);
     engine.apply(&request, &mut memory, &mut monitor)?;
     println!("\nupdate applied (nonce {})", request.nonce);
-    println!("v2 measurement: {:02x?}...", &engine.measure_pmem(&memory)[..8]);
+    println!(
+        "v2 measurement: {:02x?}...",
+        &engine.measure_pmem(&memory)[..8]
+    );
 
     let mut cpu = Cpu::new(memory.clone());
     cpu.reset();
@@ -50,10 +56,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A forged update (wrong key) is rejected.
     let mut rogue = UpdateAuthority::new(b"attacker-key");
     let forged = rogue.authorize(0xE000, &[0xFF, 0xFF]);
-    println!("\nforged update  : {:?}", engine.apply(&forged, &mut memory, &mut monitor));
+    println!(
+        "\nforged update  : {:?}",
+        engine.apply(&forged, &mut memory, &mut monitor)
+    );
 
     // Replaying the legitimate update is rejected too.
-    println!("replayed update: {:?}", engine.apply(&request, &mut memory, &mut monitor));
+    println!(
+        "replayed update: {:?}",
+        engine.apply(&request, &mut memory, &mut monitor)
+    );
 
     println!("\nPMEM can only change through fresh, authenticated updates — the CASU property EILID builds on.");
     Ok(())

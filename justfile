@@ -1,0 +1,35 @@
+# Same recipes as the Makefile, for `just` users.
+
+build:
+    cargo build --release
+
+# Tier-1 verification: release build + the root package test suite.
+test:
+    cargo build --release
+    cargo test -q
+
+test-workspace:
+    cargo test -q --workspace
+
+# One fast pass over every criterion bench (stub timing, no statistics).
+bench-smoke:
+    cargo bench -p eilid_bench
+
+# Small fleet end-to-end: slice run, attestation sweep, staged campaigns.
+fleet-smoke:
+    cargo run --release --bin eilid-cli -- fleet run --devices 64 --threads 4
+    cargo run --release --bin eilid-cli -- fleet attest --devices 64 --threads 4
+    cargo run --release --bin eilid-cli -- fleet campaign --devices 64 --threads 4
+    cargo run --release --bin eilid-cli -- fleet campaign --devices 64 --threads 4 --inject-bad
+
+# The 1 000-device release-mode scale test.
+fleet-scale:
+    cargo test --release -p eilid_fleet -- --include-ignored thousand
+
+fmt:
+    cargo fmt --all --check
+
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+ci: fmt clippy test test-workspace

@@ -7,12 +7,19 @@
 //! eilid-cli disasm <app.s>                 assemble and disassemble the image
 //! eilid-cli workloads                      list the paper's evaluation applications
 //! eilid-cli attack <workload> <attack>     inject a threat-model attack on a protected device
+//! eilid-cli fleet run [--devices N] [--threads N] [--cycles N]
+//!                                          simulate a fleet slice and print health counts
+//! eilid-cli fleet attest [--devices N] [--threads N]
+//!                                          batched attestation sweep + throughput
+//! eilid-cli fleet campaign [--devices N] [--threads N] [--inject-bad]
+//!                                          staged OTA campaign (canary → full)
 //! ```
 
 use std::process::ExitCode;
 
 use eilid::{DeviceBuilder, EilidConfig, InstrumentedBuild, Runtime};
-use eilid_casu::{CasuPolicy, MemoryLayout};
+use eilid_casu::{CasuPolicy, DeviceKey, MemoryLayout};
+use eilid_fleet::{Campaign, CampaignConfig, CampaignOutcome, Fleet, FleetBuilder, Verifier};
 use eilid_msp430::render_disassembly;
 use eilid_workloads::{CfiAttack, WorkloadId};
 
@@ -24,6 +31,7 @@ fn main() -> ExitCode {
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("workloads") => cmd_workloads(),
         Some("attack") => cmd_attack(&args[1..]),
+        Some("fleet") => cmd_fleet(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -42,7 +50,7 @@ fn main() -> ExitCode {
 fn print_usage() {
     println!(
         "eilid-cli — EILID (DATE 2025) reproduction\n\n\
-         USAGE:\n  eilid-cli instrument <app.s>\n  eilid-cli run <app.s> [--protect] [--max-cycles N]\n  eilid-cli disasm <app.s>\n  eilid-cli workloads\n  eilid-cli attack <workload> <attack>\n\n\
+         USAGE:\n  eilid-cli instrument <app.s>\n  eilid-cli run <app.s> [--protect] [--max-cycles N]\n  eilid-cli disasm <app.s>\n  eilid-cli workloads\n  eilid-cli attack <workload> <attack>\n  eilid-cli fleet run [--devices N] [--threads N] [--cycles N]\n  eilid-cli fleet attest [--devices N] [--threads N]\n  eilid-cli fleet campaign [--devices N] [--threads N] [--inject-bad]\n\n\
          Attacks: return-address, isr-context, indirect-call, code-injection"
     );
 }
@@ -102,10 +110,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         "{} device: {outcome}",
         if protect { "EILID" } else { "baseline" }
     );
-    println!(
-        "debug output: {:?}",
-        device.cpu().peripherals.sim_output()
-    );
+    println!("debug output: {:?}", device.cpu().peripherals.sim_output());
     if !device.cpu().peripherals.uart_output().is_empty() {
         println!(
             "uart output : {}",
@@ -121,7 +126,11 @@ fn cmd_disasm(args: &[String]) -> Result<(), String> {
     let image = eilid_asm::assemble(&source).map_err(|e| e.to_string())?;
     let memory = image.to_memory().map_err(|e| e.to_string())?;
     for segment in &image.segments {
-        println!("; segment {:#06x} ({} bytes)", segment.base, segment.bytes.len());
+        println!(
+            "; segment {:#06x} ({} bytes)",
+            segment.base,
+            segment.bytes.len()
+        );
         println!(
             "{}",
             render_disassembly(
@@ -141,7 +150,11 @@ fn cmd_workloads() -> Result<(), String> {
             "{:<18} {:<5} {:<9} {}",
             workload.name,
             if workload.uses_interrupts { "yes" } else { "-" },
-            if workload.uses_indirect_calls { "yes" } else { "-" },
+            if workload.uses_indirect_calls {
+                "yes"
+            } else {
+                "-"
+            },
             workload.description
         );
     }
@@ -168,15 +181,21 @@ fn parse_attack(name: &str) -> Result<CfiAttack, String> {
 }
 
 fn cmd_attack(args: &[String]) -> Result<(), String> {
-    let workload = parse_workload(args.first().ok_or("usage: eilid-cli attack <workload> <attack>")?)?;
-    let attack = parse_attack(args.get(1).ok_or("usage: eilid-cli attack <workload> <attack>")?)?;
+    let workload = parse_workload(
+        args.first()
+            .ok_or("usage: eilid-cli attack <workload> <attack>")?,
+    )?;
+    let attack = parse_attack(
+        args.get(1)
+            .ok_or("usage: eilid-cli attack <workload> <attack>")?,
+    )?;
     let source = workload.workload().source;
 
     let mut device = DeviceBuilder::new()
         .build_eilid(&source)
         .map_err(|e| e.to_string())?;
-    let result = eilid_workloads::inject(&mut device, attack, 60_000_000)
-        .map_err(|e| e.to_string())?;
+    let result =
+        eilid_workloads::inject(&mut device, attack, 60_000_000).map_err(|e| e.to_string())?;
     println!("{workload} under {attack}: {}", result.outcome);
     if result.detected() {
         println!(
@@ -190,5 +209,130 @@ fn cmd_attack(args: &[String]) -> Result<(), String> {
     } else {
         println!("NOT detected — this should not happen on a protected device");
     }
+    Ok(())
+}
+
+// --- fleet subcommands ---------------------------------------------------
+
+/// Demo-only root key; a real deployment provisions this out of band.
+const FLEET_DEMO_ROOT: &[u8] = b"eilid-cli-demo-fleet-root-key-01";
+
+fn parse_flag_value(args: &[String], flag: &str, default: u64) -> Result<u64, String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse::<u64>()
+            .map_err(|e| format!("invalid {flag} value: {e}")),
+        None => Ok(default),
+    }
+}
+
+fn build_fleet(args: &[String]) -> Result<(Fleet, Verifier), String> {
+    let devices = parse_flag_value(args, "--devices", 64)? as usize;
+    let threads = parse_flag_value(args, "--threads", 4)? as usize;
+    let root = DeviceKey::new(FLEET_DEMO_ROOT).map_err(|e| e.to_string())?;
+    FleetBuilder::new(root)
+        .devices(devices)
+        .threads(threads)
+        .build()
+        .map_err(|e| e.to_string())
+}
+
+fn cmd_fleet(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_fleet_run(&args[1..]),
+        Some("attest") => cmd_fleet_attest(&args[1..]),
+        Some("campaign") => cmd_fleet_campaign(&args[1..]),
+        _ => Err("usage: eilid-cli fleet run|attest|campaign [--devices N] [--threads N]".into()),
+    }
+}
+
+fn cmd_fleet_run(args: &[String]) -> Result<(), String> {
+    let cycles = parse_flag_value(args, "--cycles", 5_000_000)?;
+    let (mut fleet, _verifier) = build_fleet(args)?;
+    println!(
+        "fleet of {} devices across {} firmware cohorts",
+        fleet.len(),
+        fleet.cohort_ids().len()
+    );
+    let report = fleet.run_slice(cycles);
+    println!(
+        "run slice ({cycles} cycles): {} completed, {} running, {} violation resets, {} faults",
+        report.completed, report.running, report.violations, report.faults
+    );
+    Ok(())
+}
+
+fn cmd_fleet_attest(args: &[String]) -> Result<(), String> {
+    let (mut fleet, mut verifier) = build_fleet(args)?;
+    let report = verifier.sweep(&mut fleet);
+    print!("{report}");
+    for (cohort, classes) in report.by_cohort() {
+        let line: Vec<String> = classes
+            .iter()
+            .map(|(class, count)| format!("{class}={count}"))
+            .collect();
+        println!("  {cohort:<18} {}", line.join(" "));
+    }
+    Ok(())
+}
+
+fn cmd_fleet_campaign(args: &[String]) -> Result<(), String> {
+    let inject_bad = args.iter().any(|a| a == "--inject-bad");
+    let (mut fleet, mut verifier) = build_fleet(args)?;
+
+    let cohort = WorkloadId::LightSensor;
+    let (target, payload): (u16, Vec<u8>) = if inject_bad {
+        // A patch whose first instruction writes PMEM: the canary wave's
+        // monitors catch it and the campaign rolls back.
+        let image = eilid_asm::assemble(
+            "    .org 0xe000\n    .global main\nmain:\n    mov #0x1234, &0xe006\n    jmp main\n",
+        )
+        .map_err(|e| e.to_string())?;
+        (0xE000, image.segments[0].bytes.clone())
+    } else {
+        // A benign data patch in the unused PMEM gap below the trampolines.
+        (0xF600, vec![0xE1, 0x1D, 0x07, 0x28])
+    };
+
+    println!(
+        "staged campaign for {cohort}: {} bytes at {target:#06x}{}",
+        payload.len(),
+        if inject_bad {
+            " (deliberately bad)"
+        } else {
+            ""
+        }
+    );
+    let config = CampaignConfig::new(cohort, target, payload);
+    let report = Campaign::new(config)
+        .map_err(|e| e.to_string())?
+        .run(&mut fleet, &mut verifier)
+        .map_err(|e| e.to_string())?;
+
+    for wave in &report.waves {
+        println!(
+            "wave {} ({} devices): {} updated, {} failed post-update probes",
+            wave.wave, wave.size, wave.updated, wave.failures
+        );
+    }
+    match report.outcome {
+        CampaignOutcome::Completed { updated } => {
+            println!("campaign completed: {updated} devices on the new firmware");
+        }
+        CampaignOutcome::HaltedAndRolledBack {
+            wave,
+            failure_rate,
+            rolled_back,
+        } => {
+            println!(
+                "campaign HALTED at wave {wave} (failure rate {:.0}%); {rolled_back} devices rolled back",
+                failure_rate * 100.0
+            );
+        }
+    }
+    let sweep = verifier.sweep(&mut fleet);
+    print!("post-campaign sweep: {sweep}");
     Ok(())
 }

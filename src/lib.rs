@@ -11,6 +11,8 @@
 //!   authenticated updates);
 //! * [`eilid_workloads`] — the paper's seven evaluation applications and the
 //!   run-time attack injectors;
+//! * [`eilid_fleet`] — fleet-scale orchestration: concurrent device
+//!   simulation, batched attestation sweeps and staged OTA campaigns;
 //! * [`eilid_hwcost`] — the hardware-cost model and prior-work comparison;
 //! * [`eilid_bench`] — the harness that regenerates every table and figure.
 
@@ -21,6 +23,7 @@ pub use eilid;
 pub use eilid_asm;
 pub use eilid_bench;
 pub use eilid_casu;
+pub use eilid_fleet;
 pub use eilid_hwcost;
 pub use eilid_msp430;
 pub use eilid_workloads;

@@ -14,7 +14,9 @@ fn all_workloads_are_semantically_transparent_under_eilid() {
         let workload = id.workload();
         let builder = DeviceBuilder::new();
 
-        let mut baseline = builder.build_baseline(&workload.source).expect("baseline builds");
+        let mut baseline = builder
+            .build_baseline(&workload.source)
+            .expect("baseline builds");
         let mut protected = builder.build_eilid(&workload.source).expect("EILID builds");
 
         let base = baseline.run_for(30_000_000);
@@ -95,8 +97,14 @@ fn runtime_overhead_shape_matches_table_iv() {
         .unwrap()
         .1;
     for (id, overhead) in &overheads {
-        assert!(lcd <= *overhead + 1e-9, "LcdSensor should be cheapest, but {id} is cheaper");
-        assert!(fire >= *overhead - 1e-9, "FireSensor should be most expensive, but {id} is higher");
+        assert!(
+            lcd <= *overhead + 1e-9,
+            "LcdSensor should be cheapest, but {id} is cheaper"
+        );
+        assert!(
+            fire >= *overhead - 1e-9,
+            "FireSensor should be most expensive, but {id} is higher"
+        );
     }
 }
 

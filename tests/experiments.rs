@@ -36,7 +36,10 @@ fn table4_rows_reproduce_the_papers_shape() {
 
         // Binary sizes are in the same order of magnitude as the paper's
         // (hundreds of bytes, not kilobytes).
-        assert!(row.original_bytes > 60 && row.original_bytes < 2_000, "{id}");
+        assert!(
+            row.original_bytes > 60 && row.original_bytes < 2_000,
+            "{id}"
+        );
         assert!(row.eilid_bytes > row.original_bytes);
     }
 }

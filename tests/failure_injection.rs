@@ -34,11 +34,18 @@ fn run_with_random_ra_corruption(seed: u64) -> (RunOutcome, Vec<u16>) {
 
     // Corrupt the word at the top of the stack at one random point during
     // the run (modelling a transient memory-corruption bug firing once).
+    // The bug is application code, so it can only fire while application
+    // instructions execute (pc below the EILID trampolines): CASU
+    // atomicity keeps trusted-software sections uninterruptible, and
+    // between a `call`'s push and the dispatch's shadow-stack store only
+    // EILID-emitted instructions run, so a transient application bug
+    // cannot land in that window.
+    let app_code_end = eilid::sw::DEFAULT_TRAMPOLINE_ORG;
     let trigger_cycle: u64 = rng.gen_range(5_000..40_000);
     let rogue_value: u16 = rng.gen_range(0xE000..0xF700) & !1;
     let mut fired = false;
     let outcome = device.run_with_hook(60_000_000, |cpu, trace| {
-        if !fired && trace.total_cycles >= trigger_cycle {
+        if !fired && trace.total_cycles >= trigger_cycle && trace.pc < app_code_end {
             fired = true;
             let sp = cpu.regs.sp();
             cpu.memory.write_word(sp, rogue_value);
@@ -120,7 +127,10 @@ fn random_code_bit_flips_do_not_produce_silently_wrong_results() {
         let bit = rng.gen_range(0..8);
         let addr = segment.base + byte_offset;
         let original = device.cpu().memory.read_byte(addr);
-        device.cpu_mut().memory.write_byte(addr, original ^ (1 << bit));
+        device
+            .cpu_mut()
+            .memory
+            .write_byte(addr, original ^ (1 << bit));
 
         match device.run_for(60_000_000) {
             RunOutcome::Completed { output, .. } => {
@@ -131,7 +141,9 @@ fn random_code_bit_flips_do_not_produce_silently_wrong_results() {
                 // assert is that the run terminates in a classified state.
                 let _ = output == reference;
             }
-            RunOutcome::Violation { .. } | RunOutcome::Fault { .. } | RunOutcome::Timeout { .. } => {}
+            RunOutcome::Violation { .. }
+            | RunOutcome::Fault { .. }
+            | RunOutcome::Timeout { .. } => {}
         }
     }
 }

@@ -1,0 +1,170 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Implements the benchmark-definition API this workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, `BenchmarkId`,
+//! `Bencher::iter`) with simple wall-clock timing: each benchmark runs a
+//! short warm-up followed by `sample_size` timed samples and prints the
+//! mean per-iteration time. No statistics, plots or baselines.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier re-exported from `std::hint`.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    samples: usize,
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up; also sizes the per-sample iteration count so that very
+        // fast closures get averaged over more than one call.
+        let warmup_start = Instant::now();
+        black_box(f());
+        let once = warmup_start.elapsed().max(Duration::from_nanos(1));
+        let iters_per_sample =
+            (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 1000) as usize;
+
+        let mut total = Duration::ZERO;
+        let mut iterations = 0usize;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            total += start.elapsed();
+            iterations += iters_per_sample;
+        }
+        self.mean = total / iterations.max(1) as u32;
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut bencher = Bencher {
+            samples: self.sample_size.max(1),
+            mean: Duration::ZERO,
+        };
+        f(&mut bencher);
+        println!("{}/{id}: mean {:?} per iteration", self.name, bencher.mean);
+        self.criterion.benchmarks_run += 1;
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        self.run_one(&id, f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.to_string();
+        self.run_one(&id, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function("bench", f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,109 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro, `prop_assert*`, the [`Strategy`]
+//! trait with `prop_map`, [`prop_oneof!`], `Just`, `any::<T>()`, integer
+//! range strategies, tuple strategies and `collection::vec`. Generation is
+//! deterministic (seeded per test from the test name) and there is no
+//! shrinking: a failing case reports the raw inputs via the panic message
+//! of the underlying assertion.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Deterministic generator state used by strategies.
+pub mod rng {
+    pub use rand::rngs::StdRng as TestRng;
+    pub use rand::{Rng, RngCore, SeedableRng};
+
+    /// Derives a stable 64-bit seed from a test name.
+    pub fn seed_from_name(name: &str) -> u64 {
+        // FNV-1a, good enough to decorrelate per-test streams.
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+}
+
+/// Runs `cases` iterations of a property body. Used by [`proptest!`].
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::rng::SeedableRng as _;
+                let config: $crate::test_runner::Config = $config;
+                let mut rng = $crate::rng::TestRng::seed_from_u64(
+                    $crate::rng::seed_from_name(concat!(module_path!(), "::", stringify!($name))),
+                );
+                for case in 0..config.cases {
+                    let ($($arg,)*) = (
+                        $($crate::strategy::Strategy::generate(&($strategy), &mut rng),)*
+                    );
+                    let run = || -> () { $body };
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run));
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest stub: case {case}/{} of {} failed",
+                            config.cases,
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}
+
+/// Picks uniformly between several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed($strategy)),+
+        ])
+    };
+}

@@ -1,0 +1,152 @@
+//! The [`Strategy`] trait and combinators (no shrinking).
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::rng::TestRng;
+use rand::Rng as _;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategies {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*
+    };
+}
+
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident),+))*) => {
+        $(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategies! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Object-safe strategy wrapper used by [`crate::prop_oneof!`].
+pub struct BoxedStrategy<T> {
+    generate: Box<dyn Fn(&mut TestRng) -> T>,
+    _marker: PhantomData<T>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.generate)(rng)
+    }
+}
+
+/// Boxes a strategy, erasing its concrete type.
+pub fn boxed<S>(strategy: S) -> BoxedStrategy<S::Value>
+where
+    S: Strategy + 'static,
+{
+    BoxedStrategy {
+        generate: Box::new(move |rng| strategy.generate(rng)),
+        _marker: PhantomData,
+    }
+}
+
+/// Uniform choice between several strategies with the same value type.
+pub struct Union<T> {
+    choices: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over `choices` (must be non-empty).
+    pub fn new(choices: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one choice");
+        Union { choices }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let index = rng.gen_range(0..self.choices.len());
+        self.choices[index].generate(rng)
+    }
+}

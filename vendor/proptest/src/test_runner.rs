@@ -1,0 +1,21 @@
+//! Test-runner configuration (`ProptestConfig`).
+
+/// Configuration for a [`crate::proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of cases to generate per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` iterations per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}

@@ -1,0 +1,123 @@
+//! Offline stand-in for the `serde` crate (see `vendor/README.md`).
+//!
+//! Provides the `Serialize`/`Deserialize` trait vocabulary plus derive
+//! macros that emit inert implementations. Nothing in this workspace
+//! serializes data yet, so the stub keeps type annotations meaningful
+//! (and the real serde drop-in compatible) without pulling in a registry
+//! dependency.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization error vocabulary.
+pub mod ser {
+    /// Trait for serializer error types.
+    pub trait Error: Sized + std::fmt::Debug {
+        /// Builds an error from a display-able message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization error vocabulary.
+pub mod de {
+    /// Trait for deserializer error types.
+    pub trait Error: Sized + std::fmt::Debug {
+        /// Builds an error from a display-able message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// A data format that can serialize values.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error produced on failure.
+    type Error: ser::Error;
+
+    /// Serializes a unit value (the stub derive lowers every value to this).
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a byte slice.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error> {
+        let _ = v;
+        self.serialize_unit()
+    }
+}
+
+/// A data format that can deserialize values.
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error: de::Error;
+}
+
+/// A value that can be serialized.
+pub trait Serialize {
+    /// Serializes `self` with the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A value that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value with the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+macro_rules! stub_impls {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl Serialize for $ty {
+                fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                    serializer.serialize_unit()
+                }
+            }
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(_: D) -> Result<Self, D::Error> {
+                    Err(<D::Error as de::Error>::custom("stub serde cannot deserialize"))
+                }
+            }
+        )*
+    };
+}
+
+stub_impls!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, char, String);
+
+impl<T> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<'de, T> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(_: D) -> Result<Self, D::Error> {
+        Err(<D::Error as de::Error>::custom(
+            "stub serde cannot deserialize",
+        ))
+    }
+}
+
+impl<T> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<'de, T> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(_: D) -> Result<Self, D::Error> {
+        Err(<D::Error as de::Error>::custom(
+            "stub serde cannot deserialize",
+        ))
+    }
+}
+
+impl<T, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<'de, T, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(_: D) -> Result<Self, D::Error> {
+        Err(<D::Error as de::Error>::custom(
+            "stub serde cannot deserialize",
+        ))
+    }
+}

@@ -1,0 +1,58 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! The derive macros here parse just enough of the item declaration to
+//! find the type name and emit inert `Serialize`/`Deserialize` impls.
+//! `#[serde(...)]` helper attributes are accepted and ignored. Generic
+//! type parameters are not supported (no type in this workspace derives
+//! serde on a generic type); lifetimes are not supported either.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the identifier that names the derived `struct`/`enum`.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_keyword = false;
+    // Non-ident trees (attribute contents, visibility groups, …) are
+    // skipped.
+    for tree in input {
+        if let TokenTree::Ident(ident) = tree {
+            let text = ident.to_string();
+            if saw_keyword {
+                return text;
+            }
+            if text == "struct" || text == "enum" {
+                saw_keyword = true;
+            }
+        }
+    }
+    panic!("serde stub derive: could not find a struct/enum name in the input");
+}
+
+/// Inert stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {{\n\
+         serializer.serialize_unit()\n\
+         }}\n\
+         }}"
+    )
+    .parse()
+    .expect("stub Serialize impl parses")
+}
+
+/// Inert stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D: serde::Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {{\n\
+         Err(<D::Error as serde::de::Error>::custom(\"stub serde cannot deserialize\"))\n\
+         }}\n\
+         }}"
+    )
+    .parse()
+    .expect("stub Deserialize impl parses")
+}
