@@ -35,12 +35,21 @@ pub struct AttestationReport {
     pub challenge: Challenge,
     /// SHA-256 measurement of the attested range.
     pub measurement: [u8; 32],
-    /// `HMAC-SHA256(key, nonce ‖ start ‖ end ‖ measurement)`.
+    /// `HMAC-SHA256(key, "eilid-attest-v1" ‖ nonce ‖ start ‖ end ‖ measurement)`.
     pub mac: [u8; TAG_SIZE],
 }
 
+/// Domain-separation tag for attestation-report MACs. Devices use one
+/// key for both attestation and authenticated updates, so the two MAC
+/// message formats must be disjoint: without a tag, a 44-byte report
+/// message re-parses bit-for-bit as an update message (target ‖ nonce ‖
+/// 34-byte payload), letting an attacker turn an attestation response
+/// into an authenticated PMEM write.
+const ATTEST_MAC_TAG: &[u8] = b"eilid-attest-v1";
+
 fn report_message(challenge: &Challenge, measurement: &[u8; 32]) -> Vec<u8> {
-    let mut msg = Vec::with_capacity(44);
+    let mut msg = Vec::with_capacity(ATTEST_MAC_TAG.len() + 44);
+    msg.extend_from_slice(ATTEST_MAC_TAG);
     msg.extend_from_slice(&challenge.nonce.to_le_bytes());
     msg.extend_from_slice(&challenge.start.to_le_bytes());
     msg.extend_from_slice(&challenge.end.to_le_bytes());

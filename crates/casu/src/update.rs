@@ -2,8 +2,10 @@
 //!
 //! CASU's defining property is that program memory can only change through
 //! an authenticated update: the update authority (the verifier in RA terms)
-//! signs `(target address ‖ payload ‖ nonce)` with a device-unique symmetric
-//! key, and the trusted update routine on the device verifies the MAC,
+//! signs the domain-tagged message
+//! `("eilid-update-v1" ‖ target address ‖ nonce ‖ payload)` with a
+//! device-unique symmetric key, and the trusted update routine on the
+//! device verifies the MAC,
 //! checks the nonce for freshness, opens a hardware update window and writes
 //! the payload. Everything else that touches PMEM causes a reset.
 //!
@@ -30,13 +32,21 @@ pub struct UpdateRequest {
     pub payload: Vec<u8>,
     /// Monotonically increasing freshness counter.
     pub nonce: u64,
-    /// HMAC-SHA-256 over `target ‖ payload ‖ nonce`.
+    /// HMAC-SHA-256 over `"eilid-update-v1" ‖ target ‖ nonce ‖ payload`.
     pub mac: [u8; TAG_SIZE],
 }
 
+/// Domain-separation tag for update-request MACs. Devices use one key
+/// for both attestation and authenticated updates; the tag keeps the two
+/// MAC message formats disjoint so an attestation-report MAC can never
+/// verify as an update authorization (see `ATTEST_MAC_TAG` in
+/// [`crate::attest`]).
+const UPDATE_MAC_TAG: &[u8] = b"eilid-update-v1";
+
 impl UpdateRequest {
     fn message(target: u16, payload: &[u8], nonce: u64) -> Vec<u8> {
-        let mut msg = Vec::with_capacity(payload.len() + 10);
+        let mut msg = Vec::with_capacity(UPDATE_MAC_TAG.len() + payload.len() + 10);
+        msg.extend_from_slice(UPDATE_MAC_TAG);
         msg.extend_from_slice(&target.to_le_bytes());
         msg.extend_from_slice(&nonce.to_le_bytes());
         msg.extend_from_slice(payload);

@@ -1,10 +1,14 @@
 //! Adversarial tests for the attestation protocol: every way an attacker
 //! (controlling the transport, per the threat model) can mangle a report
 //! must fail verification — wrong nonce, truncated attested range,
-//! flipped measurement bytes and replayed reports. A randomized sweep
-//! backs the hand-picked cases.
+//! flipped measurement bytes, replayed reports and cross-protocol reuse
+//! of MACs between the attestation and update protocols. A randomized
+//! sweep backs the hand-picked cases.
 
-use eilid_casu::{AttestError, AttestationVerifier, Attestor, Challenge, DeviceKey, MemoryLayout};
+use eilid_casu::{
+    AttestError, AttestationReport, AttestationVerifier, Attestor, Challenge, DeviceKey,
+    MemoryLayout, UpdateAuthority, UpdateEngine, UpdateError, UpdateRequest,
+};
 use eilid_msp430::Memory;
 use proptest::prelude::*;
 
@@ -129,6 +133,93 @@ fn report_from_anothers_device_key_fails_verification() {
     let report = Attestor::with_key(&root.derive(8)).attest(&memory, challenge);
     assert_eq!(
         verifier_for_7.verify(&challenge, &report, None),
+        Err(AttestError::BadMac)
+    );
+}
+
+/// Cross-protocol MAC confusion, direction 1: a report MAC must never
+/// authorize an update. Devices key the attestor and the update engine
+/// with the same device key, and without domain-separation tags the two
+/// message formats align exactly — report message `nonce(8) ‖ start(2) ‖
+/// end(2) ‖ measurement(32)` re-parses as update message `target(2) ‖
+/// nonce(8) ‖ payload(34)`. An attacker who controls the challenge (the
+/// transport is attacker-controlled and challenges are unauthenticated)
+/// could then pick nonce/start/end so the reflected report MAC passes
+/// every update check — target inside PMEM, huge fresh nonce — and write
+/// PMEM without the update authority. The domain tags must break this.
+#[test]
+fn attest_mac_cannot_authorize_an_update() {
+    let key = DeviceKey::new(ROOT).unwrap().derive(42);
+    let attestor = Attestor::with_key(&key);
+    let engine = UpdateEngine::with_key(&key, MemoryLayout::default());
+    let mut memory = Memory::new();
+    memory.load(0xE000, &[0x5A; 64]).unwrap();
+
+    // Attacker-crafted challenge: the nonce's low bytes become the forged
+    // update target (0xE000, inside PMEM) and its high bytes make the
+    // forged update nonce enormous (trivially fresh).
+    let challenge = Challenge {
+        nonce: u64::from_le_bytes([0x00, 0xE0, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF]),
+        start: 0xE000,
+        end: 0xE03F,
+    };
+    let report = attestor.attest(&memory, challenge);
+
+    // Re-parse the report message as an update request: target =
+    // nonce[0..2], nonce = nonce[2..8] ‖ start, payload = end ‖ measurement.
+    let nonce_bytes = challenge.nonce.to_le_bytes();
+    let target = u16::from_le_bytes([nonce_bytes[0], nonce_bytes[1]]);
+    let mut forged_nonce = [0u8; 8];
+    forged_nonce[..6].copy_from_slice(&nonce_bytes[2..8]);
+    forged_nonce[6..].copy_from_slice(&challenge.start.to_le_bytes());
+    let mut payload = Vec::with_capacity(34);
+    payload.extend_from_slice(&challenge.end.to_le_bytes());
+    payload.extend_from_slice(&report.measurement);
+
+    let forged = UpdateRequest {
+        target,
+        payload,
+        nonce: u64::from_le_bytes(forged_nonce),
+        mac: report.mac,
+    };
+    assert_eq!(engine.verify(&forged), Err(UpdateError::BadMac));
+}
+
+/// Cross-protocol MAC confusion, direction 2: an update-request MAC must
+/// never verify as an attestation report. A legitimately authorized
+/// 34-byte patch re-parses (absent domain tags) as a 44-byte report
+/// message, letting a compromised device answer a challenge with a
+/// recorded update MAC instead of measuring its memory.
+#[test]
+fn update_mac_cannot_forge_an_attestation_report() {
+    let key = DeviceKey::new(ROOT).unwrap().derive(42);
+    let mut authority = UpdateAuthority::with_key(&key);
+    let verifier = AttestationVerifier::with_key(&key);
+
+    let request = authority.authorize(0xE000, &[0xAB; 34]);
+
+    // Re-parse the update message as a report: nonce = target ‖
+    // update_nonce[0..6], start = update_nonce[6..8], end = payload[0..2],
+    // measurement = payload[2..34].
+    let update_nonce = request.nonce.to_le_bytes();
+    let mut nonce_bytes = [0u8; 8];
+    nonce_bytes[..2].copy_from_slice(&request.target.to_le_bytes());
+    nonce_bytes[2..].copy_from_slice(&update_nonce[..6]);
+    let challenge = Challenge {
+        nonce: u64::from_le_bytes(nonce_bytes),
+        start: u16::from_le_bytes([update_nonce[6], update_nonce[7]]),
+        end: u16::from_le_bytes([request.payload[0], request.payload[1]]),
+    };
+    let mut measurement = [0u8; 32];
+    measurement.copy_from_slice(&request.payload[2..34]);
+
+    let forged = AttestationReport {
+        challenge,
+        measurement,
+        mac: request.mac,
+    };
+    assert_eq!(
+        verifier.verify(&challenge, &forged, None),
         Err(AttestError::BadMac)
     );
 }

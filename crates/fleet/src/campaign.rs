@@ -9,9 +9,29 @@
 //! and halts the campaign, rolling every already-updated device back to
 //! the previous firmware, when the wave's failure rate exceeds the
 //! configured threshold.
+//!
+//! When a wave *passes* the threshold, any individual devices whose
+//! probe still failed are not left running the new firmware: each is
+//! rolled back to its pre-campaign state and excluded from the
+//! campaign's `updated` count, and named in [`CampaignReport::quarantined`].
+//! Once the campaign promotes the new golden, such devices also stay
+//! flagged by subsequent attestation sweeps (`Stale` when their restored
+//! image matches the previous golden, `Tampered` when it does not); in
+//! the zero-retained case (no promotion) the restored image still *is*
+//! the golden, so the report and the `ProbeFailed`/`RolledBack` ledger
+//! entries are the operator's signal, not the sweep.
+//!
+//! Rollbacks restore the *device's own* pre-update bytes (snapshotted
+//! just before each update is applied, as an A/B-slot update routine
+//! would) rather than the cohort golden image, and each rollback is
+//! verified against the device's pre-campaign PMEM measurement; a
+//! device whose memory was corrupted outside the patched range is
+//! recorded `RollbackIncomplete` instead of `RolledBack`.
+
+use std::collections::BTreeMap;
 
 use eilid::RunOutcome;
-use eilid_casu::{measure_pmem, AttestationVerifier, Challenge, MemoryLayout, UpdateAuthority};
+use eilid_casu::{measure_pmem, AttestationVerifier, DeviceKey, UpdateAuthority};
 use eilid_workloads::WorkloadId;
 
 use crate::device::{DeviceId, SimDevice};
@@ -102,9 +122,12 @@ impl WaveReport {
 /// How a campaign ended.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CampaignOutcome {
-    /// Every wave passed; the new firmware is the cohort's golden image.
+    /// Every wave passed; the new firmware is the cohort's golden image
+    /// (unless `updated` is 0 — when every device was individually
+    /// rolled back, the previous golden is kept).
     Completed {
-        /// Total devices updated.
+        /// Devices updated and still healthy. Devices whose post-update
+        /// probe failed were individually rolled back and are excluded.
         updated: usize,
     },
     /// A wave exceeded the failure threshold; every updated device was
@@ -126,6 +149,17 @@ pub struct CampaignReport {
     pub outcome: CampaignOutcome,
     /// Per-wave statistics, in rollout order.
     pub waves: Vec<WaveReport>,
+    /// Devices rolled back individually because their post-update probe
+    /// failed while their wave passed — verified restored to their
+    /// pre-campaign state, and flagged by later sweeps whenever the
+    /// campaign went on to promote a new golden measurement.
+    pub quarantined: Vec<DeviceId>,
+    /// Devices whose rollback (halt-path or quarantine) could not be
+    /// verified complete: the rollback request was rejected or the
+    /// post-rollback measurement still differs from the pre-campaign
+    /// state. These still run campaign (or corrupted) firmware and need
+    /// operator attention.
+    pub rollback_incomplete: Vec<DeviceId>,
 }
 
 impl CampaignReport {
@@ -172,13 +206,16 @@ impl Campaign {
             return Err(FleetError::UnknownCohort(cohort));
         }
 
-        let layout = MemoryLayout::default();
+        // Measure golden images over the layout the cohort's devices were
+        // actually built with, so the expected measurement matches what
+        // the devices attest even for non-default layouts.
+        let layout = fleet.cohort(cohort).expect("cohort exists").layout.clone();
         let golden = &fleet.cohort(cohort).expect("cohort exists").golden;
 
-        // Range-check before slicing the golden image: Memory::slice
-        // panics past the 64 KiB address space.
-        let start = usize::from(self.config.target);
-        let end = start + self.config.payload.len();
+        // Range-check before any memory slicing (pre-update snapshots
+        // slice the patch range too): Memory::slice panics past the
+        // 64 KiB address space.
+        let end = usize::from(self.config.target) + self.config.payload.len();
         if end > 0x1_0000 {
             return Err(FleetError::InvalidCampaign(format!(
                 "patch of {} bytes at {:#06x} runs past the 64 KiB address space",
@@ -186,10 +223,6 @@ impl Campaign {
                 self.config.target
             )));
         }
-
-        // Rollback payload: the bytes the patch overwrites, taken from
-        // the golden pre-update image.
-        let rollback_payload = golden.slice(start..end).to_vec();
 
         // Expected post-patch measurement, computed on a golden copy.
         let mut patched_golden = golden.clone();
@@ -207,33 +240,42 @@ impl Campaign {
 
         let mut wave_reports: Vec<WaveReport> = Vec::new();
         let mut updated_so_far: Vec<DeviceId> = Vec::new();
+        let mut quarantined: Vec<DeviceId> = Vec::new();
+        let mut rollback_incomplete: Vec<DeviceId> = Vec::new();
+        // Per-device state captured just before each update is applied;
+        // rollbacks restore and verify against it.
+        let mut snapshots: BTreeMap<DeviceId, PreUpdateSnapshot> = BTreeMap::new();
 
         for (wave_index, wave_ids) in waves.iter().enumerate() {
             if wave_ids.is_empty() {
                 continue;
             }
-            let (events, updated, failures) = {
-                let mut devices = fleet.devices_by_ids_mut(wave_ids);
-                roll_out_wave(
-                    &mut devices,
-                    threads,
-                    &root,
-                    target,
-                    &payload,
-                    expected_after,
-                    smoke_cycles,
-                )
+            // Probe-challenge nonces come from the verifier's single
+            // strictly-increasing nonce domain (shared with sweeps), so
+            // no attestation challenge to a device key ever repeats.
+            let params = WaveParams {
+                root: &root,
+                target,
+                payload: &payload,
+                expected_after,
+                smoke_cycles,
+                probe_nonce_base: verifier.reserve_challenge_nonces(wave_ids),
             };
-            for event in events {
+            let rollout = {
+                let mut devices = fleet.devices_by_ids_mut(wave_ids);
+                roll_out_wave(&mut devices, threads, &params)
+            };
+            for event in rollout.events {
                 fleet.ledger_mut().record(event);
             }
-            updated_so_far.extend(&updated);
+            updated_so_far.extend(&rollout.updated);
+            snapshots.extend(rollout.snapshots);
 
             let report = WaveReport {
                 wave: wave_index,
                 size: wave_ids.len(),
-                updated: updated.len(),
-                failures,
+                updated: rollout.updated.len(),
+                failures: rollout.failures,
             };
             fleet.ledger_mut().record(LedgerEvent::WaveCompleted {
                 wave: wave_index,
@@ -248,102 +290,217 @@ impl Campaign {
                     wave: wave_index,
                     failure_rate,
                 });
-                let rolled_back = self.roll_back(
-                    fleet,
-                    &root,
-                    &updated_so_far,
-                    target,
-                    &rollback_payload,
-                    threads,
-                );
+                let result =
+                    self.roll_back(fleet, &root, &updated_so_far, target, &snapshots, threads);
+                rollback_incomplete.extend(result.incomplete);
                 return Ok(CampaignReport {
                     outcome: CampaignOutcome::HaltedAndRolledBack {
                         wave: wave_index,
                         failure_rate,
-                        rolled_back,
+                        rolled_back: result.rolled_back.len(),
                     },
                     waves: wave_reports,
+                    quarantined,
+                    rollback_incomplete,
                 });
+            }
+
+            // The wave passed, but devices whose probe failed must not
+            // silently keep the new firmware: roll each back to its
+            // pre-campaign state individually. The report's `quarantined`
+            // list and the `ProbeFailed`/`RolledBack` ledger entries flag
+            // them for operator follow-up; if the campaign goes on to
+            // promote a new golden, later sweeps flag them too.
+            if !rollout.probe_failed.is_empty() {
+                let result = self.roll_back(
+                    fleet,
+                    &root,
+                    &rollout.probe_failed,
+                    target,
+                    &snapshots,
+                    threads,
+                );
+                quarantined.extend(result.rolled_back);
+                rollback_incomplete.extend(result.incomplete);
+                updated_so_far.retain(|id| !rollout.probe_failed.contains(id));
             }
         }
 
-        // Every wave passed: promote the patched image to golden so
-        // future attestation sweeps expect the new firmware.
-        fleet.cohort_mut(cohort).expect("cohort exists").golden = patched_golden;
-        verifier.promote_measurement(cohort, expected_after);
+        // Every wave passed. Promote the patched image to golden — but
+        // only if some device actually retained the new firmware; when
+        // every updated device was individually rolled back, the old
+        // golden is still what the fleet runs.
+        if !updated_so_far.is_empty() {
+            fleet.cohort_mut(cohort).expect("cohort exists").golden = patched_golden;
+            verifier.promote_measurement(cohort, expected_after);
+        }
         Ok(CampaignReport {
             outcome: CampaignOutcome::Completed {
                 updated: updated_so_far.len(),
             },
             waves: wave_reports,
+            quarantined,
+            rollback_incomplete,
         })
     }
 
-    /// Rolls `devices` back to the pre-campaign firmware bytes.
+    /// Rolls `devices` back to their own pre-campaign patch-range bytes
+    /// (from the per-device [`PreUpdateSnapshot`]s) and verifies each
+    /// device's post-rollback PMEM measurement against its pre-campaign
+    /// value. Devices whose rollback was rejected or whose measurement
+    /// still differs (memory corrupted outside the patch range) land in
+    /// `incomplete` and are recorded [`LedgerEvent::RollbackIncomplete`].
     fn roll_back(
         &self,
         fleet: &mut Fleet,
-        root: &eilid_casu::DeviceKey,
+        root: &DeviceKey,
         ids: &[DeviceId],
         target: u16,
-        rollback_payload: &[u8],
+        snapshots: &BTreeMap<DeviceId, PreUpdateSnapshot>,
         threads: usize,
-    ) -> usize {
+    ) -> RollbackResult {
         let events = {
             let mut devices = fleet.devices_by_ids_mut(ids);
             parallel_map_mut(&mut devices, threads, |device| {
+                let snapshot = snapshots
+                    .get(&device.id())
+                    .expect("rolled-back devices were updated and snapshotted");
                 let key = root.derive(device.id());
                 let mut authority = resumed_authority(&key, device);
-                let request = authority.authorize(target, rollback_payload);
+                let request = authority.authorize(target, &snapshot.patch_range);
                 let result = device.apply_update(&request);
                 device.reboot();
                 match result {
-                    Ok(()) => Some(LedgerEvent::RolledBack {
-                        device: device.id(),
-                    }),
-                    Err(error) => Some(LedgerEvent::UpdateRejected {
-                        device: device.id(),
-                        error,
-                    }),
+                    Ok(()) => {
+                        let layout = device.device().layout();
+                        let restored = measure_pmem(&device.device().cpu().memory, layout)
+                            == snapshot.measurement;
+                        if restored {
+                            vec![LedgerEvent::RolledBack {
+                                device: device.id(),
+                            }]
+                        } else {
+                            vec![LedgerEvent::RollbackIncomplete {
+                                device: device.id(),
+                            }]
+                        }
+                    }
+                    // Should be unreachable (the authority holds the
+                    // right key, a fresh nonce and the range the update
+                    // already passed) — but if a rollback is ever
+                    // rejected the device keeps the campaign firmware,
+                    // so flag it for operator follow-up rather than
+                    // letting it vanish behind a generic rejection.
+                    Err(error) => vec![
+                        LedgerEvent::UpdateRejected {
+                            device: device.id(),
+                            error,
+                        },
+                        LedgerEvent::RollbackIncomplete {
+                            device: device.id(),
+                        },
+                    ],
                 }
             })
         };
-        let mut rolled_back = 0;
+        let mut result = RollbackResult {
+            rolled_back: Vec::new(),
+            incomplete: Vec::new(),
+        };
         for event in events.into_iter().flatten() {
-            if matches!(event, LedgerEvent::RolledBack { .. }) {
-                rolled_back += 1;
+            match &event {
+                LedgerEvent::RolledBack { device } => result.rolled_back.push(*device),
+                LedgerEvent::RollbackIncomplete { device } => result.incomplete.push(*device),
+                _ => {}
             }
             fleet.ledger_mut().record(event);
         }
-        rolled_back
+        result
     }
+}
+
+/// What a rollback pass achieved, per device.
+struct RollbackResult {
+    /// Devices verified restored to their pre-campaign measurement.
+    rolled_back: Vec<DeviceId>,
+    /// Devices whose rollback was rejected or left them measuring
+    /// differently from their pre-campaign state.
+    incomplete: Vec<DeviceId>,
 }
 
 /// Builds an update authority for `device` whose nonce resumes above the
 /// device engine's last accepted nonce. The real verifier persists this
 /// state; re-deriving it from the (trusted, device-reported) engine state
 /// keeps the simulation honest without a database.
-fn resumed_authority(key: &eilid_casu::DeviceKey, device: &SimDevice) -> UpdateAuthority {
+fn resumed_authority(key: &DeviceKey, device: &SimDevice) -> UpdateAuthority {
     UpdateAuthority::with_key_resuming(key, device.engine().last_nonce() + 1)
 }
 
-/// Applies the patch, reboots and probes one wave of devices. Returns the
-/// ledger events plus the updated ids and failure count.
+/// Device state captured immediately before an update is applied — what
+/// a real device's A/B-slot update routine would preserve. Rollbacks
+/// restore `patch_range` and verify the result against `measurement`.
+struct PreUpdateSnapshot {
+    /// The device's own bytes in the patch range, pre-update.
+    patch_range: Vec<u8>,
+    /// The device's full-PMEM measurement, pre-update.
+    measurement: [u8; 32],
+}
+
+/// Everything one wave rollout needs besides the devices themselves.
+struct WaveParams<'a> {
+    /// Fleet root key; per-device keys are derived from it.
+    root: &'a DeviceKey,
+    /// First PMEM address the patch writes.
+    target: u16,
+    /// The patch bytes.
+    payload: &'a [u8],
+    /// Expected post-patch golden measurement.
+    expected_after: [u8; 32],
+    /// Cycle budget for the post-update smoke run.
+    smoke_cycles: u64,
+    /// Base of the nonce block reserved (from the verifier's challenge
+    /// nonce domain) for this wave's probe challenges; device `id` uses
+    /// `probe_nonce_base + id`.
+    probe_nonce_base: u64,
+}
+
+/// What one wave rollout produced.
+struct WaveRollout {
+    /// Ledger events, in device order.
+    events: Vec<LedgerEvent>,
+    /// Devices that accepted and applied the update.
+    updated: Vec<DeviceId>,
+    /// Subset of `updated` whose post-update probe failed.
+    probe_failed: Vec<DeviceId>,
+    /// Total failures: rejected updates + failed probes.
+    failures: usize,
+    /// Pre-update snapshot of every updated device, for rollback.
+    snapshots: BTreeMap<DeviceId, PreUpdateSnapshot>,
+}
+
+/// Applies the patch, reboots and probes one wave of devices.
 fn roll_out_wave(
     devices: &mut [&mut SimDevice],
     threads: usize,
-    root: &eilid_casu::DeviceKey,
-    target: u16,
-    payload: &[u8],
-    expected_after: [u8; 32],
-    smoke_cycles: u64,
-) -> (Vec<LedgerEvent>, Vec<DeviceId>, usize) {
+    params: &WaveParams<'_>,
+) -> WaveRollout {
+    let patch_start = usize::from(params.target);
+    let patch_end = patch_start + params.payload.len();
     let results = parallel_map_mut(devices, threads, |device| {
-        let key = root.derive(device.id());
+        let key = params.root.derive(device.id());
         let mut authority = resumed_authority(&key, device);
-        let request = authority.authorize(target, payload);
+        let request = authority.authorize(params.target, params.payload);
         let nonce = request.nonce;
         let mut events = Vec::new();
+
+        // Snapshot the device's own pre-update state (patch-range bytes
+        // plus full-PMEM measurement) so a rollback can restore and
+        // verify exactly what this device held, not the cohort golden.
+        let memory = &device.device().cpu().memory;
+        let snapshot = PreUpdateSnapshot {
+            patch_range: memory.slice(patch_start..patch_end).to_vec(),
+            measurement: measure_pmem(memory, device.device().layout()),
+        };
 
         match device.apply_update(&request) {
             Ok(()) => events.push(LedgerEvent::UpdateApplied {
@@ -360,23 +517,23 @@ fn roll_out_wave(
         }
 
         // Post-update health probe 1: attest against the expected
-        // post-patch measurement.
-        let layout = device.device().layout();
-        let challenge = Challenge {
-            nonce: nonce ^ 0x4F54_4121, // decorrelate from update nonces
-            start: *layout.pmem.start(),
-            end: *layout.pmem.end(),
-        };
+        // post-patch measurement, under a challenge nonce reserved from
+        // the verifier's sweep nonce domain.
+        let attest_verifier = AttestationVerifier::with_key(&key);
+        let challenge = attest_verifier.challenge_pmem(
+            device.device().layout(),
+            params.probe_nonce_base + device.id(),
+        );
         let report = device.attest(challenge);
-        let attested = AttestationVerifier::with_key(&key)
-            .verify(&challenge, &report, Some(&expected_after))
+        let attested = attest_verifier
+            .verify(&challenge, &report, Some(&params.expected_after))
             .is_ok();
 
         // Post-update health probe 2: reboot into the new firmware and
         // smoke-run it. Completion and still-running are healthy;
         // violations and faults are not.
         device.reboot();
-        let outcome = device.run_slice(smoke_cycles);
+        let outcome = device.run_slice(params.smoke_cycles);
         let healthy_run = matches!(
             outcome,
             RunOutcome::Completed { .. } | RunOutcome::Timeout { .. }
@@ -388,20 +545,28 @@ fn roll_out_wave(
                 device: device.id(),
             });
         }
-        (events, Some(device.id()), failed)
+        (events, Some((device.id(), snapshot)), failed)
     });
 
-    let mut events = Vec::new();
-    let mut updated = Vec::new();
-    let mut failures = 0;
-    for (device_events, id, failed) in results {
-        events.extend(device_events);
-        if let Some(id) = id {
-            updated.push(id);
+    let mut rollout = WaveRollout {
+        events: Vec::new(),
+        updated: Vec::new(),
+        probe_failed: Vec::new(),
+        failures: 0,
+        snapshots: BTreeMap::new(),
+    };
+    for (device_events, applied, failed) in results {
+        rollout.events.extend(device_events);
+        if let Some((id, snapshot)) = applied {
+            rollout.updated.push(id);
+            rollout.snapshots.insert(id, snapshot);
+            if failed {
+                rollout.probe_failed.push(id);
+            }
         }
         if failed {
-            failures += 1;
+            rollout.failures += 1;
         }
     }
-    (events, updated, failures)
+    rollout
 }

@@ -1,0 +1,54 @@
+//! Shared firmware-patch fixtures for the CLI, the fleet demo and the
+//! integration tests.
+//!
+//! The bricking and benign patches used to demonstrate campaign
+//! halt-and-rollback are defined once here, so a change to the PMEM
+//! layout (application base, trampoline base) or to the instruction
+//! encoding is fixed in one place instead of drifting across copies.
+
+/// First PMEM address of [`benign_patch`]: the unused gap between the
+/// application image and the EILID trampolines.
+pub const BENIGN_PATCH_TARGET: u16 = 0xF600;
+
+/// First PMEM address [`bricking_patch`] is installed at: the
+/// application entry point.
+pub const BRICKING_PATCH_TARGET: u16 = 0xE000;
+
+/// A benign patch: data bytes in the unused PMEM gap between the
+/// application image and the EILID trampolines; never executed, so a
+/// campaign installing it completes and the cohort keeps running.
+pub fn benign_patch() -> Vec<u8> {
+    vec![0xE1, 0x1D, 0x20, 0x26, 0x07, 0x28, 0x00, 0x01]
+}
+
+/// A bricking patch: its first instruction writes program memory, which
+/// the CASU monitor answers with an immediate `PmemWrite` violation
+/// reset. The write targets a byte *inside the patch's own range*
+/// (0xE006) so that a campaign rollback of the patched range restores
+/// the device byte-for-byte, even though the simulator commits the
+/// violating write before the reset lands. Assembled with the workspace
+/// assembler so the encoding always matches the simulator.
+pub fn bricking_patch() -> Vec<u8> {
+    let image = eilid_asm::assemble(
+        "    .org 0xe000\n    .global main\nmain:\n    mov #0x1234, &0xe006\n    jmp main\n",
+    )
+    .expect("bricking-patch fixture assembles");
+    image.segments[0].bytes.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_stable() {
+        assert_eq!(benign_patch().len(), 8);
+        let patch = bricking_patch();
+        assert_eq!(patch.len(), 8, "mov #imm, &abs (6) + jmp (2)");
+        // The violating write stays inside the patch's own range so
+        // rollback is byte-exact.
+        let written = 0xE006u16;
+        let end = BRICKING_PATCH_TARGET + patch.len() as u16 - 1;
+        assert!((BRICKING_PATCH_TARGET..=end).contains(&written));
+    }
+}

@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 
 use eilid::{DeviceBuilder, RunOutcome};
-use eilid_casu::DeviceKey;
+use eilid_casu::{DeviceKey, MemoryLayout};
 use eilid_msp430::Memory;
 use eilid_workloads::WorkloadId;
 
@@ -14,10 +14,13 @@ use crate::exec::parallel_map_mut;
 use crate::report::{Ledger, LedgerEvent};
 
 /// Per-firmware-cohort state the verifier side keeps: the golden memory
-/// image every healthy device of the cohort must measure equal to.
+/// image every healthy device of the cohort must measure equal to, and
+/// the memory layout its devices were built with (golden measurements
+/// must be taken over the same PMEM range the devices attest).
 #[derive(Debug, Clone)]
 pub(crate) struct Cohort {
     pub(crate) golden: Memory,
+    pub(crate) layout: MemoryLayout,
 }
 
 /// Builder for [`Fleet`]s.
@@ -89,6 +92,7 @@ impl FleetBuilder {
                 id,
                 Cohort {
                     golden: prototype.cpu().memory.clone(),
+                    layout: prototype.layout().clone(),
                 },
             );
             prototypes.push((id, prototype));

@@ -18,7 +18,8 @@
 //!   through the authenticated-update protocol
 //!   ([`eilid_casu::UpdateAuthority`] / [`eilid_casu::UpdateEngine`]),
 //!   with automatic halt-and-rollback when a wave's post-update health
-//!   check fails beyond a configured threshold.
+//!   check fails beyond a configured threshold, and per-device rollback
+//!   of the stray probe failures in waves that pass it.
 //! * violation telemetry — devices that trip the
 //!   [`eilid_casu::CasuMonitor`] report their
 //!   [`eilid_casu::Violation`] upstream; the fleet [`Ledger`] records the
@@ -59,6 +60,7 @@ pub mod campaign;
 pub mod device;
 pub mod error;
 pub mod exec;
+pub mod fixtures;
 pub mod fleet;
 pub mod report;
 pub mod verifier;

@@ -193,8 +193,18 @@ pub enum LedgerEvent {
         /// Observed post-update failure rate.
         failure_rate: f64,
     },
-    /// A device was rolled back to the previous firmware.
+    /// A device was rolled back to its pre-campaign firmware, verified
+    /// by measurement.
     RolledBack {
+        /// The device.
+        device: DeviceId,
+    },
+    /// A rollback was applied but the device's post-rollback measurement
+    /// does not match its pre-campaign state (e.g. the bad firmware
+    /// corrupted memory outside the patched range before its violation
+    /// reset). The device needs operator attention; sweeps will keep
+    /// flagging it.
+    RollbackIncomplete {
         /// The device.
         device: DeviceId,
     },

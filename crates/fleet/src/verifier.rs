@@ -4,9 +4,7 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use eilid_casu::{
-    measure_pmem, AttestError, AttestationVerifier, Challenge, DeviceKey, MemoryLayout,
-};
+use eilid_casu::{measure_pmem, AttestError, AttestationVerifier, DeviceKey};
 use eilid_workloads::WorkloadId;
 
 use crate::device::DeviceId;
@@ -35,16 +33,16 @@ pub struct Verifier {
 }
 
 impl Verifier {
-    /// Enrolls a fleet: records each cohort's golden measurement.
+    /// Enrolls a fleet: records each cohort's golden measurement, taken
+    /// over the layout the cohort's devices were actually built with.
     pub(crate) fn enroll(root: DeviceKey, fleet: &Fleet) -> Self {
         let mut expected = BTreeMap::new();
         for cohort in fleet.cohort_ids() {
-            let golden = &fleet.cohort(cohort).expect("cohort exists").golden;
-            let layout = MemoryLayout::default();
+            let state = fleet.cohort(cohort).expect("cohort exists");
             expected.insert(
                 cohort,
                 MeasurementHistory {
-                    current: measure_pmem(golden, &layout),
+                    current: measure_pmem(&state.golden, &state.layout),
                     previous: Vec::new(),
                 },
             );
@@ -84,11 +82,18 @@ impl Verifier {
         }
     }
 
-    /// Reserves a block of `count` fresh challenge nonces and returns the
-    /// first.
-    fn reserve_nonces(&mut self, count: u64) -> u64 {
+    /// Reserves challenge nonces for the devices in `ids` and returns a
+    /// base such that `base + id` is a never-before-issued nonce for
+    /// every listed id. All attestation challenges for the fleet —
+    /// sweeps and campaign post-update probes alike — MUST allocate
+    /// through this one strictly increasing domain, so no two challenges
+    /// to the same device key can ever share a nonce.
+    pub(crate) fn reserve_challenge_nonces(&mut self, ids: &[DeviceId]) -> u64 {
+        // Span to the max id so `base + id` is unique even for a sparse
+        // subset of high device ids.
+        let span = ids.iter().copied().max().unwrap_or(0) + 1;
         let base = self.next_nonce;
-        self.next_nonce += count;
+        self.next_nonce += span;
         base
     }
 
@@ -121,30 +126,30 @@ impl Verifier {
 
     /// Issues a batched attestation sweep over a subset of devices.
     pub fn sweep_devices(&mut self, fleet: &mut Fleet, ids: &[DeviceId]) -> FleetReport {
-        // Reserve enough nonces that `base + id` is unique across sweeps
-        // even when attesting a sparse subset of high device ids.
-        let nonce_span = ids.iter().copied().max().unwrap_or(0) + 1;
-        let nonce_base = self.reserve_nonces(nonce_span);
-        let root = self.root.clone();
-        let expected = self.expected.clone();
+        let nonce_base = self.reserve_challenge_nonces(ids);
+        // Shared borrows are enough for the worker closure: the mutable
+        // borrow of `self` ended with reserve_nonces, and `fleet` is a
+        // separate borrow.
+        let root = &self.root;
+        let expected = &self.expected;
         let threads = fleet.threads();
 
         let start = Instant::now();
         let mut targets = fleet.devices_by_ids_mut(ids);
         let healths: Vec<DeviceHealth> = parallel_map_mut(&mut targets, threads, |device| {
-            let layout = device.device().layout();
-            let challenge = Challenge {
-                // Offset nonces so no two devices ever share one.
-                nonce: nonce_base + device.id(),
-                start: *layout.pmem.start(),
-                end: *layout.pmem.end(),
-            };
-            let report = device.attest(challenge);
             let key = root.derive(device.id());
             let verifier = AttestationVerifier::with_key(&key);
+            // Offset nonces so no two devices ever share one.
+            let challenge =
+                verifier.challenge_pmem(device.device().layout(), nonce_base + device.id());
+            let report = device.attest(challenge);
             let verified = verifier.verify(&challenge, &report, None);
-            let history = &expected[&device.cohort()];
-            let (class, error) = Verifier::classify(history, verified, &report.measurement);
+            let (class, error) = match expected.get(&device.cohort()) {
+                Some(history) => Verifier::classify(history, verified, &report.measurement),
+                // A cohort this verifier never enrolled (a foreign
+                // fleet): there is nothing to verify against.
+                None => (HealthClass::Unverified, None),
+            };
             DeviceHealth {
                 device: device.id(),
                 cohort: device.cohort(),

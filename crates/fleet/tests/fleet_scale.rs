@@ -5,6 +5,9 @@
 use std::time::Instant;
 
 use eilid_casu::{DeviceKey, UpdateAuthority};
+use eilid_fleet::fixtures::{
+    benign_patch, bricking_patch, BENIGN_PATCH_TARGET, BRICKING_PATCH_TARGET,
+};
 use eilid_fleet::{
     Campaign, CampaignConfig, CampaignOutcome, FleetBuilder, HealthClass, LedgerEvent,
 };
@@ -15,26 +18,6 @@ const ROOT: &[u8] = b"fleet-root-key-0123456789abcdef";
 fn root_key() -> DeviceKey {
     DeviceKey::new(ROOT).unwrap()
 }
-
-/// A bricking patch: its first instruction writes program memory, which
-/// the CASU monitor answers with an immediate `PmemWrite` violation
-/// reset. The write targets a byte *inside the patch's own range*
-/// (0xE006) so that a campaign rollback of the patched range restores
-/// the device byte-for-byte, even though the simulator commits the
-/// violating write before the reset lands. Assembled with the workspace
-/// assembler so the encoding always matches the simulator.
-fn evil_patch() -> Vec<u8> {
-    let image = eilid_asm::assemble(
-        "    .org 0xe000\n    .global main\nmain:\n    mov #0x1234, &0xe006\n    jmp main\n",
-    )
-    .unwrap();
-    image.segments[0].bytes.clone()
-}
-
-/// A benign patch: data bytes in the unused PMEM gap between the
-/// application image and the EILID trampolines; never executed.
-const BENIGN_PATCH: [u8; 8] = [0xE1, 0x1D, 0x20, 0x26, 0x07, 0x28, 0x00, 0x01];
-const BENIGN_TARGET: u16 = 0xF600;
 
 #[test]
 fn fresh_fleet_attests_clean() {
@@ -95,7 +78,7 @@ fn violation_telemetry_records_reset_and_recovery() {
     {
         let device = &mut fleet.devices_mut()[1];
         let memory = &mut device.device_mut().cpu_mut().memory;
-        memory.load(0xE000, &evil_patch()).unwrap();
+        memory.load(0xE000, &bricking_patch()).unwrap();
     }
 
     let report = fleet.run_slice(5_000_000);
@@ -107,7 +90,7 @@ fn violation_telemetry_records_reset_and_recovery() {
     // Repair the device through the authenticated update path (the same
     // bytes an untampered sibling holds), reboot, and watch it recover.
     {
-        let span = 0xE000..0xE000 + evil_patch().len();
+        let span = 0xE000..0xE000 + bricking_patch().len();
         let good_bytes: Vec<u8> = fleet.devices()[0]
             .device()
             .cpu()
@@ -161,11 +144,7 @@ fn good_campaign_completes_and_new_firmware_attests() {
         .build()
         .unwrap();
 
-    let config = CampaignConfig::new(
-        WorkloadId::LightSensor,
-        BENIGN_TARGET,
-        BENIGN_PATCH.to_vec(),
-    );
+    let config = CampaignConfig::new(WorkloadId::LightSensor, BENIGN_PATCH_TARGET, benign_patch());
     let report = Campaign::new(config)
         .unwrap()
         .run(&mut fleet, &mut verifier)
@@ -188,6 +167,157 @@ fn good_campaign_completes_and_new_firmware_attests() {
     assert_eq!(slice.completed, 10);
 }
 
+/// A wave that passes the failure threshold must still not leave its
+/// individual probe-failed devices on the new firmware: each one is
+/// rolled back, excluded from the campaign's `updated` count, and
+/// flagged by later sweeps.
+#[test]
+fn probe_failed_devices_are_rolled_back_when_the_wave_passes() {
+    let (mut fleet, mut verifier) = FleetBuilder::new(root_key())
+        .devices(10)
+        .threads(2)
+        .workloads(&[WorkloadId::LightSensor])
+        .build()
+        .unwrap();
+
+    // Pre-tamper two non-canary devices in the unused PMEM gap, outside
+    // the patch range: the update still applies and the smoke run still
+    // completes, but the post-update attestation probe fails on exactly
+    // these devices — 2 of 9 in the full wave, under the 25% threshold.
+    for &victim in &[3u64, 5] {
+        let device = &mut fleet.devices_mut()[victim as usize];
+        let memory = &mut device.device_mut().cpu_mut().memory;
+        let original = memory.read_byte(0xF680);
+        memory.write_byte(0xF680, original ^ 0x01);
+    }
+
+    let config = CampaignConfig::new(WorkloadId::LightSensor, BENIGN_PATCH_TARGET, benign_patch());
+    let report = Campaign::new(config)
+        .unwrap()
+        .run(&mut fleet, &mut verifier)
+        .unwrap();
+
+    // The campaign completes, but the two quarantined devices are not
+    // counted as updated — and the report names them directly.
+    assert_eq!(report.outcome, CampaignOutcome::Completed { updated: 8 });
+    assert_eq!(report.waves.len(), 2);
+    assert_eq!(report.waves[1].failures, 2);
+    assert_eq!(report.quarantined, vec![3, 5]);
+    assert!(report.rollback_incomplete.is_empty());
+
+    // The ledger records the probe failures and the per-device rollbacks.
+    let events = fleet.ledger().events();
+    for victim in [3u64, 5] {
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, LedgerEvent::ProbeFailed { device } if *device == victim)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, LedgerEvent::RolledBack { device } if *device == victim)));
+    }
+
+    // Rolled-back devices no longer match the promoted golden (nor, with
+    // their tampered byte, the previous one) and are flagged by the next
+    // sweep; the other eight attest clean against the new firmware.
+    let sweep = verifier.sweep(&mut fleet);
+    assert_eq!(sweep.count(HealthClass::Attested), 8);
+    assert_eq!(sweep.devices_in(HealthClass::Tampered), vec![3, 5]);
+}
+
+/// A campaign that "completes" with every updated device individually
+/// rolled back (possible with a permissive failure threshold) must not
+/// promote the new golden: no device runs the new firmware.
+#[test]
+fn zero_retained_campaign_does_not_promote_the_golden_measurement() {
+    let (mut fleet, mut verifier) = FleetBuilder::new(root_key())
+        .devices(4)
+        .threads(2)
+        .workloads(&[WorkloadId::LightSensor])
+        .build()
+        .unwrap();
+    let before = verifier
+        .expected_measurement(WorkloadId::LightSensor)
+        .unwrap();
+
+    // Pre-tamper every device outside the patch range so each
+    // post-update attestation probe fails, and set the threshold to 1.0
+    // so every wave still "passes" (rate 1.0 is not > 1.0).
+    for device in fleet.devices_mut() {
+        let memory = &mut device.device_mut().cpu_mut().memory;
+        let original = memory.read_byte(0xF680);
+        memory.write_byte(0xF680, original ^ 0x01);
+    }
+    let mut config =
+        CampaignConfig::new(WorkloadId::LightSensor, BENIGN_PATCH_TARGET, benign_patch());
+    config.failure_threshold = 1.0;
+    let report = Campaign::new(config)
+        .unwrap()
+        .run(&mut fleet, &mut verifier)
+        .unwrap();
+
+    assert_eq!(report.outcome, CampaignOutcome::Completed { updated: 0 });
+    assert_eq!(
+        verifier.expected_measurement(WorkloadId::LightSensor),
+        Some(before),
+        "a campaign no device retained must not change the golden"
+    );
+}
+
+/// A bad patch that corrupts memory *outside* its own range before the
+/// violation reset cannot be fully undone by rolling back the patch
+/// range; the ledger must say so instead of recording a clean rollback.
+#[test]
+fn corruption_outside_the_patch_range_is_recorded_rollback_incomplete() {
+    let (mut fleet, mut verifier) = FleetBuilder::new(root_key())
+        .devices(10)
+        .threads(2)
+        .workloads(&[WorkloadId::LightSensor])
+        .build()
+        .unwrap();
+
+    // Like evil_patch, but the violating write lands at 0xF700 — PMEM
+    // *outside* the 8-byte patch range at 0xE000. The simulator commits
+    // the write before the reset, so rollback of the patch range alone
+    // leaves the device corrupted.
+    let image = eilid_asm::assemble(
+        "    .org 0xe000\n    .global main\nmain:\n    mov #0x1234, &0xf700\n    jmp main\n",
+    )
+    .unwrap();
+    let patch = image.segments[0].bytes.clone();
+
+    let config = CampaignConfig::new(WorkloadId::LightSensor, 0xE000, patch);
+    let report = Campaign::new(config)
+        .unwrap()
+        .run(&mut fleet, &mut verifier)
+        .unwrap();
+
+    match report.outcome {
+        CampaignOutcome::HaltedAndRolledBack { rolled_back, .. } => {
+            assert_eq!(
+                rolled_back, 0,
+                "a rollback that cannot restore the device must not count"
+            );
+        }
+        other => panic!("bad campaign was not halted: {other:?}"),
+    }
+    assert_eq!(
+        report.rollback_incomplete,
+        vec![0],
+        "the report must name the device the rollback could not restore"
+    );
+    assert!(fleet
+        .ledger()
+        .events()
+        .iter()
+        .any(|e| matches!(e, LedgerEvent::RollbackIncomplete { device: 0 })));
+
+    // The corrupted canary is flagged by the next sweep; the untouched
+    // devices attest clean.
+    let sweep = verifier.sweep(&mut fleet);
+    assert_eq!(sweep.count(HealthClass::Attested), 9);
+    assert_eq!(sweep.devices_in(HealthClass::Tampered), vec![0]);
+}
+
 #[test]
 fn bad_campaign_halts_on_the_canary_wave_and_rolls_back() {
     let (mut fleet, mut verifier) = FleetBuilder::new(root_key())
@@ -199,7 +329,11 @@ fn bad_campaign_halts_on_the_canary_wave_and_rolls_back() {
 
     // The patch bricks the entry point: canary devices violate W⊕X on
     // their post-update smoke run.
-    let config = CampaignConfig::new(WorkloadId::LightSensor, 0xE000, evil_patch());
+    let config = CampaignConfig::new(
+        WorkloadId::LightSensor,
+        BRICKING_PATCH_TARGET,
+        bricking_patch(),
+    );
     let report = Campaign::new(config)
         .unwrap()
         .run(&mut fleet, &mut verifier)
@@ -271,7 +405,7 @@ fn thousand_device_fleet_sweep_and_staged_campaign() {
     //    must halt on the canary and roll back.
     let cohort = WorkloadId::LightSensor;
     let cohort_size = fleet.cohort_members(cohort).len();
-    let bad = CampaignConfig::new(cohort, 0xE000, evil_patch());
+    let bad = CampaignConfig::new(cohort, BRICKING_PATCH_TARGET, bricking_patch());
     let bad_report = Campaign::new(bad)
         .unwrap()
         .run(&mut fleet, &mut verifier)
@@ -295,7 +429,7 @@ fn thousand_device_fleet_sweep_and_staged_campaign() {
     }
 
     // 3. Good campaign on the same cohort completes in two waves.
-    let good = CampaignConfig::new(cohort, BENIGN_TARGET, BENIGN_PATCH.to_vec());
+    let good = CampaignConfig::new(cohort, BENIGN_PATCH_TARGET, benign_patch());
     let good_report = Campaign::new(good)
         .unwrap()
         .run(&mut fleet, &mut verifier)

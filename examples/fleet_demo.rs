@@ -7,6 +7,9 @@
 //! Run with `cargo run --example fleet_demo`.
 
 use eilid_casu::DeviceKey;
+use eilid_fleet::fixtures::{
+    benign_patch, bricking_patch, BENIGN_PATCH_TARGET, BRICKING_PATCH_TARGET,
+};
 use eilid_fleet::{Campaign, CampaignConfig, CampaignOutcome, FleetBuilder, HealthClass};
 use eilid_workloads::WorkloadId;
 
@@ -46,14 +49,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. A bad OTA campaign: the patch bricks its first instruction. The
     //    canary wave catches it; the campaign halts and rolls back.
-    let evil = eilid_asm::assemble(
-        "    .org 0xe000\n    .global main\nmain:\n    mov #0x1234, &0xe006\n    jmp main\n",
-    )?
-    .segments[0]
-        .bytes
-        .clone();
-    let report = Campaign::new(CampaignConfig::new(WorkloadId::LightSensor, 0xE000, evil))?
-        .run(&mut fleet, &mut verifier)?;
+    let report = Campaign::new(CampaignConfig::new(
+        WorkloadId::LightSensor,
+        BRICKING_PATCH_TARGET,
+        bricking_patch(),
+    ))?
+    .run(&mut fleet, &mut verifier)?;
     match report.outcome {
         CampaignOutcome::HaltedAndRolledBack {
             wave,
@@ -70,8 +71,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    out canary-first and completes; the new image becomes golden.
     let report = Campaign::new(CampaignConfig::new(
         WorkloadId::LightSensor,
-        0xF600,
-        vec![0xE1, 0x1D, 0x07, 0x28],
+        BENIGN_PATCH_TARGET,
+        benign_patch(),
     ))?
     .run(&mut fleet, &mut verifier)?;
     println!(

@@ -286,14 +286,16 @@ fn cmd_fleet_campaign(args: &[String]) -> Result<(), String> {
     let (target, payload): (u16, Vec<u8>) = if inject_bad {
         // A patch whose first instruction writes PMEM: the canary wave's
         // monitors catch it and the campaign rolls back.
-        let image = eilid_asm::assemble(
-            "    .org 0xe000\n    .global main\nmain:\n    mov #0x1234, &0xe006\n    jmp main\n",
+        (
+            eilid_fleet::fixtures::BRICKING_PATCH_TARGET,
+            eilid_fleet::fixtures::bricking_patch(),
         )
-        .map_err(|e| e.to_string())?;
-        (0xE000, image.segments[0].bytes.clone())
     } else {
         // A benign data patch in the unused PMEM gap below the trampolines.
-        (0xF600, vec![0xE1, 0x1D, 0x07, 0x28])
+        (
+            eilid_fleet::fixtures::BENIGN_PATCH_TARGET,
+            eilid_fleet::fixtures::benign_patch(),
+        )
     };
 
     println!(
@@ -331,6 +333,18 @@ fn cmd_fleet_campaign(args: &[String]) -> Result<(), String> {
                 failure_rate * 100.0
             );
         }
+    }
+    if !report.quarantined.is_empty() {
+        println!(
+            "quarantined (probe failed, rolled back): {:?}",
+            report.quarantined
+        );
+    }
+    if !report.rollback_incomplete.is_empty() {
+        println!(
+            "ROLLBACK INCOMPLETE — operator attention needed: {:?}",
+            report.rollback_incomplete
+        );
     }
     let sweep = verifier.sweep(&mut fleet);
     print!("post-campaign sweep: {sweep}");
