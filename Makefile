@@ -1,6 +1,6 @@
 # Convenience targets; `just` users get the same recipes from ./justfile.
 
-.PHONY: build test test-workspace bench-smoke fleet-smoke fleet-scale fmt clippy ci
+.PHONY: build test test-workspace bench-smoke fleet-smoke fleet-scale fleet-bench fleet-bench-smoke fmt clippy ci
 
 build:
 	cargo build --release
@@ -27,6 +27,17 @@ fleet-smoke:
 # The 1 000-device release-mode scale test.
 fleet-scale:
 	cargo test --release -p eilid_fleet -- --include-ignored thousand
+
+# Flat-vs-incremental sweep throughput at 1 000 devices; writes
+# BENCH_fleet.json (the recorded perf baseline) and fails below the
+# accepted 3x incremental speedup.
+fleet-bench:
+	cargo run --release -p eilid_bench --bin fleet -- --min-speedup 3
+
+# CI-sized head-to-head only (no matrix), still release mode, gating on
+# the same 3x speedup floor.
+fleet-bench-smoke:
+	cargo run --release -p eilid_bench --bin fleet -- --quick --json /tmp/BENCH_fleet.json --min-speedup 3
 
 fmt:
 	cargo fmt --all --check

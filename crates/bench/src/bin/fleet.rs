@@ -1,14 +1,104 @@
-//! Prints the fleet attestation-throughput scenario: one full sweep at
-//! several fleet sizes and thread counts.
+//! Fleet attestation-throughput scenario.
+//!
+//! Prints a sweep-throughput matrix (both measurement schemes at several
+//! fleet sizes and thread counts), then runs the flat-vs-incremental
+//! head-to-head on a mostly-clean fleet and writes the result to
+//! `BENCH_fleet.json` — the recorded perf baseline later PRs regress
+//! against.
+//!
+//! ```text
+//! fleet [--devices N] [--threads N] [--json PATH] [--min-speedup X] [--quick]
+//! ```
+//!
+//! `--quick` skips the matrix and runs only the (smaller) head-to-head —
+//! the CI smoke mode. `--min-speedup X` exits non-zero when the
+//! incremental-vs-flat speedup falls below `X`, turning the CI step into
+//! an actual regression gate.
 
-use eilid_bench::fleet::{measure_attestation_throughput, render_fleet_throughput};
+use std::process::ExitCode;
 
-fn main() {
-    let mut rows = Vec::new();
-    for &devices in &[64usize, 256, 1024] {
-        for &threads in &[1usize, 2, 4, 8] {
-            rows.push(measure_attestation_throughput(devices, threads));
+use eilid_bench::fleet::{
+    compare_sweep_throughput, measure_sweep_throughput, render_bench_json, render_fleet_throughput,
+};
+use eilid_casu::MeasurementScheme;
+
+/// Parses `--flag value`; a missing flag yields `default`, an
+/// unparseable value is a hard error (never a silent fallback that would
+/// record a baseline for a different configuration than requested).
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse::<T>()
+            .map_err(|_| format!("invalid {flag} value: {}", args[i + 1])),
+        None => Ok(default),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let devices = flag_value(&args, "--devices", if quick { 256 } else { 1000 })?;
+    let threads = flag_value(&args, "--threads", 4)?;
+    let min_speedup: f64 = flag_value(&args, "--min-speedup", 0.0)?;
+    // `--quick` runs a smaller, non-comparable configuration, so it must
+    // never silently overwrite the recorded full-size baseline: without
+    // an explicit `--json` it does not write at all.
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .or_else(|| (!quick).then(|| "BENCH_fleet.json".to_string()));
+
+    if !quick {
+        let mut rows = Vec::new();
+        for &devices in &[64usize, 256, 1024] {
+            for &threads in &[1usize, 4] {
+                for scheme in [MeasurementScheme::FlatSha256, MeasurementScheme::Merkle] {
+                    rows.push(measure_sweep_throughput(devices, threads, scheme));
+                }
+            }
+        }
+        print!("{}", render_fleet_throughput(&rows));
+        println!();
+    }
+
+    println!("head-to-head: {devices} devices, {threads} threads, ~1% dirtied between sweeps");
+    let comparison = compare_sweep_throughput(devices, threads);
+    println!(
+        "  flat        {:>9.0} devices/s",
+        comparison.flat.devices_per_second
+    );
+    println!(
+        "  incremental {:>9.0} devices/s",
+        comparison.incremental.devices_per_second
+    );
+    println!("  speedup     {:>9.2}x", comparison.speedup());
+
+    if let Some(json_path) = json_path {
+        let json = render_bench_json(&comparison);
+        std::fs::write(&json_path, &json)
+            .map_err(|error| format!("could not write {json_path}: {error}"))?;
+        println!("wrote {json_path}");
+    }
+
+    if comparison.speedup() < min_speedup {
+        return Err(format!(
+            "incremental speedup {:.2}x is below the required {min_speedup:.2}x",
+            comparison.speedup()
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
         }
     }
-    print!("{}", render_fleet_throughput(&rows));
 }

@@ -1,9 +1,22 @@
 //! Fleet-scale attestation throughput: the perf baseline future
-//! scaling work (sharded verifiers, batched MACs, async transports)
+//! scaling work (batched MACs, async transports, wire protocols)
 //! measures itself against.
+//!
+//! Two measurement modes are compared head-to-head:
+//!
+//! * **flat** — every challenge re-hashes the device's full 6 KiB PMEM
+//!   range with SHA-256 ([`MeasurementScheme::FlatSha256`]);
+//! * **incremental** — devices maintain a chunked Merkle tree kept
+//!   coherent by the bus's dirty-granule tracking, so a sweep over a
+//!   mostly-clean fleet re-hashes only the few dirtied leaves
+//!   ([`MeasurementScheme::Merkle`]), and the verifier's sharded key
+//!   caches skip per-sweep key re-derivation.
+//!
+//! [`render_bench_json`] serialises a comparison into `BENCH_fleet.json`
+//! so the repo records a throughput trajectory PRs can regress against.
 
-use eilid_casu::DeviceKey;
-use eilid_fleet::{FleetBuilder, HealthClass};
+use eilid_casu::{DeviceKey, MeasurementScheme};
+use eilid_fleet::{Fleet, FleetBuilder, HealthClass, Verifier};
 
 /// One throughput measurement row.
 #[derive(Debug, Clone)]
@@ -12,40 +25,133 @@ pub struct FleetThroughputRow {
     pub devices: usize,
     /// Worker threads used by the sweep.
     pub threads: usize,
-    /// Wall-clock seconds for one full attestation sweep.
+    /// Measurement scheme the fleet ran.
+    pub scheme: MeasurementScheme,
+    /// Wall-clock seconds for the timed attestation sweep.
     pub sweep_seconds: f64,
     /// Devices verified per second.
     pub devices_per_second: f64,
 }
 
-/// Builds a fleet of `devices` and times one full attestation sweep on
-/// `threads` workers.
+/// Head-to-head comparison of the two schemes on identical fleets.
+#[derive(Debug, Clone)]
+pub struct SweepComparison {
+    /// Flat-measurement row.
+    pub flat: FleetThroughputRow,
+    /// Incremental (Merkle) row.
+    pub incremental: FleetThroughputRow,
+    /// Devices whose PMEM was dirtied between sweeps (the "mostly
+    /// clean" fraction of the fleet exercising the re-hash path).
+    pub dirtied_devices: usize,
+}
+
+impl SweepComparison {
+    /// Incremental speedup over flat (devices/s ratio).
+    pub fn speedup(&self) -> f64 {
+        if self.flat.devices_per_second <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.incremental.devices_per_second / self.flat.devices_per_second
+    }
+}
+
+/// Every `DIRTY_STRIDE`-th device is dirtied between the warm-up and the
+/// timed sweep (~1% of the fleet) — the single source of truth for the
+/// "mostly clean" fraction, shared by the measurement and the
+/// `dirtied_devices` metadata recorded in `BENCH_fleet.json`.
+const DIRTY_STRIDE: usize = 100;
+
+fn bench_root() -> DeviceKey {
+    DeviceKey::new(b"bench-fleet-root-key-0123456789").expect("key length")
+}
+
+fn build(devices: usize, threads: usize, scheme: MeasurementScheme) -> (Fleet, Verifier) {
+    FleetBuilder::new(bench_root())
+        .devices(devices)
+        .threads(threads)
+        .measurement(scheme)
+        .build()
+        .expect("bench fleet builds")
+}
+
+/// Dirties one granule of PMEM on every `stride`-th device (an
+/// authenticated-update-sized touch), so the incremental sweep does real
+/// re-hash work instead of serving 100% cached roots. Returns how many
+/// devices were touched. The write XORs with 0 — content is unchanged,
+/// so the fleet still attests clean, but the dirty-tracking (which
+/// watches bus writes, not diffs) must re-hash the touched leaf.
+fn dirty_some_devices(fleet: &mut Fleet, stride: usize) -> usize {
+    let mut touched = 0;
+    let count = fleet.len();
+    for index in (0..count).step_by(stride.max(1)) {
+        let device = &mut fleet.devices_mut()[index];
+        let memory = &mut device.device_mut().cpu_mut().memory;
+        let value = memory.read_byte(0xE040);
+        memory.write_byte(0xE040, value);
+        touched += 1;
+    }
+    touched
+}
+
+/// Builds a fleet of `devices` under `scheme` and times one steady-state
+/// attestation sweep on `threads` workers.
+///
+/// "Steady state" means: one warm-up sweep first (populates the
+/// verifier's key caches and serves the initial roots), then ~1% of
+/// devices dirtied, then the timed sweep. For the flat scheme the warm-up
+/// changes nothing (every sweep re-hashes everything); for the
+/// incremental scheme this measures the honest recurring cost — mostly
+/// cache-served roots plus a few leaf re-hashes — which is what a
+/// periodic fleet sweep actually pays.
 ///
 /// # Panics
 ///
 /// Panics if the fleet fails to build or any device fails attestation —
 /// a throughput number for a broken sweep would be meaningless.
-pub fn measure_attestation_throughput(devices: usize, threads: usize) -> FleetThroughputRow {
-    let root = DeviceKey::new(b"bench-fleet-root-key-0123456789").expect("key length");
-    let (mut fleet, mut verifier) = FleetBuilder::new(root)
-        .devices(devices)
-        .threads(threads)
-        .build()
-        .expect("bench fleet builds");
-
-    let report = verifier.sweep(&mut fleet);
+pub fn measure_sweep_throughput(
+    devices: usize,
+    threads: usize,
+    scheme: MeasurementScheme,
+) -> FleetThroughputRow {
+    let (mut fleet, mut verifier) = build(devices, threads, scheme);
+    let warmup = verifier.sweep(&mut fleet);
     assert_eq!(
-        report.count(HealthClass::Attested),
+        warmup.count(HealthClass::Attested),
         devices,
         "bench fleet must attest clean"
     );
+    let touched = dirty_some_devices(&mut fleet, DIRTY_STRIDE);
+    debug_assert_eq!(touched, devices.div_ceil(DIRTY_STRIDE));
+
+    let report = verifier.sweep(&mut fleet);
+    assert_eq!(report.count(HealthClass::Attested), devices);
     // The sweep measures itself; reuse its numbers rather than
     // re-timing around the call.
     FleetThroughputRow {
         devices,
         threads,
+        scheme,
         sweep_seconds: report.elapsed.as_secs_f64(),
         devices_per_second: report.devices_per_second(),
+    }
+}
+
+/// Compatibility shim for the original single-scheme scenario: measures
+/// the fleet's default (incremental) scheme.
+pub fn measure_attestation_throughput(devices: usize, threads: usize) -> FleetThroughputRow {
+    measure_sweep_throughput(devices, threads, MeasurementScheme::Merkle)
+}
+
+/// Times flat vs incremental steady-state sweeps over identical,
+/// mostly-clean fleets (~1% of devices dirtied between warm-up and the
+/// timed sweep).
+pub fn compare_sweep_throughput(devices: usize, threads: usize) -> SweepComparison {
+    let flat = measure_sweep_throughput(devices, threads, MeasurementScheme::FlatSha256);
+    let incremental = measure_sweep_throughput(devices, threads, MeasurementScheme::Merkle);
+    SweepComparison {
+        flat,
+        incremental,
+        dirtied_devices: devices.div_ceil(DIRTY_STRIDE),
     }
 }
 
@@ -53,15 +159,36 @@ pub fn measure_attestation_throughput(devices: usize, threads: usize) -> FleetTh
 pub fn render_fleet_throughput(rows: &[FleetThroughputRow]) -> String {
     let mut out = String::from(
         "Fleet attestation throughput (full-PMEM challenge per device)\n\
-         devices  threads  sweep [s]  devices/s\n",
+         devices  threads  scheme       sweep [s]  devices/s\n",
     );
     for row in rows {
         out.push_str(&format!(
-            "{:>7}  {:>7}  {:>9.4}  {:>9.0}\n",
-            row.devices, row.threads, row.sweep_seconds, row.devices_per_second
+            "{:>7}  {:>7}  {:<11}  {:>9.4}  {:>9.0}\n",
+            row.devices,
+            row.threads,
+            row.scheme.to_string(),
+            row.sweep_seconds,
+            row.devices_per_second
         ));
     }
     out
+}
+
+/// Renders a comparison as the `BENCH_fleet.json` record: a small,
+/// stable, hand-written JSON object (the offline dependency set has no
+/// serde_json) seeding the repo's perf trajectory.
+pub fn render_bench_json(comparison: &SweepComparison) -> String {
+    format!(
+        "{{\n  \"bench\": \"fleet_sweep\",\n  \"devices\": {},\n  \"threads\": {},\n  \
+         \"dirtied_devices\": {},\n  \"flat_devices_per_second\": {:.0},\n  \
+         \"incremental_devices_per_second\": {:.0},\n  \"speedup\": {:.2}\n}}\n",
+        comparison.flat.devices,
+        comparison.flat.threads,
+        comparison.dirtied_devices,
+        comparison.flat.devices_per_second,
+        comparison.incremental.devices_per_second,
+        comparison.speedup(),
+    )
 }
 
 #[cfg(test)]
@@ -72,8 +199,40 @@ mod tests {
     fn throughput_measurement_is_sane() {
         let row = measure_attestation_throughput(14, 2);
         assert_eq!(row.devices, 14);
+        assert_eq!(row.scheme, MeasurementScheme::Merkle);
         assert!(row.sweep_seconds > 0.0);
         assert!(row.devices_per_second > 0.0);
+    }
+
+    #[test]
+    fn comparison_measures_both_schemes() {
+        let comparison = compare_sweep_throughput(14, 2);
+        assert_eq!(comparison.flat.scheme, MeasurementScheme::FlatSha256);
+        assert_eq!(comparison.incremental.scheme, MeasurementScheme::Merkle);
+        assert!(comparison.speedup() > 0.0);
+        assert_eq!(comparison.dirtied_devices, 1);
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let row = |scheme, dps| FleetThroughputRow {
+            devices: 1000,
+            threads: 4,
+            scheme,
+            sweep_seconds: 0.1,
+            devices_per_second: dps,
+        };
+        let comparison = SweepComparison {
+            flat: row(MeasurementScheme::FlatSha256, 30_000.0),
+            incremental: row(MeasurementScheme::Merkle, 180_000.0),
+            dirtied_devices: 10,
+        };
+        let json = render_bench_json(&comparison);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"speedup\": 6.00"));
+        assert!(json.contains("\"flat_devices_per_second\": 30000"));
+        // Braces balance (cheap well-formedness check without a parser).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]
@@ -82,12 +241,14 @@ mod tests {
             FleetThroughputRow {
                 devices: 100,
                 threads: 1,
+                scheme: MeasurementScheme::FlatSha256,
                 sweep_seconds: 0.5,
                 devices_per_second: 200.0,
             },
             FleetThroughputRow {
                 devices: 100,
                 threads: 4,
+                scheme: MeasurementScheme::Merkle,
                 sweep_seconds: 0.25,
                 devices_per_second: 400.0,
             },
@@ -95,5 +256,7 @@ mod tests {
         let table = render_fleet_throughput(&rows);
         assert_eq!(table.lines().count(), 4);
         assert!(table.contains("400"));
+        assert!(table.contains("merkle"));
+        assert!(table.contains("flat-sha256"));
     }
 }

@@ -35,7 +35,10 @@ pub use ablation::{
     AblationRow, ShadowSizingRow,
 };
 pub use figures::{render_figure10a, render_figure10b, render_instrumentation_templates};
-pub use fleet::{measure_attestation_throughput, render_fleet_throughput, FleetThroughputRow};
+pub use fleet::{
+    compare_sweep_throughput, measure_attestation_throughput, measure_sweep_throughput,
+    render_bench_json, render_fleet_throughput, FleetThroughputRow, SweepComparison,
+};
 pub use micro::{measure_micro_costs, MicroCosts};
 pub use paper_reference::{paper_averages, paper_micro_costs, paper_table4, PaperTable4Row};
 pub use table4::{measure_all, measure_workload, Table4, Table4Options, Table4Row};

@@ -88,6 +88,14 @@ impl Attestor {
         let start = usize::from(challenge.start.min(challenge.end));
         let end = usize::from(challenge.start.max(challenge.end)) + 1;
         let measurement = sha256(memory.slice(start..end));
+        self.report(challenge, measurement)
+    }
+
+    /// Produces a report binding an externally computed `measurement` to
+    /// `challenge` — the path incremental measurement engines use: the
+    /// [`crate::merkle::IncrementalMeasurer`] produces the digest, the
+    /// attestor MACs it into the standard (wire-compatible) report.
+    pub fn report(&self, challenge: Challenge, measurement: [u8; 32]) -> AttestationReport {
         let mac = hmac_sha256(&self.key, &report_message(&challenge, &measurement));
         AttestationReport {
             challenge,

@@ -51,6 +51,7 @@ pub mod attest;
 pub mod hmac;
 pub mod key;
 pub mod layout;
+pub mod merkle;
 pub mod monitor;
 pub mod policy;
 pub mod sha256;
@@ -63,6 +64,10 @@ pub use attest::{
 pub use hmac::{hmac_sha256, verify_tag, TAG_SIZE};
 pub use key::{DeviceKey, KeyError, MIN_KEY_LEN};
 pub use layout::{LayoutError, MemoryLayout, Region};
+pub use merkle::{
+    merkle_measure, merkle_measure_pmem, IncrementalMeasurer, MeasurementScheme, MeasurerStats,
+    MerkleTree, LEAF_SIZE,
+};
 pub use monitor::CasuMonitor;
 pub use policy::{CasuPolicy, VIOLATION_STROBE_ADDR};
 pub use sha256::{sha256, Sha256, DIGEST_SIZE};

@@ -56,6 +56,7 @@ pub struct CasuMonitor {
     prev_pc: Option<u16>,
     update_region: Option<(u16, u16)>,
     violations_detected: u64,
+    mediated_update_writes: u64,
 }
 
 impl CasuMonitor {
@@ -67,6 +68,7 @@ impl CasuMonitor {
             prev_pc: None,
             update_region: None,
             violations_detected: 0,
+            mediated_update_writes: 0,
         }
     }
 
@@ -83,6 +85,16 @@ impl CasuMonitor {
     /// Number of violations this monitor has reported since construction.
     pub fn violations_detected(&self) -> u64 {
         self.violations_detected
+    }
+
+    /// Number of bus writes observed landing inside an open update
+    /// window. Together with the reset-on-violation rule this is the
+    /// complete story of how measured memory can change — the invariant
+    /// the incremental measurement engine
+    /// ([`crate::merkle::IncrementalMeasurer`]) leans on: every mutation
+    /// of PMEM is either mediated (and dirty-tracked) or punished.
+    pub fn mediated_update_writes(&self) -> u64 {
+        self.mediated_update_writes
     }
 
     /// Clears transition state after a device reset.
@@ -125,6 +137,13 @@ impl CasuMonitor {
         let violation = self.evaluate(trace);
         if violation.is_some() {
             self.violations_detected += 1;
+        }
+        if self.update_region.is_some() {
+            self.mediated_update_writes += trace
+                .writes
+                .iter()
+                .filter(|w| self.write_allowed_by_update(w.addr))
+                .count() as u64;
         }
         // Track the last executed address for entry/exit transition checks.
         self.prev_pc = Some(trace.pc);
@@ -303,12 +322,15 @@ mod tests {
         m.begin_update_session(0xE100, 0xE1FF);
         assert!(m.update_session_active());
         assert_eq!(m.check(&trace), None);
+        assert_eq!(m.mediated_update_writes(), 1);
         // Writes outside the authorised window still fault.
         let mut outside = executed(0xE000);
         outside.writes.push(write(0xE200, 0x1));
         assert!(m.check(&outside).is_some());
         m.end_update_session();
         assert!(m.check(&trace).is_some());
+        // Only in-window writes during a session count as mediated.
+        assert_eq!(m.mediated_update_writes(), 1);
     }
 
     #[test]

@@ -224,6 +224,68 @@ fn update_mac_cannot_forge_an_attestation_report() {
     );
 }
 
+// --- stale-cache attacks on the incremental measurement engine ---------
+//
+// An attestor backed by an incremental Merkle engine caches leaf hashes
+// and serves the root from that cache. The attack to rule out: tamper
+// with measured memory *after* a measurement, hoping the engine misses
+// the invalidation and keeps serving the pre-tamper root.
+
+/// Tampering between two root requests is always visible: no mutation
+/// path of `Memory` bypasses dirty tracking, so the engine can never
+/// serve a stale cached root.
+#[test]
+fn stale_cache_attack_on_the_engine_is_detected() {
+    use eilid_casu::merkle::{merkle_measure, IncrementalMeasurer};
+    let (_, _, mut memory, layout) = setup();
+    let (start, end) = (*layout.pmem.start(), *layout.pmem.end());
+    let mut measurer = IncrementalMeasurer::new(&mut memory, start, end);
+    let golden = measurer.root(&mut memory);
+
+    // The attacker patches one instruction after the measurement and
+    // hopes the next measurement is served from cache.
+    let original = memory.read_byte(0xE010);
+    memory.write_byte(0xE010, original ^ 0x01);
+
+    let next = measurer.root(&mut memory);
+    assert_ne!(golden, next, "engine served a stale cached root");
+    assert_eq!(
+        next,
+        merkle_measure(&memory, start, end),
+        "post-tamper root must equal the from-scratch measurement"
+    );
+
+    // Repairing the byte produces the golden root again — the engine
+    // tracks content, not history.
+    memory.write_byte(0xE010, original);
+    assert_eq!(golden, measurer.root(&mut memory));
+}
+
+/// A full attestation round through `Attestor::report` with an
+/// engine-computed measurement: the tampered root never verifies against
+/// the golden expectation, even when the challenge/MAC are honest.
+#[test]
+fn tampered_incremental_report_fails_golden_comparison() {
+    use eilid_casu::merkle::IncrementalMeasurer;
+    let (attestor, verifier, mut memory, layout) = setup();
+    let (start, end) = (*layout.pmem.start(), *layout.pmem.end());
+    let mut measurer = IncrementalMeasurer::new(&mut memory, start, end);
+
+    let golden = measurer.root(&mut memory);
+    let challenge = verifier.challenge_pmem(&layout, 77);
+    let honest = attestor.report(challenge, measurer.root(&mut memory));
+    verifier.verify(&challenge, &honest, Some(&golden)).unwrap();
+
+    memory.write_byte(0xF000, memory.read_byte(0xF000) ^ 0x80);
+    let challenge2 = verifier.challenge_pmem(&layout, 78);
+    let tampered = attestor.report(challenge2, measurer.root(&mut memory));
+    assert_eq!(
+        verifier.verify(&challenge2, &tampered, Some(&golden)),
+        Err(AttestError::UnexpectedMeasurement),
+        "tampered device must not re-attest against the golden root"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

@@ -31,7 +31,7 @@
 use std::collections::BTreeMap;
 
 use eilid::RunOutcome;
-use eilid_casu::{measure_pmem, AttestationVerifier, DeviceKey, UpdateAuthority};
+use eilid_casu::{AttestationVerifier, DeviceKey, MeasurementScheme, UpdateAuthority};
 use eilid_workloads::WorkloadId;
 
 use crate::device::{DeviceId, SimDevice};
@@ -224,12 +224,16 @@ impl Campaign {
             )));
         }
 
-        // Expected post-patch measurement, computed on a golden copy.
+        // Expected post-patch measurement, computed on a golden copy
+        // under the fleet's measurement scheme (devices running the
+        // incremental engine attest Merkle roots, so the probe's
+        // expected value must be one too).
+        let scheme = fleet.scheme();
         let mut patched_golden = golden.clone();
         patched_golden
             .load(self.config.target, &self.config.payload)
             .map_err(|e| FleetError::InvalidCampaign(e.to_string()))?;
-        let expected_after = measure_pmem(&patched_golden, &layout);
+        let expected_after = scheme.measure_pmem(&patched_golden, &layout);
 
         let waves = fleet.wave_partition(cohort, &[self.config.canary_fraction, 1.0]);
         let threads = fleet.threads();
@@ -258,6 +262,7 @@ impl Campaign {
                 target,
                 payload: &payload,
                 expected_after,
+                scheme,
                 smoke_cycles,
                 probe_nonce_base: verifier.reserve_challenge_nonces(wave_ids),
             };
@@ -359,6 +364,7 @@ impl Campaign {
         snapshots: &BTreeMap<DeviceId, PreUpdateSnapshot>,
         threads: usize,
     ) -> RollbackResult {
+        let scheme = fleet.scheme();
         let events = {
             let mut devices = fleet.devices_by_ids_mut(ids);
             parallel_map_mut(&mut devices, threads, |device| {
@@ -373,7 +379,7 @@ impl Campaign {
                 match result {
                     Ok(()) => {
                         let layout = device.device().layout();
-                        let restored = measure_pmem(&device.device().cpu().memory, layout)
+                        let restored = scheme.measure_pmem(&device.device().cpu().memory, layout)
                             == snapshot.measurement;
                         if restored {
                             vec![LedgerEvent::RolledBack {
@@ -456,6 +462,8 @@ struct WaveParams<'a> {
     payload: &'a [u8],
     /// Expected post-patch golden measurement.
     expected_after: [u8; 32],
+    /// Measurement scheme snapshots and probes are computed under.
+    scheme: MeasurementScheme,
     /// Cycle budget for the post-update smoke run.
     smoke_cycles: u64,
     /// Base of the nonce block reserved (from the verifier's challenge
@@ -499,7 +507,7 @@ fn roll_out_wave(
         let memory = &device.device().cpu().memory;
         let snapshot = PreUpdateSnapshot {
             patch_range: memory.slice(patch_start..patch_end).to_vec(),
-            measurement: measure_pmem(memory, device.device().layout()),
+            measurement: params.scheme.measure_pmem(memory, device.device().layout()),
         };
 
         match device.apply_update(&request) {

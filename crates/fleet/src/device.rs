@@ -3,7 +3,8 @@
 
 use eilid::{Device, RunOutcome};
 use eilid_casu::{
-    AttestationReport, Attestor, Challenge, DeviceKey, UpdateEngine, UpdateError, UpdateRequest,
+    merkle_measure, AttestationReport, Attestor, Challenge, DeviceKey, IncrementalMeasurer,
+    MeasurerStats, UpdateEngine, UpdateError, UpdateRequest,
 };
 use eilid_workloads::WorkloadId;
 
@@ -11,7 +12,8 @@ use eilid_workloads::WorkloadId;
 pub type DeviceId = u64;
 
 /// A fleet member: the simulated device and its device-side protocol
-/// state (update engine, attestor), all keyed with the device-unique key.
+/// state (update engine, attestor, optional incremental measurement
+/// engine), all keyed with the device-unique key.
 #[derive(Debug, Clone)]
 pub struct SimDevice {
     id: DeviceId,
@@ -19,12 +21,26 @@ pub struct SimDevice {
     device: Device,
     engine: UpdateEngine,
     attestor: Attestor,
+    /// Incremental Merkle engine over the device's PMEM range; `None`
+    /// for fleets on the flat measurement scheme. Kept coherent by the
+    /// memory's dirty-granule bits, so *any* write path — authenticated
+    /// updates, in-simulation bus writes, test-injected tampering —
+    /// invalidates the covered leaves.
+    measurer: Option<IncrementalMeasurer>,
     last_outcome: Option<RunOutcome>,
 }
 
 impl SimDevice {
-    /// Assembles a fleet member from a cloned prototype device.
-    pub(crate) fn new(id: DeviceId, cohort: WorkloadId, device: Device, key: &DeviceKey) -> Self {
+    /// Assembles a fleet member from a cloned prototype device, with an
+    /// optional prototype-built incremental measurer (cloned, like the
+    /// device, so spawning thousands of devices re-hashes nothing).
+    pub(crate) fn new(
+        id: DeviceId,
+        cohort: WorkloadId,
+        device: Device,
+        key: &DeviceKey,
+        measurer: Option<IncrementalMeasurer>,
+    ) -> Self {
         let layout = device.layout().clone();
         SimDevice {
             id,
@@ -32,6 +48,7 @@ impl SimDevice {
             device,
             engine: UpdateEngine::with_key(key, layout),
             attestor: Attestor::with_key(key),
+            measurer,
             last_outcome: None,
         }
     }
@@ -67,9 +84,33 @@ impl SimDevice {
         self.last_outcome.as_ref()
     }
 
+    /// Statistics of the incremental measurement engine, if the device
+    /// runs one.
+    pub fn measurer_stats(&self) -> Option<&MeasurerStats> {
+        self.measurer.as_ref().map(IncrementalMeasurer::stats)
+    }
+
     /// Answers an attestation challenge over the device's memory.
-    pub fn attest(&self, challenge: Challenge) -> AttestationReport {
-        self.attestor.attest(&self.device.cpu().memory, challenge)
+    ///
+    /// With an incremental engine, a challenge covering exactly the
+    /// engine's range is served from the maintained tree (re-hashing
+    /// only dirty leaves); other ranges are measured from scratch under
+    /// the same Merkle scheme so verifier and device always agree on
+    /// the digest algorithm. Flat-scheme devices hash the range flat.
+    pub fn attest(&mut self, challenge: Challenge) -> AttestationReport {
+        match &mut self.measurer {
+            Some(measurer) if measurer.covers(challenge.start, challenge.end) => {
+                let measurement = measurer.root(&mut self.device.cpu_mut().memory);
+                self.attestor.report(challenge, measurement)
+            }
+            Some(_) => {
+                let start = challenge.start.min(challenge.end);
+                let end = challenge.start.max(challenge.end);
+                let measurement = merkle_measure(&self.device.cpu().memory, start, end);
+                self.attestor.report(challenge, measurement)
+            }
+            None => self.attestor.attest(&self.device.cpu().memory, challenge),
+        }
     }
 
     /// Verifies and applies an authenticated update through the CASU

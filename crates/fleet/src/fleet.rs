@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 
 use eilid::{DeviceBuilder, RunOutcome};
-use eilid_casu::{DeviceKey, MemoryLayout};
+use eilid_casu::{DeviceKey, IncrementalMeasurer, MeasurementScheme, MemoryLayout};
 use eilid_msp430::Memory;
 use eilid_workloads::WorkloadId;
 
@@ -30,6 +30,7 @@ pub struct FleetBuilder {
     devices: usize,
     threads: usize,
     workloads: Vec<WorkloadId>,
+    scheme: MeasurementScheme,
 }
 
 impl FleetBuilder {
@@ -40,6 +41,7 @@ impl FleetBuilder {
             devices: 16,
             threads: 4,
             workloads: WorkloadId::ALL.to_vec(),
+            scheme: MeasurementScheme::Merkle,
         }
     }
 
@@ -60,6 +62,16 @@ impl FleetBuilder {
     /// default: all seven paper workloads).
     pub fn workloads(mut self, workloads: &[WorkloadId]) -> Self {
         self.workloads = workloads.to_vec();
+        self
+    }
+
+    /// Sets the measurement scheme devices and verifier agree on
+    /// (default: [`MeasurementScheme::Merkle`], the incremental engine;
+    /// [`MeasurementScheme::FlatSha256`] re-hashes the full PMEM range
+    /// per challenge and exists for protocol compatibility and as the
+    /// bench baseline).
+    pub fn measurement(mut self, scheme: MeasurementScheme) -> Self {
+        self.scheme = scheme;
         self
     }
 
@@ -87,7 +99,21 @@ impl FleetBuilder {
         let mut cohorts = BTreeMap::new();
         for &id in &self.workloads {
             let workload = id.workload();
-            let prototype = builder.build_eilid(&workload.source)?;
+            let mut prototype = builder.build_eilid(&workload.source)?;
+            // Build the cohort's Merkle tree once, on the prototype;
+            // every cloned device starts from the same (clean) memory, so
+            // the measurer clones along with it instead of re-hashing
+            // 6 KiB per device.
+            let measurer = match self.scheme {
+                MeasurementScheme::Merkle => {
+                    let layout = prototype.layout().clone();
+                    Some(IncrementalMeasurer::for_pmem(
+                        &mut prototype.cpu_mut().memory,
+                        &layout,
+                    ))
+                }
+                MeasurementScheme::FlatSha256 => None,
+            };
             cohorts.insert(
                 id,
                 Cohort {
@@ -95,16 +121,22 @@ impl FleetBuilder {
                     layout: prototype.layout().clone(),
                 },
             );
-            prototypes.push((id, prototype));
+            prototypes.push((id, prototype, measurer));
         }
 
         let mut ledger = Ledger::default();
         let mut devices = Vec::with_capacity(self.devices);
         for index in 0..self.devices {
-            let (cohort, prototype) = &prototypes[index % prototypes.len()];
+            let (cohort, prototype, measurer) = &prototypes[index % prototypes.len()];
             let id = index as DeviceId;
             let key = self.root.derive(id);
-            devices.push(SimDevice::new(id, *cohort, prototype.clone(), &key));
+            devices.push(SimDevice::new(
+                id,
+                *cohort,
+                prototype.clone(),
+                &key,
+                measurer.clone(),
+            ));
             ledger.record(LedgerEvent::Enrolled {
                 device: id,
                 cohort: *cohort,
@@ -117,6 +149,7 @@ impl FleetBuilder {
             // The executor runs inline below one thread; clamp so reports
             // never claim "0 threads".
             threads: self.threads.max(1),
+            scheme: self.scheme,
             ledger,
         };
         let verifier = crate::Verifier::enroll(self.root, &fleet);
@@ -143,6 +176,7 @@ pub struct Fleet {
     devices: Vec<SimDevice>,
     cohorts: BTreeMap<WorkloadId, Cohort>,
     threads: usize,
+    scheme: MeasurementScheme,
     ledger: Ledger,
 }
 
@@ -160,6 +194,11 @@ impl Fleet {
     /// Worker-thread count used for fleet-wide operations.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The measurement scheme this fleet's devices and verifier agree on.
+    pub fn scheme(&self) -> MeasurementScheme {
+        self.scheme
     }
 
     /// The devices, in id order.

@@ -12,8 +12,19 @@
 //!   prototype, so spinning up thousands of devices stays cheap.
 //! * [`Verifier`] — issues batched attestation challenges across the
 //!   fleet, verifies the reports on a multi-threaded scheduler
-//!   (`std::thread::scope` + chunked work lists, no async runtime) and
-//!   aggregates per-device health into a [`FleetReport`].
+//!   (`std::thread::scope` + per-worker shards, no async runtime) and
+//!   aggregates per-device health into a [`FleetReport`]. Sweep state is
+//!   sharded by `device_id % threads`, and each shard caches the device
+//!   keys it has derived, so key derivation happens once per device ever
+//!   rather than once per sweep.
+//! * incremental measurement — by default
+//!   ([`eilid_casu::MeasurementScheme::Merkle`]) devices answer
+//!   challenges from an [`eilid_casu::IncrementalMeasurer`]: a chunked
+//!   Merkle tree over PMEM kept coherent by the simulated bus's
+//!   dirty-granule tracking, so a sweep over a clean fleet re-hashes
+//!   nothing and a patched device re-hashes only the patched leaves.
+//!   [`FleetBuilder::measurement`] selects the flat SHA-256 scheme for
+//!   comparison benches and legacy compatibility.
 //! * [`Campaign`] — drives staged OTA rollouts (canary wave → full wave)
 //!   through the authenticated-update protocol
 //!   ([`eilid_casu::UpdateAuthority`] / [`eilid_casu::UpdateEngine`]),
@@ -67,6 +78,7 @@ pub mod verifier;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignOutcome, CampaignReport, WaveReport};
 pub use device::{DeviceId, SimDevice};
+pub use eilid_casu::MeasurementScheme;
 pub use error::FleetError;
 pub use fleet::{Fleet, FleetBuilder, SliceReport};
 pub use report::{DeviceHealth, FleetReport, HealthClass, Ledger, LedgerEvent};

@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
 
-use eilid_casu::{AttestError, UpdateError, Violation};
+use eilid_casu::{AttestError, MeasurementScheme, UpdateError, Violation};
 use eilid_workloads::WorkloadId;
 
 use crate::device::DeviceId;
@@ -62,8 +62,11 @@ pub struct FleetReport {
     pub missing: Vec<DeviceId>,
     /// Wall-clock time for the sweep (challenge, report, verify).
     pub elapsed: Duration,
-    /// Worker threads used.
+    /// Worker threads that actually processed devices (≤ the fleet's
+    /// configured thread count; subset sweeps may use fewer shards).
     pub threads: usize,
+    /// Measurement scheme the sweep's reports were verified under.
+    pub scheme: MeasurementScheme,
 }
 
 impl FleetReport {
@@ -107,7 +110,8 @@ impl fmt::Display for FleetReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "fleet attestation sweep: {} devices in {:.3}s on {} thread(s) ({:.0} devices/s)",
+            "fleet attestation sweep [{}]: {} devices in {:.3}s on {} thread(s) ({:.0} devices/s)",
+            self.scheme,
             self.devices.len(),
             self.elapsed.as_secs_f64(),
             self.threads,

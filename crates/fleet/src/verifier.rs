@@ -1,14 +1,14 @@
-//! The fleet verifier: batched attestation sweeps and measurement
-//! bookkeeping.
+//! The fleet verifier: batched attestation sweeps, sharded per-worker
+//! sweep state with cached device keys, and measurement bookkeeping.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::thread;
 use std::time::Instant;
 
-use eilid_casu::{measure_pmem, AttestError, AttestationVerifier, DeviceKey};
+use eilid_casu::{AttestError, AttestationVerifier, DeviceKey, MeasurementScheme};
 use eilid_workloads::WorkloadId;
 
-use crate::device::DeviceId;
-use crate::exec::parallel_map_mut;
+use crate::device::{DeviceId, SimDevice};
 use crate::fleet::Fleet;
 use crate::report::{DeviceHealth, FleetReport, HealthClass, LedgerEvent};
 
@@ -20,29 +20,55 @@ struct MeasurementHistory {
     previous: Vec<[u8; 32]>,
 }
 
+/// Per-worker sweep state. Devices are assigned to shards by
+/// `id % shard_count`, which is stable across sweeps, so a shard's key
+/// cache keeps hitting for the same devices sweep after sweep and no
+/// cross-thread synchronisation is ever needed: each worker thread owns
+/// exactly one shard for the duration of a sweep.
+#[derive(Debug, Clone, Default)]
+struct SweepShard {
+    /// Device keys derived once from the fleet root, then reused.
+    keys: HashMap<DeviceId, DeviceKey>,
+}
+
+impl SweepShard {
+    /// The cached (or newly derived and cached) key of `device`.
+    fn key(&mut self, root: &DeviceKey, device: DeviceId) -> &DeviceKey {
+        self.keys
+            .entry(device)
+            .or_insert_with(|| root.derive(device))
+    }
+}
+
 /// The trusted fleet verifier.
 ///
-/// Holds the fleet root key (from which every device key is re-derived
-/// on demand), the per-cohort golden measurements, and the per-device
-/// update-authority state (freshness nonces).
+/// Holds the fleet root key (from which every device key is derived,
+/// then cached in per-worker shards), the per-cohort golden
+/// measurements, the measurement scheme the fleet was enrolled under,
+/// and the challenge-nonce state.
 #[derive(Debug, Clone)]
 pub struct Verifier {
     root: DeviceKey,
     expected: BTreeMap<WorkloadId, MeasurementHistory>,
+    scheme: MeasurementScheme,
+    shards: Vec<SweepShard>,
     next_nonce: u64,
 }
 
 impl Verifier {
-    /// Enrolls a fleet: records each cohort's golden measurement, taken
-    /// over the layout the cohort's devices were actually built with.
+    /// Enrolls a fleet: records each cohort's golden measurement (under
+    /// the fleet's measurement scheme, over the layout the cohort's
+    /// devices were actually built with) and sizes one sweep shard per
+    /// fleet worker thread.
     pub(crate) fn enroll(root: DeviceKey, fleet: &Fleet) -> Self {
+        let scheme = fleet.scheme();
         let mut expected = BTreeMap::new();
         for cohort in fleet.cohort_ids() {
             let state = fleet.cohort(cohort).expect("cohort exists");
             expected.insert(
                 cohort,
                 MeasurementHistory {
-                    current: measure_pmem(&state.golden, &state.layout),
+                    current: scheme.measure_pmem(&state.golden, &state.layout),
                     previous: Vec::new(),
                 },
             );
@@ -50,6 +76,8 @@ impl Verifier {
         Verifier {
             root,
             expected,
+            scheme,
+            shards: vec![SweepShard::default(); fleet.threads()],
             next_nonce: 1,
         }
     }
@@ -57,6 +85,16 @@ impl Verifier {
     /// Re-derives the key of `device` from the fleet root.
     pub fn device_key(&self, device: DeviceId) -> DeviceKey {
         self.root.derive(device)
+    }
+
+    /// The measurement scheme this verifier checks reports against.
+    pub fn scheme(&self) -> MeasurementScheme {
+        self.scheme
+    }
+
+    /// Number of device keys currently cached across all sweep shards.
+    pub fn cached_keys(&self) -> usize {
+        self.shards.iter().map(|s| s.keys.len()).sum()
     }
 
     /// The fleet root key (campaigns derive per-device authorities from
@@ -114,56 +152,121 @@ impl Verifier {
         }
     }
 
+    /// Challenges and classifies one device against `shard`'s cached
+    /// state. The report's measurement is *never* trusted from cache on
+    /// the verifier side: only keys (immutable per device) are cached;
+    /// classification always uses the fresh report.
+    fn check_device(
+        shard: &mut SweepShard,
+        root: &DeviceKey,
+        expected: &BTreeMap<WorkloadId, MeasurementHistory>,
+        nonce_base: u64,
+        device: &mut SimDevice,
+    ) -> DeviceHealth {
+        let key = shard.key(root, device.id());
+        let verifier = AttestationVerifier::with_key(key);
+        // Offset nonces so no two devices ever share one.
+        let challenge = verifier.challenge_pmem(device.device().layout(), nonce_base + device.id());
+        let report = device.attest(challenge);
+        let verified = verifier.verify(&challenge, &report, None);
+        let (class, error) = match expected.get(&device.cohort()) {
+            Some(history) => Verifier::classify(history, verified, &report.measurement),
+            // A cohort this verifier never enrolled (a foreign
+            // fleet): there is nothing to verify against.
+            None => (HealthClass::Unverified, None),
+        };
+        DeviceHealth {
+            device: device.id(),
+            cohort: device.cohort(),
+            class,
+            error,
+        }
+    }
+
     /// Issues one batched attestation sweep across the whole fleet.
     ///
     /// Every device gets a fresh challenge over its full application PMEM
-    /// range; reports are produced and verified on the fleet's worker
-    /// pool; flagged devices are recorded in the fleet ledger.
+    /// range. Devices are partitioned into per-worker shards by
+    /// `id % shards`; each worker owns its shard's key cache for the
+    /// sweep, so keys are derived once per device *ever*, not once per
+    /// sweep. Flagged devices are recorded in the fleet ledger.
     pub fn sweep(&mut self, fleet: &mut Fleet) -> FleetReport {
         let ids: Vec<DeviceId> = fleet.devices().iter().map(|d| d.id()).collect();
         self.sweep_devices(fleet, &ids)
     }
 
     /// Issues a batched attestation sweep over a subset of devices.
+    ///
+    /// Shard assignment is `id % shards` — stable across sweeps so key
+    /// caches keep hitting, and evenly balanced for dense id sets (the
+    /// whole-fleet sweep). A subset whose ids all share one residue
+    /// collapses onto a single worker; the report's `threads` field
+    /// records the workers that actually ran, not the configured count.
     pub fn sweep_devices(&mut self, fleet: &mut Fleet, ids: &[DeviceId]) -> FleetReport {
         let nonce_base = self.reserve_challenge_nonces(ids);
-        // Shared borrows are enough for the worker closure: the mutable
-        // borrow of `self` ended with reserve_nonces, and `fleet` is a
-        // separate borrow.
-        let root = &self.root;
-        let expected = &self.expected;
-        let threads = fleet.threads();
+        let shard_count = self.shards.len().max(1);
+        let scheme = self.scheme;
+
+        // Partition the targets into shards by stable id hash, so each
+        // device lands in the same shard (same key cache) every sweep.
+        let mut shard_targets: Vec<Vec<&mut SimDevice>> =
+            (0..shard_count).map(|_| Vec::new()).collect();
+        let targets = fleet.devices_by_ids_mut(ids);
+        let challenged: std::collections::BTreeSet<DeviceId> =
+            targets.iter().map(|d| d.id()).collect();
+        for device in targets {
+            let shard = (device.id() % shard_count as u64) as usize;
+            shard_targets[shard].push(device);
+        }
+        let threads = shard_targets
+            .iter()
+            .filter(|targets| !targets.is_empty())
+            .count()
+            .max(1);
 
         let start = Instant::now();
-        let mut targets = fleet.devices_by_ids_mut(ids);
-        let healths: Vec<DeviceHealth> = parallel_map_mut(&mut targets, threads, |device| {
-            let key = root.derive(device.id());
-            let verifier = AttestationVerifier::with_key(&key);
-            // Offset nonces so no two devices ever share one.
-            let challenge =
-                verifier.challenge_pmem(device.device().layout(), nonce_base + device.id());
-            let report = device.attest(challenge);
-            let verified = verifier.verify(&challenge, &report, None);
-            let (class, error) = match expected.get(&device.cohort()) {
-                Some(history) => Verifier::classify(history, verified, &report.measurement),
-                // A cohort this verifier never enrolled (a foreign
-                // fleet): there is nothing to verify against.
-                None => (HealthClass::Unverified, None),
-            };
-            DeviceHealth {
-                device: device.id(),
-                cohort: device.cohort(),
-                class,
-                error,
-            }
-        });
+        let root = &self.root;
+        let expected = &self.expected;
+        let mut healths: Vec<DeviceHealth> = if shard_count == 1 {
+            let shard = &mut self.shards[0];
+            shard_targets
+                .pop()
+                .expect("one shard")
+                .into_iter()
+                .map(|device| Self::check_device(shard, root, expected, nonce_base, device))
+                .collect()
+        } else {
+            // One scoped worker per (non-empty) shard; each exclusively
+            // owns its shard state, so the only shared data is read-only.
+            thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .zip(shard_targets)
+                    .filter(|(_, targets)| !targets.is_empty())
+                    .map(|(shard, targets)| {
+                        scope.spawn(move || {
+                            targets
+                                .into_iter()
+                                .map(|device| {
+                                    Self::check_device(shard, root, expected, nonce_base, device)
+                                })
+                                .collect::<Vec<DeviceHealth>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|handle| handle.join().expect("sweep shard thread panicked"))
+                    .collect()
+            })
+        };
         let elapsed = start.elapsed();
-        drop(targets);
+        // Shard partitioning interleaves ids; reports stay in id order.
+        healths.sort_by_key(|h| h.device);
 
         // Ids that matched no device were never challenged; surface them
         // rather than letting the report silently shrink.
-        let challenged: std::collections::BTreeSet<DeviceId> =
-            healths.iter().map(|h| h.device).collect();
         let missing: Vec<DeviceId> = ids
             .iter()
             .copied()
@@ -183,6 +286,7 @@ impl Verifier {
             missing,
             elapsed,
             threads,
+            scheme,
         }
     }
 }

@@ -377,6 +377,86 @@ fn bad_campaign_halts_on_the_canary_wave_and_rolls_back() {
 }
 
 /// The acceptance-scale test: ≥ 1 000 heterogeneous devices, a full
+/// A partially-updated cohort must be reported `Stale`, not `Tampered`
+/// (and not `Attested`): devices running the *previous* golden firmware
+/// are authentic but missed the update.
+///
+/// The partial cohort is built the way an operator would: a completed
+/// campaign promotes the new golden, then an authorized per-device
+/// downgrade (e.g. triaging a field regression) returns a few devices to
+/// the previous image through the authenticated update path.
+#[test]
+fn partially_updated_cohort_reports_stale_not_tampered() {
+    let (mut fleet, mut verifier) = FleetBuilder::new(root_key())
+        .devices(10)
+        .threads(2)
+        .workloads(&[WorkloadId::LightSensor])
+        .build()
+        .unwrap();
+
+    // The bytes the previous firmware holds in the patch range.
+    let span = usize::from(BENIGN_PATCH_TARGET)..usize::from(BENIGN_PATCH_TARGET) + 8;
+    let old_bytes: Vec<u8> = fleet.devices()[0]
+        .device()
+        .cpu()
+        .memory
+        .slice(span)
+        .to_vec();
+
+    // Everyone updates; the patched image becomes golden, the previous
+    // image is demoted to "stale but authentic".
+    let config = CampaignConfig::new(WorkloadId::LightSensor, BENIGN_PATCH_TARGET, benign_patch());
+    let report = Campaign::new(config)
+        .unwrap()
+        .run(&mut fleet, &mut verifier)
+        .unwrap();
+    assert_eq!(report.outcome, CampaignOutcome::Completed { updated: 10 });
+
+    // Authorized downgrade of three devices back to the previous bytes.
+    let downgraded = [1u64, 4, 7];
+    for &id in &downgraded {
+        let key = verifier.device_key(id);
+        let device = &mut fleet.devices_mut()[id as usize];
+        let mut authority =
+            UpdateAuthority::with_key_resuming(&key, device.engine().last_nonce() + 1);
+        let request = authority.authorize(BENIGN_PATCH_TARGET, &old_bytes);
+        device.apply_update(&request).unwrap();
+        device.reboot();
+    }
+
+    // The sweep distinguishes all three classes correctly: downgraded
+    // devices are stale (authentic previous firmware), the rest attest
+    // against the new golden, and nothing is misreported as tampered.
+    let sweep = verifier.sweep(&mut fleet);
+    assert_eq!(sweep.count(HealthClass::Attested), 7);
+    assert_eq!(sweep.devices_in(HealthClass::Stale), downgraded);
+    assert_eq!(sweep.count(HealthClass::Tampered), 0);
+    assert_eq!(sweep.count(HealthClass::Unverified), 0);
+
+    // Stale devices are flagged in the ledger for operator follow-up.
+    for &id in &downgraded {
+        assert!(fleet.ledger().events().iter().any(|e| matches!(
+            e,
+            LedgerEvent::AttestationFlagged {
+                device,
+                class: HealthClass::Stale
+            } if *device == id
+        )));
+    }
+
+    // A stale device differs from a tampered one: flip a byte on one
+    // downgraded device and it stops being stale.
+    {
+        let device = &mut fleet.devices_mut()[4];
+        let memory = &mut device.device_mut().cpu_mut().memory;
+        let original = memory.read_byte(0xE030);
+        memory.write_byte(0xE030, original ^ 0x01);
+    }
+    let sweep = verifier.sweep(&mut fleet);
+    assert_eq!(sweep.devices_in(HealthClass::Stale), vec![1, 7]);
+    assert_eq!(sweep.devices_in(HealthClass::Tampered), vec![4]);
+}
+
 /// attestation sweep, a staged OTA campaign with an injected bad wave
 /// (halts + rolls back), a good campaign (completes), and tampered
 /// devices flagged — all in well under 60 s in release mode.

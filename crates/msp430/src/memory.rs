@@ -13,6 +13,19 @@ use serde::{Deserialize, Serialize};
 /// Total size of the MSP430 address space in bytes.
 pub const ADDRESS_SPACE: usize = 0x1_0000;
 
+/// Size of one dirty-tracking granule in bytes.
+///
+/// Every mutation of memory contents — CPU bus writes, image loads,
+/// fills — marks the covering granule(s) dirty. This models what the
+/// CASU hardware monitor sees for free: all writes travel over the bus,
+/// so "which 64-byte lines changed since the last measurement" is
+/// observable without any software cooperation. Incremental measurement
+/// engines (see `eilid_casu::merkle`) consume and clear these bits.
+pub const DIRTY_GRANULE: usize = 64;
+
+/// Number of dirty-tracking granules covering the address space.
+pub const GRANULE_COUNT: usize = ADDRESS_SPACE / DIRTY_GRANULE;
+
 /// Address of the reset vector (the last word of the interrupt vector table).
 pub const RESET_VECTOR: u16 = 0xFFFE;
 
@@ -72,6 +85,10 @@ impl std::error::Error for LoadImageError {}
 pub struct Memory {
     #[serde(with = "serde_bytes_array")]
     bytes: Vec<u8>,
+    /// One bit per [`DIRTY_GRANULE`]-byte line, set by every content
+    /// mutation since the bits were last cleared. `GRANULE_COUNT` bits
+    /// packed into `u64` words.
+    dirty: Vec<u64>,
 }
 
 // Unused under the vendored stub serde, whose derive ignores
@@ -95,6 +112,7 @@ impl Memory {
     pub fn new() -> Self {
         Memory {
             bytes: vec![0; ADDRESS_SPACE],
+            dirty: vec![0; GRANULE_COUNT / 64],
         }
     }
 
@@ -105,7 +123,67 @@ impl Memory {
 
     /// Writes one byte.
     pub fn write_byte(&mut self, addr: u16, value: u8) {
-        self.bytes[usize::from(addr)] = value;
+        let addr = usize::from(addr);
+        self.bytes[addr] = value;
+        let granule = addr / DIRTY_GRANULE;
+        self.dirty[granule / 64] |= 1 << (granule % 64);
+    }
+
+    /// Marks every granule overlapping `start..end` (byte addresses,
+    /// half-open) dirty.
+    fn mark_dirty_range(&mut self, start: usize, end: usize) {
+        if end <= start {
+            return;
+        }
+        let first = start / DIRTY_GRANULE;
+        let last = (end - 1) / DIRTY_GRANULE;
+        for granule in first..=last {
+            self.dirty[granule / 64] |= 1 << (granule % 64);
+        }
+    }
+
+    /// The index of the granule covering byte address `addr`.
+    pub fn granule_of(addr: u16) -> usize {
+        usize::from(addr) / DIRTY_GRANULE
+    }
+
+    /// `true` if granule `granule` has been written since its dirty bit
+    /// was last cleared.
+    pub fn granule_dirty(&self, granule: usize) -> bool {
+        self.dirty[granule / 64] & (1 << (granule % 64)) != 0
+    }
+
+    /// Indices of the dirty granules overlapping the byte range
+    /// `start..end` (half-open), in ascending order.
+    pub fn dirty_granules_in(&self, start: usize, end: usize) -> Vec<usize> {
+        if end <= start {
+            return Vec::new();
+        }
+        let first = start / DIRTY_GRANULE;
+        let last = (end - 1).min(ADDRESS_SPACE - 1) / DIRTY_GRANULE;
+        (first..=last)
+            .filter(|&granule| self.granule_dirty(granule))
+            .collect()
+    }
+
+    /// Clears the dirty bits of the granules lying *fully inside*
+    /// `start..end` (half-open byte range). A granule straddling either
+    /// boundary is deliberately left dirty: its bytes are shared with
+    /// whatever watches the adjacent range, and clearing it here would
+    /// make that consumer miss a write. Consumers of unaligned ranges
+    /// therefore see their boundary granules stay dirty (and re-check
+    /// them conservatively) rather than ever observing a lost write.
+    pub fn clear_dirty_in(&mut self, start: usize, end: usize) {
+        if end <= start {
+            return;
+        }
+        let end = end.min(ADDRESS_SPACE);
+        // Round start up and end down to granule boundaries.
+        let first = start.div_ceil(DIRTY_GRANULE);
+        let last = end / DIRTY_GRANULE;
+        for granule in first..last {
+            self.dirty[granule / 64] &= !(1 << (granule % 64));
+        }
     }
 
     /// Reads a little-endian word. The address is aligned down to an even
@@ -138,6 +216,7 @@ impl Memory {
             });
         }
         self.bytes[usize::from(base)..end].copy_from_slice(image);
+        self.mark_dirty_range(usize::from(base), end);
         Ok(())
     }
 
@@ -167,7 +246,8 @@ impl Memory {
     ///
     /// Panics if the range end exceeds the 64 KiB address space.
     pub fn fill(&mut self, range: Range<usize>, value: u8) {
-        self.bytes[range].fill(value);
+        self.bytes[range.clone()].fill(value);
+        self.mark_dirty_range(range.start, range.end);
     }
 }
 
@@ -247,6 +327,53 @@ mod tests {
         mem.fill(0x0200..0x0210, 0xAA);
         assert!(mem.slice(0x0200..0x0210).iter().all(|&b| b == 0xAA));
         assert_eq!(mem.read_byte(0x0210), 0);
+    }
+
+    #[test]
+    fn writes_mark_granules_dirty_and_clear_resets_them() {
+        let mut mem = Memory::new();
+        mem.clear_dirty_in(0, ADDRESS_SPACE);
+        assert!(mem.dirty_granules_in(0, ADDRESS_SPACE).is_empty());
+
+        mem.write_byte(0xE010, 0xAA);
+        assert!(mem.granule_dirty(Memory::granule_of(0xE010)));
+        assert_eq!(
+            mem.dirty_granules_in(0xE000, 0xF800),
+            vec![Memory::granule_of(0xE000)]
+        );
+        // Writes outside the queried range do not show up in it.
+        mem.write_word(0x0200, 0xBEEF);
+        assert_eq!(mem.dirty_granules_in(0xE000, 0xF800).len(), 1);
+
+        mem.clear_dirty_in(0xE000, 0xF800);
+        assert!(mem.dirty_granules_in(0xE000, 0xF800).is_empty());
+        // The DMEM write's bit survives a clear of a disjoint range.
+        assert!(mem.granule_dirty(Memory::granule_of(0x0200)));
+    }
+
+    #[test]
+    fn load_and_fill_mark_every_covered_granule() {
+        let mut mem = Memory::new();
+        mem.clear_dirty_in(0, ADDRESS_SPACE);
+        // A load straddling a granule boundary dirties both granules.
+        mem.load(0xE03E, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(
+            mem.dirty_granules_in(0xE000, 0xE100),
+            vec![Memory::granule_of(0xE000), Memory::granule_of(0xE040)]
+        );
+        mem.clear_dirty_in(0, ADDRESS_SPACE);
+        mem.fill(0x0200..0x0300, 0xAA);
+        assert_eq!(mem.dirty_granules_in(0, ADDRESS_SPACE).len(), 4);
+    }
+
+    #[test]
+    fn same_value_writes_are_conservatively_dirty() {
+        // The tracker watches bus writes, not content diffs: rewriting
+        // the value already stored still marks the granule.
+        let mut mem = Memory::new();
+        assert!(mem.dirty_granules_in(0, ADDRESS_SPACE).is_empty());
+        mem.write_byte(0x0200, 0);
+        assert!(mem.granule_dirty(Memory::granule_of(0x0200)));
     }
 
     #[test]

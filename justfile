@@ -26,6 +26,17 @@ fleet-smoke:
 fleet-scale:
     cargo test --release -p eilid_fleet -- --include-ignored thousand
 
+# Flat-vs-incremental sweep throughput at 1 000 devices; writes
+# BENCH_fleet.json (the recorded perf baseline) and fails below the
+# accepted 3x incremental speedup.
+fleet-bench:
+    cargo run --release -p eilid_bench --bin fleet -- --min-speedup 3
+
+# CI-sized head-to-head only (no matrix), still release mode, gating on
+# the same 3x speedup floor.
+fleet-bench-smoke:
+    cargo run --release -p eilid_bench --bin fleet -- --quick --json /tmp/BENCH_fleet.json --min-speedup 3
+
 fmt:
     cargo fmt --all --check
 

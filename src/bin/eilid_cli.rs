@@ -9,16 +9,20 @@
 //! eilid-cli attack <workload> <attack>     inject a threat-model attack on a protected device
 //! eilid-cli fleet run [--devices N] [--threads N] [--cycles N]
 //!                                          simulate a fleet slice and print health counts
-//! eilid-cli fleet attest [--devices N] [--threads N]
+//! eilid-cli fleet attest [--devices N] [--threads N] [--flat] [--sweeps N]
 //!                                          batched attestation sweep + throughput
 //! eilid-cli fleet campaign [--devices N] [--threads N] [--inject-bad]
 //!                                          staged OTA campaign (canary → full)
 //! ```
+//!
+//! Fleet subcommands default to the incremental Merkle measurement
+//! scheme; `--flat` selects the legacy full-range SHA-256 per challenge
+//! (the bench baseline).
 
 use std::process::ExitCode;
 
 use eilid::{DeviceBuilder, EilidConfig, InstrumentedBuild, Runtime};
-use eilid_casu::{CasuPolicy, DeviceKey, MemoryLayout};
+use eilid_casu::{CasuPolicy, DeviceKey, MeasurementScheme, MemoryLayout};
 use eilid_fleet::{Campaign, CampaignConfig, CampaignOutcome, Fleet, FleetBuilder, Verifier};
 use eilid_msp430::render_disassembly;
 use eilid_workloads::{CfiAttack, WorkloadId};
@@ -50,7 +54,7 @@ fn main() -> ExitCode {
 fn print_usage() {
     println!(
         "eilid-cli — EILID (DATE 2025) reproduction\n\n\
-         USAGE:\n  eilid-cli instrument <app.s>\n  eilid-cli run <app.s> [--protect] [--max-cycles N]\n  eilid-cli disasm <app.s>\n  eilid-cli workloads\n  eilid-cli attack <workload> <attack>\n  eilid-cli fleet run [--devices N] [--threads N] [--cycles N]\n  eilid-cli fleet attest [--devices N] [--threads N]\n  eilid-cli fleet campaign [--devices N] [--threads N] [--inject-bad]\n\n\
+         USAGE:\n  eilid-cli instrument <app.s>\n  eilid-cli run <app.s> [--protect] [--max-cycles N]\n  eilid-cli disasm <app.s>\n  eilid-cli workloads\n  eilid-cli attack <workload> <attack>\n  eilid-cli fleet run [--devices N] [--threads N] [--cycles N]\n  eilid-cli fleet attest [--devices N] [--threads N] [--flat] [--sweeps N]\n  eilid-cli fleet campaign [--devices N] [--threads N] [--inject-bad]\n\n\
          Attacks: return-address, isr-context, indirect-call, code-injection"
     );
 }
@@ -231,10 +235,16 @@ fn parse_flag_value(args: &[String], flag: &str, default: u64) -> Result<u64, St
 fn build_fleet(args: &[String]) -> Result<(Fleet, Verifier), String> {
     let devices = parse_flag_value(args, "--devices", 64)? as usize;
     let threads = parse_flag_value(args, "--threads", 4)? as usize;
+    let scheme = if args.iter().any(|a| a == "--flat") {
+        MeasurementScheme::FlatSha256
+    } else {
+        MeasurementScheme::Merkle
+    };
     let root = DeviceKey::new(FLEET_DEMO_ROOT).map_err(|e| e.to_string())?;
     FleetBuilder::new(root)
         .devices(devices)
         .threads(threads)
+        .measurement(scheme)
         .build()
         .map_err(|e| e.to_string())
 }
@@ -265,8 +275,15 @@ fn cmd_fleet_run(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_fleet_attest(args: &[String]) -> Result<(), String> {
+    let sweeps = parse_flag_value(args, "--sweeps", 1)?.max(1);
     let (mut fleet, mut verifier) = build_fleet(args)?;
-    let report = verifier.sweep(&mut fleet);
+    // With `--sweeps N` the later sweeps show the steady-state cost:
+    // warm verifier key caches and (on the merkle scheme) cache-served
+    // device roots.
+    let mut report = verifier.sweep(&mut fleet);
+    for _ in 1..sweeps {
+        report = verifier.sweep(&mut fleet);
+    }
     print!("{report}");
     for (cohort, classes) in report.by_cohort() {
         let line: Vec<String> = classes
@@ -274,6 +291,14 @@ fn cmd_fleet_attest(args: &[String]) -> Result<(), String> {
             .map(|(class, count)| format!("{class}={count}"))
             .collect();
         println!("  {cohort:<18} {}", line.join(" "));
+    }
+    if sweeps > 1 {
+        println!(
+            "  (sweep {} of {}; {} device keys cached)",
+            sweeps,
+            sweeps,
+            verifier.cached_keys()
+        );
     }
     Ok(())
 }
