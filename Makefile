@@ -1,6 +1,6 @@
 # Convenience targets; `just` users get the same recipes from ./justfile.
 
-.PHONY: build test test-workspace bench-smoke fleet-smoke fleet-scale fleet-bench fleet-bench-smoke fmt clippy ci
+.PHONY: build test test-workspace bench-smoke fleet-smoke fleet-scale fleet-bench fleet-bench-smoke net-scale net-smoke net-bench net-bench-smoke fmt clippy ci
 
 build:
 	cargo build --release
@@ -38,6 +38,37 @@ fleet-bench:
 # the same 3x speedup floor.
 fleet-bench-smoke:
 	cargo run --release -p eilid_bench --bin fleet -- --quick --json /tmp/BENCH_fleet.json --min-speedup 3
+
+# The 1 000-device networked sweep over loopback TCP (release mode).
+net-scale:
+	cargo test --release -p eilid_net -- --include-ignored thousand
+
+# Two-terminal demo collapsed into one: serve a gateway in the
+# background and drive the fleet against it. Connect retries while the
+# server comes up; a failed run kills the background server instead of
+# orphaning it (which would hold the port for the next run).
+net-smoke: build
+	@./target/release/eilid-cli fleet serve --addr 127.0.0.1:4810 --devices 64 --threads 4 & \
+	SERVE=$$!; ok=1; \
+	for attempt in 1 2 3 4 5 6 7 8 9 10; do \
+		sleep 1; \
+		if ./target/release/eilid-cli fleet connect --addr 127.0.0.1:4810 --devices 64 --clients 4; then ok=0; break; fi; \
+	done; \
+	if [ $$ok -eq 0 ]; then wait $$SERVE; else kill $$SERVE 2>/dev/null; echo "net-smoke: connect never succeeded"; exit 1; fi
+
+# Persistent-pool vs scoped-thread sweeps and in-memory vs loopback
+# transports at 1 000 devices; writes BENCH_net.json (the recorded perf
+# baseline) and fails if the pool regresses below the scoped baseline.
+# The gate carries a 5% noise margin: best-of-5 runs land at 0.99-1.07x
+# on a single-core box, where the two schedulers are equivalent by
+# construction and only spawn overhead separates them.
+net-bench:
+	cargo run --release -p eilid_bench --bin net -- --min-pool-ratio 0.95
+
+# CI-sized smoke (smaller fleet, still release mode); the pool-ratio
+# gate is loosened to 0.85 to tolerate shared-runner noise.
+net-bench-smoke:
+	cargo run --release -p eilid_bench --bin net -- --quick --json /tmp/BENCH_net.json --min-pool-ratio 0.85
 
 fmt:
 	cargo fmt --all --check

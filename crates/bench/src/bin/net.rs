@@ -1,0 +1,106 @@
+//! Networked attestation throughput scenario.
+//!
+//! Measures (1) the persistent worker pool against the retained
+//! `thread::scope` baseline on in-memory sweeps, and (2) full-protocol
+//! networked sweeps over the in-memory pipe and loopback TCP, then
+//! writes `BENCH_net.json` — the recorded perf baseline later PRs
+//! regress against.
+//!
+//! ```text
+//! net [--devices N] [--threads N] [--clients N] [--json PATH]
+//!     [--min-pool-ratio X] [--quick]
+//! ```
+//!
+//! `--quick` runs a smaller configuration (the CI smoke mode) and does
+//! not write the baseline unless `--json` is explicit.
+//! `--min-pool-ratio X` exits non-zero when the pool falls below `X`
+//! times the scoped baseline's throughput — the regression gate for
+//! "the persistent pool is no slower than per-sweep spawning".
+
+use std::process::ExitCode;
+
+use eilid_bench::net::{compare_schedulers, measure_transport_sweeps, render_net_bench_json};
+
+/// Parses `--flag value`; a missing flag yields `default`, an
+/// unparseable value is a hard error (never a silent fallback that
+/// would record a baseline for a different configuration).
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse::<T>()
+            .map_err(|_| format!("invalid {flag} value: {}", args[i + 1])),
+        None => Ok(default),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let devices = flag_value(&args, "--devices", if quick { 256 } else { 1000 })?;
+    let threads = flag_value(&args, "--threads", 4)?;
+    let clients = flag_value(&args, "--clients", 8)?;
+    let rounds = if quick { 2 } else { 5 };
+    let min_pool_ratio: f64 = flag_value(&args, "--min-pool-ratio", 0.0)?;
+    // `--quick` runs a smaller, non-comparable configuration, so it
+    // must never silently overwrite the recorded full-size baseline.
+    // A `--json` with its value missing is a hard error like every
+    // other flag, not a silent no-write.
+    let json_path = match args.iter().position(|a| a == "--json") {
+        Some(i) => Some(
+            args.get(i + 1)
+                .ok_or_else(|| "--json needs a value".to_string())?
+                .clone(),
+        ),
+        None => (!quick).then(|| "BENCH_net.json".to_string()),
+    };
+
+    println!("scheduler head-to-head: {devices} devices, {threads} threads, best of {rounds}");
+    let schedulers = compare_schedulers(devices, threads, rounds);
+    println!(
+        "  persistent pool   {:>9.0} devices/s",
+        schedulers.pool.devices_per_second
+    );
+    println!(
+        "  scoped baseline   {:>9.0} devices/s",
+        schedulers.scoped.devices_per_second
+    );
+    println!("  pool/scoped       {:>9.2}x", schedulers.pool_ratio());
+
+    println!("transport head-to-head: {devices} devices, {clients} client connections");
+    let transports = measure_transport_sweeps(devices, clients, rounds);
+    println!(
+        "  in-memory pipe    {:>9.0} devices/s",
+        transports.in_memory.devices_per_second
+    );
+    println!(
+        "  loopback TCP      {:>9.0} devices/s",
+        transports.loopback.devices_per_second
+    );
+
+    if let Some(json_path) = json_path {
+        let json = render_net_bench_json(&schedulers, &transports);
+        std::fs::write(&json_path, &json)
+            .map_err(|e| format!("cannot write `{json_path}`: {e}"))?;
+        println!("wrote {json_path}");
+    }
+
+    if schedulers.pool_ratio() < min_pool_ratio {
+        return Err(format!(
+            "pool throughput regression: {:.2}x the scoped baseline is below the accepted {min_pool_ratio}x",
+            schedulers.pool_ratio()
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -27,6 +27,7 @@ pub mod ablation;
 pub mod figures;
 pub mod fleet;
 pub mod micro;
+pub mod net;
 pub mod paper_reference;
 pub mod table4;
 

@@ -1,0 +1,300 @@
+//! Networked attestation throughput: persistent pool vs per-sweep
+//! thread spawning, and in-memory vs loopback-TCP transports.
+//!
+//! Three questions, three measurements:
+//!
+//! 1. **Did the persistent worker pool pay for itself?** The fleet
+//!    verifier used to spawn one scoped thread per shard *per sweep*;
+//!    ROADMAP flagged that spawn cost as the multi-thread scaling
+//!    ceiling once PR 2 made measurement cheap. [`compare_schedulers`]
+//!    times the pool sweep against the retained `thread::scope`
+//!    baseline on identical fleets — same shards, same trust logic,
+//!    only the scheduling differs.
+//! 2. **What does the wire cost?** [`measure_transport_sweeps`] runs a
+//!    full protocol sweep (negotiation, challenge, report, verdict)
+//!    over the in-memory pipe — codec + session with no sockets — and
+//!    over real loopback TCP through the gateway. The gap between the
+//!    two is the socket cost; the gap to the in-process sweep is the
+//!    protocol cost.
+//! 3. **Is it recorded?** [`render_net_bench_json`] writes
+//!    `BENCH_net.json`, the perf trajectory later PRs regress against.
+
+use std::sync::Arc;
+
+use eilid_casu::DeviceKey;
+use eilid_fleet::{Fleet, FleetBuilder, HealthClass, Verifier};
+use eilid_net::{
+    serve_transport, sweep_fleet_over, sweep_fleet_tcp, AttestationService, Gateway, GatewayConfig,
+    PipeTransport,
+};
+
+fn bench_root() -> DeviceKey {
+    DeviceKey::new(b"bench-net-root-key-0123456789abc").expect("key length")
+}
+
+fn build(devices: usize, threads: usize) -> (Fleet, Verifier) {
+    FleetBuilder::new(bench_root())
+        .devices(devices)
+        .threads(threads)
+        .build()
+        .expect("bench fleet builds")
+}
+
+/// Dirties ~1% of devices so the incremental measurers do honest
+/// steady-state work (same discipline as the fleet bench).
+fn dirty_some(fleet: &mut Fleet) {
+    let count = fleet.len();
+    for index in (0..count).step_by(100) {
+        let device = &mut fleet.devices_mut()[index];
+        let memory = &mut device.device_mut().cpu_mut().memory;
+        let value = memory.read_byte(0xE040);
+        memory.write_byte(0xE040, value);
+    }
+}
+
+/// One scheduler measurement row.
+#[derive(Debug, Clone)]
+pub struct SchedulerRow {
+    /// Devices swept.
+    pub devices: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Best-of-N steady-state sweep throughput, devices/s.
+    pub devices_per_second: f64,
+}
+
+/// Persistent-pool vs scoped-thread sweep throughput on identical
+/// fleets.
+#[derive(Debug, Clone)]
+pub struct SchedulerComparison {
+    /// The persistent worker pool (current implementation).
+    pub pool: SchedulerRow,
+    /// The PR 2 `thread::scope` baseline (spawn per sweep).
+    pub scoped: SchedulerRow,
+}
+
+impl SchedulerComparison {
+    /// Pool throughput relative to the scoped baseline (≥ 1.0 means the
+    /// pool is no slower).
+    pub fn pool_ratio(&self) -> f64 {
+        if self.scoped.devices_per_second <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.pool.devices_per_second / self.scoped.devices_per_second
+    }
+}
+
+/// Best-of-`rounds` steady-state sweep throughput under `sweep`.
+fn best_sweep_rate(
+    fleet: &mut Fleet,
+    verifier: &mut Verifier,
+    rounds: usize,
+    mut sweep: impl FnMut(&mut Verifier, &mut Fleet) -> eilid_fleet::FleetReport,
+) -> f64 {
+    // Warm-up: key caches + merkle roots.
+    let warmup = sweep(verifier, fleet);
+    assert_eq!(
+        warmup.count(HealthClass::Attested),
+        fleet.len(),
+        "bench fleet must attest clean"
+    );
+    let mut best = 0.0f64;
+    for _ in 0..rounds {
+        dirty_some(fleet);
+        let report = sweep(verifier, fleet);
+        assert_eq!(report.count(HealthClass::Attested), fleet.len());
+        best = best.max(report.devices_per_second());
+    }
+    best
+}
+
+/// Times pool vs scoped sweeps on identical fleets (best of `rounds`
+/// steady-state sweeps each, ~1% dirtied between sweeps).
+pub fn compare_schedulers(devices: usize, threads: usize, rounds: usize) -> SchedulerComparison {
+    let (mut fleet, mut verifier) = build(devices, threads);
+    let pool_rate = best_sweep_rate(&mut fleet, &mut verifier, rounds, |v, f| v.sweep(f));
+
+    let (mut fleet, mut verifier) = build(devices, threads);
+    let scoped_rate = best_sweep_rate(&mut fleet, &mut verifier, rounds, |v, f| {
+        v.sweep_scoped_baseline(f)
+    });
+
+    SchedulerComparison {
+        pool: SchedulerRow {
+            devices,
+            threads,
+            devices_per_second: pool_rate,
+        },
+        scoped: SchedulerRow {
+            devices,
+            threads,
+            devices_per_second: scoped_rate,
+        },
+    }
+}
+
+/// One transport measurement row.
+#[derive(Debug, Clone)]
+pub struct TransportRow {
+    /// Devices swept.
+    pub devices: usize,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Full-protocol sweep throughput, devices/s.
+    pub devices_per_second: f64,
+}
+
+/// Full-protocol sweep throughput over both transports.
+#[derive(Debug, Clone)]
+pub struct TransportComparison {
+    /// In-memory pipe: codec + session, no sockets.
+    pub in_memory: TransportRow,
+    /// Real loopback TCP through the non-blocking gateway.
+    pub loopback: TransportRow,
+}
+
+/// Measures full-protocol sweeps over the in-memory pipe and loopback
+/// TCP on the same fleet (best of `rounds` each; a warm-up sweep first).
+pub fn measure_transport_sweeps(
+    devices: usize,
+    clients: usize,
+    rounds: usize,
+) -> TransportComparison {
+    let (mut fleet, mut verifier) = build(devices, clients);
+    let service = Arc::new(AttestationService::new(verifier.service_snapshot(1 << 32)));
+
+    // In-memory pipe: one detached server thread per connection.
+    let mut in_memory_best = 0.0f64;
+    for round in 0..=rounds {
+        dirty_some(&mut fleet);
+        let report = {
+            let service = Arc::clone(&service);
+            sweep_fleet_over(&mut fleet, clients, move || {
+                let (client_end, mut server_end) = PipeTransport::pair();
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    let _ = serve_transport(&service, &mut server_end);
+                });
+                Ok(client_end)
+            })
+            .expect("in-memory sweep succeeds")
+        };
+        assert_eq!(report.count(HealthClass::Attested), devices);
+        if round > 0 {
+            in_memory_best = in_memory_best.max(report.devices_per_second());
+        }
+    }
+
+    // Loopback TCP through the gateway.
+    let handle = Gateway::bind(
+        ("127.0.0.1", 0),
+        Arc::clone(&service),
+        GatewayConfig {
+            workers: clients,
+            queue_depth: 256,
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("gateway binds on loopback")
+    .spawn();
+    let mut loopback_best = 0.0f64;
+    for round in 0..=rounds {
+        dirty_some(&mut fleet);
+        let report =
+            sweep_fleet_tcp(&mut fleet, clients, handle.addr()).expect("loopback sweep succeeds");
+        assert_eq!(report.count(HealthClass::Attested), devices);
+        if round > 0 {
+            loopback_best = loopback_best.max(report.devices_per_second());
+        }
+    }
+    handle.shutdown().expect("gateway shuts down");
+
+    TransportComparison {
+        in_memory: TransportRow {
+            devices,
+            clients,
+            devices_per_second: in_memory_best,
+        },
+        loopback: TransportRow {
+            devices,
+            clients,
+            devices_per_second: loopback_best,
+        },
+    }
+}
+
+/// Renders the `BENCH_net.json` record: a small, stable, hand-written
+/// JSON object (the offline dependency set has no serde_json) extending
+/// the repo's perf trajectory to the networked path.
+pub fn render_net_bench_json(
+    schedulers: &SchedulerComparison,
+    transports: &TransportComparison,
+) -> String {
+    format!(
+        "{{\n  \"bench\": \"net_sweep\",\n  \"devices\": {},\n  \"threads\": {},\n  \
+         \"clients\": {},\n  \"pool_devices_per_second\": {:.0},\n  \
+         \"scoped_baseline_devices_per_second\": {:.0},\n  \"pool_vs_scoped_ratio\": {:.2},\n  \
+         \"in_memory_transport_devices_per_second\": {:.0},\n  \
+         \"loopback_tcp_devices_per_second\": {:.0}\n}}\n",
+        schedulers.pool.devices,
+        schedulers.pool.threads,
+        transports.in_memory.clients,
+        schedulers.pool.devices_per_second,
+        schedulers.scoped.devices_per_second,
+        schedulers.pool_ratio(),
+        transports.in_memory.devices_per_second,
+        transports.loopback.devices_per_second,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_comparison_is_sane() {
+        let comparison = compare_schedulers(16, 2, 1);
+        assert!(comparison.pool.devices_per_second > 0.0);
+        assert!(comparison.scoped.devices_per_second > 0.0);
+        assert!(comparison.pool_ratio() > 0.0);
+    }
+
+    #[test]
+    fn transport_comparison_is_sane() {
+        let comparison = measure_transport_sweeps(8, 2, 1);
+        assert!(comparison.in_memory.devices_per_second > 0.0);
+        assert!(comparison.loopback.devices_per_second > 0.0);
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let schedulers = SchedulerComparison {
+            pool: SchedulerRow {
+                devices: 1000,
+                threads: 4,
+                devices_per_second: 250_000.0,
+            },
+            scoped: SchedulerRow {
+                devices: 1000,
+                threads: 4,
+                devices_per_second: 240_000.0,
+            },
+        };
+        let transports = TransportComparison {
+            in_memory: TransportRow {
+                devices: 1000,
+                clients: 8,
+                devices_per_second: 50_000.0,
+            },
+            loopback: TransportRow {
+                devices: 1000,
+                clients: 8,
+                devices_per_second: 17_000.0,
+            },
+        };
+        let json = render_net_bench_json(&schedulers, &transports);
+        assert!(json.contains("\"bench\": \"net_sweep\""));
+        assert!(json.contains("\"pool_vs_scoped_ratio\": 1.04"));
+        assert!(json.starts_with('{') && json.ends_with("}\n"));
+    }
+}

@@ -57,6 +57,7 @@ pub mod policy;
 pub mod sha256;
 pub mod update;
 pub mod violation;
+pub mod wire;
 
 pub use attest::{
     measure_pmem, AttestError, AttestationReport, AttestationVerifier, Attestor, Challenge,
@@ -73,3 +74,4 @@ pub use policy::{CasuPolicy, VIOLATION_STROBE_ADDR};
 pub use sha256::{sha256, Sha256, DIGEST_SIZE};
 pub use update::{UpdateAuthority, UpdateEngine, UpdateError, UpdateRequest};
 pub use violation::{CfiFault, Violation};
+pub use wire::CodecError;

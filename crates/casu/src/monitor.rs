@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use eilid_msp430::{StepEvent, StepTrace};
+use eilid_msp430::{StepEvent, StepTrace, WriteGate};
 
 use crate::layout::{MemoryLayout, Region};
 use crate::policy::CasuPolicy;
@@ -121,6 +121,35 @@ impl CasuMonitor {
     /// `true` while an authorised update session is open.
     pub fn update_session_active(&self) -> bool {
         self.update_region.is_some()
+    }
+
+    /// The currently open update window, if any (inclusive bounds).
+    /// The device layer mirrors this into the core's [`WriteGate`] so
+    /// the pre-commit veto and the trace-level check agree.
+    pub fn update_window(&self) -> Option<(u16, u16)> {
+        self.update_region
+    }
+
+    /// Builds the pre-commit bus [`WriteGate`] this monitor's policy
+    /// implies: with PMEM immutability enforced, bus writes to PMEM, the
+    /// secure ROM and the vector table are vetoed before they commit
+    /// (real CASU hardware blocks the flash write in the violating
+    /// cycle; the trace-level check in [`CasuMonitor::check`] still
+    /// fires the reset). The gate's update window tracks
+    /// [`CasuMonitor::update_window`] via the device layer.
+    pub fn write_gate(&self) -> WriteGate {
+        let mut gate = WriteGate::new();
+        if self.policy.enforce_pmem_immutability {
+            for range in [
+                &self.layout.pmem,
+                &self.layout.secure_rom,
+                &self.layout.vector_table,
+            ] {
+                gate.protect(*range.start(), *range.end());
+            }
+        }
+        gate.set_window(self.update_region);
+        gate
     }
 
     fn write_allowed_by_update(&self, addr: u16) -> bool {
@@ -470,6 +499,27 @@ mod tests {
         ));
         assert!(v.unwrap().is_cfi());
         assert_eq!(m.violations_detected(), 1);
+    }
+
+    #[test]
+    fn write_gate_mirrors_policy_and_update_window() {
+        let mut m = monitor();
+        let gate = m.write_gate();
+        assert!(gate.blocks(0xE000)); // PMEM
+        assert!(gate.blocks(0xF900)); // secure ROM
+        assert!(gate.blocks(0xFFFE)); // vector table
+        assert!(!gate.blocks(0x0300)); // DMEM
+        assert!(!gate.blocks(0x1000)); // secure DMEM (data rules stay trace-level)
+
+        m.begin_update_session(0xE100, 0xE1FF);
+        assert_eq!(m.update_window(), Some((0xE100, 0xE1FF)));
+        let gate = m.write_gate();
+        assert!(!gate.blocks(0xE180));
+        assert!(gate.blocks(0xE200));
+
+        // A permissive policy gates nothing.
+        let m = CasuMonitor::new(MemoryLayout::default(), CasuPolicy::permissive());
+        assert!(!m.write_gate().blocks(0xE000));
     }
 
     #[test]

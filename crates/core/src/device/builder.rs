@@ -337,6 +337,63 @@ main:
     }
 
     #[test]
+    fn violating_pmem_write_is_vetoed_before_commit() {
+        // The program stores into its own code region. On a monitored
+        // device the store is vetoed at the bus (memory unchanged) *and*
+        // punished with a violation reset; on a baseline device it
+        // silently commits.
+        let source = "    .org 0xe000
+    .global main
+main:
+    mov #0x0400, sp
+    mov #0x1234, &0xf000
+hang:
+    jmp hang
+";
+        let mut protected = DeviceBuilder::new().build_monitored_raw(source).unwrap();
+        let before = protected.cpu().memory.read_word(0xF000);
+        let outcome = protected.run_for(10_000);
+        assert!(matches!(
+            outcome.violation(),
+            Some(Violation::PmemWrite { addr: 0xF000, .. })
+        ));
+        assert_eq!(
+            protected.cpu().memory.read_word(0xF000),
+            before,
+            "the violating write must never commit"
+        );
+        assert_eq!(protected.cpu().vetoed_writes(), 1);
+
+        let mut baseline = DeviceBuilder::new().build_baseline(source).unwrap();
+        baseline.run_for(10_000);
+        assert_eq!(
+            baseline.cpu().memory.read_word(0xF000),
+            0x1234,
+            "an unmonitored core has no gate"
+        );
+    }
+
+    #[test]
+    fn authenticated_update_still_writes_through_the_gate() {
+        // The gate must not break the authorised update path: the engine
+        // opens a session on the monitor and writes the payload.
+        use eilid_casu::{UpdateAuthority, UpdateEngine};
+        let mut device = DeviceBuilder::new().build_eilid(APP).unwrap();
+        let key = b"update-gate-test-key-0123456789a";
+        let layout = device.layout().clone();
+        let mut authority = UpdateAuthority::new(key);
+        let mut engine = UpdateEngine::new(key, layout);
+        let request = authority.authorize(0xF680, &[0xAB, 0xCD]);
+        let (cpu, monitor) = device.cpu_and_monitor_mut();
+        engine
+            .apply(&request, &mut cpu.memory, monitor.unwrap())
+            .unwrap();
+        assert_eq!(device.cpu().memory.read_byte(0xF680), 0xAB);
+        // And the device still runs clean afterwards.
+        assert!(device.run().is_completed());
+    }
+
+    #[test]
     fn timeout_is_reported() {
         let source = "    .org 0xe000\n    .global main\nmain:\n    jmp main\n";
         let mut device = DeviceBuilder::new().build_baseline(source).unwrap();

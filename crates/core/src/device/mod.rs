@@ -37,12 +37,17 @@ pub struct Device {
 
 impl Device {
     pub(crate) fn from_parts(
-        cpu: Cpu,
+        mut cpu: Cpu,
         monitor: Option<CasuMonitor>,
         layout: MemoryLayout,
         config: EilidConfig,
         artifacts: Option<BuildArtifacts>,
     ) -> Self {
+        // Monitored cores get the monitor's pre-commit bus write gate:
+        // a violating PMEM/secure-ROM/vector-table store is blocked
+        // *before* it commits (and still reset via the trace check), as
+        // on the real CASU hardware. Baseline cores stay ungated.
+        cpu.set_write_gate(monitor.as_ref().map(CasuMonitor::write_gate));
         Device {
             cpu,
             monitor,
@@ -151,6 +156,12 @@ impl Device {
         let in_secure = self.layout.in_secure_rom(self.cpu.regs.pc());
         self.cpu
             .set_irq_inhibited(self.monitor.is_some() && in_secure);
+        // Keep the pre-commit write gate's update window in lockstep
+        // with the monitor's update-session state, so the veto and the
+        // trace-level check always agree on what is authorised.
+        if let Some(monitor) = &self.monitor {
+            self.cpu.set_write_gate_window(monitor.update_window());
+        }
         let trace = self.cpu.step()?;
         let violation = self
             .monitor

@@ -1,5 +1,5 @@
 //! Staged OTA campaigns: canary wave → full rollout, with automatic
-//! halt-and-rollback.
+//! halt-and-rollback and pause/resume between waves.
 //!
 //! A campaign pushes one authenticated firmware patch to every device of
 //! one cohort. Devices are partitioned into waves (a canary fraction
@@ -10,28 +10,42 @@
 //! the previous firmware, when the wave's failure rate exceeds the
 //! configured threshold.
 //!
+//! # Resumable campaigns
+//!
+//! [`Campaign::run`] drives a rollout to completion in one call, but the
+//! engine underneath is a stateful driver: [`Campaign::begin`] returns a
+//! [`CampaignRun`] whose [`CampaignRun::step`] executes exactly one
+//! wave. Between waves the run can be [paused](CampaignRun::pause) into
+//! a [`PausedCampaign`] — a self-contained, byte-serialisable record
+//! (persisted wave cursor, accumulated wave reports, per-device
+//! pre-update snapshots, the patched golden image) — and later resumed
+//! with [`Campaign::resume`], producing bit-for-bit the same
+//! [`CampaignReport`] an uninterrupted run would have produced. Nonces
+//! keep flowing from the verifier's single challenge-nonce domain, so a
+//! resumed campaign is also cryptographically indistinguishable from an
+//! uninterrupted one.
+//!
+//! # Quarantine and rollback verification
+//!
 //! When a wave *passes* the threshold, any individual devices whose
 //! probe still failed are not left running the new firmware: each is
 //! rolled back to its pre-campaign state and excluded from the
 //! campaign's `updated` count, and named in [`CampaignReport::quarantined`].
-//! Once the campaign promotes the new golden, such devices also stay
-//! flagged by subsequent attestation sweeps (`Stale` when their restored
-//! image matches the previous golden, `Tampered` when it does not); in
-//! the zero-retained case (no promotion) the restored image still *is*
-//! the golden, so the report and the `ProbeFailed`/`RolledBack` ledger
-//! entries are the operator's signal, not the sweep.
-//!
 //! Rollbacks restore the *device's own* pre-update bytes (snapshotted
 //! just before each update is applied, as an A/B-slot update routine
 //! would) rather than the cohort golden image, and each rollback is
 //! verified against the device's pre-campaign PMEM measurement; a
-//! device whose memory was corrupted outside the patched range is
-//! recorded `RollbackIncomplete` instead of `RolledBack`.
+//! device whose memory was corrupted outside the patched range (by a
+//! physical attacker — the bus-level pre-commit veto stops software
+//! from doing it) is recorded `RollbackIncomplete` instead of
+//! `RolledBack`.
 
 use std::collections::BTreeMap;
 
 use eilid::RunOutcome;
+use eilid_casu::wire::{self, CodecError, Reader};
 use eilid_casu::{AttestationVerifier, DeviceKey, MeasurementScheme, UpdateAuthority};
+use eilid_msp430::{Memory, ADDRESS_SPACE};
 use eilid_workloads::WorkloadId;
 
 use crate::device::{DeviceId, SimDevice};
@@ -42,7 +56,7 @@ use crate::report::LedgerEvent;
 use crate::verifier::Verifier;
 
 /// Configuration of one staged OTA campaign.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignConfig {
     /// The firmware cohort to update.
     pub cohort: WorkloadId,
@@ -77,6 +91,13 @@ impl CampaignConfig {
         if self.payload.is_empty() {
             return Err(FleetError::InvalidCampaign("empty payload".into()));
         }
+        if self.payload.len() > wire::MAX_UPDATE_PAYLOAD {
+            return Err(FleetError::InvalidCampaign(format!(
+                "payload of {} bytes exceeds the wire maximum {}",
+                self.payload.len(),
+                wire::MAX_UPDATE_PAYLOAD
+            )));
+        }
         if !(0.0..=1.0).contains(&self.canary_fraction) || self.canary_fraction <= 0.0 {
             return Err(FleetError::InvalidCampaign(format!(
                 "canary fraction {} outside (0, 1]",
@@ -94,7 +115,7 @@ impl CampaignConfig {
 }
 
 /// Outcome of one wave.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WaveReport {
     /// Wave index (0 = canary).
     pub wave: usize,
@@ -143,7 +164,7 @@ pub enum CampaignOutcome {
 }
 
 /// Full record of one campaign run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignReport {
     /// How the campaign ended.
     pub outcome: CampaignOutcome,
@@ -169,6 +190,19 @@ impl CampaignReport {
     }
 }
 
+/// What one [`CampaignRun::step`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignStatus {
+    /// A wave was rolled out and passed; more waves remain.
+    InProgress {
+        /// Index of the next wave to roll out.
+        next_wave: usize,
+    },
+    /// The campaign finished (completed or halted);
+    /// [`CampaignRun::report`] is now available.
+    Finished,
+}
+
 /// The staged-rollout engine.
 #[derive(Debug, Clone)]
 pub struct Campaign {
@@ -187,9 +221,9 @@ impl Campaign {
         Ok(Campaign { config })
     }
 
-    /// Runs the campaign over `fleet`, drawing authenticated update
-    /// requests from per-device authorities derived from the verifier's
-    /// root key.
+    /// Runs the campaign over `fleet` to completion, drawing
+    /// authenticated update requests from per-device authorities derived
+    /// from the verifier's root key.
     ///
     /// # Errors
     ///
@@ -200,23 +234,35 @@ impl Campaign {
         fleet: &mut Fleet,
         verifier: &mut Verifier,
     ) -> Result<CampaignReport, FleetError> {
+        let mut run = self.begin(fleet, verifier)?;
+        while run.step(fleet, verifier)? != CampaignStatus::Finished {}
+        Ok(run.report().expect("finished run has a report"))
+    }
+
+    /// Starts the campaign and returns the stateful wave driver.
+    /// Nothing is rolled out yet; call [`CampaignRun::step`] per wave.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::UnknownCohort`] if no fleet device runs the
+    /// configured cohort firmware, or [`FleetError::InvalidCampaign`]
+    /// for a patch that does not fit the address space.
+    pub fn begin(
+        &self,
+        fleet: &mut Fleet,
+        _verifier: &mut Verifier,
+    ) -> Result<CampaignRun, FleetError> {
         let cohort = self.config.cohort;
         let members = fleet.cohort_members(cohort);
         if members.is_empty() {
             return Err(FleetError::UnknownCohort(cohort));
         }
 
-        // Measure golden images over the layout the cohort's devices were
-        // actually built with, so the expected measurement matches what
-        // the devices attest even for non-default layouts.
-        let layout = fleet.cohort(cohort).expect("cohort exists").layout.clone();
-        let golden = &fleet.cohort(cohort).expect("cohort exists").golden;
-
         // Range-check before any memory slicing (pre-update snapshots
         // slice the patch range too): Memory::slice panics past the
         // 64 KiB address space.
         let end = usize::from(self.config.target) + self.config.payload.len();
-        if end > 0x1_0000 {
+        if end > ADDRESS_SPACE {
             return Err(FleetError::InvalidCampaign(format!(
                 "patch of {} bytes at {:#06x} runs past the 64 KiB address space",
                 self.config.payload.len(),
@@ -227,8 +273,11 @@ impl Campaign {
         // Expected post-patch measurement, computed on a golden copy
         // under the fleet's measurement scheme (devices running the
         // incremental engine attest Merkle roots, so the probe's
-        // expected value must be one too).
+        // expected value must be one too). Golden images are measured
+        // over the layout the cohort's devices were actually built with.
         let scheme = fleet.scheme();
+        let golden = &fleet.cohort(cohort).expect("cohort exists").golden;
+        let layout = fleet.cohort(cohort).expect("cohort exists").layout.clone();
         let mut patched_golden = golden.clone();
         patched_golden
             .load(self.config.target, &self.config.payload)
@@ -236,193 +285,519 @@ impl Campaign {
         let expected_after = scheme.measure_pmem(&patched_golden, &layout);
 
         let waves = fleet.wave_partition(cohort, &[self.config.canary_fraction, 1.0]);
-        let threads = fleet.threads();
-        let root = verifier.root().clone();
-        let smoke_cycles = self.config.smoke_cycles;
-        let target = self.config.target;
-        let payload = self.config.payload.clone();
-
-        let mut wave_reports: Vec<WaveReport> = Vec::new();
-        let mut updated_so_far: Vec<DeviceId> = Vec::new();
-        let mut quarantined: Vec<DeviceId> = Vec::new();
-        let mut rollback_incomplete: Vec<DeviceId> = Vec::new();
-        // Per-device state captured just before each update is applied;
-        // rollbacks restore and verify against it.
-        let mut snapshots: BTreeMap<DeviceId, PreUpdateSnapshot> = BTreeMap::new();
-
-        for (wave_index, wave_ids) in waves.iter().enumerate() {
-            if wave_ids.is_empty() {
-                continue;
-            }
-            // Probe-challenge nonces come from the verifier's single
-            // strictly-increasing nonce domain (shared with sweeps), so
-            // no attestation challenge to a device key ever repeats.
-            let params = WaveParams {
-                root: &root,
-                target,
-                payload: &payload,
-                expected_after,
-                scheme,
-                smoke_cycles,
-                probe_nonce_base: verifier.reserve_challenge_nonces(wave_ids),
-            };
-            let rollout = {
-                let mut devices = fleet.devices_by_ids_mut(wave_ids);
-                roll_out_wave(&mut devices, threads, &params)
-            };
-            for event in rollout.events {
-                fleet.ledger_mut().record(event);
-            }
-            updated_so_far.extend(&rollout.updated);
-            snapshots.extend(rollout.snapshots);
-
-            let report = WaveReport {
-                wave: wave_index,
-                size: wave_ids.len(),
-                updated: rollout.updated.len(),
-                failures: rollout.failures,
-            };
-            fleet.ledger_mut().record(LedgerEvent::WaveCompleted {
-                wave: wave_index,
-                updated: report.updated,
-                failures: report.failures,
-            });
-            let failure_rate = report.failure_rate();
-            wave_reports.push(report);
-
-            if failure_rate > self.config.failure_threshold {
-                fleet.ledger_mut().record(LedgerEvent::CampaignHalted {
-                    wave: wave_index,
-                    failure_rate,
-                });
-                let result =
-                    self.roll_back(fleet, &root, &updated_so_far, target, &snapshots, threads);
-                rollback_incomplete.extend(result.incomplete);
-                return Ok(CampaignReport {
-                    outcome: CampaignOutcome::HaltedAndRolledBack {
-                        wave: wave_index,
-                        failure_rate,
-                        rolled_back: result.rolled_back.len(),
-                    },
-                    waves: wave_reports,
-                    quarantined,
-                    rollback_incomplete,
-                });
-            }
-
-            // The wave passed, but devices whose probe failed must not
-            // silently keep the new firmware: roll each back to its
-            // pre-campaign state individually. The report's `quarantined`
-            // list and the `ProbeFailed`/`RolledBack` ledger entries flag
-            // them for operator follow-up; if the campaign goes on to
-            // promote a new golden, later sweeps flag them too.
-            if !rollout.probe_failed.is_empty() {
-                let result = self.roll_back(
-                    fleet,
-                    &root,
-                    &rollout.probe_failed,
-                    target,
-                    &snapshots,
-                    threads,
-                );
-                quarantined.extend(result.rolled_back);
-                rollback_incomplete.extend(result.incomplete);
-                updated_so_far.retain(|id| !rollout.probe_failed.contains(id));
-            }
-        }
-
-        // Every wave passed. Promote the patched image to golden — but
-        // only if some device actually retained the new firmware; when
-        // every updated device was individually rolled back, the old
-        // golden is still what the fleet runs.
-        if !updated_so_far.is_empty() {
-            fleet.cohort_mut(cohort).expect("cohort exists").golden = patched_golden;
-            verifier.promote_measurement(cohort, expected_after);
-        }
-        Ok(CampaignReport {
-            outcome: CampaignOutcome::Completed {
-                updated: updated_so_far.len(),
-            },
-            waves: wave_reports,
-            quarantined,
-            rollback_incomplete,
+        Ok(CampaignRun {
+            config: self.config.clone(),
+            waves,
+            cursor: 0,
+            wave_reports: Vec::new(),
+            updated_so_far: Vec::new(),
+            quarantined: Vec::new(),
+            rollback_incomplete: Vec::new(),
+            snapshots: BTreeMap::new(),
+            patched_golden,
+            expected_after,
+            outcome: None,
         })
     }
 
-    /// Rolls `devices` back to their own pre-campaign patch-range bytes
-    /// (from the per-device [`PreUpdateSnapshot`]s) and verifies each
-    /// device's post-rollback PMEM measurement against its pre-campaign
-    /// value. Devices whose rollback was rejected or whose measurement
-    /// still differs (memory corrupted outside the patch range) land in
-    /// `incomplete` and are recorded [`LedgerEvent::RollbackIncomplete`].
-    fn roll_back(
-        &self,
+    /// Rebuilds the wave driver from a paused campaign. The fleet and
+    /// verifier must be the same ones the campaign was started on (or
+    /// restored equivalents): per-device nonces and snapshots refer to
+    /// their state.
+    pub fn resume(paused: PausedCampaign) -> CampaignRun {
+        CampaignRun {
+            config: paused.config,
+            waves: paused.waves,
+            cursor: paused.cursor,
+            wave_reports: paused.wave_reports,
+            updated_so_far: paused.updated_so_far,
+            quarantined: paused.quarantined,
+            rollback_incomplete: paused.rollback_incomplete,
+            snapshots: paused.snapshots,
+            patched_golden: paused.patched_golden,
+            expected_after: paused.expected_after,
+            outcome: paused.outcome,
+        }
+    }
+}
+
+/// In-flight state of a staged rollout, stepped one wave at a time.
+#[derive(Debug)]
+pub struct CampaignRun {
+    config: CampaignConfig,
+    /// Device ids per wave, fixed at [`Campaign::begin`].
+    waves: Vec<Vec<DeviceId>>,
+    /// Index of the next wave to roll out — the persisted wave cursor.
+    cursor: usize,
+    wave_reports: Vec<WaveReport>,
+    updated_so_far: Vec<DeviceId>,
+    quarantined: Vec<DeviceId>,
+    rollback_incomplete: Vec<DeviceId>,
+    /// Per-device state captured just before each update is applied;
+    /// rollbacks restore and verify against it.
+    snapshots: BTreeMap<DeviceId, PreUpdateSnapshot>,
+    patched_golden: Memory,
+    expected_after: [u8; 32],
+    outcome: Option<CampaignOutcome>,
+}
+
+impl CampaignRun {
+    /// Index of the next wave to roll out.
+    pub fn wave_cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// `true` once the campaign completed or halted.
+    pub fn is_finished(&self) -> bool {
+        self.outcome.is_some()
+    }
+
+    /// The final report, once [`CampaignRun::is_finished`].
+    pub fn report(&self) -> Option<CampaignReport> {
+        self.outcome.clone().map(|outcome| CampaignReport {
+            outcome,
+            waves: self.wave_reports.clone(),
+            quarantined: self.quarantined.clone(),
+            rollback_incomplete: self.rollback_incomplete.clone(),
+        })
+    }
+
+    /// Pauses the campaign between waves into a self-contained,
+    /// serialisable record.
+    pub fn pause(self) -> PausedCampaign {
+        PausedCampaign {
+            config: self.config,
+            waves: self.waves,
+            cursor: self.cursor,
+            wave_reports: self.wave_reports,
+            updated_so_far: self.updated_so_far,
+            quarantined: self.quarantined,
+            rollback_incomplete: self.rollback_incomplete,
+            snapshots: self.snapshots,
+            patched_golden: self.patched_golden,
+            expected_after: self.expected_after,
+            outcome: self.outcome,
+        }
+    }
+
+    /// Rolls out the next wave (skipping empty ones). When the last wave
+    /// passes, finalises the campaign: promotes the patched golden if
+    /// any device retained it.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice (validation happened at
+    /// [`Campaign::begin`]); the `Result` keeps room for transport-level
+    /// failures when waves are driven over a network.
+    pub fn step(
+        &mut self,
         fleet: &mut Fleet,
-        root: &DeviceKey,
-        ids: &[DeviceId],
-        target: u16,
-        snapshots: &BTreeMap<DeviceId, PreUpdateSnapshot>,
-        threads: usize,
-    ) -> RollbackResult {
+        verifier: &mut Verifier,
+    ) -> Result<CampaignStatus, FleetError> {
+        if self.outcome.is_some() {
+            return Ok(CampaignStatus::Finished);
+        }
+        // Skip empty waves without consuming a step.
+        while self.cursor < self.waves.len() && self.waves[self.cursor].is_empty() {
+            self.cursor += 1;
+        }
+        if self.cursor >= self.waves.len() {
+            self.finalize(fleet, verifier);
+            return Ok(CampaignStatus::Finished);
+        }
+
+        let wave_index = self.cursor;
+        let wave_ids = self.waves[wave_index].clone();
+        let threads = fleet.threads();
+        let root = verifier.root().clone();
         let scheme = fleet.scheme();
-        let events = {
-            let mut devices = fleet.devices_by_ids_mut(ids);
-            parallel_map_mut(&mut devices, threads, |device| {
-                let snapshot = snapshots
-                    .get(&device.id())
-                    .expect("rolled-back devices were updated and snapshotted");
-                let key = root.derive(device.id());
-                let mut authority = resumed_authority(&key, device);
-                let request = authority.authorize(target, &snapshot.patch_range);
-                let result = device.apply_update(&request);
-                device.reboot();
-                match result {
-                    Ok(()) => {
-                        let layout = device.device().layout();
-                        let restored = scheme.measure_pmem(&device.device().cpu().memory, layout)
-                            == snapshot.measurement;
-                        if restored {
-                            vec![LedgerEvent::RolledBack {
-                                device: device.id(),
-                            }]
-                        } else {
-                            vec![LedgerEvent::RollbackIncomplete {
-                                device: device.id(),
-                            }]
-                        }
-                    }
-                    // Should be unreachable (the authority holds the
-                    // right key, a fresh nonce and the range the update
-                    // already passed) — but if a rollback is ever
-                    // rejected the device keeps the campaign firmware,
-                    // so flag it for operator follow-up rather than
-                    // letting it vanish behind a generic rejection.
-                    Err(error) => vec![
-                        LedgerEvent::UpdateRejected {
-                            device: device.id(),
-                            error,
-                        },
-                        LedgerEvent::RollbackIncomplete {
-                            device: device.id(),
-                        },
-                    ],
-                }
-            })
+
+        // Probe-challenge nonces come from the verifier's single
+        // strictly-increasing nonce domain (shared with sweeps), so
+        // no attestation challenge to a device key ever repeats.
+        let params = WaveParams {
+            root: &root,
+            target: self.config.target,
+            payload: &self.config.payload,
+            expected_after: self.expected_after,
+            scheme,
+            smoke_cycles: self.config.smoke_cycles,
+            probe_nonce_base: verifier.reserve_challenge_nonces(&wave_ids),
         };
-        let mut result = RollbackResult {
-            rolled_back: Vec::new(),
-            incomplete: Vec::new(),
+        let rollout = {
+            let mut devices = fleet.devices_by_ids_mut(&wave_ids);
+            roll_out_wave(&mut devices, threads, &params)
         };
-        for event in events.into_iter().flatten() {
-            match &event {
-                LedgerEvent::RolledBack { device } => result.rolled_back.push(*device),
-                LedgerEvent::RollbackIncomplete { device } => result.incomplete.push(*device),
-                _ => {}
-            }
+        for event in rollout.events {
             fleet.ledger_mut().record(event);
         }
-        result
+        self.updated_so_far.extend(&rollout.updated);
+        self.snapshots.extend(rollout.snapshots);
+
+        let report = WaveReport {
+            wave: wave_index,
+            size: wave_ids.len(),
+            updated: rollout.updated.len(),
+            failures: rollout.failures,
+        };
+        fleet.ledger_mut().record(LedgerEvent::WaveCompleted {
+            wave: wave_index,
+            updated: report.updated,
+            failures: report.failures,
+        });
+        let failure_rate = report.failure_rate();
+        self.wave_reports.push(report);
+
+        if failure_rate > self.config.failure_threshold {
+            fleet.ledger_mut().record(LedgerEvent::CampaignHalted {
+                wave: wave_index,
+                failure_rate,
+            });
+            let result = roll_back(
+                fleet,
+                &root,
+                &self.updated_so_far,
+                self.config.target,
+                &self.snapshots,
+                threads,
+            );
+            self.rollback_incomplete.extend(result.incomplete);
+            self.outcome = Some(CampaignOutcome::HaltedAndRolledBack {
+                wave: wave_index,
+                failure_rate,
+                rolled_back: result.rolled_back.len(),
+            });
+            return Ok(CampaignStatus::Finished);
+        }
+
+        // The wave passed, but devices whose probe failed must not
+        // silently keep the new firmware: roll each back to its
+        // pre-campaign state individually. The report's `quarantined`
+        // list and the `ProbeFailed`/`RolledBack` ledger entries flag
+        // them for operator follow-up; if the campaign goes on to
+        // promote a new golden, later sweeps flag them too.
+        if !rollout.probe_failed.is_empty() {
+            let result = roll_back(
+                fleet,
+                &root,
+                &rollout.probe_failed,
+                self.config.target,
+                &self.snapshots,
+                threads,
+            );
+            self.quarantined.extend(result.rolled_back);
+            self.rollback_incomplete.extend(result.incomplete);
+            self.updated_so_far
+                .retain(|id| !rollout.probe_failed.contains(id));
+        }
+
+        self.cursor += 1;
+        // Skip trailing empty waves so the last real wave finalises.
+        while self.cursor < self.waves.len() && self.waves[self.cursor].is_empty() {
+            self.cursor += 1;
+        }
+        if self.cursor >= self.waves.len() {
+            self.finalize(fleet, verifier);
+            return Ok(CampaignStatus::Finished);
+        }
+        Ok(CampaignStatus::InProgress {
+            next_wave: self.cursor,
+        })
     }
+
+    /// Every wave passed. Promote the patched image to golden — but
+    /// only if some device actually retained the new firmware; when
+    /// every updated device was individually rolled back, the old
+    /// golden is still what the fleet runs.
+    fn finalize(&mut self, fleet: &mut Fleet, verifier: &mut Verifier) {
+        if !self.updated_so_far.is_empty() {
+            fleet
+                .cohort_mut(self.config.cohort)
+                .expect("cohort exists")
+                .golden = self.patched_golden.clone();
+            verifier.promote_measurement(self.config.cohort, self.expected_after);
+        }
+        self.outcome = Some(CampaignOutcome::Completed {
+            updated: self.updated_so_far.len(),
+        });
+    }
+}
+
+/// A campaign paused between waves: plain data, independent of any
+/// fleet/verifier borrow, and serialisable with
+/// [`PausedCampaign::to_bytes`] so an operator can persist the wave
+/// cursor (and everything else a resume needs) across process restarts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PausedCampaign {
+    config: CampaignConfig,
+    waves: Vec<Vec<DeviceId>>,
+    cursor: usize,
+    wave_reports: Vec<WaveReport>,
+    updated_so_far: Vec<DeviceId>,
+    quarantined: Vec<DeviceId>,
+    rollback_incomplete: Vec<DeviceId>,
+    snapshots: BTreeMap<DeviceId, PreUpdateSnapshot>,
+    patched_golden: Memory,
+    expected_after: [u8; 32],
+    outcome: Option<CampaignOutcome>,
+}
+
+/// Magic + version prefix of the paused-campaign byte format.
+const PAUSE_MAGIC: &[u8; 4] = b"EPC1";
+
+impl PausedCampaign {
+    /// Index of the next wave a resumed run will roll out.
+    pub fn wave_cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Serialises the paused state to a self-describing byte record
+    /// (little-endian, `EPC1`-tagged).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(ADDRESS_SPACE + 1024);
+        out.extend_from_slice(PAUSE_MAGIC);
+        out.push(self.config.cohort.index());
+        out.extend_from_slice(&self.config.target.to_le_bytes());
+        write_bytes(&mut out, &self.config.payload);
+        out.extend_from_slice(&self.config.canary_fraction.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.config.failure_threshold.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.config.smoke_cycles.to_le_bytes());
+
+        out.extend_from_slice(&(self.waves.len() as u32).to_le_bytes());
+        for wave in &self.waves {
+            write_ids(&mut out, wave);
+        }
+        out.extend_from_slice(&(self.cursor as u32).to_le_bytes());
+
+        out.extend_from_slice(&(self.wave_reports.len() as u32).to_le_bytes());
+        for report in &self.wave_reports {
+            out.extend_from_slice(&(report.wave as u32).to_le_bytes());
+            out.extend_from_slice(&(report.size as u32).to_le_bytes());
+            out.extend_from_slice(&(report.updated as u32).to_le_bytes());
+            out.extend_from_slice(&(report.failures as u32).to_le_bytes());
+        }
+
+        write_ids(&mut out, &self.updated_so_far);
+        write_ids(&mut out, &self.quarantined);
+        write_ids(&mut out, &self.rollback_incomplete);
+
+        out.extend_from_slice(&(self.snapshots.len() as u32).to_le_bytes());
+        for (id, snapshot) in &self.snapshots {
+            out.extend_from_slice(&id.to_le_bytes());
+            write_bytes(&mut out, &snapshot.patch_range);
+            out.extend_from_slice(&snapshot.measurement);
+        }
+
+        out.extend_from_slice(self.patched_golden.slice(0..ADDRESS_SPACE));
+        out.extend_from_slice(&self.expected_after);
+
+        match &self.outcome {
+            None => out.push(0),
+            Some(CampaignOutcome::Completed { updated }) => {
+                out.push(1);
+                out.extend_from_slice(&(*updated as u32).to_le_bytes());
+            }
+            Some(CampaignOutcome::HaltedAndRolledBack {
+                wave,
+                failure_rate,
+                rolled_back,
+            }) => {
+                out.push(2);
+                out.extend_from_slice(&(*wave as u32).to_le_bytes());
+                out.extend_from_slice(&failure_rate.to_bits().to_le_bytes());
+                out.extend_from_slice(&(*rolled_back as u32).to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserialises a paused campaign written by
+    /// [`PausedCampaign::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidCampaign`] on any structural defect
+    /// (bad magic, truncation, out-of-range fields) — never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, FleetError> {
+        let invalid = |err: CodecError| FleetError::InvalidCampaign(err.to_string());
+        let mut reader = Reader::new(bytes);
+        let magic: [u8; 4] = reader.array().map_err(invalid)?;
+        if &magic != PAUSE_MAGIC {
+            return Err(FleetError::InvalidCampaign(format!(
+                "bad paused-campaign magic {magic:02x?}"
+            )));
+        }
+        let cohort = cohort_from_u8(reader.u8().map_err(invalid)?)?;
+        let target = reader.u16().map_err(invalid)?;
+        let payload = read_bytes(&mut reader).map_err(invalid)?;
+        let canary_fraction = f64::from_bits(reader.u64().map_err(invalid)?);
+        let failure_threshold = f64::from_bits(reader.u64().map_err(invalid)?);
+        let smoke_cycles = reader.u64().map_err(invalid)?;
+        let config = CampaignConfig {
+            cohort,
+            target,
+            payload,
+            canary_fraction,
+            failure_threshold,
+            smoke_cycles,
+        };
+        config.validate()?;
+
+        // Count fields are validated against what the input could
+        // possibly hold — a corrupt count is a hard typed error, never
+        // a silent clamp (which would misparse everything after it)
+        // and never an unbounded allocation.
+        let checked_count = |count: u32, min_item_bytes: usize, remaining: usize, what: &str| {
+            let count = count as usize;
+            if count.saturating_mul(min_item_bytes) > remaining {
+                return Err(FleetError::InvalidCampaign(format!(
+                    "{what} count {count} exceeds what {remaining} remaining bytes can hold"
+                )));
+            }
+            Ok(count)
+        };
+
+        let wave_count = checked_count(
+            reader.u32().map_err(invalid)?,
+            4,
+            reader.remaining(),
+            "wave",
+        )?;
+        let mut waves = Vec::with_capacity(wave_count);
+        for _ in 0..wave_count {
+            waves.push(read_ids(&mut reader).map_err(invalid)?);
+        }
+        let cursor = reader.u32().map_err(invalid)? as usize;
+        if cursor > waves.len() {
+            return Err(FleetError::InvalidCampaign(format!(
+                "wave cursor {cursor} is outside the {} recorded waves",
+                waves.len()
+            )));
+        }
+
+        let report_count = checked_count(
+            reader.u32().map_err(invalid)?,
+            16,
+            reader.remaining(),
+            "wave report",
+        )?;
+        let mut wave_reports = Vec::with_capacity(report_count);
+        for _ in 0..report_count {
+            wave_reports.push(WaveReport {
+                wave: reader.u32().map_err(invalid)? as usize,
+                size: reader.u32().map_err(invalid)? as usize,
+                updated: reader.u32().map_err(invalid)? as usize,
+                failures: reader.u32().map_err(invalid)? as usize,
+            });
+        }
+
+        let updated_so_far = read_ids(&mut reader).map_err(invalid)?;
+        let quarantined = read_ids(&mut reader).map_err(invalid)?;
+        let rollback_incomplete = read_ids(&mut reader).map_err(invalid)?;
+
+        let snapshot_count = checked_count(
+            reader.u32().map_err(invalid)?,
+            8 + 4 + 32,
+            reader.remaining(),
+            "snapshot",
+        )?;
+        let mut snapshots = BTreeMap::new();
+        for _ in 0..snapshot_count {
+            let id = reader.u64().map_err(invalid)?;
+            let patch_range = read_bytes(&mut reader).map_err(invalid)?;
+            let measurement: [u8; 32] = reader.array().map_err(invalid)?;
+            snapshots.insert(
+                id,
+                PreUpdateSnapshot {
+                    patch_range,
+                    measurement,
+                },
+            );
+        }
+
+        let golden_bytes = reader.take(ADDRESS_SPACE).map_err(invalid)?;
+        let mut patched_golden = Memory::new();
+        patched_golden
+            .load(0, golden_bytes)
+            .expect("a full 64 KiB image always fits");
+        let expected_after: [u8; 32] = reader.array().map_err(invalid)?;
+
+        let outcome = match reader.u8().map_err(invalid)? {
+            0 => None,
+            1 => Some(CampaignOutcome::Completed {
+                updated: reader.u32().map_err(invalid)? as usize,
+            }),
+            2 => Some(CampaignOutcome::HaltedAndRolledBack {
+                wave: reader.u32().map_err(invalid)? as usize,
+                failure_rate: f64::from_bits(reader.u64().map_err(invalid)?),
+                rolled_back: reader.u32().map_err(invalid)? as usize,
+            }),
+            tag => {
+                return Err(FleetError::InvalidCampaign(format!(
+                    "unknown outcome tag {tag}"
+                )))
+            }
+        };
+        if !reader.is_empty() {
+            return Err(FleetError::InvalidCampaign(format!(
+                "{} trailing bytes after paused campaign",
+                reader.remaining()
+            )));
+        }
+
+        Ok(PausedCampaign {
+            config,
+            waves,
+            cursor,
+            wave_reports,
+            updated_so_far,
+            quarantined,
+            rollback_incomplete,
+            snapshots,
+            patched_golden,
+            expected_after,
+            outcome,
+        })
+    }
+}
+
+fn cohort_from_u8(raw: u8) -> Result<WorkloadId, FleetError> {
+    WorkloadId::from_index(raw)
+        .ok_or_else(|| FleetError::InvalidCampaign(format!("unknown cohort index {raw}")))
+}
+
+fn write_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn read_bytes(reader: &mut Reader<'_>) -> Result<Vec<u8>, CodecError> {
+    let len = reader.u32()? as usize;
+    Ok(reader.take(len)?.to_vec())
+}
+
+fn write_ids(out: &mut Vec<u8>, ids: &[DeviceId]) {
+    out.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+    for id in ids {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
+}
+
+fn read_ids(reader: &mut Reader<'_>) -> Result<Vec<DeviceId>, CodecError> {
+    let len = reader.u32()? as usize;
+    // A count the remaining bytes cannot hold is rejected before any
+    // allocation (8 bytes per id).
+    if len.saturating_mul(8) > reader.remaining() {
+        return Err(CodecError::Oversized {
+            claimed: len,
+            max: reader.remaining() / 8,
+        });
+    }
+    let mut ids = Vec::with_capacity(len);
+    for _ in 0..len {
+        ids.push(reader.u64()?);
+    }
+    Ok(ids)
 }
 
 /// What a rollback pass achieved, per device.
@@ -432,6 +807,80 @@ struct RollbackResult {
     /// Devices whose rollback was rejected or left them measuring
     /// differently from their pre-campaign state.
     incomplete: Vec<DeviceId>,
+}
+
+/// Rolls `ids` back to their own pre-campaign patch-range bytes (from
+/// the per-device [`PreUpdateSnapshot`]s) and verifies each device's
+/// post-rollback PMEM measurement against its pre-campaign value.
+/// Devices whose rollback was rejected or whose measurement still
+/// differs (memory corrupted outside the patch range) land in
+/// `incomplete` and are recorded [`LedgerEvent::RollbackIncomplete`].
+fn roll_back(
+    fleet: &mut Fleet,
+    root: &DeviceKey,
+    ids: &[DeviceId],
+    target: u16,
+    snapshots: &BTreeMap<DeviceId, PreUpdateSnapshot>,
+    threads: usize,
+) -> RollbackResult {
+    let scheme = fleet.scheme();
+    let events = {
+        let mut devices = fleet.devices_by_ids_mut(ids);
+        parallel_map_mut(&mut devices, threads, |device| {
+            let snapshot = snapshots
+                .get(&device.id())
+                .expect("rolled-back devices were updated and snapshotted");
+            let key = root.derive(device.id());
+            let mut authority = resumed_authority(&key, device);
+            let request = authority.authorize(target, &snapshot.patch_range);
+            let result = device.apply_update(&request);
+            device.reboot();
+            match result {
+                Ok(()) => {
+                    let layout = device.device().layout();
+                    let restored = scheme.measure_pmem(&device.device().cpu().memory, layout)
+                        == snapshot.measurement;
+                    if restored {
+                        vec![LedgerEvent::RolledBack {
+                            device: device.id(),
+                        }]
+                    } else {
+                        vec![LedgerEvent::RollbackIncomplete {
+                            device: device.id(),
+                        }]
+                    }
+                }
+                // Should be unreachable (the authority holds the
+                // right key, a fresh nonce and the range the update
+                // already passed) — but if a rollback is ever
+                // rejected the device keeps the campaign firmware,
+                // so flag it for operator follow-up rather than
+                // letting it vanish behind a generic rejection.
+                Err(error) => vec![
+                    LedgerEvent::UpdateRejected {
+                        device: device.id(),
+                        error,
+                    },
+                    LedgerEvent::RollbackIncomplete {
+                        device: device.id(),
+                    },
+                ],
+            }
+        })
+    };
+    let mut result = RollbackResult {
+        rolled_back: Vec::new(),
+        incomplete: Vec::new(),
+    };
+    for event in events.into_iter().flatten() {
+        match &event {
+            LedgerEvent::RolledBack { device } => result.rolled_back.push(*device),
+            LedgerEvent::RollbackIncomplete { device } => result.incomplete.push(*device),
+            _ => {}
+        }
+        fleet.ledger_mut().record(event);
+    }
+    result
 }
 
 /// Builds an update authority for `device` whose nonce resumes above the
@@ -444,7 +893,9 @@ fn resumed_authority(key: &DeviceKey, device: &SimDevice) -> UpdateAuthority {
 
 /// Device state captured immediately before an update is applied — what
 /// a real device's A/B-slot update routine would preserve. Rollbacks
-/// restore `patch_range` and verify the result against `measurement`.
+/// restore `patch_range` and verify the result against `measurement`;
+/// paused campaigns carry these snapshots across the pause.
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct PreUpdateSnapshot {
     /// The device's own bytes in the patch range, pre-update.
     patch_range: Vec<u8>,

@@ -14,6 +14,13 @@ pub const BENIGN_PATCH_TARGET: u16 = 0xF600;
 /// application entry point.
 pub const BRICKING_PATCH_TARGET: u16 = 0xE000;
 
+/// PMEM address the bricking patch's violating store targets —
+/// deliberately far *outside* the patch's own range. The bus-level
+/// pre-commit veto ([`eilid_msp430::WriteGate`]) blocks the store before
+/// it commits, so a campaign rollback of just the patched range still
+/// restores the device byte-for-byte.
+pub const BRICKING_WRITE_TARGET: u16 = 0xF700;
+
 /// A benign patch: data bytes in the unused PMEM gap between the
 /// application image and the EILID trampolines; never executed, so a
 /// campaign installing it completes and the cohort keeps running.
@@ -23,14 +30,15 @@ pub fn benign_patch() -> Vec<u8> {
 
 /// A bricking patch: its first instruction writes program memory, which
 /// the CASU monitor answers with an immediate `PmemWrite` violation
-/// reset. The write targets a byte *inside the patch's own range*
-/// (0xE006) so that a campaign rollback of the patched range restores
-/// the device byte-for-byte, even though the simulator commits the
-/// violating write before the reset lands. Assembled with the workspace
+/// reset — and the bus-level write gate vetoes the store before it ever
+/// commits. The write targets [`BRICKING_WRITE_TARGET`], well outside
+/// the patch's own range: no "keep the corruption inside the rollback
+/// range" workaround is needed anymore, because the violating write
+/// never reaches the memory array. Assembled with the workspace
 /// assembler so the encoding always matches the simulator.
 pub fn bricking_patch() -> Vec<u8> {
     let image = eilid_asm::assemble(
-        "    .org 0xe000\n    .global main\nmain:\n    mov #0x1234, &0xe006\n    jmp main\n",
+        "    .org 0xe000\n    .global main\nmain:\n    mov #0x1234, &0xf700\n    jmp main\n",
     )
     .expect("bricking-patch fixture assembles");
     image.segments[0].bytes.clone()
@@ -45,10 +53,9 @@ mod tests {
         assert_eq!(benign_patch().len(), 8);
         let patch = bricking_patch();
         assert_eq!(patch.len(), 8, "mov #imm, &abs (6) + jmp (2)");
-        // The violating write stays inside the patch's own range so
-        // rollback is byte-exact.
-        let written = 0xE006u16;
+        // The violating write lands far outside the patch's own range:
+        // only the pre-commit veto keeps rollback byte-exact.
         let end = BRICKING_PATCH_TARGET + patch.len() as u16 - 1;
-        assert!((BRICKING_PATCH_TARGET..=end).contains(&written));
+        assert!(!(BRICKING_PATCH_TARGET..=end).contains(&BRICKING_WRITE_TARGET));
     }
 }

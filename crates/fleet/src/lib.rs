@@ -64,7 +64,10 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe code is denied crate-wide; the single, documented exception is
+// the lifetime-erasure in `pool::WorkerPool::scope`, which re-creates
+// `std::thread::scope`'s join guarantee on persistent worker threads.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod campaign;
@@ -73,13 +76,18 @@ pub mod error;
 pub mod exec;
 pub mod fixtures;
 pub mod fleet;
+pub mod pool;
 pub mod report;
 pub mod verifier;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignOutcome, CampaignReport, WaveReport};
+pub use campaign::{
+    Campaign, CampaignConfig, CampaignOutcome, CampaignReport, CampaignRun, CampaignStatus,
+    PausedCampaign, WaveReport,
+};
 pub use device::{DeviceId, SimDevice};
 pub use eilid_casu::MeasurementScheme;
 pub use error::FleetError;
 pub use fleet::{Fleet, FleetBuilder, SliceReport};
+pub use pool::{PoolBusy, WorkerPool};
 pub use report::{DeviceHealth, FleetReport, HealthClass, Ledger, LedgerEvent};
-pub use verifier::Verifier;
+pub use verifier::{CohortSnapshot, ServiceSnapshot, Verifier, SHARD_COUNT};

@@ -1,0 +1,484 @@
+//! Persistent worker pool with shard-affine dispatch.
+//!
+//! PR 2 made attestation sweeps cheap enough (~270 k devices/s) that the
+//! dominant multi-thread cost at fleet scale became *thread spawning*:
+//! every `Verifier::sweep` paid a `thread::scope` spawn/join cycle per
+//! shard. This pool replaces that with long-lived workers:
+//!
+//! * **Persistent threads** — workers are spawned once and reused across
+//!   sweeps (and by the `eilid_net` gateway across requests), so the
+//!   per-sweep cost is a channel send per shard batch, not a spawn.
+//! * **Shard-affine dispatch** — work is submitted *to a shard*, and a
+//!   shard always maps to the same worker queue for a given worker
+//!   count. Jobs for one shard execute in submission order, which is
+//!   what lets callers hand exclusive `&mut` shard state to one job at
+//!   a time without locks.
+//! * **Stable shard count, resizable workers** — the shard count is
+//!   fixed at construction and survives [`WorkerPool::set_workers`];
+//!   only the shard→worker routing changes. Callers key long-lived
+//!   caches (the verifier's device-key shards) by shard index, so
+//!   changing the worker count can never orphan cached state.
+//! * **Bounded queues / backpressure** — each worker owns a bounded
+//!   queue. [`WorkerPool::try_submit`] fails fast with [`PoolBusy`]
+//!   when the target queue is full (the gateway turns that into a
+//!   `Busy` protocol error), while [`WorkerPool::submit`] and the
+//!   scoped API block, which is the natural backpressure for batch
+//!   callers.
+//!
+//! The scoped API ([`WorkerPool::scope`]) is what lets the *persistent*
+//! threads run jobs that borrow from the caller's stack (the sweep's
+//! `&mut SimDevice` batches): job closures are lifetime-erased before
+//! being queued, and a receive-side guard guarantees — even on unwind —
+//! that `scope` does not return while any erased job is still live.
+//! That invariant is exactly the one `std::thread::scope` enforces by
+//! joining, and it is what makes the single `unsafe` block below sound.
+
+// The lifetime-erasure transmute in `scope` is the one place the fleet
+// crate needs unsafe code; it is documented and encapsulated here.
+#![allow(unsafe_code)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use std::{fmt, mem, thread};
+
+/// A queued unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Error returned by [`WorkerPool::try_submit`] when the target worker's
+/// queue is full — the caller should shed load or retry later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolBusy {
+    /// The shard whose worker queue was full.
+    pub shard: usize,
+}
+
+impl fmt::Display for PoolBusy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker queue for shard {} is full", self.shard)
+    }
+}
+
+impl std::error::Error for PoolBusy {}
+
+struct Worker {
+    sender: SyncSender<Job>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Long-lived, shard-affine worker pool. See the module docs.
+pub struct WorkerPool {
+    workers: Vec<Worker>,
+    shard_count: usize,
+    queue_depth: usize,
+}
+
+impl fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .field("shard_count", &self.shard_count)
+            .field("queue_depth", &self.queue_depth)
+            .finish()
+    }
+}
+
+fn spawn_workers(count: usize, queue_depth: usize) -> Vec<Worker> {
+    (0..count)
+        .map(|index| {
+            let (sender, receiver): (SyncSender<Job>, Receiver<Job>) =
+                mpsc::sync_channel(queue_depth);
+            let handle = thread::Builder::new()
+                .name(format!("eilid-pool-{index}"))
+                .spawn(move || {
+                    // Drain until every sender is gone. Jobs handle their
+                    // own panics (the scoped API forwards payloads to the
+                    // caller); a stray panic from a fire-and-forget job
+                    // must not take the worker down with it.
+                    while let Ok(job) = receiver.recv() {
+                        let _ = catch_unwind(AssertUnwindSafe(job));
+                    }
+                })
+                .expect("spawning a pool worker thread");
+            Worker {
+                sender,
+                handle: Some(handle),
+            }
+        })
+        .collect()
+}
+
+impl WorkerPool {
+    /// Creates a pool of `workers` persistent threads serving
+    /// `shard_count` shards, each worker with a bounded queue of
+    /// `queue_depth` jobs. All three are clamped to at least 1.
+    pub fn new(workers: usize, shard_count: usize, queue_depth: usize) -> Self {
+        let workers = workers.max(1);
+        let queue_depth = queue_depth.max(1);
+        WorkerPool {
+            workers: spawn_workers(workers, queue_depth),
+            shard_count: shard_count.max(1),
+            queue_depth,
+        }
+    }
+
+    /// Number of persistent worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The fixed shard count (stable across [`WorkerPool::set_workers`]).
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// The worker index serving `shard` under the current worker count.
+    pub fn worker_of(&self, shard: usize) -> usize {
+        shard % self.workers.len()
+    }
+
+    /// Replaces the worker threads with `workers` fresh ones. Queued
+    /// jobs on the old workers are drained before they exit; the shard
+    /// count — and therefore any shard-keyed caller state — is
+    /// untouched, only the shard→worker routing changes.
+    pub fn set_workers(&mut self, workers: usize) {
+        let workers = workers.max(1);
+        if workers == self.workers.len() {
+            return;
+        }
+        let old = mem::replace(&mut self.workers, spawn_workers(workers, self.queue_depth));
+        for mut worker in old {
+            drop(worker.sender);
+            if let Some(handle) = worker.handle.take() {
+                handle.join().expect("pool worker panicked");
+            }
+        }
+    }
+
+    /// Queues `job` on `shard`'s worker, failing fast when the queue is
+    /// full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolBusy`] when the worker's bounded queue is at
+    /// capacity — the backpressure signal for request-driven callers.
+    pub fn try_submit(
+        &self,
+        shard: usize,
+        job: impl FnOnce() + Send + 'static,
+    ) -> Result<(), PoolBusy> {
+        let worker = &self.workers[self.worker_of(shard)];
+        worker
+            .sender
+            .try_send(Box::new(job))
+            .map_err(|err| match err {
+                TrySendError::Full(_) => PoolBusy { shard },
+                // Workers only exit when their sender is dropped, which
+                // cannot happen while `&self` is alive.
+                TrySendError::Disconnected(_) => unreachable!("pool worker exited while pool live"),
+            })
+    }
+
+    /// Queues `job` on `shard`'s worker, blocking while the queue is
+    /// full (backpressure for batch callers).
+    pub fn submit(&self, shard: usize, job: impl FnOnce() + Send + 'static) {
+        self.submit_boxed(shard, Box::new(job));
+    }
+
+    fn submit_boxed(&self, shard: usize, job: Job) {
+        let worker = &self.workers[self.worker_of(shard)];
+        worker
+            .sender
+            .send(job)
+            .unwrap_or_else(|_| unreachable!("pool worker exited while pool live"));
+    }
+
+    /// Runs a batch of borrowing jobs on the persistent workers and
+    /// returns their results in submission order, blocking until every
+    /// job has finished.
+    ///
+    /// Each entry is `(shard, job)`; jobs for one shard run on one
+    /// worker in submission order, so a caller that submits **at most
+    /// one job per shard** may freely move `&mut` shard state into that
+    /// job. A panicking job does not poison the pool: the panic is
+    /// re-raised on the calling thread after the whole batch has
+    /// drained.
+    ///
+    /// This is the persistent-pool replacement for `thread::scope`: the
+    /// receive-side guard below gives the same "nothing borrowed
+    /// outlives the call" guarantee that scope's implicit join does.
+    pub fn scope<'env, R: Send + 'env>(
+        &self,
+        jobs: Vec<(usize, Box<dyn FnOnce() -> R + Send + 'env>)>,
+    ) -> Vec<R> {
+        let total = jobs.len();
+        let (tx, rx) = mpsc::channel::<(usize, thread::Result<R>)>();
+        // The guard's Drop blocks until `total` completions arrived —
+        // even if this function unwinds — so no erased job can still be
+        // running (or queued) once the borrowed environment dies.
+        let mut guard = ScopeGuard {
+            rx,
+            outstanding: total,
+        };
+
+        for (index, (shard, job)) in jobs.into_iter().enumerate() {
+            let tx = tx.clone();
+            let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(job));
+                // The receiver only disappears if the caller's thread is
+                // tearing down in a panic storm; dropping the result is
+                // then the right thing.
+                let _ = tx.send((index, result));
+            });
+            // SAFETY: `wrapped` borrows data living for `'env`. The only
+            // way it reaches a worker is through this queue, and the
+            // `guard` above does not let this stack frame die — by
+            // return *or* unwind — until the worker has executed the
+            // job and sent its completion. Everything `wrapped` still
+            // touches after that send (its own drop glue: a channel
+            // sender clone) is `'static`-safe. Hence the erased closure
+            // never outlives the borrows it captures, which is the same
+            // contract `std::thread::scope` enforces by joining.
+            let erased: Job = unsafe {
+                mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send + 'static>>(
+                    wrapped,
+                )
+            };
+            self.submit_boxed(shard, erased);
+        }
+        drop(tx);
+
+        let mut results: Vec<Option<R>> = (0..total).map(|_| None).collect();
+        let mut panic_payload = None;
+        for _ in 0..total {
+            let (index, result) = guard.recv();
+            match result {
+                Ok(value) => results[index] = Some(value),
+                Err(payload) => panic_payload = Some(payload),
+            }
+        }
+        debug_assert_eq!(guard.outstanding, 0);
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every completed job reported a result"))
+            .collect()
+    }
+}
+
+/// Receive-side completion guard for [`WorkerPool::scope`]: tracks how
+/// many submitted jobs have not yet reported completion and, on drop,
+/// blocks until they all have. This is what makes the lifetime erasure
+/// sound even when the scope body unwinds.
+struct ScopeGuard<R> {
+    rx: Receiver<(usize, thread::Result<R>)>,
+    outstanding: usize,
+}
+
+impl<R> ScopeGuard<R> {
+    fn recv(&mut self) -> (usize, thread::Result<R>) {
+        let message = self
+            .rx
+            .recv()
+            .expect("pool worker vanished with jobs outstanding");
+        self.outstanding -= 1;
+        message
+    }
+}
+
+impl<R> Drop for ScopeGuard<R> {
+    fn drop(&mut self) {
+        while self.outstanding > 0 {
+            // Block until the stragglers finish; bail out only if the
+            // workers are provably gone (at which point nothing can be
+            // executing borrowed jobs anymore either).
+            match self.rx.recv_timeout(Duration::from_secs(60)) {
+                Ok(_) => self.outstanding -= 1,
+                Err(RecvTimeoutError::Disconnected) => break,
+                Err(RecvTimeoutError::Timeout) => continue,
+            }
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for worker in &mut self.workers {
+            // Closing the channel lets the worker drain and exit.
+            let (closed, _) = mpsc::sync_channel(1);
+            let sender = mem::replace(&mut worker.sender, closed);
+            drop(sender);
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// Shared handle to a [`WorkerPool`] plus interior mutability for
+/// resizing: what long-lived services (the verifier, the gateway) hold.
+pub type SharedPool = Arc<Mutex<WorkerPool>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Barrier};
+
+    #[test]
+    fn scope_runs_borrowing_jobs_and_preserves_order() {
+        let pool = WorkerPool::new(4, 16, 8);
+        let mut data: Vec<u64> = (0..16).collect();
+        let jobs: Vec<(usize, Box<dyn FnOnce() -> u64 + Send + '_>)> = data
+            .iter_mut()
+            .enumerate()
+            .map(|(shard, value)| {
+                let job: Box<dyn FnOnce() -> u64 + Send + '_> = Box::new(move || {
+                    *value *= 2;
+                    *value
+                });
+                (shard, job)
+            })
+            .collect();
+        let results = pool.scope(jobs);
+        assert_eq!(results, (0..16).map(|v| v * 2).collect::<Vec<u64>>());
+        assert_eq!(data[15], 30);
+    }
+
+    #[test]
+    fn scope_reuses_the_same_threads_across_batches() {
+        let pool = WorkerPool::new(2, 4, 8);
+        let mut first: Vec<std::thread::ThreadId> = Vec::new();
+        for round in 0..3 {
+            let ids = pool.scope(
+                (0..4)
+                    .map(|shard| {
+                        let job: Box<dyn FnOnce() -> std::thread::ThreadId + Send> =
+                            Box::new(|| std::thread::current().id());
+                        (shard, job)
+                    })
+                    .collect(),
+            );
+            if round == 0 {
+                first = ids;
+            } else {
+                assert_eq!(ids, first, "workers must persist across batches");
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_job_propagates_after_the_batch_drains() {
+        let pool = WorkerPool::new(2, 4, 8);
+        let completed = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<(usize, Box<dyn FnOnce() + Send>)> = (0..4)
+            .map(|shard| {
+                let completed = Arc::clone(&completed);
+                let job: Box<dyn FnOnce() + Send> = Box::new(move || {
+                    if shard == 1 {
+                        panic!("job 1 exploded");
+                    }
+                    completed.fetch_add(1, Ordering::SeqCst);
+                });
+                (shard, job)
+            })
+            .collect();
+        let result = catch_unwind(AssertUnwindSafe(|| pool.scope(jobs)));
+        assert!(result.is_err(), "the panic must reach the caller");
+        assert_eq!(completed.load(Ordering::SeqCst), 3);
+
+        // The pool survives and keeps working.
+        let sum: usize = pool
+            .scope(
+                (0..4)
+                    .map(|shard| {
+                        let job: Box<dyn FnOnce() -> usize + Send> = Box::new(move || shard);
+                        (shard, job)
+                    })
+                    .collect(),
+            )
+            .into_iter()
+            .sum();
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn try_submit_reports_backpressure_when_the_queue_fills() {
+        let pool = WorkerPool::new(1, 1, 1);
+        let gate = Arc::new(Barrier::new(2));
+        // First job parks the single worker...
+        let parked = Arc::clone(&gate);
+        pool.submit(0, move || {
+            parked.wait();
+        });
+        // ...one more fits in the depth-1 queue...
+        let queued = loop {
+            match pool.try_submit(0, || {}) {
+                Ok(()) => break true,
+                Err(PoolBusy { .. }) => continue,
+            }
+        };
+        assert!(queued);
+        // ...after which the queue is full.
+        let mut saw_busy = false;
+        for _ in 0..100 {
+            if pool.try_submit(0, || {}) == Err(PoolBusy { shard: 0 }) {
+                saw_busy = true;
+                break;
+            }
+        }
+        assert!(saw_busy, "a bounded queue must eventually report Busy");
+        gate.wait();
+    }
+
+    #[test]
+    fn set_workers_keeps_the_shard_count_and_keeps_working() {
+        let mut pool = WorkerPool::new(1, 8, 4);
+        assert_eq!(pool.shard_count(), 8);
+        let run = |pool: &WorkerPool| -> Vec<usize> {
+            pool.scope(
+                (0..8)
+                    .map(|shard| {
+                        let job: Box<dyn FnOnce() -> usize + Send> = Box::new(move || shard * 10);
+                        (shard, job)
+                    })
+                    .collect(),
+            )
+        };
+        let expected: Vec<usize> = (0..8).map(|s| s * 10).collect();
+        assert_eq!(run(&pool), expected);
+        pool.set_workers(4);
+        assert_eq!(pool.workers(), 4);
+        assert_eq!(pool.shard_count(), 8, "shards are stable across resizes");
+        assert_eq!(run(&pool), expected);
+        pool.set_workers(2);
+        assert_eq!(run(&pool), expected);
+    }
+
+    #[test]
+    fn fire_and_forget_submit_executes() {
+        let pool = WorkerPool::new(2, 4, 8);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for shard in 0..4 {
+            let counter = Arc::clone(&counter);
+            pool.submit(shard, move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // Dropping the pool joins the workers, draining the queues.
+        drop(pool);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn shard_routing_is_deterministic() {
+        let pool = WorkerPool::new(3, 16, 4);
+        for shard in 0..16 {
+            assert_eq!(pool.worker_of(shard), shard % 3);
+        }
+    }
+}

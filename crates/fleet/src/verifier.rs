@@ -1,65 +1,185 @@
-//! The fleet verifier: batched attestation sweeps, sharded per-worker
-//! sweep state with cached device keys, and measurement bookkeeping.
+//! The fleet verifier: batched attestation sweeps on the persistent
+//! worker pool, sharded sweep state with cached device keys, and
+//! measurement bookkeeping.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::thread;
 use std::time::Instant;
 
-use eilid_casu::{AttestError, AttestationVerifier, DeviceKey, MeasurementScheme};
+use eilid_casu::{AttestError, AttestationVerifier, DeviceKey, MeasurementScheme, MemoryLayout};
 use eilid_workloads::WorkloadId;
 
 use crate::device::{DeviceId, SimDevice};
 use crate::fleet::Fleet;
+use crate::pool::WorkerPool;
 use crate::report::{DeviceHealth, FleetReport, HealthClass, LedgerEvent};
 
+/// One shard's sweep job, ready for [`WorkerPool::scope`].
+type ShardJob<'env> = (usize, Box<dyn FnOnce() -> Vec<DeviceHealth> + Send + 'env>);
+
+/// Number of sweep shards — the unit device-key caches are keyed by.
+///
+/// Deliberately **independent of the worker-thread count** and fixed for
+/// the verifier's lifetime: devices map to shards by `id % SHARD_COUNT`
+/// forever, so changing the sweep parallelism between sweeps (see
+/// [`Verifier::set_parallelism`]) re-routes shards to workers but can
+/// never orphan a cached key. (The PR 2 design keyed shards by
+/// `id % threads`, which silently abandoned every cache when the caller
+/// asked for a different thread count.)
+pub const SHARD_COUNT: usize = 16;
+
 /// Known-good measurements of one firmware cohort: the current version
-/// plus every previous version still considered "stale but authentic".
+/// plus every previous version still considered "stale but authentic",
+/// and the memory layout the cohort's devices attest over.
 #[derive(Debug, Clone)]
-struct MeasurementHistory {
-    current: [u8; 32],
-    previous: Vec<[u8; 32]>,
+pub(crate) struct MeasurementHistory {
+    pub(crate) current: [u8; 32],
+    pub(crate) previous: Vec<[u8; 32]>,
+    pub(crate) layout: MemoryLayout,
 }
 
-/// Per-worker sweep state. Devices are assigned to shards by
-/// `id % shard_count`, which is stable across sweeps, so a shard's key
-/// cache keeps hitting for the same devices sweep after sweep and no
-/// cross-thread synchronisation is ever needed: each worker thread owns
-/// exactly one shard for the duration of a sweep.
+/// Classifies one verified-or-not report measurement against a golden
+/// history — the single classification rule the in-process verifier and
+/// the networked gateway both apply. Allocation-free: it sits on the
+/// per-report verification hot path of both.
+fn classify_measurement(
+    current: &[u8; 32],
+    previous: &[[u8; 32]],
+    verified: Result<(), AttestError>,
+    measurement: &[u8; 32],
+) -> (HealthClass, Option<AttestError>) {
+    match verified {
+        Err(error) => (HealthClass::Unverified, Some(error)),
+        Ok(()) if measurement == current => (HealthClass::Attested, None),
+        Ok(()) if previous.contains(measurement) => (HealthClass::Stale, None),
+        Ok(()) => (
+            HealthClass::Tampered,
+            Some(AttestError::UnexpectedMeasurement),
+        ),
+    }
+}
+
+impl MeasurementHistory {
+    /// Classifies one verified-or-not report measurement against this
+    /// history.
+    pub(crate) fn classify(
+        &self,
+        verified: Result<(), AttestError>,
+        measurement: &[u8; 32],
+    ) -> (HealthClass, Option<AttestError>) {
+        classify_measurement(&self.current, &self.previous, verified, measurement)
+    }
+}
+
+/// Per-shard sweep state. Devices are assigned to shards by
+/// `id % SHARD_COUNT`, which is stable across sweeps *and* across
+/// parallelism changes, so a shard's key cache keeps hitting for the
+/// same devices forever. During a sweep each pool worker owns the shards
+/// routed to it exclusively, so no cross-thread synchronisation is ever
+/// needed.
 #[derive(Debug, Clone, Default)]
 struct SweepShard {
     /// Device keys derived once from the fleet root, then reused.
     keys: HashMap<DeviceId, DeviceKey>,
+    /// How many derivations this shard ever performed (each device key
+    /// is derived exactly once — the regression witness for the
+    /// shard-stability guarantee).
+    derivations: u64,
 }
 
 impl SweepShard {
     /// The cached (or newly derived and cached) key of `device`.
     fn key(&mut self, root: &DeviceKey, device: DeviceId) -> &DeviceKey {
-        self.keys
-            .entry(device)
-            .or_insert_with(|| root.derive(device))
+        let derivations = &mut self.derivations;
+        self.keys.entry(device).or_insert_with(|| {
+            *derivations += 1;
+            root.derive(device)
+        })
+    }
+}
+
+/// Exportable, self-contained snapshot of the verifier's trust state —
+/// what the `eilid_net` attestation gateway is provisioned with. The
+/// snapshot carries its own reserved block of the verifier's challenge
+/// nonce domain, so networked challenges can never collide with
+/// in-process sweep challenges.
+#[derive(Debug, Clone)]
+pub struct ServiceSnapshot {
+    /// The fleet root key (device keys are derived from it).
+    pub root: DeviceKey,
+    /// The measurement scheme reports are verified under.
+    pub scheme: MeasurementScheme,
+    /// Per-cohort golden state.
+    pub cohorts: BTreeMap<WorkloadId, CohortSnapshot>,
+    /// First nonce of the block reserved for this snapshot.
+    pub nonce_base: u64,
+    /// Number of nonces reserved (exclusive upper bound is
+    /// `nonce_base + nonce_span`).
+    pub nonce_span: u64,
+}
+
+/// One cohort's golden state inside a [`ServiceSnapshot`].
+#[derive(Debug, Clone)]
+pub struct CohortSnapshot {
+    /// Layout the cohort's devices attest over.
+    pub layout: MemoryLayout,
+    /// The current golden measurement.
+    pub current: [u8; 32],
+    /// Previous still-authentic measurements ("stale").
+    pub previous: Vec<[u8; 32]>,
+}
+
+impl CohortSnapshot {
+    /// Classifies a verified-or-not measurement exactly as the fleet
+    /// verifier would (same rule, no allocation — this runs once per
+    /// networked report).
+    pub fn classify(
+        &self,
+        verified: Result<(), AttestError>,
+        measurement: &[u8; 32],
+    ) -> (HealthClass, Option<AttestError>) {
+        classify_measurement(&self.current, &self.previous, verified, measurement)
     }
 }
 
 /// The trusted fleet verifier.
 ///
 /// Holds the fleet root key (from which every device key is derived,
-/// then cached in per-worker shards), the per-cohort golden
-/// measurements, the measurement scheme the fleet was enrolled under,
-/// and the challenge-nonce state.
-#[derive(Debug, Clone)]
+/// then cached in stable shards), the per-cohort golden measurements,
+/// the measurement scheme the fleet was enrolled under, the challenge
+/// nonce state, and the persistent [`WorkerPool`] sweeps run on.
+#[derive(Debug)]
 pub struct Verifier {
     root: DeviceKey,
     expected: BTreeMap<WorkloadId, MeasurementHistory>,
     scheme: MeasurementScheme,
     shards: Vec<SweepShard>,
+    pool: WorkerPool,
     next_nonce: u64,
+}
+
+impl Clone for Verifier {
+    /// Cloning duplicates the trust state (keys, goldens, caches) and
+    /// spins up a *fresh* worker pool with the same parallelism —
+    /// worker threads are not shareable state.
+    fn clone(&self) -> Self {
+        Verifier {
+            root: self.root.clone(),
+            expected: self.expected.clone(),
+            scheme: self.scheme,
+            shards: self.shards.clone(),
+            pool: WorkerPool::new(self.pool.workers(), SHARD_COUNT, SHARD_COUNT),
+            next_nonce: self.next_nonce,
+        }
+    }
 }
 
 impl Verifier {
     /// Enrolls a fleet: records each cohort's golden measurement (under
     /// the fleet's measurement scheme, over the layout the cohort's
-    /// devices were actually built with) and sizes one sweep shard per
-    /// fleet worker thread.
+    /// devices were actually built with), sizes the stable shard set,
+    /// and spins up the persistent worker pool with one worker per
+    /// fleet thread.
     pub(crate) fn enroll(root: DeviceKey, fleet: &Fleet) -> Self {
         let scheme = fleet.scheme();
         let mut expected = BTreeMap::new();
@@ -70,6 +190,7 @@ impl Verifier {
                 MeasurementHistory {
                     current: scheme.measure_pmem(&state.golden, &state.layout),
                     previous: Vec::new(),
+                    layout: state.layout.clone(),
                 },
             );
         }
@@ -77,7 +198,8 @@ impl Verifier {
             root,
             expected,
             scheme,
-            shards: vec![SweepShard::default(); fleet.threads()],
+            shards: vec![SweepShard::default(); SHARD_COUNT],
+            pool: WorkerPool::new(fleet.threads(), SHARD_COUNT, SHARD_COUNT),
             next_nonce: 1,
         }
     }
@@ -95,6 +217,26 @@ impl Verifier {
     /// Number of device keys currently cached across all sweep shards.
     pub fn cached_keys(&self) -> usize {
         self.shards.iter().map(|s| s.keys.len()).sum()
+    }
+
+    /// Total key derivations ever performed. With stable shards this
+    /// equals [`Verifier::cached_keys`] no matter how often the
+    /// parallelism changes — each device key is derived exactly once.
+    pub fn key_derivations(&self) -> u64 {
+        self.shards.iter().map(|s| s.derivations).sum()
+    }
+
+    /// Number of persistent sweep workers.
+    pub fn parallelism(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Changes the number of persistent sweep workers. The stable shard
+    /// set (and every cached key in it) is untouched: only the
+    /// shard→worker routing changes, so resizing between sweeps never
+    /// costs a re-derivation.
+    pub fn set_parallelism(&mut self, workers: usize) {
+        self.pool.set_workers(workers);
     }
 
     /// The fleet root key (campaigns derive per-device authorities from
@@ -120,6 +262,36 @@ impl Verifier {
         }
     }
 
+    /// Exports a self-contained [`ServiceSnapshot`] for a networked
+    /// attestation gateway, reserving `nonce_span` nonces from the
+    /// verifier's single strictly increasing challenge-nonce domain so
+    /// gateway challenges and in-process sweep challenges can never
+    /// collide on a device key.
+    pub fn service_snapshot(&mut self, nonce_span: u64) -> ServiceSnapshot {
+        let nonce_base = self.next_nonce;
+        self.next_nonce += nonce_span;
+        ServiceSnapshot {
+            root: self.root.clone(),
+            scheme: self.scheme,
+            cohorts: self
+                .expected
+                .iter()
+                .map(|(cohort, history)| {
+                    (
+                        *cohort,
+                        CohortSnapshot {
+                            layout: history.layout.clone(),
+                            current: history.current,
+                            previous: history.previous.clone(),
+                        },
+                    )
+                })
+                .collect(),
+            nonce_base,
+            nonce_span,
+        }
+    }
+
     /// Reserves challenge nonces for the devices in `ids` and returns a
     /// base such that `base + id` is a never-before-issued nonce for
     /// every listed id. All attestation challenges for the fleet —
@@ -133,23 +305,6 @@ impl Verifier {
         let base = self.next_nonce;
         self.next_nonce += span;
         base
-    }
-
-    /// Classifies one verified-or-not report measurement.
-    fn classify(
-        history: &MeasurementHistory,
-        verified: Result<(), AttestError>,
-        measurement: &[u8; 32],
-    ) -> (HealthClass, Option<AttestError>) {
-        match verified {
-            Err(error) => (HealthClass::Unverified, Some(error)),
-            Ok(()) if measurement == &history.current => (HealthClass::Attested, None),
-            Ok(()) if history.previous.contains(measurement) => (HealthClass::Stale, None),
-            Ok(()) => (
-                HealthClass::Tampered,
-                Some(AttestError::UnexpectedMeasurement),
-            ),
-        }
     }
 
     /// Challenges and classifies one device against `shard`'s cached
@@ -170,7 +325,7 @@ impl Verifier {
         let report = device.attest(challenge);
         let verified = verifier.verify(&challenge, &report, None);
         let (class, error) = match expected.get(&device.cohort()) {
-            Some(history) => Verifier::classify(history, verified, &report.measurement),
+            Some(history) => history.classify(verified, &report.measurement),
             // A cohort this verifier never enrolled (a foreign
             // fleet): there is nothing to verify against.
             None => (HealthClass::Unverified, None),
@@ -186,10 +341,12 @@ impl Verifier {
     /// Issues one batched attestation sweep across the whole fleet.
     ///
     /// Every device gets a fresh challenge over its full application PMEM
-    /// range. Devices are partitioned into per-worker shards by
-    /// `id % shards`; each worker owns its shard's key cache for the
-    /// sweep, so keys are derived once per device *ever*, not once per
-    /// sweep. Flagged devices are recorded in the fleet ledger.
+    /// range. Devices are partitioned into stable shards by
+    /// `id % SHARD_COUNT`; the persistent pool runs one job per
+    /// non-empty shard, each exclusively owning its shard's key cache,
+    /// so keys are derived once per device *ever*, not once per sweep —
+    /// and no threads are spawned per sweep. Flagged devices are
+    /// recorded in the fleet ledger.
     pub fn sweep(&mut self, fleet: &mut Fleet) -> FleetReport {
         let ids: Vec<DeviceId> = fleet.devices().iter().map(|d| d.id()).collect();
         self.sweep_devices(fleet, &ids)
@@ -197,69 +354,75 @@ impl Verifier {
 
     /// Issues a batched attestation sweep over a subset of devices.
     ///
-    /// Shard assignment is `id % shards` — stable across sweeps so key
-    /// caches keep hitting, and evenly balanced for dense id sets (the
-    /// whole-fleet sweep). A subset whose ids all share one residue
-    /// collapses onto a single worker; the report's `threads` field
-    /// records the workers that actually ran, not the configured count.
+    /// Shard assignment is `id % SHARD_COUNT` — stable across sweeps
+    /// (and parallelism changes) so key caches keep hitting, and evenly
+    /// balanced for dense id sets (the whole-fleet sweep). The report's
+    /// `threads` field records the workers that actually ran shard
+    /// batches, not the configured count.
     pub fn sweep_devices(&mut self, fleet: &mut Fleet, ids: &[DeviceId]) -> FleetReport {
         let nonce_base = self.reserve_challenge_nonces(ids);
-        let shard_count = self.shards.len().max(1);
+        let shard_count = self.shards.len();
         let scheme = self.scheme;
 
-        // Partition the targets into shards by stable id hash, so each
-        // device lands in the same shard (same key cache) every sweep.
+        // Partition the targets into stable shards, so each device lands
+        // in the same shard (same key cache) every sweep.
         let mut shard_targets: Vec<Vec<&mut SimDevice>> =
             (0..shard_count).map(|_| Vec::new()).collect();
         let targets = fleet.devices_by_ids_mut(ids);
-        let challenged: std::collections::BTreeSet<DeviceId> =
-            targets.iter().map(|d| d.id()).collect();
+        let challenged: BTreeSet<DeviceId> = targets.iter().map(|d| d.id()).collect();
         for device in targets {
             let shard = (device.id() % shard_count as u64) as usize;
             shard_targets[shard].push(device);
         }
         let threads = shard_targets
             .iter()
-            .filter(|targets| !targets.is_empty())
-            .count()
+            .enumerate()
+            .filter(|(_, targets)| !targets.is_empty())
+            .map(|(shard, _)| self.pool.worker_of(shard))
+            .collect::<BTreeSet<usize>>()
+            .len()
             .max(1);
 
         let start = Instant::now();
         let root = &self.root;
         let expected = &self.expected;
-        let mut healths: Vec<DeviceHealth> = if shard_count == 1 {
-            let shard = &mut self.shards[0];
-            shard_targets
-                .pop()
-                .expect("one shard")
-                .into_iter()
-                .map(|device| Self::check_device(shard, root, expected, nonce_base, device))
+        let mut healths: Vec<DeviceHealth> = if self.pool.workers() == 1 {
+            // Single-worker sweeps run inline: same shard state, no
+            // channel hops — deterministic and profiler-friendly.
+            self.shards
+                .iter_mut()
+                .zip(shard_targets)
+                .flat_map(|(shard, targets)| {
+                    targets
+                        .into_iter()
+                        .map(|device| Self::check_device(shard, root, expected, nonce_base, device))
+                        .collect::<Vec<DeviceHealth>>()
+                })
                 .collect()
         } else {
-            // One scoped worker per (non-empty) shard; each exclusively
-            // owns its shard state, so the only shared data is read-only.
-            thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .shards
-                    .iter_mut()
-                    .zip(shard_targets)
-                    .filter(|(_, targets)| !targets.is_empty())
-                    .map(|(shard, targets)| {
-                        scope.spawn(move || {
+            // One pool job per non-empty shard; each job exclusively
+            // owns its shard state (shards route to exactly one worker),
+            // so the only shared data is read-only.
+            let jobs: Vec<ShardJob<'_>> = self
+                .shards
+                .iter_mut()
+                .zip(shard_targets)
+                .enumerate()
+                .filter(|(_, (_, targets))| !targets.is_empty())
+                .map(|(index, (shard, targets))| {
+                    let job: Box<dyn FnOnce() -> Vec<DeviceHealth> + Send + '_> =
+                        Box::new(move || {
                             targets
                                 .into_iter()
                                 .map(|device| {
                                     Self::check_device(shard, root, expected, nonce_base, device)
                                 })
-                                .collect::<Vec<DeviceHealth>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|handle| handle.join().expect("sweep shard thread panicked"))
-                    .collect()
-            })
+                                .collect()
+                        });
+                    (index, job)
+                })
+                .collect();
+            self.pool.scope(jobs).into_iter().flatten().collect()
         };
         let elapsed = start.elapsed();
         // Shard partitioning interleaves ids; reports stay in id order.
@@ -286,6 +449,98 @@ impl Verifier {
             missing,
             elapsed,
             threads,
+            scheme,
+        }
+    }
+
+    /// The PR 2 sweep strategy — `thread::scope` with per-sweep thread
+    /// spawning — kept verbatim as the benchmark baseline the persistent
+    /// pool is measured against (`BENCH_net.json`). Identical trust
+    /// logic and shard state; only the scheduling differs.
+    #[doc(hidden)]
+    pub fn sweep_scoped_baseline(&mut self, fleet: &mut Fleet) -> FleetReport {
+        let ids: Vec<DeviceId> = fleet.devices().iter().map(|d| d.id()).collect();
+        let nonce_base = self.reserve_challenge_nonces(&ids);
+        let shard_count = self.shards.len();
+        let scheme = self.scheme;
+        let workers = self.pool.workers().max(1);
+
+        let mut shard_targets: Vec<Vec<&mut SimDevice>> =
+            (0..shard_count).map(|_| Vec::new()).collect();
+        for device in fleet.devices_by_ids_mut(&ids) {
+            let shard = (device.id() % shard_count as u64) as usize;
+            shard_targets[shard].push(device);
+        }
+
+        let start = Instant::now();
+        let root = &self.root;
+        let expected = &self.expected;
+        // Group the stable shards into one chunk per worker, exactly as
+        // the pool routes them, then spawn a scoped thread per chunk —
+        // paying the per-sweep spawn/join cost the pool eliminates.
+        let mut chunks: Vec<Vec<(&mut SweepShard, Vec<&mut SimDevice>)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (index, (shard, targets)) in self.shards.iter_mut().zip(shard_targets).enumerate() {
+            if !targets.is_empty() {
+                chunks[index % workers].push((shard, targets));
+            }
+        }
+        let mut healths: Vec<DeviceHealth> = if workers == 1 {
+            chunks
+                .pop()
+                .expect("one chunk")
+                .into_iter()
+                .flat_map(|(shard, targets)| {
+                    targets
+                        .into_iter()
+                        .map(|device| Self::check_device(shard, root, expected, nonce_base, device))
+                        .collect::<Vec<DeviceHealth>>()
+                })
+                .collect()
+        } else {
+            thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .filter(|chunk| !chunk.is_empty())
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            chunk
+                                .into_iter()
+                                .flat_map(|(shard, targets)| {
+                                    targets
+                                        .into_iter()
+                                        .map(|device| {
+                                            Self::check_device(
+                                                shard, root, expected, nonce_base, device,
+                                            )
+                                        })
+                                        .collect::<Vec<DeviceHealth>>()
+                                })
+                                .collect::<Vec<DeviceHealth>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|handle| handle.join().expect("sweep shard thread panicked"))
+                    .collect()
+            })
+        };
+        let elapsed = start.elapsed();
+        healths.sort_by_key(|h| h.device);
+        for health in &healths {
+            if health.class != HealthClass::Attested {
+                fleet.ledger_mut().record(LedgerEvent::AttestationFlagged {
+                    device: health.device,
+                    class: health.class,
+                });
+            }
+        }
+        FleetReport {
+            devices: healths,
+            missing: Vec::new(),
+            elapsed,
+            threads: workers,
             scheme,
         }
     }

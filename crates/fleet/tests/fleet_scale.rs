@@ -263,29 +263,33 @@ fn zero_retained_campaign_does_not_promote_the_golden_measurement() {
     );
 }
 
-/// A bad patch that corrupts memory *outside* its own range before the
-/// violation reset cannot be fully undone by rolling back the patch
-/// range; the ledger must say so instead of recording a clean rollback.
+/// A bad patch whose violating store lands *outside* its own range used
+/// to corrupt memory before the reset (the simulator committed the
+/// write), leaving rollbacks incomplete. The bus-level pre-commit veto
+/// closes that gap: the store never reaches the memory array, so rolling
+/// back just the patch range restores the device byte-for-byte.
 #[test]
-fn corruption_outside_the_patch_range_is_recorded_rollback_incomplete() {
+fn out_of_range_violating_write_is_vetoed_and_rollback_is_clean() {
     let (mut fleet, mut verifier) = FleetBuilder::new(root_key())
         .devices(10)
         .threads(2)
         .workloads(&[WorkloadId::LightSensor])
         .build()
         .unwrap();
+    let write_target = eilid_fleet::fixtures::BRICKING_WRITE_TARGET;
+    let before = fleet.devices()[0]
+        .device()
+        .cpu()
+        .memory
+        .read_word(write_target);
 
-    // Like evil_patch, but the violating write lands at 0xF700 — PMEM
-    // *outside* the 8-byte patch range at 0xE000. The simulator commits
-    // the write before the reset, so rollback of the patch range alone
-    // leaves the device corrupted.
-    let image = eilid_asm::assemble(
-        "    .org 0xe000\n    .global main\nmain:\n    mov #0x1234, &0xf700\n    jmp main\n",
-    )
-    .unwrap();
-    let patch = image.segments[0].bytes.clone();
-
-    let config = CampaignConfig::new(WorkloadId::LightSensor, 0xE000, patch);
+    // The bricking patch stores to BRICKING_WRITE_TARGET — PMEM far
+    // outside the 8-byte patch range at 0xE000.
+    let config = CampaignConfig::new(
+        WorkloadId::LightSensor,
+        BRICKING_PATCH_TARGET,
+        bricking_patch(),
+    );
     let report = Campaign::new(config)
         .unwrap()
         .run(&mut fleet, &mut verifier)
@@ -294,28 +298,31 @@ fn corruption_outside_the_patch_range_is_recorded_rollback_incomplete() {
     match report.outcome {
         CampaignOutcome::HaltedAndRolledBack { rolled_back, .. } => {
             assert_eq!(
-                rolled_back, 0,
-                "a rollback that cannot restore the device must not count"
+                rolled_back, 1,
+                "the vetoed write leaves nothing to corrupt: rollback restores the canary"
             );
         }
         other => panic!("bad campaign was not halted: {other:?}"),
     }
-    assert_eq!(
-        report.rollback_incomplete,
-        vec![0],
-        "the report must name the device the rollback could not restore"
+    assert!(
+        report.rollback_incomplete.is_empty(),
+        "no rollback can be incomplete when the violating write never committed"
     );
-    assert!(fleet
+    assert!(!fleet
         .ledger()
         .events()
         .iter()
-        .any(|e| matches!(e, LedgerEvent::RollbackIncomplete { device: 0 })));
+        .any(|e| matches!(e, LedgerEvent::RollbackIncomplete { .. })));
 
-    // The corrupted canary is flagged by the next sweep; the untouched
-    // devices attest clean.
+    // The out-of-range target still holds its original bytes on every
+    // device, the canary's violating run was vetoed at the bus, and the
+    // whole fleet attests clean after rollback.
+    for device in fleet.devices() {
+        assert_eq!(device.device().cpu().memory.read_word(write_target), before);
+    }
+    assert!(fleet.devices()[0].device().cpu().vetoed_writes() >= 1);
     let sweep = verifier.sweep(&mut fleet);
-    assert_eq!(sweep.count(HealthClass::Attested), 9);
-    assert_eq!(sweep.devices_in(HealthClass::Tampered), vec![0]);
+    assert_eq!(sweep.count(HealthClass::Attested), 10);
 }
 
 #[test]

@@ -134,6 +134,59 @@ fn cross_device_report_replay_is_rejected() {
     assert_eq!(report.count(HealthClass::Attested), 4);
 }
 
+/// Regression test for the sweep thread-count guard: shard assignment is
+/// keyed by the verifier's *fixed* shard count, never by the requested
+/// parallelism, so changing the worker count between sweeps (1 → 4 → 2)
+/// must reuse every cached key — zero re-derivations — and keep
+/// classifications exact.
+#[test]
+fn changing_parallelism_between_sweeps_never_orphans_cached_keys() {
+    const DEVICES: usize = 24;
+    let (mut fleet, mut verifier) = FleetBuilder::new(root_key())
+        .devices(DEVICES)
+        .threads(1)
+        .workloads(&[WorkloadId::LightSensor])
+        .build()
+        .unwrap();
+
+    assert_eq!(verifier.parallelism(), 1);
+    let report = verifier.sweep(&mut fleet);
+    assert_eq!(report.count(HealthClass::Attested), DEVICES);
+    assert_eq!(verifier.cached_keys(), DEVICES);
+    assert_eq!(
+        verifier.key_derivations(),
+        DEVICES as u64,
+        "first sweep derives each key exactly once"
+    );
+
+    // Tamper one device so later sweeps must prove they still verify
+    // against real per-device keys, not stale aggregate state.
+    {
+        let device = &mut fleet.devices_mut()[7];
+        let memory = &mut device.device_mut().cpu_mut().memory;
+        let original = memory.read_byte(0xE010);
+        memory.write_byte(0xE010, original ^ 0x01);
+    }
+
+    for workers in [4usize, 2] {
+        verifier.set_parallelism(workers);
+        assert_eq!(verifier.parallelism(), workers);
+        let report = verifier.sweep(&mut fleet);
+        assert_eq!(report.count(HealthClass::Attested), DEVICES - 1);
+        assert_eq!(report.devices_in(HealthClass::Tampered), vec![7]);
+        assert_eq!(
+            verifier.cached_keys(),
+            DEVICES,
+            "cache size is stable across parallelism changes"
+        );
+        assert_eq!(
+            verifier.key_derivations(),
+            DEVICES as u64,
+            "re-sweeping at {workers} workers must not re-derive any key"
+        );
+    }
+}
+
 /// The key cache must be populated lazily and shard-stably: sweeping a
 /// subset caches only that subset's keys, and re-sweeping reuses them
 /// (correctness witnessed by classifications staying exact).

@@ -14,6 +14,7 @@ use crate::cycles::{cycle_count, INTERRUPT_CYCLES};
 use crate::decoder::decode;
 use crate::execute::execute;
 use crate::flags::{StatusFlags, Width};
+use crate::gate::WriteGate;
 use crate::memory::Memory;
 use crate::peripherals::Peripherals;
 use crate::registers::RegisterFile;
@@ -64,6 +65,11 @@ pub struct Cpu {
     total_cycles: u64,
     initial_sp: u16,
     irq_inhibited: bool,
+    /// Pre-commit bus write gate installed by the hardware monitor;
+    /// `None` for unprotected (baseline) cores.
+    write_gate: Option<WriteGate>,
+    /// Bus writes vetoed by the gate since construction.
+    vetoed_writes: u64,
     #[serde(skip)]
     pending_reads: Vec<MemAccess>,
     #[serde(skip)]
@@ -102,9 +108,42 @@ impl Cpu {
             total_cycles: 0,
             initial_sp: 0x0400,
             irq_inhibited: false,
+            write_gate: None,
+            vetoed_writes: 0,
             pending_reads: Vec::new(),
             pending_writes: Vec::new(),
         }
+    }
+
+    /// Installs (or removes, with `None`) the pre-commit bus write gate.
+    ///
+    /// The CASU/EILID monitor builds the gate from its layout and policy
+    /// (see the companion crate); the core then vetoes any bus write the
+    /// gate blocks *before* it commits to memory, exactly as the real
+    /// hardware blocks the flash write in the violating cycle. The
+    /// attempted write still appears in the [`StepTrace`], so monitors
+    /// observe — and punish — the transaction as before.
+    pub fn set_write_gate(&mut self, gate: Option<WriteGate>) {
+        self.write_gate = gate;
+    }
+
+    /// The installed write gate, if any.
+    pub fn write_gate(&self) -> Option<&WriteGate> {
+        self.write_gate.as_ref()
+    }
+
+    /// Opens/closes the gate's authorised update window (no-op without a
+    /// gate). The device layer mirrors the monitor's update-session state
+    /// here before every step.
+    pub fn set_write_gate_window(&mut self, window: Option<(u16, u16)>) {
+        if let Some(gate) = &mut self.write_gate {
+            gate.set_window(window);
+        }
+    }
+
+    /// Number of bus writes the gate has vetoed since construction.
+    pub fn vetoed_writes(&self) -> u64 {
+        self.vetoed_writes
     }
 
     /// Sets the stack pointer value installed by [`Cpu::reset`].
@@ -184,6 +223,11 @@ impl Cpu {
     pub(crate) fn bus_write(&mut self, addr: u16, value: u16, width: Width) {
         if Peripherals::contains(addr) {
             self.peripherals.write(addr, value);
+        } else if self.write_blocked(addr, width) {
+            // Pre-commit veto: the store is observable on the bus (and
+            // lands in the trace below, where the monitor will flag it)
+            // but never reaches the memory array.
+            self.vetoed_writes += 1;
         } else {
             match width {
                 Width::Word => self.memory.write_word(addr, value),
@@ -196,6 +240,22 @@ impl Cpu {
             width,
             kind: AccessKind::Write,
         });
+    }
+
+    /// `true` when the installed gate vetoes a write of `width` at
+    /// `addr` (any covered byte blocked blocks the whole access, like a
+    /// bus-level abort of the transaction).
+    fn write_blocked(&self, addr: u16, width: Width) -> bool {
+        let Some(gate) = &self.write_gate else {
+            return false;
+        };
+        match width {
+            Width::Byte => gate.blocks(addr),
+            Width::Word => {
+                let aligned = addr & !1;
+                gate.blocks(aligned) || gate.blocks(aligned.wrapping_add(1))
+            }
+        }
     }
 
     pub(crate) fn push_word(&mut self, value: u16) {
@@ -651,6 +711,49 @@ mod tests {
             }
         }
         assert!(taken, "pending interrupt not delivered after unmask");
+    }
+
+    #[test]
+    fn write_gate_vetoes_before_commit_but_keeps_the_trace() {
+        // mov #0x1234, &0xE010 (a protected store) then mov #0x5678, &0x0200.
+        let mut cpu = cpu_with_program(&[0x40B2, 0x1234, 0xE010, 0x40B2, 0x5678, 0x0200]);
+        cpu.memory.write_word(0xE010, 0xAAAA);
+        let mut gate = crate::gate::WriteGate::new();
+        gate.protect(0xE000, 0xF7FF);
+        cpu.set_write_gate(Some(gate));
+
+        let trace = cpu.step().unwrap();
+        // The attempted store is on the bus for the monitor to see...
+        assert!(trace.wrote_to(0xE010));
+        assert_eq!(trace.written_value(0xE010), Some(0x1234));
+        // ...but never committed.
+        assert_eq!(cpu.memory.read_word(0xE010), 0xAAAA);
+        assert_eq!(cpu.vetoed_writes(), 1);
+
+        // Unprotected stores still commit.
+        cpu.step().unwrap();
+        assert_eq!(cpu.memory.read_word(0x0200), 0x5678);
+        assert_eq!(cpu.vetoed_writes(), 1);
+
+        // An open update window re-admits the protected store.
+        cpu.regs.set_pc(0xF000);
+        cpu.set_write_gate_window(Some((0xE010, 0xE011)));
+        cpu.step().unwrap();
+        assert_eq!(cpu.memory.read_word(0xE010), 0x1234);
+        assert_eq!(cpu.vetoed_writes(), 1);
+    }
+
+    #[test]
+    fn word_write_straddling_the_gate_boundary_is_vetoed() {
+        // A word store whose low byte is unprotected but whose high byte
+        // is protected must be vetoed whole (bus transactions are atomic).
+        let mut cpu = cpu_with_program(&[0x40B2, 0xBEEF, 0xDFFE]);
+        let mut gate = crate::gate::WriteGate::new();
+        gate.protect(0xDFFF, 0xF7FF);
+        cpu.set_write_gate(Some(gate));
+        cpu.step().unwrap();
+        assert_eq!(cpu.memory.read_word(0xDFFE), 0);
+        assert_eq!(cpu.vetoed_writes(), 1);
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod decoder;
 pub mod disasm;
 pub mod encoder;
 pub mod flags;
+pub mod gate;
 pub mod instruction;
 pub mod memory;
 pub mod peripherals;
@@ -64,6 +65,7 @@ pub use decoder::{decode, DecodeError, Decoded};
 pub use disasm::{disassemble_range, render_disassembly, DisasmLine};
 pub use encoder::{encode, encode_bytes, encode_with, EncodeError};
 pub use flags::{StatusFlags, Width};
+pub use gate::WriteGate;
 pub use instruction::{
     constant_generator, Condition, Instruction, OneOpOpcode, Operand, TwoOpOpcode,
 };

@@ -1,0 +1,288 @@
+//! Device-side transport client and the networked sweep driver.
+//!
+//! [`DeviceClient`] speaks the device half of the protocol over any
+//! [`Transport`]: version negotiation, challenge → attest → report, and
+//! gateway-pushed authenticated updates. One client (one connection)
+//! can multiplex any number of [`SimDevice`]s — the edge-aggregator
+//! shape the 1000-device loopback sweep runs, with `device` ids in
+//! every frame keeping the multiplexing honest.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use eilid_fleet::{DeviceId, Fleet, HealthClass, SimDevice};
+
+use crate::error::NetError;
+use crate::service::health_from_wire;
+use crate::transport::{TcpTransport, Transport};
+use crate::wire::{ErrorCode, Frame, PROTOCOL_VERSION};
+
+/// How many times [`DeviceClient::attest`] restarts an exchange shed
+/// with `Error{Busy}` before surfacing the error to the caller.
+pub const BUSY_RETRIES: usize = 8;
+
+/// The device half of the protocol, over any transport.
+#[derive(Debug)]
+pub struct DeviceClient<T: Transport> {
+    transport: T,
+    negotiated: u8,
+}
+
+impl<T: Transport> DeviceClient<T> {
+    /// Performs version negotiation and returns the ready client.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] when the gateway refuses the version,
+    /// transport errors otherwise.
+    pub fn connect(mut transport: T) -> Result<Self, NetError> {
+        transport.send(&Frame::Hello {
+            min_version: PROTOCOL_VERSION,
+            max_version: PROTOCOL_VERSION,
+        })?;
+        match transport.recv()? {
+            Frame::HelloAck { version } => Ok(DeviceClient {
+                transport,
+                negotiated: version,
+            }),
+            Frame::Error { code } => Err(NetError::Protocol(code)),
+            _ => Err(NetError::Unexpected("expected HelloAck")),
+        }
+    }
+
+    /// The negotiated protocol version.
+    pub fn version(&self) -> u8 {
+        self.negotiated
+    }
+
+    /// Attests one device through the gateway: requests a challenge,
+    /// answers it from the device's measurement engine, and returns the
+    /// gateway's verdict. Gateway-pushed [`Frame::UpdateRequest`]s
+    /// arriving mid-exchange are applied to the device and acknowledged
+    /// transparently.
+    ///
+    /// `Error{Busy}` — the gateway's backpressure signal when its
+    /// worker queues are full — is honoured, not fatal: the exchange
+    /// backs off briefly and restarts (a fresh challenge is requested;
+    /// the gateway dropped the old one when it shed the report), up to
+    /// [`BUSY_RETRIES`] attempts. The client protocol is lockstep — one
+    /// exchange in flight per connection — so a Busy frame is always
+    /// attributable to this exchange.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] carries gateway-reported errors
+    /// (including `Busy` once the retry budget is exhausted); transport
+    /// errors pass through.
+    pub fn attest(&mut self, device: &mut SimDevice) -> Result<HealthClass, NetError> {
+        let mut backoff = Duration::from_micros(500);
+        for _ in 0..BUSY_RETRIES {
+            match self.attest_once(device) {
+                Err(NetError::Protocol(ErrorCode::Busy)) => {
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(50));
+                }
+                other => return other,
+            }
+        }
+        Err(NetError::Protocol(ErrorCode::Busy))
+    }
+
+    /// One challenge/report/verdict exchange, no retry.
+    fn attest_once(&mut self, device: &mut SimDevice) -> Result<HealthClass, NetError> {
+        let id = device.id();
+        self.transport.send(&Frame::AttestRequest {
+            device: id,
+            cohort: device.cohort(),
+        })?;
+        loop {
+            match self.transport.recv()? {
+                Frame::Challenge {
+                    device: for_device,
+                    challenge,
+                } => {
+                    if for_device != id {
+                        return Err(NetError::Unexpected("challenge for a different device"));
+                    }
+                    let report = device.attest(challenge);
+                    self.transport.send(&Frame::Report { device: id, report })?;
+                }
+                Frame::AttestResult {
+                    device: for_device,
+                    class,
+                } => {
+                    if for_device != id {
+                        return Err(NetError::Unexpected("result for a different device"));
+                    }
+                    return Ok(health_from_wire(class));
+                }
+                Frame::UpdateRequest {
+                    device: for_device,
+                    request,
+                } => {
+                    // Device-side update handling: apply through the
+                    // authenticated engine and acknowledge. A request
+                    // for a device this client doesn't hold is refused.
+                    let status = if for_device == id {
+                        match device.apply_update(&request) {
+                            Ok(()) => 0,
+                            Err(err) => update_error_code(&err),
+                        }
+                    } else {
+                        0xFF
+                    };
+                    self.transport.send(&Frame::UpdateResult {
+                        device: for_device,
+                        status,
+                    })?;
+                }
+                Frame::Error { code } => return Err(NetError::Protocol(code)),
+                _ => return Err(NetError::Unexpected("unexpected frame during attestation")),
+            }
+        }
+    }
+
+    /// Sends an orderly goodbye and returns the transport.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the send failure (the connection is dropped either
+    /// way).
+    pub fn bye(mut self) -> Result<T, NetError> {
+        self.transport.send(&Frame::Bye)?;
+        Ok(self.transport)
+    }
+}
+
+/// Stable wire codes for device-side update rejections.
+fn update_error_code(error: &eilid_casu::UpdateError) -> u8 {
+    match error {
+        eilid_casu::UpdateError::BadMac => 1,
+        eilid_casu::UpdateError::StaleNonce { .. } => 2,
+        eilid_casu::UpdateError::TargetOutsidePmem { .. } => 3,
+        eilid_casu::UpdateError::EmptyPayload => 4,
+    }
+}
+
+/// Aggregated result of a networked attestation sweep.
+#[derive(Debug, Clone)]
+pub struct NetSweepReport {
+    /// Devices attested.
+    pub devices: usize,
+    /// Devices per health class: `[attested, stale, tampered, unverified]`.
+    pub counts: [usize; 4],
+    /// Device ids that came back in a non-attested class, in id order.
+    pub flagged: Vec<(DeviceId, HealthClass)>,
+    /// Wall-clock time for the whole sweep (connect → last verdict).
+    pub elapsed: Duration,
+    /// Concurrent client connections used.
+    pub clients: usize,
+}
+
+impl NetSweepReport {
+    /// Devices in `class`.
+    pub fn count(&self, class: HealthClass) -> usize {
+        self.counts[class_index(class)]
+    }
+
+    /// Sweep throughput in devices per second.
+    pub fn devices_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.devices as f64 / secs
+    }
+}
+
+fn class_index(class: HealthClass) -> usize {
+    match class {
+        HealthClass::Attested => 0,
+        HealthClass::Stale => 1,
+        HealthClass::Tampered => 2,
+        HealthClass::Unverified => 3,
+    }
+}
+
+/// Drives a full-fleet attestation sweep over `clients` concurrent
+/// transports (one [`DeviceClient`] each, devices partitioned evenly),
+/// using `make_transport` to open each connection.
+///
+/// # Errors
+///
+/// The first transport/protocol error aborts the sweep.
+pub fn sweep_fleet_over<T, F>(
+    fleet: &mut Fleet,
+    clients: usize,
+    make_transport: F,
+) -> Result<NetSweepReport, NetError>
+where
+    T: Transport + Send,
+    F: Fn() -> Result<T, NetError> + Sync,
+{
+    let devices = fleet.devices_mut();
+    let total = devices.len();
+    let clients = clients.clamp(1, total.max(1));
+    let chunk = total.div_ceil(clients);
+    // `chunks_mut(chunk)` opens one connection per chunk, which can be
+    // fewer than requested (9 devices / 4 clients → chunks of 3 → 3
+    // connections); report what actually ran.
+    let clients = total.div_ceil(chunk);
+    let start = Instant::now();
+
+    let results: Vec<Result<Vec<(DeviceId, HealthClass)>, NetError>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = devices
+                .chunks_mut(chunk)
+                .map(|batch| {
+                    let make_transport = &make_transport;
+                    scope.spawn(move || {
+                        let mut client = DeviceClient::connect(make_transport()?)?;
+                        let mut verdicts = Vec::with_capacity(batch.len());
+                        for device in batch.iter_mut() {
+                            let class = client.attest(device)?;
+                            verdicts.push((device.id(), class));
+                        }
+                        let _ = client.bye();
+                        Ok(verdicts)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("sweep client thread panicked"))
+                .collect()
+        });
+
+    let mut counts = [0usize; 4];
+    let mut flagged = Vec::new();
+    for result in results {
+        for (id, class) in result? {
+            counts[class_index(class)] += 1;
+            if class != HealthClass::Attested {
+                flagged.push((id, class));
+            }
+        }
+    }
+    flagged.sort_by_key(|(id, _)| *id);
+    Ok(NetSweepReport {
+        devices: total,
+        counts,
+        flagged,
+        elapsed: start.elapsed(),
+        clients,
+    })
+}
+
+/// [`sweep_fleet_over`] specialised to loopback/remote TCP.
+///
+/// # Errors
+///
+/// The first connection or protocol error aborts the sweep.
+pub fn sweep_fleet_tcp(
+    fleet: &mut Fleet,
+    clients: usize,
+    addr: SocketAddr,
+) -> Result<NetSweepReport, NetError> {
+    sweep_fleet_over(fleet, clients, || TcpTransport::connect(addr))
+}

@@ -1,0 +1,476 @@
+//! The networked attestation gateway: a non-blocking `std::net` accept
+//! loop feeding verification work to the persistent
+//! [`WorkerPool`](eilid_fleet::WorkerPool).
+//!
+//! Architecture (std-only, no async runtime):
+//!
+//! ```text
+//!  TcpListener (non-blocking)
+//!      │ accept
+//!      ▼
+//!  poll loop ── read → FrameDecoder → Session ──┬─ cheap frames: reply inline
+//!      ▲                                        └─ Report frames: try_submit
+//!      │ completions (mpsc)                          │ (shard = device % SHARD_COUNT)
+//!      └────────────────────────────────────────── WorkerPool
+//!                                                   workers hold shard-affine
+//!                                                   key caches in the service
+//! ```
+//!
+//! The poll loop owns every socket and does only cheap work (framing,
+//! session bookkeeping, challenge minting); MAC verification — the
+//! CPU-bound part — runs on the pool. Worker queues are bounded: when a
+//! shard's queue is full the gateway answers [`ErrorCode::Busy`]
+//! instead of buffering unboundedly, which is the protocol's
+//! backpressure signal.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use eilid_fleet::{WorkerPool, SHARD_COUNT};
+
+use crate::service::{AttestationService, Session, SessionOutput};
+use crate::wire::{ErrorCode, Frame, FrameDecoder};
+
+/// Tuning knobs for a [`Gateway`].
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Persistent verification workers (default 4).
+    pub workers: usize,
+    /// Bounded queue depth per worker; a full queue turns into
+    /// [`ErrorCode::Busy`] replies (default 64).
+    pub queue_depth: usize,
+    /// Connections beyond this are refused on accept (default 1024).
+    pub max_connections: usize,
+    /// Poll-loop sleep when a pass makes no progress (default 200 µs).
+    pub idle_sleep: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            workers: 4,
+            queue_depth: 64,
+            max_connections: 1024,
+            idle_sleep: Duration::from_micros(200),
+        }
+    }
+}
+
+/// Poll-loop counters (verification counts live in
+/// [`AttestationService::stats`]).
+#[derive(Debug, Default)]
+pub struct GatewayCounters {
+    /// Connections accepted.
+    pub accepted: AtomicU64,
+    /// Connections refused because `max_connections` was reached.
+    pub refused: AtomicU64,
+    /// Frames successfully decoded.
+    pub frames_received: AtomicU64,
+    /// Reports bounced with [`ErrorCode::Busy`] (pool backpressure).
+    pub busy_rejections: AtomicU64,
+    /// Connections dropped for unparseable framing.
+    pub malformed_streams: AtomicU64,
+}
+
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    session: Session,
+    outbox: Vec<u8>,
+    closing: bool,
+    dead: bool,
+}
+
+impl Conn {
+    fn queue(&mut self, frame: &Frame) {
+        self.outbox.extend_from_slice(&frame.encode());
+    }
+}
+
+/// The networked attestation gateway. Create with [`Gateway::bind`],
+/// then either drive [`Gateway::poll`] yourself or hand the gateway to
+/// a thread with [`Gateway::spawn`].
+pub struct Gateway {
+    listener: TcpListener,
+    service: Arc<AttestationService>,
+    pool: WorkerPool,
+    conns: HashMap<u64, Conn>,
+    next_conn: u64,
+    completions_tx: mpsc::Sender<(u64, Frame)>,
+    completions_rx: mpsc::Receiver<(u64, Frame)>,
+    config: GatewayConfig,
+    counters: Arc<GatewayCounters>,
+    read_buf: Vec<u8>,
+}
+
+impl std::fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gateway")
+            .field("addr", &self.listener.local_addr().ok())
+            .field("connections", &self.conns.len())
+            .field("workers", &self.pool.workers())
+            .finish()
+    }
+}
+
+impl Gateway {
+    /// Binds the gateway to `addr` (use port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<AttestationService>,
+        config: GatewayConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let (completions_tx, completions_rx) = mpsc::channel();
+        let pool = WorkerPool::new(config.workers, SHARD_COUNT, config.queue_depth);
+        Ok(Gateway {
+            listener,
+            service,
+            pool,
+            conns: HashMap::new(),
+            next_conn: 0,
+            completions_tx,
+            completions_rx,
+            config,
+            counters: Arc::new(GatewayCounters::default()),
+            read_buf: vec![0u8; 64 * 1024],
+        })
+    }
+
+    /// The bound address (the ephemeral port after `bind(":0")`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The trust core this gateway serves.
+    pub fn service(&self) -> &Arc<AttestationService> {
+        &self.service
+    }
+
+    /// Poll-loop counters.
+    pub fn counters(&self) -> &Arc<GatewayCounters> {
+        &self.counters
+    }
+
+    /// Open connections right now.
+    pub fn connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// One pass of the poll loop: accept, deliver worker completions,
+    /// flush, read, dispatch. Returns `true` when any progress was made
+    /// (callers sleep briefly otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Returns fatal listener errors only; per-connection failures
+    /// drop that connection.
+    pub fn poll(&mut self) -> io::Result<bool> {
+        let mut progress = false;
+
+        // 1. Accept new connections.
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    progress = true;
+                    if self.conns.len() >= self.config.max_connections {
+                        self.counters.refused.fetch_add(1, Ordering::Relaxed);
+                        // Best effort: tell the peer why before dropping.
+                        let _ = stream.set_nonblocking(true);
+                        let mut stream = stream;
+                        let _ = stream.write(
+                            &Frame::Error {
+                                code: ErrorCode::Busy,
+                            }
+                            .encode(),
+                        );
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        continue;
+                    }
+                    self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                    let id = self.next_conn;
+                    self.next_conn += 1;
+                    self.conns.insert(
+                        id,
+                        Conn {
+                            stream,
+                            decoder: FrameDecoder::new(),
+                            session: Session::new(),
+                            outbox: Vec::new(),
+                            closing: false,
+                            dead: false,
+                        },
+                    );
+                }
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                Err(err) => return Err(err),
+            }
+        }
+
+        // 2. Deliver verification results completed by the pool.
+        while let Ok((conn_id, frame)) = self.completions_rx.try_recv() {
+            progress = true;
+            if let Some(conn) = self.conns.get_mut(&conn_id) {
+                conn.queue(&frame);
+            }
+        }
+
+        // 3. Per-connection I/O.
+        let mut dead: Vec<u64> = Vec::new();
+        for (&id, conn) in self.conns.iter_mut() {
+            progress |= Self::service_conn(
+                conn,
+                &self.service,
+                &self.pool,
+                &self.completions_tx,
+                &self.counters,
+                &mut self.read_buf,
+                id,
+            );
+            if conn.dead || (conn.closing && conn.outbox.is_empty()) {
+                dead.push(id);
+            }
+        }
+        for id in dead {
+            self.conns.remove(&id);
+            progress = true;
+        }
+        Ok(progress)
+    }
+
+    /// Reads, dispatches and flushes one connection. Returns `true` on
+    /// progress.
+    fn service_conn(
+        conn: &mut Conn,
+        service: &Arc<AttestationService>,
+        pool: &WorkerPool,
+        completions_tx: &mpsc::Sender<(u64, Frame)>,
+        counters: &Arc<GatewayCounters>,
+        read_buf: &mut [u8],
+        conn_id: u64,
+    ) -> bool {
+        let mut progress = false;
+
+        // Flush pending output first so closing connections drain.
+        while !conn.outbox.is_empty() {
+            match conn.stream.write(&conn.outbox) {
+                Ok(0) => {
+                    conn.dead = true;
+                    return true;
+                }
+                Ok(n) => {
+                    conn.outbox.drain(0..n);
+                    progress = true;
+                }
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    return true;
+                }
+            }
+        }
+        if conn.closing {
+            return progress;
+        }
+
+        // Outbox high-water mark: a peer that sends requests but never
+        // reads its replies must not grow our send buffer without bound.
+        // Until it drains below the mark, stop reading (and therefore
+        // stop producing replies) for this connection — TCP flow control
+        // then pushes the backpressure to the peer.
+        const OUTBOX_HIGH_WATER: usize = 256 * 1024;
+        if conn.outbox.len() >= OUTBOX_HIGH_WATER {
+            return progress;
+        }
+
+        // Read what is available — bounded per connection per pass.
+        // One hostile peer streaming bytes as fast as we can read them
+        // must not starve other connections or grow the decode buffer
+        // without limit: at most `READ_BUDGET_PER_PASS` bytes are taken
+        // per pass, and complete frames are drained below before the
+        // next pass reads more, so the buffer is bounded by one pass's
+        // budget plus one partial frame.
+        const READ_BUDGET_PER_PASS: usize = 256 * 1024;
+        let mut taken = 0usize;
+        while taken < READ_BUDGET_PER_PASS {
+            match conn.stream.read(read_buf) {
+                Ok(0) => {
+                    conn.dead = true;
+                    return true;
+                }
+                Ok(n) => {
+                    progress = true;
+                    taken += n;
+                    conn.decoder.extend(&read_buf[..n]);
+                    if n < read_buf.len() {
+                        break;
+                    }
+                }
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    return true;
+                }
+            }
+        }
+
+        // Dispatch complete frames.
+        loop {
+            match conn.decoder.next_frame() {
+                Ok(Some(frame)) => {
+                    progress = true;
+                    counters.frames_received.fetch_add(1, Ordering::Relaxed);
+                    match conn.session.handle(service, frame) {
+                        SessionOutput::Reply(frames) => {
+                            for frame in frames {
+                                conn.queue(&frame);
+                            }
+                        }
+                        SessionOutput::Verify(task) => {
+                            let shard = (task.device % SHARD_COUNT as u64) as usize;
+                            let service = Arc::clone(service);
+                            let tx = completions_tx.clone();
+                            match pool.try_submit(shard, move || {
+                                let reply = task.run(&service);
+                                let _ = tx.send((conn_id, reply));
+                            }) {
+                                Ok(()) => {}
+                                Err(_busy) => {
+                                    counters.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                                    conn.queue(&Frame::Error {
+                                        code: ErrorCode::Busy,
+                                    });
+                                }
+                            }
+                        }
+                        SessionOutput::ReplyAndClose(frames) => {
+                            for frame in frames {
+                                conn.queue(&frame);
+                            }
+                            conn.closing = true;
+                            break;
+                        }
+                        SessionOutput::Close => {
+                            conn.closing = true;
+                            break;
+                        }
+                    }
+                }
+                Ok(None) => break,
+                Err(_wire) => {
+                    // Framing can't be trusted anymore; drop the peer.
+                    counters.malformed_streams.fetch_add(1, Ordering::Relaxed);
+                    conn.dead = true;
+                    return true;
+                }
+            }
+        }
+        progress
+    }
+
+    /// Polls until `shutdown` is set, sleeping briefly on idle passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns fatal listener errors.
+    pub fn run(&mut self, shutdown: &AtomicBool) -> io::Result<()> {
+        while !shutdown.load(Ordering::Relaxed) {
+            if !self.poll()? {
+                std::thread::sleep(self.config.idle_sleep);
+            }
+        }
+        // Final passes to flush replies already queued.
+        for _ in 0..16 {
+            if !self.poll()? {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Moves the gateway onto its own thread; the returned handle stops
+    /// it and hands it back.
+    pub fn spawn(self) -> GatewayHandle {
+        let addr = self
+            .local_addr()
+            .expect("a bound gateway has a local address");
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let counters = Arc::clone(&self.counters);
+        let service = Arc::clone(&self.service);
+        let mut gateway = self;
+        let handle = std::thread::Builder::new()
+            .name("eilid-gateway".into())
+            .spawn(move || {
+                let result = gateway.run(&flag);
+                result.map(|()| gateway)
+            })
+            .expect("spawning the gateway thread");
+        GatewayHandle {
+            addr,
+            shutdown,
+            counters,
+            service,
+            handle,
+        }
+    }
+}
+
+/// Handle to a gateway running on its own thread.
+pub struct GatewayHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<GatewayCounters>,
+    service: Arc<AttestationService>,
+    handle: JoinHandle<io::Result<Gateway>>,
+}
+
+impl GatewayHandle {
+    /// The gateway's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live poll-loop counters.
+    pub fn counters(&self) -> &GatewayCounters {
+        &self.counters
+    }
+
+    /// The trust core (for its verification stats).
+    pub fn service(&self) -> &Arc<AttestationService> {
+        &self.service
+    }
+
+    /// Stops the poll loop and returns the gateway.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces a fatal listener error from the poll loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gateway thread itself panicked.
+    pub fn shutdown(self) -> io::Result<Gateway> {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.handle.join().expect("gateway thread panicked")
+    }
+}

@@ -1,0 +1,66 @@
+//! # eilid-net — wire protocol + networked attestation gateway
+//!
+//! EILID's verifier is remote by definition: the paper's security
+//! argument assumes challenges and authenticated reports cross an
+//! *untrusted network*. Until this crate, the fleet verifier called
+//! devices in-process; here the trust boundary becomes a real one:
+//!
+//! * [`wire`] — a versioned, length-prefixed binary frame codec
+//!   ([`Frame`], [`FrameDecoder`]) with explicit limits and hard, typed
+//!   rejection of malformed input. Structural checks live here;
+//!   cryptographic checks (the domain-separated MACs from
+//!   [`eilid_casu`]) stay in the verifier — the codec never pretends to
+//!   authenticate.
+//! * [`service`] — the gateway's trust core ([`AttestationService`]),
+//!   provisioned from the fleet verifier's snapshot (same root key,
+//!   same goldens, a reserved nonce block) plus the per-connection
+//!   [`Session`] state machine shared by every server flavour.
+//! * [`gateway`] — a std-only, non-blocking TCP [`Gateway`]: a poll
+//!   loop owns the sockets and the framing, and MAC verification runs
+//!   on the persistent [`eilid_fleet::WorkerPool`] with bounded queues;
+//!   overload turns into [`ErrorCode::Busy`] backpressure frames, not
+//!   unbounded buffering.
+//! * [`client`] — the device half ([`DeviceClient`]) plus
+//!   [`sweep_fleet_over`]/[`sweep_fleet_tcp`]: full-fleet attestation
+//!   sweeps over real loopback sockets or the in-memory
+//!   [`PipeTransport`], with one connection multiplexing many devices
+//!   (the edge-aggregator shape).
+//!
+//! # Threat model at the transport boundary
+//!
+//! Everything on the wire is attacker-controlled. Three layers reject
+//! three different things:
+//!
+//! 1. **The codec** rejects what is not even a frame: bad magic, alien
+//!    versions, unknown types, oversized length claims (before any
+//!    allocation), truncations, trailing bytes.
+//! 2. **The session** rejects what is a frame but not a legal exchange:
+//!    frames before version negotiation, reports answering no issued
+//!    challenge, client-bound frames sent to the server.
+//! 3. **The MAC layer** rejects what is a legal exchange but a forgery:
+//!    wrong keys, replayed nonces, and cross-protocol grafts (an update
+//!    MAC on a report or vice versa — killed by the domain-separation
+//!    tags introduced with the fleet subsystem).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod gateway;
+pub mod service;
+pub mod transport;
+pub mod wire;
+
+pub use client::{sweep_fleet_over, sweep_fleet_tcp, DeviceClient, NetSweepReport, BUSY_RETRIES};
+pub use error::NetError;
+pub use gateway::{Gateway, GatewayConfig, GatewayCounters, GatewayHandle};
+pub use service::{
+    health_from_wire, health_to_wire, serve_transport, AttestationService, ChallengeError, Session,
+    SessionOutput, VerifyTask, MAX_PENDING_CHALLENGES,
+};
+pub use transport::{PipeTransport, TcpTransport, Transport, DEFAULT_RECV_TIMEOUT};
+pub use wire::{
+    CampaignOp, ErrorCode, Frame, FrameDecoder, WireError, WireHealth, FRAME_HEADER_LEN,
+    FRAME_MAGIC, MAX_FRAME_PAYLOAD, PROTOCOL_VERSION,
+};

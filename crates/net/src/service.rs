@@ -1,0 +1,400 @@
+//! The gateway's trust core: per-cohort golden state, nonce allocation,
+//! sharded key caches, and the per-connection protocol state machine.
+//!
+//! [`AttestationService`] is provisioned from a fleet verifier's
+//! [`ServiceSnapshot`](eilid_fleet::ServiceSnapshot) — same root key,
+//! same golden measurements, and a reserved block of the verifier's
+//! challenge-nonce domain, so networked challenges can never collide
+//! with in-process sweep challenges on any device key.
+//!
+//! [`Session`] implements the per-connection state machine once; the
+//! non-blocking TCP gateway and the in-memory [`serve_transport`] server
+//! both drive it, so protocol behaviour cannot drift between the two.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use eilid_casu::{AttestError, AttestationVerifier, Challenge, DeviceKey};
+use eilid_fleet::{CohortSnapshot, HealthClass, ServiceSnapshot, SHARD_COUNT};
+use eilid_workloads::WorkloadId;
+
+use crate::error::NetError;
+use crate::transport::Transport;
+use crate::wire::{ErrorCode, Frame, WireHealth, PROTOCOL_VERSION};
+
+/// Maps a fleet health class to its wire form.
+pub fn health_to_wire(class: HealthClass) -> WireHealth {
+    match class {
+        HealthClass::Attested => WireHealth::Attested,
+        HealthClass::Stale => WireHealth::Stale,
+        HealthClass::Tampered => WireHealth::Tampered,
+        HealthClass::Unverified => WireHealth::Unverified,
+    }
+}
+
+/// Maps a wire health class back to the fleet's.
+pub fn health_from_wire(class: WireHealth) -> HealthClass {
+    match class {
+        WireHealth::Attested => HealthClass::Attested,
+        WireHealth::Stale => HealthClass::Stale,
+        WireHealth::Tampered => HealthClass::Tampered,
+        WireHealth::Unverified => HealthClass::Unverified,
+    }
+}
+
+/// Per-shard verifier-side cache: device keys derived once, ever —
+/// the same stable-shard discipline as the fleet verifier, keyed by
+/// `device % SHARD_COUNT` so worker-count changes never orphan keys.
+#[derive(Debug, Default)]
+struct KeyShard {
+    keys: HashMap<u64, DeviceKey>,
+}
+
+/// Running verification totals, updated atomically by worker threads.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Challenges issued.
+    pub challenges_issued: AtomicU64,
+    /// Reports verified, by class.
+    pub attested: AtomicU64,
+    /// Reports classified stale.
+    pub stale: AtomicU64,
+    /// Reports classified tampered.
+    pub tampered: AtomicU64,
+    /// Reports that failed cryptographic verification.
+    pub unverified: AtomicU64,
+}
+
+impl ServiceStats {
+    /// Total reports verified (any class).
+    pub fn reports_verified(&self) -> u64 {
+        self.attested.load(Ordering::Relaxed)
+            + self.stale.load(Ordering::Relaxed)
+            + self.tampered.load(Ordering::Relaxed)
+            + self.unverified.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, class: HealthClass) {
+        let counter = match class {
+            HealthClass::Attested => &self.attested,
+            HealthClass::Stale => &self.stale,
+            HealthClass::Tampered => &self.tampered,
+            HealthClass::Unverified => &self.unverified,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The networked verifier core. Thread-safe: the poll loop issues
+/// challenges while pool workers verify reports concurrently.
+#[derive(Debug)]
+pub struct AttestationService {
+    root: DeviceKey,
+    cohorts: std::collections::BTreeMap<WorkloadId, CohortSnapshot>,
+    next_nonce: AtomicU64,
+    nonce_end: u64,
+    shards: Vec<Mutex<KeyShard>>,
+    stats: ServiceStats,
+}
+
+impl AttestationService {
+    /// Builds the service from a verifier's exported snapshot.
+    pub fn new(snapshot: ServiceSnapshot) -> Self {
+        AttestationService {
+            root: snapshot.root,
+            cohorts: snapshot.cohorts,
+            next_nonce: AtomicU64::new(snapshot.nonce_base),
+            nonce_end: snapshot.nonce_base.saturating_add(snapshot.nonce_span),
+            shards: (0..SHARD_COUNT).map(|_| Mutex::default()).collect(),
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// Verification totals so far.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// Device keys currently cached across all shards.
+    pub fn cached_keys(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().expect("key shard lock").keys.len())
+            .sum()
+    }
+
+    /// Issues a fresh challenge over `cohort`'s PMEM range.
+    ///
+    /// Nonce reuse would break replay protection, so exhausting the
+    /// reserved block is refused — a typed error the session turns into
+    /// a retryable `Busy` frame, never a reused nonce and never a panic
+    /// on the serving thread (a hostile client must not be able to
+    /// spam-drain the block into a gateway crash). The default span of
+    /// 2³² outlives any realistic deployment of one gateway process.
+    ///
+    /// # Errors
+    ///
+    /// [`ChallengeError::UnknownCohort`] for a cohort this service is
+    /// not provisioned for; [`ChallengeError::NoncesExhausted`] once the
+    /// reserved block runs dry.
+    pub fn challenge_for(&self, cohort: WorkloadId) -> Result<Challenge, ChallengeError> {
+        let snapshot = self
+            .cohorts
+            .get(&cohort)
+            .ok_or(ChallengeError::UnknownCohort)?;
+        // fetch_add past the end is harmless: the overshot value is
+        // never issued, and the counter cannot wrap a u64 in practice.
+        let nonce = self.next_nonce.fetch_add(1, Ordering::Relaxed);
+        if nonce >= self.nonce_end {
+            return Err(ChallengeError::NoncesExhausted);
+        }
+        self.stats.challenges_issued.fetch_add(1, Ordering::Relaxed);
+        Ok(Challenge {
+            nonce,
+            start: *snapshot.layout.pmem.start(),
+            end: *snapshot.layout.pmem.end(),
+        })
+    }
+
+    /// Verifies one report against the issued challenge and the
+    /// cohort's golden history, using the shard-cached device key.
+    /// Classification semantics are identical to the fleet verifier's.
+    pub fn verify(
+        &self,
+        device: u64,
+        cohort: WorkloadId,
+        issued: &Challenge,
+        report: &eilid_casu::AttestationReport,
+    ) -> (HealthClass, Option<AttestError>) {
+        let Some(snapshot) = self.cohorts.get(&cohort) else {
+            return (HealthClass::Unverified, None);
+        };
+        let shard = &self.shards[(device % SHARD_COUNT as u64) as usize];
+        let verified = {
+            let mut shard = shard.lock().expect("key shard lock");
+            let root = &self.root;
+            let key = shard
+                .keys
+                .entry(device)
+                .or_insert_with(|| root.derive(device));
+            AttestationVerifier::with_key(key).verify(issued, report, None)
+        };
+        let (class, error) = snapshot.classify(verified, &report.measurement);
+        self.stats.record(class);
+        (class, error)
+    }
+}
+
+/// Why [`AttestationService::challenge_for`] refused to mint a
+/// challenge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChallengeError {
+    /// The service holds no goldens for the requested cohort.
+    UnknownCohort,
+    /// The reserved nonce block ran dry; the gateway must be
+    /// re-provisioned before it can issue fresh challenges.
+    NoncesExhausted,
+}
+
+/// A report waiting to be verified — what the gateway hands to a pool
+/// worker.
+#[derive(Debug)]
+pub struct VerifyTask {
+    /// The reporting device.
+    pub device: u64,
+    /// Its cohort.
+    pub cohort: WorkloadId,
+    /// The challenge this service issued.
+    pub issued: Challenge,
+    /// The device's report.
+    pub report: eilid_casu::AttestationReport,
+}
+
+impl VerifyTask {
+    /// Runs the verification and builds the reply frame.
+    pub fn run(self, service: &AttestationService) -> Frame {
+        let (class, _) = service.verify(self.device, self.cohort, &self.issued, &self.report);
+        Frame::AttestResult {
+            device: self.device,
+            class: health_to_wire(class),
+        }
+    }
+}
+
+/// What [`Session::handle`] wants done with one inbound frame.
+#[derive(Debug)]
+pub enum SessionOutput {
+    /// Send these frames back, in order.
+    Reply(Vec<Frame>),
+    /// Verify this report (CPU-bound — the gateway offloads it to the
+    /// worker pool; the in-memory server runs it inline).
+    Verify(VerifyTask),
+    /// Send these frames, then close the connection.
+    ReplyAndClose(Vec<Frame>),
+    /// Close the connection without a reply.
+    Close,
+}
+
+/// Hard cap on challenges outstanding per connection. A lockstep client
+/// keeps one; a pipelining aggregator a few dozen; an attacker spamming
+/// `AttestRequest`s with distinct device ids and never reporting would
+/// otherwise grow the pending map without bound.
+pub const MAX_PENDING_CHALLENGES: usize = 1024;
+
+/// Per-connection protocol state machine (gateway side).
+#[derive(Debug, Default)]
+pub struct Session {
+    negotiated: Option<u8>,
+    /// Challenges issued on this connection, by device id, awaiting
+    /// their report. Bounded by [`MAX_PENDING_CHALLENGES`].
+    pending: HashMap<u64, (WorkloadId, Challenge)>,
+}
+
+impl Session {
+    /// A fresh, un-negotiated session.
+    pub fn new() -> Self {
+        Session::default()
+    }
+
+    /// `true` once version negotiation succeeded.
+    pub fn is_negotiated(&self) -> bool {
+        self.negotiated.is_some()
+    }
+
+    /// Drives the state machine over one inbound frame.
+    pub fn handle(&mut self, service: &AttestationService, frame: Frame) -> SessionOutput {
+        match frame {
+            Frame::Hello {
+                min_version,
+                max_version,
+            } => {
+                if self.negotiated.is_some() {
+                    return SessionOutput::ReplyAndClose(vec![Frame::Error {
+                        code: ErrorCode::UnexpectedFrame,
+                    }]);
+                }
+                if (min_version..=max_version).contains(&PROTOCOL_VERSION) {
+                    self.negotiated = Some(PROTOCOL_VERSION);
+                    SessionOutput::Reply(vec![Frame::HelloAck {
+                        version: PROTOCOL_VERSION,
+                    }])
+                } else {
+                    SessionOutput::ReplyAndClose(vec![Frame::Error {
+                        code: ErrorCode::UnsupportedVersion,
+                    }])
+                }
+            }
+            Frame::Bye => SessionOutput::Close,
+            _ if self.negotiated.is_none() => SessionOutput::ReplyAndClose(vec![Frame::Error {
+                code: ErrorCode::NotNegotiated,
+            }]),
+            Frame::AttestRequest { device, cohort } => {
+                // Re-requesting for an already-pending device replaces
+                // its challenge (doesn't grow the map); only genuinely
+                // new outstanding ids count against the cap.
+                if self.pending.len() >= MAX_PENDING_CHALLENGES
+                    && !self.pending.contains_key(&device)
+                {
+                    return SessionOutput::Reply(vec![Frame::Error {
+                        code: ErrorCode::Busy,
+                    }]);
+                }
+                match service.challenge_for(cohort) {
+                    Ok(challenge) => {
+                        self.pending.insert(device, (cohort, challenge));
+                        SessionOutput::Reply(vec![Frame::Challenge { device, challenge }])
+                    }
+                    Err(ChallengeError::UnknownCohort) => {
+                        SessionOutput::Reply(vec![Frame::Error {
+                            code: ErrorCode::UnknownCohort,
+                        }])
+                    }
+                    // Out of nonces: shed load instead of minting a
+                    // reused nonce (or crashing the serving thread).
+                    Err(ChallengeError::NoncesExhausted) => {
+                        SessionOutput::Reply(vec![Frame::Error {
+                            code: ErrorCode::Busy,
+                        }])
+                    }
+                }
+            }
+            Frame::Report { device, report } => match self.pending.remove(&device) {
+                Some((cohort, issued)) => SessionOutput::Verify(VerifyTask {
+                    device,
+                    cohort,
+                    issued,
+                    report,
+                }),
+                None => SessionOutput::Reply(vec![Frame::Error {
+                    code: ErrorCode::UnexpectedFrame,
+                }]),
+            },
+            // The campaign control plane is reserved: the frames are
+            // first-class on the wire, but this gateway build drives
+            // campaigns in-process (`eilid_fleet::CampaignRun`).
+            Frame::CampaignControl { .. } => SessionOutput::Reply(vec![Frame::Error {
+                code: ErrorCode::Unsupported,
+            }]),
+            // Update *requests* flow gateway → device; one arriving at
+            // the gateway is refused.
+            Frame::UpdateRequest { .. } => SessionOutput::Reply(vec![Frame::Error {
+                code: ErrorCode::Unsupported,
+            }]),
+            // An UpdateResult is the device's ack for a pushed update —
+            // legal device → gateway traffic, needing no reply.
+            Frame::UpdateResult { .. } => SessionOutput::Reply(Vec::new()),
+            // Server-bound frames arriving at the server are a protocol
+            // violation.
+            Frame::HelloAck { .. }
+            | Frame::Challenge { .. }
+            | Frame::AttestResult { .. }
+            | Frame::CampaignStatus { .. } => SessionOutput::ReplyAndClose(vec![Frame::Error {
+                code: ErrorCode::UnexpectedFrame,
+            }]),
+            Frame::Error { .. } => SessionOutput::Close,
+        }
+    }
+}
+
+/// Serves one connection synchronously over any [`Transport`] — the
+/// in-memory counterpart of the TCP gateway, sharing [`Session`]
+/// verbatim (verification runs inline on this thread).
+///
+/// Returns when the peer says [`Frame::Bye`], hangs up, or breaks the
+/// protocol.
+///
+/// # Errors
+///
+/// Propagates transport failures other than an orderly close.
+pub fn serve_transport<T: Transport>(
+    service: &AttestationService,
+    transport: &mut T,
+) -> Result<(), NetError> {
+    let mut session = Session::new();
+    loop {
+        let frame = match transport.recv() {
+            Ok(frame) => frame,
+            Err(NetError::Closed) => return Ok(()),
+            Err(err) => return Err(err),
+        };
+        match session.handle(service, frame) {
+            SessionOutput::Reply(frames) => {
+                for frame in frames {
+                    transport.send(&frame)?;
+                }
+            }
+            SessionOutput::Verify(task) => {
+                let reply = task.run(service);
+                transport.send(&reply)?;
+            }
+            SessionOutput::ReplyAndClose(frames) => {
+                for frame in frames {
+                    transport.send(&frame)?;
+                }
+                return Ok(());
+            }
+            SessionOutput::Close => return Ok(()),
+        }
+    }
+}

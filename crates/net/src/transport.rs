@@ -1,0 +1,220 @@
+//! Frame transports: blocking TCP and an in-memory pipe.
+//!
+//! The [`Transport`] trait is the seam that lets every protocol driver
+//! (device clients, the pipe server, the bench harness) run unchanged
+//! over real loopback sockets *or* an in-memory byte pipe — the latter
+//! still pushes every frame through the [`FrameDecoder`], so codec
+//! behaviour is identical; only the syscalls disappear.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender};
+use std::time::{Duration, Instant};
+
+use crate::error::NetError;
+use crate::wire::{Frame, FrameDecoder};
+
+/// Default receive timeout for blocking transports.
+pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A bidirectional, frame-oriented transport.
+pub trait Transport {
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetError`] when the peer is gone or the underlying
+    /// byte channel fails.
+    fn send(&mut self, frame: &Frame) -> Result<(), NetError>;
+
+    /// Receives the next frame, blocking up to the transport's receive
+    /// timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] when no frame arrives in time,
+    /// [`NetError::Closed`] when the peer hung up, [`NetError::Wire`]
+    /// when the byte stream is not valid framing.
+    fn recv(&mut self) -> Result<Frame, NetError>;
+}
+
+/// Blocking TCP transport (client side of the gateway protocol).
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    read_buf: Vec<u8>,
+    timeout: Duration,
+}
+
+impl TcpTransport {
+    /// Connects to `addr` with the default receive timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures as [`NetError::Io`].
+    pub fn connect(addr: SocketAddr) -> Result<Self, NetError> {
+        Self::connect_with_timeout(addr, DEFAULT_RECV_TIMEOUT)
+    }
+
+    /// Connects with an explicit receive timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures as [`NetError::Io`].
+    pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr).map_err(NetError::Io)?;
+        Self::from_stream(stream, timeout)
+    }
+
+    /// Wraps an already-connected stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-option failures as [`NetError::Io`].
+    pub fn from_stream(stream: TcpStream, timeout: Duration) -> Result<Self, NetError> {
+        // The protocol is request/response with small frames; Nagle
+        // only adds latency here.
+        stream.set_nodelay(true).map_err(NetError::Io)?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(NetError::Io)?;
+        Ok(TcpTransport {
+            stream,
+            decoder: FrameDecoder::new(),
+            read_buf: vec![0u8; 16 * 1024],
+            timeout,
+        })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, frame: &Frame) -> Result<(), NetError> {
+        self.stream.write_all(&frame.encode())?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Frame, NetError> {
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            if let Some(frame) = self.decoder.next_frame()? {
+                return Ok(frame);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(NetError::Timeout);
+            }
+            // Shrink the socket timeout to the *remaining* deadline so
+            // a peer trickling partial frames cannot stretch one recv
+            // to a multiple of the configured timeout.
+            self.stream
+                .set_read_timeout(Some(deadline - now))
+                .map_err(NetError::Io)?;
+            match self.stream.read(&mut self.read_buf) {
+                Ok(0) => return Err(NetError::Closed),
+                Ok(n) => self.decoder.extend(&self.read_buf[..n]),
+                Err(err) => return Err(err.into()),
+            }
+        }
+    }
+}
+
+/// One end of an in-memory duplex byte pipe.
+///
+/// Frames are encoded to bytes on send and re-parsed through a
+/// [`FrameDecoder`] on receive, so the full codec runs exactly as it
+/// does over TCP.
+#[derive(Debug)]
+pub struct PipeTransport {
+    tx: SyncSender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    decoder: FrameDecoder,
+    timeout: Duration,
+}
+
+impl PipeTransport {
+    /// Creates a connected pair of pipe ends with the default timeout.
+    pub fn pair() -> (PipeTransport, PipeTransport) {
+        Self::pair_with_timeout(DEFAULT_RECV_TIMEOUT)
+    }
+
+    /// Creates a connected pair with an explicit receive timeout.
+    pub fn pair_with_timeout(timeout: Duration) -> (PipeTransport, PipeTransport) {
+        // Bounded both ways: a runaway sender blocks instead of
+        // buffering unboundedly, mirroring TCP's flow control.
+        let (a_tx, b_rx) = mpsc::sync_channel(256);
+        let (b_tx, a_rx) = mpsc::sync_channel(256);
+        (
+            PipeTransport {
+                tx: a_tx,
+                rx: a_rx,
+                decoder: FrameDecoder::new(),
+                timeout,
+            },
+            PipeTransport {
+                tx: b_tx,
+                rx: b_rx,
+                decoder: FrameDecoder::new(),
+                timeout,
+            },
+        )
+    }
+}
+
+impl Transport for PipeTransport {
+    fn send(&mut self, frame: &Frame) -> Result<(), NetError> {
+        self.tx.send(frame.encode()).map_err(|_| NetError::Closed)
+    }
+
+    fn recv(&mut self) -> Result<Frame, NetError> {
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            if let Some(frame) = self.decoder.next_frame()? {
+                return Ok(frame);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(NetError::Timeout);
+            }
+            match self.rx.recv_timeout(deadline - now) {
+                Ok(bytes) => self.decoder.extend(&bytes),
+                Err(RecvTimeoutError::Timeout) => return Err(NetError::Timeout),
+                Err(RecvTimeoutError::Disconnected) => return Err(NetError::Closed),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn pipe_round_trips_frames_through_the_codec() {
+        let (mut a, mut b) = PipeTransport::pair();
+        a.send(&Frame::Hello {
+            min_version: 1,
+            max_version: 1,
+        })
+        .unwrap();
+        a.send(&Frame::Bye).unwrap();
+        assert_eq!(
+            b.recv().unwrap(),
+            Frame::Hello {
+                min_version: 1,
+                max_version: 1,
+            }
+        );
+        assert_eq!(b.recv().unwrap(), Frame::Bye);
+    }
+
+    #[test]
+    fn pipe_reports_timeout_and_close() {
+        let (mut a, b) = PipeTransport::pair_with_timeout(Duration::from_millis(20));
+        assert!(matches!(a.recv(), Err(NetError::Timeout)));
+        drop(b);
+        assert!(matches!(a.recv(), Err(NetError::Closed)));
+        assert!(matches!(a.send(&Frame::Bye), Err(NetError::Closed)));
+    }
+}

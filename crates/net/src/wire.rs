@@ -1,0 +1,672 @@
+//! The EILID attestation wire protocol: versioned, length-prefixed
+//! binary frames.
+//!
+//! # Frame layout
+//!
+//! Every frame starts with a fixed 10-byte header, all integers
+//! little-endian:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic   = b"EILD"
+//! 4       1     version = 1
+//! 5       1     frame type
+//! 6       4     payload length (≤ MAX_FRAME_PAYLOAD)
+//! 10      n     payload (layout per frame type; casu wire encodings
+//!               for Challenge / AttestationReport / UpdateRequest)
+//! ```
+//!
+//! # What this layer rejects
+//!
+//! Decoding is total and allocation-bounded: bad magic, an unsupported
+//! header version, an unknown frame type and an oversized length claim
+//! are all rejected from the 10 header bytes alone, before any payload
+//! is buffered; truncated payloads are typed errors; payload bytes
+//! beyond the frame's structure are [`WireError::TrailingBytes`]. What
+//! this layer deliberately does **not** judge is cryptography: a frame
+//! whose MAC was minted under the wrong key — or under the wrong
+//! domain-separation tag (an update MAC grafted onto a report, or vice
+//! versa) — decodes fine and then dies in the verifier. The codec's
+//! contract is "structurally valid bytes in, typed error or frame out,
+//! never a panic, never an unbounded allocation".
+
+use std::fmt;
+
+use eilid_casu::wire as casu_wire;
+use eilid_casu::wire::{CodecError, Reader};
+use eilid_casu::{AttestationReport, Challenge, UpdateRequest};
+use eilid_workloads::WorkloadId;
+
+/// Frame magic, first on the wire.
+pub const FRAME_MAGIC: [u8; 4] = *b"EILD";
+
+/// The one protocol version this build speaks.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Size of the fixed frame header in bytes.
+pub const FRAME_HEADER_LEN: usize = 10;
+
+/// Hard ceiling on a frame payload. Large enough for an update request
+/// at the casu wire maximum, small enough that a forged length can
+/// never drive a large allocation.
+pub const MAX_FRAME_PAYLOAD: usize = casu_wire::MAX_UPDATE_PAYLOAD + 64;
+
+/// Why a frame failed to encode or decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The first four bytes are not [`FRAME_MAGIC`].
+    BadMagic([u8; 4]),
+    /// The header names a protocol version this build does not speak.
+    UnsupportedVersion(u8),
+    /// The header names an unknown frame type.
+    UnknownFrameType(u8),
+    /// The header's length field exceeds [`MAX_FRAME_PAYLOAD`].
+    Oversized {
+        /// The claimed payload length.
+        claimed: usize,
+        /// The enforced maximum.
+        max: usize,
+    },
+    /// One-shot decoding ran out of bytes (streaming decoders treat
+    /// this as "wait for more input" instead).
+    Truncated {
+        /// Bytes needed to make progress.
+        needed: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// The payload is longer than the frame type's structure.
+    TrailingBytes {
+        /// Unconsumed payload bytes.
+        extra: usize,
+    },
+    /// A structured field inside the payload failed to decode.
+    BadPayload(CodecError),
+    /// An enum-coded field holds an unknown discriminant.
+    BadEnum {
+        /// Which field.
+        field: &'static str,
+        /// The offending value.
+        value: u8,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic(magic) => write!(f, "bad frame magic {magic:02x?}"),
+            WireError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported protocol version {v} (this build speaks {PROTOCOL_VERSION})"
+                )
+            }
+            WireError::UnknownFrameType(t) => write!(f, "unknown frame type {t:#04x}"),
+            WireError::Oversized { claimed, max } => {
+                write!(
+                    f,
+                    "oversized frame: claims {claimed} payload bytes, limit {max}"
+                )
+            }
+            WireError::Truncated { needed, have } => {
+                write!(f, "truncated frame: needed {needed} bytes, have {have}")
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after frame payload")
+            }
+            WireError::BadPayload(err) => write!(f, "malformed frame payload: {err}"),
+            WireError::BadEnum { field, value } => {
+                write!(f, "invalid value {value} for frame field `{field}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<CodecError> for WireError {
+    fn from(err: CodecError) -> Self {
+        WireError::BadPayload(err)
+    }
+}
+
+/// Protocol-level error codes carried by [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// No common protocol version.
+    UnsupportedVersion,
+    /// The gateway's worker queues are full — retry later.
+    Busy,
+    /// The named cohort is not enrolled with this gateway.
+    UnknownCohort,
+    /// A frame arrived before version negotiation completed.
+    NotNegotiated,
+    /// The frame is valid but not legal in the current exchange state.
+    UnexpectedFrame,
+    /// The frame type is understood but not served on this endpoint.
+    Unsupported,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::UnsupportedVersion => 1,
+            ErrorCode::Busy => 2,
+            ErrorCode::UnknownCohort => 3,
+            ErrorCode::NotNegotiated => 4,
+            ErrorCode::UnexpectedFrame => 5,
+            ErrorCode::Unsupported => 6,
+        }
+    }
+
+    fn from_u8(value: u8) -> Result<Self, WireError> {
+        Ok(match value {
+            1 => ErrorCode::UnsupportedVersion,
+            2 => ErrorCode::Busy,
+            3 => ErrorCode::UnknownCohort,
+            4 => ErrorCode::NotNegotiated,
+            5 => ErrorCode::UnexpectedFrame,
+            6 => ErrorCode::Unsupported,
+            value => {
+                return Err(WireError::BadEnum {
+                    field: "error code",
+                    value,
+                })
+            }
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorCode::UnsupportedVersion => "unsupported protocol version",
+            ErrorCode::Busy => "gateway busy",
+            ErrorCode::UnknownCohort => "unknown cohort",
+            ErrorCode::NotNegotiated => "version not negotiated",
+            ErrorCode::UnexpectedFrame => "unexpected frame",
+            ErrorCode::Unsupported => "unsupported operation",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Wire form of a device health classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireHealth {
+    /// Verified against the current golden measurement.
+    Attested,
+    /// Verified against a previous ("stale but authentic") measurement.
+    Stale,
+    /// Verified cryptographically but matching no known firmware.
+    Tampered,
+    /// Failed cryptographic verification.
+    Unverified,
+}
+
+impl WireHealth {
+    fn to_u8(self) -> u8 {
+        match self {
+            WireHealth::Attested => 0,
+            WireHealth::Stale => 1,
+            WireHealth::Tampered => 2,
+            WireHealth::Unverified => 3,
+        }
+    }
+
+    fn from_u8(value: u8) -> Result<Self, WireError> {
+        Ok(match value {
+            0 => WireHealth::Attested,
+            1 => WireHealth::Stale,
+            2 => WireHealth::Tampered,
+            3 => WireHealth::Unverified,
+            value => {
+                return Err(WireError::BadEnum {
+                    field: "health class",
+                    value,
+                })
+            }
+        })
+    }
+}
+
+/// Campaign control operations (operator plane).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignOp {
+    /// Pause the named cohort's campaign between waves.
+    Pause,
+    /// Resume a paused campaign.
+    Resume,
+    /// Query the campaign's wave cursor.
+    Status,
+}
+
+impl CampaignOp {
+    fn to_u8(self) -> u8 {
+        match self {
+            CampaignOp::Pause => 0,
+            CampaignOp::Resume => 1,
+            CampaignOp::Status => 2,
+        }
+    }
+
+    fn from_u8(value: u8) -> Result<Self, WireError> {
+        Ok(match value {
+            0 => CampaignOp::Pause,
+            1 => CampaignOp::Resume,
+            2 => CampaignOp::Status,
+            value => {
+                return Err(WireError::BadEnum {
+                    field: "campaign op",
+                    value,
+                })
+            }
+        })
+    }
+}
+
+fn cohort_from_u8(value: u8) -> Result<WorkloadId, WireError> {
+    WorkloadId::from_index(value).ok_or(WireError::BadEnum {
+        field: "cohort",
+        value,
+    })
+}
+
+/// One protocol frame.
+///
+/// `device` fields carry the fleet-wide device id, letting many devices
+/// multiplex one connection (an edge aggregator fronting a building's
+/// worth of sensors — the shape the 1000-device loopback sweep runs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → gateway: version negotiation offer.
+    Hello {
+        /// Lowest protocol version the client speaks.
+        min_version: u8,
+        /// Highest protocol version the client speaks.
+        max_version: u8,
+    },
+    /// Gateway → client: negotiation accept.
+    HelloAck {
+        /// The agreed version.
+        version: u8,
+    },
+    /// Client → gateway: ask for an attestation challenge.
+    AttestRequest {
+        /// The device to be attested.
+        device: u64,
+        /// Its firmware cohort.
+        cohort: WorkloadId,
+    },
+    /// Gateway → client: a fresh challenge.
+    Challenge {
+        /// The device being challenged.
+        device: u64,
+        /// The challenge (nonce + range).
+        challenge: Challenge,
+    },
+    /// Client → gateway: the authenticated report.
+    Report {
+        /// The reporting device.
+        device: u64,
+        /// The report (challenge echo + measurement + MAC).
+        report: AttestationReport,
+    },
+    /// Gateway → client: the verdict.
+    AttestResult {
+        /// The verified device.
+        device: u64,
+        /// Its health classification.
+        class: WireHealth,
+    },
+    /// Gateway/operator → device: an authenticated update.
+    UpdateRequest {
+        /// The target device.
+        device: u64,
+        /// The MACed update request.
+        request: UpdateRequest,
+    },
+    /// Device → gateway: update applied (0) or the device-side
+    /// rejection code.
+    UpdateResult {
+        /// The updated device.
+        device: u64,
+        /// 0 on success; otherwise the device's rejection code.
+        status: u8,
+    },
+    /// Operator plane: campaign control.
+    CampaignControl {
+        /// Target cohort.
+        cohort: WorkloadId,
+        /// Requested operation.
+        op: CampaignOp,
+    },
+    /// Operator plane: campaign state echo.
+    CampaignStatus {
+        /// Target cohort.
+        cohort: WorkloadId,
+        /// 0 = running, 1 = paused, 2 = finished.
+        state: u8,
+        /// Persisted wave cursor.
+        wave_cursor: u32,
+    },
+    /// Either direction: a protocol error.
+    Error {
+        /// What went wrong.
+        code: ErrorCode,
+    },
+    /// Either direction: orderly goodbye.
+    Bye,
+}
+
+impl Frame {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => 0x01,
+            Frame::HelloAck { .. } => 0x02,
+            Frame::AttestRequest { .. } => 0x03,
+            Frame::Challenge { .. } => 0x04,
+            Frame::Report { .. } => 0x05,
+            Frame::AttestResult { .. } => 0x06,
+            Frame::UpdateRequest { .. } => 0x07,
+            Frame::UpdateResult { .. } => 0x08,
+            Frame::CampaignControl { .. } => 0x09,
+            Frame::CampaignStatus { .. } => 0x0A,
+            Frame::Error { .. } => 0x0B,
+            Frame::Bye => 0x0C,
+        }
+    }
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            Frame::Hello {
+                min_version,
+                max_version,
+            } => {
+                out.push(*min_version);
+                out.push(*max_version);
+            }
+            Frame::HelloAck { version } => out.push(*version),
+            Frame::AttestRequest { device, cohort } => {
+                out.extend_from_slice(&device.to_le_bytes());
+                out.push(cohort.index());
+            }
+            Frame::Challenge { device, challenge } => {
+                out.extend_from_slice(&device.to_le_bytes());
+                casu_wire::encode_challenge(challenge, out);
+            }
+            Frame::Report { device, report } => {
+                out.extend_from_slice(&device.to_le_bytes());
+                casu_wire::encode_report(report, out);
+            }
+            Frame::AttestResult { device, class } => {
+                out.extend_from_slice(&device.to_le_bytes());
+                out.push(class.to_u8());
+            }
+            Frame::UpdateRequest { device, request } => {
+                out.extend_from_slice(&device.to_le_bytes());
+                casu_wire::encode_update_request(request, out);
+            }
+            Frame::UpdateResult { device, status } => {
+                out.extend_from_slice(&device.to_le_bytes());
+                out.push(*status);
+            }
+            Frame::CampaignControl { cohort, op } => {
+                out.push(cohort.index());
+                out.push(op.to_u8());
+            }
+            Frame::CampaignStatus {
+                cohort,
+                state,
+                wave_cursor,
+            } => {
+                out.push(cohort.index());
+                out.push(*state);
+                out.extend_from_slice(&wave_cursor.to_le_bytes());
+            }
+            Frame::Error { code } => out.push(code.to_u8()),
+            Frame::Bye => {}
+        }
+    }
+
+    fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, WireError> {
+        let mut reader = Reader::new(payload);
+        let frame = match type_byte {
+            0x01 => Frame::Hello {
+                min_version: reader.u8()?,
+                max_version: reader.u8()?,
+            },
+            0x02 => Frame::HelloAck {
+                version: reader.u8()?,
+            },
+            0x03 => Frame::AttestRequest {
+                device: reader.u64()?,
+                cohort: cohort_from_u8(reader.u8()?)?,
+            },
+            0x04 => Frame::Challenge {
+                device: reader.u64()?,
+                challenge: casu_wire::decode_challenge(&mut reader)?,
+            },
+            0x05 => Frame::Report {
+                device: reader.u64()?,
+                report: casu_wire::decode_report(&mut reader)?,
+            },
+            0x06 => Frame::AttestResult {
+                device: reader.u64()?,
+                class: WireHealth::from_u8(reader.u8()?)?,
+            },
+            0x07 => Frame::UpdateRequest {
+                device: reader.u64()?,
+                request: casu_wire::decode_update_request(&mut reader)?,
+            },
+            0x08 => Frame::UpdateResult {
+                device: reader.u64()?,
+                status: reader.u8()?,
+            },
+            0x09 => Frame::CampaignControl {
+                cohort: cohort_from_u8(reader.u8()?)?,
+                op: CampaignOp::from_u8(reader.u8()?)?,
+            },
+            0x0A => Frame::CampaignStatus {
+                cohort: cohort_from_u8(reader.u8()?)?,
+                state: reader.u8()?,
+                wave_cursor: reader.u32()?,
+            },
+            0x0B => Frame::Error {
+                code: ErrorCode::from_u8(reader.u8()?)?,
+            },
+            0x0C => Frame::Bye,
+            other => return Err(WireError::UnknownFrameType(other)),
+        };
+        if !reader.is_empty() {
+            return Err(WireError::TrailingBytes {
+                extra: reader.remaining(),
+            });
+        }
+        Ok(frame)
+    }
+
+    /// Encodes the frame (header + payload) into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        self.encode_payload(&mut payload);
+        debug_assert!(payload.len() <= MAX_FRAME_PAYLOAD);
+        let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        out.extend_from_slice(&FRAME_MAGIC);
+        out.push(PROTOCOL_VERSION);
+        out.push(self.type_byte());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// One-shot decode of exactly one frame.
+    ///
+    /// # Errors
+    ///
+    /// Every malformation is a typed [`WireError`]; incomplete input is
+    /// [`WireError::Truncated`] (streaming consumers should use
+    /// [`FrameDecoder`], which waits instead).
+    pub fn decode(bytes: &[u8]) -> Result<Frame, WireError> {
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(bytes);
+        match decoder.next_frame()? {
+            Some(frame) => {
+                if decoder.buffered() > 0 {
+                    return Err(WireError::TrailingBytes {
+                        extra: decoder.buffered(),
+                    });
+                }
+                Ok(frame)
+            }
+            None => Err(WireError::Truncated {
+                needed: decoder.needed().max(1),
+                have: bytes.len(),
+            }),
+        }
+    }
+}
+
+/// Incremental frame decoder over a byte stream.
+///
+/// Feed arbitrary chunks with [`FrameDecoder::extend`] and drain
+/// complete frames with [`FrameDecoder::next_frame`]. Header fields are
+/// validated as soon as the 10 header bytes arrive — bad magic, a bad
+/// version, an unknown type or an oversized length claim all fail
+/// *before* any payload is buffered, so a hostile peer cannot make the
+/// decoder hold more than [`MAX_FRAME_PAYLOAD`] bytes per frame.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes needed before another decode attempt can make progress
+    /// (diagnostic; 0 when unknown).
+    needed: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw bytes from the transport.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Bytes still needed to complete the frame under construction
+    /// (diagnostic only).
+    pub fn needed(&self) -> usize {
+        self.needed
+    }
+
+    /// Attempts to decode the next complete frame. `Ok(None)` means
+    /// "need more input".
+    ///
+    /// # Errors
+    ///
+    /// A [`WireError`] poisons the stream: the caller must drop the
+    /// connection (framing can no longer be trusted after a malformed
+    /// header).
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        if self.buf.len() < FRAME_HEADER_LEN {
+            self.needed = FRAME_HEADER_LEN - self.buf.len();
+            return Ok(None);
+        }
+        let mut magic = [0u8; 4];
+        magic.copy_from_slice(&self.buf[0..4]);
+        if magic != FRAME_MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let version = self.buf[4];
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::UnsupportedVersion(version));
+        }
+        let type_byte = self.buf[5];
+        let len = u32::from_le_bytes([self.buf[6], self.buf[7], self.buf[8], self.buf[9]]) as usize;
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(WireError::Oversized {
+                claimed: len,
+                max: MAX_FRAME_PAYLOAD,
+            });
+        }
+        let total = FRAME_HEADER_LEN + len;
+        if self.buf.len() < total {
+            self.needed = total - self.buf.len();
+            return Ok(None);
+        }
+        let frame = Frame::decode_payload(type_byte, &self.buf[FRAME_HEADER_LEN..total])?;
+        self.buf.drain(0..total);
+        self.needed = 0;
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_is_ten_bytes_and_tagged() {
+        let bytes = Frame::Bye.encode();
+        assert_eq!(bytes.len(), FRAME_HEADER_LEN);
+        assert_eq!(&bytes[0..4], b"EILD");
+        assert_eq!(bytes[4], PROTOCOL_VERSION);
+    }
+
+    #[test]
+    fn streaming_decoder_handles_byte_at_a_time_input() {
+        let frames = [
+            Frame::Hello {
+                min_version: 1,
+                max_version: 1,
+            },
+            Frame::AttestRequest {
+                device: 7,
+                cohort: WorkloadId::LightSensor,
+            },
+            Frame::Bye,
+        ];
+        let stream: Vec<u8> = frames.iter().flat_map(Frame::encode).collect();
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        for byte in stream {
+            decoder.extend(&[byte]);
+            while let Some(frame) = decoder.next_frame().unwrap() {
+                decoded.push(frame);
+            }
+        }
+        assert_eq!(decoded.as_slice(), frames.as_slice());
+        assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn oversized_claim_is_rejected_from_the_header_alone() {
+        let mut bytes = Frame::Bye.encode();
+        bytes[6..10].copy_from_slice(&(u32::MAX).to_le_bytes());
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&bytes);
+        assert_eq!(
+            decoder.next_frame(),
+            Err(WireError::Oversized {
+                claimed: u32::MAX as usize,
+                max: MAX_FRAME_PAYLOAD,
+            })
+        );
+    }
+
+    #[test]
+    fn wrong_version_and_magic_are_rejected() {
+        let mut bytes = Frame::Bye.encode();
+        bytes[4] = 2;
+        assert_eq!(Frame::decode(&bytes), Err(WireError::UnsupportedVersion(2)));
+        let mut bytes = Frame::Bye.encode();
+        bytes[0] = b'X';
+        assert!(matches!(Frame::decode(&bytes), Err(WireError::BadMagic(_))));
+    }
+}

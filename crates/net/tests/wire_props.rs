@@ -1,0 +1,291 @@
+//! Wire-codec property tests: encode→decode is the identity for
+//! arbitrary frames, and a corpus of malformed inputs dies with clean
+//! typed errors — never a panic, never an unbounded allocation.
+
+use eilid_casu::{AttestationReport, Challenge, UpdateRequest};
+use eilid_net::{
+    ErrorCode, Frame, FrameDecoder, WireError, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD,
+    PROTOCOL_VERSION,
+};
+use eilid_workloads::WorkloadId;
+use proptest::prelude::*;
+
+fn arb_cohort() -> impl Strategy<Value = WorkloadId> {
+    (0usize..WorkloadId::ALL.len()).prop_map(|i| WorkloadId::ALL[i])
+}
+
+fn arb_challenge() -> impl Strategy<Value = Challenge> {
+    (any::<u64>(), any::<u16>(), any::<u16>()).prop_map(|(nonce, start, end)| Challenge {
+        nonce,
+        start,
+        end,
+    })
+}
+
+fn arb_array32() -> impl Strategy<Value = [u8; 32]> {
+    proptest::collection::vec(0u8..=255, 32..33).prop_map(|v| {
+        let mut out = [0u8; 32];
+        out.copy_from_slice(&v);
+        out
+    })
+}
+
+fn arb_report() -> impl Strategy<Value = AttestationReport> {
+    (arb_challenge(), arb_array32(), arb_array32()).prop_map(|(challenge, measurement, mac)| {
+        AttestationReport {
+            challenge,
+            measurement,
+            mac,
+        }
+    })
+}
+
+fn arb_update_request() -> impl Strategy<Value = UpdateRequest> {
+    (
+        any::<u16>(),
+        proptest::collection::vec(0u8..=255, 1..512),
+        any::<u64>(),
+        arb_array32(),
+    )
+        .prop_map(|(target, payload, nonce, mac)| UpdateRequest {
+            target,
+            payload,
+            nonce,
+            mac,
+        })
+}
+
+fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
+    prop_oneof![
+        Just(ErrorCode::UnsupportedVersion),
+        Just(ErrorCode::Busy),
+        Just(ErrorCode::UnknownCohort),
+        Just(ErrorCode::NotNegotiated),
+        Just(ErrorCode::UnexpectedFrame),
+        Just(ErrorCode::Unsupported),
+    ]
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(min_version, max_version)| Frame::Hello {
+            min_version,
+            max_version,
+        }),
+        any::<u8>().prop_map(|version| Frame::HelloAck { version }),
+        (any::<u64>(), arb_cohort())
+            .prop_map(|(device, cohort)| Frame::AttestRequest { device, cohort }),
+        (any::<u64>(), arb_challenge())
+            .prop_map(|(device, challenge)| Frame::Challenge { device, challenge }),
+        (any::<u64>(), arb_report()).prop_map(|(device, report)| Frame::Report { device, report }),
+        (any::<u64>(), 0u8..=3).prop_map(|(device, class)| Frame::AttestResult {
+            device,
+            class: match class {
+                0 => eilid_net::WireHealth::Attested,
+                1 => eilid_net::WireHealth::Stale,
+                2 => eilid_net::WireHealth::Tampered,
+                _ => eilid_net::WireHealth::Unverified,
+            },
+        }),
+        (any::<u64>(), arb_update_request())
+            .prop_map(|(device, request)| Frame::UpdateRequest { device, request }),
+        (any::<u64>(), any::<u8>())
+            .prop_map(|(device, status)| Frame::UpdateResult { device, status }),
+        (arb_cohort(), 0u8..=2).prop_map(|(cohort, op)| Frame::CampaignControl {
+            cohort,
+            op: match op {
+                0 => eilid_net::CampaignOp::Pause,
+                1 => eilid_net::CampaignOp::Resume,
+                _ => eilid_net::CampaignOp::Status,
+            },
+        }),
+        (arb_cohort(), any::<u8>(), any::<u32>()).prop_map(|(cohort, state, wave_cursor)| {
+            Frame::CampaignStatus {
+                cohort,
+                state,
+                wave_cursor,
+            }
+        }),
+        arb_error_code().prop_map(|code| Frame::Error { code }),
+        Just(Frame::Bye),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    // encode → decode is the identity for every representable frame.
+    #[test]
+    fn frame_round_trips(frame in arb_frame()) {
+        let bytes = frame.encode();
+        prop_assert!(bytes.len() >= FRAME_HEADER_LEN);
+        prop_assert!(bytes.len() <= FRAME_HEADER_LEN + MAX_FRAME_PAYLOAD);
+        let decoded = Frame::decode(&bytes).expect("well-formed frames decode");
+        prop_assert_eq!(decoded, frame);
+    }
+
+    // The streaming decoder produces the same frames regardless of how
+    // the byte stream is chunked.
+    #[test]
+    fn streaming_decode_is_chunking_invariant(
+        frames in proptest::collection::vec(arb_frame(), 1..8),
+        chunk in 1usize..64,
+    ) {
+        let stream: Vec<u8> = frames.iter().flat_map(Frame::encode).collect();
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        for piece in stream.chunks(chunk) {
+            decoder.extend(piece);
+            while let Some(frame) = decoder.next_frame().expect("valid stream") {
+                decoded.push(frame);
+            }
+        }
+        prop_assert_eq!(decoded, frames);
+        prop_assert_eq!(decoder.buffered(), 0);
+    }
+
+    // Every strict prefix of a valid frame is Truncated — a typed
+    // error, never a panic.
+    #[test]
+    fn every_truncation_is_a_typed_error(frame in arb_frame()) {
+        let bytes = frame.encode();
+        for cut in 0..bytes.len() {
+            match Frame::decode(&bytes[..cut]) {
+                Err(WireError::Truncated { .. }) => {}
+                other => prop_assert!(false, "prefix of {cut} bytes gave {other:?}"),
+            }
+        }
+    }
+
+    // Arbitrary garbage never panics the decoder: it either fails with
+    // a typed error or asks for more input.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&bytes);
+        // Pump until the decoder errors or stalls; both are fine.
+        for _ in 0..32 {
+            match decoder.next_frame() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+#[test]
+fn malformed_corpus_yields_clean_typed_errors() {
+    let template = Frame::AttestRequest {
+        device: 42,
+        cohort: WorkloadId::LightSensor,
+    }
+    .encode();
+
+    // Truncated length prefix: the header itself is cut short.
+    assert!(matches!(
+        Frame::decode(&template[..FRAME_HEADER_LEN - 3]),
+        Err(WireError::Truncated { .. })
+    ));
+
+    // Oversized claim: the length field requests more than the cap.
+    let mut oversized = template.clone();
+    oversized[6..10].copy_from_slice(&((MAX_FRAME_PAYLOAD + 1) as u32).to_le_bytes());
+    assert_eq!(
+        Frame::decode(&oversized),
+        Err(WireError::Oversized {
+            claimed: MAX_FRAME_PAYLOAD + 1,
+            max: MAX_FRAME_PAYLOAD,
+        })
+    );
+
+    // Wrong version: rejected from the header alone.
+    let mut wrong_version = template.clone();
+    wrong_version[4] = PROTOCOL_VERSION + 1;
+    assert_eq!(
+        Frame::decode(&wrong_version),
+        Err(WireError::UnsupportedVersion(PROTOCOL_VERSION + 1))
+    );
+
+    // Unknown frame type.
+    let mut unknown_type = template.clone();
+    unknown_type[5] = 0x7F;
+    assert_eq!(
+        Frame::decode(&unknown_type),
+        Err(WireError::UnknownFrameType(0x7F))
+    );
+
+    // Unknown cohort discriminant inside the payload.
+    let mut bad_cohort = template.clone();
+    let len = bad_cohort.len();
+    bad_cohort[len - 1] = 0xEE;
+    assert!(matches!(
+        Frame::decode(&bad_cohort),
+        Err(WireError::BadEnum {
+            field: "cohort",
+            ..
+        })
+    ));
+
+    // Payload longer than the frame's structure.
+    let mut trailing = template.clone();
+    trailing.push(0);
+    trailing[6..10].copy_from_slice(&10u32.to_le_bytes());
+    assert!(matches!(
+        Frame::decode(&trailing),
+        Err(WireError::TrailingBytes { .. })
+    ));
+
+    // An update request whose inner length field lies about its size.
+    let mut request = Frame::UpdateRequest {
+        device: 1,
+        request: UpdateRequest {
+            target: 0xE000,
+            payload: vec![1, 2, 3, 4],
+            nonce: 9,
+            mac: [0; 32],
+        },
+    }
+    .encode();
+    // Inner payload length sits after header(10) + device(8) + target(2) + nonce(8).
+    request[28..32].copy_from_slice(&(u32::MAX).to_le_bytes());
+    assert!(matches!(
+        Frame::decode(&request),
+        Err(WireError::BadPayload(_))
+    ));
+}
+
+/// "Wrong MAC domain tag": a report whose MAC was minted under the
+/// update-protocol tag decodes fine — the codec is structural — and is
+/// then rejected by the MAC layer with a clean typed error. The codec
+/// and the crypto each reject exactly their own layer's garbage.
+#[test]
+fn cross_protocol_mac_is_rejected_by_the_mac_layer_not_the_codec() {
+    use eilid_casu::{AttestError, AttestationVerifier, UpdateAuthority};
+    let key = b"net-cross-protocol-key-012345678";
+    let mut authority = UpdateAuthority::new(key);
+    let update = authority.authorize(0xE000, &[0xAA; 32]);
+
+    let challenge = Challenge {
+        nonce: 77,
+        start: 0xE000,
+        end: 0xF7FF,
+    };
+    let forged = Frame::Report {
+        device: 5,
+        report: AttestationReport {
+            challenge,
+            measurement: [0xAA; 32],
+            mac: update.mac,
+        },
+    };
+    let decoded = Frame::decode(&forged.encode()).expect("structurally valid");
+    let Frame::Report { report, .. } = decoded else {
+        panic!("decoded to a different frame type");
+    };
+    assert_eq!(
+        AttestationVerifier::new(key).verify(&challenge, &report, None),
+        Err(AttestError::BadMac),
+        "the domain-separation tag must kill the cross-protocol graft"
+    );
+}

@@ -44,6 +44,23 @@ impl WorkloadId {
         WorkloadId::LcdSensor,
     ];
 
+    /// Stable index of this workload in [`WorkloadId::ALL`] — the
+    /// single on-wire / on-disk byte encoding of a cohort, shared by
+    /// the `eilid_net` frame codec and the persisted paused-campaign
+    /// format. Reordering `ALL` is a wire-format break.
+    pub fn index(self) -> u8 {
+        WorkloadId::ALL
+            .iter()
+            .position(|&id| id == self)
+            .expect("every workload is in WorkloadId::ALL") as u8
+    }
+
+    /// The workload at `index` in [`WorkloadId::ALL`], or `None` for an
+    /// out-of-range byte (decoders turn that into a typed error).
+    pub fn from_index(index: u8) -> Option<WorkloadId> {
+        WorkloadId::ALL.get(usize::from(index)).copied()
+    }
+
     /// Human-readable name as used in the paper.
     pub fn name(self) -> &'static str {
         match self {

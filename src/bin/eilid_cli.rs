@@ -13,11 +13,21 @@
 //!                                          batched attestation sweep + throughput
 //! eilid-cli fleet campaign [--devices N] [--threads N] [--inject-bad]
 //!                                          staged OTA campaign (canary → full)
+//! eilid-cli fleet serve [--addr A] [--devices N] [--threads N] [--expect-reports N]
+//!                                          run the networked attestation gateway
+//! eilid-cli fleet connect --addr A [--devices N] [--threads N] [--clients N]
+//!                                          drive the fleet's devices against a gateway
 //! ```
 //!
 //! Fleet subcommands default to the incremental Merkle measurement
 //! scheme; `--flat` selects the legacy full-range SHA-256 per challenge
 //! (the bench baseline).
+//!
+//! `serve` and `connect` demonstrate the full networked trust boundary:
+//! both sides derive the same demo fleet (same root key, so the gateway
+//! holds the right goldens), the gateway serves challenges/verdicts over
+//! TCP, and `connect` drives every device as a transport client. Run
+//! them in two terminals — or two machines.
 
 use std::process::ExitCode;
 
@@ -54,7 +64,7 @@ fn main() -> ExitCode {
 fn print_usage() {
     println!(
         "eilid-cli — EILID (DATE 2025) reproduction\n\n\
-         USAGE:\n  eilid-cli instrument <app.s>\n  eilid-cli run <app.s> [--protect] [--max-cycles N]\n  eilid-cli disasm <app.s>\n  eilid-cli workloads\n  eilid-cli attack <workload> <attack>\n  eilid-cli fleet run [--devices N] [--threads N] [--cycles N]\n  eilid-cli fleet attest [--devices N] [--threads N] [--flat] [--sweeps N]\n  eilid-cli fleet campaign [--devices N] [--threads N] [--inject-bad]\n\n\
+         USAGE:\n  eilid-cli instrument <app.s>\n  eilid-cli run <app.s> [--protect] [--max-cycles N]\n  eilid-cli disasm <app.s>\n  eilid-cli workloads\n  eilid-cli attack <workload> <attack>\n  eilid-cli fleet run [--devices N] [--threads N] [--cycles N]\n  eilid-cli fleet attest [--devices N] [--threads N] [--flat] [--sweeps N]\n  eilid-cli fleet campaign [--devices N] [--threads N] [--inject-bad]\n  eilid-cli fleet serve [--addr A] [--devices N] [--threads N] [--expect-reports N]\n  eilid-cli fleet connect --addr A [--devices N] [--threads N] [--clients N]\n\n\
          Attacks: return-address, isr-context, indirect-call, code-injection"
     );
 }
@@ -254,8 +264,106 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
         Some("run") => cmd_fleet_run(&args[1..]),
         Some("attest") => cmd_fleet_attest(&args[1..]),
         Some("campaign") => cmd_fleet_campaign(&args[1..]),
-        _ => Err("usage: eilid-cli fleet run|attest|campaign [--devices N] [--threads N]".into()),
+        Some("serve") => cmd_fleet_serve(&args[1..]),
+        Some("connect") => cmd_fleet_connect(&args[1..]),
+        _ => Err(
+            "usage: eilid-cli fleet run|attest|campaign|serve|connect [--devices N] [--threads N]"
+                .into(),
+        ),
     }
+}
+
+fn parse_flag_string(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => args
+            .get(i + 1)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| format!("{flag} needs a value")),
+        None => Ok(None),
+    }
+}
+
+fn cmd_fleet_serve(args: &[String]) -> Result<(), String> {
+    let addr = parse_flag_string(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:4810".to_string());
+    let (fleet, mut verifier) = build_fleet(args)?;
+    let expect = parse_flag_value(args, "--expect-reports", fleet.len() as u64)?;
+    let threads = parse_flag_value(args, "--threads", 4)? as usize;
+
+    // A generous nonce block: networked challenges can never collide
+    // with this process's in-process sweeps.
+    let service = std::sync::Arc::new(eilid_net::AttestationService::new(
+        verifier.service_snapshot(1 << 32),
+    ));
+    let gateway = eilid_net::Gateway::bind(
+        addr.as_str(),
+        std::sync::Arc::clone(&service),
+        eilid_net::GatewayConfig {
+            workers: threads,
+            ..eilid_net::GatewayConfig::default()
+        },
+    )
+    .map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+    let handle = gateway.spawn();
+    println!(
+        "gateway listening on {} ({} cohorts, {} verification workers); waiting for {expect} reports",
+        handle.addr(),
+        fleet.cohort_ids().len(),
+        threads
+    );
+
+    while service.stats().reports_verified() < expect {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let gateway = handle.shutdown().map_err(|e| e.to_string())?;
+    let stats = service.stats();
+    let load =
+        |counter: &std::sync::atomic::AtomicU64| counter.load(std::sync::atomic::Ordering::Relaxed);
+    println!(
+        "served {} reports over {} connections: {} attested, {} stale, {} tampered, {} unverified",
+        stats.reports_verified(),
+        load(&gateway.counters().accepted),
+        load(&stats.attested),
+        load(&stats.stale),
+        load(&stats.tampered),
+        load(&stats.unverified),
+    );
+    Ok(())
+}
+
+fn cmd_fleet_connect(args: &[String]) -> Result<(), String> {
+    let addr = parse_flag_string(args, "--addr")?
+        .ok_or("usage: eilid-cli fleet connect --addr HOST:PORT [--devices N] [--clients N]")?;
+    let addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|e| format!("invalid --addr `{addr}`: {e}"))?;
+    let (mut fleet, _verifier) = build_fleet(args)?;
+    let clients = parse_flag_value(args, "--clients", 4)?.max(1) as usize;
+
+    println!(
+        "driving {} devices against {addr} over {clients} connections",
+        fleet.len()
+    );
+    let report =
+        eilid_net::sweep_fleet_tcp(&mut fleet, clients, addr).map_err(|e| e.to_string())?;
+    println!(
+        "networked sweep: {} devices in {:.3}s over {} connections ({:.0} devices/s)",
+        report.devices,
+        report.elapsed.as_secs_f64(),
+        report.clients,
+        report.devices_per_second()
+    );
+    println!(
+        "  attested   {}\n  stale      {}\n  tampered   {}\n  unverified {}",
+        report.count(eilid_fleet::HealthClass::Attested),
+        report.count(eilid_fleet::HealthClass::Stale),
+        report.count(eilid_fleet::HealthClass::Tampered),
+        report.count(eilid_fleet::HealthClass::Unverified),
+    );
+    if !report.flagged.is_empty() {
+        println!("  flagged: {:?}", report.flagged);
+    }
+    Ok(())
 }
 
 fn cmd_fleet_run(args: &[String]) -> Result<(), String> {
