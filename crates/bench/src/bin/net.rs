@@ -7,8 +7,9 @@
 //! regress against.
 //!
 //! ```text
-//! net [--devices N] [--threads N] [--clients N] [--json PATH]
-//!     [--min-pool-ratio X] [--quick]
+//! net [--devices N] [--threads N] [--clients N] [--window N]
+//!     [--json PATH] [--min-pool-ratio X] [--min-in-memory N]
+//!     [--min-loopback N] [--quick]
 //! ```
 //!
 //! `--quick` runs a smaller configuration (the CI smoke mode) and does
@@ -16,6 +17,12 @@
 //! `--min-pool-ratio X` exits non-zero when the pool falls below `X`
 //! times the scoped baseline's throughput — the regression gate for
 //! "the persistent pool is no slower than per-sweep spawning".
+//! `--min-in-memory N` / `--min-loopback N` are absolute floors in
+//! devices/s on the two transport paths — the no-regression gates for
+//! the reactor + batching work (the loopback floor of 40 000 in `make
+//! net-bench` is ≥ 2× the PR 3 recorded baseline of ~19 000).
+//! `--window N` sets the client pipelining window (exchanges in flight
+//! per connection).
 
 use std::process::ExitCode;
 
@@ -41,8 +48,11 @@ fn run() -> Result<(), String> {
     let devices = flag_value(&args, "--devices", if quick { 256 } else { 1000 })?;
     let threads = flag_value(&args, "--threads", 4)?;
     let clients = flag_value(&args, "--clients", 8)?;
+    let window = flag_value(&args, "--window", eilid_net::DEFAULT_PIPELINE_WINDOW)?;
     let rounds = if quick { 2 } else { 5 };
     let min_pool_ratio: f64 = flag_value(&args, "--min-pool-ratio", 0.0)?;
+    let min_in_memory: f64 = flag_value(&args, "--min-in-memory", 0.0)?;
+    let min_loopback: f64 = flag_value(&args, "--min-loopback", 0.0)?;
     // `--quick` runs a smaller, non-comparable configuration, so it
     // must never silently overwrite the recorded full-size baseline.
     // A `--json` with its value missing is a hard error like every
@@ -68,15 +78,20 @@ fn run() -> Result<(), String> {
     );
     println!("  pool/scoped       {:>9.2}x", schedulers.pool_ratio());
 
-    println!("transport head-to-head: {devices} devices, {clients} client connections");
-    let transports = measure_transport_sweeps(devices, clients, rounds);
+    println!(
+        "transport head-to-head: {devices} devices, {clients} client connections, \
+         pipeline window {window}"
+    );
+    let transports = measure_transport_sweeps(devices, clients, window, rounds);
     println!(
         "  in-memory pipe    {:>9.0} devices/s",
         transports.in_memory.devices_per_second
     );
     println!(
-        "  loopback TCP      {:>9.0} devices/s",
-        transports.loopback.devices_per_second
+        "  loopback TCP      {:>9.0} devices/s  ({} reactor, batch {})",
+        transports.loopback.devices_per_second,
+        transports.poller_backend.name(),
+        transports.batch_size,
     );
 
     if let Some(json_path) = json_path {
@@ -90,6 +105,18 @@ fn run() -> Result<(), String> {
         return Err(format!(
             "pool throughput regression: {:.2}x the scoped baseline is below the accepted {min_pool_ratio}x",
             schedulers.pool_ratio()
+        ));
+    }
+    if transports.in_memory.devices_per_second < min_in_memory {
+        return Err(format!(
+            "in-memory transport regression: {:.0} devices/s is below the accepted floor of {min_in_memory:.0}",
+            transports.in_memory.devices_per_second
+        ));
+    }
+    if transports.loopback.devices_per_second < min_loopback {
+        return Err(format!(
+            "loopback TCP regression: {:.0} devices/s is below the accepted floor of {min_loopback:.0}",
+            transports.loopback.devices_per_second
         ));
     }
     Ok(())

@@ -24,8 +24,8 @@ use std::sync::Arc;
 use eilid_casu::DeviceKey;
 use eilid_fleet::{Fleet, FleetBuilder, HealthClass, Verifier};
 use eilid_net::{
-    serve_transport, sweep_fleet_over, sweep_fleet_tcp, AttestationService, Gateway, GatewayConfig,
-    PipeTransport,
+    serve_transport, sweep_fleet_tcp_windowed, sweep_fleet_windowed, AttestationService, Gateway,
+    GatewayConfig, PipeTransport, PollerBackend,
 };
 
 fn bench_root() -> DeviceKey {
@@ -149,15 +149,24 @@ pub struct TransportRow {
 pub struct TransportComparison {
     /// In-memory pipe: codec + session, no sockets.
     pub in_memory: TransportRow,
-    /// Real loopback TCP through the non-blocking gateway.
+    /// Real loopback TCP through the readiness-driven gateway reactor.
     pub loopback: TransportRow,
+    /// The readiness backend the gateway ran (epoll on Linux).
+    pub poller_backend: PollerBackend,
+    /// The gateway's shard-batch flush ceiling.
+    pub batch_size: usize,
+    /// Client-side pipelining window (exchanges in flight per
+    /// connection).
+    pub pipeline_window: usize,
 }
 
 /// Measures full-protocol sweeps over the in-memory pipe and loopback
-/// TCP on the same fleet (best of `rounds` each; a warm-up sweep first).
+/// TCP on the same fleet (best of `rounds` each; a warm-up sweep
+/// first), with `window` exchanges pipelined per connection.
 pub fn measure_transport_sweeps(
     devices: usize,
     clients: usize,
+    window: usize,
     rounds: usize,
 ) -> TransportComparison {
     let (mut fleet, mut verifier) = build(devices, clients);
@@ -169,7 +178,7 @@ pub fn measure_transport_sweeps(
         dirty_some(&mut fleet);
         let report = {
             let service = Arc::clone(&service);
-            sweep_fleet_over(&mut fleet, clients, move || {
+            sweep_fleet_windowed(&mut fleet, clients, window, move || {
                 let (client_end, mut server_end) = PipeTransport::pair();
                 let service = Arc::clone(&service);
                 std::thread::spawn(move || {
@@ -185,23 +194,22 @@ pub fn measure_transport_sweeps(
         }
     }
 
-    // Loopback TCP through the gateway.
-    let handle = Gateway::bind(
-        ("127.0.0.1", 0),
-        Arc::clone(&service),
-        GatewayConfig {
-            workers: clients,
-            queue_depth: 256,
-            ..GatewayConfig::default()
-        },
-    )
-    .expect("gateway binds on loopback")
-    .spawn();
+    // Loopback TCP through the gateway reactor.
+    let config = GatewayConfig {
+        workers: clients,
+        queue_depth: 512,
+        ..GatewayConfig::default()
+    };
+    let batch_size = config.batch_max;
+    let gateway = Gateway::bind(("127.0.0.1", 0), Arc::clone(&service), config)
+        .expect("gateway binds on loopback");
+    let poller_backend = gateway.poller_backend();
+    let handle = gateway.spawn();
     let mut loopback_best = 0.0f64;
     for round in 0..=rounds {
         dirty_some(&mut fleet);
-        let report =
-            sweep_fleet_tcp(&mut fleet, clients, handle.addr()).expect("loopback sweep succeeds");
+        let report = sweep_fleet_tcp_windowed(&mut fleet, clients, window, handle.addr())
+            .expect("loopback sweep succeeds");
         assert_eq!(report.count(HealthClass::Attested), devices);
         if round > 0 {
             loopback_best = loopback_best.max(report.devices_per_second());
@@ -220,6 +228,9 @@ pub fn measure_transport_sweeps(
             clients,
             devices_per_second: loopback_best,
         },
+        poller_backend,
+        batch_size,
+        pipeline_window: window,
     }
 }
 
@@ -232,13 +243,19 @@ pub fn render_net_bench_json(
 ) -> String {
     format!(
         "{{\n  \"bench\": \"net_sweep\",\n  \"devices\": {},\n  \"threads\": {},\n  \
-         \"clients\": {},\n  \"pool_devices_per_second\": {:.0},\n  \
+         \"clients\": {},\n  \"connections\": {},\n  \"pipeline_window\": {},\n  \
+         \"batch_size\": {},\n  \"poller_backend\": \"{}\",\n  \
+         \"pool_devices_per_second\": {:.0},\n  \
          \"scoped_baseline_devices_per_second\": {:.0},\n  \"pool_vs_scoped_ratio\": {:.2},\n  \
          \"in_memory_transport_devices_per_second\": {:.0},\n  \
          \"loopback_tcp_devices_per_second\": {:.0}\n}}\n",
         schedulers.pool.devices,
         schedulers.pool.threads,
         transports.in_memory.clients,
+        transports.in_memory.clients,
+        transports.pipeline_window,
+        transports.batch_size,
+        transports.poller_backend.name(),
         schedulers.pool.devices_per_second,
         schedulers.scoped.devices_per_second,
         schedulers.pool_ratio(),
@@ -261,9 +278,11 @@ mod tests {
 
     #[test]
     fn transport_comparison_is_sane() {
-        let comparison = measure_transport_sweeps(8, 2, 1);
+        let comparison = measure_transport_sweeps(8, 2, 4, 1);
         assert!(comparison.in_memory.devices_per_second > 0.0);
         assert!(comparison.loopback.devices_per_second > 0.0);
+        assert!(comparison.batch_size > 0);
+        assert_eq!(comparison.pipeline_window, 4);
     }
 
     #[test]
@@ -291,10 +310,17 @@ mod tests {
                 clients: 8,
                 devices_per_second: 17_000.0,
             },
+            poller_backend: PollerBackend::Epoll,
+            batch_size: 64,
+            pipeline_window: 32,
         };
         let json = render_net_bench_json(&schedulers, &transports);
         assert!(json.contains("\"bench\": \"net_sweep\""));
         assert!(json.contains("\"pool_vs_scoped_ratio\": 1.04"));
+        assert!(json.contains("\"connections\": 8"));
+        assert!(json.contains("\"batch_size\": 64"));
+        assert!(json.contains("\"pipeline_window\": 32"));
+        assert!(json.contains("\"poller_backend\": \"epoll\""));
         assert!(json.starts_with('{') && json.ends_with("}\n"));
     }
 }

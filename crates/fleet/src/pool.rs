@@ -38,6 +38,7 @@
 #![allow(unsafe_code)]
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -66,6 +67,25 @@ impl std::error::Error for PoolBusy {}
 struct Worker {
     sender: SyncSender<Job>,
     handle: Option<JoinHandle<()>>,
+    /// Work currently queued or running on this worker, in *weight*
+    /// units (reports for the gateway's batched jobs, 1 for plain
+    /// jobs). This is what makes backpressure honest for batch
+    /// submitters: a batch of 64 reports consumes 64 units of the
+    /// budget, not one queue slot.
+    in_flight: Arc<AtomicUsize>,
+}
+
+/// Decrements a worker's in-flight weight when the job finishes — via
+/// `Drop`, so a panicking job releases its budget too.
+struct WeightGuard {
+    counter: Arc<AtomicUsize>,
+    weight: usize,
+}
+
+impl Drop for WeightGuard {
+    fn drop(&mut self) {
+        self.counter.fetch_sub(self.weight, Ordering::Release);
+    }
 }
 
 /// Long-lived, shard-affine worker pool. See the module docs.
@@ -105,6 +125,7 @@ fn spawn_workers(count: usize, queue_depth: usize) -> Vec<Worker> {
             Worker {
                 sender,
                 handle: Some(handle),
+                in_flight: Arc::new(AtomicUsize::new(0)),
             }
         })
         .collect()
@@ -169,16 +190,76 @@ impl WorkerPool {
         shard: usize,
         job: impl FnOnce() + Send + 'static,
     ) -> Result<(), PoolBusy> {
+        self.try_submit_weighted(shard, 1, job)
+    }
+
+    /// Queues a *batch* job of `weight` work units on `shard`'s worker,
+    /// failing fast when the worker's weight budget is exhausted.
+    ///
+    /// The budget is `queue_depth + 1` units per worker (the `+ 1`
+    /// models the job the worker is currently running). A single job
+    /// heavier than the whole budget is still accepted when the worker
+    /// is otherwise idle, so oversized batches degrade to serialized
+    /// execution instead of permanent starvation. The weight is
+    /// released when the job finishes — on panic too.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolBusy`] when admitting the job would exceed the
+    /// worker's weight budget (or, rarely, its queue-slot bound).
+    pub fn try_submit_weighted(
+        &self,
+        shard: usize,
+        weight: usize,
+        job: impl FnOnce() + Send + 'static,
+    ) -> Result<(), PoolBusy> {
+        let weight = weight.max(1);
         let worker = &self.workers[self.worker_of(shard)];
+        let budget = self.queue_depth + 1;
+        // Reserve the weight first, so concurrent submitters cannot
+        // jointly overshoot the budget.
+        let mut current = worker.in_flight.load(Ordering::Acquire);
+        loop {
+            if current > 0 && current + weight > budget {
+                return Err(PoolBusy { shard });
+            }
+            match worker.in_flight.compare_exchange_weak(
+                current,
+                current + weight,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(now) => current = now,
+            }
+        }
+        let guard = WeightGuard {
+            counter: Arc::clone(&worker.in_flight),
+            weight,
+        };
+        let wrapped = move || {
+            let _guard = guard;
+            job();
+        };
         worker
             .sender
-            .try_send(Box::new(job))
+            .try_send(Box::new(wrapped))
             .map_err(|err| match err {
+                // The dropped job's WeightGuard released the reserved
+                // weight already.
                 TrySendError::Full(_) => PoolBusy { shard },
                 // Workers only exit when their sender is dropped, which
                 // cannot happen while `&self` is alive.
                 TrySendError::Disconnected(_) => unreachable!("pool worker exited while pool live"),
             })
+    }
+
+    /// Work (in weight units) currently queued or running on the worker
+    /// serving `shard`.
+    pub fn shard_load(&self, shard: usize) -> usize {
+        self.workers[self.worker_of(shard)]
+            .in_flight
+            .load(Ordering::Acquire)
     }
 
     /// Queues `job` on `shard`'s worker, blocking while the queue is
@@ -472,6 +553,72 @@ mod tests {
         // Dropping the pool joins the workers, draining the queues.
         drop(pool);
         assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn weighted_submission_respects_the_weight_budget() {
+        // 1 worker, budget = queue_depth + 1 = 9 weight units.
+        let pool = WorkerPool::new(1, 4, 8);
+        let gate = Arc::new(Barrier::new(2));
+        let parked = Arc::clone(&gate);
+        // Park the worker under a weight-4 batch.
+        pool.try_submit_weighted(0, 4, move || {
+            parked.wait();
+        })
+        .unwrap();
+        // A weight-5 batch still fits (4 + 5 = 9 ≤ 9)...
+        pool.try_submit_weighted(1, 5, || {}).unwrap();
+        assert_eq!(pool.shard_load(0), 9);
+        // ...after which even a weight-1 job is refused.
+        assert_eq!(
+            pool.try_submit_weighted(2, 1, || {}),
+            Err(PoolBusy { shard: 2 })
+        );
+        gate.wait();
+        // Draining releases the weight and admission resumes.
+        let drained = loop {
+            match pool.try_submit_weighted(3, 8, || {}) {
+                Ok(()) => break true,
+                Err(PoolBusy { .. }) => std::thread::yield_now(),
+            }
+        };
+        assert!(drained);
+    }
+
+    #[test]
+    fn oversized_batch_is_accepted_on_an_idle_worker() {
+        let pool = WorkerPool::new(1, 1, 2);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&ran);
+        let gate = Arc::new(Barrier::new(2));
+        let parked = Arc::clone(&gate);
+        // Weight 100 dwarfs the budget of 3, but the worker is idle:
+        // refusing forever would starve the caller.
+        pool.try_submit_weighted(0, 100, move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+            parked.wait();
+        })
+        .unwrap();
+        // While it is pending/running, everything else is refused.
+        assert!(pool.try_submit_weighted(0, 1, || {}).is_err());
+        gate.wait();
+        drop(pool);
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn panicking_weighted_job_releases_its_weight() {
+        let pool = WorkerPool::new(1, 1, 4);
+        pool.try_submit_weighted(0, 5, || panic!("batch job exploded"))
+            .unwrap();
+        // Once the panicked job drains, the full budget is back.
+        let readmitted = loop {
+            match pool.try_submit_weighted(0, 5, || {}) {
+                Ok(()) => break true,
+                Err(PoolBusy { .. }) => std::thread::yield_now(),
+            }
+        };
+        assert!(readmitted);
     }
 
     #[test]

@@ -6,7 +6,23 @@
 //! can multiplex any number of [`SimDevice`]s — the edge-aggregator
 //! shape the 1000-device loopback sweep runs, with `device` ids in
 //! every frame keeping the multiplexing honest.
+//!
+//! Two drive modes share the connection state machine:
+//!
+//! * [`DeviceClient::attest`] — lockstep, one exchange in flight. The
+//!   simple mode, and the latency reference.
+//! * [`DeviceClient::attest_batch`] — pipelined: up to `window`
+//!   exchanges in flight per connection, requests and reports coalesced
+//!   into batched sends ([`Transport::send_batch`], one syscall per
+//!   burst over TCP). This is what closes most of the loopback-TCP
+//!   throughput gap: a lockstep client pays two full round-trips of
+//!   syscalls and scheduler hops *per device*; a pipelined client
+//!   amortizes them over the window. Device-scoped gateway errors
+//!   ([`Frame::DeviceError`]) keep `Busy` backpressure attributable —
+//!   only the shed device is retried, with the same bounded backoff as
+//!   lockstep mode.
 
+use std::collections::{HashMap, VecDeque};
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
@@ -17,9 +33,13 @@ use crate::service::health_from_wire;
 use crate::transport::{TcpTransport, Transport};
 use crate::wire::{ErrorCode, Frame, PROTOCOL_VERSION};
 
-/// How many times [`DeviceClient::attest`] restarts an exchange shed
-/// with `Error{Busy}` before surfacing the error to the caller.
+/// How many times an exchange shed with a `Busy` error is restarted
+/// before the error surfaces to the caller.
 pub const BUSY_RETRIES: usize = 8;
+
+/// Default pipelining window of the sweep drivers: exchanges in flight
+/// per connection.
+pub const DEFAULT_PIPELINE_WINDOW: usize = 32;
 
 /// The device half of the protocol, over any transport.
 #[derive(Debug)]
@@ -137,9 +157,149 @@ impl<T: Transport> DeviceClient<T> {
                     })?;
                 }
                 Frame::Error { code } => return Err(NetError::Protocol(code)),
+                Frame::DeviceError { device, code } => {
+                    if device != id {
+                        return Err(NetError::Unexpected("error for a different device"));
+                    }
+                    return Err(NetError::Protocol(code));
+                }
                 _ => return Err(NetError::Unexpected("unexpected frame during attestation")),
             }
         }
+    }
+
+    /// Attests a batch of devices with up to `window` exchanges in
+    /// flight on this connection, returning `(device, verdict)` pairs
+    /// in device-id order.
+    ///
+    /// The pipeline keeps the window full: requests are issued as soon
+    /// as slots free up, reports answer challenges as they arrive, and
+    /// every burst of outgoing frames goes out as one batched send.
+    /// Device-scoped `Busy` errors re-queue just that device (bounded
+    /// by [`BUSY_RETRIES`] per device, with exponential backoff after
+    /// any burst that shed work without delivering a verdict — the
+    /// saturation signal); gateway-pushed updates are applied and
+    /// acknowledged mid-pipeline exactly as in lockstep mode.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] for non-retryable gateway errors (or
+    /// `Busy` past the retry budget); transport errors pass through.
+    pub fn attest_batch(
+        &mut self,
+        devices: &mut [SimDevice],
+        window: usize,
+    ) -> Result<Vec<(DeviceId, HealthClass)>, NetError> {
+        let window = window.max(1);
+        let index_of: HashMap<DeviceId, usize> = devices
+            .iter()
+            .enumerate()
+            .map(|(index, device)| (device.id(), index))
+            .collect();
+        if index_of.len() != devices.len() {
+            return Err(NetError::Unexpected("duplicate device id in batch"));
+        }
+        let mut to_request: VecDeque<usize> = (0..devices.len()).collect();
+        let mut retries: HashMap<DeviceId, usize> = HashMap::new();
+        let mut verdicts: Vec<(DeviceId, HealthClass)> = Vec::with_capacity(devices.len());
+        let mut in_flight = 0usize;
+        let mut out: Vec<Frame> = Vec::new();
+        let mut inbox: Vec<Frame> = Vec::new();
+        let mut backoff = Duration::from_micros(500);
+
+        while verdicts.len() < devices.len() {
+            // Fill the window with fresh requests.
+            while in_flight < window {
+                let Some(index) = to_request.pop_front() else {
+                    break;
+                };
+                out.push(Frame::AttestRequest {
+                    device: devices[index].id(),
+                    cohort: devices[index].cohort(),
+                });
+                in_flight += 1;
+            }
+            // One coalesced send per burst...
+            self.transport.send_batch(&out)?;
+            out.clear();
+            // ...then block for the next frame and drain whatever burst
+            // arrived with it, so a window's worth of challenges turns
+            // into one read and one coalesced reply write.
+            inbox.push(self.transport.recv()?);
+            while let Some(frame) = self.transport.recv_now()? {
+                inbox.push(frame);
+            }
+            let mut burst_verdicts = 0usize;
+            let mut burst_busy = 0usize;
+            for frame in inbox.drain(..) {
+                match frame {
+                    Frame::Challenge { device, challenge } => {
+                        let index = *index_of
+                            .get(&device)
+                            .ok_or(NetError::Unexpected("challenge for a device not in batch"))?;
+                        let report = devices[index].attest(challenge);
+                        out.push(Frame::Report { device, report });
+                    }
+                    Frame::AttestResult { device, class } => {
+                        if !index_of.contains_key(&device) {
+                            return Err(NetError::Unexpected("result for a device not in batch"));
+                        }
+                        verdicts.push((device, health_from_wire(class)));
+                        in_flight -= 1;
+                        burst_verdicts += 1;
+                    }
+                    Frame::DeviceError {
+                        device,
+                        code: ErrorCode::Busy,
+                    } => {
+                        // Attributable backpressure: retry exactly this
+                        // device (bounded per device; the burst-level
+                        // backoff below decides whether to sleep first).
+                        let index = *index_of
+                            .get(&device)
+                            .ok_or(NetError::Unexpected("error for a device not in batch"))?;
+                        in_flight -= 1;
+                        burst_busy += 1;
+                        let attempts = retries.entry(device).or_insert(0);
+                        *attempts += 1;
+                        if *attempts > BUSY_RETRIES {
+                            return Err(NetError::Protocol(ErrorCode::Busy));
+                        }
+                        to_request.push_back(index);
+                    }
+                    Frame::DeviceError { code, .. } => return Err(NetError::Protocol(code)),
+                    Frame::UpdateRequest { device, request } => {
+                        let status = match index_of.get(&device) {
+                            Some(&index) => match devices[index].apply_update(&request) {
+                                Ok(()) => 0,
+                                Err(err) => update_error_code(&err),
+                            },
+                            None => 0xFF,
+                        };
+                        out.push(Frame::UpdateResult { device, status });
+                    }
+                    Frame::Error { code } => return Err(NetError::Protocol(code)),
+                    _ => return Err(NetError::Unexpected("unexpected frame during attestation")),
+                }
+            }
+            // Burst-level backoff: a burst that shed work and produced
+            // no verdicts means the gateway is saturated — sleep with
+            // exponential growth (matching the lockstep path's
+            // resilience) before hammering it again. Any verdict in the
+            // burst means capacity is flowing; keep streaming.
+            if burst_busy > 0 && burst_verdicts == 0 {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(50));
+            } else if burst_verdicts > 0 {
+                backoff = Duration::from_micros(500);
+            }
+        }
+        // The final burst can queue one last reply (e.g. the
+        // UpdateResult ack for a gateway-pushed update arriving with
+        // the last verdict) — flush it before returning.
+        self.transport.send_batch(&out)?;
+        verdicts.sort_by_key(|(device, _)| *device);
+        Ok(verdicts)
     }
 
     /// Sends an orderly goodbye and returns the transport.
@@ -206,7 +366,8 @@ fn class_index(class: HealthClass) -> usize {
 
 /// Drives a full-fleet attestation sweep over `clients` concurrent
 /// transports (one [`DeviceClient`] each, devices partitioned evenly),
-/// using `make_transport` to open each connection.
+/// using `make_transport` to open each connection and the default
+/// pipelining window ([`DEFAULT_PIPELINE_WINDOW`]).
 ///
 /// # Errors
 ///
@@ -214,6 +375,26 @@ fn class_index(class: HealthClass) -> usize {
 pub fn sweep_fleet_over<T, F>(
     fleet: &mut Fleet,
     clients: usize,
+    make_transport: F,
+) -> Result<NetSweepReport, NetError>
+where
+    T: Transport + Send,
+    F: Fn() -> Result<T, NetError> + Sync,
+{
+    sweep_fleet_windowed(fleet, clients, DEFAULT_PIPELINE_WINDOW, make_transport)
+}
+
+/// [`sweep_fleet_over`] with an explicit pipelining window: exchanges
+/// in flight per connection. `window == 1` degrades to lockstep
+/// exchanges (through the same pipelined engine).
+///
+/// # Errors
+///
+/// The first transport/protocol error aborts the sweep.
+pub fn sweep_fleet_windowed<T, F>(
+    fleet: &mut Fleet,
+    clients: usize,
+    window: usize,
     make_transport: F,
 ) -> Result<NetSweepReport, NetError>
 where
@@ -238,11 +419,7 @@ where
                     let make_transport = &make_transport;
                     scope.spawn(move || {
                         let mut client = DeviceClient::connect(make_transport()?)?;
-                        let mut verdicts = Vec::with_capacity(batch.len());
-                        for device in batch.iter_mut() {
-                            let class = client.attest(device)?;
-                            verdicts.push((device.id(), class));
-                        }
+                        let verdicts = client.attest_batch(batch, window)?;
                         let _ = client.bye();
                         Ok(verdicts)
                     })
@@ -285,4 +462,18 @@ pub fn sweep_fleet_tcp(
     addr: SocketAddr,
 ) -> Result<NetSweepReport, NetError> {
     sweep_fleet_over(fleet, clients, || TcpTransport::connect(addr))
+}
+
+/// [`sweep_fleet_windowed`] specialised to loopback/remote TCP.
+///
+/// # Errors
+///
+/// The first connection or protocol error aborts the sweep.
+pub fn sweep_fleet_tcp_windowed(
+    fleet: &mut Fleet,
+    clients: usize,
+    window: usize,
+    addr: SocketAddr,
+) -> Result<NetSweepReport, NetError> {
+    sweep_fleet_windowed(fleet, clients, window, || TcpTransport::connect(addr))
 }

@@ -15,16 +15,23 @@
 //!   provisioned from the fleet verifier's snapshot (same root key,
 //!   same goldens, a reserved nonce block) plus the per-connection
 //!   [`Session`] state machine shared by every server flavour.
-//! * [`gateway`] — a std-only, non-blocking TCP [`Gateway`]: a poll
-//!   loop owns the sockets and the framing, and MAC verification runs
-//!   on the persistent [`eilid_fleet::WorkerPool`] with bounded queues;
-//!   overload turns into [`ErrorCode::Busy`] backpressure frames, not
-//!   unbounded buffering.
+//! * [`poller`] — the readiness seam: a Linux epoll backend (the
+//!   crate's one documented-unsafe module, raw syscall bindings) and a
+//!   portable scan fallback whose idle sleeps follow an adaptive
+//!   backoff and are cut short by a [`Waker`].
+//! * [`gateway`] — a std-only, readiness-driven TCP [`Gateway`]
+//!   reactor: it owns the sockets and the framing, coalesces decoded
+//!   reports into per-shard batches, and runs MAC verification as one
+//!   weighted job per batch on the persistent
+//!   [`eilid_fleet::WorkerPool`]; overload turns into device-scoped
+//!   [`Frame::DeviceError`] `Busy` backpressure frames, not unbounded
+//!   buffering.
 //! * [`client`] — the device half ([`DeviceClient`]) plus
-//!   [`sweep_fleet_over`]/[`sweep_fleet_tcp`]: full-fleet attestation
-//!   sweeps over real loopback sockets or the in-memory
-//!   [`PipeTransport`], with one connection multiplexing many devices
-//!   (the edge-aggregator shape).
+//!   [`sweep_fleet_over`]/[`sweep_fleet_tcp`] (and their `_windowed`
+//!   variants): full-fleet attestation sweeps over real loopback
+//!   sockets or the in-memory [`PipeTransport`], with one connection
+//!   multiplexing many devices (the edge-aggregator shape) and a
+//!   configurable pipelining window per connection.
 //!
 //! # Threat model at the transport boundary
 //!
@@ -42,19 +49,29 @@
 //!    MAC on a report or vice versa — killed by the domain-separation
 //!    tags introduced with the fleet subsystem).
 
-#![forbid(unsafe_code)]
+// Unsafe code is denied crate-wide; the single exception is the
+// documented epoll/eventfd syscall module (`poller::sys`), mirroring
+// the lifetime-erasure exception in `eilid_fleet::pool`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod error;
 pub mod gateway;
+pub mod poller;
 pub mod service;
 pub mod transport;
 pub mod wire;
 
-pub use client::{sweep_fleet_over, sweep_fleet_tcp, DeviceClient, NetSweepReport, BUSY_RETRIES};
+pub use client::{
+    sweep_fleet_over, sweep_fleet_tcp, sweep_fleet_tcp_windowed, sweep_fleet_windowed,
+    DeviceClient, NetSweepReport, BUSY_RETRIES, DEFAULT_PIPELINE_WINDOW,
+};
 pub use error::NetError;
 pub use gateway::{Gateway, GatewayConfig, GatewayCounters, GatewayHandle};
+pub use poller::{
+    Event, IdleBackoff, Interest, Poller, PollerBackend, PollerChoice, WaitOutcome, Waker,
+};
 pub use service::{
     health_from_wire, health_to_wire, serve_transport, AttestationService, ChallengeError, Session,
     SessionOutput, VerifyTask, MAX_PENDING_CHALLENGES,

@@ -168,6 +168,7 @@ impl AttestationService {
         report: &eilid_casu::AttestationReport,
     ) -> (HealthClass, Option<AttestError>) {
         let Some(snapshot) = self.cohorts.get(&cohort) else {
+            self.stats.record(HealthClass::Unverified);
             return (HealthClass::Unverified, None);
         };
         let shard = &self.shards[(device % SHARD_COUNT as u64) as usize];
@@ -183,6 +184,53 @@ impl AttestationService {
         let (class, error) = snapshot.classify(verified, &report.measurement);
         self.stats.record(class);
         (class, error)
+    }
+
+    /// Verifies a batch of reports, yielding exactly the verdicts
+    /// [`AttestationService::verify`] would produce one at a time —
+    /// the equivalence is property-tested over arbitrary mixes of good,
+    /// tampered, stale and replayed reports.
+    ///
+    /// The point of batching is amortization: consecutive tasks on the
+    /// same key shard reuse one lock acquisition (the gateway batches
+    /// per shard, so a whole batch typically costs a single lock),
+    /// and the per-job pool dispatch the gateway used to pay per report
+    /// is paid per batch.
+    pub fn verify_batch(&self, tasks: &[VerifyTask]) -> Vec<(HealthClass, Option<AttestError>)> {
+        let mut verdicts = Vec::with_capacity(tasks.len());
+        let mut held: Option<(usize, std::sync::MutexGuard<'_, KeyShard>)> = None;
+        for task in tasks {
+            let Some(snapshot) = self.cohorts.get(&task.cohort) else {
+                self.stats.record(HealthClass::Unverified);
+                verdicts.push((HealthClass::Unverified, None));
+                continue;
+            };
+            let shard_index = (task.device % SHARD_COUNT as u64) as usize;
+            // Re-lock only when the shard changes; same-shard runs — the
+            // common case by construction — hold one guard throughout.
+            // The old guard MUST drop before the new lock is taken:
+            // holding two shard locks at once would let concurrent
+            // cross-shard batches deadlock ABBA-style.
+            if held.as_ref().map(|(index, _)| *index) != Some(shard_index) {
+                drop(held.take());
+                held = Some((
+                    shard_index,
+                    self.shards[shard_index].lock().expect("key shard lock"),
+                ));
+            }
+            let (_, shard) = held.as_mut().expect("shard guard held");
+            let root = &self.root;
+            let key = shard
+                .keys
+                .entry(task.device)
+                .or_insert_with(|| root.derive(task.device));
+            let verified =
+                AttestationVerifier::with_key(key).verify(&task.issued, &task.report, None);
+            let (class, error) = snapshot.classify(verified, &task.report.measurement);
+            self.stats.record(class);
+            verdicts.push((class, error));
+        }
+        verdicts
     }
 }
 
@@ -292,11 +340,15 @@ impl Session {
             Frame::AttestRequest { device, cohort } => {
                 // Re-requesting for an already-pending device replaces
                 // its challenge (doesn't grow the map); only genuinely
-                // new outstanding ids count against the cap.
+                // new outstanding ids count against the cap. Errors on
+                // this path are *device-scoped* (`DeviceError`), so a
+                // pipelining client can attribute and retry exactly the
+                // affected exchange.
                 if self.pending.len() >= MAX_PENDING_CHALLENGES
                     && !self.pending.contains_key(&device)
                 {
-                    return SessionOutput::Reply(vec![Frame::Error {
+                    return SessionOutput::Reply(vec![Frame::DeviceError {
+                        device,
                         code: ErrorCode::Busy,
                     }]);
                 }
@@ -306,14 +358,16 @@ impl Session {
                         SessionOutput::Reply(vec![Frame::Challenge { device, challenge }])
                     }
                     Err(ChallengeError::UnknownCohort) => {
-                        SessionOutput::Reply(vec![Frame::Error {
+                        SessionOutput::Reply(vec![Frame::DeviceError {
+                            device,
                             code: ErrorCode::UnknownCohort,
                         }])
                     }
                     // Out of nonces: shed load instead of minting a
                     // reused nonce (or crashing the serving thread).
                     Err(ChallengeError::NoncesExhausted) => {
-                        SessionOutput::Reply(vec![Frame::Error {
+                        SessionOutput::Reply(vec![Frame::DeviceError {
+                            device,
                             code: ErrorCode::Busy,
                         }])
                     }
@@ -349,6 +403,7 @@ impl Session {
             Frame::HelloAck { .. }
             | Frame::Challenge { .. }
             | Frame::AttestResult { .. }
+            | Frame::DeviceError { .. }
             | Frame::CampaignStatus { .. } => SessionOutput::ReplyAndClose(vec![Frame::Error {
                 code: ErrorCode::UnexpectedFrame,
             }]),

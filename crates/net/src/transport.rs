@@ -36,6 +36,38 @@ pub trait Transport {
     /// [`NetError::Closed`] when the peer hung up, [`NetError::Wire`]
     /// when the byte stream is not valid framing.
     fn recv(&mut self) -> Result<Frame, NetError>;
+
+    /// Sends several frames, coalescing them where the transport can
+    /// (one `write` syscall on TCP). The default just loops
+    /// [`Transport::send`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Transport::send`]; frames before the failure may have
+    /// been delivered.
+    fn send_batch(&mut self, frames: &[Frame]) -> Result<(), NetError> {
+        for frame in frames {
+            self.send(frame)?;
+        }
+        Ok(())
+    }
+
+    /// Returns the next frame *already available* without blocking —
+    /// frames sitting decoded (or decodable) in the receive buffer
+    /// after an earlier [`Transport::recv`] pulled a whole burst off
+    /// the wire. `Ok(None)` means "nothing buffered; you would block".
+    ///
+    /// Pipelining clients drain this after every blocking `recv` so a
+    /// burst of thirty challenges becomes one read syscall and one
+    /// coalesced reply write, not thirty of each.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Wire`] when the buffered bytes are not valid
+    /// framing.
+    fn recv_now(&mut self) -> Result<Option<Frame>, NetError> {
+        Ok(None)
+    }
 }
 
 /// Blocking TCP transport (client side of the gateway protocol).
@@ -44,6 +76,8 @@ pub struct TcpTransport {
     stream: TcpStream,
     decoder: FrameDecoder,
     read_buf: Vec<u8>,
+    /// Reused encode buffer: steady-state sends allocate nothing.
+    write_buf: Vec<u8>,
     timeout: Duration,
 }
 
@@ -83,6 +117,7 @@ impl TcpTransport {
             stream,
             decoder: FrameDecoder::new(),
             read_buf: vec![0u8; 16 * 1024],
+            write_buf: Vec::with_capacity(4 * 1024),
             timeout,
         })
     }
@@ -90,7 +125,25 @@ impl TcpTransport {
 
 impl Transport for TcpTransport {
     fn send(&mut self, frame: &Frame) -> Result<(), NetError> {
-        self.stream.write_all(&frame.encode())?;
+        self.write_buf.clear();
+        frame.encode_into(&mut self.write_buf);
+        self.stream.write_all(&self.write_buf)?;
+        Ok(())
+    }
+
+    /// All frames encoded back-to-back into the reused buffer, one
+    /// `write` syscall for the lot — the client-side half of the
+    /// protocol's coalesced-write discipline (a pipelining client sends
+    /// a whole window of requests or reports per syscall).
+    fn send_batch(&mut self, frames: &[Frame]) -> Result<(), NetError> {
+        if frames.is_empty() {
+            return Ok(());
+        }
+        self.write_buf.clear();
+        for frame in frames {
+            frame.encode_into(&mut self.write_buf);
+        }
+        self.stream.write_all(&self.write_buf)?;
         Ok(())
     }
 
@@ -116,6 +169,10 @@ impl Transport for TcpTransport {
                 Err(err) => return Err(err.into()),
             }
         }
+    }
+
+    fn recv_now(&mut self) -> Result<Option<Frame>, NetError> {
+        Ok(self.decoder.next_frame()?)
     }
 }
 
@@ -166,6 +223,19 @@ impl Transport for PipeTransport {
         self.tx.send(frame.encode()).map_err(|_| NetError::Closed)
     }
 
+    /// One channel message for the whole batch (the pipe's analogue of
+    /// a single coalesced `write`).
+    fn send_batch(&mut self, frames: &[Frame]) -> Result<(), NetError> {
+        if frames.is_empty() {
+            return Ok(());
+        }
+        let mut bytes = Vec::with_capacity(frames.len() * 32);
+        for frame in frames {
+            frame.encode_into(&mut bytes);
+        }
+        self.tx.send(bytes).map_err(|_| NetError::Closed)
+    }
+
     fn recv(&mut self) -> Result<Frame, NetError> {
         let deadline = Instant::now() + self.timeout;
         loop {
@@ -183,27 +253,36 @@ impl Transport for PipeTransport {
             }
         }
     }
+
+    fn recv_now(&mut self) -> Result<Option<Frame>, NetError> {
+        // Drain whatever the peer already pushed, then decode.
+        while let Ok(bytes) = self.rx.try_recv() {
+            self.decoder.extend(&bytes);
+        }
+        Ok(self.decoder.next_frame()?)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::PROTOCOL_VERSION;
     use std::time::Duration;
 
     #[test]
     fn pipe_round_trips_frames_through_the_codec() {
         let (mut a, mut b) = PipeTransport::pair();
         a.send(&Frame::Hello {
-            min_version: 1,
-            max_version: 1,
+            min_version: PROTOCOL_VERSION,
+            max_version: PROTOCOL_VERSION,
         })
         .unwrap();
         a.send(&Frame::Bye).unwrap();
         assert_eq!(
             b.recv().unwrap(),
             Frame::Hello {
-                min_version: 1,
-                max_version: 1,
+                min_version: PROTOCOL_VERSION,
+                max_version: PROTOCOL_VERSION,
             }
         );
         assert_eq!(b.recv().unwrap(), Frame::Bye);

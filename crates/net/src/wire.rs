@@ -9,7 +9,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic   = b"EILD"
-//! 4       1     version = 1
+//! 4       1     version = 2
 //! 5       1     frame type
 //! 6       4     payload length (≤ MAX_FRAME_PAYLOAD)
 //! 10      n     payload (layout per frame type; casu wire encodings
@@ -41,7 +41,14 @@ use eilid_workloads::WorkloadId;
 pub const FRAME_MAGIC: [u8; 4] = *b"EILD";
 
 /// The one protocol version this build speaks.
-pub const PROTOCOL_VERSION: u8 = 1;
+///
+/// History: version 1 was the PR 3 lockstep protocol; version 2 added
+/// the device-scoped [`Frame::DeviceError`] (type `0x0D`), which
+/// gateways emit in routine situations (backpressure, unknown
+/// cohorts). The bump makes a version-1 peer fail *at negotiation*
+/// with a typed `UnsupportedVersion` instead of mid-sweep on an
+/// unknown frame type.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Size of the fixed frame header in bytes.
 pub const FRAME_HEADER_LEN: usize = 10;
@@ -357,6 +364,17 @@ pub enum Frame {
     },
     /// Either direction: orderly goodbye.
     Bye,
+    /// Gateway → client: a device-scoped, retryable error. Unlike the
+    /// connection-scoped [`Frame::Error`], this carries the device id,
+    /// so a client pipelining many exchanges on one connection can
+    /// attribute a `Busy` (or `UnknownCohort`) to exactly one of them
+    /// and retry just that device.
+    DeviceError {
+        /// The device whose exchange failed.
+        device: u64,
+        /// What went wrong.
+        code: ErrorCode,
+    },
 }
 
 impl Frame {
@@ -374,6 +392,7 @@ impl Frame {
             Frame::CampaignStatus { .. } => 0x0A,
             Frame::Error { .. } => 0x0B,
             Frame::Bye => 0x0C,
+            Frame::DeviceError { .. } => 0x0D,
         }
     }
 
@@ -426,6 +445,10 @@ impl Frame {
             }
             Frame::Error { code } => out.push(code.to_u8()),
             Frame::Bye => {}
+            Frame::DeviceError { device, code } => {
+                out.extend_from_slice(&device.to_le_bytes());
+                out.push(code.to_u8());
+            }
         }
     }
 
@@ -476,6 +499,10 @@ impl Frame {
                 code: ErrorCode::from_u8(reader.u8()?)?,
             },
             0x0C => Frame::Bye,
+            0x0D => Frame::DeviceError {
+                device: reader.u64()?,
+                code: ErrorCode::from_u8(reader.u8()?)?,
+            },
             other => return Err(WireError::UnknownFrameType(other)),
         };
         if !reader.is_empty() {
@@ -488,16 +515,28 @@ impl Frame {
 
     /// Encodes the frame (header + payload) into a fresh buffer.
     pub fn encode(&self) -> Vec<u8> {
-        let mut payload = Vec::new();
-        self.encode_payload(&mut payload);
-        debug_assert!(payload.len() <= MAX_FRAME_PAYLOAD);
-        let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        let mut out = Vec::with_capacity(FRAME_HEADER_LEN + 16);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends the encoded frame (header + payload) to `out` without
+    /// intermediate allocations — the hot-path encoder: the gateway
+    /// encodes straight into connection outboxes and transports into
+    /// reused write buffers, so steady-state frame encoding allocates
+    /// nothing.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let header_at = out.len();
         out.extend_from_slice(&FRAME_MAGIC);
         out.push(PROTOCOL_VERSION);
         out.push(self.type_byte());
-        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        out.extend_from_slice(&payload);
-        out
+        // Length placeholder, patched once the payload is in place.
+        out.extend_from_slice(&[0u8; 4]);
+        let payload_at = out.len();
+        self.encode_payload(out);
+        let payload_len = out.len() - payload_at;
+        debug_assert!(payload_len <= MAX_FRAME_PAYLOAD);
+        out[header_at + 6..header_at + 10].copy_from_slice(&(payload_len as u32).to_le_bytes());
     }
 
     /// One-shot decode of exactly one frame.
@@ -623,8 +662,8 @@ mod tests {
     fn streaming_decoder_handles_byte_at_a_time_input() {
         let frames = [
             Frame::Hello {
-                min_version: 1,
-                max_version: 1,
+                min_version: PROTOCOL_VERSION,
+                max_version: PROTOCOL_VERSION,
             },
             Frame::AttestRequest {
                 device: 7,
@@ -663,8 +702,11 @@ mod tests {
     #[test]
     fn wrong_version_and_magic_are_rejected() {
         let mut bytes = Frame::Bye.encode();
-        bytes[4] = 2;
-        assert_eq!(Frame::decode(&bytes), Err(WireError::UnsupportedVersion(2)));
+        bytes[4] = PROTOCOL_VERSION + 1;
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(WireError::UnsupportedVersion(PROTOCOL_VERSION + 1))
+        );
         let mut bytes = Frame::Bye.encode();
         bytes[0] = b'X';
         assert!(matches!(Frame::decode(&bytes), Err(WireError::BadMagic(_))));

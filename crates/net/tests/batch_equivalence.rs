@@ -1,0 +1,201 @@
+//! Batched verification must be *semantically invisible*: for any mix
+//! of good, tampered, stale, replayed and forged reports — in any
+//! order, hitting any shards — `AttestationService::verify_batch`
+//! yields exactly the verdicts per-report `verify` produces. The
+//! batching is a locking/dispatch amortization, never a classification
+//! change.
+
+use std::collections::BTreeMap;
+
+use eilid_casu::{AttestError, Attestor, DeviceKey};
+use eilid_fleet::{FleetBuilder, HealthClass};
+use eilid_net::{AttestationService, VerifyTask};
+use eilid_workloads::WorkloadId;
+use proptest::prelude::*;
+
+const ROOT: &[u8] = b"fleet-root-key-0123456789abcdef";
+const DEVICES: usize = 12;
+
+/// A measurement that is authentic-but-old for every cohort (spliced
+/// into the snapshot's `previous` history below).
+const STALE_MEASUREMENT: [u8; 32] = [0x5A; 32];
+
+/// The five report shapes the protocol can carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReportKind {
+    /// Honest device, current firmware → `Attested`.
+    Good,
+    /// Valid MAC over a measurement matching no known firmware →
+    /// `Tampered`.
+    Tampered,
+    /// Valid MAC over a previous still-authentic measurement →
+    /// `Stale`.
+    Stale,
+    /// Honest report answering an *older* challenge than the one
+    /// issued → `Unverified` (challenge mismatch / replay).
+    Replayed,
+    /// MAC minted under a key the device does not hold → `Unverified`.
+    WrongKey,
+}
+
+fn arb_kind() -> impl Strategy<Value = ReportKind> {
+    prop_oneof![
+        Just(ReportKind::Good),
+        Just(ReportKind::Tampered),
+        Just(ReportKind::Stale),
+        Just(ReportKind::Replayed),
+        Just(ReportKind::WrongKey),
+    ]
+}
+
+/// Builds a service pair (identical trust state) and one `VerifyTask`
+/// per requested `(device, kind)` slot.
+fn build_tasks(
+    mix: &[(usize, ReportKind)],
+) -> (
+    AttestationService,
+    AttestationService,
+    Vec<VerifyTask>,
+    Vec<ReportKind>,
+) {
+    let (mut fleet, mut verifier) = FleetBuilder::new(DeviceKey::new(ROOT).unwrap())
+        .devices(DEVICES)
+        .threads(1)
+        .workloads(&[WorkloadId::LightSensor, WorkloadId::TempSensor])
+        .build()
+        .unwrap();
+
+    let mut snapshot = verifier.service_snapshot(1 << 20);
+    for cohort in snapshot.cohorts.values_mut() {
+        cohort.previous.push(STALE_MEASUREMENT);
+    }
+    let batch_service = AttestationService::new(snapshot.clone());
+    let single_service = AttestationService::new(snapshot);
+
+    // Per-device keys, as a real device (or attacker) would hold them.
+    let keys: BTreeMap<u64, DeviceKey> = (0..DEVICES as u64)
+        .map(|id| (id, verifier.device_key(id)))
+        .collect();
+    let rogue = Attestor::new(b"not-any-derived-device-key-00000");
+
+    let mut tasks = Vec::with_capacity(mix.len());
+    let mut kinds = Vec::with_capacity(mix.len());
+    for &(slot, kind) in mix {
+        let index = slot % DEVICES;
+        let device = &mut fleet.devices_mut()[index];
+        let id = device.id();
+        let cohort = device.cohort();
+        let issued = batch_service.challenge_for(cohort).expect("nonces remain");
+        let attestor = Attestor::with_key(&keys[&id]);
+        let report = match kind {
+            ReportKind::Good => device.attest(issued),
+            ReportKind::Tampered => attestor.report(issued, [0xEE; 32]),
+            ReportKind::Stale => attestor.report(issued, STALE_MEASUREMENT),
+            ReportKind::Replayed => {
+                // An honest answer to a *different* (earlier) challenge.
+                let old = batch_service.challenge_for(cohort).expect("nonces remain");
+                device.attest(old)
+            }
+            ReportKind::WrongKey => {
+                let honest = device.attest(issued);
+                rogue.report(issued, honest.measurement)
+            }
+        };
+        tasks.push(VerifyTask {
+            device: id,
+            cohort,
+            issued,
+            report,
+        });
+        kinds.push(kind);
+    }
+    (batch_service, single_service, tasks, kinds)
+}
+
+fn expected_class(kind: ReportKind) -> HealthClass {
+    match kind {
+        ReportKind::Good => HealthClass::Attested,
+        ReportKind::Tampered => HealthClass::Tampered,
+        ReportKind::Stale => HealthClass::Stale,
+        ReportKind::Replayed | ReportKind::WrongKey => HealthClass::Unverified,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The load-bearing equivalence: batch verdicts == per-report
+    /// verdicts, element for element, for arbitrary mixes (arbitrary
+    /// kinds, arbitrary device repetition, arbitrary shard order).
+    #[test]
+    fn verify_batch_matches_per_report_verification(
+        mix in proptest::collection::vec((0usize..DEVICES, arb_kind()), 1..24),
+    ) {
+        let (batch_service, single_service, tasks, kinds) = build_tasks(&mix);
+
+        let batch_verdicts = batch_service.verify_batch(&tasks);
+        let single_verdicts: Vec<(HealthClass, Option<AttestError>)> = tasks
+            .iter()
+            .map(|task| single_service.verify(task.device, task.cohort, &task.issued, &task.report))
+            .collect();
+
+        prop_assert_eq!(&batch_verdicts, &single_verdicts);
+
+        // Each kind lands in its expected class (sanity that the mix
+        // really exercises all four verdict classes, not five spellings
+        // of `Attested`).
+        for ((class, _), kind) in batch_verdicts.iter().zip(&kinds) {
+            prop_assert_eq!(*class, expected_class(*kind));
+        }
+
+        // Both services counted identically, report for report.
+        prop_assert_eq!(
+            batch_service.stats().reports_verified(),
+            single_service.stats().reports_verified()
+        );
+        for class in [
+            HealthClass::Attested,
+            HealthClass::Stale,
+            HealthClass::Tampered,
+            HealthClass::Unverified,
+        ] {
+            let load = |service: &AttestationService| match class {
+                HealthClass::Attested => service.stats().attested.load(std::sync::atomic::Ordering::Relaxed),
+                HealthClass::Stale => service.stats().stale.load(std::sync::atomic::Ordering::Relaxed),
+                HealthClass::Tampered => service.stats().tampered.load(std::sync::atomic::Ordering::Relaxed),
+                HealthClass::Unverified => service.stats().unverified.load(std::sync::atomic::Ordering::Relaxed),
+            };
+            prop_assert_eq!(load(&batch_service), load(&single_service));
+        }
+    }
+}
+
+/// A batch crossing every shard (one task per device, DEVICES > shard
+/// stride) re-locks correctly at each shard boundary and still matches
+/// singles — the guard-handoff path of `verify_batch`.
+#[test]
+fn cross_shard_batch_matches_singles() {
+    let mix: Vec<(usize, ReportKind)> = (0..DEVICES)
+        .map(|i| {
+            (
+                i,
+                match i % 5 {
+                    0 => ReportKind::Good,
+                    1 => ReportKind::Tampered,
+                    2 => ReportKind::Stale,
+                    3 => ReportKind::Replayed,
+                    _ => ReportKind::WrongKey,
+                },
+            )
+        })
+        .collect();
+    let (batch_service, single_service, tasks, _) = build_tasks(&mix);
+    let batch = batch_service.verify_batch(&tasks);
+    let singles: Vec<(HealthClass, Option<AttestError>)> = tasks
+        .iter()
+        .map(|task| single_service.verify(task.device, task.cohort, &task.issued, &task.report))
+        .collect();
+    assert_eq!(batch, singles);
+    // Every device key was derived exactly once on each side.
+    assert_eq!(batch_service.cached_keys(), single_service.cached_keys());
+}

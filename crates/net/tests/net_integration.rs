@@ -179,8 +179,8 @@ fn session_violations_get_typed_protocol_errors() {
     let mut transport = pipe_server(Arc::clone(&service));
     transport
         .send(&Frame::Hello {
-            min_version: 1,
-            max_version: 1,
+            min_version: PROTOCOL_VERSION,
+            max_version: PROTOCOL_VERSION,
         })
         .unwrap();
     assert_eq!(
@@ -195,9 +195,12 @@ fn session_violations_get_typed_protocol_errors() {
             cohort: WorkloadId::FireSensor,
         })
         .unwrap();
+    // Attest-request failures are device-scoped so pipelining clients
+    // can attribute them to one exchange.
     assert_eq!(
         transport.recv().unwrap(),
-        Frame::Error {
+        Frame::DeviceError {
+            device: 0,
             code: ErrorCode::UnknownCohort,
         }
     );
@@ -257,8 +260,8 @@ fn forged_report_is_unverified_not_a_wire_error() {
 
     transport
         .send(&Frame::Hello {
-            min_version: 1,
-            max_version: 1,
+            min_version: PROTOCOL_VERSION,
+            max_version: PROTOCOL_VERSION,
         })
         .unwrap();
     transport.recv().unwrap();
@@ -307,8 +310,8 @@ fn update_over_the_wire_applies_and_rejects() {
         // Hand-rolled client loop so we control the device end fully.
         device_end
             .send(&Frame::Hello {
-                min_version: 1,
-                max_version: 1,
+                min_version: PROTOCOL_VERSION,
+                max_version: PROTOCOL_VERSION,
             })
             .unwrap();
         assert!(matches!(device_end.recv().unwrap(), Frame::HelloAck { .. }));
@@ -395,8 +398,8 @@ fn campaign_control_gets_a_typed_unsupported_answer() {
     let mut transport = pipe_server(service);
     transport
         .send(&Frame::Hello {
-            min_version: 1,
-            max_version: 1,
+            min_version: PROTOCOL_VERSION,
+            max_version: PROTOCOL_VERSION,
         })
         .unwrap();
     transport.recv().unwrap();
@@ -412,6 +415,181 @@ fn campaign_control_gets_a_typed_unsupported_answer() {
             code: ErrorCode::Unsupported,
         }
     );
+}
+
+/// The same sweep with the portable scan fallback forced: identical
+/// classification, readiness just costs O(connections) per pass.
+#[test]
+fn loopback_tcp_sweep_through_the_scan_fallback() {
+    let (mut fleet, mut verifier) = build_fleet(12);
+    tamper(&mut fleet, 7);
+
+    let service = Arc::new(AttestationService::new(verifier.service_snapshot(1 << 20)));
+    let gateway = Gateway::bind(
+        ("127.0.0.1", 0),
+        Arc::clone(&service),
+        GatewayConfig {
+            workers: 2,
+            poller: eilid_net::PollerChoice::Scan,
+            ..GatewayConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(gateway.poller_backend(), eilid_net::PollerBackend::Scan);
+    let handle = gateway.spawn();
+
+    let report = sweep_fleet_tcp(&mut fleet, 3, handle.addr()).unwrap();
+    assert_eq!(report.devices, 12);
+    assert_eq!(report.count(HealthClass::Tampered), 1);
+    assert_eq!(report.flagged, vec![(7, HealthClass::Tampered)]);
+
+    let gateway = handle.shutdown().unwrap();
+    let counters = gateway.counters();
+    assert!(
+        counters
+            .scan_passes
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0,
+        "the scan backend counts its full passes"
+    );
+    assert_eq!(service.stats().reports_verified(), 12);
+}
+
+/// Batched dispatch really batches: a pipelined sweep must finish with
+/// strictly fewer pool jobs than reports (the per-request dispatch the
+/// batching exists to amortize).
+#[test]
+fn pipelined_sweep_amortizes_pool_dispatch() {
+    let (mut fleet, mut verifier) = build_fleet(64);
+    let service = Arc::new(AttestationService::new(verifier.service_snapshot(1 << 20)));
+    let handle = Gateway::bind(
+        ("127.0.0.1", 0),
+        Arc::clone(&service),
+        GatewayConfig::default(),
+    )
+    .unwrap()
+    .spawn();
+
+    let report = eilid_net::sweep_fleet_tcp_windowed(&mut fleet, 1, 64, handle.addr()).unwrap();
+    assert_eq!(report.count(HealthClass::Attested), 64);
+
+    let gateway = handle.shutdown().unwrap();
+    let load =
+        |counter: &std::sync::atomic::AtomicU64| counter.load(std::sync::atomic::Ordering::Relaxed);
+    let batches = load(&gateway.counters().batches_submitted);
+    let reports = load(&gateway.counters().batched_reports);
+    assert_eq!(reports, 64, "every report rode a batch");
+    assert!(
+        batches < reports,
+        "64 reports must not cost 64 pool jobs (got {batches} batches)"
+    );
+}
+
+/// A malformed frame arriving mid-batch poisons only its own
+/// connection: reports already coalesced from that connection still
+/// verify, other connections' exchanges complete untouched, and the
+/// reactor keeps serving.
+#[test]
+fn mid_batch_malformed_frame_poisons_only_its_own_connection() {
+    use std::io::{Read, Write};
+
+    let (mut fleet, mut verifier) = build_fleet(10);
+    let service = Arc::new(AttestationService::new(verifier.service_snapshot(1 << 20)));
+    let handle = Gateway::bind(
+        ("127.0.0.1", 0),
+        Arc::clone(&service),
+        GatewayConfig::default(),
+    )
+    .unwrap()
+    .spawn();
+    let addr = handle.addr();
+
+    // Connection A, hand-rolled: negotiate, obtain a challenge, then
+    // send [valid report ‖ garbage] in a single write — the report
+    // joins a shard batch, the garbage kills the framing.
+    {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut decoder = eilid_net::FrameDecoder::new();
+        let recv =
+            |stream: &mut std::net::TcpStream, decoder: &mut eilid_net::FrameDecoder| -> Frame {
+                let mut buf = [0u8; 4096];
+                loop {
+                    if let Some(frame) = decoder.next_frame().unwrap() {
+                        return frame;
+                    }
+                    let n = stream.read(&mut buf).unwrap();
+                    assert!(n > 0, "gateway hung up early");
+                    decoder.extend(&buf[..n]);
+                }
+            };
+
+        stream
+            .write_all(
+                &Frame::Hello {
+                    min_version: PROTOCOL_VERSION,
+                    max_version: PROTOCOL_VERSION,
+                }
+                .encode(),
+            )
+            .unwrap();
+        assert!(matches!(
+            recv(&mut stream, &mut decoder),
+            Frame::HelloAck { .. }
+        ));
+        let victim = 0u64;
+        stream
+            .write_all(
+                &Frame::AttestRequest {
+                    device: victim,
+                    cohort: WorkloadId::LightSensor,
+                }
+                .encode(),
+            )
+            .unwrap();
+        let Frame::Challenge { challenge, .. } = recv(&mut stream, &mut decoder) else {
+            panic!("expected a challenge");
+        };
+        let report = fleet.devices_mut()[victim as usize].attest(challenge);
+        let mut bytes = Frame::Report {
+            device: victim,
+            report,
+        }
+        .encode();
+        bytes.extend_from_slice(b"\xDE\xAD\xBE\xEFgarbage-poisons-the-framing");
+        stream.write_all(&bytes).unwrap();
+        // The gateway drops us: EOF (or reset) follows.
+        let mut sink = [0u8; 64];
+        loop {
+            match stream.read(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => continue,
+            }
+        }
+    }
+
+    // Connection B, pipelined over the remaining devices: every
+    // exchange completes with the right verdicts.
+    let devices = fleet.len();
+    let mut client = DeviceClient::connect(TcpTransport::connect(addr).unwrap()).unwrap();
+    let verdicts = client
+        .attest_batch(&mut fleet.devices_mut()[1..devices], 8)
+        .unwrap();
+    assert_eq!(verdicts.len(), devices - 1);
+    assert!(verdicts
+        .iter()
+        .all(|(_, class)| *class == HealthClass::Attested));
+    let _ = client.bye();
+
+    let gateway = handle.shutdown().unwrap();
+    let load =
+        |counter: &std::sync::atomic::AtomicU64| counter.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(load(&gateway.counters().malformed_streams), 1);
+    // A's coalesced report was verified even though its connection died
+    // before the verdict could be delivered.
+    assert_eq!(service.stats().reports_verified(), devices as u64);
 }
 
 /// A peer that sends unparseable bytes is dropped and counted; honest

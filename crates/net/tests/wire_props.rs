@@ -108,6 +108,8 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         }),
         arb_error_code().prop_map(|code| Frame::Error { code }),
         Just(Frame::Bye),
+        (any::<u64>(), arb_error_code())
+            .prop_map(|(device, code)| Frame::DeviceError { device, code }),
     ]
 }
 

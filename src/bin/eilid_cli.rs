@@ -14,8 +14,10 @@
 //! eilid-cli fleet campaign [--devices N] [--threads N] [--inject-bad]
 //!                                          staged OTA campaign (canary → full)
 //! eilid-cli fleet serve [--addr A] [--devices N] [--threads N] [--expect-reports N]
+//!                       [--poller epoll|scan] [--batch N]
 //!                                          run the networked attestation gateway
 //! eilid-cli fleet connect --addr A [--devices N] [--threads N] [--clients N]
+//!                         [--pipeline N]
 //!                                          drive the fleet's devices against a gateway
 //! ```
 //!
@@ -64,7 +66,7 @@ fn main() -> ExitCode {
 fn print_usage() {
     println!(
         "eilid-cli — EILID (DATE 2025) reproduction\n\n\
-         USAGE:\n  eilid-cli instrument <app.s>\n  eilid-cli run <app.s> [--protect] [--max-cycles N]\n  eilid-cli disasm <app.s>\n  eilid-cli workloads\n  eilid-cli attack <workload> <attack>\n  eilid-cli fleet run [--devices N] [--threads N] [--cycles N]\n  eilid-cli fleet attest [--devices N] [--threads N] [--flat] [--sweeps N]\n  eilid-cli fleet campaign [--devices N] [--threads N] [--inject-bad]\n  eilid-cli fleet serve [--addr A] [--devices N] [--threads N] [--expect-reports N]\n  eilid-cli fleet connect --addr A [--devices N] [--threads N] [--clients N]\n\n\
+         USAGE:\n  eilid-cli instrument <app.s>\n  eilid-cli run <app.s> [--protect] [--max-cycles N]\n  eilid-cli disasm <app.s>\n  eilid-cli workloads\n  eilid-cli attack <workload> <attack>\n  eilid-cli fleet run [--devices N] [--threads N] [--cycles N]\n  eilid-cli fleet attest [--devices N] [--threads N] [--flat] [--sweeps N]\n  eilid-cli fleet campaign [--devices N] [--threads N] [--inject-bad]\n  eilid-cli fleet serve [--addr A] [--devices N] [--threads N] [--expect-reports N]\n                        [--poller epoll|scan] [--batch N]\n  eilid-cli fleet connect --addr A [--devices N] [--threads N] [--clients N] [--pipeline N]\n\n\
          Attacks: return-address, isr-context, indirect-call, code-injection"
     );
 }
@@ -289,6 +291,13 @@ fn cmd_fleet_serve(args: &[String]) -> Result<(), String> {
     let (fleet, mut verifier) = build_fleet(args)?;
     let expect = parse_flag_value(args, "--expect-reports", fleet.len() as u64)?;
     let threads = parse_flag_value(args, "--threads", 4)? as usize;
+    let batch = parse_flag_value(args, "--batch", 64)?.max(1) as usize;
+    let poller = match parse_flag_string(args, "--poller")?.as_deref() {
+        None => eilid_net::PollerChoice::Auto,
+        Some("epoll") => eilid_net::PollerChoice::Epoll,
+        Some("scan") => eilid_net::PollerChoice::Scan,
+        Some(other) => return Err(format!("invalid --poller `{other}` (epoll or scan)")),
+    };
 
     // A generous nonce block: networked challenges can never collide
     // with this process's in-process sweeps.
@@ -300,16 +309,21 @@ fn cmd_fleet_serve(args: &[String]) -> Result<(), String> {
         std::sync::Arc::clone(&service),
         eilid_net::GatewayConfig {
             workers: threads,
+            poller,
+            batch_max: batch,
             ..eilid_net::GatewayConfig::default()
         },
     )
     .map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+    let backend = gateway.poller_backend();
     let handle = gateway.spawn();
     println!(
-        "gateway listening on {} ({} cohorts, {} verification workers); waiting for {expect} reports",
+        "gateway listening on {} ({} cohorts, {} verification workers, {} reactor, \
+         batch ceiling {batch}); waiting for {expect} reports",
         handle.addr(),
         fleet.cohort_ids().len(),
-        threads
+        threads,
+        backend.name(),
     );
 
     while service.stats().reports_verified() < expect {
@@ -339,13 +353,19 @@ fn cmd_fleet_connect(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("invalid --addr `{addr}`: {e}"))?;
     let (mut fleet, _verifier) = build_fleet(args)?;
     let clients = parse_flag_value(args, "--clients", 4)?.max(1) as usize;
+    let window = parse_flag_value(
+        args,
+        "--pipeline",
+        eilid_net::DEFAULT_PIPELINE_WINDOW as u64,
+    )?
+    .max(1) as usize;
 
     println!(
-        "driving {} devices against {addr} over {clients} connections",
+        "driving {} devices against {addr} over {clients} connections (pipeline window {window})",
         fleet.len()
     );
-    let report =
-        eilid_net::sweep_fleet_tcp(&mut fleet, clients, addr).map_err(|e| e.to_string())?;
+    let report = eilid_net::sweep_fleet_tcp_windowed(&mut fleet, clients, window, addr)
+        .map_err(|e| e.to_string())?;
     println!(
         "networked sweep: {} devices in {:.3}s over {} connections ({:.0} devices/s)",
         report.devices,
