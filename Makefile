@@ -1,6 +1,6 @@
 # Convenience targets; `just` users get the same recipes from ./justfile.
 
-.PHONY: build test test-workspace bench-smoke fleet-smoke fleet-scale fleet-bench fleet-bench-smoke net-scale net-scale-10k net-smoke net-bench net-bench-smoke fmt clippy ci
+.PHONY: build test test-workspace bench-smoke fleet-smoke fleet-scale fleet-bench fleet-bench-smoke net-scale net-scale-10k net-campaign net-smoke net-bench net-bench-smoke fmt clippy ci
 
 build:
 	cargo build --release
@@ -51,6 +51,12 @@ net-scale:
 # every pass cost a read() per connection.
 net-scale-10k:
 	cargo test --release -p eilid_net --test net_scale_10k -- --include-ignored scale_10k
+
+# The 1 000-device staged OTA campaign over loopback TCP (release mode,
+# 60 s budget): RemoteOps console → gateway campaign engine → 8 device
+# agents, with the report pinned equal to the in-process backend's.
+net-campaign:
+	cargo test --release -p eilid_net --test net_campaign_scale -- --include-ignored campaign --nocapture
 
 # Two-terminal demo collapsed into one: serve a gateway in the
 # background and drive the fleet against it. Connect retries while the

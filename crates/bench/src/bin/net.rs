@@ -9,7 +9,7 @@
 //! ```text
 //! net [--devices N] [--threads N] [--clients N] [--window N]
 //!     [--json PATH] [--min-pool-ratio X] [--min-in-memory N]
-//!     [--min-loopback N] [--quick]
+//!     [--min-loopback N] [--min-campaign N] [--quick]
 //! ```
 //!
 //! `--quick` runs a smaller configuration (the CI smoke mode) and does
@@ -22,11 +22,16 @@
 //! the reactor + batching work (the loopback floor of 40 000 in `make
 //! net-bench` is ≥ 2× the PR 3 recorded baseline of ~19 000).
 //! `--window N` sets the client pipelining window (exchanges in flight
-//! per connection).
+//! per connection). `--min-campaign N` is the floor in devices/s for
+//! the staged campaign driven over loopback TCP through the gateway's
+//! operator plane (update + probe + smoke per device — hence orders of
+//! magnitude below sweep throughput).
 
 use std::process::ExitCode;
 
-use eilid_bench::net::{compare_schedulers, measure_transport_sweeps, render_net_bench_json};
+use eilid_bench::net::{
+    compare_schedulers, measure_campaigns, measure_transport_sweeps, render_net_bench_json,
+};
 
 /// Parses `--flag value`; a missing flag yields `default`, an
 /// unparseable value is a hard error (never a silent fallback that
@@ -53,6 +58,7 @@ fn run() -> Result<(), String> {
     let min_pool_ratio: f64 = flag_value(&args, "--min-pool-ratio", 0.0)?;
     let min_in_memory: f64 = flag_value(&args, "--min-in-memory", 0.0)?;
     let min_loopback: f64 = flag_value(&args, "--min-loopback", 0.0)?;
+    let min_campaign: f64 = flag_value(&args, "--min-campaign", 0.0)?;
     // `--quick` runs a smaller, non-comparable configuration, so it
     // must never silently overwrite the recorded full-size baseline.
     // A `--json` with its value missing is a hard error like every
@@ -94,8 +100,22 @@ fn run() -> Result<(), String> {
         transports.batch_size,
     );
 
+    println!(
+        "operator-plane campaign: {} devices (staged canary→full, update + probe + smoke per device)",
+        if quick { 128 } else { 1000 }
+    );
+    let campaigns = measure_campaigns(if quick { 128 } else { 1000 }, clients.min(8));
+    println!(
+        "  in-process        {:>9.0} devices/s  ({:.2}s)",
+        campaigns.in_process.devices_per_second, campaigns.in_process.seconds
+    );
+    println!(
+        "  over loopback TCP {:>9.0} devices/s  ({:.2}s, {} agents)",
+        campaigns.over_tcp.devices_per_second, campaigns.over_tcp.seconds, campaigns.agents
+    );
+
     if let Some(json_path) = json_path {
-        let json = render_net_bench_json(&schedulers, &transports);
+        let json = render_net_bench_json(&schedulers, &transports, &campaigns);
         std::fs::write(&json_path, &json)
             .map_err(|e| format!("cannot write `{json_path}`: {e}"))?;
         println!("wrote {json_path}");
@@ -117,6 +137,12 @@ fn run() -> Result<(), String> {
         return Err(format!(
             "loopback TCP regression: {:.0} devices/s is below the accepted floor of {min_loopback:.0}",
             transports.loopback.devices_per_second
+        ));
+    }
+    if campaigns.over_tcp.devices_per_second < min_campaign {
+        return Err(format!(
+            "campaign-over-TCP regression: {:.0} devices/s is below the accepted floor of {min_campaign:.0}",
+            campaigns.over_tcp.devices_per_second
         ));
     }
     Ok(())

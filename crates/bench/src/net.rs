@@ -20,13 +20,19 @@
 //!    `BENCH_net.json`, the perf trajectory later PRs regress against.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use eilid_casu::DeviceKey;
-use eilid_fleet::{Fleet, FleetBuilder, HealthClass, Verifier};
-use eilid_net::{
-    serve_transport, sweep_fleet_tcp_windowed, sweep_fleet_windowed, AttestationService, Gateway,
-    GatewayConfig, PipeTransport, PollerBackend,
+use eilid_fleet::fixtures::{benign_patch, BENIGN_PATCH_TARGET};
+use eilid_fleet::{
+    CampaignConfig, CampaignOutcome, Fleet, FleetBuilder, FleetOps, HealthClass, LocalOps,
+    OpsError, Verifier,
 };
+use eilid_net::{
+    serve_transport, sweep_fleet_tcp_windowed, sweep_fleet_windowed, with_attached_fleet,
+    AttestationService, Gateway, GatewayConfig, PipeTransport, PollerBackend, RemoteOps,
+};
+use eilid_workloads::WorkloadId;
 
 fn bench_root() -> DeviceKey {
     DeviceKey::new(b"bench-net-root-key-0123456789abc").expect("key length")
@@ -234,12 +240,107 @@ pub fn measure_transport_sweeps(
     }
 }
 
+/// One staged-campaign measurement row (devices updated + probed +
+/// smoke-run per second of campaign wall time).
+#[derive(Debug, Clone)]
+pub struct CampaignRow {
+    /// Devices the campaign updated.
+    pub devices: usize,
+    /// Campaign wall time in seconds.
+    pub seconds: f64,
+    /// Throughput in devices per second.
+    pub devices_per_second: f64,
+}
+
+/// The same staged campaign through both operator-plane backends.
+#[derive(Debug, Clone)]
+pub struct CampaignComparison {
+    /// `LocalOps`: in-process executor on the fleet's worker threads.
+    pub in_process: CampaignRow,
+    /// `RemoteOps` → gateway campaign engine → device agents over
+    /// loopback TCP.
+    pub over_tcp: CampaignRow,
+    /// Device-agent connections the TCP run used.
+    pub agents: usize,
+}
+
+/// Runs one identical staged canary→full campaign (benign patch, every
+/// device updated and probed) through each backend, asserting the two
+/// reports equal before timing is trusted.
+pub fn measure_campaigns(devices: usize, agents: usize) -> CampaignComparison {
+    let build = || {
+        FleetBuilder::new(bench_root())
+            .devices(devices)
+            .threads(agents)
+            .workloads(&[WorkloadId::LightSensor])
+            .build()
+            .expect("bench fleet builds")
+    };
+    let mut config =
+        CampaignConfig::new(WorkloadId::LightSensor, BENIGN_PATCH_TARGET, benign_patch());
+    config.smoke_cycles = 500_000;
+
+    let (mut fleet, mut verifier) = build();
+    let start = Instant::now();
+    let local_report = LocalOps::new(&mut fleet, &mut verifier)
+        .run_campaign(&config)
+        .expect("in-process campaign succeeds");
+    let local_seconds = start.elapsed().as_secs_f64();
+    assert_eq!(
+        local_report.outcome,
+        CampaignOutcome::Completed { updated: devices }
+    );
+
+    let (mut fleet, mut verifier) = build();
+    let service = Arc::new(AttestationService::new(verifier.service_snapshot(1 << 32)));
+    let handle = Gateway::bind(
+        ("127.0.0.1", 0),
+        service,
+        GatewayConfig {
+            workers: agents,
+            queue_depth: 512,
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("gateway binds on loopback")
+    .spawn();
+    let addr = handle.addr();
+    let (remote_report, tcp_seconds) = with_attached_fleet(&mut fleet, agents, addr, || {
+        let mut ops = RemoteOps::connect(addr).map_err(|e| OpsError::Backend(e.to_string()))?;
+        let start = Instant::now();
+        let report = ops.run_campaign(&config)?;
+        Ok::<_, OpsError>((report, start.elapsed().as_secs_f64()))
+    })
+    .expect("device agents served cleanly")
+    .expect("wire campaign succeeds");
+    handle.shutdown().expect("gateway shuts down");
+    assert_eq!(
+        remote_report, local_report,
+        "backends must report identically before timings are comparable"
+    );
+
+    CampaignComparison {
+        in_process: CampaignRow {
+            devices,
+            seconds: local_seconds,
+            devices_per_second: devices as f64 / local_seconds.max(1e-9),
+        },
+        over_tcp: CampaignRow {
+            devices,
+            seconds: tcp_seconds,
+            devices_per_second: devices as f64 / tcp_seconds.max(1e-9),
+        },
+        agents,
+    }
+}
+
 /// Renders the `BENCH_net.json` record: a small, stable, hand-written
 /// JSON object (the offline dependency set has no serde_json) extending
 /// the repo's perf trajectory to the networked path.
 pub fn render_net_bench_json(
     schedulers: &SchedulerComparison,
     transports: &TransportComparison,
+    campaigns: &CampaignComparison,
 ) -> String {
     format!(
         "{{\n  \"bench\": \"net_sweep\",\n  \"devices\": {},\n  \"threads\": {},\n  \
@@ -248,7 +349,10 @@ pub fn render_net_bench_json(
          \"pool_devices_per_second\": {:.0},\n  \
          \"scoped_baseline_devices_per_second\": {:.0},\n  \"pool_vs_scoped_ratio\": {:.2},\n  \
          \"in_memory_transport_devices_per_second\": {:.0},\n  \
-         \"loopback_tcp_devices_per_second\": {:.0}\n}}\n",
+         \"loopback_tcp_devices_per_second\": {:.0},\n  \
+         \"campaign_devices\": {},\n  \"campaign_agents\": {},\n  \
+         \"campaign_in_process_devices_per_second\": {:.0},\n  \
+         \"campaign_over_tcp_devices_per_second\": {:.0}\n}}\n",
         schedulers.pool.devices,
         schedulers.pool.threads,
         transports.in_memory.clients,
@@ -261,6 +365,10 @@ pub fn render_net_bench_json(
         schedulers.pool_ratio(),
         transports.in_memory.devices_per_second,
         transports.loopback.devices_per_second,
+        campaigns.in_process.devices,
+        campaigns.agents,
+        campaigns.in_process.devices_per_second,
+        campaigns.over_tcp.devices_per_second,
     )
 }
 
@@ -283,6 +391,15 @@ mod tests {
         assert!(comparison.loopback.devices_per_second > 0.0);
         assert!(comparison.batch_size > 0);
         assert_eq!(comparison.pipeline_window, 4);
+    }
+
+    #[test]
+    fn campaign_comparison_is_sane() {
+        let comparison = measure_campaigns(8, 2);
+        assert_eq!(comparison.in_process.devices, 8);
+        assert!(comparison.in_process.devices_per_second > 0.0);
+        assert!(comparison.over_tcp.devices_per_second > 0.0);
+        assert_eq!(comparison.agents, 2);
     }
 
     #[test]
@@ -314,13 +431,28 @@ mod tests {
             batch_size: 64,
             pipeline_window: 32,
         };
-        let json = render_net_bench_json(&schedulers, &transports);
+        let campaigns = CampaignComparison {
+            in_process: CampaignRow {
+                devices: 1000,
+                seconds: 2.0,
+                devices_per_second: 500.0,
+            },
+            over_tcp: CampaignRow {
+                devices: 1000,
+                seconds: 1.8,
+                devices_per_second: 555.0,
+            },
+            agents: 8,
+        };
+        let json = render_net_bench_json(&schedulers, &transports, &campaigns);
         assert!(json.contains("\"bench\": \"net_sweep\""));
         assert!(json.contains("\"pool_vs_scoped_ratio\": 1.04"));
         assert!(json.contains("\"connections\": 8"));
         assert!(json.contains("\"batch_size\": 64"));
         assert!(json.contains("\"pipeline_window\": 32"));
         assert!(json.contains("\"poller_backend\": \"epoll\""));
+        assert!(json.contains("\"campaign_devices\": 1000"));
+        assert!(json.contains("\"campaign_over_tcp_devices_per_second\": 555"));
         assert!(json.starts_with('{') && json.ends_with("}\n"));
     }
 }

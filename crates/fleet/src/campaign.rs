@@ -10,6 +10,26 @@
 //! the previous firmware, when the wave's failure rate exceeds the
 //! configured threshold.
 //!
+//! # The executor seam
+//!
+//! Since the operator-plane unification, the campaign engine is split in
+//! two layers:
+//!
+//! * **Decision logic** — wave cursor, failure threshold, quarantine,
+//!   rollback ordering, golden promotion — lives in [`CampaignRun`] and
+//!   is *transport-agnostic*: [`Campaign::begin_with`] /
+//!   [`CampaignRun::step_with`] drive any [`WaveExecutor`].
+//! * **Mechanism** — how a wave's updates, probes and rollbacks actually
+//!   reach devices — lives behind the [`WaveExecutor`] trait. The
+//!   in-process [`LocalExecutor`] calls devices directly (today's
+//!   behaviour, verbatim); `eilid_net`'s gateway implements the same
+//!   trait by pushing `UpdateRequest`/`ProbeRequest` frames to connected
+//!   device clients.
+//!
+//! Because both backends share the decision layer, a wire-driven
+//! campaign's [`CampaignReport`] matches the in-process one wave for
+//! wave — a property the `eilid_net` equivalence suite pins.
+//!
 //! # Resumable campaigns
 //!
 //! [`Campaign::run`] drives a rollout to completion in one call, but the
@@ -23,7 +43,9 @@
 //! [`CampaignReport`] an uninterrupted run would have produced. Nonces
 //! keep flowing from the verifier's single challenge-nonce domain, so a
 //! resumed campaign is also cryptographically indistinguishable from an
-//! uninterrupted one.
+//! uninterrupted one. The same bytes survive a *gateway* restart: the
+//! networked operator plane pauses into, and resumes from, this exact
+//! record.
 //!
 //! # Quarantine and rollback verification
 //!
@@ -44,7 +66,9 @@ use std::collections::BTreeMap;
 
 use eilid::RunOutcome;
 use eilid_casu::wire::{self, CodecError, Reader};
-use eilid_casu::{AttestationVerifier, DeviceKey, MeasurementScheme, UpdateAuthority};
+use eilid_casu::{
+    AttestationVerifier, DeviceKey, MeasurementScheme, MemoryLayout, UpdateAuthority,
+};
 use eilid_msp430::{Memory, ADDRESS_SPACE};
 use eilid_workloads::WorkloadId;
 
@@ -87,7 +111,7 @@ impl CampaignConfig {
         }
     }
 
-    fn validate(&self) -> Result<(), FleetError> {
+    pub(crate) fn validate(&self) -> Result<(), FleetError> {
         if self.payload.is_empty() {
             return Err(FleetError::InvalidCampaign("empty payload".into()));
         }
@@ -203,6 +227,240 @@ pub enum CampaignStatus {
     Finished,
 }
 
+/// Splits `members` into waves: `fractions` are cumulative cut points in
+/// `(0, 1]`, e.g. `[0.1, 1.0]` → a 10% canary wave and the remaining
+/// 90%. This is the one wave-partition rule both campaign backends (the
+/// in-process executor and the networked gateway) apply, so identical
+/// member sets always produce identical waves.
+pub fn partition_waves(members: &[DeviceId], fractions: &[f64]) -> Vec<Vec<DeviceId>> {
+    let total = members.len();
+    // Ceiling semantics: every non-empty cut point gets at least one
+    // device, so a 10% canary of a six-device cohort is still one real
+    // canary device rather than an empty wave.
+    let cuts: Vec<usize> = fractions
+        .iter()
+        .map(|&cut| ((cut * total as f64).ceil() as usize).min(total))
+        .collect();
+    let mut waves: Vec<Vec<DeviceId>> = fractions.iter().map(|_| Vec::new()).collect();
+    for (index, id) in members.iter().copied().enumerate() {
+        let wave = cuts
+            .iter()
+            .position(|&cut| index < cut)
+            .unwrap_or(fractions.len() - 1);
+        waves[wave].push(id);
+    }
+    waves
+}
+
+/// What an executor knows about a cohort before a campaign starts.
+#[derive(Debug, Clone)]
+pub struct CohortInfo {
+    /// Devices running the cohort firmware, in id order. The wave
+    /// partition is computed over exactly this list.
+    pub members: Vec<DeviceId>,
+    /// The cohort's current golden memory image (the patch is applied to
+    /// a copy of it to derive the expected post-patch measurement).
+    pub golden: Memory,
+    /// Memory layout the cohort's devices attest over.
+    pub layout: MemoryLayout,
+    /// Measurement scheme snapshots and probes are computed under.
+    pub scheme: MeasurementScheme,
+}
+
+/// Everything an executor needs to roll out one wave besides the device
+/// ids themselves.
+#[derive(Debug, Clone, Copy)]
+pub struct WaveSpec<'a> {
+    /// The cohort being updated.
+    pub cohort: WorkloadId,
+    /// First PMEM address the patch writes.
+    pub target: u16,
+    /// The patch bytes.
+    pub payload: &'a [u8],
+    /// Expected post-patch golden measurement.
+    pub expected_after: [u8; 32],
+    /// Cycle budget for the post-update smoke run.
+    pub smoke_cycles: u64,
+}
+
+/// Device state captured immediately before an update is applied — what
+/// a real device's A/B-slot update routine would preserve. Rollbacks
+/// restore `patch_range` and verify the result against `measurement`;
+/// paused campaigns carry these snapshots across the pause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreUpdateSnapshot {
+    /// The device's own bytes in the patch range, pre-update.
+    pub patch_range: Vec<u8>,
+    /// The device's full-PMEM measurement, pre-update.
+    pub measurement: [u8; 32],
+}
+
+/// What one wave rollout produced.
+#[derive(Debug, Default)]
+pub struct WaveRollout {
+    /// Ledger events, in device order.
+    pub events: Vec<LedgerEvent>,
+    /// Devices that accepted and applied the update.
+    pub updated: Vec<DeviceId>,
+    /// Subset of `updated` whose post-update probe failed.
+    pub probe_failed: Vec<DeviceId>,
+    /// Total failures: rejected updates + failed probes.
+    pub failures: usize,
+    /// Pre-update snapshot of every updated device, for rollback.
+    pub snapshots: BTreeMap<DeviceId, PreUpdateSnapshot>,
+}
+
+/// What a rollback pass achieved, per device.
+#[derive(Debug, Default)]
+pub struct RollbackOutcome {
+    /// Ledger events, in device order.
+    pub events: Vec<LedgerEvent>,
+    /// Devices verified restored to their pre-campaign measurement.
+    pub rolled_back: Vec<DeviceId>,
+    /// Devices whose rollback was rejected or left them measuring
+    /// differently from their pre-campaign state.
+    pub incomplete: Vec<DeviceId>,
+}
+
+/// The mechanism half of the campaign engine: how updates, probes and
+/// rollbacks actually reach devices. [`LocalExecutor`] applies them
+/// in-process; `eilid_net`'s gateway implements the same trait by
+/// pushing protocol frames to connected device clients. The decision
+/// layer ([`CampaignRun::step_with`]) is identical above both, which is
+/// what makes a wire-driven campaign report wave-for-wave equal to an
+/// in-process one.
+pub trait WaveExecutor {
+    /// Describes `cohort` before the campaign starts: its members (the
+    /// wave-partition input), golden image, layout and scheme.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownCohort`] when no reachable device runs the
+    /// cohort firmware.
+    fn cohort_info(&mut self, cohort: WorkloadId) -> Result<CohortInfo, FleetError>;
+
+    /// Applies the patch to one wave of devices, probes each updated
+    /// device (post-update attestation against `spec.expected_after`
+    /// plus a bounded smoke run from reset), and snapshots every device
+    /// just before its update so a rollback can restore it exactly.
+    ///
+    /// # Errors
+    ///
+    /// Backend-level failures only (transport loss, exhausted nonce
+    /// blocks); per-device failures are reported inside the rollout.
+    fn roll_out(
+        &mut self,
+        wave: &[DeviceId],
+        spec: &WaveSpec<'_>,
+    ) -> Result<WaveRollout, FleetError>;
+
+    /// Rolls `ids` back to their own pre-campaign patch-range bytes
+    /// (from `snapshots`) and verifies each device's post-rollback PMEM
+    /// measurement against its pre-campaign value.
+    ///
+    /// # Errors
+    ///
+    /// Backend-level failures only; unverifiable rollbacks are reported
+    /// inside the outcome.
+    fn roll_back(
+        &mut self,
+        cohort: WorkloadId,
+        ids: &[DeviceId],
+        target: u16,
+        snapshots: &BTreeMap<DeviceId, PreUpdateSnapshot>,
+    ) -> Result<RollbackOutcome, FleetError>;
+
+    /// Promotes `golden`/`measurement` to the cohort's current golden
+    /// state (the previous golden becomes "stale but authentic").
+    fn promote(&mut self, cohort: WorkloadId, golden: &Memory, measurement: [u8; 32]);
+
+    /// Records campaign lifecycle events in the backend's ledger.
+    fn record(&mut self, events: Vec<LedgerEvent>);
+}
+
+/// The in-process [`WaveExecutor`]: devices are called directly on the
+/// fleet's worker threads, probe-challenge nonces come from the
+/// verifier's single strictly-increasing nonce domain, and events land
+/// in the fleet ledger.
+#[derive(Debug)]
+pub struct LocalExecutor<'a> {
+    fleet: &'a mut Fleet,
+    verifier: &'a mut Verifier,
+}
+
+impl<'a> LocalExecutor<'a> {
+    /// Wraps the fleet and its verifier for in-process campaign driving.
+    pub fn new(fleet: &'a mut Fleet, verifier: &'a mut Verifier) -> Self {
+        LocalExecutor { fleet, verifier }
+    }
+}
+
+impl WaveExecutor for LocalExecutor<'_> {
+    fn cohort_info(&mut self, cohort: WorkloadId) -> Result<CohortInfo, FleetError> {
+        let members = self.fleet.cohort_members(cohort);
+        if members.is_empty() {
+            return Err(FleetError::UnknownCohort(cohort));
+        }
+        let state = self.fleet.cohort(cohort).expect("cohort exists");
+        Ok(CohortInfo {
+            members,
+            golden: state.golden.clone(),
+            layout: state.layout.clone(),
+            scheme: self.fleet.scheme(),
+        })
+    }
+
+    fn roll_out(
+        &mut self,
+        wave: &[DeviceId],
+        spec: &WaveSpec<'_>,
+    ) -> Result<WaveRollout, FleetError> {
+        let threads = self.fleet.threads();
+        let root = self.verifier.root().clone();
+        let scheme = self.fleet.scheme();
+        // Probe-challenge nonces come from the verifier's single
+        // strictly-increasing nonce domain (shared with sweeps), so no
+        // attestation challenge to a device key ever repeats.
+        let params = WaveParams {
+            root: &root,
+            target: spec.target,
+            payload: spec.payload,
+            expected_after: spec.expected_after,
+            scheme,
+            smoke_cycles: spec.smoke_cycles,
+            probe_nonce_base: self.verifier.reserve_challenge_nonces(wave),
+        };
+        let mut devices = self.fleet.devices_by_ids_mut(wave);
+        Ok(roll_out_wave(&mut devices, threads, &params))
+    }
+
+    fn roll_back(
+        &mut self,
+        _cohort: WorkloadId,
+        ids: &[DeviceId],
+        target: u16,
+        snapshots: &BTreeMap<DeviceId, PreUpdateSnapshot>,
+    ) -> Result<RollbackOutcome, FleetError> {
+        let root = self.verifier.root().clone();
+        let threads = self.fleet.threads();
+        Ok(roll_back(
+            self.fleet, &root, ids, target, snapshots, threads,
+        ))
+    }
+
+    fn promote(&mut self, cohort: WorkloadId, golden: &Memory, measurement: [u8; 32]) {
+        self.fleet.cohort_mut(cohort).expect("cohort exists").golden = golden.clone();
+        self.verifier
+            .promote_measurement(cohort, measurement, golden);
+    }
+
+    fn record(&mut self, events: Vec<LedgerEvent>) {
+        for event in events {
+            self.fleet.ledger_mut().record(event);
+        }
+    }
+}
+
 /// The staged-rollout engine.
 #[derive(Debug, Clone)]
 pub struct Campaign {
@@ -229,6 +487,10 @@ impl Campaign {
     ///
     /// Returns [`FleetError::UnknownCohort`] if no fleet device runs the
     /// configured cohort firmware.
+    #[deprecated(note = "drive campaigns through the unified operator plane: \
+                `eilid_fleet::ops::FleetOps::run_campaign` on a \
+                `LocalOps` (in-process) or `eilid_net` `RemoteOps` \
+                (wire-driven) backend")]
     pub fn run(
         &self,
         fleet: &mut Fleet,
@@ -239,24 +501,19 @@ impl Campaign {
         Ok(run.report().expect("finished run has a report"))
     }
 
-    /// Starts the campaign and returns the stateful wave driver.
-    /// Nothing is rolled out yet; call [`CampaignRun::step`] per wave.
+    /// Starts the campaign against any [`WaveExecutor`] and returns the
+    /// stateful wave driver. Nothing is rolled out yet; call
+    /// [`CampaignRun::step_with`] per wave.
     ///
     /// # Errors
     ///
-    /// Returns [`FleetError::UnknownCohort`] if no fleet device runs the
-    /// configured cohort firmware, or [`FleetError::InvalidCampaign`]
-    /// for a patch that does not fit the address space.
-    pub fn begin(
-        &self,
-        fleet: &mut Fleet,
-        _verifier: &mut Verifier,
-    ) -> Result<CampaignRun, FleetError> {
+    /// Returns [`FleetError::UnknownCohort`] if the executor reaches no
+    /// device of the configured cohort, or
+    /// [`FleetError::InvalidCampaign`] for a patch that does not fit the
+    /// address space.
+    pub fn begin_with(&self, exec: &mut dyn WaveExecutor) -> Result<CampaignRun, FleetError> {
         let cohort = self.config.cohort;
-        let members = fleet.cohort_members(cohort);
-        if members.is_empty() {
-            return Err(FleetError::UnknownCohort(cohort));
-        }
+        let info = exec.cohort_info(cohort)?;
 
         // Range-check before any memory slicing (pre-update snapshots
         // slice the patch range too): Memory::slice panics past the
@@ -271,20 +528,17 @@ impl Campaign {
         }
 
         // Expected post-patch measurement, computed on a golden copy
-        // under the fleet's measurement scheme (devices running the
+        // under the backend's measurement scheme (devices running the
         // incremental engine attest Merkle roots, so the probe's
         // expected value must be one too). Golden images are measured
         // over the layout the cohort's devices were actually built with.
-        let scheme = fleet.scheme();
-        let golden = &fleet.cohort(cohort).expect("cohort exists").golden;
-        let layout = fleet.cohort(cohort).expect("cohort exists").layout.clone();
-        let mut patched_golden = golden.clone();
+        let mut patched_golden = info.golden.clone();
         patched_golden
             .load(self.config.target, &self.config.payload)
             .map_err(|e| FleetError::InvalidCampaign(e.to_string()))?;
-        let expected_after = scheme.measure_pmem(&patched_golden, &layout);
+        let expected_after = info.scheme.measure_pmem(&patched_golden, &info.layout);
 
-        let waves = fleet.wave_partition(cohort, &[self.config.canary_fraction, 1.0]);
+        let waves = partition_waves(&info.members, &[self.config.canary_fraction, 1.0]);
         Ok(CampaignRun {
             config: self.config.clone(),
             waves,
@@ -300,10 +554,24 @@ impl Campaign {
         })
     }
 
-    /// Rebuilds the wave driver from a paused campaign. The fleet and
-    /// verifier must be the same ones the campaign was started on (or
-    /// restored equivalents): per-device nonces and snapshots refer to
-    /// their state.
+    /// [`Campaign::begin_with`] specialised to the in-process executor
+    /// (the fleet's devices called directly, nonces from the verifier).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Campaign::begin_with`].
+    pub fn begin(
+        &self,
+        fleet: &mut Fleet,
+        verifier: &mut Verifier,
+    ) -> Result<CampaignRun, FleetError> {
+        self.begin_with(&mut LocalExecutor::new(fleet, verifier))
+    }
+
+    /// Rebuilds the wave driver from a paused campaign. The executor
+    /// later passed to [`CampaignRun::step_with`] must reach the same
+    /// devices the campaign was started on (or restored equivalents):
+    /// per-device nonces and snapshots refer to their state.
     pub fn resume(paused: PausedCampaign) -> CampaignRun {
         CampaignRun {
             config: paused.config,
@@ -325,7 +593,7 @@ impl Campaign {
 #[derive(Debug)]
 pub struct CampaignRun {
     config: CampaignConfig,
-    /// Device ids per wave, fixed at [`Campaign::begin`].
+    /// Device ids per wave, fixed at [`Campaign::begin_with`].
     waves: Vec<Vec<DeviceId>>,
     /// Index of the next wave to roll out — the persisted wave cursor.
     cursor: usize,
@@ -345,6 +613,11 @@ impl CampaignRun {
     /// Index of the next wave to roll out.
     pub fn wave_cursor(&self) -> usize {
         self.cursor
+    }
+
+    /// The cohort this campaign updates.
+    pub fn cohort(&self) -> WorkloadId {
+        self.config.cohort
     }
 
     /// `true` once the campaign completed or halted.
@@ -380,20 +653,15 @@ impl CampaignRun {
         }
     }
 
-    /// Rolls out the next wave (skipping empty ones). When the last wave
-    /// passes, finalises the campaign: promotes the patched golden if
-    /// any device retained it.
+    /// Rolls out the next wave (skipping empty ones) through any
+    /// [`WaveExecutor`]. When the last wave passes, finalises the
+    /// campaign: promotes the patched golden if any device retained it.
     ///
     /// # Errors
     ///
-    /// Currently infallible in practice (validation happened at
-    /// [`Campaign::begin`]); the `Result` keeps room for transport-level
-    /// failures when waves are driven over a network.
-    pub fn step(
-        &mut self,
-        fleet: &mut Fleet,
-        verifier: &mut Verifier,
-    ) -> Result<CampaignStatus, FleetError> {
+    /// Propagates executor-level failures (transport loss on the
+    /// networked backend; infallible in practice in-process).
+    pub fn step_with(&mut self, exec: &mut dyn WaveExecutor) -> Result<CampaignStatus, FleetError> {
         if self.outcome.is_some() {
             return Ok(CampaignStatus::Finished);
         }
@@ -402,35 +670,21 @@ impl CampaignRun {
             self.cursor += 1;
         }
         if self.cursor >= self.waves.len() {
-            self.finalize(fleet, verifier);
+            self.finalize(exec);
             return Ok(CampaignStatus::Finished);
         }
 
         let wave_index = self.cursor;
         let wave_ids = self.waves[wave_index].clone();
-        let threads = fleet.threads();
-        let root = verifier.root().clone();
-        let scheme = fleet.scheme();
-
-        // Probe-challenge nonces come from the verifier's single
-        // strictly-increasing nonce domain (shared with sweeps), so
-        // no attestation challenge to a device key ever repeats.
-        let params = WaveParams {
-            root: &root,
+        let spec = WaveSpec {
+            cohort: self.config.cohort,
             target: self.config.target,
             payload: &self.config.payload,
             expected_after: self.expected_after,
-            scheme,
             smoke_cycles: self.config.smoke_cycles,
-            probe_nonce_base: verifier.reserve_challenge_nonces(&wave_ids),
         };
-        let rollout = {
-            let mut devices = fleet.devices_by_ids_mut(&wave_ids);
-            roll_out_wave(&mut devices, threads, &params)
-        };
-        for event in rollout.events {
-            fleet.ledger_mut().record(event);
-        }
+        let rollout = exec.roll_out(&wave_ids, &spec)?;
+        exec.record(rollout.events);
         self.updated_so_far.extend(&rollout.updated);
         self.snapshots.extend(rollout.snapshots);
 
@@ -440,27 +694,26 @@ impl CampaignRun {
             updated: rollout.updated.len(),
             failures: rollout.failures,
         };
-        fleet.ledger_mut().record(LedgerEvent::WaveCompleted {
+        exec.record(vec![LedgerEvent::WaveCompleted {
             wave: wave_index,
             updated: report.updated,
             failures: report.failures,
-        });
+        }]);
         let failure_rate = report.failure_rate();
         self.wave_reports.push(report);
 
         if failure_rate > self.config.failure_threshold {
-            fleet.ledger_mut().record(LedgerEvent::CampaignHalted {
+            exec.record(vec![LedgerEvent::CampaignHalted {
                 wave: wave_index,
                 failure_rate,
-            });
-            let result = roll_back(
-                fleet,
-                &root,
+            }]);
+            let result = exec.roll_back(
+                self.config.cohort,
                 &self.updated_so_far,
                 self.config.target,
                 &self.snapshots,
-                threads,
-            );
+            )?;
+            exec.record(result.events);
             self.rollback_incomplete.extend(result.incomplete);
             self.outcome = Some(CampaignOutcome::HaltedAndRolledBack {
                 wave: wave_index,
@@ -477,14 +730,13 @@ impl CampaignRun {
         // them for operator follow-up; if the campaign goes on to
         // promote a new golden, later sweeps flag them too.
         if !rollout.probe_failed.is_empty() {
-            let result = roll_back(
-                fleet,
-                &root,
+            let result = exec.roll_back(
+                self.config.cohort,
                 &rollout.probe_failed,
                 self.config.target,
                 &self.snapshots,
-                threads,
-            );
+            )?;
+            exec.record(result.events);
             self.quarantined.extend(result.rolled_back);
             self.rollback_incomplete.extend(result.incomplete);
             self.updated_so_far
@@ -497,7 +749,7 @@ impl CampaignRun {
             self.cursor += 1;
         }
         if self.cursor >= self.waves.len() {
-            self.finalize(fleet, verifier);
+            self.finalize(exec);
             return Ok(CampaignStatus::Finished);
         }
         Ok(CampaignStatus::InProgress {
@@ -505,17 +757,32 @@ impl CampaignRun {
         })
     }
 
+    /// [`CampaignRun::step_with`] specialised to the in-process
+    /// executor.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CampaignRun::step_with`] (infallible in practice
+    /// in-process).
+    pub fn step(
+        &mut self,
+        fleet: &mut Fleet,
+        verifier: &mut Verifier,
+    ) -> Result<CampaignStatus, FleetError> {
+        self.step_with(&mut LocalExecutor::new(fleet, verifier))
+    }
+
     /// Every wave passed. Promote the patched image to golden — but
     /// only if some device actually retained the new firmware; when
     /// every updated device was individually rolled back, the old
     /// golden is still what the fleet runs.
-    fn finalize(&mut self, fleet: &mut Fleet, verifier: &mut Verifier) {
+    fn finalize(&mut self, exec: &mut dyn WaveExecutor) {
         if !self.updated_so_far.is_empty() {
-            fleet
-                .cohort_mut(self.config.cohort)
-                .expect("cohort exists")
-                .golden = self.patched_golden.clone();
-            verifier.promote_measurement(self.config.cohort, self.expected_after);
+            exec.promote(
+                self.config.cohort,
+                &self.patched_golden,
+                self.expected_after,
+            );
         }
         self.outcome = Some(CampaignOutcome::Completed {
             updated: self.updated_so_far.len(),
@@ -525,8 +792,9 @@ impl CampaignRun {
 
 /// A campaign paused between waves: plain data, independent of any
 /// fleet/verifier borrow, and serialisable with
-/// [`PausedCampaign::to_bytes`] so an operator can persist the wave
-/// cursor (and everything else a resume needs) across process restarts.
+/// [`PausedCampaign::to_bytes`] so an operator (or the networked
+/// gateway) can persist the wave cursor — and everything else a resume
+/// needs — across process restarts.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PausedCampaign {
     config: CampaignConfig,
@@ -549,6 +817,11 @@ impl PausedCampaign {
     /// Index of the next wave a resumed run will roll out.
     pub fn wave_cursor(&self) -> usize {
         self.cursor
+    }
+
+    /// The cohort the paused campaign updates.
+    pub fn cohort(&self) -> WorkloadId {
+        self.config.cohort
     }
 
     /// Serialises the paused state to a self-describing byte record
@@ -800,15 +1073,6 @@ fn read_ids(reader: &mut Reader<'_>) -> Result<Vec<DeviceId>, CodecError> {
     Ok(ids)
 }
 
-/// What a rollback pass achieved, per device.
-struct RollbackResult {
-    /// Devices verified restored to their pre-campaign measurement.
-    rolled_back: Vec<DeviceId>,
-    /// Devices whose rollback was rejected or left them measuring
-    /// differently from their pre-campaign state.
-    incomplete: Vec<DeviceId>,
-}
-
 /// Rolls `ids` back to their own pre-campaign patch-range bytes (from
 /// the per-device [`PreUpdateSnapshot`]s) and verifies each device's
 /// post-rollback PMEM measurement against its pre-campaign value.
@@ -822,7 +1086,7 @@ fn roll_back(
     target: u16,
     snapshots: &BTreeMap<DeviceId, PreUpdateSnapshot>,
     threads: usize,
-) -> RollbackResult {
+) -> RollbackOutcome {
     let scheme = fleet.scheme();
     let events = {
         let mut devices = fleet.devices_by_ids_mut(ids);
@@ -868,17 +1132,14 @@ fn roll_back(
             }
         })
     };
-    let mut result = RollbackResult {
-        rolled_back: Vec::new(),
-        incomplete: Vec::new(),
-    };
+    let mut result = RollbackOutcome::default();
     for event in events.into_iter().flatten() {
         match &event {
             LedgerEvent::RolledBack { device } => result.rolled_back.push(*device),
             LedgerEvent::RollbackIncomplete { device } => result.incomplete.push(*device),
             _ => {}
         }
-        fleet.ledger_mut().record(event);
+        result.events.push(event);
     }
     result
 }
@@ -886,24 +1147,15 @@ fn roll_back(
 /// Builds an update authority for `device` whose nonce resumes above the
 /// device engine's last accepted nonce. The real verifier persists this
 /// state; re-deriving it from the (trusted, device-reported) engine state
-/// keeps the simulation honest without a database.
+/// keeps the simulation honest without a database — and is exactly what
+/// the networked backend does too, with the device *reporting* its last
+/// nonce over the wire.
 fn resumed_authority(key: &DeviceKey, device: &SimDevice) -> UpdateAuthority {
     UpdateAuthority::with_key_resuming(key, device.engine().last_nonce() + 1)
 }
 
-/// Device state captured immediately before an update is applied — what
-/// a real device's A/B-slot update routine would preserve. Rollbacks
-/// restore `patch_range` and verify the result against `measurement`;
-/// paused campaigns carry these snapshots across the pause.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct PreUpdateSnapshot {
-    /// The device's own bytes in the patch range, pre-update.
-    patch_range: Vec<u8>,
-    /// The device's full-PMEM measurement, pre-update.
-    measurement: [u8; 32],
-}
-
-/// Everything one wave rollout needs besides the devices themselves.
+/// Everything one in-process wave rollout needs besides the devices
+/// themselves.
 struct WaveParams<'a> {
     /// Fleet root key; per-device keys are derived from it.
     root: &'a DeviceKey,
@@ -921,20 +1173,6 @@ struct WaveParams<'a> {
     /// nonce domain) for this wave's probe challenges; device `id` uses
     /// `probe_nonce_base + id`.
     probe_nonce_base: u64,
-}
-
-/// What one wave rollout produced.
-struct WaveRollout {
-    /// Ledger events, in device order.
-    events: Vec<LedgerEvent>,
-    /// Devices that accepted and applied the update.
-    updated: Vec<DeviceId>,
-    /// Subset of `updated` whose post-update probe failed.
-    probe_failed: Vec<DeviceId>,
-    /// Total failures: rejected updates + failed probes.
-    failures: usize,
-    /// Pre-update snapshot of every updated device, for rollback.
-    snapshots: BTreeMap<DeviceId, PreUpdateSnapshot>,
 }
 
 /// Applies the patch, reboots and probes one wave of devices.
@@ -1007,13 +1245,7 @@ fn roll_out_wave(
         (events, Some((device.id(), snapshot)), failed)
     });
 
-    let mut rollout = WaveRollout {
-        events: Vec::new(),
-        updated: Vec::new(),
-        probe_failed: Vec::new(),
-        failures: 0,
-        snapshots: BTreeMap::new(),
-    };
+    let mut rollout = WaveRollout::default();
     for (device_events, applied, failed) in results {
         rollout.events.extend(device_events);
         if let Some((id, snapshot)) = applied {

@@ -284,34 +284,6 @@ impl Fleet {
         report
     }
 
-    /// Splits the device ids of `cohort` into waves: `fractions` are
-    /// cumulative cut points in `(0, 1]`, e.g. `[0.1, 1.0]` → a 10%
-    /// canary wave and the remaining 90%.
-    pub(crate) fn wave_partition(
-        &self,
-        cohort: WorkloadId,
-        fractions: &[f64],
-    ) -> Vec<Vec<DeviceId>> {
-        let members = self.cohort_members(cohort);
-        let total = members.len();
-        // Ceiling semantics: every non-empty cut point gets at least one
-        // device, so a 10% canary of a six-device cohort is still one
-        // real canary device rather than an empty wave.
-        let cuts: Vec<usize> = fractions
-            .iter()
-            .map(|&cut| ((cut * total as f64).ceil() as usize).min(total))
-            .collect();
-        let mut waves: Vec<Vec<DeviceId>> = fractions.iter().map(|_| Vec::new()).collect();
-        for (index, id) in members.into_iter().enumerate() {
-            let wave = cuts
-                .iter()
-                .position(|&cut| index < cut)
-                .unwrap_or(fractions.len() - 1);
-            waves[wave].push(id);
-        }
-        waves
-    }
-
     /// Mutable references to the devices named by `ids`, in id order.
     /// Unknown ids are skipped (callers that care compare lengths).
     pub(crate) fn devices_by_ids_mut(&mut self, ids: &[DeviceId]) -> Vec<&mut SimDevice> {

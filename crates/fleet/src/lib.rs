@@ -76,18 +76,21 @@ pub mod error;
 pub mod exec;
 pub mod fixtures;
 pub mod fleet;
+pub mod ops;
 pub mod pool;
 pub mod report;
 pub mod verifier;
 
 pub use campaign::{
-    Campaign, CampaignConfig, CampaignOutcome, CampaignReport, CampaignRun, CampaignStatus,
-    PausedCampaign, WaveReport,
+    partition_waves, Campaign, CampaignConfig, CampaignOutcome, CampaignReport, CampaignRun,
+    CampaignStatus, CohortInfo, LocalExecutor, PausedCampaign, PreUpdateSnapshot, RollbackOutcome,
+    WaveExecutor, WaveReport, WaveRollout, WaveSpec,
 };
 pub use device::{DeviceId, SimDevice};
 pub use eilid_casu::MeasurementScheme;
 pub use error::FleetError;
 pub use fleet::{Fleet, FleetBuilder, SliceReport};
+pub use ops::{CampaignPhase, FleetOps, LocalOps, OpsError, OpsHealth, SweepSummary};
 pub use pool::{PoolBusy, WorkerPool};
 pub use report::{DeviceHealth, FleetReport, HealthClass, Ledger, LedgerEvent};
 pub use verifier::{CohortSnapshot, ServiceSnapshot, Verifier, SHARD_COUNT};

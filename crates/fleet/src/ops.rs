@@ -1,0 +1,331 @@
+//! The unified operator plane: one [`FleetOps`] surface for attestation
+//! sweeps, staged OTA campaigns and health queries, with
+//! backend-independent semantics.
+//!
+//! EILID's deployment story is a *remote* verifier that both attests and
+//! heals a fleet. This module defines the operator-facing API once:
+//!
+//! * [`LocalOps`] — the in-process backend. Sweeps run on the
+//!   [`Verifier`]'s persistent worker pool; campaigns drive the
+//!   [`CampaignRun`] engine through the in-process
+//!   [`LocalExecutor`](crate::campaign::LocalExecutor).
+//! * `eilid_net::RemoteOps` — the wire backend. The same trait methods
+//!   become protocol frames to an attestation gateway, which executes
+//!   waves by pushing updates and probes to connected device clients.
+//!
+//! Every scenario — CLI subcommands, examples, benches, the equivalence
+//! test suite — runs against `&mut dyn FleetOps`, so the two backends
+//! cannot drift: a wire-driven campaign's [`CampaignReport`] is pinned
+//! wave-for-wave equal to the in-process one.
+
+use std::fmt;
+
+use crate::campaign::{
+    Campaign, CampaignConfig, CampaignReport, CampaignRun, CampaignStatus, PausedCampaign,
+};
+use crate::device::DeviceId;
+use crate::error::FleetError;
+use crate::fleet::Fleet;
+use crate::report::{FleetReport, HealthClass};
+use crate::verifier::Verifier;
+
+/// Why an operator-plane call failed.
+#[derive(Debug)]
+pub enum OpsError {
+    /// The underlying fleet/campaign machinery rejected the operation.
+    Fleet(FleetError),
+    /// A campaign operation was issued with no campaign in the required
+    /// state (step/pause/report with nothing running, resume with
+    /// nothing paused).
+    NoCampaign,
+    /// A campaign begin/resume collided with one already running.
+    CampaignActive,
+    /// A backend-transport failure (connection loss, protocol error,
+    /// gateway-side refusal). In-process backends never produce this.
+    Backend(String),
+}
+
+impl fmt::Display for OpsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpsError::Fleet(err) => write!(f, "fleet operation failed: {err}"),
+            OpsError::NoCampaign => write!(f, "no campaign in the required state"),
+            OpsError::CampaignActive => write!(f, "a campaign is already active for this cohort"),
+            OpsError::Backend(msg) => write!(f, "operator-plane backend error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OpsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OpsError::Fleet(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<FleetError> for OpsError {
+    fn from(err: FleetError) -> Self {
+        OpsError::Fleet(err)
+    }
+}
+
+/// Lifecycle phase of the backend's campaign slot, as reported by
+/// [`FleetOps::campaign_status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignPhase {
+    /// No campaign is loaded.
+    Idle,
+    /// A campaign is running; the next [`FleetOps::campaign_step`] rolls
+    /// out `next_wave`.
+    InProgress {
+        /// Index of the next wave to roll out.
+        next_wave: usize,
+    },
+    /// A campaign is paused *inside the backend* (the networked gateway
+    /// retains paused campaigns; [`LocalOps`] hands the paused bytes to
+    /// the caller instead and reports `Idle`).
+    Paused {
+        /// The persisted wave cursor.
+        next_wave: usize,
+    },
+    /// The campaign finished; [`FleetOps::campaign_report`] is
+    /// available.
+    Finished,
+}
+
+/// Backend-independent summary of one attestation sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepSummary {
+    /// Devices attested.
+    pub devices: usize,
+    /// Devices per health class:
+    /// `[attested, stale, tampered, unverified]`.
+    pub counts: [usize; 4],
+    /// Devices in a non-attested class, in id order.
+    pub flagged: Vec<(DeviceId, HealthClass)>,
+}
+
+impl SweepSummary {
+    /// Devices in `class`.
+    pub fn count(&self, class: HealthClass) -> usize {
+        self.counts[class_index(class)]
+    }
+}
+
+/// Maps a health class to its [`SweepSummary::counts`] slot.
+pub fn class_index(class: HealthClass) -> usize {
+    match class {
+        HealthClass::Attested => 0,
+        HealthClass::Stale => 1,
+        HealthClass::Tampered => 2,
+        HealthClass::Unverified => 3,
+    }
+}
+
+impl From<&FleetReport> for SweepSummary {
+    fn from(report: &FleetReport) -> Self {
+        let mut counts = [0usize; 4];
+        let mut flagged = Vec::new();
+        for health in &report.devices {
+            counts[class_index(health.class)] += 1;
+            if health.class != HealthClass::Attested {
+                flagged.push((health.device, health.class));
+            }
+        }
+        flagged.sort_by_key(|(id, _)| *id);
+        SweepSummary {
+            devices: report.devices.len(),
+            counts,
+            flagged,
+        }
+    }
+}
+
+/// Backend-independent health/ledger summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpsHealth {
+    /// Devices the backend can reach (fleet size in-process; attached
+    /// device-plane registrations on a gateway).
+    pub devices: usize,
+    /// Events recorded in the backend's ledger.
+    pub ledger_events: usize,
+    /// Phase of the backend's campaign slot.
+    pub campaign: CampaignPhase,
+}
+
+/// The unified operator plane: sweeps, staged campaigns, and health
+/// queries — one surface, two first-class backends ([`LocalOps`]
+/// in-process, `eilid_net::RemoteOps` over the wire).
+///
+/// The campaign methods drive a single campaign slot through its
+/// lifecycle: `begin → step* → report`, with `pause`/`resume` between
+/// waves serialising through the same [`PausedCampaign`] byte record
+/// both backends persist.
+pub trait FleetOps {
+    /// Runs one full attestation sweep and summarises per-class health.
+    ///
+    /// # Errors
+    ///
+    /// Backend failures only; per-device verification failures are
+    /// *classifications*, not errors.
+    fn sweep(&mut self) -> Result<SweepSummary, OpsError>;
+
+    /// Loads and validates a campaign into the backend's campaign slot.
+    /// Nothing is rolled out yet.
+    ///
+    /// # Errors
+    ///
+    /// [`OpsError::CampaignActive`] if a campaign is already loaded;
+    /// [`OpsError::Fleet`] for invalid configs or unknown cohorts.
+    fn campaign_begin(&mut self, config: &CampaignConfig) -> Result<(), OpsError>;
+
+    /// Rolls out exactly one wave of the loaded campaign.
+    ///
+    /// # Errors
+    ///
+    /// [`OpsError::NoCampaign`] with nothing loaded; backend transport
+    /// failures otherwise.
+    fn campaign_step(&mut self) -> Result<CampaignStatus, OpsError>;
+
+    /// Phase of the campaign slot.
+    ///
+    /// # Errors
+    ///
+    /// Backend failures only.
+    fn campaign_status(&mut self) -> Result<CampaignPhase, OpsError>;
+
+    /// Pauses the loaded campaign between waves into the serialised
+    /// [`PausedCampaign`] byte record — the caller owns persistence.
+    ///
+    /// # Errors
+    ///
+    /// [`OpsError::NoCampaign`] with nothing running.
+    fn campaign_pause(&mut self) -> Result<Vec<u8>, OpsError>;
+
+    /// Resumes a campaign from [`PausedCampaign`] bytes (from
+    /// [`FleetOps::campaign_pause`], possibly persisted across a
+    /// process or gateway restart).
+    ///
+    /// # Errors
+    ///
+    /// [`OpsError::CampaignActive`] if a campaign is already loaded;
+    /// [`OpsError::Fleet`] for malformed bytes.
+    fn campaign_resume(&mut self, paused: &[u8]) -> Result<(), OpsError>;
+
+    /// The finished campaign's report.
+    ///
+    /// # Errors
+    ///
+    /// [`OpsError::NoCampaign`] unless a loaded campaign has finished.
+    fn campaign_report(&mut self) -> Result<CampaignReport, OpsError>;
+
+    /// Backend health: reachable devices, ledger size, campaign phase.
+    ///
+    /// # Errors
+    ///
+    /// Backend failures only.
+    fn health(&mut self) -> Result<OpsHealth, OpsError>;
+
+    /// Convenience: `begin`, step every wave, return the report. The
+    /// campaign slot is left in the `Finished` phase.
+    ///
+    /// # Errors
+    ///
+    /// As for the individual lifecycle calls.
+    fn run_campaign(&mut self, config: &CampaignConfig) -> Result<CampaignReport, OpsError> {
+        self.campaign_begin(config)?;
+        while self.campaign_step()? != CampaignStatus::Finished {}
+        self.campaign_report()
+    }
+}
+
+/// The in-process [`FleetOps`] backend: a [`Fleet`] and its [`Verifier`]
+/// borrowed for the operator session. Campaign state (the slot) lives in
+/// this struct; paused campaigns are handed to the caller as bytes.
+#[derive(Debug)]
+pub struct LocalOps<'a> {
+    fleet: &'a mut Fleet,
+    verifier: &'a mut Verifier,
+    run: Option<CampaignRun>,
+}
+
+impl<'a> LocalOps<'a> {
+    /// Wraps the fleet and verifier as an operator-plane backend.
+    pub fn new(fleet: &'a mut Fleet, verifier: &'a mut Verifier) -> Self {
+        LocalOps {
+            fleet,
+            verifier,
+            run: None,
+        }
+    }
+}
+
+impl FleetOps for LocalOps<'_> {
+    fn sweep(&mut self) -> Result<SweepSummary, OpsError> {
+        let report = self.verifier.sweep(self.fleet);
+        Ok(SweepSummary::from(&report))
+    }
+
+    fn campaign_begin(&mut self, config: &CampaignConfig) -> Result<(), OpsError> {
+        if self.run.is_some() {
+            return Err(OpsError::CampaignActive);
+        }
+        let campaign = Campaign::new(config.clone())?;
+        self.run = Some(campaign.begin(self.fleet, self.verifier)?);
+        Ok(())
+    }
+
+    fn campaign_step(&mut self) -> Result<CampaignStatus, OpsError> {
+        let run = self.run.as_mut().ok_or(OpsError::NoCampaign)?;
+        Ok(run.step(self.fleet, self.verifier)?)
+    }
+
+    fn campaign_status(&mut self) -> Result<CampaignPhase, OpsError> {
+        Ok(match &self.run {
+            None => CampaignPhase::Idle,
+            Some(run) if run.is_finished() => CampaignPhase::Finished,
+            Some(run) => CampaignPhase::InProgress {
+                next_wave: run.wave_cursor(),
+            },
+        })
+    }
+
+    fn campaign_pause(&mut self) -> Result<Vec<u8>, OpsError> {
+        let run = self.run.take().ok_or(OpsError::NoCampaign)?;
+        // A finished run has nothing left to pause — keep it loaded so
+        // its report stays readable, exactly as the gateway backend
+        // refuses (backends must not drift on lifecycle semantics).
+        if run.is_finished() {
+            self.run = Some(run);
+            return Err(OpsError::NoCampaign);
+        }
+        Ok(run.pause().to_bytes())
+    }
+
+    fn campaign_resume(&mut self, paused: &[u8]) -> Result<(), OpsError> {
+        if self.run.is_some() {
+            return Err(OpsError::CampaignActive);
+        }
+        let paused = PausedCampaign::from_bytes(paused)?;
+        self.run = Some(Campaign::resume(paused));
+        Ok(())
+    }
+
+    fn campaign_report(&mut self) -> Result<CampaignReport, OpsError> {
+        self.run
+            .as_ref()
+            .and_then(CampaignRun::report)
+            .ok_or(OpsError::NoCampaign)
+    }
+
+    fn health(&mut self) -> Result<OpsHealth, OpsError> {
+        let campaign = self.campaign_status()?;
+        Ok(OpsHealth {
+            devices: self.fleet.len(),
+            ledger_events: self.fleet.ledger().events().len(),
+            campaign,
+        })
+    }
+}

@@ -7,6 +7,7 @@ use std::thread;
 use std::time::Instant;
 
 use eilid_casu::{AttestError, AttestationVerifier, DeviceKey, MeasurementScheme, MemoryLayout};
+use eilid_msp430::Memory;
 use eilid_workloads::WorkloadId;
 
 use crate::device::{DeviceId, SimDevice};
@@ -30,12 +31,16 @@ pub const SHARD_COUNT: usize = 16;
 
 /// Known-good measurements of one firmware cohort: the current version
 /// plus every previous version still considered "stale but authentic",
-/// and the memory layout the cohort's devices attest over.
+/// the memory layout the cohort's devices attest over, and the golden
+/// memory image itself (campaigns patch a copy of it to derive the
+/// expected post-update measurement — the networked gateway gets its
+/// copy through [`ServiceSnapshot`]).
 #[derive(Debug, Clone)]
 pub(crate) struct MeasurementHistory {
     pub(crate) current: [u8; 32],
     pub(crate) previous: Vec<[u8; 32]>,
     pub(crate) layout: MemoryLayout,
+    pub(crate) golden: Memory,
 }
 
 /// Classifies one verified-or-not report measurement against a golden
@@ -127,6 +132,10 @@ pub struct CohortSnapshot {
     pub current: [u8; 32],
     /// Previous still-authentic measurements ("stale").
     pub previous: Vec<[u8; 32]>,
+    /// The golden memory image itself — what a gateway-resident campaign
+    /// patches (on a copy) to compute the expected post-update
+    /// measurement, and promotes on completion.
+    pub golden: Memory,
 }
 
 impl CohortSnapshot {
@@ -191,6 +200,7 @@ impl Verifier {
                     current: scheme.measure_pmem(&state.golden, &state.layout),
                     previous: Vec::new(),
                     layout: state.layout.clone(),
+                    golden: state.golden.clone(),
                 },
             );
         }
@@ -250,14 +260,21 @@ impl Verifier {
         self.expected.get(&cohort).map(|h| h.current)
     }
 
-    /// Promotes `measurement` to the current golden value for `cohort`,
-    /// demoting the old value to "stale but authentic".
-    pub(crate) fn promote_measurement(&mut self, cohort: WorkloadId, measurement: [u8; 32]) {
+    /// Promotes `measurement` (taken over `golden`) to the current
+    /// golden state for `cohort`, demoting the old measurement to
+    /// "stale but authentic".
+    pub(crate) fn promote_measurement(
+        &mut self,
+        cohort: WorkloadId,
+        measurement: [u8; 32],
+        golden: &Memory,
+    ) {
         if let Some(history) = self.expected.get_mut(&cohort) {
             if history.current != measurement {
                 let old = history.current;
                 history.previous.push(old);
                 history.current = measurement;
+                history.golden = golden.clone();
             }
         }
     }
@@ -283,6 +300,7 @@ impl Verifier {
                             layout: history.layout.clone(),
                             current: history.current,
                             previous: history.previous.clone(),
+                            golden: history.golden.clone(),
                         },
                     )
                 })

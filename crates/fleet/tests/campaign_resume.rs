@@ -7,7 +7,7 @@
 use eilid_casu::DeviceKey;
 use eilid_fleet::fixtures::{benign_patch, BENIGN_PATCH_TARGET};
 use eilid_fleet::{
-    Campaign, CampaignConfig, CampaignOutcome, CampaignStatus, FleetBuilder, HealthClass,
+    Campaign, CampaignConfig, CampaignOutcome, CampaignStatus, FleetBuilder, FleetOps, HealthClass,
     LedgerEvent, PausedCampaign,
 };
 use eilid_workloads::WorkloadId;
@@ -35,11 +35,10 @@ fn build(devices: usize) -> (eilid_fleet::Fleet, eilid_fleet::Verifier) {
 fn paused_then_resumed_campaign_matches_uninterrupted_run() {
     let config = CampaignConfig::new(WorkloadId::LightSensor, BENIGN_PATCH_TARGET, benign_patch());
 
-    // Reference: uninterrupted run.
+    // Reference: uninterrupted run (through the operator plane).
     let (mut fleet_a, mut verifier_a) = build(10);
-    let report_a = Campaign::new(config.clone())
-        .unwrap()
-        .run(&mut fleet_a, &mut verifier_a)
+    let report_a = eilid_fleet::LocalOps::new(&mut fleet_a, &mut verifier_a)
+        .run_campaign(&config)
         .unwrap();
     assert_eq!(report_a.outcome, CampaignOutcome::Completed { updated: 10 });
 

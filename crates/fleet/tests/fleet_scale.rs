@@ -9,7 +9,8 @@ use eilid_fleet::fixtures::{
     benign_patch, bricking_patch, BENIGN_PATCH_TARGET, BRICKING_PATCH_TARGET,
 };
 use eilid_fleet::{
-    Campaign, CampaignConfig, CampaignOutcome, FleetBuilder, HealthClass, LedgerEvent,
+    CampaignConfig, CampaignOutcome, FleetBuilder, FleetOps, HealthClass, LedgerEvent, LocalOps,
+    OpsError,
 };
 use eilid_workloads::WorkloadId;
 
@@ -126,11 +127,12 @@ fn campaign_patch_past_address_space_is_rejected_not_a_panic() {
         .build()
         .unwrap();
     let config = CampaignConfig::new(WorkloadId::LightSensor, 0xFFFE, vec![0; 8]);
-    let result = Campaign::new(config)
-        .unwrap()
-        .run(&mut fleet, &mut verifier);
+    let result = LocalOps::new(&mut fleet, &mut verifier).run_campaign(&config);
     assert!(
-        matches!(result, Err(eilid_fleet::FleetError::InvalidCampaign(_))),
+        matches!(
+            result,
+            Err(OpsError::Fleet(eilid_fleet::FleetError::InvalidCampaign(_)))
+        ),
         "got {result:?}"
     );
 }
@@ -145,9 +147,8 @@ fn good_campaign_completes_and_new_firmware_attests() {
         .unwrap();
 
     let config = CampaignConfig::new(WorkloadId::LightSensor, BENIGN_PATCH_TARGET, benign_patch());
-    let report = Campaign::new(config)
-        .unwrap()
-        .run(&mut fleet, &mut verifier)
+    let report = LocalOps::new(&mut fleet, &mut verifier)
+        .run_campaign(&config)
         .unwrap();
 
     assert!(report.is_completed(), "outcome: {:?}", report.outcome);
@@ -192,9 +193,8 @@ fn probe_failed_devices_are_rolled_back_when_the_wave_passes() {
     }
 
     let config = CampaignConfig::new(WorkloadId::LightSensor, BENIGN_PATCH_TARGET, benign_patch());
-    let report = Campaign::new(config)
-        .unwrap()
-        .run(&mut fleet, &mut verifier)
+    let report = LocalOps::new(&mut fleet, &mut verifier)
+        .run_campaign(&config)
         .unwrap();
 
     // The campaign completes, but the two quarantined devices are not
@@ -250,9 +250,8 @@ fn zero_retained_campaign_does_not_promote_the_golden_measurement() {
     let mut config =
         CampaignConfig::new(WorkloadId::LightSensor, BENIGN_PATCH_TARGET, benign_patch());
     config.failure_threshold = 1.0;
-    let report = Campaign::new(config)
-        .unwrap()
-        .run(&mut fleet, &mut verifier)
+    let report = LocalOps::new(&mut fleet, &mut verifier)
+        .run_campaign(&config)
         .unwrap();
 
     assert_eq!(report.outcome, CampaignOutcome::Completed { updated: 0 });
@@ -290,9 +289,8 @@ fn out_of_range_violating_write_is_vetoed_and_rollback_is_clean() {
         BRICKING_PATCH_TARGET,
         bricking_patch(),
     );
-    let report = Campaign::new(config)
-        .unwrap()
-        .run(&mut fleet, &mut verifier)
+    let report = LocalOps::new(&mut fleet, &mut verifier)
+        .run_campaign(&config)
         .unwrap();
 
     match report.outcome {
@@ -341,9 +339,8 @@ fn bad_campaign_halts_on_the_canary_wave_and_rolls_back() {
         BRICKING_PATCH_TARGET,
         bricking_patch(),
     );
-    let report = Campaign::new(config)
-        .unwrap()
-        .run(&mut fleet, &mut verifier)
+    let report = LocalOps::new(&mut fleet, &mut verifier)
+        .run_campaign(&config)
         .unwrap();
 
     match report.outcome {
@@ -413,9 +410,8 @@ fn partially_updated_cohort_reports_stale_not_tampered() {
     // Everyone updates; the patched image becomes golden, the previous
     // image is demoted to "stale but authentic".
     let config = CampaignConfig::new(WorkloadId::LightSensor, BENIGN_PATCH_TARGET, benign_patch());
-    let report = Campaign::new(config)
-        .unwrap()
-        .run(&mut fleet, &mut verifier)
+    let report = LocalOps::new(&mut fleet, &mut verifier)
+        .run_campaign(&config)
         .unwrap();
     assert_eq!(report.outcome, CampaignOutcome::Completed { updated: 10 });
 
@@ -493,9 +489,8 @@ fn thousand_device_fleet_sweep_and_staged_campaign() {
     let cohort = WorkloadId::LightSensor;
     let cohort_size = fleet.cohort_members(cohort).len();
     let bad = CampaignConfig::new(cohort, BRICKING_PATCH_TARGET, bricking_patch());
-    let bad_report = Campaign::new(bad)
-        .unwrap()
-        .run(&mut fleet, &mut verifier)
+    let bad_report = LocalOps::new(&mut fleet, &mut verifier)
+        .run_campaign(&bad)
         .unwrap();
     match bad_report.outcome {
         CampaignOutcome::HaltedAndRolledBack {
@@ -517,9 +512,8 @@ fn thousand_device_fleet_sweep_and_staged_campaign() {
 
     // 3. Good campaign on the same cohort completes in two waves.
     let good = CampaignConfig::new(cohort, BENIGN_PATCH_TARGET, benign_patch());
-    let good_report = Campaign::new(good)
-        .unwrap()
-        .run(&mut fleet, &mut verifier)
+    let good_report = LocalOps::new(&mut fleet, &mut verifier)
+        .run_campaign(&good)
         .unwrap();
     assert_eq!(
         good_report.outcome,

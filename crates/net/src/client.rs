@@ -315,7 +315,7 @@ impl<T: Transport> DeviceClient<T> {
 }
 
 /// Stable wire codes for device-side update rejections.
-fn update_error_code(error: &eilid_casu::UpdateError) -> u8 {
+pub(crate) fn update_error_code(error: &eilid_casu::UpdateError) -> u8 {
     match error {
         eilid_casu::UpdateError::BadMac => 1,
         eilid_casu::UpdateError::StaleNonce { .. } => 2,

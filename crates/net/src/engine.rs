@@ -1,0 +1,869 @@
+//! The gateway's campaign engine: the wire-driven [`WaveExecutor`]
+//! behind the networked operator plane.
+//!
+//! The reactor thread never blocks on campaign work. Operator frames
+//! (`OpBegin`/`OpStep`/`CampaignControl`/…) and device-plane replies
+//! (`SnapshotReport`/`UpdateResult`/`ProbeResult`) are routed here over
+//! an mpsc channel; the engine runs on its own thread, drives the
+//! *shared* campaign decision logic ([`CampaignRun::step_with`] — the
+//! exact code the in-process backend runs), and implements the
+//! [`WaveExecutor`] mechanism by pushing frames to the device
+//! connections registered in the gateway's [`Registry`]:
+//!
+//! ```text
+//!  operator conn ── OpStep ──▶ engine ── SnapshotRequest ─▶ device conns
+//!                                │  ◀── SnapshotReport ──────┘
+//!                                ├── UpdateRequest ─▶  … ◀── UpdateResult
+//!                                ├── ProbeRequest  ─▶  … ◀── ProbeResult
+//!                                ▼
+//!                        CampaignStatus (wave boundary) ─▶ operator conn
+//! ```
+//!
+//! Outbound frames ride the gateway's existing completions channel (the
+//! same coalesced-write path worker verdicts use), so the reactor
+//! flushes them with its usual discipline. A device agent that cannot
+//! serve a push right now sheds it with a device-scoped
+//! [`Frame::DeviceError`] `Busy`; the engine retries exactly that
+//! device with bounded exponential backoff instead of counting it as a
+//! probe failure — backpressure is a scheduling signal, not a health
+//! verdict.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use eilid_casu::{AttestationVerifier, Challenge, UpdateAuthority, UpdateError};
+use eilid_fleet::{
+    Campaign, CampaignRun, CohortInfo, DeviceId, FleetError, HealthClass, Ledger, LedgerEvent,
+    PausedCampaign, PreUpdateSnapshot, RollbackOutcome, WaveExecutor, WaveRollout, WaveSpec,
+};
+use eilid_workloads::WorkloadId;
+
+use eilid_fleet::ops::class_index;
+
+use crate::poller::Waker;
+use crate::service::{health_to_wire, AttestationService};
+use crate::wire::{
+    CampaignOp, ErrorCode, Frame, ProbeMode, CAMPAIGN_STATE_FINISHED, CAMPAIGN_STATE_IDLE,
+    CAMPAIGN_STATE_PAUSED, CAMPAIGN_STATE_RUNNING,
+};
+
+/// How many times the engine re-pushes an exchange a device agent shed
+/// with a device-scoped `Busy` before giving up on that device.
+pub const ENGINE_BUSY_RETRIES: usize = 8;
+
+/// The gateway's device→connection registry: which connection serves
+/// which attached device, and under which cohort. Written by the
+/// reactor (attach frames, connection drops), read by the engine when
+/// it pushes campaign work.
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    devices: HashMap<DeviceId, (u64, WorkloadId)>,
+}
+
+impl Registry {
+    /// Registers (or re-homes) `device` on `conn`.
+    pub(crate) fn attach(&mut self, device: DeviceId, conn: u64, cohort: WorkloadId) {
+        self.devices.insert(device, (conn, cohort));
+    }
+
+    /// Drops every registration served by `conn`.
+    pub(crate) fn drop_conn(&mut self, conn: u64) {
+        self.devices.retain(|_, (c, _)| *c != conn);
+    }
+
+    /// Registered devices.
+    pub(crate) fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    fn conn_of(&self, device: DeviceId) -> Option<u64> {
+        self.devices.get(&device).map(|(conn, _)| *conn)
+    }
+
+    /// Device ids attached under `cohort`, in id order — the wave
+    /// partition input, mirroring `Fleet::cohort_members`.
+    fn members_of(&self, cohort: WorkloadId) -> Vec<DeviceId> {
+        let mut members: Vec<DeviceId> = self
+            .devices
+            .iter()
+            .filter(|(_, (_, c))| *c == cohort)
+            .map(|(device, _)| *device)
+            .collect();
+        members.sort_unstable();
+        members
+    }
+
+    /// Every registration as `(device, cohort)`, in id order.
+    fn all(&self) -> Vec<(DeviceId, WorkloadId)> {
+        let mut all: Vec<(DeviceId, WorkloadId)> = self
+            .devices
+            .iter()
+            .map(|(device, (_, cohort))| (*device, *cohort))
+            .collect();
+        all.sort_unstable_by_key(|(device, _)| *device);
+        all
+    }
+}
+
+/// What the reactor routes to the engine.
+#[derive(Debug)]
+pub(crate) enum EngineInput {
+    /// An operator-plane command, with the connection to answer on.
+    Operator {
+        /// The operator's connection token.
+        conn: u64,
+        /// The command frame.
+        frame: Frame,
+    },
+    /// A device-plane reply to an engine push.
+    Device {
+        /// The reply frame.
+        frame: Frame,
+    },
+    /// A connection disappeared (its registrations are already gone
+    /// from the registry); pending exchanges on it should fail fast.
+    ConnClosed(#[allow(dead_code)] u64),
+}
+
+/// One cohort's campaign slot: at most one loaded run, plus the
+/// gateway-retained paused record for in-place resume.
+#[derive(Debug, Default)]
+struct CampaignSlot {
+    run: Option<CampaignRun>,
+    paused: Option<PausedCampaign>,
+}
+
+/// Which reply frame type an exchange expects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReplyKind {
+    Snapshot,
+    UpdateAck,
+    Probe,
+}
+
+impl ReplyKind {
+    /// The device a reply of this kind names, if `frame` is one.
+    fn device_of(self, frame: &Frame) -> Option<DeviceId> {
+        match (self, frame) {
+            (ReplyKind::Snapshot, Frame::SnapshotReport { device, .. })
+            | (ReplyKind::UpdateAck, Frame::UpdateResult { device, .. })
+            | (ReplyKind::Probe, Frame::ProbeResult { device, .. }) => Some(*device),
+            _ => None,
+        }
+    }
+}
+
+/// The engine proper: one per gateway, on its own thread.
+pub(crate) struct OpsEngine {
+    service: Arc<AttestationService>,
+    registry: Arc<Mutex<Registry>>,
+    rx: Receiver<EngineInput>,
+    out: Sender<Vec<(u64, Frame)>>,
+    waker: Waker,
+    /// Idle ceiling per device exchange: the deadline extends on every
+    /// received reply, so big waves are bounded by per-device progress,
+    /// not wave size.
+    timeout: Duration,
+    campaigns: BTreeMap<WorkloadId, CampaignSlot>,
+    ledger: Ledger,
+}
+
+impl OpsEngine {
+    /// Spawns the engine thread. It exits when every sender of `rx`
+    /// (held by the gateway) is dropped.
+    pub(crate) fn spawn(
+        service: Arc<AttestationService>,
+        registry: Arc<Mutex<Registry>>,
+        rx: Receiver<EngineInput>,
+        out: Sender<Vec<(u64, Frame)>>,
+        waker: Waker,
+        timeout: Duration,
+    ) -> std::thread::JoinHandle<()> {
+        std::thread::Builder::new()
+            .name("eilid-ops".into())
+            .spawn(move || {
+                OpsEngine {
+                    service,
+                    registry,
+                    rx,
+                    out,
+                    waker,
+                    timeout,
+                    campaigns: BTreeMap::new(),
+                    ledger: Ledger::default(),
+                }
+                .run();
+            })
+            .expect("spawning the ops engine thread")
+    }
+
+    fn run(mut self) {
+        while let Ok(input) = self.rx.recv() {
+            match input {
+                EngineInput::Operator { conn, frame } => self.handle_operator(conn, frame),
+                // Device replies outside an exchange (a late probe
+                // result after a timeout, an unsolicited ack) carry no
+                // pending state; drop them.
+                EngineInput::Device { .. } | EngineInput::ConnClosed(_) => {}
+            }
+        }
+    }
+
+    /// Queues one frame to `conn` through the reactor.
+    fn send(&self, conn: u64, frame: Frame) {
+        let _ = self.out.send(vec![(conn, frame)]);
+        self.waker.wake();
+    }
+
+    fn send_error(&self, conn: u64, code: ErrorCode) {
+        self.send(conn, Frame::Error { code });
+    }
+
+    fn status_frame(&self, cohort: WorkloadId) -> Frame {
+        let (state, wave_cursor) = match self.campaigns.get(&cohort) {
+            Some(slot) => match (&slot.run, &slot.paused) {
+                (Some(run), _) if run.is_finished() => {
+                    (CAMPAIGN_STATE_FINISHED, run.wave_cursor() as u32)
+                }
+                (Some(run), _) => (CAMPAIGN_STATE_RUNNING, run.wave_cursor() as u32),
+                (None, Some(paused)) => (CAMPAIGN_STATE_PAUSED, paused.wave_cursor() as u32),
+                (None, None) => (CAMPAIGN_STATE_IDLE, 0),
+            },
+            None => (CAMPAIGN_STATE_IDLE, 0),
+        };
+        Frame::CampaignStatus {
+            cohort,
+            state,
+            wave_cursor,
+        }
+    }
+
+    fn handle_operator(&mut self, conn: u64, frame: Frame) {
+        match frame {
+            Frame::OpBegin { config } => {
+                let cohort = config.cohort;
+                if self
+                    .campaigns
+                    .get(&cohort)
+                    .is_some_and(|slot| slot.run.is_some() || slot.paused.is_some())
+                {
+                    return self.send_error(conn, ErrorCode::CampaignActive);
+                }
+                match Campaign::new(config).and_then(|campaign| campaign.begin_with(&mut *self)) {
+                    Ok(run) => {
+                        self.campaigns.entry(cohort).or_default().run = Some(run);
+                        let status = self.status_frame(cohort);
+                        self.send(conn, status);
+                    }
+                    Err(FleetError::UnknownCohort(_)) => {
+                        self.send_error(conn, ErrorCode::UnknownCohort)
+                    }
+                    Err(_) => self.send_error(conn, ErrorCode::Unsupported),
+                }
+            }
+            Frame::OpStep { cohort } => {
+                let Some(mut run) = self
+                    .campaigns
+                    .get_mut(&cohort)
+                    .and_then(|slot| slot.run.take())
+                else {
+                    return self.send_error(conn, ErrorCode::NoCampaign);
+                };
+                let result = run.step_with(&mut *self);
+                self.campaigns.entry(cohort).or_default().run = Some(run);
+                match result {
+                    Ok(_) => {
+                        // The wave boundary: emit CampaignStatus to the
+                        // operator (running or finished).
+                        let status = self.status_frame(cohort);
+                        self.send(conn, status);
+                    }
+                    // A backend-level wave failure (exhausted nonce
+                    // block); the run state is intact, so the operator
+                    // may retry.
+                    Err(_) => self.send_error(conn, ErrorCode::Busy),
+                }
+            }
+            Frame::OpResume { paused } => {
+                let Ok(paused) = PausedCampaign::from_bytes(&paused) else {
+                    return self.send_error(conn, ErrorCode::Unsupported);
+                };
+                let cohort = paused.cohort();
+                if self
+                    .campaigns
+                    .get(&cohort)
+                    .is_some_and(|slot| slot.run.is_some() || slot.paused.is_some())
+                {
+                    return self.send_error(conn, ErrorCode::CampaignActive);
+                }
+                self.campaigns.entry(cohort).or_default().run = Some(Campaign::resume(paused));
+                let status = self.status_frame(cohort);
+                self.send(conn, status);
+            }
+            Frame::CampaignControl { cohort, op } => self.handle_control(conn, cohort, op),
+            Frame::OpSweep => self.handle_sweep(conn),
+            Frame::OpHealth => {
+                let attached = self.registry.lock().expect("registry lock").len() as u32;
+                let active = self
+                    .campaigns
+                    .values()
+                    .filter(|slot| slot.run.is_some())
+                    .count() as u32;
+                let paused = self
+                    .campaigns
+                    .values()
+                    .filter(|slot| slot.paused.is_some())
+                    .count() as u32;
+                self.send(
+                    conn,
+                    Frame::OpHealthResult {
+                        attached,
+                        active_campaigns: active,
+                        paused_campaigns: paused,
+                        ledger_events: self.ledger.events().len() as u32,
+                    },
+                );
+            }
+            // The session only routes the frames above.
+            _ => self.send_error(conn, ErrorCode::UnexpectedFrame),
+        }
+    }
+
+    fn handle_control(&mut self, conn: u64, cohort: WorkloadId, op: CampaignOp) {
+        match op {
+            CampaignOp::Pause => {
+                let Some(run) = self
+                    .campaigns
+                    .get_mut(&cohort)
+                    .and_then(|slot| slot.run.take())
+                else {
+                    return self.send_error(conn, ErrorCode::NoCampaign);
+                };
+                if run.is_finished() {
+                    // A finished run has nothing left to pause.
+                    self.campaigns.entry(cohort).or_default().run = Some(run);
+                    return self.send_error(conn, ErrorCode::NoCampaign);
+                }
+                let paused = run.pause();
+                let bytes = paused.to_bytes();
+                self.campaigns.entry(cohort).or_default().paused = Some(paused);
+                // A record past the operator-plane frame ceiling cannot
+                // cross the wire; the gateway still retains it (the
+                // in-place Resume path keeps working) and tells the
+                // operator with a typed error instead of emitting an
+                // unframeable reply.
+                if bytes.len() > crate::wire::MAX_OP_PAYLOAD {
+                    return self.send_error(conn, ErrorCode::Unsupported);
+                }
+                self.send(
+                    conn,
+                    Frame::OpPaused {
+                        cohort,
+                        paused: bytes,
+                    },
+                );
+            }
+            CampaignOp::Resume => {
+                if self
+                    .campaigns
+                    .get(&cohort)
+                    .is_some_and(|slot| slot.run.is_some())
+                {
+                    return self.send_error(conn, ErrorCode::CampaignActive);
+                }
+                let Some(paused) = self
+                    .campaigns
+                    .get_mut(&cohort)
+                    .and_then(|slot| slot.paused.take())
+                else {
+                    return self.send_error(conn, ErrorCode::NoCampaign);
+                };
+                self.campaigns.entry(cohort).or_default().run = Some(Campaign::resume(paused));
+                let status = self.status_frame(cohort);
+                self.send(conn, status);
+            }
+            CampaignOp::Status => {
+                let status = self.status_frame(cohort);
+                self.send(conn, status);
+            }
+            CampaignOp::Report => {
+                let report = self
+                    .campaigns
+                    .get(&cohort)
+                    .and_then(|slot| slot.run.as_ref())
+                    .and_then(CampaignRun::report);
+                match report {
+                    Some(report) => self.send(conn, Frame::OpReport { cohort, report }),
+                    None => self.send_error(conn, ErrorCode::NoCampaign),
+                }
+            }
+        }
+    }
+
+    /// Gateway-driven sweep: push an attest-only probe to every attached
+    /// device, verify and classify exactly as the in-process verifier
+    /// would (same keys, same golden histories, same classification
+    /// rule).
+    fn handle_sweep(&mut self, conn: u64) {
+        let targets = self.registry.lock().expect("registry lock").all();
+        let mut challenges: BTreeMap<DeviceId, (WorkloadId, Challenge)> = BTreeMap::new();
+        let mut requests = Vec::with_capacity(targets.len());
+        for (device, cohort) in targets {
+            let Ok(challenge) = self.service.challenge_for(cohort) else {
+                continue;
+            };
+            challenges.insert(device, (cohort, challenge));
+            requests.push((
+                device,
+                Frame::ProbeRequest {
+                    device,
+                    mode: ProbeMode::AttestOnly,
+                    smoke_cycles: 0,
+                    challenge,
+                },
+            ));
+        }
+        let replies = self.exchange(requests, ReplyKind::Probe);
+        let mut counts = [0u32; 4];
+        let mut flagged = Vec::new();
+        for (device, (cohort, challenge)) in &challenges {
+            let class = match replies.get(device) {
+                Some(Frame::ProbeResult { report, .. }) => {
+                    self.service.verify(*device, *cohort, challenge, report).0
+                }
+                // A lost or shed probe is a failed verification, not a
+                // silent omission.
+                _ => HealthClass::Unverified,
+            };
+            counts[class_index(class)] += 1;
+            if class != HealthClass::Attested {
+                flagged.push((*device, health_to_wire(class)));
+            }
+        }
+        self.send(
+            conn,
+            Frame::OpSweepResult {
+                devices: challenges.len() as u32,
+                counts,
+                flagged,
+            },
+        );
+    }
+
+    /// Pushes one request frame per device and collects the matching
+    /// replies. Device-scoped `Busy` sheds are retried with bounded
+    /// exponential backoff; devices whose connection is gone (or that
+    /// never answer within the idle timeout) are simply absent from the
+    /// result, which the callers turn into per-device failures.
+    fn exchange(
+        &mut self,
+        requests: Vec<(DeviceId, Frame)>,
+        kind: ReplyKind,
+    ) -> HashMap<DeviceId, Frame> {
+        let mut pending: HashMap<DeviceId, Frame> = HashMap::with_capacity(requests.len());
+        let mut replies: HashMap<DeviceId, Frame> = HashMap::with_capacity(requests.len());
+        let mut retries: HashMap<DeviceId, usize> = HashMap::new();
+
+        // Initial push, one coalesced completions message for the lot.
+        let mut batch: Vec<(u64, Frame)> = Vec::with_capacity(requests.len());
+        {
+            let registry = self.registry.lock().expect("registry lock");
+            for (device, frame) in requests {
+                let Some(conn) = registry.conn_of(device) else {
+                    continue; // unreachable device: absent from replies
+                };
+                batch.push((conn, frame.clone()));
+                pending.insert(device, frame);
+            }
+        }
+        if batch.is_empty() {
+            return replies;
+        }
+        let _ = self.out.send(batch);
+        self.waker.wake();
+
+        // The deadline extends on progress: a wave of 1000 devices gets
+        // `timeout` of *idle* tolerance, not `timeout` total.
+        let mut deadline = Instant::now() + self.timeout;
+        while !pending.is_empty() {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match self.rx.recv_timeout(deadline - now) {
+                Ok(EngineInput::Device { frame }) => {
+                    // A non-retryable device-scoped error (unknown
+                    // device, refused push) fails that device fast —
+                    // it must not stall the wave for the idle timeout.
+                    if let Frame::DeviceError { device, code } = frame {
+                        if code != ErrorCode::Busy {
+                            if pending.remove(&device).is_some() {
+                                deadline = Instant::now() + self.timeout;
+                            }
+                            continue;
+                        }
+                    }
+                    if let Frame::DeviceError {
+                        device,
+                        code: ErrorCode::Busy,
+                    } = frame
+                    {
+                        // Satellite fix: a busy shed during a campaign
+                        // push is retried with backoff, never counted
+                        // as a probe failure.
+                        if let Some(request) = pending.get(&device).cloned() {
+                            let attempts = retries.entry(device).or_insert(0);
+                            *attempts += 1;
+                            if *attempts > ENGINE_BUSY_RETRIES {
+                                pending.remove(&device);
+                                continue;
+                            }
+                            let backoff = Duration::from_micros(500)
+                                .saturating_mul(1 << (*attempts - 1).min(8) as u32)
+                                .min(Duration::from_millis(50));
+                            std::thread::sleep(backoff);
+                            let conn = self.registry.lock().expect("registry lock").conn_of(device);
+                            match conn {
+                                Some(conn) => {
+                                    let _ = self.out.send(vec![(conn, request)]);
+                                    self.waker.wake();
+                                    deadline = Instant::now() + self.timeout;
+                                }
+                                None => {
+                                    pending.remove(&device);
+                                }
+                            }
+                        }
+                        continue;
+                    }
+                    if let Some(device) = kind.device_of(&frame) {
+                        if pending.remove(&device).is_some() {
+                            replies.insert(device, frame);
+                            deadline = Instant::now() + self.timeout;
+                        }
+                    }
+                }
+                // An operator command arriving mid-wave: the engine is
+                // single-threaded by design (campaign semantics are
+                // strictly wave-ordered), so answer Busy immediately
+                // instead of queueing it behind the wave.
+                Ok(EngineInput::Operator { conn, .. }) => {
+                    self.send_error(conn, ErrorCode::Busy);
+                }
+                Ok(EngineInput::ConnClosed(_)) => {
+                    // Fail-fast every pending device that lost its
+                    // connection (the reactor already cleaned the
+                    // registry).
+                    let registry = self.registry.lock().expect("registry lock");
+                    pending.retain(|device, _| registry.conn_of(*device).is_some());
+                }
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        replies
+    }
+}
+
+/// Maps a device-side rejection code back to a representative
+/// [`UpdateError`] for the engine's ledger (the device-local field
+/// values do not cross the wire).
+fn update_error_from_code(code: u8) -> UpdateError {
+    match code {
+        2 => UpdateError::StaleNonce {
+            presented: 0,
+            last_accepted: 0,
+        },
+        3 => UpdateError::TargetOutsidePmem { addr: 0 },
+        4 => UpdateError::EmptyPayload,
+        _ => UpdateError::BadMac,
+    }
+}
+
+impl WaveExecutor for OpsEngine {
+    fn cohort_info(&mut self, cohort: WorkloadId) -> Result<CohortInfo, FleetError> {
+        let members = self
+            .registry
+            .lock()
+            .expect("registry lock")
+            .members_of(cohort);
+        if members.is_empty() {
+            return Err(FleetError::UnknownCohort(cohort));
+        }
+        let (golden, layout) = self
+            .service
+            .cohort_golden(cohort)
+            .ok_or(FleetError::UnknownCohort(cohort))?;
+        Ok(CohortInfo {
+            members,
+            golden,
+            layout,
+            scheme: self.service.scheme(),
+        })
+    }
+
+    fn roll_out(
+        &mut self,
+        wave: &[DeviceId],
+        spec: &WaveSpec<'_>,
+    ) -> Result<WaveRollout, FleetError> {
+        // Phase A — snapshots: each device reports its pre-update
+        // patch-range bytes, full-PMEM measurement and last accepted
+        // nonce (what the in-process executor reads off the device
+        // structs directly).
+        let snapshot_requests: Vec<(DeviceId, Frame)> = wave
+            .iter()
+            .map(|&device| {
+                (
+                    device,
+                    Frame::SnapshotRequest {
+                        device,
+                        start: spec.target,
+                        len: spec.payload.len() as u16,
+                    },
+                )
+            })
+            .collect();
+        let snapshots = self.exchange(snapshot_requests, ReplyKind::Snapshot);
+
+        // Phase B — authenticated updates, nonces resuming above each
+        // device's reported last nonce.
+        let mut update_requests = Vec::new();
+        let mut request_nonces: HashMap<DeviceId, u64> = HashMap::new();
+        for &device in wave {
+            let Some(Frame::SnapshotReport { last_nonce, .. }) = snapshots.get(&device) else {
+                continue;
+            };
+            let key = self.service.device_key(device);
+            let mut authority = UpdateAuthority::with_key_resuming(&key, last_nonce + 1);
+            let request = authority.authorize(spec.target, spec.payload);
+            request_nonces.insert(device, request.nonce);
+            update_requests.push((device, Frame::UpdateRequest { device, request }));
+        }
+        let acks = self.exchange(update_requests, ReplyKind::UpdateAck);
+
+        // Phase C — post-update probes (attest against the expected
+        // post-patch measurement, then reboot + smoke-run) for every
+        // device that accepted its update.
+        let mut probe_requests = Vec::new();
+        let mut probe_challenges: HashMap<DeviceId, Challenge> = HashMap::new();
+        for &device in wave {
+            if !matches!(
+                acks.get(&device),
+                Some(Frame::UpdateResult { status: 0, .. })
+            ) {
+                continue;
+            }
+            let challenge = self.service.challenge_for(spec.cohort).map_err(|err| {
+                FleetError::InvalidCampaign(format!(
+                    "gateway cannot mint probe challenges: {err:?}"
+                ))
+            })?;
+            probe_challenges.insert(device, challenge);
+            probe_requests.push((
+                device,
+                Frame::ProbeRequest {
+                    device,
+                    mode: ProbeMode::UpdateProbe,
+                    smoke_cycles: spec.smoke_cycles,
+                    challenge,
+                },
+            ));
+        }
+        let probes = self.exchange(probe_requests, ReplyKind::Probe);
+
+        // Compose per-device results in wave (id) order, mirroring the
+        // in-process rollout's event sequences exactly.
+        let mut rollout = WaveRollout::default();
+        for &device in wave {
+            let Some(Frame::SnapshotReport {
+                measurement, data, ..
+            }) = snapshots.get(&device)
+            else {
+                // Transport loss before the update was even attempted;
+                // the device keeps its old firmware and the wave counts
+                // a failure.
+                rollout.events.push(LedgerEvent::ProbeFailed { device });
+                rollout.failures += 1;
+                continue;
+            };
+            match acks.get(&device) {
+                Some(Frame::UpdateResult { status: 0, .. }) => {
+                    rollout.events.push(LedgerEvent::UpdateApplied {
+                        device,
+                        nonce: request_nonces[&device],
+                    });
+                    rollout.updated.push(device);
+                    rollout.snapshots.insert(
+                        device,
+                        PreUpdateSnapshot {
+                            patch_range: data.clone(),
+                            measurement: *measurement,
+                        },
+                    );
+                    let challenge = probe_challenges[&device];
+                    let key = self.service.device_key(device);
+                    let healthy = match probes.get(&device) {
+                        Some(Frame::ProbeResult {
+                            healthy, report, ..
+                        }) => {
+                            let attested = AttestationVerifier::with_key(&key)
+                                .verify(&challenge, report, Some(&spec.expected_after))
+                                .is_ok();
+                            attested && *healthy != 0
+                        }
+                        _ => false,
+                    };
+                    if !healthy {
+                        rollout.events.push(LedgerEvent::ProbeFailed { device });
+                        rollout.probe_failed.push(device);
+                        rollout.failures += 1;
+                    }
+                }
+                Some(Frame::UpdateResult { status, .. }) => {
+                    rollout.events.push(LedgerEvent::UpdateRejected {
+                        device,
+                        error: update_error_from_code(*status),
+                    });
+                    rollout.failures += 1;
+                }
+                _ => {
+                    rollout.events.push(LedgerEvent::ProbeFailed { device });
+                    rollout.failures += 1;
+                }
+            }
+        }
+        Ok(rollout)
+    }
+
+    fn roll_back(
+        &mut self,
+        cohort: WorkloadId,
+        ids: &[DeviceId],
+        target: u16,
+        snapshots: &BTreeMap<DeviceId, PreUpdateSnapshot>,
+    ) -> Result<RollbackOutcome, FleetError> {
+        // Fresh nonce query (the devices' engines advanced when the
+        // campaign update applied).
+        let nonce_requests: Vec<(DeviceId, Frame)> = ids
+            .iter()
+            .map(|&device| {
+                (
+                    device,
+                    Frame::SnapshotRequest {
+                        device,
+                        start: 0,
+                        len: 0,
+                    },
+                )
+            })
+            .collect();
+        let nonce_replies = self.exchange(nonce_requests, ReplyKind::Snapshot);
+
+        let mut update_requests = Vec::new();
+        for &device in ids {
+            let Some(Frame::SnapshotReport { last_nonce, .. }) = nonce_replies.get(&device) else {
+                continue;
+            };
+            let Some(snapshot) = snapshots.get(&device) else {
+                continue;
+            };
+            let key = self.service.device_key(device);
+            let mut authority = UpdateAuthority::with_key_resuming(&key, last_nonce + 1);
+            let request = authority.authorize(target, &snapshot.patch_range);
+            update_requests.push((device, Frame::UpdateRequest { device, request }));
+        }
+        let acks = self.exchange(update_requests, ReplyKind::UpdateAck);
+
+        // Verification probes: reboot, then attest; the report's
+        // measurement must equal the pre-campaign snapshot's.
+        let mut probe_requests = Vec::new();
+        let mut probe_challenges: HashMap<DeviceId, Challenge> = HashMap::new();
+        for &device in ids {
+            if !matches!(
+                acks.get(&device),
+                Some(Frame::UpdateResult { status: 0, .. })
+            ) {
+                continue;
+            }
+            let challenge = self.service.challenge_for(cohort).map_err(|err| {
+                FleetError::InvalidCampaign(format!(
+                    "gateway cannot mint probe challenges: {err:?}"
+                ))
+            })?;
+            probe_challenges.insert(device, challenge);
+            probe_requests.push((
+                device,
+                Frame::ProbeRequest {
+                    device,
+                    mode: ProbeMode::RollbackVerify,
+                    smoke_cycles: 0,
+                    challenge,
+                },
+            ));
+        }
+        let probes = self.exchange(probe_requests, ReplyKind::Probe);
+
+        let mut outcome = RollbackOutcome::default();
+        for &device in ids {
+            let applied = matches!(
+                acks.get(&device),
+                Some(Frame::UpdateResult { status: 0, .. })
+            );
+            if !applied {
+                // Mirror the in-process path: a rejected (or lost)
+                // rollback leaves the device on campaign firmware —
+                // operator attention required.
+                if let Some(Frame::UpdateResult { status, .. }) = acks.get(&device) {
+                    outcome.events.push(LedgerEvent::UpdateRejected {
+                        device,
+                        error: update_error_from_code(*status),
+                    });
+                }
+                outcome
+                    .events
+                    .push(LedgerEvent::RollbackIncomplete { device });
+                outcome.incomplete.push(device);
+                continue;
+            }
+            let restored = match (probes.get(&device), snapshots.get(&device)) {
+                (
+                    Some(Frame::ProbeResult { report, .. }),
+                    Some(PreUpdateSnapshot { measurement, .. }),
+                ) => {
+                    let key = self.service.device_key(device);
+                    AttestationVerifier::with_key(&key)
+                        .verify(&probe_challenges[&device], report, Some(measurement))
+                        .is_ok()
+                }
+                _ => false,
+            };
+            if restored {
+                outcome.events.push(LedgerEvent::RolledBack { device });
+                outcome.rolled_back.push(device);
+            } else {
+                outcome
+                    .events
+                    .push(LedgerEvent::RollbackIncomplete { device });
+                outcome.incomplete.push(device);
+            }
+        }
+        Ok(outcome)
+    }
+
+    fn promote(
+        &mut self,
+        cohort: WorkloadId,
+        golden: &eilid_msp430::Memory,
+        measurement: [u8; 32],
+    ) {
+        self.service.promote_cohort(cohort, golden, measurement);
+    }
+
+    fn record(&mut self, events: Vec<LedgerEvent>) {
+        for event in events {
+            self.ledger.record(event);
+        }
+    }
+}

@@ -43,12 +43,13 @@ use std::collections::{BTreeSet, HashMap};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use eilid_fleet::{WorkerPool, SHARD_COUNT};
 
+use crate::engine::{EngineInput, OpsEngine, Registry};
 use crate::poller::{
     Event, IdleBackoff, Interest, Poller, PollerBackend, PollerChoice, WaitOutcome, Waker,
 };
@@ -80,6 +81,12 @@ pub struct GatewayConfig {
     /// Hard cap on a single idle sleep of the scan fallback's adaptive
     /// backoff (default 2 ms; the epoll backend does not sleep-poll).
     pub idle_backoff_max: Duration,
+    /// Idle ceiling per campaign-engine device exchange: how long the
+    /// operator plane waits for a snapshot/update/probe reply with no
+    /// progress before counting the device unreachable (default 10 s;
+    /// the deadline extends on every reply, so wave size does not eat
+    /// the budget).
+    pub ops_timeout: Duration,
 }
 
 impl Default for GatewayConfig {
@@ -91,6 +98,7 @@ impl Default for GatewayConfig {
             poller: PollerChoice::Auto,
             batch_max: 64,
             idle_backoff_max: Duration::from_millis(2),
+            ops_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -201,6 +209,11 @@ struct PassCtx<'a> {
     batches: &'a mut Vec<Vec<(u64, VerifyTask)>>,
     batch_max: usize,
     read_buf: &'a mut [u8],
+    /// Device→connection registry the campaign engine pushes through.
+    registry: &'a Arc<Mutex<Registry>>,
+    /// Channel to the campaign engine (operator commands and
+    /// device-plane replies).
+    engine_tx: &'a mpsc::Sender<EngineInput>,
 }
 
 impl PassCtx<'_> {
@@ -309,6 +322,11 @@ pub struct Gateway {
     poller: Poller,
     waker: Waker,
     batches: Vec<Vec<(u64, VerifyTask)>>,
+    /// Device→connection registry shared with the campaign engine.
+    registry: Arc<Mutex<Registry>>,
+    /// Channel to the campaign engine thread; dropping the gateway
+    /// drops the last sender, which stops the engine.
+    engine_tx: mpsc::Sender<EngineInput>,
 }
 
 impl std::fmt::Debug for Gateway {
@@ -341,6 +359,19 @@ impl Gateway {
         let waker = poller.waker();
         let (completions_tx, completions_rx) = mpsc::channel();
         let pool = WorkerPool::new(config.workers, SHARD_COUNT, config.queue_depth);
+        // The campaign engine: its own thread, fed by the reactor over
+        // `engine_tx`, replying through the completions channel. It
+        // exits when the gateway (the only sender) is dropped.
+        let registry = Arc::new(Mutex::new(Registry::default()));
+        let (engine_tx, engine_rx) = mpsc::channel();
+        OpsEngine::spawn(
+            Arc::clone(&service),
+            Arc::clone(&registry),
+            engine_rx,
+            completions_tx.clone(),
+            waker.clone(),
+            config.ops_timeout,
+        );
         Ok(Gateway {
             listener,
             service,
@@ -355,6 +386,8 @@ impl Gateway {
             poller,
             waker,
             batches: (0..SHARD_COUNT).map(|_| Vec::new()).collect(),
+            registry,
+            engine_tx,
         })
     }
 
@@ -479,10 +512,17 @@ impl Gateway {
         }
     }
 
-    /// Deregisters and removes one connection.
+    /// Deregisters and removes one connection, dropping its device
+    /// attachments and letting the campaign engine fail-fast anything
+    /// pending on it.
     fn drop_conn(&mut self, conn_id: u64) {
         if let Some(conn) = self.conns.remove(&conn_id) {
             self.poller.deregister(raw_fd(&conn.stream));
+            self.registry
+                .lock()
+                .expect("registry lock")
+                .drop_conn(conn_id);
+            let _ = self.engine_tx.send(EngineInput::ConnClosed(conn_id));
         }
     }
 
@@ -509,6 +549,8 @@ impl Gateway {
             batches: &mut self.batches,
             batch_max: self.config.batch_max,
             read_buf: &mut self.read_buf,
+            registry: &self.registry,
+            engine_tx: &self.engine_tx,
         };
         for (&id, conn) in self.conns.iter_mut() {
             progress |= Self::service_conn(conn, id, &mut ctx);
@@ -543,6 +585,8 @@ impl Gateway {
                 batches: &mut self.batches,
                 batch_max: self.config.batch_max,
                 read_buf: &mut self.read_buf,
+                registry: &self.registry,
+                engine_tx: &self.engine_tx,
             };
             let mut dead: Vec<u64> = Vec::new();
             for event in events {
@@ -630,6 +674,22 @@ impl Gateway {
                             }
                         }
                         SessionOutput::Verify(task) => ctx.push_task(conn_id, task),
+                        SessionOutput::Attach { device, cohort } => {
+                            ctx.registry
+                                .lock()
+                                .expect("registry lock")
+                                .attach(device, conn_id, cohort);
+                            conn.queue(&Frame::AttachAck { device });
+                        }
+                        SessionOutput::Operator(frame) => {
+                            let _ = ctx.engine_tx.send(EngineInput::Operator {
+                                conn: conn_id,
+                                frame,
+                            });
+                        }
+                        SessionOutput::DeviceReply(frame) => {
+                            let _ = ctx.engine_tx.send(EngineInput::Device { frame });
+                        }
                         SessionOutput::ReplyAndClose(frames) => {
                             for frame in frames {
                                 conn.queue(&frame);

@@ -56,8 +56,10 @@
 #![warn(missing_docs)]
 
 pub mod client;
+mod engine;
 pub mod error;
 pub mod gateway;
+pub mod ops;
 pub mod poller;
 pub mod service;
 pub mod transport;
@@ -67,8 +69,10 @@ pub use client::{
     sweep_fleet_over, sweep_fleet_tcp, sweep_fleet_tcp_windowed, sweep_fleet_windowed,
     DeviceClient, NetSweepReport, BUSY_RETRIES, DEFAULT_PIPELINE_WINDOW,
 };
+pub use engine::ENGINE_BUSY_RETRIES;
 pub use error::NetError;
 pub use gateway::{Gateway, GatewayConfig, GatewayCounters, GatewayHandle};
+pub use ops::{with_attached_fleet, DeviceAgent, RemoteOps};
 pub use poller::{
     Event, IdleBackoff, Interest, Poller, PollerBackend, PollerChoice, WaitOutcome, Waker,
 };
@@ -78,6 +82,7 @@ pub use service::{
 };
 pub use transport::{PipeTransport, TcpTransport, Transport, DEFAULT_RECV_TIMEOUT};
 pub use wire::{
-    CampaignOp, ErrorCode, Frame, FrameDecoder, WireError, WireHealth, FRAME_HEADER_LEN,
-    FRAME_MAGIC, MAX_FRAME_PAYLOAD, PROTOCOL_VERSION,
+    CampaignOp, ErrorCode, Frame, FrameDecoder, ProbeMode, WireError, WireHealth,
+    CAMPAIGN_STATE_FINISHED, CAMPAIGN_STATE_IDLE, CAMPAIGN_STATE_PAUSED, CAMPAIGN_STATE_RUNNING,
+    FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME_PAYLOAD, MAX_OP_PAYLOAD, PROTOCOL_VERSION,
 };

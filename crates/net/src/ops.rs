@@ -1,0 +1,613 @@
+//! The wire backend of the unified operator plane, plus the device
+//! agent that serves gateway-initiated campaign pushes.
+//!
+//! Three pieces complete the networked deployment shape:
+//!
+//! * [`RemoteOps`] — the operator console. It implements
+//!   [`eilid_fleet::FleetOps`] by translating each call into operator
+//!   frames (`OpBegin`/`OpStep`/`CampaignControl`/`OpSweep`/…) to an
+//!   attestation gateway, whose campaign engine executes the waves. The
+//!   trait is shared with the in-process `LocalOps`, so every scenario
+//!   (CLI, examples, benches, the equivalence suite) runs identically
+//!   against either backend.
+//! * [`DeviceAgent`] — the device plane. One agent (one connection)
+//!   attaches any number of [`SimDevice`]s and then serves
+//!   gateway-initiated pushes: pre-update snapshots, authenticated
+//!   updates, and attestation probes (attest-only sweeps, post-update
+//!   probe+smoke runs, post-rollback verification).
+//! * [`with_attached_fleet`] — scoped orchestration for tests, the CLI
+//!   and benches: spawn N agent threads over a fleet's devices, wait
+//!   until every attach is acknowledged, run the operator closure, then
+//!   stop and join the agents.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use eilid::RunOutcome;
+use eilid_casu::MeasurementScheme;
+use eilid_fleet::{
+    CampaignConfig, CampaignPhase, CampaignReport, CampaignStatus, Fleet, FleetOps, OpsError,
+    OpsHealth, SimDevice, SweepSummary,
+};
+use eilid_workloads::WorkloadId;
+
+use crate::client::update_error_code;
+use crate::error::NetError;
+use crate::service::health_from_wire;
+use crate::transport::{TcpTransport, Transport};
+use crate::wire::{
+    CampaignOp, ErrorCode, Frame, ProbeMode, CAMPAIGN_STATE_FINISHED, CAMPAIGN_STATE_PAUSED,
+    CAMPAIGN_STATE_RUNNING, PROTOCOL_VERSION,
+};
+
+/// The wire [`FleetOps`] backend: an operator console connected to an
+/// attestation gateway. Campaign state lives gateway-side; this client
+/// is a thin, lockstep frame translator (one reply per command).
+#[derive(Debug)]
+pub struct RemoteOps<T: Transport> {
+    transport: T,
+    /// The cohort of the campaign this console is driving (set by
+    /// begin/resume; `CampaignControl` frames are cohort-addressed).
+    cohort: Option<WorkloadId>,
+    /// Overall per-command reply deadline. One `OpStep` can span a
+    /// whole wave of device exchanges and smoke runs on the gateway
+    /// side, so individual transport receive timeouts are retried
+    /// until this elapses — giving up early would leave the late reply
+    /// in the stream and desynchronise every later command.
+    op_timeout: Duration,
+}
+
+/// Default overall reply deadline for one operator command (a full
+/// wave of a large campaign fits comfortably).
+pub const DEFAULT_OP_TIMEOUT: Duration = Duration::from_secs(300);
+
+impl RemoteOps<TcpTransport> {
+    /// Connects to a gateway over TCP and negotiates the protocol.
+    ///
+    /// # Errors
+    ///
+    /// Connection and negotiation failures as [`NetError`].
+    pub fn connect(addr: SocketAddr) -> Result<Self, NetError> {
+        Self::from_transport(TcpTransport::connect(addr)?)
+    }
+}
+
+impl<T: Transport> RemoteOps<T> {
+    /// Negotiates the protocol over an existing transport.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] when the gateway refuses the version;
+    /// transport failures otherwise.
+    pub fn from_transport(mut transport: T) -> Result<Self, NetError> {
+        transport.send(&Frame::Hello {
+            min_version: PROTOCOL_VERSION,
+            max_version: PROTOCOL_VERSION,
+        })?;
+        match transport.recv()? {
+            Frame::HelloAck { .. } => Ok(RemoteOps {
+                transport,
+                cohort: None,
+                op_timeout: DEFAULT_OP_TIMEOUT,
+            }),
+            Frame::Error { code } => Err(NetError::Protocol(code)),
+            _ => Err(NetError::Unexpected("expected HelloAck")),
+        }
+    }
+
+    /// Overrides the overall per-command reply deadline (default
+    /// [`DEFAULT_OP_TIMEOUT`]).
+    pub fn set_op_timeout(&mut self, timeout: Duration) {
+        self.op_timeout = timeout;
+    }
+
+    /// Sends an orderly goodbye and returns the transport.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the send failure (the connection is dropped either
+    /// way).
+    pub fn bye(mut self) -> Result<T, NetError> {
+        self.transport.send(&Frame::Bye)?;
+        Ok(self.transport)
+    }
+
+    /// Addresses this console at `cohort`'s gateway-side campaign slot
+    /// without beginning or resuming one — the recovery path for an
+    /// operator console that crashed mid-campaign: reconnect, adopt the
+    /// cohort, then query status / pause / step the run the gateway
+    /// kept alive.
+    pub fn adopt(&mut self, cohort: WorkloadId) {
+        self.cohort = Some(cohort);
+    }
+
+    /// Resumes the gateway-*retained* paused campaign for the adopted
+    /// cohort ([`CampaignOp::Resume`]) — no bytes cross the wire; the
+    /// bytes-based [`FleetOps::campaign_resume`] is the gateway-restart
+    /// recovery path instead.
+    ///
+    /// # Errors
+    ///
+    /// [`OpsError::NoCampaign`] when the gateway retains nothing for
+    /// the cohort; [`OpsError::CampaignActive`] when a run is already
+    /// loaded.
+    pub fn resume_retained(&mut self) -> Result<(), OpsError> {
+        let cohort = self.active_cohort()?;
+        match self.request(Frame::CampaignControl {
+            cohort,
+            op: CampaignOp::Resume,
+        })? {
+            Frame::CampaignStatus { .. } => Ok(()),
+            _ => Err(unexpected("expected CampaignStatus")),
+        }
+    }
+
+    /// One lockstep command/reply exchange, with gateway error frames
+    /// mapped to typed [`OpsError`]s. Transport-level receive timeouts
+    /// are retried until [`RemoteOps::set_op_timeout`]'s deadline:
+    /// gateway-side steps legitimately take a while, and abandoning
+    /// the exchange early would desynchronise the lockstep stream.
+    fn request(&mut self, frame: Frame) -> Result<Frame, OpsError> {
+        self.transport.send(&frame).map_err(backend)?;
+        let deadline = Instant::now() + self.op_timeout;
+        let reply = loop {
+            match self.transport.recv() {
+                Ok(reply) => break reply,
+                Err(NetError::Timeout) if Instant::now() < deadline => continue,
+                Err(err) => return Err(backend(err)),
+            }
+        };
+        match reply {
+            Frame::Error {
+                code: ErrorCode::NoCampaign,
+            } => Err(OpsError::NoCampaign),
+            Frame::Error {
+                code: ErrorCode::CampaignActive,
+            } => Err(OpsError::CampaignActive),
+            Frame::Error { code } => Err(OpsError::Backend(format!("gateway refused: {code}"))),
+            reply => Ok(reply),
+        }
+    }
+
+    fn active_cohort(&self) -> Result<WorkloadId, OpsError> {
+        self.cohort.ok_or(OpsError::NoCampaign)
+    }
+}
+
+fn backend(err: NetError) -> OpsError {
+    OpsError::Backend(err.to_string())
+}
+
+fn unexpected(what: &str) -> OpsError {
+    OpsError::Backend(format!("unexpected gateway reply: {what}"))
+}
+
+/// Maps a `CampaignStatus` frame's `state` byte to the trait's phase.
+fn phase_from_state(state: u8, wave_cursor: u32) -> CampaignPhase {
+    match state {
+        CAMPAIGN_STATE_RUNNING => CampaignPhase::InProgress {
+            next_wave: wave_cursor as usize,
+        },
+        CAMPAIGN_STATE_PAUSED => CampaignPhase::Paused {
+            next_wave: wave_cursor as usize,
+        },
+        CAMPAIGN_STATE_FINISHED => CampaignPhase::Finished,
+        _ => CampaignPhase::Idle,
+    }
+}
+
+impl<T: Transport> FleetOps for RemoteOps<T> {
+    fn sweep(&mut self) -> Result<SweepSummary, OpsError> {
+        match self.request(Frame::OpSweep)? {
+            Frame::OpSweepResult {
+                devices,
+                counts,
+                flagged,
+            } => Ok(SweepSummary {
+                devices: devices as usize,
+                counts: [
+                    counts[0] as usize,
+                    counts[1] as usize,
+                    counts[2] as usize,
+                    counts[3] as usize,
+                ],
+                flagged: flagged
+                    .into_iter()
+                    .map(|(device, class)| (device, health_from_wire(class)))
+                    .collect(),
+            }),
+            _ => Err(unexpected("expected OpSweepResult")),
+        }
+    }
+
+    fn campaign_begin(&mut self, config: &CampaignConfig) -> Result<(), OpsError> {
+        let cohort = config.cohort;
+        match self.request(Frame::OpBegin {
+            config: config.clone(),
+        })? {
+            Frame::CampaignStatus { .. } => {
+                self.cohort = Some(cohort);
+                Ok(())
+            }
+            _ => Err(unexpected("expected CampaignStatus")),
+        }
+    }
+
+    fn campaign_step(&mut self) -> Result<CampaignStatus, OpsError> {
+        let cohort = self.active_cohort()?;
+        match self.request(Frame::OpStep { cohort })? {
+            Frame::CampaignStatus {
+                state, wave_cursor, ..
+            } => match phase_from_state(state, wave_cursor) {
+                CampaignPhase::Finished => Ok(CampaignStatus::Finished),
+                CampaignPhase::InProgress { next_wave } => {
+                    Ok(CampaignStatus::InProgress { next_wave })
+                }
+                _ => Err(unexpected(
+                    "campaign neither running nor finished after step",
+                )),
+            },
+            _ => Err(unexpected("expected CampaignStatus")),
+        }
+    }
+
+    fn campaign_status(&mut self) -> Result<CampaignPhase, OpsError> {
+        let Some(cohort) = self.cohort else {
+            return Ok(CampaignPhase::Idle);
+        };
+        match self.request(Frame::CampaignControl {
+            cohort,
+            op: CampaignOp::Status,
+        })? {
+            Frame::CampaignStatus {
+                state, wave_cursor, ..
+            } => Ok(phase_from_state(state, wave_cursor)),
+            _ => Err(unexpected("expected CampaignStatus")),
+        }
+    }
+
+    fn campaign_pause(&mut self) -> Result<Vec<u8>, OpsError> {
+        let cohort = self.active_cohort()?;
+        match self.request(Frame::CampaignControl {
+            cohort,
+            op: CampaignOp::Pause,
+        })? {
+            Frame::OpPaused { paused, .. } => Ok(paused),
+            _ => Err(unexpected("expected OpPaused")),
+        }
+    }
+
+    fn campaign_resume(&mut self, paused: &[u8]) -> Result<(), OpsError> {
+        if paused.len() > crate::wire::MAX_OP_PAYLOAD {
+            return Err(OpsError::Backend(format!(
+                "paused-campaign record of {} bytes exceeds the operator-plane frame ceiling {}",
+                paused.len(),
+                crate::wire::MAX_OP_PAYLOAD
+            )));
+        }
+        match self.request(Frame::OpResume {
+            paused: paused.to_vec(),
+        })? {
+            Frame::CampaignStatus { cohort, .. } => {
+                self.cohort = Some(cohort);
+                Ok(())
+            }
+            _ => Err(unexpected("expected CampaignStatus")),
+        }
+    }
+
+    fn campaign_report(&mut self) -> Result<CampaignReport, OpsError> {
+        let cohort = self.active_cohort()?;
+        match self.request(Frame::CampaignControl {
+            cohort,
+            op: CampaignOp::Report,
+        })? {
+            Frame::OpReport { report, .. } => Ok(report),
+            _ => Err(unexpected("expected OpReport")),
+        }
+    }
+
+    fn health(&mut self) -> Result<OpsHealth, OpsError> {
+        let (attached, ledger_events) = match self.request(Frame::OpHealth)? {
+            Frame::OpHealthResult {
+                attached,
+                ledger_events,
+                ..
+            } => (attached as usize, ledger_events as usize),
+            _ => return Err(unexpected("expected OpHealthResult")),
+        };
+        let campaign = self.campaign_status()?;
+        Ok(OpsHealth {
+            devices: attached,
+            ledger_events,
+            campaign,
+        })
+    }
+}
+
+/// The device-plane agent: serves gateway-initiated pushes for the
+/// devices it attached on this connection. This is what turns a fleet
+/// of [`SimDevice`]s into live campaign targets — the networked
+/// equivalent of the in-process executor touching devices directly.
+#[derive(Debug)]
+pub struct DeviceAgent<T: Transport> {
+    transport: T,
+    scheme: MeasurementScheme,
+}
+
+impl<T: Transport> DeviceAgent<T> {
+    /// Negotiates the protocol over `transport`. `scheme` must be the
+    /// measurement scheme the fleet was enrolled under (snapshots
+    /// report measurements computed with it).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] when the gateway refuses the version;
+    /// transport failures otherwise.
+    pub fn connect(mut transport: T, scheme: MeasurementScheme) -> Result<Self, NetError> {
+        transport.send(&Frame::Hello {
+            min_version: PROTOCOL_VERSION,
+            max_version: PROTOCOL_VERSION,
+        })?;
+        match transport.recv()? {
+            Frame::HelloAck { .. } => Ok(DeviceAgent { transport, scheme }),
+            Frame::Error { code } => Err(NetError::Protocol(code)),
+            _ => Err(NetError::Unexpected("expected HelloAck")),
+        }
+    }
+
+    /// Registers every device in `devices` on this connection, waiting
+    /// until the gateway acknowledged each attach (so campaign begins
+    /// issued afterwards see the full membership).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; a device-scoped gateway refusal (unknown
+    /// cohort) surfaces as [`NetError::Protocol`].
+    pub fn attach(&mut self, devices: &[SimDevice]) -> Result<(), NetError> {
+        let frames: Vec<Frame> = devices
+            .iter()
+            .map(|device| Frame::Attach {
+                device: device.id(),
+                cohort: device.cohort(),
+            })
+            .collect();
+        self.transport.send_batch(&frames)?;
+        let mut acked = 0usize;
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while acked < devices.len() {
+            match self.transport.recv() {
+                Ok(Frame::AttachAck { .. }) => acked += 1,
+                Ok(Frame::DeviceError { code, .. }) => return Err(NetError::Protocol(code)),
+                Ok(_) => return Err(NetError::Unexpected("unexpected frame during attach")),
+                Err(NetError::Timeout) if Instant::now() < deadline => continue,
+                Err(err) => return Err(err),
+            }
+        }
+        Ok(())
+    }
+
+    /// Serves gateway pushes for `devices` (the same slice attach was
+    /// called with) until `stop` is set, the gateway hangs up, or it
+    /// says [`Frame::Bye`]. Use a transport with a short receive
+    /// timeout so the stop flag is polled responsively.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and protocol violations; an orderly close is
+    /// `Ok`.
+    pub fn serve(&mut self, devices: &mut [SimDevice], stop: &AtomicBool) -> Result<(), NetError> {
+        loop {
+            let frame = match self.transport.recv() {
+                Ok(frame) => frame,
+                Err(NetError::Timeout) => {
+                    if stop.load(Ordering::Relaxed) {
+                        return Ok(());
+                    }
+                    continue;
+                }
+                Err(NetError::Closed) => return Ok(()),
+                Err(err) => return Err(err),
+            };
+            match frame {
+                Frame::SnapshotRequest { device, start, len } => {
+                    // The requested range is wire-controlled: validate
+                    // it against the address space before slicing, so a
+                    // hostile or version-skewed gateway cannot panic
+                    // the agent.
+                    let in_range =
+                        usize::from(start) + usize::from(len) <= eilid_msp430::ADDRESS_SPACE;
+                    let reply = match find_device(devices, device) {
+                        Some(sim) if in_range => snapshot_report(sim, self.scheme, start, len),
+                        Some(_) => Frame::DeviceError {
+                            device,
+                            code: ErrorCode::UnexpectedFrame,
+                        },
+                        None => Frame::DeviceError {
+                            device,
+                            code: ErrorCode::UnknownDevice,
+                        },
+                    };
+                    self.transport.send(&reply)?;
+                }
+                Frame::UpdateRequest { device, request } => {
+                    let status = match find_device(devices, device) {
+                        Some(sim) => match sim.apply_update(&request) {
+                            Ok(()) => 0,
+                            Err(err) => update_error_code(&err),
+                        },
+                        None => 0xFF,
+                    };
+                    self.transport
+                        .send(&Frame::UpdateResult { device, status })?;
+                }
+                Frame::ProbeRequest {
+                    device,
+                    mode,
+                    smoke_cycles,
+                    challenge,
+                } => {
+                    let reply = match find_device(devices, device) {
+                        Some(sim) => probe_result(sim, device, mode, smoke_cycles, challenge),
+                        None => Frame::DeviceError {
+                            device,
+                            code: ErrorCode::UnknownDevice,
+                        },
+                    };
+                    self.transport.send(&reply)?;
+                }
+                Frame::Bye => return Ok(()),
+                Frame::Error { code } => return Err(NetError::Protocol(code)),
+                _ => return Err(NetError::Unexpected("unexpected frame at device agent")),
+            }
+        }
+    }
+}
+
+fn find_device(devices: &mut [SimDevice], id: u64) -> Option<&mut SimDevice> {
+    devices.iter_mut().find(|device| device.id() == id)
+}
+
+/// Builds the snapshot reply: patch-range bytes, full-PMEM measurement
+/// under the fleet scheme, and the update engine's last accepted nonce
+/// — exactly the device state the in-process executor reads directly.
+fn snapshot_report(sim: &mut SimDevice, scheme: MeasurementScheme, start: u16, len: u16) -> Frame {
+    let device = sim.id();
+    let last_nonce = sim.engine().last_nonce();
+    let memory = &sim.device().cpu().memory;
+    let layout = sim.device().layout();
+    let measurement = scheme.measure_pmem(memory, layout);
+    let from = usize::from(start);
+    let data = memory.slice(from..from + usize::from(len)).to_vec();
+    Frame::SnapshotReport {
+        device,
+        last_nonce,
+        measurement,
+        data,
+    }
+}
+
+/// Runs one probe per the requested [`ProbeMode`] and builds the reply.
+fn probe_result(
+    sim: &mut SimDevice,
+    device: u64,
+    mode: ProbeMode,
+    smoke_cycles: u64,
+    challenge: eilid_casu::Challenge,
+) -> Frame {
+    match mode {
+        // Sweep probe: answer from the running image.
+        ProbeMode::AttestOnly => {
+            let report = sim.attest(challenge);
+            Frame::ProbeResult {
+                device,
+                healthy: 1,
+                report,
+            }
+        }
+        // Post-update probe: attest first (the updated image), then
+        // reboot into it and smoke-run — the in-process probe order.
+        ProbeMode::UpdateProbe => {
+            let report = sim.attest(challenge);
+            sim.reboot();
+            let outcome = sim.run_slice(smoke_cycles);
+            let healthy = matches!(
+                outcome,
+                RunOutcome::Completed { .. } | RunOutcome::Timeout { .. }
+            );
+            Frame::ProbeResult {
+                device,
+                healthy: u8::from(healthy),
+                report,
+            }
+        }
+        // Post-rollback verification: reboot into the restored image,
+        // then attest it.
+        ProbeMode::RollbackVerify => {
+            sim.reboot();
+            let report = sim.attest(challenge);
+            Frame::ProbeResult {
+                device,
+                healthy: 1,
+                report,
+            }
+        }
+    }
+}
+
+/// Spawns `agents` device-agent threads over the fleet's devices
+/// (partitioned evenly), waits until every attach is acknowledged, runs
+/// the operator closure `f` (typically driving a [`RemoteOps`] against
+/// the same gateway), then stops and joins the agents.
+///
+/// # Errors
+///
+/// The first hard agent failure (anything but an orderly close)
+/// replaces the closure's result.
+pub fn with_attached_fleet<R, F>(
+    fleet: &mut Fleet,
+    agents: usize,
+    addr: SocketAddr,
+    f: F,
+) -> Result<R, NetError>
+where
+    F: FnOnce() -> R,
+{
+    let scheme = fleet.scheme();
+    let devices = fleet.devices_mut();
+    let total = devices.len();
+    let agents = agents.clamp(1, total.max(1));
+    let chunk = total.div_ceil(agents);
+    let stop = AtomicBool::new(false);
+    let (ready_tx, ready_rx) = mpsc::channel();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = devices
+            .chunks_mut(chunk)
+            .map(|batch| {
+                let ready_tx = ready_tx.clone();
+                let stop = &stop;
+                scope.spawn(move || -> Result<(), NetError> {
+                    // Short receive timeout: `serve` polls the stop flag
+                    // between frames.
+                    let transport =
+                        TcpTransport::connect_with_timeout(addr, Duration::from_millis(100))?;
+                    let mut agent = DeviceAgent::connect(transport, scheme)?;
+                    agent.attach(batch)?;
+                    let _ = ready_tx.send(());
+                    agent.serve(batch, stop)
+                })
+            })
+            .collect();
+        drop(ready_tx);
+
+        // Wait for every attach to land before the operator acts, so a
+        // campaign begun in `f` sees the full cohort membership. A dead
+        // agent breaks the wait; its error surfaces at join below.
+        let mut ready = 0usize;
+        while ready < handles.len() {
+            match ready_rx.recv_timeout(Duration::from_secs(30)) {
+                Ok(()) => ready += 1,
+                Err(_) => break,
+            }
+        }
+
+        let output = f();
+        stop.store(true, Ordering::Relaxed);
+
+        let mut agent_error: Option<NetError> = None;
+        for handle in handles {
+            if let Err(err) = handle.join().expect("device agent thread panicked") {
+                if !matches!(err, NetError::Closed) {
+                    agent_error.get_or_insert(err);
+                }
+            }
+        }
+        match agent_error {
+            Some(err) => Err(err),
+            None => Ok(output),
+        }
+    })
+}

@@ -13,10 +13,11 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, RwLock};
 
-use eilid_casu::{AttestError, AttestationVerifier, Challenge, DeviceKey};
+use eilid_casu::{AttestError, AttestationVerifier, Challenge, DeviceKey, MeasurementScheme};
 use eilid_fleet::{CohortSnapshot, HealthClass, ServiceSnapshot, SHARD_COUNT};
+use eilid_msp430::Memory;
 use eilid_workloads::WorkloadId;
 
 use crate::error::NetError;
@@ -87,11 +88,18 @@ impl ServiceStats {
 }
 
 /// The networked verifier core. Thread-safe: the poll loop issues
-/// challenges while pool workers verify reports concurrently.
+/// challenges while pool workers verify reports concurrently, and the
+/// campaign engine promotes goldens (behind the cohort `RwLock`) when a
+/// gateway-resident rollout completes.
 #[derive(Debug)]
 pub struct AttestationService {
     root: DeviceKey,
-    cohorts: std::collections::BTreeMap<WorkloadId, CohortSnapshot>,
+    /// Per-cohort golden state. Read on every challenge/verify; written
+    /// only when a gateway-resident campaign promotes a new golden.
+    cohorts: RwLock<std::collections::BTreeMap<WorkloadId, CohortSnapshot>>,
+    /// The measurement scheme the fleet was enrolled under (campaigns
+    /// measure patched goldens with it).
+    scheme: MeasurementScheme,
     next_nonce: AtomicU64,
     nonce_end: u64,
     shards: Vec<Mutex<KeyShard>>,
@@ -103,7 +111,8 @@ impl AttestationService {
     pub fn new(snapshot: ServiceSnapshot) -> Self {
         AttestationService {
             root: snapshot.root,
-            cohorts: snapshot.cohorts,
+            cohorts: RwLock::new(snapshot.cohorts),
+            scheme: snapshot.scheme,
             next_nonce: AtomicU64::new(snapshot.nonce_base),
             nonce_end: snapshot.nonce_base.saturating_add(snapshot.nonce_span),
             shards: (0..SHARD_COUNT).map(|_| Mutex::default()).collect(),
@@ -114,6 +123,66 @@ impl AttestationService {
     /// Verification totals so far.
     pub fn stats(&self) -> &ServiceStats {
         &self.stats
+    }
+
+    /// The measurement scheme reports are verified under.
+    pub fn scheme(&self) -> MeasurementScheme {
+        self.scheme
+    }
+
+    /// `true` when the service holds goldens for `cohort`.
+    pub fn has_cohort(&self, cohort: WorkloadId) -> bool {
+        self.cohorts
+            .read()
+            .expect("cohort lock")
+            .contains_key(&cohort)
+    }
+
+    /// The cohort's current golden image and layout (what a
+    /// gateway-resident campaign patches and probes against).
+    pub(crate) fn cohort_golden(
+        &self,
+        cohort: WorkloadId,
+    ) -> Option<(Memory, eilid_casu::MemoryLayout)> {
+        let cohorts = self.cohorts.read().expect("cohort lock");
+        cohorts
+            .get(&cohort)
+            .map(|snapshot| (snapshot.golden.clone(), snapshot.layout.clone()))
+    }
+
+    /// Promotes `measurement`/`golden` to the cohort's current golden
+    /// state, demoting the previous measurement to "stale but
+    /// authentic" — the gateway-side mirror of the fleet verifier's
+    /// promotion on campaign completion.
+    pub(crate) fn promote_cohort(
+        &self,
+        cohort: WorkloadId,
+        golden: &Memory,
+        measurement: [u8; 32],
+    ) {
+        let mut cohorts = self.cohorts.write().expect("cohort lock");
+        if let Some(snapshot) = cohorts.get_mut(&cohort) {
+            if snapshot.current != measurement {
+                let old = snapshot.current;
+                snapshot.previous.push(old);
+                snapshot.current = measurement;
+                snapshot.golden = golden.clone();
+            }
+        }
+    }
+
+    /// The (shard-cached) key of `device`, derived once ever from the
+    /// fleet root — the campaign engine MACs update requests and
+    /// verifies probe reports with it.
+    pub(crate) fn device_key(&self, device: u64) -> DeviceKey {
+        let shard = &self.shards[(device % SHARD_COUNT as u64) as usize];
+        let mut shard = shard.lock().expect("key shard lock");
+        let root = &self.root;
+        shard
+            .keys
+            .entry(device)
+            .or_insert_with(|| root.derive(device))
+            .clone()
     }
 
     /// Device keys currently cached across all shards.
@@ -139,10 +208,8 @@ impl AttestationService {
     /// not provisioned for; [`ChallengeError::NoncesExhausted`] once the
     /// reserved block runs dry.
     pub fn challenge_for(&self, cohort: WorkloadId) -> Result<Challenge, ChallengeError> {
-        let snapshot = self
-            .cohorts
-            .get(&cohort)
-            .ok_or(ChallengeError::UnknownCohort)?;
+        let cohorts = self.cohorts.read().expect("cohort lock");
+        let snapshot = cohorts.get(&cohort).ok_or(ChallengeError::UnknownCohort)?;
         // fetch_add past the end is harmless: the overshot value is
         // never issued, and the counter cannot wrap a u64 in practice.
         let nonce = self.next_nonce.fetch_add(1, Ordering::Relaxed);
@@ -167,7 +234,8 @@ impl AttestationService {
         issued: &Challenge,
         report: &eilid_casu::AttestationReport,
     ) -> (HealthClass, Option<AttestError>) {
-        let Some(snapshot) = self.cohorts.get(&cohort) else {
+        let cohorts = self.cohorts.read().expect("cohort lock");
+        let Some(snapshot) = cohorts.get(&cohort) else {
             self.stats.record(HealthClass::Unverified);
             return (HealthClass::Unverified, None);
         };
@@ -198,9 +266,12 @@ impl AttestationService {
     /// is paid per batch.
     pub fn verify_batch(&self, tasks: &[VerifyTask]) -> Vec<(HealthClass, Option<AttestError>)> {
         let mut verdicts = Vec::with_capacity(tasks.len());
+        // One cohort read-lock acquisition for the whole batch; golden
+        // promotion (a rare write) waits for batch boundaries.
+        let cohorts = self.cohorts.read().expect("cohort lock");
         let mut held: Option<(usize, std::sync::MutexGuard<'_, KeyShard>)> = None;
         for task in tasks {
-            let Some(snapshot) = self.cohorts.get(&task.cohort) else {
+            let Some(snapshot) = cohorts.get(&task.cohort) else {
                 self.stats.record(HealthClass::Unverified);
                 verdicts.push((HealthClass::Unverified, None));
                 continue;
@@ -282,6 +353,23 @@ pub enum SessionOutput {
     ReplyAndClose(Vec<Frame>),
     /// Close the connection without a reply.
     Close,
+    /// Register this connection as the push target for `device` and
+    /// acknowledge (the gateway updates its device→connection registry;
+    /// the in-memory server has no push plane and refuses).
+    Attach {
+        /// The device this connection serves.
+        device: u64,
+        /// Its firmware cohort.
+        cohort: WorkloadId,
+    },
+    /// Route this operator-plane frame to the campaign engine, which
+    /// replies asynchronously on this connection. Servers without an
+    /// engine (the in-memory transport server) answer `Unsupported`.
+    Operator(Frame),
+    /// Route this device-plane reply (snapshot / probe / update result,
+    /// or a device-scoped shed) to the campaign engine. Servers without
+    /// an engine drop it.
+    DeviceReply(Frame),
 }
 
 /// Hard cap on challenges outstanding per connection. A lockstep client
@@ -384,26 +472,52 @@ impl Session {
                     code: ErrorCode::UnexpectedFrame,
                 }]),
             },
-            // The campaign control plane is reserved: the frames are
-            // first-class on the wire, but this gateway build drives
-            // campaigns in-process (`eilid_fleet::CampaignRun`).
-            Frame::CampaignControl { .. } => SessionOutput::Reply(vec![Frame::Error {
-                code: ErrorCode::Unsupported,
-            }]),
+            // Device-plane registration for gateway-initiated pushes.
+            // Cohort validity is checked here so a bad attach is
+            // rejected device-scoped before it reaches any registry.
+            Frame::Attach { device, cohort } => {
+                if service.has_cohort(cohort) {
+                    SessionOutput::Attach { device, cohort }
+                } else {
+                    SessionOutput::Reply(vec![Frame::DeviceError {
+                        device,
+                        code: ErrorCode::UnknownCohort,
+                    }])
+                }
+            }
+            // The operator plane: campaign lifecycle and gateway-driven
+            // sweeps, executed by the campaign engine (which replies on
+            // this connection asynchronously).
+            frame @ (Frame::CampaignControl { .. }
+            | Frame::OpBegin { .. }
+            | Frame::OpStep { .. }
+            | Frame::OpResume { .. }
+            | Frame::OpSweep
+            | Frame::OpHealth) => SessionOutput::Operator(frame),
+            // Device-plane replies to engine-initiated pushes: update
+            // acks, snapshot reports, probe results — and device-scoped
+            // sheds (`DeviceError{Busy}`), which the engine retries.
+            frame @ (Frame::UpdateResult { .. }
+            | Frame::SnapshotReport { .. }
+            | Frame::ProbeResult { .. }
+            | Frame::DeviceError { .. }) => SessionOutput::DeviceReply(frame),
             // Update *requests* flow gateway → device; one arriving at
             // the gateway is refused.
             Frame::UpdateRequest { .. } => SessionOutput::Reply(vec![Frame::Error {
                 code: ErrorCode::Unsupported,
             }]),
-            // An UpdateResult is the device's ack for a pushed update —
-            // legal device → gateway traffic, needing no reply.
-            Frame::UpdateResult { .. } => SessionOutput::Reply(Vec::new()),
             // Server-bound frames arriving at the server are a protocol
             // violation.
             Frame::HelloAck { .. }
             | Frame::Challenge { .. }
             | Frame::AttestResult { .. }
-            | Frame::DeviceError { .. }
+            | Frame::AttachAck { .. }
+            | Frame::SnapshotRequest { .. }
+            | Frame::ProbeRequest { .. }
+            | Frame::OpPaused { .. }
+            | Frame::OpReport { .. }
+            | Frame::OpSweepResult { .. }
+            | Frame::OpHealthResult { .. }
             | Frame::CampaignStatus { .. } => SessionOutput::ReplyAndClose(vec![Frame::Error {
                 code: ErrorCode::UnexpectedFrame,
             }]),
@@ -415,6 +529,12 @@ impl Session {
 /// Serves one connection synchronously over any [`Transport`] — the
 /// in-memory counterpart of the TCP gateway, sharing [`Session`]
 /// verbatim (verification runs inline on this thread).
+///
+/// This server has no push plane or campaign engine: operator frames
+/// and attach registrations are answered with a typed `Unsupported`
+/// (drive campaigns over the wire through the TCP [`Gateway`]
+/// (crate::Gateway)); stray device-plane replies are dropped, exactly
+/// as the gateway drops them when no campaign is in flight.
 ///
 /// Returns when the peer says [`Frame::Bye`], hangs up, or breaks the
 /// protocol.
@@ -450,6 +570,12 @@ pub fn serve_transport<T: Transport>(
                 return Ok(());
             }
             SessionOutput::Close => return Ok(()),
+            SessionOutput::Attach { .. } | SessionOutput::Operator(_) => {
+                transport.send(&Frame::Error {
+                    code: ErrorCode::Unsupported,
+                })?;
+            }
+            SessionOutput::DeviceReply(_) => {}
         }
     }
 }

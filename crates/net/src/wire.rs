@@ -35,6 +35,7 @@ use std::fmt;
 use eilid_casu::wire as casu_wire;
 use eilid_casu::wire::{CodecError, Reader};
 use eilid_casu::{AttestationReport, Challenge, UpdateRequest};
+use eilid_fleet::{CampaignConfig, CampaignOutcome, CampaignReport, WaveReport};
 use eilid_workloads::WorkloadId;
 
 /// Frame magic, first on the wire.
@@ -45,18 +46,58 @@ pub const FRAME_MAGIC: [u8; 4] = *b"EILD";
 /// History: version 1 was the PR 3 lockstep protocol; version 2 added
 /// the device-scoped [`Frame::DeviceError`] (type `0x0D`), which
 /// gateways emit in routine situations (backpressure, unknown
-/// cohorts). The bump makes a version-1 peer fail *at negotiation*
-/// with a typed `UnsupportedVersion` instead of mid-sweep on an
-/// unknown frame type.
-pub const PROTOCOL_VERSION: u8 = 2;
+/// cohorts). Version 3 added the operator plane (`Op*` frames driving
+/// gateway-resident campaigns and sweeps) and the device-plane push
+/// frames ([`Frame::Attach`], [`Frame::SnapshotRequest`],
+/// [`Frame::ProbeRequest`] and their replies) campaigns execute waves
+/// through. Each bump makes an older peer fail *at negotiation* with a
+/// typed `UnsupportedVersion` instead of mid-exchange on an unknown
+/// frame type.
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Size of the fixed frame header in bytes.
 pub const FRAME_HEADER_LEN: usize = 10;
 
-/// Hard ceiling on a frame payload. Large enough for an update request
-/// at the casu wire maximum, small enough that a forged length can
-/// never drive a large allocation.
+/// Hard ceiling on a regular frame payload. Large enough for an update
+/// request at the casu wire maximum, small enough that a forged length
+/// can never drive a large allocation.
 pub const MAX_FRAME_PAYLOAD: usize = casu_wire::MAX_UPDATE_PAYLOAD + 64;
+
+/// Hard ceiling on the payload of the operator-plane carrier frames:
+/// [`Frame::OpPaused`]/[`Frame::OpResume`] embed a serialised
+/// [`PausedCampaign`](eilid_fleet::PausedCampaign) record (the 64 KiB
+/// patched golden image plus per-device snapshots — with a wire-maximum
+/// patch, kilobytes per updated device), and
+/// [`Frame::OpReport`]/[`Frame::OpSweepResult`] carry per-device id
+/// lists that outgrow [`MAX_FRAME_PAYLOAD`] on large fleets. The cap is
+/// still enforced from the header (which names the frame type) *before*
+/// any payload is buffered, so a forged length drives at most 4 MiB of
+/// buffering on exactly these four operator-plane types — and senders
+/// refuse (with a typed error) the rare record exceeding even this,
+/// instead of emitting an unframeable reply.
+pub const MAX_OP_PAYLOAD: usize = 4 * 1024 * 1024;
+
+/// [`Frame::CampaignStatus`] `state`: a campaign run is loaded and
+/// stepping.
+pub const CAMPAIGN_STATE_RUNNING: u8 = 0;
+/// [`Frame::CampaignStatus`] `state`: a paused record is retained
+/// gateway-side.
+pub const CAMPAIGN_STATE_PAUSED: u8 = 1;
+/// [`Frame::CampaignStatus`] `state`: the run finished; the report is
+/// available via [`CampaignOp::Report`].
+pub const CAMPAIGN_STATE_FINISHED: u8 = 2;
+/// [`Frame::CampaignStatus`] `state`: no campaign is loaded for the
+/// cohort.
+pub const CAMPAIGN_STATE_IDLE: u8 = 3;
+
+/// The payload ceiling for `frame_type`, enforced from the 10 header
+/// bytes alone.
+fn max_payload_for(frame_type: u8) -> usize {
+    match frame_type {
+        0x16 | 0x17 | 0x18 | 0x1A => MAX_OP_PAYLOAD,
+        _ => MAX_FRAME_PAYLOAD,
+    }
+}
 
 /// Why a frame failed to encode or decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,6 +193,15 @@ pub enum ErrorCode {
     UnexpectedFrame,
     /// The frame type is understood but not served on this endpoint.
     Unsupported,
+    /// A device-plane push named a device this connection does not
+    /// serve.
+    UnknownDevice,
+    /// A campaign operation was issued with no campaign in the required
+    /// state.
+    NoCampaign,
+    /// A campaign begin/resume collided with one already loaded for the
+    /// cohort.
+    CampaignActive,
 }
 
 impl ErrorCode {
@@ -163,6 +213,9 @@ impl ErrorCode {
             ErrorCode::NotNegotiated => 4,
             ErrorCode::UnexpectedFrame => 5,
             ErrorCode::Unsupported => 6,
+            ErrorCode::UnknownDevice => 7,
+            ErrorCode::NoCampaign => 8,
+            ErrorCode::CampaignActive => 9,
         }
     }
 
@@ -174,6 +227,9 @@ impl ErrorCode {
             4 => ErrorCode::NotNegotiated,
             5 => ErrorCode::UnexpectedFrame,
             6 => ErrorCode::Unsupported,
+            7 => ErrorCode::UnknownDevice,
+            8 => ErrorCode::NoCampaign,
+            9 => ErrorCode::CampaignActive,
             value => {
                 return Err(WireError::BadEnum {
                     field: "error code",
@@ -193,6 +249,9 @@ impl fmt::Display for ErrorCode {
             ErrorCode::NotNegotiated => "version not negotiated",
             ErrorCode::UnexpectedFrame => "unexpected frame",
             ErrorCode::Unsupported => "unsupported operation",
+            ErrorCode::UnknownDevice => "unknown device",
+            ErrorCode::NoCampaign => "no campaign in the required state",
+            ErrorCode::CampaignActive => "campaign already active",
         };
         write!(f, "{name}")
     }
@@ -240,12 +299,16 @@ impl WireHealth {
 /// Campaign control operations (operator plane).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CampaignOp {
-    /// Pause the named cohort's campaign between waves.
+    /// Pause the named cohort's campaign between waves; the gateway
+    /// answers with [`Frame::OpPaused`] carrying the serialised record.
     Pause,
-    /// Resume a paused campaign.
+    /// Resume the gateway-retained paused campaign (resume *from bytes*
+    /// after a gateway restart is [`Frame::OpResume`]).
     Resume,
-    /// Query the campaign's wave cursor.
+    /// Query the campaign's state and wave cursor.
     Status,
+    /// Fetch the finished campaign's [`Frame::OpReport`].
+    Report,
 }
 
 impl CampaignOp {
@@ -254,6 +317,7 @@ impl CampaignOp {
             CampaignOp::Pause => 0,
             CampaignOp::Resume => 1,
             CampaignOp::Status => 2,
+            CampaignOp::Report => 3,
         }
     }
 
@@ -262,9 +326,50 @@ impl CampaignOp {
             0 => CampaignOp::Pause,
             1 => CampaignOp::Resume,
             2 => CampaignOp::Status,
+            3 => CampaignOp::Report,
             value => {
                 return Err(WireError::BadEnum {
                     field: "campaign op",
+                    value,
+                })
+            }
+        })
+    }
+}
+
+/// What a device-plane [`Frame::ProbeRequest`] asks the device to do
+/// around answering the embedded attestation challenge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeMode {
+    /// Answer the challenge from the running image — the gateway-driven
+    /// sweep probe.
+    AttestOnly,
+    /// Attest first, then reboot into the (just-updated) firmware and
+    /// smoke-run it for the embedded cycle budget — the post-update
+    /// campaign probe. `healthy` in the reply reports the smoke run.
+    UpdateProbe,
+    /// Reboot first, then attest — the post-rollback verification
+    /// probe.
+    RollbackVerify,
+}
+
+impl ProbeMode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ProbeMode::AttestOnly => 0,
+            ProbeMode::UpdateProbe => 1,
+            ProbeMode::RollbackVerify => 2,
+        }
+    }
+
+    fn from_u8(value: u8) -> Result<Self, WireError> {
+        Ok(match value {
+            0 => ProbeMode::AttestOnly,
+            1 => ProbeMode::UpdateProbe,
+            2 => ProbeMode::RollbackVerify,
+            value => {
+                return Err(WireError::BadEnum {
+                    field: "probe mode",
                     value,
                 })
             }
@@ -277,6 +382,166 @@ fn cohort_from_u8(value: u8) -> Result<WorkloadId, WireError> {
         field: "cohort",
         value,
     })
+}
+
+/// Reads a `u32`-length-prefixed byte field, validating the claim
+/// against both `max` and the bytes actually remaining *before* any
+/// allocation.
+fn read_bounded_bytes(reader: &mut Reader<'_>, max: usize) -> Result<Vec<u8>, WireError> {
+    let len = reader.u32()? as usize;
+    if len > max {
+        return Err(WireError::BadPayload(CodecError::Oversized {
+            claimed: len,
+            max,
+        }));
+    }
+    Ok(reader.take(len)?.to_vec())
+}
+
+/// Validates a list-count claim against what the remaining bytes can
+/// possibly hold (`min_item_bytes` each) — a hard typed error before
+/// any allocation, never a clamp.
+fn checked_list_count(
+    count: usize,
+    min_item_bytes: usize,
+    remaining: usize,
+) -> Result<usize, WireError> {
+    if count.saturating_mul(min_item_bytes) > remaining {
+        return Err(WireError::BadPayload(CodecError::Oversized {
+            claimed: count,
+            max: remaining / min_item_bytes.max(1),
+        }));
+    }
+    Ok(count)
+}
+
+/// Wire layout of a [`CampaignConfig`] (the [`Frame::OpBegin`]
+/// payload): `cohort:u8 ‖ target:u16 ‖ canary:f64bits ‖
+/// threshold:f64bits ‖ smoke:u64 ‖ payload_len:u32 ‖ payload`.
+fn encode_campaign_config(config: &CampaignConfig, out: &mut Vec<u8>) {
+    debug_assert!(config.payload.len() <= casu_wire::MAX_UPDATE_PAYLOAD);
+    out.push(config.cohort.index());
+    out.extend_from_slice(&config.target.to_le_bytes());
+    out.extend_from_slice(&config.canary_fraction.to_bits().to_le_bytes());
+    out.extend_from_slice(&config.failure_threshold.to_bits().to_le_bytes());
+    out.extend_from_slice(&config.smoke_cycles.to_le_bytes());
+    out.extend_from_slice(&(config.payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&config.payload);
+}
+
+/// Structural decode of a [`CampaignConfig`] — the semantic range
+/// checks (canary fraction, threshold) stay with `Campaign::new` on the
+/// gateway, exactly as they do in-process; this layer only bounds the
+/// payload like an update request's.
+fn decode_campaign_config(reader: &mut Reader<'_>) -> Result<CampaignConfig, WireError> {
+    let cohort = cohort_from_u8(reader.u8()?)?;
+    let target = reader.u16()?;
+    let canary_fraction = f64::from_bits(reader.u64()?);
+    let failure_threshold = f64::from_bits(reader.u64()?);
+    let smoke_cycles = reader.u64()?;
+    let len = reader.u32()? as usize;
+    if len > casu_wire::MAX_UPDATE_PAYLOAD {
+        return Err(WireError::BadPayload(CodecError::Oversized {
+            claimed: len,
+            max: casu_wire::MAX_UPDATE_PAYLOAD,
+        }));
+    }
+    if len == 0 {
+        return Err(WireError::BadPayload(CodecError::BadLength { len: 0 }));
+    }
+    let payload = reader.take(len)?.to_vec();
+    Ok(CampaignConfig {
+        cohort,
+        target,
+        payload,
+        canary_fraction,
+        failure_threshold,
+        smoke_cycles,
+    })
+}
+
+/// Wire layout of a [`CampaignReport`] (inside [`Frame::OpReport`]):
+/// outcome tag + fields, the per-wave stats, then the quarantined and
+/// rollback-incomplete id lists.
+fn encode_campaign_report(report: &CampaignReport, out: &mut Vec<u8>) {
+    match &report.outcome {
+        CampaignOutcome::Completed { updated } => {
+            out.push(1);
+            out.extend_from_slice(&(*updated as u32).to_le_bytes());
+        }
+        CampaignOutcome::HaltedAndRolledBack {
+            wave,
+            failure_rate,
+            rolled_back,
+        } => {
+            out.push(2);
+            out.extend_from_slice(&(*wave as u32).to_le_bytes());
+            out.extend_from_slice(&failure_rate.to_bits().to_le_bytes());
+            out.extend_from_slice(&(*rolled_back as u32).to_le_bytes());
+        }
+    }
+    out.extend_from_slice(&(report.waves.len() as u32).to_le_bytes());
+    for wave in &report.waves {
+        out.extend_from_slice(&(wave.wave as u32).to_le_bytes());
+        out.extend_from_slice(&(wave.size as u32).to_le_bytes());
+        out.extend_from_slice(&(wave.updated as u32).to_le_bytes());
+        out.extend_from_slice(&(wave.failures as u32).to_le_bytes());
+    }
+    encode_id_list(&report.quarantined, out);
+    encode_id_list(&report.rollback_incomplete, out);
+}
+
+fn decode_campaign_report(reader: &mut Reader<'_>) -> Result<CampaignReport, WireError> {
+    let outcome = match reader.u8()? {
+        1 => CampaignOutcome::Completed {
+            updated: reader.u32()? as usize,
+        },
+        2 => CampaignOutcome::HaltedAndRolledBack {
+            wave: reader.u32()? as usize,
+            failure_rate: f64::from_bits(reader.u64()?),
+            rolled_back: reader.u32()? as usize,
+        },
+        value => {
+            return Err(WireError::BadEnum {
+                field: "campaign outcome",
+                value,
+            })
+        }
+    };
+    let wave_count = checked_list_count(reader.u32()? as usize, 16, reader.remaining())?;
+    let mut waves = Vec::with_capacity(wave_count);
+    for _ in 0..wave_count {
+        waves.push(WaveReport {
+            wave: reader.u32()? as usize,
+            size: reader.u32()? as usize,
+            updated: reader.u32()? as usize,
+            failures: reader.u32()? as usize,
+        });
+    }
+    let quarantined = decode_id_list(reader)?;
+    let rollback_incomplete = decode_id_list(reader)?;
+    Ok(CampaignReport {
+        outcome,
+        waves,
+        quarantined,
+        rollback_incomplete,
+    })
+}
+
+fn encode_id_list(ids: &[u64], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+    for id in ids {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
+}
+
+fn decode_id_list(reader: &mut Reader<'_>) -> Result<Vec<u64>, WireError> {
+    let count = checked_list_count(reader.u32()? as usize, 8, reader.remaining())?;
+    let mut ids = Vec::with_capacity(count);
+    for _ in 0..count {
+        ids.push(reader.u64()?);
+    }
+    Ok(ids)
 }
 
 /// One protocol frame.
@@ -348,11 +613,14 @@ pub enum Frame {
         /// Requested operation.
         op: CampaignOp,
     },
-    /// Operator plane: campaign state echo.
+    /// Operator plane: campaign state echo. Emitted by the gateway on
+    /// every wave boundary (the reply to [`Frame::OpStep`]), on
+    /// begin/resume, and on an explicit [`CampaignOp::Status`] query.
     CampaignStatus {
         /// Target cohort.
         cohort: WorkloadId,
-        /// 0 = running, 1 = paused, 2 = finished.
+        /// [`CAMPAIGN_STATE_RUNNING`] / [`CAMPAIGN_STATE_PAUSED`] /
+        /// [`CAMPAIGN_STATE_FINISHED`] / [`CAMPAIGN_STATE_IDLE`].
         state: u8,
         /// Persisted wave cursor.
         wave_cursor: u32,
@@ -368,12 +636,139 @@ pub enum Frame {
     /// connection-scoped [`Frame::Error`], this carries the device id,
     /// so a client pipelining many exchanges on one connection can
     /// attribute a `Busy` (or `UnknownCohort`) to exactly one of them
-    /// and retry just that device.
+    /// and retry just that device. Since version 3 it is also legal
+    /// device → gateway: an agent sheds a campaign push (snapshot /
+    /// update / probe) it cannot serve right now with a device-scoped
+    /// `Busy`, and the gateway's campaign engine retries with backoff.
     DeviceError {
         /// The device whose exchange failed.
         device: u64,
         /// What went wrong.
         code: ErrorCode,
+    },
+    /// Device agent → gateway: register this connection as serving
+    /// `device`, so gateway-resident campaigns and sweeps can push
+    /// updates and probes to it. Acknowledged per device with
+    /// [`Frame::AttachAck`].
+    Attach {
+        /// The device this connection serves.
+        device: u64,
+        /// Its firmware cohort.
+        cohort: WorkloadId,
+    },
+    /// Gateway → device agent: the attach registration is live.
+    AttachAck {
+        /// The registered device.
+        device: u64,
+    },
+    /// Gateway → device agent: report the device's pre-update state —
+    /// its bytes in `[start, start+len)`, its current full-PMEM
+    /// measurement and its update engine's last accepted nonce (what
+    /// the in-process campaign reads directly; the wire backend asks
+    /// the device to report it).
+    SnapshotRequest {
+        /// The device to snapshot.
+        device: u64,
+        /// First address of the range to capture.
+        start: u16,
+        /// Bytes to capture (0 = nonce/measurement query only).
+        len: u16,
+    },
+    /// Device agent → gateway: the snapshot reply.
+    SnapshotReport {
+        /// The snapshotted device.
+        device: u64,
+        /// The device engine's last accepted update nonce.
+        last_nonce: u64,
+        /// The device's current full-PMEM measurement.
+        measurement: [u8; 32],
+        /// The requested byte range (empty for a nonce query).
+        data: Vec<u8>,
+    },
+    /// Gateway → device agent: attest (and, per [`ProbeMode`], reboot /
+    /// smoke-run) the device against the embedded challenge.
+    ProbeRequest {
+        /// The device to probe.
+        device: u64,
+        /// What to do around the attestation.
+        mode: ProbeMode,
+        /// Cycle budget of the smoke run ([`ProbeMode::UpdateProbe`]
+        /// only).
+        smoke_cycles: u64,
+        /// The attestation challenge to answer.
+        challenge: Challenge,
+    },
+    /// Device agent → gateway: the probe reply.
+    ProbeResult {
+        /// The probed device.
+        device: u64,
+        /// 1 when the smoke run (if any) ended healthy — completed or
+        /// still running; 0 on a violation reset or fault.
+        healthy: u8,
+        /// The authenticated attestation report.
+        report: AttestationReport,
+    },
+    /// Operator → gateway: load a campaign into the cohort's campaign
+    /// slot (validated gateway-side; nothing rolls out until
+    /// [`Frame::OpStep`]).
+    OpBegin {
+        /// The full campaign configuration.
+        config: CampaignConfig,
+    },
+    /// Operator → gateway: roll out exactly one wave of the cohort's
+    /// campaign. Answered with a [`Frame::CampaignStatus`] on the wave
+    /// boundary.
+    OpStep {
+        /// The campaign's cohort.
+        cohort: WorkloadId,
+    },
+    /// Operator → gateway: restore a campaign from serialised
+    /// [`PausedCampaign`](eilid_fleet::PausedCampaign) bytes — the
+    /// gateway-restart recovery path.
+    OpResume {
+        /// The `EPC1` paused-campaign record.
+        paused: Vec<u8>,
+    },
+    /// Gateway → operator: the paused campaign, serialised for the
+    /// operator to persist (the gateway also retains it for an
+    /// in-process [`CampaignOp::Resume`]).
+    OpPaused {
+        /// The paused campaign's cohort.
+        cohort: WorkloadId,
+        /// The `EPC1` paused-campaign record.
+        paused: Vec<u8>,
+    },
+    /// Gateway → operator: the finished campaign's full report.
+    OpReport {
+        /// The campaign's cohort.
+        cohort: WorkloadId,
+        /// The report, wave for wave.
+        report: CampaignReport,
+    },
+    /// Operator → gateway: run a gateway-driven attestation sweep over
+    /// every attached device.
+    OpSweep,
+    /// Gateway → operator: the sweep summary.
+    OpSweepResult {
+        /// Devices attested.
+        devices: u32,
+        /// Per-class counts: `[attested, stale, tampered, unverified]`.
+        counts: [u32; 4],
+        /// Devices in a non-attested class, in id order.
+        flagged: Vec<(u64, WireHealth)>,
+    },
+    /// Operator → gateway: health/ledger query.
+    OpHealth,
+    /// Gateway → operator: the health summary.
+    OpHealthResult {
+        /// Attached device-plane registrations.
+        attached: u32,
+        /// Campaign slots with a run loaded (stepping or finished).
+        active_campaigns: u32,
+        /// Campaign slots holding a gateway-retained paused record.
+        paused_campaigns: u32,
+        /// Events in the gateway's campaign ledger.
+        ledger_events: u32,
     },
 }
 
@@ -393,6 +788,21 @@ impl Frame {
             Frame::Error { .. } => 0x0B,
             Frame::Bye => 0x0C,
             Frame::DeviceError { .. } => 0x0D,
+            Frame::Attach { .. } => 0x0E,
+            Frame::AttachAck { .. } => 0x0F,
+            Frame::SnapshotRequest { .. } => 0x10,
+            Frame::SnapshotReport { .. } => 0x11,
+            Frame::ProbeRequest { .. } => 0x12,
+            Frame::ProbeResult { .. } => 0x13,
+            Frame::OpBegin { .. } => 0x14,
+            Frame::OpStep { .. } => 0x15,
+            Frame::OpResume { .. } => 0x16,
+            Frame::OpPaused { .. } => 0x17,
+            Frame::OpReport { .. } => 0x18,
+            Frame::OpSweep => 0x19,
+            Frame::OpSweepResult { .. } => 0x1A,
+            Frame::OpHealth => 0x1B,
+            Frame::OpHealthResult { .. } => 0x1C,
         }
     }
 
@@ -449,6 +859,91 @@ impl Frame {
                 out.extend_from_slice(&device.to_le_bytes());
                 out.push(code.to_u8());
             }
+            Frame::Attach { device, cohort } => {
+                out.extend_from_slice(&device.to_le_bytes());
+                out.push(cohort.index());
+            }
+            Frame::AttachAck { device } => out.extend_from_slice(&device.to_le_bytes()),
+            Frame::SnapshotRequest { device, start, len } => {
+                out.extend_from_slice(&device.to_le_bytes());
+                out.extend_from_slice(&start.to_le_bytes());
+                out.extend_from_slice(&len.to_le_bytes());
+            }
+            Frame::SnapshotReport {
+                device,
+                last_nonce,
+                measurement,
+                data,
+            } => {
+                out.extend_from_slice(&device.to_le_bytes());
+                out.extend_from_slice(&last_nonce.to_le_bytes());
+                out.extend_from_slice(measurement);
+                out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+                out.extend_from_slice(data);
+            }
+            Frame::ProbeRequest {
+                device,
+                mode,
+                smoke_cycles,
+                challenge,
+            } => {
+                out.extend_from_slice(&device.to_le_bytes());
+                out.push(mode.to_u8());
+                out.extend_from_slice(&smoke_cycles.to_le_bytes());
+                casu_wire::encode_challenge(challenge, out);
+            }
+            Frame::ProbeResult {
+                device,
+                healthy,
+                report,
+            } => {
+                out.extend_from_slice(&device.to_le_bytes());
+                out.push(*healthy);
+                casu_wire::encode_report(report, out);
+            }
+            Frame::OpBegin { config } => encode_campaign_config(config, out),
+            Frame::OpStep { cohort } => out.push(cohort.index()),
+            Frame::OpResume { paused } => {
+                out.extend_from_slice(&(paused.len() as u32).to_le_bytes());
+                out.extend_from_slice(paused);
+            }
+            Frame::OpPaused { cohort, paused } => {
+                out.push(cohort.index());
+                out.extend_from_slice(&(paused.len() as u32).to_le_bytes());
+                out.extend_from_slice(paused);
+            }
+            Frame::OpReport { cohort, report } => {
+                out.push(cohort.index());
+                encode_campaign_report(report, out);
+            }
+            Frame::OpSweep => {}
+            Frame::OpSweepResult {
+                devices,
+                counts,
+                flagged,
+            } => {
+                out.extend_from_slice(&devices.to_le_bytes());
+                for count in counts {
+                    out.extend_from_slice(&count.to_le_bytes());
+                }
+                out.extend_from_slice(&(flagged.len() as u32).to_le_bytes());
+                for (device, class) in flagged {
+                    out.extend_from_slice(&device.to_le_bytes());
+                    out.push(class.to_u8());
+                }
+            }
+            Frame::OpHealth => {}
+            Frame::OpHealthResult {
+                attached,
+                active_campaigns,
+                paused_campaigns,
+                ledger_events,
+            } => {
+                out.extend_from_slice(&attached.to_le_bytes());
+                out.extend_from_slice(&active_campaigns.to_le_bytes());
+                out.extend_from_slice(&paused_campaigns.to_le_bytes());
+                out.extend_from_slice(&ledger_events.to_le_bytes());
+            }
         }
     }
 
@@ -503,6 +998,86 @@ impl Frame {
                 device: reader.u64()?,
                 code: ErrorCode::from_u8(reader.u8()?)?,
             },
+            0x0E => Frame::Attach {
+                device: reader.u64()?,
+                cohort: cohort_from_u8(reader.u8()?)?,
+            },
+            0x0F => Frame::AttachAck {
+                device: reader.u64()?,
+            },
+            0x10 => Frame::SnapshotRequest {
+                device: reader.u64()?,
+                start: reader.u16()?,
+                len: reader.u16()?,
+            },
+            0x11 => {
+                let device = reader.u64()?;
+                let last_nonce = reader.u64()?;
+                let measurement = reader.array()?;
+                let data = read_bounded_bytes(&mut reader, casu_wire::MAX_UPDATE_PAYLOAD)?;
+                Frame::SnapshotReport {
+                    device,
+                    last_nonce,
+                    measurement,
+                    data,
+                }
+            }
+            0x12 => Frame::ProbeRequest {
+                device: reader.u64()?,
+                mode: ProbeMode::from_u8(reader.u8()?)?,
+                smoke_cycles: reader.u64()?,
+                challenge: casu_wire::decode_challenge(&mut reader)?,
+            },
+            0x13 => Frame::ProbeResult {
+                device: reader.u64()?,
+                healthy: reader.u8()?,
+                report: casu_wire::decode_report(&mut reader)?,
+            },
+            0x14 => Frame::OpBegin {
+                config: decode_campaign_config(&mut reader)?,
+            },
+            0x15 => Frame::OpStep {
+                cohort: cohort_from_u8(reader.u8()?)?,
+            },
+            0x16 => Frame::OpResume {
+                paused: read_bounded_bytes(&mut reader, MAX_OP_PAYLOAD)?,
+            },
+            0x17 => {
+                let cohort = cohort_from_u8(reader.u8()?)?;
+                let paused = read_bounded_bytes(&mut reader, MAX_OP_PAYLOAD)?;
+                Frame::OpPaused { cohort, paused }
+            }
+            0x18 => {
+                let cohort = cohort_from_u8(reader.u8()?)?;
+                let report = decode_campaign_report(&mut reader)?;
+                Frame::OpReport { cohort, report }
+            }
+            0x19 => Frame::OpSweep,
+            0x1A => {
+                let devices = reader.u32()?;
+                let mut counts = [0u32; 4];
+                for count in &mut counts {
+                    *count = reader.u32()?;
+                }
+                let flagged_count =
+                    checked_list_count(reader.u32()? as usize, 9, reader.remaining())?;
+                let mut flagged = Vec::with_capacity(flagged_count);
+                for _ in 0..flagged_count {
+                    flagged.push((reader.u64()?, WireHealth::from_u8(reader.u8()?)?));
+                }
+                Frame::OpSweepResult {
+                    devices,
+                    counts,
+                    flagged,
+                }
+            }
+            0x1B => Frame::OpHealth,
+            0x1C => Frame::OpHealthResult {
+                attached: reader.u32()?,
+                active_campaigns: reader.u32()?,
+                paused_campaigns: reader.u32()?,
+                ledger_events: reader.u32()?,
+            },
             other => return Err(WireError::UnknownFrameType(other)),
         };
         if !reader.is_empty() {
@@ -535,7 +1110,7 @@ impl Frame {
         let payload_at = out.len();
         self.encode_payload(out);
         let payload_len = out.len() - payload_at;
-        debug_assert!(payload_len <= MAX_FRAME_PAYLOAD);
+        debug_assert!(payload_len <= max_payload_for(self.type_byte()));
         out[header_at + 6..header_at + 10].copy_from_slice(&(payload_len as u32).to_le_bytes());
     }
 
@@ -628,11 +1203,12 @@ impl FrameDecoder {
         }
         let type_byte = self.buf[5];
         let len = u32::from_le_bytes([self.buf[6], self.buf[7], self.buf[8], self.buf[9]]) as usize;
-        if len > MAX_FRAME_PAYLOAD {
-            return Err(WireError::Oversized {
-                claimed: len,
-                max: MAX_FRAME_PAYLOAD,
-            });
+        // The ceiling is per frame type (the two paused-campaign
+        // carriers get a larger one) and still enforced before any
+        // payload is buffered.
+        let max = max_payload_for(type_byte);
+        if len > max {
+            return Err(WireError::Oversized { claimed: len, max });
         }
         let total = FRAME_HEADER_LEN + len;
         if self.buf.len() < total {

@@ -1,0 +1,272 @@
+//! Satellite regression: a device-scoped `DeviceError{Busy}` shed by a
+//! device agent during a campaign push (snapshot, update or probe) must
+//! be *retried with backoff* by the gateway's campaign engine — never
+//! counted as a probe failure. A scripted agent sheds the first few
+//! pushes; the campaign still completes with zero failures and a report
+//! identical to an in-process run on an unshedding fleet.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use eilid::RunOutcome;
+use eilid_casu::DeviceKey;
+use eilid_fleet::fixtures::{benign_patch, BENIGN_PATCH_TARGET};
+use eilid_fleet::{
+    CampaignConfig, CampaignOutcome, Fleet, FleetBuilder, FleetOps, LocalOps, OpsError, Verifier,
+};
+use eilid_net::{
+    AttestationService, ErrorCode, Frame, Gateway, GatewayConfig, NetError, ProbeMode, RemoteOps,
+    TcpTransport, Transport, PROTOCOL_VERSION,
+};
+use eilid_workloads::WorkloadId;
+
+const ROOT: &[u8] = b"fleet-root-key-0123456789abcdef";
+const COHORT: WorkloadId = WorkloadId::LightSensor;
+
+fn build(devices: usize) -> (Fleet, Verifier) {
+    FleetBuilder::new(DeviceKey::new(ROOT).unwrap())
+        .devices(devices)
+        .threads(2)
+        .workloads(&[COHORT])
+        .build()
+        .unwrap()
+}
+
+fn config() -> CampaignConfig {
+    let mut config = CampaignConfig::new(COHORT, BENIGN_PATCH_TARGET, benign_patch());
+    config.smoke_cycles = 200_000;
+    config
+}
+
+/// A hand-rolled device agent that sheds the first `sheds` campaign
+/// pushes of each kind with a device-scoped `Busy` before serving
+/// normally — the device-side shape of transient backpressure.
+fn scripted_busy_agent(
+    addr: std::net::SocketAddr,
+    devices: &mut [eilid_fleet::SimDevice],
+    scheme: eilid_casu::MeasurementScheme,
+    mut sheds: usize,
+    stop: &std::sync::atomic::AtomicBool,
+) -> Result<(), NetError> {
+    let mut transport = TcpTransport::connect_with_timeout(addr, Duration::from_millis(100))?;
+    transport.send(&Frame::Hello {
+        min_version: PROTOCOL_VERSION,
+        max_version: PROTOCOL_VERSION,
+    })?;
+    assert!(matches!(transport.recv()?, Frame::HelloAck { .. }));
+    let attaches: Vec<Frame> = devices
+        .iter()
+        .map(|device| Frame::Attach {
+            device: device.id(),
+            cohort: device.cohort(),
+        })
+        .collect();
+    transport.send_batch(&attaches)?;
+    let mut acked = 0;
+    while acked < devices.len() {
+        match transport.recv() {
+            Ok(Frame::AttachAck { .. }) => acked += 1,
+            Ok(other) => panic!("unexpected frame during attach: {other:?}"),
+            Err(NetError::Timeout) => continue,
+            Err(err) => return Err(err),
+        }
+    }
+
+    let find = |devices: &mut [eilid_fleet::SimDevice], id: u64| {
+        devices.iter_mut().position(|d| d.id() == id).unwrap()
+    };
+    loop {
+        let frame = match transport.recv() {
+            Ok(frame) => frame,
+            Err(NetError::Timeout) => {
+                if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(NetError::Closed) => return Ok(()),
+            Err(err) => return Err(err),
+        };
+        // Shed the first pushes of any kind: the engine must retry,
+        // not fail the device.
+        let device_of = match &frame {
+            Frame::SnapshotRequest { device, .. }
+            | Frame::UpdateRequest { device, .. }
+            | Frame::ProbeRequest { device, .. } => Some(*device),
+            _ => None,
+        };
+        if let Some(device) = device_of {
+            if sheds > 0 {
+                sheds -= 1;
+                transport.send(&Frame::DeviceError {
+                    device,
+                    code: ErrorCode::Busy,
+                })?;
+                continue;
+            }
+        }
+        match frame {
+            Frame::SnapshotRequest { device, start, len } => {
+                let index = find(devices, device);
+                let sim = &mut devices[index];
+                let last_nonce = sim.engine().last_nonce();
+                let memory = &sim.device().cpu().memory;
+                let measurement = scheme.measure_pmem(memory, sim.device().layout());
+                let data = memory
+                    .slice(usize::from(start)..usize::from(start) + usize::from(len))
+                    .to_vec();
+                transport.send(&Frame::SnapshotReport {
+                    device,
+                    last_nonce,
+                    measurement,
+                    data,
+                })?;
+            }
+            Frame::UpdateRequest { device, request } => {
+                let index = find(devices, device);
+                let status = match devices[index].apply_update(&request) {
+                    Ok(()) => 0,
+                    Err(_) => 1,
+                };
+                transport.send(&Frame::UpdateResult { device, status })?;
+            }
+            Frame::ProbeRequest {
+                device,
+                mode,
+                smoke_cycles,
+                challenge,
+            } => {
+                let index = find(devices, device);
+                let sim = &mut devices[index];
+                let (healthy, report) = match mode {
+                    ProbeMode::AttestOnly => (1, sim.attest(challenge)),
+                    ProbeMode::UpdateProbe => {
+                        let report = sim.attest(challenge);
+                        sim.reboot();
+                        let outcome = sim.run_slice(smoke_cycles);
+                        let healthy = matches!(
+                            outcome,
+                            RunOutcome::Completed { .. } | RunOutcome::Timeout { .. }
+                        );
+                        (u8::from(healthy), report)
+                    }
+                    ProbeMode::RollbackVerify => {
+                        sim.reboot();
+                        (1, sim.attest(challenge))
+                    }
+                };
+                transport.send(&Frame::ProbeResult {
+                    device,
+                    healthy,
+                    report,
+                })?;
+            }
+            Frame::Bye => return Ok(()),
+            other => panic!("unexpected frame at scripted agent: {other:?}"),
+        }
+    }
+}
+
+/// Busy sheds during campaign pushes are invisible in the report: the
+/// engine retries with backoff and every wave completes with zero
+/// failures, identical to an in-process run that never saw a shed.
+#[test]
+fn busy_sheds_during_campaign_pushes_are_retried_not_probe_failed() {
+    // In-process reference on an identical fleet.
+    let (mut fleet_a, mut verifier_a) = build(8);
+    let report_a = LocalOps::new(&mut fleet_a, &mut verifier_a)
+        .run_campaign(&config())
+        .unwrap();
+    assert_eq!(report_a.outcome, CampaignOutcome::Completed { updated: 8 });
+
+    // Wire run through a scripted agent that sheds the first 5 pushes.
+    let (mut fleet_b, mut verifier_b) = build(8);
+    let service = Arc::new(AttestationService::new(
+        verifier_b.service_snapshot(1 << 20),
+    ));
+    let handle = Gateway::bind(
+        ("127.0.0.1", 0),
+        service,
+        GatewayConfig {
+            workers: 2,
+            ..GatewayConfig::default()
+        },
+    )
+    .unwrap()
+    .spawn();
+    let addr = handle.addr();
+
+    let scheme = fleet_b.scheme();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let report_b = std::thread::scope(|scope| {
+        let agent =
+            scope.spawn(|| scripted_busy_agent(addr, fleet_b.devices_mut(), scheme, 5, &stop));
+        // The agent attaches before serving; give it a moment, then
+        // drive the campaign.
+        std::thread::sleep(Duration::from_millis(200));
+        let mut ops = RemoteOps::connect(addr).map_err(|e| OpsError::Backend(e.to_string()))?;
+        let report = ops.run_campaign(&config())?;
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        agent.join().expect("agent thread panicked").unwrap();
+        Ok::<_, OpsError>(report)
+    })
+    .unwrap();
+    handle.shutdown().unwrap();
+
+    assert_eq!(
+        report_b, report_a,
+        "busy sheds must be retried away, leaving the report identical"
+    );
+    assert!(
+        report_b.waves.iter().all(|wave| wave.failures == 0),
+        "no shed may surface as a wave failure: {:?}",
+        report_b.waves
+    );
+}
+
+/// A device that stays busy past the engine's retry budget is *then* a
+/// failure — bounded retries, not an infinite loop.
+#[test]
+fn permanently_busy_device_eventually_fails_the_wave() {
+    let (mut fleet, mut verifier) = build(4);
+    let service = Arc::new(AttestationService::new(verifier.service_snapshot(1 << 20)));
+    let handle = Gateway::bind(
+        ("127.0.0.1", 0),
+        service,
+        GatewayConfig {
+            workers: 2,
+            ops_timeout: Duration::from_secs(2),
+            ..GatewayConfig::default()
+        },
+    )
+    .unwrap()
+    .spawn();
+    let addr = handle.addr();
+
+    let scheme = fleet.scheme();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    // Shed effectively forever: every push is answered Busy.
+    let report = std::thread::scope(|scope| {
+        let agent = scope
+            .spawn(|| scripted_busy_agent(addr, fleet.devices_mut(), scheme, usize::MAX, &stop));
+        std::thread::sleep(Duration::from_millis(200));
+        let mut ops = RemoteOps::connect(addr).map_err(|e| OpsError::Backend(e.to_string()))?;
+        let report = ops.run_campaign(&config())?;
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        agent.join().expect("agent thread panicked").unwrap();
+        Ok::<_, OpsError>(report)
+    })
+    .unwrap();
+    handle.shutdown().unwrap();
+
+    // Every wave fails outright (no snapshot ever lands), the campaign
+    // halts at the canary, and nothing was updated to roll back.
+    assert!(matches!(
+        report.outcome,
+        CampaignOutcome::HaltedAndRolledBack {
+            wave: 0,
+            rolled_back: 0,
+            ..
+        }
+    ));
+}

@@ -3,9 +3,10 @@
 //! typed errors — never a panic, never an unbounded allocation.
 
 use eilid_casu::{AttestationReport, Challenge, UpdateRequest};
+use eilid_fleet::{CampaignConfig, CampaignOutcome, CampaignReport, WaveReport};
 use eilid_net::{
-    ErrorCode, Frame, FrameDecoder, WireError, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD,
-    PROTOCOL_VERSION,
+    ErrorCode, Frame, FrameDecoder, ProbeMode, WireError, WireHealth, FRAME_HEADER_LEN,
+    MAX_FRAME_PAYLOAD, MAX_OP_PAYLOAD, PROTOCOL_VERSION,
 };
 use eilid_workloads::WorkloadId;
 use proptest::prelude::*;
@@ -63,7 +64,89 @@ fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
         Just(ErrorCode::NotNegotiated),
         Just(ErrorCode::UnexpectedFrame),
         Just(ErrorCode::Unsupported),
+        Just(ErrorCode::UnknownDevice),
+        Just(ErrorCode::NoCampaign),
+        Just(ErrorCode::CampaignActive),
     ]
+}
+
+fn arb_probe_mode() -> impl Strategy<Value = ProbeMode> {
+    prop_oneof![
+        Just(ProbeMode::AttestOnly),
+        Just(ProbeMode::UpdateProbe),
+        Just(ProbeMode::RollbackVerify),
+    ]
+}
+
+fn arb_wire_health() -> impl Strategy<Value = WireHealth> {
+    prop_oneof![
+        Just(WireHealth::Attested),
+        Just(WireHealth::Stale),
+        Just(WireHealth::Tampered),
+        Just(WireHealth::Unverified),
+    ]
+}
+
+/// Finite staging fractions only: the codec round-trips any f64 bits,
+/// but `CampaignConfig`'s derived `PartialEq` (like any f64 compare)
+/// cannot witness NaN == NaN.
+fn arb_campaign_config() -> impl Strategy<Value = CampaignConfig> {
+    (
+        arb_cohort(),
+        any::<u16>(),
+        proptest::collection::vec(0u8..=255, 1..64),
+        (1u32..=10, 0u32..=4, any::<u64>()),
+    )
+        .prop_map(
+            |(cohort, target, payload, (canary, threshold, smoke_cycles))| CampaignConfig {
+                cohort,
+                target,
+                payload,
+                canary_fraction: f64::from(canary) / 10.0,
+                failure_threshold: f64::from(threshold) / 4.0,
+                smoke_cycles,
+            },
+        )
+}
+
+fn arb_wave_report() -> impl Strategy<Value = WaveReport> {
+    (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()).prop_map(
+        |(wave, size, updated, failures)| WaveReport {
+            wave: wave as usize,
+            size: size as usize,
+            updated: updated as usize,
+            failures: failures as usize,
+        },
+    )
+}
+
+fn arb_campaign_report() -> impl Strategy<Value = CampaignReport> {
+    let outcome = prop_oneof![
+        any::<u32>().prop_map(|updated| CampaignOutcome::Completed {
+            updated: updated as usize,
+        }),
+        (any::<u32>(), 0u32..=100, any::<u32>()).prop_map(|(wave, rate, rolled_back)| {
+            CampaignOutcome::HaltedAndRolledBack {
+                wave: wave as usize,
+                failure_rate: f64::from(rate) / 100.0,
+                rolled_back: rolled_back as usize,
+            }
+        }),
+    ];
+    (
+        outcome,
+        proptest::collection::vec(arb_wave_report(), 0..6),
+        proptest::collection::vec(any::<u64>(), 0..8),
+        proptest::collection::vec(any::<u64>(), 0..8),
+    )
+        .prop_map(
+            |(outcome, waves, quarantined, rollback_incomplete)| CampaignReport {
+                outcome,
+                waves,
+                quarantined,
+                rollback_incomplete,
+            },
+        )
 }
 
 fn arb_frame() -> impl Strategy<Value = Frame> {
@@ -91,12 +174,13 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             .prop_map(|(device, request)| Frame::UpdateRequest { device, request }),
         (any::<u64>(), any::<u8>())
             .prop_map(|(device, status)| Frame::UpdateResult { device, status }),
-        (arb_cohort(), 0u8..=2).prop_map(|(cohort, op)| Frame::CampaignControl {
+        (arb_cohort(), 0u8..=3).prop_map(|(cohort, op)| Frame::CampaignControl {
             cohort,
             op: match op {
                 0 => eilid_net::CampaignOp::Pause,
                 1 => eilid_net::CampaignOp::Resume,
-                _ => eilid_net::CampaignOp::Status,
+                2 => eilid_net::CampaignOp::Status,
+                _ => eilid_net::CampaignOp::Report,
             },
         }),
         (arb_cohort(), any::<u8>(), any::<u32>()).prop_map(|(cohort, state, wave_cursor)| {
@@ -110,6 +194,75 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         Just(Frame::Bye),
         (any::<u64>(), arb_error_code())
             .prop_map(|(device, code)| Frame::DeviceError { device, code }),
+        // --- version 3: device plane + operator plane ---
+        (any::<u64>(), arb_cohort()).prop_map(|(device, cohort)| Frame::Attach { device, cohort }),
+        any::<u64>().prop_map(|device| Frame::AttachAck { device }),
+        (any::<u64>(), any::<u16>(), any::<u16>())
+            .prop_map(|(device, start, len)| { Frame::SnapshotRequest { device, start, len } }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            arb_array32(),
+            proptest::collection::vec(0u8..=255, 0..128),
+        )
+            .prop_map(
+                |(device, last_nonce, measurement, data)| Frame::SnapshotReport {
+                    device,
+                    last_nonce,
+                    measurement,
+                    data,
+                }
+            ),
+        (
+            any::<u64>(),
+            arb_probe_mode(),
+            any::<u64>(),
+            arb_challenge()
+        )
+            .prop_map(
+                |(device, mode, smoke_cycles, challenge)| Frame::ProbeRequest {
+                    device,
+                    mode,
+                    smoke_cycles,
+                    challenge,
+                },
+            ),
+        (any::<u64>(), 0u8..=1, arb_report()).prop_map(|(device, healthy, report)| {
+            Frame::ProbeResult {
+                device,
+                healthy,
+                report,
+            }
+        }),
+        arb_campaign_config().prop_map(|config| Frame::OpBegin { config }),
+        arb_cohort().prop_map(|cohort| Frame::OpStep { cohort }),
+        proptest::collection::vec(0u8..=255, 0..512).prop_map(|paused| Frame::OpResume { paused }),
+        (arb_cohort(), proptest::collection::vec(0u8..=255, 0..512))
+            .prop_map(|(cohort, paused)| Frame::OpPaused { cohort, paused }),
+        (arb_cohort(), arb_campaign_report())
+            .prop_map(|(cohort, report)| Frame::OpReport { cohort, report }),
+        Just(Frame::OpSweep),
+        (
+            any::<u32>(),
+            (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()),
+            proptest::collection::vec((any::<u64>(), arb_wire_health()), 0..16),
+        )
+            .prop_map(|(devices, (a, s, t, u), flagged)| Frame::OpSweepResult {
+                devices,
+                counts: [a, s, t, u],
+                flagged,
+            }),
+        Just(Frame::OpHealth),
+        (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()).prop_map(
+            |(attached, active_campaigns, paused_campaigns, ledger_events)| {
+                Frame::OpHealthResult {
+                    attached,
+                    active_campaigns,
+                    paused_campaigns,
+                    ledger_events,
+                }
+            },
+        ),
     ]
 }
 
@@ -121,7 +274,16 @@ proptest! {
     fn frame_round_trips(frame in arb_frame()) {
         let bytes = frame.encode();
         prop_assert!(bytes.len() >= FRAME_HEADER_LEN);
-        prop_assert!(bytes.len() <= FRAME_HEADER_LEN + MAX_FRAME_PAYLOAD);
+        // The paused-campaign carriers get the larger operator-plane
+        // ceiling; everything else stays under the regular one.
+        let ceiling = match frame {
+            Frame::OpResume { .. }
+            | Frame::OpPaused { .. }
+            | Frame::OpReport { .. }
+            | Frame::OpSweepResult { .. } => MAX_OP_PAYLOAD,
+            _ => MAX_FRAME_PAYLOAD,
+        };
+        prop_assert!(bytes.len() <= FRAME_HEADER_LEN + ceiling);
         let decoded = Frame::decode(&bytes).expect("well-formed frames decode");
         prop_assert_eq!(decoded, frame);
     }
@@ -253,6 +415,144 @@ fn malformed_corpus_yields_clean_typed_errors() {
     request[28..32].copy_from_slice(&(u32::MAX).to_le_bytes());
     assert!(matches!(
         Frame::decode(&request),
+        Err(WireError::BadPayload(_))
+    ));
+}
+
+/// Malformed operator-plane and device-plane (version 3) frames die
+/// with clean typed errors — the `CampaignStatus` coverage the frames
+/// gained when the gateway started emitting them on wave boundaries,
+/// plus the bigger structures around them.
+#[test]
+fn malformed_operator_plane_corpus_yields_clean_typed_errors() {
+    // CampaignStatus: truncated at every strict prefix.
+    let status = Frame::CampaignStatus {
+        cohort: WorkloadId::LightSensor,
+        state: eilid_net::CAMPAIGN_STATE_RUNNING,
+        wave_cursor: 3,
+    }
+    .encode();
+    for cut in 0..status.len() {
+        assert!(matches!(
+            Frame::decode(&status[..cut]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+    // CampaignStatus: unknown cohort discriminant (first payload byte).
+    let mut bad_cohort = status.clone();
+    bad_cohort[FRAME_HEADER_LEN] = 0xEE;
+    assert!(matches!(
+        Frame::decode(&bad_cohort),
+        Err(WireError::BadEnum {
+            field: "cohort",
+            ..
+        })
+    ));
+    // CampaignStatus: trailing bytes past the fixed structure.
+    let mut trailing = status.clone();
+    trailing.push(0xAA);
+    trailing[6..10].copy_from_slice(&7u32.to_le_bytes());
+    assert!(matches!(
+        Frame::decode(&trailing),
+        Err(WireError::TrailingBytes { .. })
+    ));
+
+    // OpBegin: a zero-length campaign payload is structurally invalid
+    // (like an empty update payload).
+    let mut begin = Frame::OpBegin {
+        config: CampaignConfig::new(WorkloadId::LightSensor, 0xF600, vec![1, 2, 3]),
+    }
+    .encode();
+    // Payload length sits after header(10) + cohort(1) + target(2) + 3×u64(24).
+    begin[37..41].copy_from_slice(&0u32.to_le_bytes());
+    begin.truncate(41);
+    begin[6..10].copy_from_slice(&31u32.to_le_bytes());
+    assert!(matches!(
+        Frame::decode(&begin),
+        Err(WireError::BadPayload(_))
+    ));
+
+    // OpPaused: a length claim past the operator-plane ceiling is
+    // rejected from the header alone, before any payload is buffered.
+    let mut paused = Frame::OpPaused {
+        cohort: WorkloadId::LightSensor,
+        paused: vec![0; 8],
+    }
+    .encode();
+    paused[6..10].copy_from_slice(&((MAX_OP_PAYLOAD + 1) as u32).to_le_bytes());
+    assert_eq!(
+        Frame::decode(&paused),
+        Err(WireError::Oversized {
+            claimed: MAX_OP_PAYLOAD + 1,
+            max: MAX_OP_PAYLOAD,
+        })
+    );
+    // ...and an *inner* record-length claim exceeding what the frame
+    // holds is a typed payload error.
+    let mut paused = Frame::OpPaused {
+        cohort: WorkloadId::LightSensor,
+        paused: vec![0; 8],
+    }
+    .encode();
+    paused[11..15].copy_from_slice(&(u32::MAX).to_le_bytes());
+    assert!(matches!(
+        Frame::decode(&paused),
+        Err(WireError::BadPayload(_)) | Err(WireError::Truncated { .. })
+    ));
+
+    // ProbeRequest: unknown probe mode discriminant.
+    let mut probe = Frame::ProbeRequest {
+        device: 1,
+        mode: ProbeMode::UpdateProbe,
+        smoke_cycles: 1000,
+        challenge: Challenge {
+            nonce: 1,
+            start: 0xE000,
+            end: 0xF7FF,
+        },
+    }
+    .encode();
+    probe[FRAME_HEADER_LEN + 8] = 0x77; // mode byte, after the device id
+    assert!(matches!(
+        Frame::decode(&probe),
+        Err(WireError::BadEnum {
+            field: "probe mode",
+            ..
+        })
+    ));
+
+    // OpReport: unknown outcome tag.
+    let mut report = Frame::OpReport {
+        cohort: WorkloadId::LightSensor,
+        report: CampaignReport {
+            outcome: CampaignOutcome::Completed { updated: 4 },
+            waves: vec![],
+            quarantined: vec![],
+            rollback_incomplete: vec![],
+        },
+    }
+    .encode();
+    report[FRAME_HEADER_LEN + 1] = 0x99; // outcome tag, after the cohort
+    assert!(matches!(
+        Frame::decode(&report),
+        Err(WireError::BadEnum {
+            field: "campaign outcome",
+            ..
+        })
+    ));
+
+    // OpSweepResult: a flagged-list count the remaining bytes cannot
+    // hold is rejected before any allocation.
+    let mut sweep = Frame::OpSweepResult {
+        devices: 2,
+        counts: [2, 0, 0, 0],
+        flagged: vec![],
+    }
+    .encode();
+    let at = sweep.len() - 4; // the (empty) flagged count is last
+    sweep[at..].copy_from_slice(&(u32::MAX).to_le_bytes());
+    assert!(matches!(
+        Frame::decode(&sweep),
         Err(WireError::BadPayload(_))
     ));
 }

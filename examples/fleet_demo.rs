@@ -10,7 +10,7 @@ use eilid_casu::DeviceKey;
 use eilid_fleet::fixtures::{
     benign_patch, bricking_patch, BENIGN_PATCH_TARGET, BRICKING_PATCH_TARGET,
 };
-use eilid_fleet::{Campaign, CampaignConfig, CampaignOutcome, FleetBuilder, HealthClass};
+use eilid_fleet::{CampaignConfig, CampaignOutcome, FleetBuilder, FleetOps, HealthClass, LocalOps};
 use eilid_workloads::WorkloadId;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -47,14 +47,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sweep.devices_in(HealthClass::Tampered)
     );
 
-    // 4. A bad OTA campaign: the patch bricks its first instruction. The
-    //    canary wave catches it; the campaign halts and rolls back.
-    let report = Campaign::new(CampaignConfig::new(
+    // 4. A bad OTA campaign, driven through the unified operator plane
+    //    (the same `FleetOps` calls drive a remote gateway in
+    //    `examples/operator_plane.rs`): the patch bricks its first
+    //    instruction. The canary wave catches it; the campaign halts
+    //    and rolls back.
+    let report = LocalOps::new(&mut fleet, &mut verifier).run_campaign(&CampaignConfig::new(
         WorkloadId::LightSensor,
         BRICKING_PATCH_TARGET,
         bricking_patch(),
-    ))?
-    .run(&mut fleet, &mut verifier)?;
+    ))?;
     match report.outcome {
         CampaignOutcome::HaltedAndRolledBack {
             wave,
@@ -69,12 +71,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5. A good campaign: a benign data patch below the trampolines rolls
     //    out canary-first and completes; the new image becomes golden.
-    let report = Campaign::new(CampaignConfig::new(
+    let report = LocalOps::new(&mut fleet, &mut verifier).run_campaign(&CampaignConfig::new(
         WorkloadId::LightSensor,
         BENIGN_PATCH_TARGET,
         benign_patch(),
-    ))?
-    .run(&mut fleet, &mut verifier)?;
+    ))?;
     println!(
         "good campaign: {:?} across {} wave(s)\n",
         report.outcome,

@@ -1,0 +1,71 @@
+//! Operator-plane demo: the same `FleetOps` scenario — a staged OTA
+//! campaign plus a post-campaign attestation sweep — driven first
+//! through the in-process backend, then over real loopback TCP through
+//! an attestation gateway's campaign engine, with the two reports
+//! compared at the end.
+//!
+//! Run with `cargo run --example operator_plane`.
+
+use std::sync::Arc;
+
+use eilid_casu::DeviceKey;
+use eilid_fleet::fixtures::{benign_patch, BENIGN_PATCH_TARGET};
+use eilid_fleet::{
+    CampaignConfig, CampaignReport, FleetBuilder, FleetOps, LocalOps, OpsError, SweepSummary,
+};
+use eilid_net::{with_attached_fleet, AttestationService, Gateway, GatewayConfig, RemoteOps};
+use eilid_workloads::WorkloadId;
+
+/// The scenario is written once, against the trait: neither the
+/// campaign nor the sweep can tell which backend is underneath.
+fn scenario(ops: &mut dyn FleetOps) -> Result<(CampaignReport, SweepSummary), OpsError> {
+    let config = CampaignConfig::new(WorkloadId::LightSensor, BENIGN_PATCH_TARGET, benign_patch());
+    let report = ops.run_campaign(&config)?;
+    let sweep = ops.sweep()?;
+    Ok((report, sweep))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let root = DeviceKey::new(b"operator-plane-demo-root-key-012")?;
+    let build = || {
+        FleetBuilder::new(root.clone())
+            .devices(24)
+            .threads(4)
+            .workloads(&[WorkloadId::LightSensor])
+            .build()
+    };
+
+    // 1. In-process backend.
+    let (mut fleet, mut verifier) = build()?;
+    let (local_report, local_sweep) = scenario(&mut LocalOps::new(&mut fleet, &mut verifier))?;
+    println!(
+        "in-process backend: {:?}, {} waves, sweep {} attested",
+        local_report.outcome,
+        local_report.waves.len(),
+        local_sweep.devices,
+    );
+
+    // 2. Wire backend: gateway + device agents over loopback TCP, the
+    //    operator console a `RemoteOps` speaking campaign frames.
+    let (mut fleet, mut verifier) = build()?;
+    let service = Arc::new(AttestationService::new(verifier.service_snapshot(1 << 24)));
+    let handle = Gateway::bind(("127.0.0.1", 0), service, GatewayConfig::default())?.spawn();
+    let addr = handle.addr();
+    let (remote_report, remote_sweep) = with_attached_fleet(&mut fleet, 3, addr, || {
+        let mut ops = RemoteOps::connect(addr).map_err(|e| OpsError::Backend(e.to_string()))?;
+        scenario(&mut ops)
+    })??;
+    handle.shutdown()?;
+    println!(
+        "wire backend:       {:?}, {} waves, sweep {} attested (over TCP)",
+        remote_report.outcome,
+        remote_report.waves.len(),
+        remote_sweep.devices,
+    );
+
+    // 3. The whole point of the unified surface:
+    assert_eq!(remote_report, local_report);
+    assert_eq!(remote_sweep, local_sweep);
+    println!("backends agree wave-for-wave: one operator plane, two transports");
+    Ok(())
+}

@@ -47,6 +47,11 @@ net-scale:
 net-scale-10k:
     cargo test --release -p eilid_net --test net_scale_10k -- --include-ignored scale_10k
 
+# The 1 000-device staged OTA campaign over loopback TCP (release mode,
+# 60 s budget), report pinned equal to the in-process backend's.
+net-campaign:
+    cargo test --release -p eilid_net --test net_campaign_scale -- --include-ignored campaign --nocapture
+
 # Persistent-pool vs scoped-thread sweeps and in-memory vs loopback
 # transports at 1 000 devices; writes BENCH_net.json (the recorded perf
 # baseline) and gates three ways: pool ratio ≥ 0.95, in-memory ≥ 70k

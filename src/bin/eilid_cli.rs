@@ -9,10 +9,12 @@
 //! eilid-cli attack <workload> <attack>     inject a threat-model attack on a protected device
 //! eilid-cli fleet run [--devices N] [--threads N] [--cycles N]
 //!                                          simulate a fleet slice and print health counts
-//! eilid-cli fleet attest [--devices N] [--threads N] [--flat] [--sweeps N]
-//!                                          batched attestation sweep + throughput
-//! eilid-cli fleet campaign [--devices N] [--threads N] [--inject-bad]
-//!                                          staged OTA campaign (canary → full)
+//! eilid-cli fleet attest [--devices N] [--threads N] [--flat] [--sweeps N] [--gateway ADDR]
+//!                                          attestation sweep + throughput (in-process, or
+//!                                          gateway-driven over TCP with --gateway)
+//! eilid-cli fleet campaign [--devices N] [--threads N] [--inject-bad] [--gateway ADDR]
+//!                                          staged OTA campaign (canary → full), in-process
+//!                                          or wire-driven through a gateway's operator plane
 //! eilid-cli fleet serve [--addr A] [--devices N] [--threads N] [--expect-reports N]
 //!                       [--poller epoll|scan] [--batch N]
 //!                                          run the networked attestation gateway
@@ -30,12 +32,23 @@
 //! holds the right goldens), the gateway serves challenges/verdicts over
 //! TCP, and `connect` drives every device as a transport client. Run
 //! them in two terminals — or two machines.
+//!
+//! `fleet attest`/`fleet campaign` run through the unified operator
+//! plane (`eilid_fleet::ops::FleetOps`): the same scenario code drives
+//! the in-process backend by default and, with `--gateway ADDR`, a
+//! remote gateway's campaign engine over TCP (this process hosts the
+//! device agents; run `fleet serve` with the same fleet shape in the
+//! other terminal).
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use eilid::{DeviceBuilder, EilidConfig, InstrumentedBuild, Runtime};
 use eilid_casu::{CasuPolicy, DeviceKey, MeasurementScheme, MemoryLayout};
-use eilid_fleet::{Campaign, CampaignConfig, CampaignOutcome, Fleet, FleetBuilder, Verifier};
+use eilid_fleet::{
+    CampaignConfig, CampaignOutcome, CampaignReport, Fleet, FleetBuilder, FleetOps, LocalOps,
+    SweepSummary, Verifier,
+};
 use eilid_msp430::render_disassembly;
 use eilid_workloads::{CfiAttack, WorkloadId};
 
@@ -66,7 +79,7 @@ fn main() -> ExitCode {
 fn print_usage() {
     println!(
         "eilid-cli — EILID (DATE 2025) reproduction\n\n\
-         USAGE:\n  eilid-cli instrument <app.s>\n  eilid-cli run <app.s> [--protect] [--max-cycles N]\n  eilid-cli disasm <app.s>\n  eilid-cli workloads\n  eilid-cli attack <workload> <attack>\n  eilid-cli fleet run [--devices N] [--threads N] [--cycles N]\n  eilid-cli fleet attest [--devices N] [--threads N] [--flat] [--sweeps N]\n  eilid-cli fleet campaign [--devices N] [--threads N] [--inject-bad]\n  eilid-cli fleet serve [--addr A] [--devices N] [--threads N] [--expect-reports N]\n                        [--poller epoll|scan] [--batch N]\n  eilid-cli fleet connect --addr A [--devices N] [--threads N] [--clients N] [--pipeline N]\n\n\
+         USAGE:\n  eilid-cli instrument <app.s>\n  eilid-cli run <app.s> [--protect] [--max-cycles N]\n  eilid-cli disasm <app.s>\n  eilid-cli workloads\n  eilid-cli attack <workload> <attack>\n  eilid-cli fleet run [--devices N] [--threads N] [--cycles N]\n  eilid-cli fleet attest [--devices N] [--threads N] [--flat] [--sweeps N] [--gateway ADDR]\n  eilid-cli fleet campaign [--devices N] [--threads N] [--inject-bad] [--gateway ADDR]\n  eilid-cli fleet serve [--addr A] [--devices N] [--threads N] [--expect-reports N]\n                        [--poller epoll|scan] [--batch N]\n  eilid-cli fleet connect --addr A [--devices N] [--threads N] [--clients N] [--pipeline N]\n\n\
          Attacks: return-address, isr-context, indirect-call, code-injection"
     );
 }
@@ -402,70 +415,92 @@ fn cmd_fleet_run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_fleet_attest(args: &[String]) -> Result<(), String> {
-    let sweeps = parse_flag_value(args, "--sweeps", 1)?.max(1);
-    let (mut fleet, mut verifier) = build_fleet(args)?;
-    // With `--sweeps N` the later sweeps show the steady-state cost:
-    // warm verifier key caches and (on the merkle scheme) cache-served
-    // device roots.
-    let mut report = verifier.sweep(&mut fleet);
-    for _ in 1..sweeps {
-        report = verifier.sweep(&mut fleet);
+/// Parses `--gateway ADDR` into a socket address, if present.
+fn parse_gateway(args: &[String]) -> Result<Option<std::net::SocketAddr>, String> {
+    match parse_flag_string(args, "--gateway")? {
+        Some(addr) => addr
+            .parse()
+            .map(Some)
+            .map_err(|e| format!("invalid --gateway `{addr}`: {e}")),
+        None => Ok(None),
     }
-    print!("{report}");
-    for (cohort, classes) in report.by_cohort() {
-        let line: Vec<String> = classes
-            .iter()
-            .map(|(class, count)| format!("{class}={count}"))
-            .collect();
-        println!("  {cohort:<18} {}", line.join(" "));
-    }
-    if sweeps > 1 {
-        println!(
-            "  (sweep {} of {}; {} device keys cached)",
-            sweeps,
-            sweeps,
-            verifier.cached_keys()
-        );
-    }
-    Ok(())
 }
 
-fn cmd_fleet_campaign(args: &[String]) -> Result<(), String> {
-    let inject_bad = args.iter().any(|a| a == "--inject-bad");
+/// Runs `scenario` against the requested operator-plane backend: the
+/// in-process `LocalOps` by default, or — with `--gateway ADDR` — a
+/// `RemoteOps` console against that gateway while this process's fleet
+/// devices serve as attached device agents. This is the whole point of
+/// the unified `FleetOps` surface: the scenario code cannot tell the
+/// backends apart.
+fn with_fleet_ops<R: Send>(
+    args: &[String],
+    scenario: impl Fn(&mut dyn FleetOps) -> Result<R, String> + Sync,
+) -> Result<R, String> {
+    let gateway = parse_gateway(args)?;
     let (mut fleet, mut verifier) = build_fleet(args)?;
-
-    let cohort = WorkloadId::LightSensor;
-    let (target, payload): (u16, Vec<u8>) = if inject_bad {
-        // A patch whose first instruction writes PMEM: the canary wave's
-        // monitors catch it and the campaign rolls back.
-        (
-            eilid_fleet::fixtures::BRICKING_PATCH_TARGET,
-            eilid_fleet::fixtures::bricking_patch(),
-        )
-    } else {
-        // A benign data patch in the unused PMEM gap below the trampolines.
-        (
-            eilid_fleet::fixtures::BENIGN_PATCH_TARGET,
-            eilid_fleet::fixtures::benign_patch(),
-        )
-    };
-
-    println!(
-        "staged campaign for {cohort}: {} bytes at {target:#06x}{}",
-        payload.len(),
-        if inject_bad {
-            " (deliberately bad)"
-        } else {
-            ""
+    match gateway {
+        None => scenario(&mut LocalOps::new(&mut fleet, &mut verifier)),
+        Some(addr) => {
+            let agents = parse_flag_value(args, "--clients", 4)?.max(1) as usize;
+            println!(
+                "driving the operator plane of {addr} ({} local devices attached over {agents} agent connections)",
+                fleet.len()
+            );
+            eilid_net::with_attached_fleet(&mut fleet, agents, addr, || {
+                let mut ops = eilid_net::RemoteOps::connect(addr).map_err(|e| e.to_string())?;
+                scenario(&mut ops)
+            })
+            .map_err(|e| format!("device agents failed: {e}"))?
         }
-    );
-    let config = CampaignConfig::new(cohort, target, payload);
-    let report = Campaign::new(config)
-        .map_err(|e| e.to_string())?
-        .run(&mut fleet, &mut verifier)
-        .map_err(|e| e.to_string())?;
+    }
+}
 
+fn print_sweep(summary: &SweepSummary, elapsed: std::time::Duration) {
+    use eilid_fleet::HealthClass;
+    println!(
+        "attestation sweep: {} devices in {:.3}s ({:.0} devices/s)",
+        summary.devices,
+        elapsed.as_secs_f64(),
+        summary.devices as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    for class in [
+        HealthClass::Attested,
+        HealthClass::Stale,
+        HealthClass::Tampered,
+        HealthClass::Unverified,
+    ] {
+        let count = summary.count(class);
+        if count > 0 {
+            println!("  {class:<10} {count}");
+        }
+    }
+    if !summary.flagged.is_empty() {
+        println!("  flagged: {:?}", summary.flagged);
+    }
+}
+
+fn cmd_fleet_attest(args: &[String]) -> Result<(), String> {
+    let sweeps = parse_flag_value(args, "--sweeps", 1)?.max(1);
+    with_fleet_ops(args, |ops| {
+        // With `--sweeps N` the later sweeps show the steady-state cost:
+        // warm verifier key caches and (on the merkle scheme)
+        // cache-served device roots.
+        let mut last = None;
+        for _ in 0..sweeps {
+            let start = Instant::now();
+            let summary = ops.sweep().map_err(|e| e.to_string())?;
+            last = Some((summary, start.elapsed()));
+        }
+        let (summary, elapsed) = last.expect("at least one sweep ran");
+        print_sweep(&summary, elapsed);
+        if sweeps > 1 {
+            println!("  (sweep {sweeps} of {sweeps}; verifier key caches warm)");
+        }
+        Ok(())
+    })
+}
+
+fn print_campaign(report: &CampaignReport) {
     for wave in &report.waves {
         println!(
             "wave {} ({} devices): {} updated, {} failed post-update probes",
@@ -499,7 +534,44 @@ fn cmd_fleet_campaign(args: &[String]) -> Result<(), String> {
             report.rollback_incomplete
         );
     }
-    let sweep = verifier.sweep(&mut fleet);
-    print!("post-campaign sweep: {sweep}");
-    Ok(())
+}
+
+fn cmd_fleet_campaign(args: &[String]) -> Result<(), String> {
+    let inject_bad = args.iter().any(|a| a == "--inject-bad");
+
+    let cohort = WorkloadId::LightSensor;
+    let (target, payload): (u16, Vec<u8>) = if inject_bad {
+        // A patch whose first instruction writes PMEM: the canary wave's
+        // monitors catch it and the campaign rolls back.
+        (
+            eilid_fleet::fixtures::BRICKING_PATCH_TARGET,
+            eilid_fleet::fixtures::bricking_patch(),
+        )
+    } else {
+        // A benign data patch in the unused PMEM gap below the trampolines.
+        (
+            eilid_fleet::fixtures::BENIGN_PATCH_TARGET,
+            eilid_fleet::fixtures::benign_patch(),
+        )
+    };
+
+    println!(
+        "staged campaign for {cohort}: {} bytes at {target:#06x}{}",
+        payload.len(),
+        if inject_bad {
+            " (deliberately bad)"
+        } else {
+            ""
+        }
+    );
+    let config = CampaignConfig::new(cohort, target, payload);
+    with_fleet_ops(args, |ops| {
+        let report = ops.run_campaign(&config).map_err(|e| e.to_string())?;
+        print_campaign(&report);
+        let start = Instant::now();
+        let sweep = ops.sweep().map_err(|e| e.to_string())?;
+        println!("post-campaign:");
+        print_sweep(&sweep, start.elapsed());
+        Ok(())
+    })
 }
