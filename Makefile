@@ -1,6 +1,6 @@
 # Convenience targets; `just` users get the same recipes from ./justfile.
 
-.PHONY: build test test-workspace bench-smoke fleet-smoke fleet-scale fleet-bench fleet-bench-smoke net-scale net-scale-10k net-campaign net-smoke net-bench net-bench-smoke fmt clippy ci
+.PHONY: build test test-workspace bench-smoke fleet-smoke fleet-scale fleet-bench fleet-bench-smoke net-scale net-scale-10k net-campaign net-cluster net-smoke net-bench net-bench-smoke fmt clippy ci
 
 build:
 	cargo build --release
@@ -58,6 +58,15 @@ net-scale-10k:
 net-campaign:
 	cargo test --release -p eilid_net --test net_campaign_scale -- --include-ignored campaign --nocapture
 
+# The supervised multi-process cluster drill (release mode, 120 s
+# budget): a 128-device fleet placed across four gateway *processes*,
+# swept and taken through a staged campaign, with one gateway
+# SIGKILLed mid-campaign, restarted by the supervisor, and the
+# campaign resumed from the operator's wave checkpoint — the final
+# report pinned equal to an uninterrupted single-process run.
+net-cluster:
+	cargo test --release -p eilid_net --test cluster_scale -- --exact supervised_cluster_campaign_survives_gateway_kill --nocapture
+
 # Two-terminal demo collapsed into one: serve a gateway in the
 # background and drive the fleet against it. Connect retries while the
 # server comes up; a failed run kills the background server instead of
@@ -78,8 +87,10 @@ net-smoke: build
 # 0.99-1.07x on a single-core box), the in-memory path must hold the
 # PR 3 floor (70k devices/s), and loopback TCP must hold ≥ 2x the PR 3
 # baseline of ~19k devices/s (the reactor + batching acceptance gate).
+# The cluster gate (0.9, a 10% noise margin) holds fan-out sweeps
+# across four gateway processes no worse than the single-gateway run.
 net-bench:
-	cargo run --release -p eilid_bench --bin net -- --min-pool-ratio 0.95 --min-in-memory 70000 --min-loopback 40000
+	cargo run --release -p eilid_bench --bin net -- --min-pool-ratio 0.95 --min-in-memory 70000 --min-loopback 40000 --min-cluster-ratio 0.9
 
 # CI-sized smoke (smaller fleet, still release mode); gates loosened
 # (pool ratio 0.85, no absolute floors) to tolerate shared-runner noise.

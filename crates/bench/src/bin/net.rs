@@ -9,7 +9,8 @@
 //! ```text
 //! net [--devices N] [--threads N] [--clients N] [--window N]
 //!     [--json PATH] [--min-pool-ratio X] [--min-in-memory N]
-//!     [--min-loopback N] [--min-campaign N] [--quick]
+//!     [--min-loopback N] [--min-campaign N] [--min-cluster-ratio X]
+//!     [--quick]
 //! ```
 //!
 //! `--quick` runs a smaller configuration (the CI smoke mode) and does
@@ -25,12 +26,16 @@
 //! per connection). `--min-campaign N` is the floor in devices/s for
 //! the staged campaign driven over loopback TCP through the gateway's
 //! operator plane (update + probe + smoke per device — hence orders of
-//! magnitude below sweep throughput).
+//! magnitude below sweep throughput). `--min-cluster-ratio X` exits
+//! non-zero when fan-out sweeps across the widest measured cluster (4
+//! gateways) fall below `X` times the single-gateway cluster sweep —
+//! the gate for "adding gateway processes never costs throughput".
 
 use std::process::ExitCode;
 
 use eilid_bench::net::{
-    compare_schedulers, measure_campaigns, measure_transport_sweeps, render_net_bench_json,
+    compare_schedulers, measure_campaigns, measure_cluster_sweeps, measure_transport_sweeps,
+    render_net_bench_json,
 };
 
 /// Parses `--flag value`; a missing flag yields `default`, an
@@ -59,6 +64,7 @@ fn run() -> Result<(), String> {
     let min_in_memory: f64 = flag_value(&args, "--min-in-memory", 0.0)?;
     let min_loopback: f64 = flag_value(&args, "--min-loopback", 0.0)?;
     let min_campaign: f64 = flag_value(&args, "--min-campaign", 0.0)?;
+    let min_cluster_ratio: f64 = flag_value(&args, "--min-cluster-ratio", 0.0)?;
     // `--quick` runs a smaller, non-comparable configuration, so it
     // must never silently overwrite the recorded full-size baseline.
     // A `--json` with its value missing is a hard error like every
@@ -114,8 +120,23 @@ fn run() -> Result<(), String> {
         campaigns.over_tcp.devices_per_second, campaigns.over_tcp.seconds, campaigns.agents
     );
 
+    let cluster_devices = if quick { 128 } else { 512 };
+    println!(
+        "cluster fan-out sweep: {cluster_devices} devices placed across 1/2/4 gateway reactors"
+    );
+    let clusters = measure_cluster_sweeps(cluster_devices, &[1, 2, 4], 2, rounds);
+    for row in &clusters.rows {
+        println!(
+            "  {} gateway{}        {:>9.0} devices/s",
+            row.gateways,
+            if row.gateways == 1 { " " } else { "s" },
+            row.devices_per_second
+        );
+    }
+    println!("  widest/single     {:>9.2}x", clusters.scaling_ratio());
+
     if let Some(json_path) = json_path {
-        let json = render_net_bench_json(&schedulers, &transports, &campaigns);
+        let json = render_net_bench_json(&schedulers, &transports, &campaigns, &clusters);
         std::fs::write(&json_path, &json)
             .map_err(|e| format!("cannot write `{json_path}`: {e}"))?;
         println!("wrote {json_path}");
@@ -143,6 +164,13 @@ fn run() -> Result<(), String> {
         return Err(format!(
             "campaign-over-TCP regression: {:.0} devices/s is below the accepted floor of {min_campaign:.0}",
             campaigns.over_tcp.devices_per_second
+        ));
+    }
+    if clusters.scaling_ratio() < min_cluster_ratio {
+        return Err(format!(
+            "cluster fan-out regression: widest cluster sweeps at {:.2}x the single-gateway rate, \
+             below the accepted {min_cluster_ratio}x",
+            clusters.scaling_ratio()
         ));
     }
     Ok(())

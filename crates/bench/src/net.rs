@@ -30,7 +30,8 @@ use eilid_fleet::{
 };
 use eilid_net::{
     serve_transport, sweep_fleet_tcp_windowed, sweep_fleet_windowed, with_attached_fleet,
-    AttestationService, Gateway, GatewayConfig, PipeTransport, PollerBackend, RemoteOps,
+    with_placed_fleet, AttestationService, ClusterOps, Gateway, GatewayConfig, PipeTransport,
+    PollerBackend, RemoteOps,
 };
 use eilid_workloads::WorkloadId;
 
@@ -334,6 +335,130 @@ pub fn measure_campaigns(devices: usize, agents: usize) -> CampaignComparison {
     }
 }
 
+/// One multi-gateway fan-out sweep measurement row.
+#[derive(Debug, Clone)]
+pub struct ClusterRow {
+    /// In-process gateways the fleet was placed across.
+    pub gateways: usize,
+    /// Full-protocol fan-out sweep throughput, devices/s.
+    pub devices_per_second: f64,
+}
+
+/// Fan-out sweep throughput as the gateway count grows: the same union
+/// fleet placed shard-wise across 1, 2, … gateways, swept through the
+/// `ClusterOps` operator console each time.
+#[derive(Debug, Clone)]
+pub struct ClusterComparison {
+    /// Devices in the union fleet (placed per row).
+    pub devices: usize,
+    /// Device-agent connections per gateway.
+    pub agents: usize,
+    /// One row per measured gateway count, ascending.
+    pub rows: Vec<ClusterRow>,
+}
+
+impl ClusterComparison {
+    /// Throughput measured at exactly `gateways` gateways, if that
+    /// width was in the measured set.
+    pub fn rate_at(&self, gateways: usize) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|row| row.gateways == gateways)
+            .map(|row| row.devices_per_second)
+    }
+
+    /// Widest-cluster throughput relative to the single-gateway run
+    /// (≥ 1.0 means fanning the operator plane out across processes
+    /// never costs total sweep throughput).
+    pub fn scaling_ratio(&self) -> f64 {
+        match (self.rows.first(), self.rows.last()) {
+            (Some(one), Some(widest)) if one.devices_per_second > 0.0 => {
+                widest.devices_per_second / one.devices_per_second
+            }
+            _ => f64::INFINITY,
+        }
+    }
+}
+
+/// Measures fan-out sweep throughput at each gateway count in
+/// `gateway_counts` (best of `rounds`, after a warm-up sweep that must
+/// equal the in-process union sweep — throughput numbers are only
+/// comparable once the backends provably agree).
+///
+/// Gateways run in-process, each provisioned with its own reserved
+/// nonce block from the shared verifier lineage, exactly like the
+/// multi-process cluster: same trust state, disjoint challenges.
+pub fn measure_cluster_sweeps(
+    devices: usize,
+    gateway_counts: &[usize],
+    agents: usize,
+    rounds: usize,
+) -> ClusterComparison {
+    // The reference: an uninterrupted in-process sweep of the union
+    // fleet. Every cluster width must reproduce this summary exactly.
+    let (mut fleet, mut verifier) = build(devices, agents.max(2));
+    let local_summary = LocalOps::new(&mut fleet, &mut verifier)
+        .sweep()
+        .expect("in-process reference sweep succeeds");
+
+    let mut rows = Vec::new();
+    for &gateways in gateway_counts {
+        let (mut fleet, mut verifier) = build(devices, agents.max(2));
+        let mut handles = Vec::new();
+        let mut addrs = Vec::new();
+        for _ in 0..gateways {
+            // Each snapshot call reserves the next disjoint nonce span.
+            let service = Arc::new(AttestationService::new(verifier.service_snapshot(1 << 24)));
+            let gateway = Gateway::bind(
+                ("127.0.0.1", 0),
+                service,
+                GatewayConfig {
+                    workers: agents,
+                    queue_depth: 512,
+                    ..GatewayConfig::default()
+                },
+            )
+            .expect("cluster gateway binds on loopback");
+            let handle = gateway.spawn();
+            addrs.push(handle.addr());
+            handles.push(handle);
+        }
+
+        let best = with_placed_fleet(&mut fleet, &addrs, agents, || {
+            let mut ops =
+                ClusterOps::connect(&addrs).map_err(|e| OpsError::Backend(e.to_string()))?;
+            let warmup = ops.sweep()?;
+            assert_eq!(
+                warmup, local_summary,
+                "cluster sweep must equal the in-process union sweep"
+            );
+            let mut best = 0.0f64;
+            for _ in 0..rounds {
+                let start = Instant::now();
+                let summary = ops.sweep()?;
+                assert_eq!(summary.count(HealthClass::Attested), devices);
+                best = best.max(devices as f64 / start.elapsed().as_secs_f64().max(1e-9));
+            }
+            Ok::<_, OpsError>(best)
+        })
+        .expect("placed agents served cleanly")
+        .expect("cluster sweep succeeds");
+        for handle in handles {
+            handle.shutdown().expect("gateway shuts down");
+        }
+        rows.push(ClusterRow {
+            gateways,
+            devices_per_second: best,
+        });
+    }
+
+    ClusterComparison {
+        devices,
+        agents,
+        rows,
+    }
+}
+
 /// Renders the `BENCH_net.json` record: a small, stable, hand-written
 /// JSON object (the offline dependency set has no serde_json) extending
 /// the repo's perf trajectory to the networked path.
@@ -341,6 +466,7 @@ pub fn render_net_bench_json(
     schedulers: &SchedulerComparison,
     transports: &TransportComparison,
     campaigns: &CampaignComparison,
+    clusters: &ClusterComparison,
 ) -> String {
     format!(
         "{{\n  \"bench\": \"net_sweep\",\n  \"devices\": {},\n  \"threads\": {},\n  \
@@ -352,7 +478,12 @@ pub fn render_net_bench_json(
          \"loopback_tcp_devices_per_second\": {:.0},\n  \
          \"campaign_devices\": {},\n  \"campaign_agents\": {},\n  \
          \"campaign_in_process_devices_per_second\": {:.0},\n  \
-         \"campaign_over_tcp_devices_per_second\": {:.0}\n}}\n",
+         \"campaign_over_tcp_devices_per_second\": {:.0},\n  \
+         \"cluster_devices\": {},\n  \"cluster_agents_per_gateway\": {},\n  \
+         \"cluster_sweep_1_gateway_devices_per_second\": {:.0},\n  \
+         \"cluster_sweep_2_gateways_devices_per_second\": {:.0},\n  \
+         \"cluster_sweep_4_gateways_devices_per_second\": {:.0},\n  \
+         \"cluster_scaling_ratio\": {:.2}\n}}\n",
         schedulers.pool.devices,
         schedulers.pool.threads,
         transports.in_memory.clients,
@@ -369,6 +500,12 @@ pub fn render_net_bench_json(
         campaigns.agents,
         campaigns.in_process.devices_per_second,
         campaigns.over_tcp.devices_per_second,
+        clusters.devices,
+        clusters.agents,
+        clusters.rate_at(1).unwrap_or(0.0),
+        clusters.rate_at(2).unwrap_or(0.0),
+        clusters.rate_at(4).unwrap_or(0.0),
+        clusters.scaling_ratio(),
     )
 }
 
@@ -400,6 +537,17 @@ mod tests {
         assert!(comparison.in_process.devices_per_second > 0.0);
         assert!(comparison.over_tcp.devices_per_second > 0.0);
         assert_eq!(comparison.agents, 2);
+    }
+
+    #[test]
+    fn cluster_comparison_is_sane() {
+        let comparison = measure_cluster_sweeps(32, &[1, 2], 2, 1);
+        assert_eq!(comparison.devices, 32);
+        assert_eq!(comparison.rows.len(), 2);
+        assert!(comparison.rate_at(1).expect("1-gateway row") > 0.0);
+        assert!(comparison.rate_at(2).expect("2-gateway row") > 0.0);
+        assert!(comparison.rate_at(4).is_none());
+        assert!(comparison.scaling_ratio() > 0.0);
     }
 
     #[test]
@@ -444,7 +592,25 @@ mod tests {
             },
             agents: 8,
         };
-        let json = render_net_bench_json(&schedulers, &transports, &campaigns);
+        let clusters = ClusterComparison {
+            devices: 1000,
+            agents: 2,
+            rows: vec![
+                ClusterRow {
+                    gateways: 1,
+                    devices_per_second: 15_000.0,
+                },
+                ClusterRow {
+                    gateways: 2,
+                    devices_per_second: 16_500.0,
+                },
+                ClusterRow {
+                    gateways: 4,
+                    devices_per_second: 18_000.0,
+                },
+            ],
+        };
+        let json = render_net_bench_json(&schedulers, &transports, &campaigns, &clusters);
         assert!(json.contains("\"bench\": \"net_sweep\""));
         assert!(json.contains("\"pool_vs_scoped_ratio\": 1.04"));
         assert!(json.contains("\"connections\": 8"));
@@ -453,6 +619,11 @@ mod tests {
         assert!(json.contains("\"poller_backend\": \"epoll\""));
         assert!(json.contains("\"campaign_devices\": 1000"));
         assert!(json.contains("\"campaign_over_tcp_devices_per_second\": 555"));
+        assert!(json.contains("\"cluster_devices\": 1000"));
+        assert!(json.contains("\"cluster_agents_per_gateway\": 2"));
+        assert!(json.contains("\"cluster_sweep_1_gateway_devices_per_second\": 15000"));
+        assert!(json.contains("\"cluster_sweep_4_gateways_devices_per_second\": 18000"));
+        assert!(json.contains("\"cluster_scaling_ratio\": 1.20"));
         assert!(json.starts_with('{') && json.ends_with("}\n"));
     }
 }

@@ -90,7 +90,10 @@ pub use device::{DeviceId, SimDevice};
 pub use eilid_casu::MeasurementScheme;
 pub use error::FleetError;
 pub use fleet::{Fleet, FleetBuilder, SliceReport};
-pub use ops::{CampaignPhase, FleetOps, LocalOps, OpsError, OpsHealth, SweepSummary};
+pub use ops::{
+    merge_health, merge_phases, merge_reports, merge_sweeps, CampaignPhase, FleetOps, LocalOps,
+    OpsError, OpsHealth, SweepSummary,
+};
 pub use pool::{PoolBusy, WorkerPool};
 pub use report::{DeviceHealth, FleetReport, HealthClass, Ledger, LedgerEvent};
 pub use verifier::{CohortSnapshot, ServiceSnapshot, Verifier, SHARD_COUNT};

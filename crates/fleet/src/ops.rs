@@ -21,7 +21,8 @@
 use std::fmt;
 
 use crate::campaign::{
-    Campaign, CampaignConfig, CampaignReport, CampaignRun, CampaignStatus, PausedCampaign,
+    Campaign, CampaignConfig, CampaignOutcome, CampaignReport, CampaignRun, CampaignStatus,
+    PausedCampaign, WaveReport,
 };
 use crate::device::DeviceId;
 use crate::error::FleetError;
@@ -327,5 +328,178 @@ impl FleetOps for LocalOps<'_> {
             ledger_events: self.fleet.ledger().events().len(),
             campaign,
         })
+    }
+}
+
+// --- cluster merge helpers -------------------------------------------------
+//
+// A multi-gateway cluster runs each operator call on every gateway's
+// partition of the fleet and folds the partial results back into the
+// backend-independent summary types above. The folds live here — next
+// to the types they fold — so `eilid_net::ClusterOps` and the test
+// suite share one definition of "what the union looks like".
+
+/// Folds per-gateway sweep summaries into the union fleet's summary:
+/// device and per-class counts add; flagged lists concatenate and
+/// re-sort into global id order. Merging the partition of a fleet
+/// equals sweeping the whole fleet through one backend.
+pub fn merge_sweeps(parts: &[SweepSummary]) -> SweepSummary {
+    let mut merged = SweepSummary {
+        devices: 0,
+        counts: [0; 4],
+        flagged: Vec::new(),
+    };
+    for part in parts {
+        merged.devices += part.devices;
+        for (slot, count) in merged.counts.iter_mut().zip(part.counts) {
+            *slot += count;
+        }
+        merged.flagged.extend(part.flagged.iter().copied());
+    }
+    merged.flagged.sort_by_key(|(id, _)| *id);
+    merged
+}
+
+/// Folds per-gateway campaign reports, wave-aligned: wave `i` of the
+/// merged report sums the size/updated/failure counts of every part's
+/// wave `i` (parts halted early simply stop contributing), and the
+/// quarantine/rollback id lists concatenate into global id order.
+///
+/// The outcome folds conservatively: the merge is `Completed` (with the
+/// summed update count) only when *every* part completed; one halted
+/// gateway halts the merged outcome at the earliest halted wave, with
+/// that wave's aggregate failure rate and the summed rollback count.
+/// Returns `None` for an empty slice — there is no empty campaign.
+pub fn merge_reports(parts: &[CampaignReport]) -> Option<CampaignReport> {
+    if parts.is_empty() {
+        return None;
+    }
+    let wave_count = parts.iter().map(|part| part.waves.len()).max().unwrap_or(0);
+    let mut waves = Vec::with_capacity(wave_count);
+    for wave in 0..wave_count {
+        let mut merged = WaveReport {
+            wave,
+            size: 0,
+            updated: 0,
+            failures: 0,
+        };
+        for part in parts {
+            if let Some(report) = part.waves.iter().find(|w| w.wave == wave) {
+                merged.size += report.size;
+                merged.updated += report.updated;
+                merged.failures += report.failures;
+            }
+        }
+        waves.push(merged);
+    }
+
+    let halted_at = parts
+        .iter()
+        .filter_map(|part| match part.outcome {
+            CampaignOutcome::HaltedAndRolledBack { wave, .. } => Some(wave),
+            CampaignOutcome::Completed { .. } => None,
+        })
+        .min();
+    let outcome = match halted_at {
+        None => CampaignOutcome::Completed {
+            updated: parts
+                .iter()
+                .map(|part| match part.outcome {
+                    CampaignOutcome::Completed { updated } => updated,
+                    CampaignOutcome::HaltedAndRolledBack { .. } => 0,
+                })
+                .sum(),
+        },
+        Some(wave) => {
+            let (size, failures) = waves
+                .get(wave)
+                .map(|w| (w.size, w.failures))
+                .unwrap_or((0, 0));
+            CampaignOutcome::HaltedAndRolledBack {
+                wave,
+                failure_rate: if size == 0 {
+                    0.0
+                } else {
+                    failures as f64 / size as f64
+                },
+                rolled_back: parts
+                    .iter()
+                    .map(|part| match part.outcome {
+                        CampaignOutcome::HaltedAndRolledBack { rolled_back, .. } => rolled_back,
+                        CampaignOutcome::Completed { .. } => 0,
+                    })
+                    .sum(),
+            }
+        }
+    };
+
+    let mut quarantined: Vec<DeviceId> = parts
+        .iter()
+        .flat_map(|part| part.quarantined.iter().copied())
+        .collect();
+    quarantined.sort_unstable();
+    let mut rollback_incomplete: Vec<DeviceId> = parts
+        .iter()
+        .flat_map(|part| part.rollback_incomplete.iter().copied())
+        .collect();
+    rollback_incomplete.sort_unstable();
+
+    Some(CampaignReport {
+        outcome,
+        waves,
+        quarantined,
+        rollback_incomplete,
+    })
+}
+
+/// Folds per-gateway campaign phases into the cluster's phase: the
+/// least-advanced gateway wins, so a cluster driver keeps stepping
+/// until *every* partition finished. `InProgress` (at the minimum next
+/// wave) dominates `Paused`, which dominates `Finished`; a cluster is
+/// `Idle` only when every gateway is.
+pub fn merge_phases(parts: &[CampaignPhase]) -> CampaignPhase {
+    let min_wave = |running: bool| {
+        parts
+            .iter()
+            .filter_map(|phase| match phase {
+                CampaignPhase::InProgress { next_wave } if running => Some(*next_wave),
+                CampaignPhase::Paused { next_wave } if !running => Some(*next_wave),
+                _ => None,
+            })
+            .min()
+            .unwrap_or(0)
+    };
+    if parts
+        .iter()
+        .any(|phase| matches!(phase, CampaignPhase::InProgress { .. }))
+    {
+        CampaignPhase::InProgress {
+            next_wave: min_wave(true),
+        }
+    } else if parts
+        .iter()
+        .any(|phase| matches!(phase, CampaignPhase::Paused { .. }))
+    {
+        CampaignPhase::Paused {
+            next_wave: min_wave(false),
+        }
+    } else if parts
+        .iter()
+        .any(|phase| matches!(phase, CampaignPhase::Finished))
+    {
+        CampaignPhase::Finished
+    } else {
+        CampaignPhase::Idle
+    }
+}
+
+/// Folds per-gateway health summaries: reachable devices and ledger
+/// events add; the campaign phase folds through [`merge_phases`].
+pub fn merge_health(parts: &[OpsHealth]) -> OpsHealth {
+    let phases: Vec<CampaignPhase> = parts.iter().map(|health| health.campaign).collect();
+    OpsHealth {
+        devices: parts.iter().map(|health| health.devices).sum(),
+        ledger_events: parts.iter().map(|health| health.ledger_events).sum(),
+        campaign: merge_phases(&phases),
     }
 }

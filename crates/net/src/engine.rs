@@ -29,6 +29,7 @@
 //! verdict.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -37,11 +38,13 @@ use eilid_casu::{AttestationVerifier, Challenge, UpdateAuthority, UpdateError};
 use eilid_fleet::{
     Campaign, CampaignRun, CohortInfo, DeviceId, FleetError, HealthClass, Ledger, LedgerEvent,
     PausedCampaign, PreUpdateSnapshot, RollbackOutcome, WaveExecutor, WaveRollout, WaveSpec,
+    WorkerPool,
 };
 use eilid_workloads::WorkloadId;
 
 use eilid_fleet::ops::class_index;
 
+use crate::gateway::GatewayCounters;
 use crate::poller::Waker;
 use crate::service::{health_to_wire, AttestationService};
 use crate::wire::{
@@ -168,11 +171,20 @@ pub(crate) struct OpsEngine {
     timeout: Duration,
     campaigns: BTreeMap<WorkloadId, CampaignSlot>,
     ledger: Ledger,
+    /// The reactor's counters, read for [`Frame::OpHealthResult`]'s
+    /// supervision fields.
+    counters: Arc<GatewayCounters>,
+    /// The reactor's verification pool, queried (never submitted to)
+    /// for the health report's queue depth.
+    pool: Arc<WorkerPool>,
+    /// Set on [`Frame::OpDrain`]; the reactor's accept path reads it.
+    draining: Arc<AtomicBool>,
 }
 
 impl OpsEngine {
     /// Spawns the engine thread. It exits when every sender of `rx`
     /// (held by the gateway) is dropped.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn spawn(
         service: Arc<AttestationService>,
         registry: Arc<Mutex<Registry>>,
@@ -180,6 +192,9 @@ impl OpsEngine {
         out: Sender<Vec<(u64, Frame)>>,
         waker: Waker,
         timeout: Duration,
+        counters: Arc<GatewayCounters>,
+        pool: Arc<WorkerPool>,
+        draining: Arc<AtomicBool>,
     ) -> std::thread::JoinHandle<()> {
         std::thread::Builder::new()
             .name("eilid-ops".into())
@@ -193,6 +208,9 @@ impl OpsEngine {
                     timeout,
                     campaigns: BTreeMap::new(),
                     ledger: Ledger::default(),
+                    counters,
+                    pool,
+                    draining,
                 }
                 .run();
             })
@@ -323,12 +341,65 @@ impl OpsEngine {
                         active_campaigns: active,
                         paused_campaigns: paused,
                         ledger_events: self.ledger.events().len() as u32,
+                        live_sessions: self.counters.live_connections.load(Ordering::Relaxed)
+                            as u32,
+                        queue_depth: self.queue_depth() as u32,
+                        batches_submitted: self.counters.batches_submitted.load(Ordering::Relaxed),
                     },
                 );
+            }
+            Frame::OpDrain => {
+                // Planned maintenance: refuse new peers from here on,
+                // pause every running campaign between waves, and hand
+                // all retained records back so a supervisor can re-seed
+                // a replacement gateway via `OpResume`.
+                self.draining.store(true, Ordering::Relaxed);
+                self.waker.wake();
+                let mut records: Vec<(WorkloadId, Vec<u8>)> = Vec::new();
+                for (&cohort, slot) in self.campaigns.iter_mut() {
+                    if let Some(run) = slot.run.take() {
+                        if run.is_finished() {
+                            // Nothing left to move; the report stays
+                            // queryable until shutdown.
+                            slot.run = Some(run);
+                            continue;
+                        }
+                        slot.paused = Some(run.pause());
+                    }
+                    if let Some(paused) = slot.paused.as_ref() {
+                        records.push((cohort, paused.to_bytes()));
+                    }
+                }
+                // The frame ceiling bounds what can cross the wire;
+                // records past it stay gateway-retained (exactly like
+                // the oversized-Pause path) rather than producing an
+                // unframeable reply.
+                let mut total = 0usize;
+                records.retain(|(_, bytes)| {
+                    total += 5 + bytes.len();
+                    total <= crate::wire::MAX_OP_PAYLOAD - 4
+                });
+                self.send(conn, Frame::OpDrained { paused: records });
             }
             // The session only routes the frames above.
             _ => self.send_error(conn, ErrorCode::UnexpectedFrame),
         }
+    }
+
+    /// Weight units queued or running across the pool's *distinct*
+    /// workers (summing per shard would count a worker once per shard
+    /// it serves).
+    fn queue_depth(&self) -> usize {
+        let mut seen = vec![false; self.pool.workers()];
+        let mut depth = 0;
+        for shard in 0..self.pool.shard_count() {
+            let worker = self.pool.worker_of(shard);
+            if !seen[worker] {
+                seen[worker] = true;
+                depth += self.pool.shard_load(shard);
+            }
+        }
+        depth
     }
 
     fn handle_control(&mut self, conn: u64, cohort: WorkloadId, op: CampaignOp) {

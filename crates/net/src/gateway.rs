@@ -127,6 +127,10 @@ pub struct GatewayCounters {
     pub reactor_wakes: AtomicU64,
     /// Full O(connections) scan passes (scan backend only).
     pub scan_passes: AtomicU64,
+    /// Live reactor connections right now (gauge: accepted minus
+    /// closed) — what [`Frame::OpHealthResult`] reports as
+    /// `live_sessions`.
+    pub live_connections: AtomicU64,
 }
 
 struct Conn {
@@ -311,7 +315,7 @@ impl PassCtx<'_> {
 pub struct Gateway {
     listener: TcpListener,
     service: Arc<AttestationService>,
-    pool: WorkerPool,
+    pool: Arc<WorkerPool>,
     conns: HashMap<u64, Conn>,
     next_conn: u64,
     completions_tx: mpsc::Sender<Vec<(u64, Frame)>>,
@@ -327,6 +331,9 @@ pub struct Gateway {
     /// Channel to the campaign engine thread; dropping the gateway
     /// drops the last sender, which stops the engine.
     engine_tx: mpsc::Sender<EngineInput>,
+    /// Set by the engine on [`Frame::OpDrain`]: stop accepting new
+    /// connections (existing ones keep draining their outboxes).
+    draining: Arc<AtomicBool>,
 }
 
 impl std::fmt::Debug for Gateway {
@@ -358,10 +365,19 @@ impl Gateway {
         poller.register(raw_fd(&listener), LISTENER_TOKEN, Interest::READ)?;
         let waker = poller.waker();
         let (completions_tx, completions_rx) = mpsc::channel();
-        let pool = WorkerPool::new(config.workers, SHARD_COUNT, config.queue_depth);
+        let pool = Arc::new(WorkerPool::new(
+            config.workers,
+            SHARD_COUNT,
+            config.queue_depth,
+        ));
+        let counters = Arc::new(GatewayCounters::default());
+        let draining = Arc::new(AtomicBool::new(false));
         // The campaign engine: its own thread, fed by the reactor over
         // `engine_tx`, replying through the completions channel. It
-        // exits when the gateway (the only sender) is dropped.
+        // exits when the gateway (the only sender) is dropped. It
+        // shares the reactor counters and the worker pool read-only
+        // (for `OpHealth`) and the drain flag read-write (it sets it on
+        // `OpDrain`; the reactor's accept path reads it).
         let registry = Arc::new(Mutex::new(Registry::default()));
         let (engine_tx, engine_rx) = mpsc::channel();
         OpsEngine::spawn(
@@ -371,6 +387,9 @@ impl Gateway {
             completions_tx.clone(),
             waker.clone(),
             config.ops_timeout,
+            Arc::clone(&counters),
+            Arc::clone(&pool),
+            Arc::clone(&draining),
         );
         Ok(Gateway {
             listener,
@@ -381,13 +400,14 @@ impl Gateway {
             completions_tx,
             completions_rx,
             config,
-            counters: Arc::new(GatewayCounters::default()),
+            counters,
             read_buf: vec![0u8; 64 * 1024],
             poller,
             waker,
             batches: (0..SHARD_COUNT).map(|_| Vec::new()).collect(),
             registry,
             engine_tx,
+            draining,
         })
     }
 
@@ -415,6 +435,13 @@ impl Gateway {
         self.conns.len()
     }
 
+    /// `true` once an operator's [`Frame::OpDrain`] put the gateway in
+    /// drain mode (new connections refused, existing ones still
+    /// served).
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed)
+    }
+
     /// Which readiness backend the reactor ended up with.
     pub fn poller_backend(&self) -> PollerBackend {
         self.poller.backend()
@@ -427,7 +454,12 @@ impl Gateway {
             match self.listener.accept() {
                 Ok((stream, _)) => {
                     progress = true;
-                    if self.conns.len() >= self.config.max_connections {
+                    // A draining gateway refuses new peers exactly like
+                    // a full one: typed `Busy`, so a supervisor-steered
+                    // agent retries against the replacement gateway.
+                    if self.conns.len() >= self.config.max_connections
+                        || self.draining.load(Ordering::Relaxed)
+                    {
                         self.counters.refused.fetch_add(1, Ordering::Relaxed);
                         // Best effort: tell the peer why before dropping.
                         let _ = stream.set_nonblocking(true);
@@ -452,6 +484,9 @@ impl Gateway {
                         continue;
                     }
                     self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                    self.counters
+                        .live_connections
+                        .fetch_add(1, Ordering::Relaxed);
                     self.next_conn += 1;
                     self.conns.insert(
                         id,
@@ -518,6 +553,9 @@ impl Gateway {
     fn drop_conn(&mut self, conn_id: u64) {
         if let Some(conn) = self.conns.remove(&conn_id) {
             self.poller.deregister(raw_fd(&conn.stream));
+            self.counters
+                .live_connections
+                .fetch_sub(1, Ordering::Relaxed);
             self.registry
                 .lock()
                 .expect("registry lock")

@@ -26,6 +26,14 @@
 //!   [`eilid_fleet::WorkerPool`]; overload turns into device-scoped
 //!   [`Frame::DeviceError`] `Busy` backpressure frames, not unbounded
 //!   buffering.
+//! * [`cluster`] — multi-gateway scale-out: deterministic shard →
+//!   gateway [`Placement`] (rendezvous hashing over the fixed fleet
+//!   shards), the fan-out [`ClusterOps`] operator backend that merges
+//!   per-gateway results into single-gateway shapes, and the
+//!   [`Supervisor`] control plane that launches, health-checks,
+//!   drains and restarts gateway processes — mid-campaign failover
+//!   resumes from retained paused-campaign bytes rather than redoing
+//!   work.
 //! * [`client`] — the device half ([`DeviceClient`]) plus
 //!   [`sweep_fleet_over`]/[`sweep_fleet_tcp`] (and their `_windowed`
 //!   variants): full-fleet attestation sweeps over real loopback
@@ -56,6 +64,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod cluster;
 mod engine;
 pub mod error;
 pub mod gateway;
@@ -69,6 +78,7 @@ pub use client::{
     sweep_fleet_over, sweep_fleet_tcp, sweep_fleet_tcp_windowed, sweep_fleet_windowed,
     DeviceClient, NetSweepReport, BUSY_RETRIES, DEFAULT_PIPELINE_WINDOW,
 };
+pub use cluster::{with_placed_fleet, ClusterOps, GatewayLauncher, Placement, Supervisor};
 pub use engine::ENGINE_BUSY_RETRIES;
 pub use error::NetError;
 pub use gateway::{Gateway, GatewayConfig, GatewayCounters, GatewayHandle};

@@ -20,6 +20,7 @@
 //!   until every attach is acknowledged, run the operator closure, then
 //!   stop and join the agents.
 
+use std::borrow::{Borrow, BorrowMut};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
@@ -141,6 +142,23 @@ impl<T: Transport> RemoteOps<T> {
         })? {
             Frame::CampaignStatus { .. } => Ok(()),
             _ => Err(unexpected("expected CampaignStatus")),
+        }
+    }
+
+    /// Asks the gateway to drain for planned maintenance: stop
+    /// accepting connections, pause every live campaign, and hand the
+    /// paused records back (those too large for one frame stay
+    /// gateway-retained, resumable via [`RemoteOps::resume_retained`]
+    /// after restart). The supervising control plane calls this before
+    /// taking a gateway down so no campaign progress is lost.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and gateway refusals as [`OpsError`].
+    pub fn drain(&mut self) -> Result<Vec<(WorkloadId, Vec<u8>)>, OpsError> {
+        match self.request(Frame::OpDrain)? {
+            Frame::OpDrained { paused } => Ok(paused),
+            _ => Err(unexpected("expected OpDrained")),
         }
     }
 
@@ -360,18 +378,23 @@ impl<T: Transport> DeviceAgent<T> {
 
     /// Registers every device in `devices` on this connection, waiting
     /// until the gateway acknowledged each attach (so campaign begins
-    /// issued afterwards see the full membership).
+    /// issued afterwards see the full membership). Accepts owned
+    /// devices (`&[SimDevice]`) or borrowed ones (`&[&mut SimDevice]`
+    /// — the shape placement partitions produce).
     ///
     /// # Errors
     ///
     /// Transport failures; a device-scoped gateway refusal (unknown
     /// cohort) surfaces as [`NetError::Protocol`].
-    pub fn attach(&mut self, devices: &[SimDevice]) -> Result<(), NetError> {
+    pub fn attach<D: Borrow<SimDevice>>(&mut self, devices: &[D]) -> Result<(), NetError> {
         let frames: Vec<Frame> = devices
             .iter()
-            .map(|device| Frame::Attach {
-                device: device.id(),
-                cohort: device.cohort(),
+            .map(|device| {
+                let device = device.borrow();
+                Frame::Attach {
+                    device: device.id(),
+                    cohort: device.cohort(),
+                }
             })
             .collect();
         self.transport.send_batch(&frames)?;
@@ -398,7 +421,11 @@ impl<T: Transport> DeviceAgent<T> {
     ///
     /// Transport failures and protocol violations; an orderly close is
     /// `Ok`.
-    pub fn serve(&mut self, devices: &mut [SimDevice], stop: &AtomicBool) -> Result<(), NetError> {
+    pub fn serve<D: BorrowMut<SimDevice>>(
+        &mut self,
+        devices: &mut [D],
+        stop: &AtomicBool,
+    ) -> Result<(), NetError> {
         loop {
             let frame = match self.transport.recv() {
                 Ok(frame) => frame,
@@ -466,8 +493,11 @@ impl<T: Transport> DeviceAgent<T> {
     }
 }
 
-fn find_device(devices: &mut [SimDevice], id: u64) -> Option<&mut SimDevice> {
-    devices.iter_mut().find(|device| device.id() == id)
+fn find_device<D: BorrowMut<SimDevice>>(devices: &mut [D], id: u64) -> Option<&mut SimDevice> {
+    devices
+        .iter_mut()
+        .map(BorrowMut::borrow_mut)
+        .find(|device| device.id() == id)
 }
 
 /// Builds the snapshot reply: patch-range bytes, full-PMEM measurement

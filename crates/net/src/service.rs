@@ -493,7 +493,8 @@ impl Session {
             | Frame::OpStep { .. }
             | Frame::OpResume { .. }
             | Frame::OpSweep
-            | Frame::OpHealth) => SessionOutput::Operator(frame),
+            | Frame::OpHealth
+            | Frame::OpDrain) => SessionOutput::Operator(frame),
             // Device-plane replies to engine-initiated pushes: update
             // acks, snapshot reports, probe results — and device-scoped
             // sheds (`DeviceError{Busy}`), which the engine retries.
@@ -518,6 +519,7 @@ impl Session {
             | Frame::OpReport { .. }
             | Frame::OpSweepResult { .. }
             | Frame::OpHealthResult { .. }
+            | Frame::OpDrained { .. }
             | Frame::CampaignStatus { .. } => SessionOutput::ReplyAndClose(vec![Frame::Error {
                 code: ErrorCode::UnexpectedFrame,
             }]),

@@ -50,10 +50,14 @@ pub const FRAME_MAGIC: [u8; 4] = *b"EILD";
 /// gateway-resident campaigns and sweeps) and the device-plane push
 /// frames ([`Frame::Attach`], [`Frame::SnapshotRequest`],
 /// [`Frame::ProbeRequest`] and their replies) campaigns execute waves
-/// through. Each bump makes an older peer fail *at negotiation* with a
-/// typed `UnsupportedVersion` instead of mid-exchange on an unknown
-/// frame type.
-pub const PROTOCOL_VERSION: u8 = 3;
+/// through. Version 4 added the supervision plane: the graceful-drain
+/// exchange ([`Frame::OpDrain`] / [`Frame::OpDrained`]) and the reactor
+/// counters ([`Frame::OpHealthResult`] grew `live_sessions`,
+/// `queue_depth` and `batches_submitted`) cluster supervisors steer by.
+/// Each bump makes an older peer fail *at negotiation* with a typed
+/// `UnsupportedVersion` instead of mid-exchange on an unknown frame
+/// type.
+pub const PROTOCOL_VERSION: u8 = 4;
 
 /// Size of the fixed frame header in bytes.
 pub const FRAME_HEADER_LEN: usize = 10;
@@ -69,12 +73,14 @@ pub const MAX_FRAME_PAYLOAD: usize = casu_wire::MAX_UPDATE_PAYLOAD + 64;
 /// patched golden image plus per-device snapshots — with a wire-maximum
 /// patch, kilobytes per updated device), and
 /// [`Frame::OpReport`]/[`Frame::OpSweepResult`] carry per-device id
-/// lists that outgrow [`MAX_FRAME_PAYLOAD`] on large fleets. The cap is
-/// still enforced from the header (which names the frame type) *before*
-/// any payload is buffered, so a forged length drives at most 4 MiB of
-/// buffering on exactly these four operator-plane types — and senders
-/// refuse (with a typed error) the rare record exceeding even this,
-/// instead of emitting an unframeable reply.
+/// lists that outgrow [`MAX_FRAME_PAYLOAD`] on large fleets, and
+/// [`Frame::OpDrained`] hands back *every* retained paused record at
+/// once. The cap is still enforced from the header (which names the
+/// frame type) *before* any payload is buffered, so a forged length
+/// drives at most 4 MiB of buffering on exactly these five
+/// operator-plane types — and senders refuse (with a typed error) the
+/// rare record exceeding even this, instead of emitting an unframeable
+/// reply.
 pub const MAX_OP_PAYLOAD: usize = 4 * 1024 * 1024;
 
 /// [`Frame::CampaignStatus`] `state`: a campaign run is loaded and
@@ -94,7 +100,7 @@ pub const CAMPAIGN_STATE_IDLE: u8 = 3;
 /// bytes alone.
 fn max_payload_for(frame_type: u8) -> usize {
     match frame_type {
-        0x16 | 0x17 | 0x18 | 0x1A => MAX_OP_PAYLOAD,
+        0x16 | 0x17 | 0x18 | 0x1A | 0x1E => MAX_OP_PAYLOAD,
         _ => MAX_FRAME_PAYLOAD,
     }
 }
@@ -769,6 +775,26 @@ pub enum Frame {
         paused_campaigns: u32,
         /// Events in the gateway's campaign ledger.
         ledger_events: u32,
+        /// Live reactor connections (accepted minus closed).
+        live_sessions: u32,
+        /// Weight units queued or running across the verification
+        /// worker pool right now.
+        queue_depth: u32,
+        /// Verification batches submitted to the pool since bind
+        /// (cumulative).
+        batches_submitted: u64,
+    },
+    /// Operator/supervisor → gateway: drain for planned maintenance —
+    /// stop accepting connections, pause every running campaign, and
+    /// hand the retained records back.
+    OpDrain,
+    /// Gateway → operator: the drain is in effect; every paused
+    /// campaign record the gateway retains, so the supervisor can
+    /// re-seed a replacement gateway via [`Frame::OpResume`].
+    OpDrained {
+        /// `(cohort, EPC1 paused-campaign record)` pairs, one per
+        /// campaign slot holding state at drain time.
+        paused: Vec<(WorkloadId, Vec<u8>)>,
     },
 }
 
@@ -803,6 +829,8 @@ impl Frame {
             Frame::OpSweepResult { .. } => 0x1A,
             Frame::OpHealth => 0x1B,
             Frame::OpHealthResult { .. } => 0x1C,
+            Frame::OpDrain => 0x1D,
+            Frame::OpDrained { .. } => 0x1E,
         }
     }
 
@@ -938,11 +966,26 @@ impl Frame {
                 active_campaigns,
                 paused_campaigns,
                 ledger_events,
+                live_sessions,
+                queue_depth,
+                batches_submitted,
             } => {
                 out.extend_from_slice(&attached.to_le_bytes());
                 out.extend_from_slice(&active_campaigns.to_le_bytes());
                 out.extend_from_slice(&paused_campaigns.to_le_bytes());
                 out.extend_from_slice(&ledger_events.to_le_bytes());
+                out.extend_from_slice(&live_sessions.to_le_bytes());
+                out.extend_from_slice(&queue_depth.to_le_bytes());
+                out.extend_from_slice(&batches_submitted.to_le_bytes());
+            }
+            Frame::OpDrain => {}
+            Frame::OpDrained { paused } => {
+                out.extend_from_slice(&(paused.len() as u32).to_le_bytes());
+                for (cohort, record) in paused {
+                    out.push(cohort.index());
+                    out.extend_from_slice(&(record.len() as u32).to_le_bytes());
+                    out.extend_from_slice(record);
+                }
             }
         }
     }
@@ -1077,7 +1120,22 @@ impl Frame {
                 active_campaigns: reader.u32()?,
                 paused_campaigns: reader.u32()?,
                 ledger_events: reader.u32()?,
+                live_sessions: reader.u32()?,
+                queue_depth: reader.u32()?,
+                batches_submitted: reader.u64()?,
             },
+            0x1D => Frame::OpDrain,
+            0x1E => {
+                // Each record costs at least cohort(1) + len(4) bytes.
+                let count = checked_list_count(reader.u32()? as usize, 5, reader.remaining())?;
+                let mut paused = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let cohort = cohort_from_u8(reader.u8()?)?;
+                    let record = read_bounded_bytes(&mut reader, MAX_OP_PAYLOAD)?;
+                    paused.push((cohort, record));
+                }
+                Frame::OpDrained { paused }
+            }
             other => return Err(WireError::UnknownFrameType(other)),
         };
         if !reader.is_empty() {

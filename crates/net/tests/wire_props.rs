@@ -253,16 +253,32 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                 flagged,
             }),
         Just(Frame::OpHealth),
-        (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()).prop_map(
-            |(attached, active_campaigns, paused_campaigns, ledger_events)| {
-                Frame::OpHealthResult {
-                    attached,
-                    active_campaigns,
-                    paused_campaigns,
-                    ledger_events,
-                }
-            },
-        ),
+        (
+            (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()),
+            (any::<u32>(), any::<u32>(), any::<u64>()),
+        )
+            .prop_map(
+                |(
+                    (attached, active_campaigns, paused_campaigns, ledger_events),
+                    (live_sessions, queue_depth, batches_submitted),
+                )| {
+                    Frame::OpHealthResult {
+                        attached,
+                        active_campaigns,
+                        paused_campaigns,
+                        ledger_events,
+                        live_sessions,
+                        queue_depth,
+                        batches_submitted,
+                    }
+                },
+            ),
+        Just(Frame::OpDrain),
+        proptest::collection::vec(
+            (arb_cohort(), proptest::collection::vec(0u8..=255, 0..256)),
+            0..4,
+        )
+        .prop_map(|paused| Frame::OpDrained { paused }),
     ]
 }
 
@@ -280,7 +296,8 @@ proptest! {
             Frame::OpResume { .. }
             | Frame::OpPaused { .. }
             | Frame::OpReport { .. }
-            | Frame::OpSweepResult { .. } => MAX_OP_PAYLOAD,
+            | Frame::OpSweepResult { .. }
+            | Frame::OpDrained { .. } => MAX_OP_PAYLOAD,
             _ => MAX_FRAME_PAYLOAD,
         };
         prop_assert!(bytes.len() <= FRAME_HEADER_LEN + ceiling);
@@ -554,6 +571,36 @@ fn malformed_operator_plane_corpus_yields_clean_typed_errors() {
     assert!(matches!(
         Frame::decode(&sweep),
         Err(WireError::BadPayload(_))
+    ));
+
+    // OpDrained (version 4): a record count the remaining bytes cannot
+    // hold is rejected before any allocation.
+    let template = Frame::OpDrained {
+        paused: vec![(WorkloadId::LightSensor, vec![1, 2, 3, 4])],
+    }
+    .encode();
+    let mut drained = template.clone();
+    drained[FRAME_HEADER_LEN..FRAME_HEADER_LEN + 4].copy_from_slice(&(u32::MAX).to_le_bytes());
+    assert!(matches!(
+        Frame::decode(&drained),
+        Err(WireError::BadPayload(_))
+    ));
+    // ...an unknown cohort discriminant in a record dies typed...
+    let mut drained = template.clone();
+    drained[FRAME_HEADER_LEN + 4] = 0xEE;
+    assert!(matches!(
+        Frame::decode(&drained),
+        Err(WireError::BadEnum {
+            field: "cohort",
+            ..
+        })
+    ));
+    // ...and so does an inner record length lying past the frame end.
+    let mut drained = template;
+    drained[FRAME_HEADER_LEN + 5..FRAME_HEADER_LEN + 9].copy_from_slice(&(u32::MAX).to_le_bytes());
+    assert!(matches!(
+        Frame::decode(&drained),
+        Err(WireError::BadPayload(_)) | Err(WireError::Truncated { .. })
     ));
 }
 

@@ -52,12 +52,20 @@ net-scale-10k:
 net-campaign:
     cargo test --release -p eilid_net --test net_campaign_scale -- --include-ignored campaign --nocapture
 
+# The supervised multi-process cluster drill (release mode, 120 s
+# budget): four gateway processes, one SIGKILLed mid-campaign and
+# restarted, campaign resumed from the wave checkpoint, report pinned
+# equal to an uninterrupted single-process run.
+net-cluster:
+    cargo test --release -p eilid_net --test cluster_scale -- --exact supervised_cluster_campaign_survives_gateway_kill --nocapture
+
 # Persistent-pool vs scoped-thread sweeps and in-memory vs loopback
 # transports at 1 000 devices; writes BENCH_net.json (the recorded perf
 # baseline) and gates three ways: pool ratio ≥ 0.95, in-memory ≥ 70k
-# devices/s, loopback TCP ≥ 40k devices/s (≥ 2x the PR 3 baseline).
+# devices/s, loopback TCP ≥ 40k devices/s (≥ 2x the PR 3 baseline),
+# 4-gateway cluster sweeps ≥ 0.9x the single-gateway rate.
 net-bench:
-    cargo run --release -p eilid_bench --bin net -- --min-pool-ratio 0.95 --min-in-memory 70000 --min-loopback 40000
+    cargo run --release -p eilid_bench --bin net -- --min-pool-ratio 0.95 --min-in-memory 70000 --min-loopback 40000 --min-cluster-ratio 0.9
 
 # CI-sized smoke (smaller fleet, still release mode); gates loosened
 # (pool ratio 0.85, no absolute floors) to tolerate shared-runner noise.

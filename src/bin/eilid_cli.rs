@@ -9,12 +9,16 @@
 //! eilid-cli attack <workload> <attack>     inject a threat-model attack on a protected device
 //! eilid-cli fleet run [--devices N] [--threads N] [--cycles N]
 //!                                          simulate a fleet slice and print health counts
-//! eilid-cli fleet attest [--devices N] [--threads N] [--flat] [--sweeps N] [--gateway ADDR]
-//!                                          attestation sweep + throughput (in-process, or
-//!                                          gateway-driven over TCP with --gateway)
-//! eilid-cli fleet campaign [--devices N] [--threads N] [--inject-bad] [--gateway ADDR]
+//! eilid-cli fleet attest [--devices N] [--threads N] [--flat] [--sweeps N]
+//!                        [--gateway ADDR | --gateways A,B,..]
+//!                                          attestation sweep + throughput (in-process,
+//!                                          gateway-driven over TCP, or fanned out over a
+//!                                          multi-gateway cluster)
+//! eilid-cli fleet campaign [--devices N] [--threads N] [--inject-bad]
+//!                          [--gateway ADDR | --gateways A,B,..]
 //!                                          staged OTA campaign (canary → full), in-process
-//!                                          or wire-driven through a gateway's operator plane
+//!                                          or wire-driven through one gateway's — or a
+//!                                          cluster's — operator plane
 //! eilid-cli fleet serve [--addr A] [--devices N] [--threads N] [--expect-reports N]
 //!                       [--poller epoll|scan] [--batch N]
 //!                                          run the networked attestation gateway
@@ -38,7 +42,11 @@
 //! the in-process backend by default and, with `--gateway ADDR`, a
 //! remote gateway's campaign engine over TCP (this process hosts the
 //! device agents; run `fleet serve` with the same fleet shape in the
-//! other terminal).
+//! other terminal). With `--gateways A,B,..` the scenario instead fans
+//! out over a whole cluster: devices are placed shard-wise across the
+//! listed gateways (run one `fleet serve` per address, same fleet
+//! shape) and the per-gateway results merge back into the
+//! single-gateway shapes.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -79,7 +87,7 @@ fn main() -> ExitCode {
 fn print_usage() {
     println!(
         "eilid-cli — EILID (DATE 2025) reproduction\n\n\
-         USAGE:\n  eilid-cli instrument <app.s>\n  eilid-cli run <app.s> [--protect] [--max-cycles N]\n  eilid-cli disasm <app.s>\n  eilid-cli workloads\n  eilid-cli attack <workload> <attack>\n  eilid-cli fleet run [--devices N] [--threads N] [--cycles N]\n  eilid-cli fleet attest [--devices N] [--threads N] [--flat] [--sweeps N] [--gateway ADDR]\n  eilid-cli fleet campaign [--devices N] [--threads N] [--inject-bad] [--gateway ADDR]\n  eilid-cli fleet serve [--addr A] [--devices N] [--threads N] [--expect-reports N]\n                        [--poller epoll|scan] [--batch N]\n  eilid-cli fleet connect --addr A [--devices N] [--threads N] [--clients N] [--pipeline N]\n\n\
+         USAGE:\n  eilid-cli instrument <app.s>\n  eilid-cli run <app.s> [--protect] [--max-cycles N]\n  eilid-cli disasm <app.s>\n  eilid-cli workloads\n  eilid-cli attack <workload> <attack>\n  eilid-cli fleet run [--devices N] [--threads N] [--cycles N]\n  eilid-cli fleet attest [--devices N] [--threads N] [--flat] [--sweeps N]\n                         [--gateway ADDR | --gateways A,B,..]\n  eilid-cli fleet campaign [--devices N] [--threads N] [--inject-bad]\n                           [--gateway ADDR | --gateways A,B,..]\n  eilid-cli fleet serve [--addr A] [--devices N] [--threads N] [--expect-reports N]\n                        [--poller epoll|scan] [--batch N]\n  eilid-cli fleet connect --addr A [--devices N] [--threads N] [--clients N] [--pipeline N]\n\n\
          Attacks: return-address, isr-context, indirect-call, code-injection"
     );
 }
@@ -339,17 +347,39 @@ fn cmd_fleet_serve(args: &[String]) -> Result<(), String> {
         backend.name(),
     );
 
+    let load =
+        |counter: &std::sync::atomic::AtomicU64| counter.load(std::sync::atomic::Ordering::Relaxed);
+    // While serving, surface the reactor's health counters (the same
+    // figures an operator console sees in `OpHealthResult`) every ~2s,
+    // but only when they moved — an idle gateway stays quiet.
+    let mut last_logged = (u64::MAX, u64::MAX, u64::MAX);
+    let mut next_log = std::time::Instant::now();
     while service.stats().reports_verified() < expect {
+        if std::time::Instant::now() >= next_log {
+            let snapshot = (
+                load(&handle.counters().live_connections),
+                load(&handle.counters().batches_submitted),
+                service.stats().reports_verified(),
+            );
+            if snapshot != last_logged {
+                println!(
+                    "reactor: {} live sessions, {} batches submitted, {}/{expect} reports verified",
+                    snapshot.0, snapshot.1, snapshot.2,
+                );
+                last_logged = snapshot;
+            }
+            next_log += std::time::Duration::from_secs(2);
+        }
         std::thread::sleep(std::time::Duration::from_millis(50));
     }
     let gateway = handle.shutdown().map_err(|e| e.to_string())?;
     let stats = service.stats();
-    let load =
-        |counter: &std::sync::atomic::AtomicU64| counter.load(std::sync::atomic::Ordering::Relaxed);
     println!(
-        "served {} reports over {} connections: {} attested, {} stale, {} tampered, {} unverified",
+        "served {} reports over {} connections ({} batches): \
+         {} attested, {} stale, {} tampered, {} unverified",
         stats.reports_verified(),
         load(&gateway.counters().accepted),
+        load(&gateway.counters().batches_submitted),
         load(&stats.attested),
         load(&stats.stale),
         load(&stats.tampered),
@@ -426,18 +456,57 @@ fn parse_gateway(args: &[String]) -> Result<Option<std::net::SocketAddr>, String
     }
 }
 
+/// Parses `--gateways A,B,..` into a cluster address list, if present.
+fn parse_gateways(args: &[String]) -> Result<Option<Vec<std::net::SocketAddr>>, String> {
+    let Some(list) = parse_flag_string(args, "--gateways")? else {
+        return Ok(None);
+    };
+    let addrs = list
+        .split(',')
+        .map(str::trim)
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            part.parse()
+                .map_err(|e| format!("invalid --gateways entry `{part}`: {e}"))
+        })
+        .collect::<Result<Vec<std::net::SocketAddr>, String>>()?;
+    if addrs.is_empty() {
+        return Err("--gateways needs at least one HOST:PORT".to_string());
+    }
+    Ok(Some(addrs))
+}
+
 /// Runs `scenario` against the requested operator-plane backend: the
-/// in-process `LocalOps` by default, or — with `--gateway ADDR` — a
-/// `RemoteOps` console against that gateway while this process's fleet
-/// devices serve as attached device agents. This is the whole point of
-/// the unified `FleetOps` surface: the scenario code cannot tell the
-/// backends apart.
+/// in-process `LocalOps` by default; with `--gateway ADDR` a
+/// `RemoteOps` console against that gateway; with `--gateways A,B,..`
+/// a fan-out `ClusterOps` console over every listed gateway, with this
+/// process's fleet devices placed shard-wise across them. This is the
+/// whole point of the unified `FleetOps` surface: the scenario code
+/// cannot tell the backends apart.
 fn with_fleet_ops<R: Send>(
     args: &[String],
     scenario: impl Fn(&mut dyn FleetOps) -> Result<R, String> + Sync,
 ) -> Result<R, String> {
     let gateway = parse_gateway(args)?;
+    let cluster = parse_gateways(args)?;
+    if gateway.is_some() && cluster.is_some() {
+        return Err("--gateway and --gateways are mutually exclusive".to_string());
+    }
     let (mut fleet, mut verifier) = build_fleet(args)?;
+    if let Some(addrs) = cluster {
+        let agents = parse_flag_value(args, "--clients", 4)?.max(1) as usize;
+        println!(
+            "driving the operator plane of a {}-gateway cluster ({} local devices placed \
+             shard-wise, {agents} agent connections per gateway)",
+            addrs.len(),
+            fleet.len(),
+        );
+        return eilid_net::cluster::with_placed_fleet(&mut fleet, &addrs, agents, || {
+            let mut ops = eilid_net::ClusterOps::connect(&addrs).map_err(|e| e.to_string())?;
+            scenario(&mut ops)
+        })
+        .map_err(|e| format!("device agents failed: {e}"))?;
+    }
     match gateway {
         None => scenario(&mut LocalOps::new(&mut fleet, &mut verifier)),
         Some(addr) => {
