@@ -1,6 +1,6 @@
 # Convenience targets; `just` users get the same recipes from ./justfile.
 
-.PHONY: build test test-workspace bench-smoke fleet-smoke fleet-scale fleet-bench fleet-bench-smoke net-scale net-scale-10k net-campaign net-cluster net-smoke net-bench net-bench-smoke fmt clippy ci
+.PHONY: build test test-workspace bench-smoke fleet-smoke fleet-scale fleet-bench fleet-bench-smoke net-scale net-scale-10k net-campaign net-cluster net-smoke net-bench net-bench-smoke obs-smoke fmt clippy ci
 
 build:
 	cargo build --release
@@ -80,6 +80,14 @@ net-smoke: build
 	done; \
 	if [ $$ok -eq 0 ]; then wait $$SERVE; else kill $$SERVE 2>/dev/null; echo "net-smoke: connect never succeeded"; exit 1; fi
 
+# Telemetry end-to-end smoke: serve a gateway in the background, sweep
+# 64 devices through it, scrape the live snapshot over the wire with
+# `fleet metrics` (checking the verification counter saw every
+# report), then sweep again so the server reaches --expect-reports and
+# exits cleanly.
+obs-smoke: build
+	./scripts/obs_smoke.sh
+
 # Persistent-pool vs scoped-thread sweeps and in-memory vs loopback
 # transports at 1 000 devices; writes BENCH_net.json (the recorded perf
 # baseline) and gates three ways: the pool must stay within noise of
@@ -88,9 +96,11 @@ net-smoke: build
 # PR 3 floor (70k devices/s), and loopback TCP must hold ≥ 2x the PR 3
 # baseline of ~19k devices/s (the reactor + batching acceptance gate).
 # The cluster gate (0.9, a 10% noise margin) holds fan-out sweeps
-# across four gateway processes no worse than the single-gateway run.
+# across four gateway processes no worse than the single-gateway run;
+# the obs gate (0.95) holds the latency-observed loopback sweep within
+# noise of the bare one — telemetry must be (nearly) free.
 net-bench:
-	cargo run --release -p eilid_bench --bin net -- --min-pool-ratio 0.95 --min-in-memory 70000 --min-loopback 40000 --min-cluster-ratio 0.9
+	cargo run --release -p eilid_bench --bin net -- --min-pool-ratio 0.95 --min-in-memory 70000 --min-loopback 40000 --min-cluster-ratio 0.9 --min-obs-ratio 0.95
 
 # CI-sized smoke (smaller fleet, still release mode); gates loosened
 # (pool ratio 0.85, no absolute floors) to tolerate shared-runner noise.

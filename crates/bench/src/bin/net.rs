@@ -10,7 +10,7 @@
 //! net [--devices N] [--threads N] [--clients N] [--window N]
 //!     [--json PATH] [--min-pool-ratio X] [--min-in-memory N]
 //!     [--min-loopback N] [--min-campaign N] [--min-cluster-ratio X]
-//!     [--quick]
+//!     [--min-obs-ratio X] [--quick]
 //! ```
 //!
 //! `--quick` runs a smaller configuration (the CI smoke mode) and does
@@ -30,6 +30,9 @@
 //! non-zero when fan-out sweeps across the widest measured cluster (4
 //! gateways) fall below `X` times the single-gateway cluster sweep —
 //! the gate for "adding gateway processes never costs throughput".
+//! `--min-obs-ratio X` exits non-zero when the latency-observed
+//! loopback sweep falls below `X` times the bare loopback sweep — the
+//! gate for "telemetry recording is (nearly) free on the hot path".
 
 use std::process::ExitCode;
 
@@ -65,6 +68,7 @@ fn run() -> Result<(), String> {
     let min_loopback: f64 = flag_value(&args, "--min-loopback", 0.0)?;
     let min_campaign: f64 = flag_value(&args, "--min-campaign", 0.0)?;
     let min_cluster_ratio: f64 = flag_value(&args, "--min-cluster-ratio", 0.0)?;
+    let min_obs_ratio: f64 = flag_value(&args, "--min-obs-ratio", 0.0)?;
     // `--quick` runs a smaller, non-comparable configuration, so it
     // must never silently overwrite the recorded full-size baseline.
     // A `--json` with its value missing is a hard error like every
@@ -104,6 +108,13 @@ fn run() -> Result<(), String> {
         transports.loopback.devices_per_second,
         transports.poller_backend.name(),
         transports.batch_size,
+    );
+    println!(
+        "  loopback observed {:>9.0} devices/s  ({:.2}x bare; p50 {}µs, p99 {}µs per exchange)",
+        transports.loopback_observed.devices_per_second,
+        transports.obs_ratio(),
+        transports.p50_latency_us,
+        transports.p99_latency_us,
     );
 
     println!(
@@ -164,6 +175,13 @@ fn run() -> Result<(), String> {
         return Err(format!(
             "campaign-over-TCP regression: {:.0} devices/s is below the accepted floor of {min_campaign:.0}",
             campaigns.over_tcp.devices_per_second
+        ));
+    }
+    if transports.obs_ratio() < min_obs_ratio {
+        return Err(format!(
+            "telemetry overhead regression: the observed loopback sweep runs at {:.2}x the bare \
+             sweep, below the accepted {min_obs_ratio}x",
+            transports.obs_ratio()
         ));
     }
     if clusters.scaling_ratio() < min_cluster_ratio {

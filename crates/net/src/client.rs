@@ -190,6 +190,32 @@ impl<T: Transport> DeviceClient<T> {
         devices: &mut [SimDevice],
         window: usize,
     ) -> Result<Vec<(DeviceId, HealthClass)>, NetError> {
+        self.attest_batch_inner(devices, window, None)
+    }
+
+    /// [`DeviceClient::attest_batch`] with per-device exchange latency
+    /// (request issued → verdict received, in microseconds) recorded
+    /// into `latency`. The unobserved path carries no timing overhead —
+    /// observation is strictly opt-in.
+    ///
+    /// # Errors
+    ///
+    /// As [`DeviceClient::attest_batch`].
+    pub fn attest_batch_observed(
+        &mut self,
+        devices: &mut [SimDevice],
+        window: usize,
+        latency: &eilid_obs::Histogram,
+    ) -> Result<Vec<(DeviceId, HealthClass)>, NetError> {
+        self.attest_batch_inner(devices, window, Some(latency))
+    }
+
+    fn attest_batch_inner(
+        &mut self,
+        devices: &mut [SimDevice],
+        window: usize,
+        latency: Option<&eilid_obs::Histogram>,
+    ) -> Result<Vec<(DeviceId, HealthClass)>, NetError> {
         let window = window.max(1);
         let index_of: HashMap<DeviceId, usize> = devices
             .iter()
@@ -201,6 +227,9 @@ impl<T: Transport> DeviceClient<T> {
         }
         let mut to_request: VecDeque<usize> = (0..devices.len()).collect();
         let mut retries: HashMap<DeviceId, usize> = HashMap::new();
+        // Request-issue stamps, kept only when a latency observer is
+        // attached (the bare path allocates and stamps nothing).
+        let mut issued: HashMap<DeviceId, Instant> = HashMap::new();
         let mut verdicts: Vec<(DeviceId, HealthClass)> = Vec::with_capacity(devices.len());
         let mut in_flight = 0usize;
         let mut out: Vec<Frame> = Vec::new();
@@ -217,6 +246,9 @@ impl<T: Transport> DeviceClient<T> {
                     device: devices[index].id(),
                     cohort: devices[index].cohort(),
                 });
+                if latency.is_some() {
+                    issued.insert(devices[index].id(), Instant::now());
+                }
                 in_flight += 1;
             }
             // One coalesced send per burst...
@@ -243,6 +275,9 @@ impl<T: Transport> DeviceClient<T> {
                     Frame::AttestResult { device, class } => {
                         if !index_of.contains_key(&device) {
                             return Err(NetError::Unexpected("result for a device not in batch"));
+                        }
+                        if let (Some(hist), Some(at)) = (latency, issued.remove(&device)) {
+                            hist.record_duration_us(at.elapsed());
                         }
                         verdicts.push((device, health_from_wire(class)));
                         in_flight -= 1;
@@ -337,6 +372,10 @@ pub struct NetSweepReport {
     pub elapsed: Duration,
     /// Concurrent client connections used.
     pub clients: usize,
+    /// Per-exchange latency distribution (request issued → verdict
+    /// received, µs) across every client — present only on the
+    /// `_observed` sweep variants; the bare sweeps stamp nothing.
+    pub latency: Option<eilid_obs::HistogramSnapshot>,
 }
 
 impl NetSweepReport {
@@ -352,6 +391,17 @@ impl NetSweepReport {
             return f64::INFINITY;
         }
         self.devices as f64 / secs
+    }
+
+    /// Median per-exchange latency in µs (observed sweeps only).
+    pub fn p50_latency_us(&self) -> Option<u64> {
+        self.latency.as_ref().map(|hist| hist.p50())
+    }
+
+    /// 99th-percentile per-exchange latency in µs (observed sweeps
+    /// only).
+    pub fn p99_latency_us(&self) -> Option<u64> {
+        self.latency.as_ref().map(|hist| hist.p99())
     }
 }
 
@@ -401,6 +451,44 @@ where
     T: Transport + Send,
     F: Fn() -> Result<T, NetError> + Sync,
 {
+    sweep_fleet_inner(fleet, clients, window, make_transport, false)
+}
+
+/// [`sweep_fleet_windowed`] with per-exchange latency observation: the
+/// report's `latency` histogram aggregates request→verdict times across
+/// every client connection (this is what stamps p50/p99 into the
+/// transport benchmarks).
+///
+/// # Errors
+///
+/// The first transport/protocol error aborts the sweep.
+pub fn sweep_fleet_windowed_observed<T, F>(
+    fleet: &mut Fleet,
+    clients: usize,
+    window: usize,
+    make_transport: F,
+) -> Result<NetSweepReport, NetError>
+where
+    T: Transport + Send,
+    F: Fn() -> Result<T, NetError> + Sync,
+{
+    sweep_fleet_inner(fleet, clients, window, make_transport, true)
+}
+
+fn sweep_fleet_inner<T, F>(
+    fleet: &mut Fleet,
+    clients: usize,
+    window: usize,
+    make_transport: F,
+    observe: bool,
+) -> Result<NetSweepReport, NetError>
+where
+    T: Transport + Send,
+    F: Fn() -> Result<T, NetError> + Sync,
+{
+    // One histogram shared by every client thread (the cells are
+    // atomic, so concurrent recording needs no locks).
+    let latency = observe.then(eilid_obs::Histogram::default);
     let devices = fleet.devices_mut();
     let total = devices.len();
     let clients = clients.clamp(1, total.max(1));
@@ -417,9 +505,10 @@ where
                 .chunks_mut(chunk)
                 .map(|batch| {
                     let make_transport = &make_transport;
+                    let latency = latency.as_ref();
                     scope.spawn(move || {
                         let mut client = DeviceClient::connect(make_transport()?)?;
-                        let verdicts = client.attest_batch(batch, window)?;
+                        let verdicts = client.attest_batch_inner(batch, window, latency)?;
                         let _ = client.bye();
                         Ok(verdicts)
                     })
@@ -448,6 +537,7 @@ where
         flagged,
         elapsed: start.elapsed(),
         clients,
+        latency: latency.map(|hist| hist.snapshot()),
     })
 }
 
@@ -476,4 +566,19 @@ pub fn sweep_fleet_tcp_windowed(
     addr: SocketAddr,
 ) -> Result<NetSweepReport, NetError> {
     sweep_fleet_windowed(fleet, clients, window, || TcpTransport::connect(addr))
+}
+
+/// [`sweep_fleet_windowed_observed`] specialised to loopback/remote
+/// TCP.
+///
+/// # Errors
+///
+/// The first connection or protocol error aborts the sweep.
+pub fn sweep_fleet_tcp_observed(
+    fleet: &mut Fleet,
+    clients: usize,
+    window: usize,
+    addr: SocketAddr,
+) -> Result<NetSweepReport, NetError> {
+    sweep_fleet_windowed_observed(fleet, clients, window, || TcpTransport::connect(addr))
 }

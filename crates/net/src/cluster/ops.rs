@@ -26,7 +26,7 @@
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use eilid_fleet::{
     merge_health, merge_phases, merge_reports, merge_sweeps, CampaignConfig, CampaignPhase,
@@ -80,6 +80,10 @@ pub struct ClusterOps {
     checkpoints: Vec<Option<Vec<u8>>>,
     cohort: Option<WorkloadId>,
     op_timeout: Duration,
+    /// Operator-side telemetry: fan-out latency across the cluster's
+    /// consoles, one sample per fanned-out verb.
+    obs: eilid_obs::MetricsRegistry,
+    fan_out_us: eilid_obs::Histogram,
 }
 
 /// Concurrent fan-out over the selected consoles: spawns one scoped
@@ -143,6 +147,8 @@ impl ClusterOps {
             .map(|&addr| RemoteOps::connect(addr))
             .collect::<Result<Vec<_>, _>>()?;
         let n = addrs.len();
+        let obs = eilid_obs::MetricsRegistry::new();
+        let fan_out_us = obs.histogram("eilid_cluster_fan_out_us");
         Ok(ClusterOps {
             addrs: addrs.to_vec(),
             consoles,
@@ -151,6 +157,8 @@ impl ClusterOps {
             checkpoints: vec![None; n],
             cohort: None,
             op_timeout: DEFAULT_OP_TIMEOUT,
+            obs,
+            fan_out_us,
         })
     }
 
@@ -213,6 +221,49 @@ impl ClusterOps {
         self.checkpoints[gateway].as_deref()
     }
 
+    /// Scrapes every gateway's telemetry registry concurrently.
+    /// Returns the merged cluster view plus the per-gateway snapshots,
+    /// index-aligned with the address list. Counter totals in the
+    /// merged view are the exact sums of the per-gateway values, and
+    /// the merge is order-invariant (see the cluster proptests).
+    ///
+    /// # Errors
+    ///
+    /// The first per-gateway scrape failure, named by gateway index.
+    pub fn metrics(
+        &mut self,
+    ) -> Result<
+        (
+            eilid_obs::RegistrySnapshot,
+            Vec<eilid_obs::RegistrySnapshot>,
+        ),
+        OpsError,
+    > {
+        let started = Instant::now();
+        let results = fan_out(&mut self.consoles, |_| true, |_, console| console.metrics());
+        self.fan_out_us.record_duration_us(started.elapsed());
+        let mut parts = Vec::with_capacity(results.len());
+        for (gateway, result) in results.into_iter().enumerate() {
+            parts.push(
+                result
+                    .expect("all selected")
+                    .map_err(|e| at_gateway(gateway, e))?,
+            );
+        }
+        let mut merged = eilid_obs::RegistrySnapshot::empty();
+        for part in &parts {
+            merged.merge(part);
+        }
+        Ok((merged, parts))
+    }
+
+    /// The operator-side telemetry this cluster console records
+    /// locally (fan-out latency) — *not* the gateways' registries;
+    /// those come from [`ClusterOps::metrics`].
+    pub fn local_metrics(&self) -> eilid_obs::RegistrySnapshot {
+        self.obs.snapshot()
+    }
+
     /// Checkpoints one console: pause, keep the bytes, resume the
     /// gateway-retained run. Returns `None` when the gateway kept the
     /// record itself (too large for one frame) — such a checkpoint
@@ -228,7 +279,9 @@ impl ClusterOps {
 
 impl FleetOps for ClusterOps {
     fn sweep(&mut self) -> Result<SweepSummary, OpsError> {
+        let started = Instant::now();
         let results = fan_out(&mut self.consoles, |_| true, |_, console| console.sweep());
+        self.fan_out_us.record_duration_us(started.elapsed());
         let mut parts = Vec::with_capacity(results.len());
         for (gateway, result) in results.into_iter().enumerate() {
             parts.push(
@@ -281,6 +334,7 @@ impl FleetOps for ClusterOps {
         }
         let participating = self.participating.clone();
         let finished = self.finished.clone();
+        let started = Instant::now();
         let results = fan_out(
             &mut self.consoles,
             |gateway| participating[gateway] && !finished[gateway],
@@ -293,6 +347,7 @@ impl FleetOps for ClusterOps {
                 Ok((status, checkpoint))
             },
         );
+        self.fan_out_us.record_duration_us(started.elapsed());
         let mut next_wave: Option<usize> = None;
         for (gateway, result) in results.into_iter().enumerate() {
             let Some(result) = result else { continue };
@@ -429,7 +484,9 @@ impl FleetOps for ClusterOps {
     }
 
     fn health(&mut self) -> Result<OpsHealth, OpsError> {
+        let started = Instant::now();
         let results = fan_out(&mut self.consoles, |_| true, |_, console| console.health());
+        self.fan_out_us.record_duration_us(started.elapsed());
         let mut parts = Vec::with_capacity(results.len());
         for (gateway, result) in results.into_iter().enumerate() {
             parts.push(

@@ -45,6 +45,7 @@ use eilid_workloads::WorkloadId;
 use eilid_fleet::ops::class_index;
 
 use crate::gateway::GatewayCounters;
+use crate::metrics::{NetMetrics, TRACE_CAT_ENGINE, TRACE_ENGINE_PHASE};
 use crate::poller::Waker;
 use crate::service::{health_to_wire, AttestationService};
 use crate::wire::{
@@ -179,6 +180,10 @@ pub(crate) struct OpsEngine {
     pool: Arc<WorkerPool>,
     /// Set on [`Frame::OpDrain`]; the reactor's accept path reads it.
     draining: Arc<AtomicBool>,
+    /// The gateway's telemetry hub: wave-phase histograms and busy
+    /// retries recorded here, the whole registry rendered on
+    /// [`Frame::OpMetrics`].
+    metrics: Arc<NetMetrics>,
 }
 
 impl OpsEngine {
@@ -195,6 +200,7 @@ impl OpsEngine {
         counters: Arc<GatewayCounters>,
         pool: Arc<WorkerPool>,
         draining: Arc<AtomicBool>,
+        metrics: Arc<NetMetrics>,
     ) -> std::thread::JoinHandle<()> {
         std::thread::Builder::new()
             .name("eilid-ops".into())
@@ -211,6 +217,7 @@ impl OpsEngine {
                     counters,
                     pool,
                     draining,
+                    metrics,
                 }
                 .run();
             })
@@ -343,7 +350,7 @@ impl OpsEngine {
                         ledger_events: self.ledger.events().len() as u32,
                         live_sessions: self.counters.live_connections.load(Ordering::Relaxed)
                             as u32,
-                        queue_depth: self.queue_depth() as u32,
+                        queue_depth: self.queue_depth_max() as u32,
                         batches_submitted: self.counters.batches_submitted.load(Ordering::Relaxed),
                     },
                 );
@@ -381,25 +388,54 @@ impl OpsEngine {
                 });
                 self.send(conn, Frame::OpDrained { paused: records });
             }
+            Frame::OpMetrics => {
+                // Refresh the point-in-time gauges, then render the
+                // whole registry (plus the pre-registry atomics) as the
+                // compact JSON the operator plane parses back.
+                self.metrics.sample_pool(&self.pool);
+                let snapshot = self
+                    .metrics
+                    .snapshot(&self.counters, &self.service)
+                    .to_json()
+                    .into_bytes();
+                if snapshot.len() > crate::wire::MAX_OP_PAYLOAD {
+                    // Unframeable reply (would need ~50k distinct
+                    // metric names); refuse rather than truncate.
+                    return self.send_error(conn, ErrorCode::Unsupported);
+                }
+                self.send(conn, Frame::OpMetricsResult { snapshot });
+            }
             // The session only routes the frames above.
             _ => self.send_error(conn, ErrorCode::UnexpectedFrame),
         }
     }
 
-    /// Weight units queued or running across the pool's *distinct*
-    /// workers (summing per shard would count a worker once per shard
-    /// it serves).
-    fn queue_depth(&self) -> usize {
-        let mut seen = vec![false; self.pool.workers()];
-        let mut depth = 0;
-        for shard in 0..self.pool.shard_count() {
-            let worker = self.pool.worker_of(shard);
-            if !seen[worker] {
-                seen[worker] = true;
-                depth += self.pool.shard_load(shard);
-            }
-        }
-        depth
+    /// The hottest single worker's queued/running weight — the
+    /// backpressure signal `OpHealthResult` reports. A shard-affine
+    /// pool stalls when its *hottest* worker saturates, so the sum
+    /// (which a balanced and a pathological fleet can share) goes to
+    /// the metrics gauges instead; see `eilid_pool_queue_depth_sum`.
+    fn queue_depth_max(&self) -> usize {
+        let (_, max) = self.metrics.sample_pool(&self.pool);
+        max as usize
+    }
+
+    /// Records one finished rollout phase (`0` snapshot, `1` update,
+    /// `2` probe) into its latency histogram and the trace ring.
+    fn note_phase(&self, phase: u64, started: Instant) {
+        let elapsed = started.elapsed();
+        let hist = match phase {
+            0 => &self.metrics.phase_snapshot_us,
+            1 => &self.metrics.phase_update_us,
+            _ => &self.metrics.phase_probe_us,
+        };
+        hist.record_duration_us(elapsed);
+        self.metrics.trace().record(
+            TRACE_CAT_ENGINE,
+            TRACE_ENGINE_PHASE,
+            u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+            phase,
+        );
     }
 
     fn handle_control(&mut self, conn: u64, cohort: WorkloadId, op: CampaignOp) {
@@ -587,6 +623,7 @@ impl OpsEngine {
                         if let Some(request) = pending.get(&device).cloned() {
                             let attempts = retries.entry(device).or_insert(0);
                             *attempts += 1;
+                            self.metrics.engine_busy_retries.inc();
                             if *attempts > ENGINE_BUSY_RETRIES {
                                 pending.remove(&device);
                                 continue;
@@ -696,7 +733,9 @@ impl WaveExecutor for OpsEngine {
                 )
             })
             .collect();
+        let phase_started = Instant::now();
         let snapshots = self.exchange(snapshot_requests, ReplyKind::Snapshot);
+        self.note_phase(0, phase_started);
 
         // Phase B — authenticated updates, nonces resuming above each
         // device's reported last nonce.
@@ -712,7 +751,9 @@ impl WaveExecutor for OpsEngine {
             request_nonces.insert(device, request.nonce);
             update_requests.push((device, Frame::UpdateRequest { device, request }));
         }
+        let phase_started = Instant::now();
         let acks = self.exchange(update_requests, ReplyKind::UpdateAck);
+        self.note_phase(1, phase_started);
 
         // Phase C — post-update probes (attest against the expected
         // post-patch measurement, then reboot + smoke-run) for every
@@ -742,7 +783,9 @@ impl WaveExecutor for OpsEngine {
                 },
             ));
         }
+        let phase_started = Instant::now();
         let probes = self.exchange(probe_requests, ReplyKind::Probe);
+        self.note_phase(2, phase_started);
 
         // Compose per-device results in wave (id) order, mirroring the
         // in-process rollout's event sequences exactly.

@@ -45,11 +45,12 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use eilid_fleet::{WorkerPool, SHARD_COUNT};
 
 use crate::engine::{EngineInput, OpsEngine, Registry};
+use crate::metrics::{NetMetrics, TRACE_CAT_REACTOR, TRACE_REACTOR_PASS};
 use crate::poller::{
     Event, IdleBackoff, Interest, Poller, PollerBackend, PollerChoice, WaitOutcome, Waker,
 };
@@ -210,6 +211,7 @@ struct PassCtx<'a> {
     completions_tx: &'a mpsc::Sender<Vec<(u64, Frame)>>,
     waker: &'a Waker,
     counters: &'a GatewayCounters,
+    metrics: &'a Arc<NetMetrics>,
     batches: &'a mut Vec<Vec<(u64, VerifyTask)>>,
     batch_max: usize,
     read_buf: &'a mut [u8],
@@ -250,9 +252,19 @@ impl PassCtx<'_> {
         let service = Arc::clone(self.service);
         let tx = self.completions_tx.clone();
         let waker = self.waker.clone();
+        let metrics = Arc::clone(self.metrics);
+        let submitted_at = Instant::now();
+        self.metrics.verify_batch_size.record(weight as u64);
         let submitted = self.pool.try_submit_weighted(shard, weight, move || {
             let (conns, tasks): (Vec<u64>, Vec<VerifyTask>) = batch.into_iter().unzip();
+            let verify_started = Instant::now();
             let verdicts = service.verify_batch(&tasks);
+            metrics
+                .verify_batch_us
+                .record_duration_us(verify_started.elapsed());
+            metrics
+                .pool_job_us
+                .record_duration_us(submitted_at.elapsed());
             let frames: Vec<(u64, Frame)> = conns
                 .into_iter()
                 .zip(tasks.iter().zip(verdicts))
@@ -334,6 +346,10 @@ pub struct Gateway {
     /// Set by the engine on [`Frame::OpDrain`]: stop accepting new
     /// connections (existing ones keep draining their outboxes).
     draining: Arc<AtomicBool>,
+    /// Per-gateway telemetry hub, shared with the campaign engine and
+    /// the worker closures; scraped over the wire via
+    /// [`Frame::OpMetrics`].
+    metrics: Arc<NetMetrics>,
 }
 
 impl std::fmt::Debug for Gateway {
@@ -379,6 +395,7 @@ impl Gateway {
         // (for `OpHealth`) and the drain flag read-write (it sets it on
         // `OpDrain`; the reactor's accept path reads it).
         let registry = Arc::new(Mutex::new(Registry::default()));
+        let metrics = NetMetrics::new();
         let (engine_tx, engine_rx) = mpsc::channel();
         OpsEngine::spawn(
             Arc::clone(&service),
@@ -390,6 +407,7 @@ impl Gateway {
             Arc::clone(&counters),
             Arc::clone(&pool),
             Arc::clone(&draining),
+            Arc::clone(&metrics),
         );
         Ok(Gateway {
             listener,
@@ -408,6 +426,7 @@ impl Gateway {
             registry,
             engine_tx,
             draining,
+            metrics,
         })
     }
 
@@ -428,6 +447,18 @@ impl Gateway {
     /// Reactor counters.
     pub fn counters(&self) -> &Arc<GatewayCounters> {
         &self.counters
+    }
+
+    /// The gateway's telemetry hub (registry, histograms, trace ring).
+    pub fn metrics(&self) -> &Arc<NetMetrics> {
+        &self.metrics
+    }
+
+    /// A scrape-time snapshot of every gateway metric — what a wire
+    /// [`Frame::OpMetrics`] returns, available in-process.
+    pub fn metrics_snapshot(&self) -> eilid_obs::RegistrySnapshot {
+        self.metrics.sample_pool(&self.pool);
+        self.metrics.snapshot(&self.counters, &self.service)
     }
 
     /// Open connections right now.
@@ -519,6 +550,11 @@ impl Gateway {
         while let Ok(batch) = self.completions_rx.try_recv() {
             for (conn_id, frame) in batch {
                 if let Some(conn) = self.conns.get_mut(&conn_id) {
+                    // Per-code reject accounting for the asynchronous
+                    // reply paths (pool bounces, engine errors).
+                    if let Frame::Error { code } | Frame::DeviceError { code, .. } = &frame {
+                        self.metrics.count_reject(*code);
+                    }
                     conn.queue(&frame);
                     touched.insert(conn_id);
                 }
@@ -584,6 +620,7 @@ impl Gateway {
             completions_tx: &self.completions_tx,
             waker: &self.waker,
             counters: &self.counters,
+            metrics: &self.metrics,
             batches: &mut self.batches,
             batch_max: self.config.batch_max,
             read_buf: &mut self.read_buf,
@@ -620,6 +657,7 @@ impl Gateway {
                 completions_tx: &self.completions_tx,
                 waker: &self.waker,
                 counters: &self.counters,
+                metrics: &self.metrics,
                 batches: &mut self.batches,
                 batch_max: self.config.batch_max,
                 read_buf: &mut self.read_buf,
@@ -708,6 +746,11 @@ impl Gateway {
                     match conn.session.handle(ctx.service, frame) {
                         SessionOutput::Reply(frames) => {
                             for frame in frames {
+                                if let Frame::Error { code } | Frame::DeviceError { code, .. } =
+                                    &frame
+                                {
+                                    ctx.metrics.count_reject(*code);
+                                }
                                 conn.queue(&frame);
                             }
                         }
@@ -730,6 +773,11 @@ impl Gateway {
                         }
                         SessionOutput::ReplyAndClose(frames) => {
                             for frame in frames {
+                                if let Frame::Error { code } | Frame::DeviceError { code, .. } =
+                                    &frame
+                                {
+                                    ctx.metrics.count_reject(*code);
+                                }
                                 conn.queue(&frame);
                             }
                             conn.closing = true;
@@ -755,6 +803,9 @@ impl Gateway {
         // Push replies produced by this pass toward the socket now; the
         // poller's write interest covers whatever the socket refuses.
         progress |= conn.flush();
+        // Outbox residency after the flush: how far this peer lags
+        // behind draining its replies (0 for a healthy peer).
+        ctx.metrics.outbox_bytes.record(conn.outbox.len() as u64);
         progress
     }
 
@@ -769,7 +820,10 @@ impl Gateway {
         let mut events: Vec<Event> = Vec::with_capacity(256);
         let mut backoff = IdleBackoff::new(self.config.idle_backoff_max);
         while !shutdown.load(Ordering::Relaxed) {
-            let progress = match self.poller.wait(&mut events, &backoff)? {
+            let outcome = self.poller.wait(&mut events, &backoff)?;
+            let pass_started = Instant::now();
+            let frames_before = self.counters.frames_received.load(Ordering::Relaxed);
+            let progress = match outcome {
                 WaitOutcome::Ready => {
                     if !events.is_empty() {
                         self.counters.reactor_wakes.fetch_add(1, Ordering::Relaxed);
@@ -782,6 +836,23 @@ impl Gateway {
                 }
             };
             if progress {
+                // Only productive passes are sampled: idle scan passes
+                // would otherwise drown the histograms (and the trace
+                // ring) in near-zero noise.
+                let elapsed = pass_started.elapsed();
+                let frames = self
+                    .counters
+                    .frames_received
+                    .load(Ordering::Relaxed)
+                    .saturating_sub(frames_before);
+                self.metrics.pass_us.record_duration_us(elapsed);
+                self.metrics.frames_per_wake.record(frames);
+                self.metrics.trace().record(
+                    TRACE_CAT_REACTOR,
+                    TRACE_REACTOR_PASS,
+                    u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+                    frames,
+                );
                 backoff.reset();
             } else {
                 backoff.note_idle();
@@ -806,6 +877,7 @@ impl Gateway {
         let flag = Arc::clone(&shutdown);
         let counters = Arc::clone(&self.counters);
         let service = Arc::clone(&self.service);
+        let metrics = Arc::clone(&self.metrics);
         let waker = self.waker.clone();
         let mut gateway = self;
         let handle = std::thread::Builder::new()
@@ -820,6 +892,7 @@ impl Gateway {
             shutdown,
             counters,
             service,
+            metrics,
             waker,
             handle,
         }
@@ -832,6 +905,7 @@ pub struct GatewayHandle {
     shutdown: Arc<AtomicBool>,
     counters: Arc<GatewayCounters>,
     service: Arc<AttestationService>,
+    metrics: Arc<NetMetrics>,
     waker: Waker,
     handle: JoinHandle<io::Result<Gateway>>,
 }
@@ -850,6 +924,18 @@ impl GatewayHandle {
     /// The trust core (for its verification stats).
     pub fn service(&self) -> &Arc<AttestationService> {
         &self.service
+    }
+
+    /// The gateway's telemetry hub.
+    pub fn metrics(&self) -> &Arc<NetMetrics> {
+        &self.metrics
+    }
+
+    /// A scrape-time snapshot of every gateway metric (in-process
+    /// equivalent of a wire [`Frame::OpMetrics`], minus the pool
+    /// gauges, which only the reactor side can sample).
+    pub fn metrics_snapshot(&self) -> eilid_obs::RegistrySnapshot {
+        self.metrics.snapshot(&self.counters, &self.service)
     }
 
     /// Stops the reactor (waking it if blocked) and returns the

@@ -34,6 +34,12 @@
 //!   drains and restarts gateway processes — mid-campaign failover
 //!   resumes from retained paused-campaign bytes rather than redoing
 //!   work.
+//! * [`metrics`] — the per-gateway telemetry hub ([`NetMetrics`]):
+//!   an [`eilid_obs::MetricsRegistry`] of latency histograms and
+//!   counters plus a bounded [`eilid_obs::TraceRing`] of structured
+//!   events, every hot-path handle pre-resolved (recording is
+//!   lock-free), scrapeable over the wire via [`Frame::OpMetrics`]
+//!   and mergeable across a cluster.
 //! * [`client`] — the device half ([`DeviceClient`]) plus
 //!   [`sweep_fleet_over`]/[`sweep_fleet_tcp`] (and their `_windowed`
 //!   variants): full-fleet attestation sweeps over real loopback
@@ -68,6 +74,7 @@ pub mod cluster;
 mod engine;
 pub mod error;
 pub mod gateway;
+pub mod metrics;
 pub mod ops;
 pub mod poller;
 pub mod service;
@@ -75,13 +82,19 @@ pub mod transport;
 pub mod wire;
 
 pub use client::{
-    sweep_fleet_over, sweep_fleet_tcp, sweep_fleet_tcp_windowed, sweep_fleet_windowed,
-    DeviceClient, NetSweepReport, BUSY_RETRIES, DEFAULT_PIPELINE_WINDOW,
+    sweep_fleet_over, sweep_fleet_tcp, sweep_fleet_tcp_observed, sweep_fleet_tcp_windowed,
+    sweep_fleet_windowed, sweep_fleet_windowed_observed, DeviceClient, NetSweepReport,
+    BUSY_RETRIES, DEFAULT_PIPELINE_WINDOW,
 };
 pub use cluster::{with_placed_fleet, ClusterOps, GatewayLauncher, Placement, Supervisor};
 pub use engine::ENGINE_BUSY_RETRIES;
 pub use error::NetError;
 pub use gateway::{Gateway, GatewayConfig, GatewayCounters, GatewayHandle};
+pub use metrics::{
+    error_code_slug, pool_depths, NetMetrics, ERROR_CODES, TRACE_CAT_CLUSTER, TRACE_CAT_ENGINE,
+    TRACE_CAT_REACTOR, TRACE_CAT_SERVE, TRACE_CLUSTER_DRAIN, TRACE_CLUSTER_RESTART,
+    TRACE_ENGINE_PHASE, TRACE_REACTOR_PASS, TRACE_RING_CAPACITY, TRACE_SERVE_IDLE,
+};
 pub use ops::{with_attached_fleet, DeviceAgent, RemoteOps};
 pub use poller::{
     Event, IdleBackoff, Interest, Poller, PollerBackend, PollerChoice, WaitOutcome, Waker,

@@ -1,0 +1,335 @@
+//! The gateway's telemetry hub: one [`eilid_obs::MetricsRegistry`] +
+//! [`eilid_obs::TraceRing`] per gateway, with every hot-path handle
+//! resolved once at construction — the instrumented paths (reactor
+//! passes, verify batches, campaign waves) touch only lock-free atomic
+//! cells.
+//!
+//! The pre-registry reactor counters ([`GatewayCounters`]) and the
+//! trust core's [`AttestationService::stats`] keep their atomics; a
+//! [`NetMetrics::snapshot`] injects them at scrape time so one
+//! `OpMetrics` reply carries the gateway's whole self-knowledge.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use eilid_fleet::WorkerPool;
+use eilid_obs::{Counter, Gauge, Histogram, MetricsRegistry, RegistrySnapshot, TraceRing};
+
+use crate::gateway::GatewayCounters;
+use crate::service::AttestationService;
+use crate::wire::ErrorCode;
+
+/// Trace-event category: reactor-level events.
+pub const TRACE_CAT_REACTOR: u8 = 1;
+/// Trace-event category: campaign-engine events.
+pub const TRACE_CAT_ENGINE: u8 = 2;
+/// Trace-event category: cluster control-plane events (supervisor
+/// restarts/drains, fan-out).
+pub const TRACE_CAT_CLUSTER: u8 = 3;
+/// Trace-event category: `fleet serve` operator-console events.
+pub const TRACE_CAT_SERVE: u8 = 4;
+
+/// Reactor trace code: one reactor pass (span; `a` = elapsed µs, `b` =
+/// frames handled).
+pub const TRACE_REACTOR_PASS: u16 = 1;
+/// Engine trace code: one campaign wave phase finished (`a` = elapsed
+/// µs, `b` = phase index: 0 snapshot, 1 update, 2 probe).
+pub const TRACE_ENGINE_PHASE: u16 = 1;
+/// Cluster trace code: a gateway process was restarted (`a` = gateway
+/// index, `b` = total restarts for that slot).
+pub const TRACE_CLUSTER_RESTART: u16 = 1;
+/// Cluster trace code: a gateway was drained (`a` = gateway index,
+/// `b` = paused-campaign records handed back).
+pub const TRACE_CLUSTER_DRAIN: u16 = 2;
+/// Serve trace code: explicit idle heartbeat — emitted when a log tick
+/// sees no counter movement, so a wedged reactor still produces
+/// evidence (`a` = heartbeat ordinal, `b` = live connections).
+pub const TRACE_SERVE_IDLE: u16 = 1;
+
+/// Default trace-ring capacity (events retained).
+pub const TRACE_RING_CAPACITY: usize = 1024;
+
+/// Every [`ErrorCode`], index-aligned with
+/// [`NetMetrics::reject_counter`].
+pub const ERROR_CODES: [ErrorCode; 9] = [
+    ErrorCode::UnsupportedVersion,
+    ErrorCode::Busy,
+    ErrorCode::UnknownCohort,
+    ErrorCode::NotNegotiated,
+    ErrorCode::UnexpectedFrame,
+    ErrorCode::Unsupported,
+    ErrorCode::UnknownDevice,
+    ErrorCode::NoCampaign,
+    ErrorCode::CampaignActive,
+];
+
+fn error_code_index(code: ErrorCode) -> usize {
+    match code {
+        ErrorCode::UnsupportedVersion => 0,
+        ErrorCode::Busy => 1,
+        ErrorCode::UnknownCohort => 2,
+        ErrorCode::NotNegotiated => 3,
+        ErrorCode::UnexpectedFrame => 4,
+        ErrorCode::Unsupported => 5,
+        ErrorCode::UnknownDevice => 6,
+        ErrorCode::NoCampaign => 7,
+        ErrorCode::CampaignActive => 8,
+    }
+}
+
+/// The metric-name suffix for an [`ErrorCode`]'s reject counter
+/// (`eilid_gateway_reject_<suffix>_total`).
+pub fn error_code_slug(code: ErrorCode) -> &'static str {
+    match code {
+        ErrorCode::UnsupportedVersion => "unsupported_version",
+        ErrorCode::Busy => "busy",
+        ErrorCode::UnknownCohort => "unknown_cohort",
+        ErrorCode::NotNegotiated => "not_negotiated",
+        ErrorCode::UnexpectedFrame => "unexpected_frame",
+        ErrorCode::Unsupported => "unsupported",
+        ErrorCode::UnknownDevice => "unknown_device",
+        ErrorCode::NoCampaign => "no_campaign",
+        ErrorCode::CampaignActive => "campaign_active",
+    }
+}
+
+/// Per-gateway telemetry: the registry, the trace ring, and every
+/// hot-path metric handle pre-resolved. Cheap to share (`Arc` it once
+/// at [`crate::Gateway::bind`]); every recording method is lock-free.
+#[derive(Debug)]
+pub struct NetMetrics {
+    registry: MetricsRegistry,
+    trace: TraceRing,
+    /// Reactor pass duration in microseconds (one sample per
+    /// readiness wake or scan pass).
+    pub pass_us: Histogram,
+    /// Frames handled per readiness wake (the reactor's realized
+    /// batching factor).
+    pub frames_per_wake: Histogram,
+    /// Outbox residency in bytes, sampled per serviced connection —
+    /// how close peers run to the high-water mark.
+    pub outbox_bytes: Histogram,
+    /// Verification batch size (reports per pool job).
+    pub verify_batch_size: Histogram,
+    /// `AttestationService::verify_batch` latency in microseconds.
+    pub verify_batch_us: Histogram,
+    /// Worker-pool job latency (submit → completion) in microseconds.
+    pub pool_job_us: Histogram,
+    /// Pool-wide queued/running weight (sum over distinct workers) —
+    /// the fleet-total load number.
+    pub pool_queue_depth_sum: Gauge,
+    /// Hottest single worker's queued/running weight — the actual
+    /// backpressure signal on a shard-affine pool.
+    pub pool_queue_depth_max: Gauge,
+    /// Campaign-wave snapshot-phase duration (µs).
+    pub phase_snapshot_us: Histogram,
+    /// Campaign-wave update-phase duration (µs).
+    pub phase_update_us: Histogram,
+    /// Campaign-wave probe-phase duration (µs).
+    pub phase_probe_us: Histogram,
+    /// Device exchanges the campaign engine retried after a `Busy`.
+    pub engine_busy_retries: Counter,
+    rejects: [Counter; ERROR_CODES.len()],
+}
+
+impl NetMetrics {
+    /// A fresh hub with every gateway metric registered.
+    pub fn new() -> Arc<Self> {
+        let registry = MetricsRegistry::new();
+        let rejects = ERROR_CODES.map(|code| {
+            registry.counter(&format!(
+                "eilid_gateway_reject_{}_total",
+                error_code_slug(code)
+            ))
+        });
+        Arc::new(NetMetrics {
+            pass_us: registry.histogram("eilid_gateway_pass_us"),
+            frames_per_wake: registry.histogram("eilid_gateway_frames_per_wake"),
+            outbox_bytes: registry.histogram("eilid_gateway_outbox_bytes"),
+            verify_batch_size: registry.histogram("eilid_verify_batch_size"),
+            verify_batch_us: registry.histogram("eilid_verify_batch_us"),
+            pool_job_us: registry.histogram("eilid_pool_job_us"),
+            pool_queue_depth_sum: registry.gauge("eilid_pool_queue_depth_sum"),
+            pool_queue_depth_max: registry.gauge("eilid_pool_queue_depth_max"),
+            phase_snapshot_us: registry.histogram("eilid_ops_phase_snapshot_us"),
+            phase_update_us: registry.histogram("eilid_ops_phase_update_us"),
+            phase_probe_us: registry.histogram("eilid_ops_phase_probe_us"),
+            engine_busy_retries: registry.counter("eilid_ops_busy_retries_total"),
+            rejects,
+            trace: TraceRing::new(TRACE_RING_CAPACITY),
+            registry,
+        })
+    }
+
+    /// The underlying registry (for layers registering their own
+    /// metrics).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The gateway's event trace ring.
+    pub fn trace(&self) -> &TraceRing {
+        &self.trace
+    }
+
+    /// Counts one rejection frame sent with `code`.
+    pub fn count_reject(&self, code: ErrorCode) {
+        self.rejects[error_code_index(code)].inc();
+    }
+
+    /// Value of the reject counter for `code`.
+    pub fn reject_counter(&self, code: ErrorCode) -> u64 {
+        self.rejects[error_code_index(code)].get()
+    }
+
+    /// Refreshes the queue-depth gauges from the pool's per-worker
+    /// in-flight weights; returns `(sum, max)`.
+    pub fn sample_pool(&self, pool: &WorkerPool) -> (u64, u64) {
+        let (sum, max) = pool_depths(pool);
+        self.pool_queue_depth_sum.set(sum);
+        self.pool_queue_depth_max.set(max);
+        (sum, max)
+    }
+
+    /// A scrape-time snapshot: the registry plus the pre-registry
+    /// atomics (reactor counters, trust-core stats, trace-ring
+    /// accounting) injected under the same naming scheme.
+    pub fn snapshot(
+        &self,
+        counters: &GatewayCounters,
+        service: &AttestationService,
+    ) -> RegistrySnapshot {
+        let mut snap = self.registry.snapshot();
+        let load = |cell: &std::sync::atomic::AtomicU64| cell.load(Ordering::Relaxed);
+        snap.put_counter("eilid_gateway_accepted_total", load(&counters.accepted));
+        snap.put_counter("eilid_gateway_refused_total", load(&counters.refused));
+        snap.put_counter(
+            "eilid_gateway_frames_received_total",
+            load(&counters.frames_received),
+        );
+        snap.put_counter(
+            "eilid_gateway_busy_rejections_total",
+            load(&counters.busy_rejections),
+        );
+        snap.put_counter(
+            "eilid_gateway_malformed_streams_total",
+            load(&counters.malformed_streams),
+        );
+        snap.put_counter(
+            "eilid_gateway_batches_submitted_total",
+            load(&counters.batches_submitted),
+        );
+        snap.put_counter(
+            "eilid_gateway_batched_reports_total",
+            load(&counters.batched_reports),
+        );
+        snap.put_counter(
+            "eilid_gateway_reactor_wakes_total",
+            load(&counters.reactor_wakes),
+        );
+        snap.put_counter(
+            "eilid_gateway_scan_passes_total",
+            load(&counters.scan_passes),
+        );
+        snap.put_gauge(
+            "eilid_gateway_live_connections",
+            load(&counters.live_connections),
+        );
+        let stats = service.stats();
+        snap.put_counter(
+            "eilid_service_reports_verified_total",
+            stats.reports_verified(),
+        );
+        snap.put_counter(
+            "eilid_service_challenges_issued_total",
+            stats.challenges_issued.load(Ordering::Relaxed),
+        );
+        snap.put_counter("eilid_trace_events_total", self.trace.appended());
+        snap.put_counter("eilid_trace_dropped_total", self.trace.dropped());
+        snap
+    }
+}
+
+/// `(sum, max)` of queued/running weight over the pool's *distinct*
+/// workers (shards sharing a worker share one in-flight cell, so
+/// summing per shard would multi-count).
+pub fn pool_depths(pool: &WorkerPool) -> (u64, u64) {
+    let workers = pool.workers();
+    let mut seen = vec![false; workers];
+    let (mut sum, mut max) = (0u64, 0u64);
+    for shard in 0..pool.shard_count() {
+        let worker = pool.worker_of(shard);
+        if !seen[worker] {
+            seen[worker] = true;
+            let load = pool.shard_load(shard) as u64;
+            sum += load;
+            max = max.max(load);
+        }
+    }
+    (sum, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    /// Hot-shard regression: one saturated worker must be visible as
+    /// the *max* depth — the old `OpHealth` sum conflated "one worker
+    /// drowning" with "load spread evenly", hiding exactly the
+    /// backpressure signal an operator needs. The sum lives on as the
+    /// fleet-total gauge.
+    #[test]
+    fn pool_depths_separates_hot_worker_from_fleet_total() {
+        // 2 workers over 4 shards: worker_of(shard) = shard % 2, so
+        // shards 0 and 2 share worker 0, shards 1 and 3 share worker 1.
+        let pool = WorkerPool::new(2, 4, 64);
+        let (release0_tx, release0_rx) = mpsc::channel::<()>();
+        let (release1_tx, release1_rx) = mpsc::channel::<()>();
+        // Weight is reserved at submit and released at completion, so
+        // blocked jobs pin the depths deterministically.
+        pool.try_submit_weighted(0, 5, move || {
+            let _ = release0_rx.recv();
+        })
+        .unwrap();
+        pool.try_submit_weighted(1, 2, move || {
+            let _ = release1_rx.recv();
+        })
+        .unwrap();
+        // More queued weight on the hot worker, via its other shard.
+        pool.try_submit_weighted(2, 4, || {}).unwrap();
+
+        let (sum, max) = pool_depths(&pool);
+        assert_eq!(sum, 11, "fleet total counts every distinct worker once");
+        assert_eq!(max, 9, "the hot worker's depth is the backpressure signal");
+        assert!(
+            max < sum,
+            "a sum can only hide the hot worker, never reveal it"
+        );
+
+        let metrics = NetMetrics::new();
+        assert_eq!(metrics.sample_pool(&pool), (11, 9));
+        assert_eq!(metrics.pool_queue_depth_sum.get(), 11);
+        assert_eq!(metrics.pool_queue_depth_max.get(), 9);
+
+        release0_tx.send(()).unwrap();
+        release1_tx.send(()).unwrap();
+    }
+
+    /// Every [`ErrorCode`] has a distinct reject counter and slug.
+    #[test]
+    fn reject_counters_cover_every_error_code() {
+        let metrics = NetMetrics::new();
+        for (index, &code) in ERROR_CODES.iter().enumerate() {
+            for _ in 0..=index {
+                metrics.count_reject(code);
+            }
+        }
+        for (index, &code) in ERROR_CODES.iter().enumerate() {
+            assert_eq!(metrics.reject_counter(code), index as u64 + 1);
+        }
+        let slugs: std::collections::BTreeSet<&str> =
+            ERROR_CODES.iter().map(|&c| error_code_slug(c)).collect();
+        assert_eq!(slugs.len(), ERROR_CODES.len(), "slugs must be distinct");
+    }
+}

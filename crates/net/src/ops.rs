@@ -162,6 +162,27 @@ impl<T: Transport> RemoteOps<T> {
         }
     }
 
+    /// Scrapes the gateway's telemetry registry: every counter, gauge
+    /// and latency histogram as a mergeable
+    /// [`eilid_obs::RegistrySnapshot`]. Cluster operators merge these
+    /// across gateways — counter totals sum exactly.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, gateway refusals, and unparseable snapshot
+    /// payloads as [`OpsError`].
+    pub fn metrics(&mut self) -> Result<eilid_obs::RegistrySnapshot, OpsError> {
+        match self.request(Frame::OpMetrics)? {
+            Frame::OpMetricsResult { snapshot } => {
+                let text = std::str::from_utf8(&snapshot)
+                    .map_err(|_| OpsError::Backend("metrics snapshot not UTF-8".into()))?;
+                eilid_obs::RegistrySnapshot::from_json(text)
+                    .map_err(|err| OpsError::Backend(format!("bad metrics snapshot: {err}")))
+            }
+            _ => Err(unexpected("expected OpMetricsResult")),
+        }
+    }
+
     /// One lockstep command/reply exchange, with gateway error frames
     /// mapped to typed [`OpsError`]s. Transport-level receive timeouts
     /// are retried until [`RemoteOps::set_op_timeout`]'s deadline:

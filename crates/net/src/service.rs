@@ -494,7 +494,8 @@ impl Session {
             | Frame::OpResume { .. }
             | Frame::OpSweep
             | Frame::OpHealth
-            | Frame::OpDrain) => SessionOutput::Operator(frame),
+            | Frame::OpDrain
+            | Frame::OpMetrics) => SessionOutput::Operator(frame),
             // Device-plane replies to engine-initiated pushes: update
             // acks, snapshot reports, probe results — and device-scoped
             // sheds (`DeviceError{Busy}`), which the engine retries.
@@ -520,6 +521,7 @@ impl Session {
             | Frame::OpSweepResult { .. }
             | Frame::OpHealthResult { .. }
             | Frame::OpDrained { .. }
+            | Frame::OpMetricsResult { .. }
             | Frame::CampaignStatus { .. } => SessionOutput::ReplyAndClose(vec![Frame::Error {
                 code: ErrorCode::UnexpectedFrame,
             }]),

@@ -54,10 +54,14 @@ pub const FRAME_MAGIC: [u8; 4] = *b"EILD";
 /// exchange ([`Frame::OpDrain`] / [`Frame::OpDrained`]) and the reactor
 /// counters ([`Frame::OpHealthResult`] grew `live_sessions`,
 /// `queue_depth` and `batches_submitted`) cluster supervisors steer by.
+/// Version 5 added the telemetry scrape ([`Frame::OpMetrics`] /
+/// [`Frame::OpMetricsResult`]): the gateway hands back its full
+/// metrics registry as a compact JSON snapshot, which
+/// `ClusterOps::metrics` merges across gateways.
 /// Each bump makes an older peer fail *at negotiation* with a typed
 /// `UnsupportedVersion` instead of mid-exchange on an unknown frame
 /// type.
-pub const PROTOCOL_VERSION: u8 = 4;
+pub const PROTOCOL_VERSION: u8 = 5;
 
 /// Size of the fixed frame header in bytes.
 pub const FRAME_HEADER_LEN: usize = 10;
@@ -75,9 +79,10 @@ pub const MAX_FRAME_PAYLOAD: usize = casu_wire::MAX_UPDATE_PAYLOAD + 64;
 /// [`Frame::OpReport`]/[`Frame::OpSweepResult`] carry per-device id
 /// lists that outgrow [`MAX_FRAME_PAYLOAD`] on large fleets, and
 /// [`Frame::OpDrained`] hands back *every* retained paused record at
-/// once. The cap is still enforced from the header (which names the
+/// once, and [`Frame::OpMetricsResult`] carries a whole-registry JSON
+/// snapshot. The cap is still enforced from the header (which names the
 /// frame type) *before* any payload is buffered, so a forged length
-/// drives at most 4 MiB of buffering on exactly these five
+/// drives at most 4 MiB of buffering on exactly these six
 /// operator-plane types — and senders refuse (with a typed error) the
 /// rare record exceeding even this, instead of emitting an unframeable
 /// reply.
@@ -100,7 +105,7 @@ pub const CAMPAIGN_STATE_IDLE: u8 = 3;
 /// bytes alone.
 fn max_payload_for(frame_type: u8) -> usize {
     match frame_type {
-        0x16 | 0x17 | 0x18 | 0x1A | 0x1E => MAX_OP_PAYLOAD,
+        0x16 | 0x17 | 0x18 | 0x1A | 0x1E | 0x20 => MAX_OP_PAYLOAD,
         _ => MAX_FRAME_PAYLOAD,
     }
 }
@@ -796,6 +801,18 @@ pub enum Frame {
         /// campaign slot holding state at drain time.
         paused: Vec<(WorkloadId, Vec<u8>)>,
     },
+    /// Operator → gateway (version 5): scrape the gateway's telemetry
+    /// registry.
+    OpMetrics,
+    /// Gateway → operator (version 5): the full metrics registry as a
+    /// compact JSON snapshot (`eilid_obs::RegistrySnapshot::to_json`),
+    /// bounded by [`MAX_OP_PAYLOAD`]. Kept as opaque bytes at the wire
+    /// layer — the codec stays structural; snapshot semantics live in
+    /// `eilid_obs`.
+    OpMetricsResult {
+        /// UTF-8 JSON snapshot bytes.
+        snapshot: Vec<u8>,
+    },
 }
 
 impl Frame {
@@ -831,6 +848,8 @@ impl Frame {
             Frame::OpHealthResult { .. } => 0x1C,
             Frame::OpDrain => 0x1D,
             Frame::OpDrained { .. } => 0x1E,
+            Frame::OpMetrics => 0x1F,
+            Frame::OpMetricsResult { .. } => 0x20,
         }
     }
 
@@ -987,6 +1006,11 @@ impl Frame {
                     out.extend_from_slice(record);
                 }
             }
+            Frame::OpMetrics => {}
+            Frame::OpMetricsResult { snapshot } => {
+                out.extend_from_slice(&(snapshot.len() as u32).to_le_bytes());
+                out.extend_from_slice(snapshot);
+            }
         }
     }
 
@@ -1136,6 +1160,10 @@ impl Frame {
                 }
                 Frame::OpDrained { paused }
             }
+            0x1F => Frame::OpMetrics,
+            0x20 => Frame::OpMetricsResult {
+                snapshot: read_bounded_bytes(&mut reader, MAX_OP_PAYLOAD)?,
+            },
             other => return Err(WireError::UnknownFrameType(other)),
         };
         if !reader.is_empty() {

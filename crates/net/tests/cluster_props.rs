@@ -17,10 +17,16 @@ use eilid_fleet::{
 };
 use eilid_net::cluster::{with_placed_fleet, ClusterOps, Placement};
 use eilid_net::{AttestationService, Gateway, GatewayConfig, GatewayHandle, RemoteOps};
+use eilid_obs::RegistrySnapshot;
 use eilid_workloads::WorkloadId;
 use proptest::prelude::*;
 
 const ROOT: &[u8] = b"fleet-root-key-0123456789abcdef";
+
+/// Named counter value in a snapshot (absent counters read as 0).
+fn counter(snap: &RegistrySnapshot, name: &str) -> u64 {
+    snap.counters.get(name).copied().unwrap_or(0)
+}
 
 fn build(devices: usize) -> (Fleet, Verifier) {
     FleetBuilder::new(DeviceKey::new(ROOT).unwrap())
@@ -136,6 +142,59 @@ proptest! {
         }
     }
 
+    /// Merged telemetry is placement-independent: for synthetic
+    /// per-gateway snapshots, every merged counter equals the sum over
+    /// the parts, and merging in any order yields the identical
+    /// snapshot — the guarantee that lets `ClusterOps::metrics` fold
+    /// gateways in whatever order the fan-out returns them.
+    #[test]
+    fn merged_metrics_equal_per_gateway_sums_in_any_order(
+        parts in proptest::collection::vec(
+            proptest::collection::vec((0usize..4, 0u64..1 << 40), 0..8),
+            1..5,
+        ),
+        order in proptest::collection::vec(any::<usize>(), 1..5),
+    ) {
+        let names = [
+            "eilid_gateway_frames_received_total",
+            "eilid_gateway_accepted_total",
+            "eilid_service_reports_verified_total",
+            "eilid_gateway_rejects_total",
+        ];
+        let snapshots: Vec<RegistrySnapshot> = parts
+            .iter()
+            .map(|counters| {
+                let mut snap = RegistrySnapshot::empty();
+                for &(name, value) in counters {
+                    let prior = counter(&snap, names[name]);
+                    snap.put_counter(names[name], prior + value);
+                }
+                snap
+            })
+            .collect();
+
+        let mut merged = RegistrySnapshot::empty();
+        for snap in &snapshots {
+            merged.merge(snap);
+        }
+        for name in names {
+            let sum: u64 = snapshots.iter().map(|s| counter(s, name)).sum();
+            prop_assert_eq!(counter(&merged, name), sum);
+        }
+
+        // Fold the same parts in a permuted order: identical snapshot.
+        let count = snapshots.len();
+        let mut indices: Vec<usize> = (0..count).collect();
+        for (slot, pick) in order.iter().enumerate().take(count) {
+            indices.swap(slot, pick % count);
+        }
+        let mut permuted = RegistrySnapshot::empty();
+        for &index in &indices {
+            permuted.merge(&snapshots[index]);
+        }
+        prop_assert_eq!(permuted, merged);
+    }
+
     /// Merging per-gateway sweep summaries built from a placement
     /// partition reproduces the summary of the union fleet exactly —
     /// counts, totals, and the id-sorted flagged list.
@@ -228,6 +287,73 @@ fn cluster_sweep_and_campaign_match_union_run() {
     assert_eq!(sweep_b, sweep_a, "cluster sweep must equal the union sweep");
     assert_eq!(sweep_b.count(HealthClass::Attested), devices);
     assert_eq!(health.devices, devices, "merged health sees every device");
+}
+
+/// Scraping a live 3-gateway cluster after a sweep: the merged
+/// snapshot's counters equal the per-gateway sums, the service-level
+/// verification counter accounts for every device, and folding the
+/// per-gateway parts in any order produces the identical snapshot.
+#[test]
+fn cluster_metrics_merge_matches_per_gateway_sums() {
+    let devices = 2 * SHARD_COUNT;
+    let (mut fleet, mut verifier) = build(devices);
+    let (handles, addrs) = spawn_cluster(&mut verifier, 3);
+
+    let (merged, parts) = with_placed_fleet(&mut fleet, &addrs, 2, || {
+        let mut ops = ClusterOps::connect(&addrs).map_err(|e| OpsError::Backend(e.to_string()))?;
+        let sweep = ops.sweep()?;
+        assert_eq!(sweep.count(HealthClass::Attested), devices);
+        ops.metrics()
+    })
+    .expect("placed agents served cleanly")
+    .expect("cluster metrics scrape succeeds");
+    for handle in handles {
+        handle.shutdown().unwrap();
+    }
+
+    assert_eq!(parts.len(), addrs.len(), "one snapshot per gateway");
+    for name in [
+        "eilid_gateway_frames_received_total",
+        "eilid_gateway_accepted_total",
+        "eilid_gateway_batched_reports_total",
+        "eilid_service_reports_verified_total",
+        "eilid_service_challenges_issued_total",
+    ] {
+        let sum: u64 = parts.iter().map(|part| counter(part, name)).sum();
+        assert_eq!(
+            counter(&merged, name),
+            sum,
+            "merged {name} must equal the per-gateway sum"
+        );
+    }
+    assert!(
+        counter(&merged, "eilid_service_reports_verified_total") >= devices as u64,
+        "a full sweep verifies every device at least once"
+    );
+    for part in &parts {
+        assert!(
+            counter(part, "eilid_gateway_accepted_total") > 0,
+            "placement spreads connections over every gateway"
+        );
+    }
+
+    // Fold the parts in reversed and rotated orders: merge must be
+    // order-invariant, or a cluster scrape would depend on which
+    // gateway answered first.
+    let fold = |indices: &[usize]| {
+        let mut snap = RegistrySnapshot::empty();
+        for &index in indices {
+            snap.merge(&parts[index]);
+        }
+        snap
+    };
+    let forward = fold(&[0, 1, 2]);
+    assert_eq!(forward, fold(&[2, 1, 0]));
+    assert_eq!(forward, fold(&[1, 2, 0]));
+    assert_eq!(
+        counter(&forward, "eilid_gateway_frames_received_total"),
+        counter(&merged, "eilid_gateway_frames_received_total"),
+    );
 }
 
 /// Mid-campaign failover: one of two gateways is torn down after the

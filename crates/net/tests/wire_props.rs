@@ -279,6 +279,10 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             0..4,
         )
         .prop_map(|paused| Frame::OpDrained { paused }),
+        // --- version 5: telemetry scrape ---
+        Just(Frame::OpMetrics),
+        proptest::collection::vec(0u8..=255, 0..512)
+            .prop_map(|snapshot| Frame::OpMetricsResult { snapshot }),
     ]
 }
 
@@ -297,7 +301,8 @@ proptest! {
             | Frame::OpPaused { .. }
             | Frame::OpReport { .. }
             | Frame::OpSweepResult { .. }
-            | Frame::OpDrained { .. } => MAX_OP_PAYLOAD,
+            | Frame::OpDrained { .. }
+            | Frame::OpMetricsResult { .. } => MAX_OP_PAYLOAD,
             _ => MAX_FRAME_PAYLOAD,
         };
         prop_assert!(bytes.len() <= FRAME_HEADER_LEN + ceiling);
@@ -601,6 +606,81 @@ fn malformed_operator_plane_corpus_yields_clean_typed_errors() {
     assert!(matches!(
         Frame::decode(&drained),
         Err(WireError::BadPayload(_)) | Err(WireError::Truncated { .. })
+    ));
+}
+
+/// Version-5 telemetry frames: malformed `OpMetricsResult` payloads
+/// die typed, and a version-4 peer's decoder rejects the new verbs
+/// from the header alone (the version byte precedes the type byte, so
+/// an old peer never even learns these types exist).
+#[test]
+fn malformed_metrics_corpus_yields_clean_typed_errors() {
+    let template = Frame::OpMetricsResult {
+        snapshot: br#"{"v":1,"counters":[],"gauges":[],"histograms":[]}"#.to_vec(),
+    }
+    .encode();
+
+    // Truncated at every strict prefix.
+    for cut in 0..template.len() {
+        assert!(matches!(
+            Frame::decode(&template[..cut]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    // A header length claim past the operator-plane ceiling is
+    // rejected before any payload is buffered.
+    let mut oversized = template.clone();
+    oversized[6..10].copy_from_slice(&((MAX_OP_PAYLOAD + 1) as u32).to_le_bytes());
+    assert_eq!(
+        Frame::decode(&oversized),
+        Err(WireError::Oversized {
+            claimed: MAX_OP_PAYLOAD + 1,
+            max: MAX_OP_PAYLOAD,
+        })
+    );
+
+    // Trailing bytes past the declared snapshot are a typed error.
+    let mut trailing = template.clone();
+    trailing.push(0xAA);
+    let claimed = (trailing.len() - FRAME_HEADER_LEN) as u32;
+    trailing[6..10].copy_from_slice(&claimed.to_le_bytes());
+    assert!(matches!(
+        Frame::decode(&trailing),
+        Err(WireError::TrailingBytes { .. })
+    ));
+
+    // An inner snapshot-length claim the frame cannot hold dies typed.
+    let mut lying = template.clone();
+    lying[FRAME_HEADER_LEN..FRAME_HEADER_LEN + 4].copy_from_slice(&(u32::MAX).to_le_bytes());
+    assert!(matches!(
+        Frame::decode(&lying),
+        Err(WireError::BadPayload(_)) | Err(WireError::Truncated { .. })
+    ));
+
+    // A version-4 peer (or any non-v5 peer) rejects both new verbs
+    // from the version byte alone — no v4 decoder ever reaches the
+    // 0x1F/0x20 type bytes.
+    for frame in [
+        Frame::OpMetrics,
+        Frame::OpMetricsResult { snapshot: vec![] },
+    ] {
+        let mut v4 = frame.encode();
+        v4[4] = PROTOCOL_VERSION - 1;
+        assert_eq!(
+            Frame::decode(&v4),
+            Err(WireError::UnsupportedVersion(PROTOCOL_VERSION - 1))
+        );
+    }
+
+    // OpMetrics itself is an empty-payload frame; extra bytes are
+    // trailing garbage, not silently ignored.
+    let mut metrics = Frame::OpMetrics.encode();
+    metrics.push(0x01);
+    metrics[6..10].copy_from_slice(&1u32.to_le_bytes());
+    assert!(matches!(
+        Frame::decode(&metrics),
+        Err(WireError::TrailingBytes { .. })
     ));
 }
 

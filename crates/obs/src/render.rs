@@ -1,0 +1,470 @@
+//! Snapshot renderers: Prometheus-style text exposition and the
+//! compact JSON form that crosses the wire, plus the hand-rolled JSON
+//! parser the cluster merge path uses (the workspace vendors no JSON
+//! crate — see `vendor/README.md`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::{bucket_upper_bound, HistogramSnapshot, RegistrySnapshot, HIST_BUCKETS};
+
+/// Error from parsing a JSON snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObsError {
+    /// Byte offset the parse failed at.
+    pub at: usize,
+    /// What was expected or wrong.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for ObsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bad metrics snapshot at byte {}: {}",
+            self.at, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ObsError {}
+
+impl RegistrySnapshot {
+    /// Prometheus-style text exposition: one `# TYPE` line per metric,
+    /// counters and gauges as bare samples, histograms as cumulative
+    /// `_bucket{le="..."}` samples (non-empty buckets only, plus the
+    /// mandatory `+Inf`) with `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, hist) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (bucket, cell) in hist.buckets.iter().enumerate() {
+                if *cell == 0 {
+                    continue;
+                }
+                cumulative = cumulative.saturating_add(*cell);
+                let le = bucket_upper_bound(bucket);
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            let _ = writeln!(out, "{name}_sum {}", hist.sum);
+            let _ = writeln!(out, "{name}_count {}", hist.count);
+        }
+        out
+    }
+
+    /// Compact JSON snapshot (what an `OpMetricsResult` frame
+    /// carries). Metric entries are `["name", value]` pairs sorted by
+    /// name; histogram buckets are sparse `[bucket, count]` pairs.
+    /// [`RegistrySnapshot::from_json`] is the exact inverse.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"v\":1,\"counters\":[");
+        let mut first = true;
+        for (name, value) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "[\"{}\",{}]", escape_json(name), value);
+        }
+        out.push_str("],\"gauges\":[");
+        first = true;
+        for (name, value) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "[\"{}\",{}]", escape_json(name), value);
+        }
+        out.push_str("],\"histograms\":[");
+        first = true;
+        for (name, hist) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "[\"{}\",{{\"count\":{},\"sum\":{},\"buckets\":[",
+                escape_json(name),
+                hist.count,
+                hist.sum
+            );
+            let mut first_bucket = true;
+            for (bucket, cell) in hist.buckets.iter().enumerate() {
+                if *cell == 0 {
+                    continue;
+                }
+                if !first_bucket {
+                    out.push(',');
+                }
+                first_bucket = false;
+                let _ = write!(out, "[{bucket},{cell}]");
+            }
+            out.push_str("]}]");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a snapshot previously rendered by
+    /// [`RegistrySnapshot::to_json`] (whitespace-tolerant).
+    ///
+    /// # Errors
+    ///
+    /// [`ObsError`] with the failing byte offset on any structural
+    /// mismatch — the input is wire data, i.e. attacker-adjacent, so
+    /// every length and discriminant is checked and nothing panics.
+    pub fn from_json(text: &str) -> Result<RegistrySnapshot, ObsError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.expect(b'{')?;
+        p.expect_key("v")?;
+        if p.number()? != 1 {
+            return Err(p.fail("unsupported snapshot version"));
+        }
+        p.expect(b',')?;
+        p.expect_key("counters")?;
+        let counters = p.pair_list()?;
+        p.expect(b',')?;
+        p.expect_key("gauges")?;
+        let gauges = p.pair_list()?;
+        p.expect(b',')?;
+        p.expect_key("histograms")?;
+        let histograms = p.histogram_list()?;
+        p.expect(b'}')?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.fail("trailing bytes after snapshot"));
+        }
+        Ok(RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        })
+    }
+}
+
+fn escape_json(name: &str) -> String {
+    // Metric names follow the documented [a-z0-9_] scheme, but the
+    // renderer still escapes so an odd name can never produce invalid
+    // JSON.
+    let mut out = String::with_capacity(name.len());
+    for ch in name.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn fail(&self, reason: &'static str) -> ObsError {
+        ObsError {
+            at: self.pos,
+            reason,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ObsError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.fail("unexpected byte"))
+        }
+    }
+
+    /// Consumes `"key":`.
+    fn expect_key(&mut self, key: &str) -> Result<(), ObsError> {
+        let got = self.string()?;
+        if got != key {
+            return Err(self.fail("unexpected object key"));
+        }
+        self.expect(b':')
+    }
+
+    fn string(&mut self) -> Result<String, ObsError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&byte) = self.bytes.get(self.pos) else {
+                return Err(self.fail("unterminated string"));
+            };
+            self.pos += 1;
+            match byte {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.fail("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        _ => return Err(self.fail("unsupported escape")),
+                    }
+                }
+                b if b < 0x20 => return Err(self.fail("control byte in string")),
+                b => {
+                    // Multi-byte UTF-8 passes through byte-wise; the
+                    // input is a &str so the sequence is valid.
+                    out.push(b as char);
+                    if b >= 0x80 {
+                        // Re-assemble the code point properly: back up
+                        // and take the full UTF-8 sequence from the
+                        // source string.
+                        out.pop();
+                        let start = self.pos - 1;
+                        let text = std::str::from_utf8(&self.bytes[start..])
+                            .map_err(|_| self.fail("invalid utf-8"))?;
+                        let ch = text.chars().next().ok_or(self.fail("empty string tail"))?;
+                        out.push(ch);
+                        self.pos = start + ch.len_utf8();
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, ObsError> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut value: u64 = 0;
+        while let Some(&byte) = self.bytes.get(self.pos) {
+            if !byte.is_ascii_digit() {
+                break;
+            }
+            value = value
+                .checked_mul(10)
+                .and_then(|v| v.checked_add(u64::from(byte - b'0')))
+                .ok_or(ObsError {
+                    at: self.pos,
+                    reason: "number out of range",
+                })?;
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.fail("expected a number"));
+        }
+        Ok(value)
+    }
+
+    /// Parses `[["name",N],...]` into a name → value map.
+    fn pair_list(&mut self) -> Result<BTreeMap<String, u64>, ObsError> {
+        let mut out = BTreeMap::new();
+        self.expect(b'[')?;
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            self.expect(b'[')?;
+            let name = self.string()?;
+            self.expect(b',')?;
+            let value = self.number()?;
+            self.expect(b']')?;
+            out.insert(name, value);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                _ => return Err(self.fail("expected ',' or ']'")),
+            }
+        }
+    }
+
+    /// Parses `[["name",{"count":..,"sum":..,"buckets":[[b,c],..]}],..]`.
+    fn histogram_list(&mut self) -> Result<BTreeMap<String, HistogramSnapshot>, ObsError> {
+        let mut out = BTreeMap::new();
+        self.expect(b'[')?;
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            self.expect(b'[')?;
+            let name = self.string()?;
+            self.expect(b',')?;
+            self.expect(b'{')?;
+            self.expect_key("count")?;
+            let count = self.number()?;
+            self.expect(b',')?;
+            self.expect_key("sum")?;
+            let sum = self.number()?;
+            self.expect(b',')?;
+            self.expect_key("buckets")?;
+            let mut hist = HistogramSnapshot::empty();
+            hist.count = count;
+            hist.sum = sum;
+            self.expect(b'[')?;
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+            } else {
+                loop {
+                    self.expect(b'[')?;
+                    let bucket = self.number()?;
+                    self.expect(b',')?;
+                    let cell = self.number()?;
+                    self.expect(b']')?;
+                    let bucket = usize::try_from(bucket)
+                        .ok()
+                        .filter(|b| *b < HIST_BUCKETS)
+                        .ok_or(self.fail("bucket index out of range"))?;
+                    hist.buckets[bucket] = cell;
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return Err(self.fail("expected ',' or ']'")),
+                    }
+                }
+            }
+            self.expect(b'}')?;
+            self.expect(b']')?;
+            out.insert(name, hist);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                _ => return Err(self.fail("expected ',' or ']'")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Histogram, MetricsRegistry};
+
+    fn sample() -> RegistrySnapshot {
+        let registry = MetricsRegistry::new();
+        registry.counter("eilid_a_total").add(5);
+        registry.counter("eilid_b_total").add(0);
+        registry.gauge("eilid_depth").set(9);
+        let h = registry.histogram("eilid_pass_us");
+        for v in [0u64, 1, 3, 100, 100_000] {
+            h.record(v);
+        }
+        registry.snapshot()
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let snap = sample();
+        let json = snap.to_json();
+        let parsed = RegistrySnapshot::from_json(&json).expect("own output parses");
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = RegistrySnapshot::empty();
+        let parsed = RegistrySnapshot::from_json(&snap.to_json()).expect("empty parses");
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let json = sample().to_json().replace(',', " ,\n ");
+        assert_eq!(RegistrySnapshot::from_json(&json).expect("ws ok"), sample());
+    }
+
+    #[test]
+    fn malformed_json_dies_typed() {
+        for bad in [
+            "",
+            "{",
+            "{}",
+            "{\"v\":2,\"counters\":[],\"gauges\":[],\"histograms\":[]}",
+            "{\"v\":1,\"counters\":[[\"a\"]],\"gauges\":[],\"histograms\":[]}",
+            "{\"v\":1,\"counters\":[],\"gauges\":[],\"histograms\":[[\"h\",{\"count\":1,\"sum\":1,\"buckets\":[[99,1]]}]]}",
+            "{\"v\":1,\"counters\":[],\"gauges\":[],\"histograms\":[]}trailing",
+            "{\"v\":1,\"counters\":[[\"a\",99999999999999999999999]],\"gauges\":[],\"histograms\":[]}",
+        ] {
+            assert!(
+                RegistrySnapshot::from_json(bad).is_err(),
+                "accepted malformed input: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_text_has_required_shape() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE eilid_a_total counter"));
+        assert!(text.contains("eilid_a_total 5"));
+        assert!(text.contains("# TYPE eilid_depth gauge"));
+        assert!(text.contains("# TYPE eilid_pass_us histogram"));
+        assert!(text.contains("eilid_pass_us_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("eilid_pass_us_count 5"));
+        // Cumulative bucket counts are nondecreasing.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{")) {
+            let count: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(count >= last, "bucket counts must be cumulative: {text}");
+            last = count;
+        }
+    }
+
+    #[test]
+    fn histogram_snapshot_merge_matches_combined_recording() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let combined = Histogram::new();
+        for v in [1u64, 5, 9] {
+            a.record(v);
+            combined.record(v);
+        }
+        for v in [2u64, 1024] {
+            b.record(v);
+            combined.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, combined.snapshot());
+    }
+}

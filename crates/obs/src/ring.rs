@@ -1,0 +1,235 @@
+//! Bounded, lock-free event trace ring with overwrite-oldest
+//! semantics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// One structured trace event, read back from a [`TraceRing`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number (0 for the first event ever
+    /// recorded).
+    pub seq: u64,
+    /// Coarse tick: milliseconds since the ring was created.
+    pub tick_ms: u64,
+    /// Event category (layer-level namespace, assigned by the
+    /// instrumented crate).
+    pub category: u8,
+    /// Event code within the category.
+    pub code: u16,
+    /// First event argument (spans store elapsed microseconds here).
+    pub a: u64,
+    /// Second event argument.
+    pub b: u64,
+}
+
+/// One ring slot, guarded by a per-slot sequence lock: `ver` is odd
+/// while a writer is mid-store and `2 * seq + 2` once the event for
+/// global sequence `seq` is fully written. Readers retry or skip on
+/// mismatch — writers never wait.
+#[derive(Debug)]
+struct Slot {
+    ver: AtomicU64,
+    tick: AtomicU64,
+    catcode: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Slot {
+            ver: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+            catcode: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s. Recording is wait-free
+/// for writers (one atomic fetch-add to claim a sequence number, then
+/// plain stores into the claimed slot) and never allocates; when the
+/// ring is full the oldest event is overwritten and the
+/// [`TraceRing::dropped`] counter — derived from the same fetch-add,
+/// hence exact under any writer concurrency — accounts for it.
+///
+/// Readers ([`TraceRing::snapshot`]) validate each slot's sequence
+/// lock and skip events a concurrent writer is mid-overwrite on, so a
+/// snapshot is always structurally sound even while the hot path keeps
+/// appending.
+#[derive(Debug)]
+pub struct TraceRing {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+    mask: u64,
+    start: Instant,
+}
+
+impl TraceRing {
+    /// A ring holding up to `capacity` events (rounded up to a power
+    /// of two, minimum 8).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(8).next_power_of_two();
+        TraceRing {
+            slots: (0..capacity).map(|_| Slot::empty()).collect(),
+            head: AtomicU64::new(0),
+            mask: (capacity - 1) as u64,
+            start: Instant::now(),
+        }
+    }
+
+    /// The fixed slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (monotonic).
+    pub fn appended(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Events overwritten before they could be read back: exactly
+    /// `appended - capacity` once the ring has wrapped, 0 before.
+    pub fn dropped(&self) -> u64 {
+        self.appended().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Milliseconds since the ring was created (the coarse tick stamped
+    /// into events).
+    pub fn tick_ms(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Records one event; returns its sequence number.
+    pub fn record(&self, category: u8, code: u16, a: u64, b: u64) -> u64 {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq & self.mask) as usize];
+        // Per-slot seqlock: odd while writing, even (encoding seq)
+        // once complete. With the capacity far above the writer count
+        // a same-slot write race requires lapping the whole ring
+        // mid-store; readers still detect the common interleavings via
+        // the version check.
+        slot.ver.store(seq * 2 + 1, Ordering::Release);
+        slot.tick.store(self.tick_ms(), Ordering::Relaxed);
+        slot.catcode.store(
+            (u64::from(category) << 16) | u64::from(code),
+            Ordering::Relaxed,
+        );
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.ver.store(seq * 2 + 2, Ordering::Release);
+        seq
+    }
+
+    /// Opens a timing span: the returned guard records an event on
+    /// drop with elapsed microseconds in `a` and `b` passed through.
+    pub fn span(&self, category: u8, code: u16, b: u64) -> TraceSpan<'_> {
+        TraceSpan {
+            ring: self,
+            category,
+            code,
+            b,
+            started: Instant::now(),
+        }
+    }
+
+    /// The events currently retained, oldest first. Slots a concurrent
+    /// writer is mid-overwrite on are skipped (never torn), so the
+    /// result can be shorter than [`TraceRing::capacity`] even on a
+    /// full ring.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let first = head.saturating_sub(cap);
+        let mut events = Vec::with_capacity((head - first) as usize);
+        for seq in first..head {
+            let slot = &self.slots[(seq & self.mask) as usize];
+            let want = seq * 2 + 2;
+            let v1 = slot.ver.load(Ordering::Acquire);
+            if v1 != want {
+                // Either mid-write (odd) or already overwritten by a
+                // newer event (a later even version): skip.
+                continue;
+            }
+            let event = TraceEvent {
+                seq,
+                tick_ms: slot.tick.load(Ordering::Relaxed),
+                category: (slot.catcode.load(Ordering::Relaxed) >> 16) as u8,
+                code: (slot.catcode.load(Ordering::Relaxed) & 0xFFFF) as u16,
+                a: slot.a.load(Ordering::Relaxed),
+                b: slot.b.load(Ordering::Relaxed),
+            };
+            if slot.ver.load(Ordering::Acquire) == want {
+                events.push(event);
+            }
+        }
+        events
+    }
+}
+
+/// Guard returned by [`TraceRing::span`]; records a timing event when
+/// dropped.
+#[derive(Debug)]
+pub struct TraceSpan<'a> {
+    ring: &'a TraceRing,
+    category: u8,
+    code: u16,
+    b: u64,
+    started: Instant,
+}
+
+impl TraceSpan<'_> {
+    /// Overrides the second event argument before the span closes.
+    pub fn set_b(&mut self, b: u64) {
+        self.b = b;
+    }
+}
+
+impl Drop for TraceSpan<'_> {
+    fn drop(&mut self) {
+        let elapsed = u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.ring.record(self.category, self.code, elapsed, self.b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overwrites_oldest_and_counts_drops() {
+        let ring = TraceRing::new(8);
+        for i in 0..20u64 {
+            ring.record(1, 2, i, 0);
+        }
+        assert_eq!(ring.appended(), 20);
+        assert_eq!(ring.dropped(), 12);
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 8);
+        assert_eq!(events.first().unwrap().seq, 12);
+        assert_eq!(events.last().unwrap().seq, 19);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn span_records_elapsed_in_a() {
+        let ring = TraceRing::new(8);
+        {
+            let _span = ring.span(3, 7, 42);
+        }
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].category, 3);
+        assert_eq!(events[0].code, 7);
+        assert_eq!(events[0].b, 42);
+    }
+
+    #[test]
+    fn empty_ring_snapshot_is_empty() {
+        let ring = TraceRing::new(8);
+        assert!(ring.snapshot().is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests for the telemetry primitives: histogram merges form
+//! a commutative monoid (the guarantee cluster aggregation leans on),
+//! quantile readout agrees with a sorted-vec oracle to within one
+//! bucket bound, and the trace ring's overwrite/dropped accounting is
+//! exact under concurrent writers.
+
+use eilid_obs::{
+    bucket_of, bucket_upper_bound, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot,
+    TraceRing,
+};
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+fn merged(a: &HistogramSnapshot, b: &HistogramSnapshot) -> HistogramSnapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+fn arb_values() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(any::<u64>(), 0..64)
+}
+
+fn snapshot_of(counters: &[(u8, u64)], hist_values: &[u64]) -> RegistrySnapshot {
+    let registry = MetricsRegistry::new();
+    for (which, value) in counters {
+        registry
+            .counter(&format!("eilid_c{}_total", which % 4))
+            .add(*value % 1_000_000);
+    }
+    let h = registry.histogram("eilid_h_us");
+    for &v in hist_values {
+        h.record(v);
+    }
+    registry.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // Histogram merge is associative and commutative, with the empty
+    // snapshot as identity — cluster merges are order-independent.
+    #[test]
+    fn histogram_merge_is_a_commutative_monoid(
+        a in arb_values(),
+        b in arb_values(),
+        c in arb_values(),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        prop_assert_eq!(merged(&merged(&ha, &hb), &hc), merged(&ha, &merged(&hb, &hc)));
+        prop_assert_eq!(merged(&ha, &hb), merged(&hb, &ha));
+        prop_assert_eq!(merged(&ha, &HistogramSnapshot::empty()), ha.clone());
+        // Merging snapshots equals recording the concatenation.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(merged(&ha, &hb), hist_of(&all));
+    }
+
+    // Registry-level merge inherits the same algebra, and merged
+    // counter totals equal the per-snapshot sums.
+    #[test]
+    fn registry_merge_is_associative_and_sums_counters(
+        ca in proptest::collection::vec((any::<u8>(), any::<u64>()), 0..8),
+        cb in proptest::collection::vec((any::<u8>(), any::<u64>()), 0..8),
+        va in arb_values(),
+        vb in arb_values(),
+    ) {
+        let sa = snapshot_of(&ca, &va);
+        let sb = snapshot_of(&cb, &vb);
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.counter_total(), sa.counter_total() + sb.counter_total());
+        let mut with_empty = sa.clone();
+        with_empty.merge(&RegistrySnapshot::empty());
+        prop_assert_eq!(with_empty, sa);
+    }
+
+    // Quantiles are monotone in q and agree with a sorted-vec oracle
+    // to within the containing bucket's bounds: the readout is the
+    // upper bound of the oracle value's bucket, so it never
+    // under-reports and overshoots by less than one power of two.
+    #[test]
+    fn quantiles_match_sorted_vec_oracle(values in proptest::collection::vec(any::<u64>(), 1..256)) {
+        let snap = hist_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let mut last = 0u64;
+        for q in [0.0, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0] {
+            let got = snap.quantile(q);
+            prop_assert!(got >= last, "quantile must be monotone in q");
+            last = got;
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let oracle = sorted[rank - 1];
+            prop_assert_eq!(got, bucket_upper_bound(bucket_of(oracle)));
+            prop_assert!(got >= oracle);
+            if oracle > 0 {
+                prop_assert!((got >> 1) < oracle, "within one power-of-two of the oracle");
+            }
+        }
+    }
+
+    // Overwrite-oldest: a single writer's ring retains exactly the
+    // last `capacity` events and drops the rest, counted exactly.
+    #[test]
+    fn ring_retains_newest_events(
+        total in 0usize..512,
+        capacity in 1usize..64,
+    ) {
+        let ring = TraceRing::new(capacity);
+        let capacity = ring.capacity();
+        for i in 0..total {
+            ring.record(1, 1, i as u64, 0);
+        }
+        prop_assert_eq!(ring.appended(), total as u64);
+        prop_assert_eq!(ring.dropped(), (total.saturating_sub(capacity)) as u64);
+        let events = ring.snapshot();
+        prop_assert_eq!(events.len(), total.min(capacity));
+        let first = total.saturating_sub(capacity) as u64;
+        for (offset, event) in events.iter().enumerate() {
+            prop_assert_eq!(event.seq, first + offset as u64);
+            prop_assert_eq!(event.a, first + offset as u64);
+        }
+    }
+
+    // Concurrent writers: `appended` and `dropped` stay exact (they
+    // derive from one fetch-add), and a quiesced snapshot holds the
+    // newest `capacity` sequence numbers with no tears.
+    #[test]
+    fn ring_dropped_count_is_exact_under_concurrent_writers(
+        writers in 2usize..5,
+        per_writer in 1usize..200,
+        capacity in 1usize..64,
+    ) {
+        let ring = TraceRing::new(capacity);
+        let capacity = ring.capacity() as u64;
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let ring = &ring;
+                scope.spawn(move || {
+                    for i in 0..per_writer {
+                        ring.record(w as u8, i as u16, (w * per_writer + i) as u64, 0);
+                    }
+                });
+            }
+        });
+        let total = (writers * per_writer) as u64;
+        prop_assert_eq!(ring.appended(), total);
+        prop_assert_eq!(ring.dropped(), total.saturating_sub(capacity));
+        let events = ring.snapshot();
+        prop_assert_eq!(events.len() as u64, total.min(capacity));
+        for (offset, event) in events.iter().enumerate() {
+            prop_assert_eq!(event.seq, total.saturating_sub(capacity) + offset as u64);
+            // Payload round-trips intact: `a` encodes the writer and
+            // iteration that produced the event.
+            let w = event.category as usize;
+            prop_assert!(w < writers);
+            prop_assert_eq!(event.a, (w * per_writer) as u64 + u64::from(event.code));
+        }
+    }
+}

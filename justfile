@@ -59,13 +59,21 @@ net-campaign:
 net-cluster:
     cargo test --release -p eilid_net --test cluster_scale -- --exact supervised_cluster_campaign_survives_gateway_kill --nocapture
 
+# Telemetry end-to-end smoke: background gateway, one sweep, a live
+# `fleet metrics` wire scrape checked for the expected counters, then
+# a second sweep so the server exits cleanly (same shape as the
+# Makefile target).
+obs-smoke: build
+    ./scripts/obs_smoke.sh
+
 # Persistent-pool vs scoped-thread sweeps and in-memory vs loopback
 # transports at 1 000 devices; writes BENCH_net.json (the recorded perf
 # baseline) and gates three ways: pool ratio ≥ 0.95, in-memory ≥ 70k
 # devices/s, loopback TCP ≥ 40k devices/s (≥ 2x the PR 3 baseline),
-# 4-gateway cluster sweeps ≥ 0.9x the single-gateway rate.
+# 4-gateway cluster sweeps ≥ 0.9x the single-gateway rate, observed
+# loopback sweep ≥ 0.95x the bare one (telemetry is nearly free).
 net-bench:
-    cargo run --release -p eilid_bench --bin net -- --min-pool-ratio 0.95 --min-in-memory 70000 --min-loopback 40000 --min-cluster-ratio 0.9
+    cargo run --release -p eilid_bench --bin net -- --min-pool-ratio 0.95 --min-in-memory 70000 --min-loopback 40000 --min-cluster-ratio 0.9 --min-obs-ratio 0.95
 
 # CI-sized smoke (smaller fleet, still release mode); gates loosened
 # (pool ratio 0.85, no absolute floors) to tolerate shared-runner noise.

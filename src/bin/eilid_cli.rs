@@ -25,6 +25,9 @@
 //! eilid-cli fleet connect --addr A [--devices N] [--threads N] [--clients N]
 //!                         [--pipeline N]
 //!                                          drive the fleet's devices against a gateway
+//! eilid-cli fleet metrics --gateway ADDR | --gateways A,B,.. [--watch]
+//!                                          scrape telemetry (Prometheus text) from a live
+//!                                          gateway, or merged across a cluster
 //! ```
 //!
 //! Fleet subcommands default to the incremental Merkle measurement
@@ -87,7 +90,7 @@ fn main() -> ExitCode {
 fn print_usage() {
     println!(
         "eilid-cli — EILID (DATE 2025) reproduction\n\n\
-         USAGE:\n  eilid-cli instrument <app.s>\n  eilid-cli run <app.s> [--protect] [--max-cycles N]\n  eilid-cli disasm <app.s>\n  eilid-cli workloads\n  eilid-cli attack <workload> <attack>\n  eilid-cli fleet run [--devices N] [--threads N] [--cycles N]\n  eilid-cli fleet attest [--devices N] [--threads N] [--flat] [--sweeps N]\n                         [--gateway ADDR | --gateways A,B,..]\n  eilid-cli fleet campaign [--devices N] [--threads N] [--inject-bad]\n                           [--gateway ADDR | --gateways A,B,..]\n  eilid-cli fleet serve [--addr A] [--devices N] [--threads N] [--expect-reports N]\n                        [--poller epoll|scan] [--batch N]\n  eilid-cli fleet connect --addr A [--devices N] [--threads N] [--clients N] [--pipeline N]\n\n\
+         USAGE:\n  eilid-cli instrument <app.s>\n  eilid-cli run <app.s> [--protect] [--max-cycles N]\n  eilid-cli disasm <app.s>\n  eilid-cli workloads\n  eilid-cli attack <workload> <attack>\n  eilid-cli fleet run [--devices N] [--threads N] [--cycles N]\n  eilid-cli fleet attest [--devices N] [--threads N] [--flat] [--sweeps N]\n                         [--gateway ADDR | --gateways A,B,..]\n  eilid-cli fleet campaign [--devices N] [--threads N] [--inject-bad]\n                           [--gateway ADDR | --gateways A,B,..]\n  eilid-cli fleet serve [--addr A] [--devices N] [--threads N] [--expect-reports N]\n                        [--poller epoll|scan] [--batch N]\n  eilid-cli fleet connect --addr A [--devices N] [--threads N] [--clients N] [--pipeline N]\n  eilid-cli fleet metrics --gateway ADDR | --gateways A,B,.. [--watch]\n\n\
          Attacks: return-address, isr-context, indirect-call, code-injection"
     );
 }
@@ -289,10 +292,57 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
         Some("campaign") => cmd_fleet_campaign(&args[1..]),
         Some("serve") => cmd_fleet_serve(&args[1..]),
         Some("connect") => cmd_fleet_connect(&args[1..]),
+        Some("metrics") => cmd_fleet_metrics(&args[1..]),
         _ => Err(
-            "usage: eilid-cli fleet run|attest|campaign|serve|connect [--devices N] [--threads N]"
+            "usage: eilid-cli fleet run|attest|campaign|serve|connect|metrics \
+             [--devices N] [--threads N]"
                 .into(),
         ),
+    }
+}
+
+/// Scrapes a live gateway (or a whole cluster) over the operator
+/// plane and prints the telemetry snapshot in Prometheus text format.
+/// With `--gateways`, the merged cluster snapshot is printed followed
+/// by a compact per-gateway table; `--watch` re-scrapes every 2s.
+fn cmd_fleet_metrics(args: &[String]) -> Result<(), String> {
+    let gateway = parse_gateway(args)?;
+    let cluster = parse_gateways(args)?;
+    let watch = args.iter().any(|a| a == "--watch");
+    if gateway.is_some() && cluster.is_some() {
+        return Err("--gateway and --gateways are mutually exclusive".to_string());
+    }
+    if gateway.is_none() && cluster.is_none() {
+        return Err(
+            "usage: eilid-cli fleet metrics --gateway HOST:PORT | --gateways A,B,.. [--watch]"
+                .into(),
+        );
+    }
+    loop {
+        if let Some(addr) = gateway {
+            let mut console = eilid_net::RemoteOps::connect(addr).map_err(|e| e.to_string())?;
+            let snapshot = console.metrics().map_err(|e| e.to_string())?;
+            print!("{}", snapshot.to_prometheus());
+        } else if let Some(addrs) = &cluster {
+            let mut ops = eilid_net::ClusterOps::connect(addrs).map_err(|e| e.to_string())?;
+            let (merged, parts) = ops.metrics().map_err(|e| e.to_string())?;
+            print!("{}", merged.to_prometheus());
+            println!("# per-gateway (accepted / frames received / reports verified):");
+            for (index, (addr, part)) in addrs.iter().zip(&parts).enumerate() {
+                let get = |name: &str| part.counters.get(name).copied().unwrap_or(0);
+                println!(
+                    "#   gateway {index} {addr}: {} / {} / {}",
+                    get("eilid_gateway_accepted_total"),
+                    get("eilid_gateway_frames_received_total"),
+                    get("eilid_service_reports_verified_total"),
+                );
+            }
+        }
+        if !watch {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs(2));
+        println!();
     }
 }
 
@@ -350,10 +400,15 @@ fn cmd_fleet_serve(args: &[String]) -> Result<(), String> {
     let load =
         |counter: &std::sync::atomic::AtomicU64| counter.load(std::sync::atomic::Ordering::Relaxed);
     // While serving, surface the reactor's health counters (the same
-    // figures an operator console sees in `OpHealthResult`) every ~2s,
-    // but only when they moved — an idle gateway stays quiet.
+    // figures an operator console sees in `OpHealthResult`) every ~2s
+    // when they moved. When they have NOT moved the gateway is either
+    // idle or wedged — indistinguishable from silence — so every quiet
+    // tick records an explicit heartbeat in the trace ring (scrapeable
+    // via `fleet metrics`) and every ~30s one heartbeat line is
+    // printed, so the log never goes fully dark.
     let mut last_logged = (u64::MAX, u64::MAX, u64::MAX);
     let mut next_log = std::time::Instant::now();
+    let mut idle_ticks: u64 = 0;
     while service.stats().reports_verified() < expect {
         if std::time::Instant::now() >= next_log {
             let snapshot = (
@@ -367,6 +422,24 @@ fn cmd_fleet_serve(args: &[String]) -> Result<(), String> {
                     snapshot.0, snapshot.1, snapshot.2,
                 );
                 last_logged = snapshot;
+                idle_ticks = 0;
+            } else {
+                idle_ticks += 1;
+                handle.metrics().trace().record(
+                    eilid_net::TRACE_CAT_SERVE,
+                    eilid_net::TRACE_SERVE_IDLE,
+                    idle_ticks,
+                    snapshot.0,
+                );
+                if idle_ticks.is_multiple_of(15) {
+                    println!(
+                        "reactor idle for {}s: {} live sessions, {}/{expect} reports verified \
+                         (heartbeat; scrape `fleet metrics` for detail)",
+                        idle_ticks * 2,
+                        snapshot.0,
+                        snapshot.2,
+                    );
+                }
             }
             next_log += std::time::Duration::from_secs(2);
         }
