@@ -98,9 +98,12 @@ obs-smoke: build
 # The cluster gate (0.9, a 10% noise margin) holds fan-out sweeps
 # across four gateway processes no worse than the single-gateway run;
 # the obs gate (0.95) holds the latency-observed loopback sweep within
-# noise of the bare one — telemetry must be (nearly) free.
+# noise of the bare one — telemetry must be (nearly) free. The
+# campaign gate (11 100 devices/s) holds the streamed wave engine +
+# memoized probes + delta updates at ≥ 20x the phase-barrier
+# baseline's recorded 556 devices/s.
 net-bench:
-	cargo run --release -p eilid_bench --bin net -- --min-pool-ratio 0.95 --min-in-memory 70000 --min-loopback 40000 --min-cluster-ratio 0.9 --min-obs-ratio 0.95
+	cargo run --release -p eilid_bench --bin net -- --min-pool-ratio 0.95 --min-in-memory 70000 --min-loopback 40000 --min-campaign 11100 --min-cluster-ratio 0.9 --min-obs-ratio 0.95
 
 # CI-sized smoke (smaller fleet, still release mode); gates loosened
 # (pool ratio 0.85, no absolute floors) to tolerate shared-runner noise.

@@ -130,6 +130,16 @@ fn run() -> Result<(), String> {
         "  over loopback TCP {:>9.0} devices/s  ({:.2}s, {} agents)",
         campaigns.over_tcp.devices_per_second, campaigns.over_tcp.seconds, campaigns.agents
     );
+    println!(
+        "  delta wire bytes  {:>9.3}x full image  ({} of {} bytes, ~1%-dirty image campaign)",
+        campaigns.delta_bytes_ratio(),
+        campaigns.update_bytes_wire,
+        campaigns.update_bytes_full,
+    );
+    println!(
+        "  probes            {:>9} executed, {} memoized",
+        campaigns.probes_executed, campaigns.probes_memoized,
+    );
 
     let cluster_devices = if quick { 128 } else { 512 };
     println!(

@@ -23,7 +23,6 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use eilid_casu::DeviceKey;
-use eilid_fleet::fixtures::{benign_patch, BENIGN_PATCH_TARGET};
 use eilid_fleet::{
     CampaignConfig, CampaignOutcome, Fleet, FleetBuilder, FleetOps, HealthClass, LocalOps,
     OpsError, Verifier,
@@ -309,11 +308,33 @@ pub struct CampaignComparison {
     pub over_tcp: CampaignRow,
     /// Device-agent connections the TCP run used.
     pub agents: usize,
+    /// Full-image bytes the TCP campaign authorised (what the wire
+    /// would have carried without delta encoding).
+    pub update_bytes_full: u64,
+    /// Update bytes the TCP campaign actually shipped (sparse segments
+    /// plus full-image fallbacks).
+    pub update_bytes_wire: u64,
+    /// Reboot+smoke probes the TCP campaign executed device-side.
+    pub probes_executed: u64,
+    /// Probe verdicts inherited from the cohort reference device.
+    pub probes_memoized: u64,
+}
+
+impl CampaignComparison {
+    /// Wire update bytes relative to the full-image bytes (≤ 1.0; a
+    /// mostly-clean cohort ships a small fraction of the image).
+    pub fn delta_bytes_ratio(&self) -> f64 {
+        if self.update_bytes_full == 0 {
+            return 1.0;
+        }
+        self.update_bytes_wire as f64 / self.update_bytes_full as f64
+    }
 }
 
 /// Runs one identical staged canary→full campaign (benign patch, every
 /// device updated and probed) through each backend, asserting the two
-/// reports equal before timing is trusted.
+/// reports equal before timing is trusted — then a second, ~1%-dirty
+/// full-image campaign over TCP for the delta wire-bytes figures.
 pub fn measure_campaigns(devices: usize, agents: usize) -> CampaignComparison {
     let build = || {
         FleetBuilder::new(bench_root())
@@ -323,8 +344,14 @@ pub fn measure_campaigns(devices: usize, agents: usize) -> CampaignComparison {
             .build()
             .expect("bench fleet builds")
     };
-    let mut config =
-        CampaignConfig::new(WorkloadId::LightSensor, BENIGN_PATCH_TARGET, benign_patch());
+    // The throughput rows use the historical benign-patch campaign —
+    // the same workload the 590/556 devices/s phase-barrier baselines
+    // were recorded on, so the trajectory stays comparable across PRs.
+    let mut config = CampaignConfig::new(
+        WorkloadId::LightSensor,
+        eilid_fleet::fixtures::BENIGN_PATCH_TARGET,
+        eilid_fleet::fixtures::benign_patch(),
+    );
     config.smoke_cycles = 500_000;
 
     let (mut fleet, mut verifier) = build();
@@ -352,19 +379,73 @@ pub fn measure_campaigns(devices: usize, agents: usize) -> CampaignComparison {
     .expect("gateway binds on loopback")
     .spawn();
     let addr = handle.addr();
-    let (remote_report, tcp_seconds) = with_attached_fleet(&mut fleet, agents, addr, || {
-        let mut ops = RemoteOps::connect(addr).map_err(|e| OpsError::Backend(e.to_string()))?;
-        let start = Instant::now();
-        let report = ops.run_campaign(&config)?;
-        Ok::<_, OpsError>((report, start.elapsed().as_secs_f64()))
-    })
-    .expect("device agents served cleanly")
-    .expect("wire campaign succeeds");
+    let (remote_report, tcp_seconds, metrics) =
+        with_attached_fleet(&mut fleet, agents, addr, || {
+            let mut ops = RemoteOps::connect(addr).map_err(|e| OpsError::Backend(e.to_string()))?;
+            let start = Instant::now();
+            let report = ops.run_campaign(&config)?;
+            let seconds = start.elapsed().as_secs_f64();
+            let metrics = ops.metrics()?;
+            Ok::<_, OpsError>((report, seconds, metrics))
+        })
+        .expect("device agents served cleanly")
+        .expect("wire campaign succeeds");
     handle.shutdown().expect("gateway shuts down");
     assert_eq!(
         remote_report, local_report,
         "backends must report identically before timings are comparable"
     );
+    let counter = |name: &str| metrics.counters.get(name).copied().unwrap_or(0);
+
+    // Separately, a realistic delta campaign for the wire-bytes
+    // figures: a full application image with only a few granules
+    // actually changed (dirt confined to the unused PMEM gap, so the
+    // smoke runs are unaffected). The engine's win guard ships the
+    // benign patch above as a full image — a few-byte patch is cheaper
+    // whole than framed — so the delta ratio must be measured on an
+    // image where sparse segments genuinely win.
+    const PATCH_TARGET: u16 = 0xE000;
+    const PATCH_END: usize = 0xF700;
+    const GAP: usize = 0xF600 - PATCH_TARGET as usize;
+    let (mut fleet, mut verifier) = build();
+    let mut image: Vec<u8> = fleet.devices()[0]
+        .device()
+        .cpu()
+        .memory
+        .slice(usize::from(PATCH_TARGET)..PATCH_END)
+        .to_vec();
+    for (i, byte) in image[GAP..GAP + 4].iter_mut().enumerate() {
+        *byte = 0xA5 ^ (i as u8);
+    }
+    let mut delta_config = CampaignConfig::new(WorkloadId::LightSensor, PATCH_TARGET, image);
+    delta_config.smoke_cycles = 500_000;
+    let service = Arc::new(AttestationService::new(verifier.service_snapshot(1 << 32)));
+    let handle = Gateway::bind(
+        ("127.0.0.1", 0),
+        service,
+        GatewayConfig {
+            workers: agents,
+            queue_depth: 512,
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("gateway binds on loopback")
+    .spawn();
+    let addr = handle.addr();
+    let (delta_report, delta_metrics) = with_attached_fleet(&mut fleet, agents, addr, || {
+        let mut ops = RemoteOps::connect(addr).map_err(|e| OpsError::Backend(e.to_string()))?;
+        let report = ops.run_campaign(&delta_config)?;
+        let metrics = ops.metrics()?;
+        Ok::<_, OpsError>((report, metrics))
+    })
+    .expect("device agents served cleanly")
+    .expect("delta campaign succeeds");
+    handle.shutdown().expect("gateway shuts down");
+    assert_eq!(
+        delta_report.outcome,
+        CampaignOutcome::Completed { updated: devices }
+    );
+    let delta_counter = |name: &str| delta_metrics.counters.get(name).copied().unwrap_or(0);
 
     CampaignComparison {
         in_process: CampaignRow {
@@ -378,6 +459,10 @@ pub fn measure_campaigns(devices: usize, agents: usize) -> CampaignComparison {
             devices_per_second: devices as f64 / tcp_seconds.max(1e-9),
         },
         agents,
+        update_bytes_full: delta_counter("eilid_ops_update_bytes_full_total"),
+        update_bytes_wire: delta_counter("eilid_ops_update_bytes_wire_total"),
+        probes_executed: counter("eilid_ops_probes_executed_total"),
+        probes_memoized: counter("eilid_ops_probes_memoized_total"),
     }
 }
 
@@ -529,6 +614,9 @@ pub fn render_net_bench_json(
          \"campaign_devices\": {},\n  \"campaign_agents\": {},\n  \
          \"campaign_in_process_devices_per_second\": {:.0},\n  \
          \"campaign_over_tcp_devices_per_second\": {:.0},\n  \
+         \"campaign_delta_bytes_ratio\": {:.3},\n  \
+         \"campaign_probes_executed\": {},\n  \
+         \"campaign_probes_memoized\": {},\n  \
          \"cluster_devices\": {},\n  \"cluster_agents_per_gateway\": {},\n  \
          \"cluster_sweep_1_gateway_devices_per_second\": {:.0},\n  \
          \"cluster_sweep_2_gateways_devices_per_second\": {:.0},\n  \
@@ -554,6 +642,9 @@ pub fn render_net_bench_json(
         campaigns.agents,
         campaigns.in_process.devices_per_second,
         campaigns.over_tcp.devices_per_second,
+        campaigns.delta_bytes_ratio(),
+        campaigns.probes_executed,
+        campaigns.probes_memoized,
         clusters.devices,
         clusters.agents,
         clusters.rate_at(1).unwrap_or(0.0),
@@ -601,6 +692,17 @@ mod tests {
         assert!(comparison.in_process.devices_per_second > 0.0);
         assert!(comparison.over_tcp.devices_per_second > 0.0);
         assert_eq!(comparison.agents, 2);
+        assert!(comparison.update_bytes_full > 0);
+        assert!(
+            comparison.delta_bytes_ratio() <= 0.10,
+            "a ~1%-dirty bench image must ship as a sparse delta: {:.3}x",
+            comparison.delta_bytes_ratio()
+        );
+        assert!(
+            comparison.probes_memoized > 0,
+            "an all-clean cohort must inherit most probe verdicts"
+        );
+        assert!(comparison.probes_executed >= 1, "the reference still runs");
     }
 
     #[test]
@@ -662,6 +764,10 @@ mod tests {
                 devices_per_second: 555.0,
             },
             agents: 8,
+            update_bytes_full: 100_000,
+            update_bytes_wire: 6_500,
+            probes_executed: 2,
+            probes_memoized: 998,
         };
         let clusters = ClusterComparison {
             devices: 1000,
@@ -694,6 +800,9 @@ mod tests {
         assert!(json.contains("\"loopback_p99_latency_us\": 4096"));
         assert!(json.contains("\"campaign_devices\": 1000"));
         assert!(json.contains("\"campaign_over_tcp_devices_per_second\": 555"));
+        assert!(json.contains("\"campaign_delta_bytes_ratio\": 0.065"));
+        assert!(json.contains("\"campaign_probes_executed\": 2"));
+        assert!(json.contains("\"campaign_probes_memoized\": 998"));
         assert!(json.contains("\"cluster_devices\": 1000"));
         assert!(json.contains("\"cluster_agents_per_gateway\": 2"));
         assert!(json.contains("\"cluster_sweep_1_gateway_devices_per_second\": 15000"));

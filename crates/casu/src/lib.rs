@@ -72,6 +72,9 @@ pub use merkle::{
 pub use monitor::CasuMonitor;
 pub use policy::{CasuPolicy, VIOLATION_STROBE_ADDR};
 pub use sha256::{sha256, Sha256, DIGEST_SIZE};
-pub use update::{UpdateAuthority, UpdateEngine, UpdateError, UpdateRequest};
+pub use update::{
+    DeltaSegment, DeltaUpdateRequest, UpdateAuthority, UpdateEngine, UpdateError, UpdateRequest,
+    DELTA_GRANULE,
+};
 pub use violation::{CfiFault, Violation};
 pub use wire::CodecError;

@@ -32,7 +32,13 @@ pub struct UpdateRequest {
     pub payload: Vec<u8>,
     /// Monotonically increasing freshness counter.
     pub nonce: u64,
-    /// HMAC-SHA-256 over `"eilid-update-v1" ‖ target ‖ nonce ‖ payload`.
+    /// Firmware version counter: the device refuses any request whose
+    /// version is *below* its last accepted one (anti-rollback), while
+    /// an equal version stays legal so an operator-authorized rollback
+    /// of the bytes can be re-issued at the device's current version.
+    pub version: u64,
+    /// HMAC-SHA-256 over
+    /// `"eilid-update-v2" ‖ target ‖ nonce ‖ version ‖ payload`.
     pub mac: [u8; TAG_SIZE],
 }
 
@@ -40,15 +46,17 @@ pub struct UpdateRequest {
 /// for both attestation and authenticated updates; the tag keeps the two
 /// MAC message formats disjoint so an attestation-report MAC can never
 /// verify as an update authorization (see `ATTEST_MAC_TAG` in
-/// [`crate::attest`]).
-const UPDATE_MAC_TAG: &[u8] = b"eilid-update-v1";
+/// [`crate::attest`]). The `v2` tag covers the anti-rollback version
+/// counter; a `v1` MAC (no version) can never verify under it.
+const UPDATE_MAC_TAG: &[u8] = b"eilid-update-v2";
 
 impl UpdateRequest {
-    fn message(target: u16, payload: &[u8], nonce: u64) -> Vec<u8> {
-        let mut msg = Vec::with_capacity(UPDATE_MAC_TAG.len() + payload.len() + 10);
+    fn message(target: u16, payload: &[u8], nonce: u64, version: u64) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(UPDATE_MAC_TAG.len() + payload.len() + 18);
         msg.extend_from_slice(UPDATE_MAC_TAG);
         msg.extend_from_slice(&target.to_le_bytes());
         msg.extend_from_slice(&nonce.to_le_bytes());
+        msg.extend_from_slice(&version.to_le_bytes());
         msg.extend_from_slice(payload);
         msg
     }
@@ -73,6 +81,18 @@ pub enum UpdateError {
     },
     /// The payload is empty.
     EmptyPayload,
+    /// The version counter is below the last accepted one — a firmware
+    /// downgrade, refused device-side even when the MAC and nonce are
+    /// valid.
+    RollbackVersion {
+        /// Version presented by the request.
+        presented: u64,
+        /// Version the device currently runs.
+        current: u64,
+    },
+    /// A delta request's segments do not fit the base range it declares
+    /// (structurally malformed before any crypto is consulted).
+    MalformedDelta,
 }
 
 impl fmt::Display for UpdateError {
@@ -93,6 +113,13 @@ impl fmt::Display for UpdateError {
                 )
             }
             UpdateError::EmptyPayload => write!(f, "update rejected: empty payload"),
+            UpdateError::RollbackVersion { presented, current } => write!(
+                f,
+                "update rejected: version {presented} is a rollback below {current}"
+            ),
+            UpdateError::MalformedDelta => {
+                write!(f, "update rejected: delta segments outside declared base")
+            }
         }
     }
 }
@@ -104,6 +131,7 @@ impl std::error::Error for UpdateError {}
 pub struct UpdateAuthority {
     key: Vec<u8>,
     next_nonce: u64,
+    version: u64,
 }
 
 impl UpdateAuthority {
@@ -115,6 +143,7 @@ impl UpdateAuthority {
         UpdateAuthority {
             key: key.to_vec(),
             next_nonce: 1,
+            version: 0,
         }
     }
 
@@ -130,7 +159,23 @@ impl UpdateAuthority {
         UpdateAuthority {
             key: key.as_bytes().to_vec(),
             next_nonce: next_nonce.max(1),
+            version: 0,
         }
+    }
+
+    /// Sets the firmware version counter subsequent requests carry
+    /// (builder form). Devices refuse versions below their last
+    /// accepted one; a rollback re-issues the old bytes at the
+    /// device's *current* version.
+    #[must_use]
+    pub fn with_version(mut self, version: u64) -> Self {
+        self.version = version;
+        self
+    }
+
+    /// Sets the firmware version counter subsequent requests carry.
+    pub fn set_version(&mut self, version: u64) {
+        self.version = version;
     }
 
     /// The nonce the next authorized request will carry.
@@ -142,11 +187,16 @@ impl UpdateAuthority {
     pub fn authorize(&mut self, target: u16, payload: &[u8]) -> UpdateRequest {
         let nonce = self.next_nonce;
         self.next_nonce += 1;
-        let mac = hmac_sha256(&self.key, &UpdateRequest::message(target, payload, nonce));
+        let version = self.version;
+        let mac = hmac_sha256(
+            &self.key,
+            &UpdateRequest::message(target, payload, nonce, version),
+        );
         UpdateRequest {
             target,
             payload: payload.to_vec(),
             nonce,
+            version,
             mac,
         }
     }
@@ -158,6 +208,7 @@ pub struct UpdateEngine {
     key: Vec<u8>,
     layout: MemoryLayout,
     last_nonce: u64,
+    last_version: u64,
     updates_applied: u64,
 }
 
@@ -171,6 +222,7 @@ impl UpdateEngine {
             key: key.to_vec(),
             layout,
             last_nonce: 0,
+            last_version: 0,
             updates_applied: 0,
         }
     }
@@ -190,6 +242,11 @@ impl UpdateEngine {
         self.last_nonce
     }
 
+    /// Last accepted firmware version (the anti-rollback floor).
+    pub fn last_version(&self) -> u64 {
+        self.last_version
+    }
+
     /// Verifies a request without applying it.
     ///
     /// # Errors
@@ -201,7 +258,12 @@ impl UpdateEngine {
         }
         let expected = hmac_sha256(
             &self.key,
-            &UpdateRequest::message(request.target, &request.payload, request.nonce),
+            &UpdateRequest::message(
+                request.target,
+                &request.payload,
+                request.nonce,
+                request.version,
+            ),
         );
         if !verify_tag(&expected, &request.mac) {
             return Err(UpdateError::BadMac);
@@ -210,6 +272,12 @@ impl UpdateEngine {
             return Err(UpdateError::StaleNonce {
                 presented: request.nonce,
                 last_accepted: self.last_nonce,
+            });
+        }
+        if request.version < self.last_version {
+            return Err(UpdateError::RollbackVersion {
+                presented: request.version,
+                current: self.last_version,
             });
         }
         let end = u32::from(request.target) + request.payload.len() as u32 - 1;
@@ -249,8 +317,31 @@ impl UpdateEngine {
             .expect("range checked by verify");
         monitor.end_update_session();
         self.last_nonce = request.nonce;
+        self.last_version = request.version;
         self.updates_applied += 1;
         Ok(())
+    }
+
+    /// Verifies and applies a [`DeltaUpdateRequest`]: assembles the
+    /// post-image from the device's *current* bytes in the target
+    /// range, then runs the full-image verify/apply path on the
+    /// assembled request. The MAC covers the assembled post-image, so
+    /// a device whose base bytes were tampered with assembles a
+    /// different image and fails MAC verification — a delta can never
+    /// launder a tampered base into an accepted update.
+    ///
+    /// # Errors
+    ///
+    /// [`UpdateError::MalformedDelta`] when the segments do not fit the
+    /// declared base; otherwise exactly the full-image errors.
+    pub fn apply_delta(
+        &mut self,
+        request: &DeltaUpdateRequest,
+        memory: &mut Memory,
+        monitor: &mut CasuMonitor,
+    ) -> Result<(), UpdateError> {
+        let full = request.assemble_from(memory)?;
+        self.apply(&full, memory, monitor)
     }
 
     /// Measurement (SHA-256) of the PMEM region, used to confirm the
@@ -273,6 +364,153 @@ impl UpdateEngine {
         scheme: crate::merkle::MeasurementScheme,
     ) -> [u8; 32] {
         scheme.measure_pmem(memory, &self.layout)
+    }
+}
+
+/// Granularity of delta diffing: one segment boundary per simulated
+/// dirty-tracking granule, so segment layout lines up with what the
+/// incremental measurer re-hashes anyway.
+pub const DELTA_GRANULE: usize = eilid_msp430::memory::DIRTY_GRANULE;
+
+/// One contiguous run of changed bytes inside a delta update.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaSegment {
+    /// Byte offset of this run inside the update's target range.
+    pub offset: u32,
+    /// Replacement bytes for `[offset, offset + bytes.len())`.
+    pub bytes: Vec<u8>,
+}
+
+/// A sparse-segment update: only the granules that differ from the
+/// base image cross the wire, but the MAC (and the nonce/version
+/// freshness rules) cover the *assembled post-image* — byte for byte
+/// the same message a full-image [`UpdateRequest`] would carry, so
+/// delta and full-image requests are unforgeable-equivalent. A device
+/// whose base bytes diverge from what the authority diffed against
+/// assembles a different post-image and rejects with `BadMac`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaUpdateRequest {
+    /// First address of the update's target range.
+    pub target: u16,
+    /// Length of the target range (the full payload length).
+    pub base_len: u32,
+    /// Changed runs, ascending by offset, non-overlapping.
+    pub segments: Vec<DeltaSegment>,
+    /// Monotonically increasing freshness counter (same domain as the
+    /// full-image request's).
+    pub nonce: u64,
+    /// Anti-rollback firmware version counter.
+    pub version: u64,
+    /// HMAC-SHA-256 over the assembled post-image, identical to the
+    /// MAC of the equivalent full-image [`UpdateRequest`].
+    pub mac: [u8; TAG_SIZE],
+}
+
+impl DeltaUpdateRequest {
+    /// Diffs an authorized full-image request against the `base` bytes
+    /// the authority knows the device currently holds in the target
+    /// range (e.g. the cohort golden image), keeping only the
+    /// [`DELTA_GRANULE`]-aligned granules that differ, with adjacent
+    /// dirty granules merged into one segment. The MAC is carried over
+    /// unchanged — it already covers the full post-image.
+    ///
+    /// `base` must be the same length as the payload; callers diffing
+    /// against a differently-sized base should ship the full image
+    /// instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `base.len() != full.payload.len()` — the diff is
+    /// only meaningful over a like-sized base, and callers construct
+    /// both sides from the same target range.
+    pub fn from_full(full: &UpdateRequest, base: &[u8]) -> Self {
+        assert_eq!(
+            base.len(),
+            full.payload.len(),
+            "delta base must cover exactly the update's target range"
+        );
+        let len = full.payload.len();
+        let mut segments: Vec<DeltaSegment> = Vec::new();
+        let mut at = 0usize;
+        while at < len {
+            let end = (at + DELTA_GRANULE).min(len);
+            if full.payload[at..end] != base[at..end] {
+                match segments.last_mut() {
+                    // Adjacent dirty granule: extend the open segment.
+                    Some(last) if last.offset as usize + last.bytes.len() == at => {
+                        last.bytes.extend_from_slice(&full.payload[at..end]);
+                    }
+                    _ => segments.push(DeltaSegment {
+                        offset: at as u32,
+                        bytes: full.payload[at..end].to_vec(),
+                    }),
+                }
+            }
+            at = end;
+        }
+        DeltaUpdateRequest {
+            target: full.target,
+            base_len: len as u32,
+            segments,
+            nonce: full.nonce,
+            version: full.version,
+            mac: full.mac,
+        }
+    }
+
+    /// Bytes of actual patch content this delta ships (the wire win
+    /// over `base_len` full-image bytes).
+    pub fn delta_bytes(&self) -> usize {
+        self.segments.iter().map(|s| s.bytes.len()).sum()
+    }
+
+    /// Assembles the full-image request from the device's current
+    /// bytes in the target range: start from `current`, overlay each
+    /// segment. Cryptographic judgement stays with
+    /// [`UpdateEngine::verify`] on the result.
+    ///
+    /// # Errors
+    ///
+    /// [`UpdateError::MalformedDelta`] when `current` is not
+    /// `base_len` bytes or a segment falls outside the declared range.
+    pub fn assemble(&self, current: &[u8]) -> Result<UpdateRequest, UpdateError> {
+        if current.len() != self.base_len as usize {
+            return Err(UpdateError::MalformedDelta);
+        }
+        let mut payload = current.to_vec();
+        for segment in &self.segments {
+            let start = segment.offset as usize;
+            let end = start
+                .checked_add(segment.bytes.len())
+                .ok_or(UpdateError::MalformedDelta)?;
+            if end > payload.len() {
+                return Err(UpdateError::MalformedDelta);
+            }
+            payload[start..end].copy_from_slice(&segment.bytes);
+        }
+        Ok(UpdateRequest {
+            target: self.target,
+            payload,
+            nonce: self.nonce,
+            version: self.version,
+            mac: self.mac,
+        })
+    }
+
+    /// [`DeltaUpdateRequest::assemble`] reading the base range
+    /// straight out of device memory.
+    ///
+    /// # Errors
+    ///
+    /// [`UpdateError::MalformedDelta`] when the declared target range
+    /// does not fit the address space or a segment falls outside it.
+    pub fn assemble_from(&self, memory: &Memory) -> Result<UpdateRequest, UpdateError> {
+        let start = usize::from(self.target);
+        let end = start
+            .checked_add(self.base_len as usize)
+            .filter(|&end| end <= eilid_msp430::ADDRESS_SPACE)
+            .ok_or(UpdateError::MalformedDelta)?;
+        self.assemble(memory.slice(start..end))
     }
 }
 
@@ -380,6 +618,119 @@ mod tests {
         assert_ne!(before, after);
         // Measurement is deterministic.
         assert_eq!(after, engine.measure_pmem(&memory));
+    }
+
+    #[test]
+    fn downgrade_version_is_rejected_even_with_valid_mac_and_nonce() {
+        let (_, mut engine, mut monitor, mut memory) = engine();
+        let mut v2 = UpdateAuthority::new(KEY).with_version(2);
+        let request = v2.authorize(0xE000, &[2, 2]);
+        engine.apply(&request, &mut memory, &mut monitor).unwrap();
+        assert_eq!(engine.last_version(), 2);
+
+        // A correctly MACed, fresh-nonced request at a *lower* version
+        // is a downgrade: refused, memory untouched.
+        let mut downgrade_authority = UpdateAuthority::new(KEY).with_version(1);
+        // Advance past the accepted nonce so only the version check can fire.
+        let _ = downgrade_authority.authorize(0xE000, &[0]);
+        let downgrade = downgrade_authority.authorize(0xE000, &[1, 1]);
+        assert_eq!(
+            engine.apply(&downgrade, &mut memory, &mut monitor),
+            Err(UpdateError::RollbackVersion {
+                presented: 1,
+                current: 2,
+            })
+        );
+        assert_eq!(memory.read_byte(0xE000), 2);
+    }
+
+    #[test]
+    fn equal_version_reissue_is_accepted_for_rollbacks() {
+        let (_, mut engine, mut monitor, mut memory) = engine();
+        let mut authority = UpdateAuthority::new(KEY).with_version(3);
+        let request = authority.authorize(0xE000, &[7, 7]);
+        engine.apply(&request, &mut memory, &mut monitor).unwrap();
+        // Operator-authorized rollback of the *bytes* at the device's
+        // current version: fresh nonce, same version — accepted.
+        let rollback = authority.authorize(0xE000, &[5, 5]);
+        engine.apply(&rollback, &mut memory, &mut monitor).unwrap();
+        assert_eq!(memory.read_byte(0xE000), 5);
+        assert_eq!(engine.last_version(), 3);
+    }
+
+    #[test]
+    fn delta_assembles_to_the_full_image_and_applies() {
+        let (_, mut engine, mut monitor, mut memory) = engine();
+        // Base image: 4 granules of 0x11 starting at 0xE000.
+        let base = vec![0x11u8; 4 * DELTA_GRANULE];
+        memory.load(0xE000, &base).unwrap();
+        // New image differs in granules 1 and 3 only.
+        let mut next = base.clone();
+        next[DELTA_GRANULE] = 0x22;
+        next[3 * DELTA_GRANULE + 5] = 0x33;
+        let mut authority = UpdateAuthority::new(KEY).with_version(1);
+        let full = authority.authorize(0xE000, &next);
+        let delta = DeltaUpdateRequest::from_full(&full, &base);
+        assert_eq!(delta.segments.len(), 2);
+        assert_eq!(delta.delta_bytes(), 2 * DELTA_GRANULE);
+        assert_eq!(delta.assemble(&base).unwrap(), full);
+        engine
+            .apply_delta(&delta, &mut memory, &mut monitor)
+            .unwrap();
+        assert_eq!(memory.read_byte(0xE000 + DELTA_GRANULE as u16), 0x22);
+        assert_eq!(engine.last_nonce(), full.nonce);
+        assert_eq!(engine.last_version(), 1);
+    }
+
+    #[test]
+    fn adjacent_dirty_granules_merge_into_one_segment() {
+        let base = vec![0u8; 4 * DELTA_GRANULE];
+        let mut next = base.clone();
+        next[DELTA_GRANULE] = 1;
+        next[2 * DELTA_GRANULE] = 1;
+        let mut authority = UpdateAuthority::new(KEY);
+        let full = authority.authorize(0xE000, &next);
+        let delta = DeltaUpdateRequest::from_full(&full, &base);
+        assert_eq!(delta.segments.len(), 1);
+        assert_eq!(delta.segments[0].offset as usize, DELTA_GRANULE);
+        assert_eq!(delta.segments[0].bytes.len(), 2 * DELTA_GRANULE);
+    }
+
+    #[test]
+    fn tampered_base_makes_a_delta_fail_mac_not_apply_garbage() {
+        let (_, mut engine, mut monitor, mut memory) = engine();
+        let base = vec![0xAAu8; 2 * DELTA_GRANULE];
+        memory.load(0xE000, &base).unwrap();
+        let mut next = base.clone();
+        next[0] = 0xBB;
+        let mut authority = UpdateAuthority::new(KEY);
+        let full = authority.authorize(0xE000, &next);
+        let delta = DeltaUpdateRequest::from_full(&full, &base);
+        // Adversary flips a byte the delta does not re-ship.
+        memory.write_byte(0xE000 + DELTA_GRANULE as u16, 0xEE);
+        assert_eq!(
+            engine.apply_delta(&delta, &mut memory, &mut monitor),
+            Err(UpdateError::BadMac)
+        );
+        // The tampered byte is still there; nothing was applied.
+        assert_eq!(memory.read_byte(0xE000 + DELTA_GRANULE as u16), 0xEE);
+        assert_eq!(engine.updates_applied(), 0);
+    }
+
+    #[test]
+    fn malformed_delta_segments_are_rejected_structurally() {
+        let (_, mut engine, mut monitor, mut memory) = engine();
+        let base = vec![0u8; DELTA_GRANULE];
+        let mut next = base.clone();
+        next[0] = 1;
+        let mut authority = UpdateAuthority::new(KEY);
+        let full = authority.authorize(0xE000, &next);
+        let mut delta = DeltaUpdateRequest::from_full(&full, &base);
+        delta.segments[0].offset = delta.base_len;
+        assert_eq!(
+            engine.apply_delta(&delta, &mut memory, &mut monitor),
+            Err(UpdateError::MalformedDelta)
+        );
     }
 
     #[test]

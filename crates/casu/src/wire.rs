@@ -21,14 +21,16 @@
 //! ```text
 //! Challenge          := nonce:u64 ‖ start:u16 ‖ end:u16                  (12 B)
 //! AttestationReport  := Challenge ‖ measurement:[u8;32] ‖ mac:[u8;32]   (76 B)
-//! UpdateRequest      := target:u16 ‖ nonce:u64 ‖ len:u32 ‖ payload ‖ mac:[u8;32]
+//! UpdateRequest      := target:u16 ‖ nonce:u64 ‖ version:u64 ‖ len:u32 ‖ payload ‖ mac:[u8;32]
+//! DeltaUpdateRequest := target:u16 ‖ nonce:u64 ‖ version:u64 ‖ base_len:u32
+//!                       ‖ seg_count:u32 ‖ (offset:u32 ‖ len:u32 ‖ bytes)* ‖ mac:[u8;32]
 //! ```
 
 use std::fmt;
 
 use crate::attest::{AttestationReport, Challenge};
 use crate::hmac::TAG_SIZE;
-use crate::update::UpdateRequest;
+use crate::update::{DeltaSegment, DeltaUpdateRequest, UpdateRequest};
 
 /// Encoded size of a [`Challenge`] in bytes.
 pub const CHALLENGE_WIRE_LEN: usize = 12;
@@ -234,6 +236,7 @@ pub fn encode_update_request(request: &UpdateRequest, out: &mut Vec<u8>) {
     );
     out.extend_from_slice(&request.target.to_le_bytes());
     out.extend_from_slice(&request.nonce.to_le_bytes());
+    out.extend_from_slice(&request.version.to_le_bytes());
     out.extend_from_slice(&(request.payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&request.payload);
     out.extend_from_slice(&request.mac);
@@ -253,6 +256,7 @@ pub fn encode_update_request(request: &UpdateRequest, out: &mut Vec<u8>) {
 pub fn decode_update_request(reader: &mut Reader<'_>) -> Result<UpdateRequest, CodecError> {
     let target = reader.u16()?;
     let nonce = reader.u64()?;
+    let version = reader.u64()?;
     let len = reader.u32()? as usize;
     if len > MAX_UPDATE_PAYLOAD {
         return Err(CodecError::Oversized {
@@ -269,6 +273,94 @@ pub fn decode_update_request(reader: &mut Reader<'_>) -> Result<UpdateRequest, C
         target,
         payload,
         nonce,
+        version,
+        mac,
+    })
+}
+
+/// Appends a [`DeltaUpdateRequest`] in wire layout.
+///
+/// # Panics
+///
+/// Panics if the declared base range exceeds [`MAX_UPDATE_PAYLOAD`] —
+/// like a full-image request, such a delta is not representable on the
+/// wire.
+pub fn encode_delta_update_request(request: &DeltaUpdateRequest, out: &mut Vec<u8>) {
+    assert!(
+        request.base_len as usize <= MAX_UPDATE_PAYLOAD,
+        "delta base range of {} bytes exceeds the wire maximum {}",
+        request.base_len,
+        MAX_UPDATE_PAYLOAD
+    );
+    out.extend_from_slice(&request.target.to_le_bytes());
+    out.extend_from_slice(&request.nonce.to_le_bytes());
+    out.extend_from_slice(&request.version.to_le_bytes());
+    out.extend_from_slice(&request.base_len.to_le_bytes());
+    out.extend_from_slice(&(request.segments.len() as u32).to_le_bytes());
+    for segment in &request.segments {
+        out.extend_from_slice(&segment.offset.to_le_bytes());
+        out.extend_from_slice(&(segment.bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&segment.bytes);
+    }
+    out.extend_from_slice(&request.mac);
+}
+
+/// Decodes a [`DeltaUpdateRequest`] from `reader`.
+///
+/// Structural bounds only: the base range and every segment length are
+/// validated against [`MAX_UPDATE_PAYLOAD`] and the remaining input
+/// *before* any allocation. Whether the segments actually fit the
+/// declared base — and whether the assembled image's MAC verifies — is
+/// judged device-side by `UpdateEngine::apply_delta`.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] on truncated input or out-of-bounds length
+/// claims.
+pub fn decode_delta_update_request(
+    reader: &mut Reader<'_>,
+) -> Result<DeltaUpdateRequest, CodecError> {
+    let target = reader.u16()?;
+    let nonce = reader.u64()?;
+    let version = reader.u64()?;
+    let base_len = reader.u32()?;
+    if base_len as usize > MAX_UPDATE_PAYLOAD {
+        return Err(CodecError::Oversized {
+            claimed: base_len as usize,
+            max: MAX_UPDATE_PAYLOAD,
+        });
+    }
+    if base_len == 0 {
+        return Err(CodecError::BadLength { len: 0 });
+    }
+    let seg_count = reader.u32()? as usize;
+    // Each segment costs at least offset(4) + len(4) bytes.
+    if seg_count.saturating_mul(8) > reader.remaining() {
+        return Err(CodecError::Oversized {
+            claimed: seg_count,
+            max: reader.remaining() / 8,
+        });
+    }
+    let mut segments = Vec::with_capacity(seg_count);
+    for _ in 0..seg_count {
+        let offset = reader.u32()?;
+        let len = reader.u32()? as usize;
+        if len > MAX_UPDATE_PAYLOAD {
+            return Err(CodecError::Oversized {
+                claimed: len,
+                max: MAX_UPDATE_PAYLOAD,
+            });
+        }
+        let bytes = reader.take(len)?.to_vec();
+        segments.push(DeltaSegment { offset, bytes });
+    }
+    let mac = reader.array()?;
+    Ok(DeltaUpdateRequest {
+        target,
+        base_len,
+        segments,
+        nonce,
+        version,
         mac,
     })
 }
@@ -315,6 +407,7 @@ mod tests {
             target: 0xE100,
             payload: vec![1, 2, 3, 4, 5],
             nonce: 42,
+            version: 7,
             mac: [9; 32],
         };
         let mut buf = Vec::new();
@@ -322,6 +415,60 @@ mod tests {
         let mut reader = Reader::new(&buf);
         assert_eq!(decode_update_request(&mut reader).unwrap(), request);
         assert!(reader.is_empty());
+    }
+
+    #[test]
+    fn delta_update_request_round_trips() {
+        let request = DeltaUpdateRequest {
+            target: 0xE100,
+            base_len: 256,
+            segments: vec![
+                DeltaSegment {
+                    offset: 0,
+                    bytes: vec![1; 64],
+                },
+                DeltaSegment {
+                    offset: 128,
+                    bytes: vec![2; 64],
+                },
+            ],
+            nonce: 42,
+            version: 3,
+            mac: [9; 32],
+        };
+        let mut buf = Vec::new();
+        encode_delta_update_request(&request, &mut buf);
+        let mut reader = Reader::new(&buf);
+        assert_eq!(decode_delta_update_request(&mut reader).unwrap(), request);
+        assert!(reader.is_empty());
+    }
+
+    #[test]
+    fn delta_forged_counts_are_rejected_before_allocation() {
+        // Forged huge segment count.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&0xE000u16.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&64u32.to_le_bytes());
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut reader = Reader::new(&buf);
+        assert!(matches!(
+            decode_delta_update_request(&mut reader),
+            Err(CodecError::Oversized { .. })
+        ));
+
+        // Forged huge base range.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&0xE000u16.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut reader = Reader::new(&buf);
+        assert!(matches!(
+            decode_delta_update_request(&mut reader),
+            Err(CodecError::Oversized { .. })
+        ));
     }
 
     #[test]
@@ -344,10 +491,11 @@ mod tests {
 
     #[test]
     fn oversized_and_zero_update_payload_claims_are_rejected() {
-        // target ‖ nonce ‖ forged huge length.
+        // target ‖ nonce ‖ version ‖ forged huge length.
         let mut buf = Vec::new();
         buf.extend_from_slice(&0xE000u16.to_le_bytes());
         buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
         buf.extend_from_slice(&(u32::MAX).to_le_bytes());
         buf.extend_from_slice(&[0; 64]);
         let mut reader = Reader::new(&buf);
@@ -362,6 +510,7 @@ mod tests {
         let mut buf = Vec::new();
         buf.extend_from_slice(&0xE000u16.to_le_bytes());
         buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
         buf.extend_from_slice(&0u32.to_le_bytes());
         buf.extend_from_slice(&[0; 32]);
         let mut reader = Reader::new(&buf);

@@ -180,6 +180,7 @@ fn attest_mac_cannot_authorize_an_update() {
         target,
         payload,
         nonce: u64::from_le_bytes(forged_nonce),
+        version: 0,
         mac: report.mac,
     };
     assert_eq!(engine.verify(&forged), Err(UpdateError::BadMac));

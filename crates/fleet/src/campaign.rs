@@ -67,7 +67,8 @@ use std::collections::BTreeMap;
 use eilid::RunOutcome;
 use eilid_casu::wire::{self, CodecError, Reader};
 use eilid_casu::{
-    AttestationVerifier, DeviceKey, MeasurementScheme, MemoryLayout, UpdateAuthority,
+    AttestationVerifier, DeltaUpdateRequest, DeviceKey, MeasurementScheme, MemoryLayout,
+    UpdateAuthority,
 };
 use eilid_msp430::{Memory, ADDRESS_SPACE};
 use eilid_workloads::WorkloadId;
@@ -95,6 +96,18 @@ pub struct CampaignConfig {
     pub failure_threshold: f64,
     /// Cycle budget for the post-update smoke run (default 2 million).
     pub smoke_cycles: u64,
+    /// Firmware version the patch carries. Devices enforce a monotonic
+    /// anti-rollback counter: an update whose version is below the
+    /// device's last applied version is rejected with
+    /// [`UpdateError::RollbackVersion`](eilid_casu::UpdateError)
+    /// regardless of MAC and nonce (default 0).
+    pub version: u64,
+    /// Ship the patch as a sparse delta against the cohort golden
+    /// (default `true`). Devices whose base bytes were tampered with
+    /// fail the delta's MAC and automatically fall back to the full
+    /// image under the same nonce, so reports are bit-for-bit equal to
+    /// a full-image campaign either way.
+    pub delta: bool,
 }
 
 impl CampaignConfig {
@@ -108,6 +121,8 @@ impl CampaignConfig {
             canary_fraction: 0.1,
             failure_threshold: 0.25,
             smoke_cycles: 2_000_000,
+            version: 0,
+            delta: true,
         }
     }
 
@@ -281,6 +296,10 @@ pub struct WaveSpec<'a> {
     pub expected_after: [u8; 32],
     /// Cycle budget for the post-update smoke run.
     pub smoke_cycles: u64,
+    /// Firmware version the patch carries (anti-rollback counter).
+    pub version: u64,
+    /// Ship the patch as a sparse delta against the cohort golden.
+    pub delta: bool,
 }
 
 /// Device state captured immediately before an update is applied — what
@@ -308,6 +327,12 @@ pub struct WaveRollout {
     pub failures: usize,
     /// Pre-update snapshot of every updated device, for rollback.
     pub snapshots: BTreeMap<DeviceId, PreUpdateSnapshot>,
+    /// Post-update smoke runs actually executed on a device (the cohort
+    /// reference plus every fallback probe).
+    pub probes_executed: usize,
+    /// Devices whose health verdict was inherited from the cohort
+    /// reference instead of running their own smoke probe.
+    pub probes_memoized: usize,
 }
 
 /// What a rollback pass achieved, per device.
@@ -418,6 +443,21 @@ impl WaveExecutor for LocalExecutor<'_> {
         let threads = self.fleet.threads();
         let root = self.verifier.root().clone();
         let scheme = self.fleet.scheme();
+        // Delta updates are encoded against the cohort's *current*
+        // golden bytes in the patch range (the base every untampered
+        // device still holds — promotion happens only after the last
+        // wave).
+        let base = self
+            .fleet
+            .cohort(spec.cohort)
+            .map(|state| {
+                let start = usize::from(spec.target);
+                state
+                    .golden
+                    .slice(start..start + spec.payload.len())
+                    .to_vec()
+            })
+            .ok_or(FleetError::UnknownCohort(spec.cohort))?;
         // Probe-challenge nonces come from the verifier's single
         // strictly-increasing nonce domain (shared with sweeps), so no
         // attestation challenge to a device key ever repeats.
@@ -428,6 +468,8 @@ impl WaveExecutor for LocalExecutor<'_> {
             expected_after: spec.expected_after,
             scheme,
             smoke_cycles: spec.smoke_cycles,
+            version: spec.version,
+            delta_base: spec.delta.then_some(base.as_slice()),
             probe_nonce_base: self.verifier.reserve_challenge_nonces(wave),
         };
         let mut devices = self.fleet.devices_by_ids_mut(wave);
@@ -682,6 +724,8 @@ impl CampaignRun {
             payload: &self.config.payload,
             expected_after: self.expected_after,
             smoke_cycles: self.config.smoke_cycles,
+            version: self.config.version,
+            delta: self.config.delta,
         };
         let rollout = exec.roll_out(&wave_ids, &spec)?;
         exec.record(rollout.events);
@@ -810,8 +854,10 @@ pub struct PausedCampaign {
     outcome: Option<CampaignOutcome>,
 }
 
-/// Magic + version prefix of the paused-campaign byte format.
-const PAUSE_MAGIC: &[u8; 4] = b"EPC1";
+/// Magic + version prefix of the paused-campaign byte format. `EPC2`
+/// extended `EPC1` with the campaign's anti-rollback version counter
+/// and delta-shipping flag.
+const PAUSE_MAGIC: &[u8; 4] = b"EPC2";
 
 impl PausedCampaign {
     /// Index of the next wave a resumed run will roll out.
@@ -835,6 +881,8 @@ impl PausedCampaign {
         out.extend_from_slice(&self.config.canary_fraction.to_bits().to_le_bytes());
         out.extend_from_slice(&self.config.failure_threshold.to_bits().to_le_bytes());
         out.extend_from_slice(&self.config.smoke_cycles.to_le_bytes());
+        out.extend_from_slice(&self.config.version.to_le_bytes());
+        out.push(u8::from(self.config.delta));
 
         out.extend_from_slice(&(self.waves.len() as u32).to_le_bytes());
         for wave in &self.waves {
@@ -906,6 +954,16 @@ impl PausedCampaign {
         let canary_fraction = f64::from_bits(reader.u64().map_err(invalid)?);
         let failure_threshold = f64::from_bits(reader.u64().map_err(invalid)?);
         let smoke_cycles = reader.u64().map_err(invalid)?;
+        let version = reader.u64().map_err(invalid)?;
+        let delta = match reader.u8().map_err(invalid)? {
+            0 => false,
+            1 => true,
+            tag => {
+                return Err(FleetError::InvalidCampaign(format!(
+                    "unknown delta flag {tag}"
+                )))
+            }
+        };
         let config = CampaignConfig {
             cohort,
             target,
@@ -913,6 +971,8 @@ impl PausedCampaign {
             canary_fraction,
             failure_threshold,
             smoke_cycles,
+            version,
+            delta,
         };
         config.validate()?;
 
@@ -1151,7 +1211,12 @@ fn roll_back(
 /// the networked backend does too, with the device *reporting* its last
 /// nonce over the wire.
 fn resumed_authority(key: &DeviceKey, device: &SimDevice) -> UpdateAuthority {
+    // Rollbacks (and other re-issues) are stamped with the device's own
+    // current version: the anti-rollback counter accepts equal versions
+    // precisely so an operator can restore previous *bytes* without
+    // presenting an older counter value.
     UpdateAuthority::with_key_resuming(key, device.engine().last_nonce() + 1)
+        .with_version(device.engine().last_version())
 }
 
 /// Everything one in-process wave rollout needs besides the devices
@@ -1169,13 +1234,45 @@ struct WaveParams<'a> {
     scheme: MeasurementScheme,
     /// Cycle budget for the post-update smoke run.
     smoke_cycles: u64,
+    /// Firmware version the patch carries (anti-rollback counter).
+    version: u64,
+    /// When `Some`, ship sparse deltas encoded against these cohort
+    /// golden bytes in the patch range; `None` ships full images.
+    delta_base: Option<&'a [u8]>,
     /// Base of the nonce block reserved (from the verifier's challenge
     /// nonce domain) for this wave's probe challenges; device `id` uses
     /// `probe_nonce_base + id`.
     probe_nonce_base: u64,
 }
 
+/// Per-device outcome of the update-and-attest pass, before any smoke
+/// probe has run.
+struct UpdatePass {
+    /// `UpdateApplied` or `UpdateRejected`, so far.
+    events: Vec<LedgerEvent>,
+    /// Pre-update snapshot; `Some` iff the update applied.
+    snapshot: Option<PreUpdateSnapshot>,
+    id: DeviceId,
+    /// The update was accepted and applied.
+    applied: bool,
+    /// The post-update attestation matched `expected_after`.
+    attested: bool,
+    /// The device opted out of probe memoization.
+    isolated: bool,
+}
+
 /// Applies the patch, reboots and probes one wave of devices.
+///
+/// The expensive post-update smoke run is *memoized per wave*: every
+/// updated device attests against the expected post-patch measurement,
+/// and devices whose attested state equals `expected_after` are running
+/// byte-identical firmware — so the smoke run is executed once, on the
+/// wave's first such device (the *reference*), and its deterministic
+/// verdict is inherited by the rest. Devices whose measurement differs
+/// (tampered, or a rejected-then-divergent state) and devices marked
+/// [`SimDevice::probe_isolated`] never inherit: each runs its own full
+/// smoke probe. Ledger events, verdicts and report fields are exactly
+/// what the per-device path produces.
 fn roll_out_wave(
     devices: &mut [&mut SimDevice],
     threads: usize,
@@ -1183,9 +1280,12 @@ fn roll_out_wave(
 ) -> WaveRollout {
     let patch_start = usize::from(params.target);
     let patch_end = patch_start + params.payload.len();
-    let results = parallel_map_mut(devices, threads, |device| {
+
+    // Pass 1 (parallel): snapshot, update (delta with same-nonce
+    // full-image fallback), attest, reboot into the new firmware.
+    let pass = parallel_map_mut(devices, threads, |device| {
         let key = params.root.derive(device.id());
-        let mut authority = resumed_authority(&key, device);
+        let mut authority = resumed_authority(&key, device).with_version(params.version);
         let request = authority.authorize(params.target, params.payload);
         let nonce = request.nonce;
         let mut events = Vec::new();
@@ -1193,13 +1293,36 @@ fn roll_out_wave(
         // Snapshot the device's own pre-update state (patch-range bytes
         // plus full-PMEM measurement) so a rollback can restore and
         // verify exactly what this device held, not the cohort golden.
-        let memory = &device.device().cpu().memory;
+        // The measurement comes from the device's live incremental
+        // measurer when it covers PMEM — only dirty granules re-hash —
+        // instead of a from-scratch measure_pmem.
         let snapshot = PreUpdateSnapshot {
-            patch_range: memory.slice(patch_start..patch_end).to_vec(),
-            measurement: params.scheme.measure_pmem(memory, device.device().layout()),
+            measurement: device.measure_pmem_cached(params.scheme),
+            patch_range: device
+                .device()
+                .cpu()
+                .memory
+                .slice(patch_start..patch_end)
+                .to_vec(),
         };
 
-        match device.apply_update(&request) {
+        let result = match params.delta_base {
+            Some(base) => {
+                let delta = DeltaUpdateRequest::from_full(&request, base);
+                match device.apply_delta_update(&delta) {
+                    Ok(()) => Ok(()),
+                    // A rejected request never advances the device's
+                    // nonce or version, so a device whose base bytes
+                    // diverged from the cohort golden (delta MAC
+                    // failure) retries with the full image under the
+                    // *same* nonce — the recorded outcome is bit-for-bit
+                    // what the full-image path would have produced.
+                    Err(_) => device.apply_update(&request),
+                }
+            }
+            None => device.apply_update(&request),
+        };
+        match result {
             Ok(()) => events.push(LedgerEvent::UpdateApplied {
                 device: device.id(),
                 nonce,
@@ -1209,13 +1332,23 @@ fn roll_out_wave(
                     device: device.id(),
                     error,
                 });
-                return (events, None, true);
+                return UpdatePass {
+                    events,
+                    snapshot: None,
+                    id: device.id(),
+                    applied: false,
+                    attested: false,
+                    isolated: device.probe_isolated(),
+                };
             }
         }
 
         // Post-update health probe 1: attest against the expected
         // post-patch measurement, under a challenge nonce reserved from
-        // the verifier's sweep nonce domain.
+        // the verifier's sweep nonce domain. This is also the
+        // memoization gate: only devices whose attested measurement
+        // *equals* the expected post-patch golden may inherit the
+        // reference verdict.
         let attest_verifier = AttestationVerifier::with_key(&key);
         let challenge = attest_verifier.challenge_pmem(
             device.device().layout(),
@@ -1226,38 +1359,94 @@ fn roll_out_wave(
             .verify(&challenge, &report, Some(&params.expected_after))
             .is_ok();
 
-        // Post-update health probe 2: reboot into the new firmware and
-        // smoke-run it. Completion and still-running are healthy;
-        // violations and faults are not.
+        // Reboot into the new firmware; whether this device *runs* it
+        // is decided by the probe pass.
         device.reboot();
-        let outcome = device.run_slice(params.smoke_cycles);
-        let healthy_run = matches!(
-            outcome,
-            RunOutcome::Completed { .. } | RunOutcome::Timeout { .. }
-        );
-
-        let failed = !(attested && healthy_run);
-        if failed {
-            events.push(LedgerEvent::ProbeFailed {
-                device: device.id(),
-            });
+        UpdatePass {
+            events,
+            snapshot: Some(snapshot),
+            id: device.id(),
+            applied: true,
+            attested,
+            isolated: device.probe_isolated(),
         }
-        (events, Some((device.id(), snapshot)), failed)
     });
 
-    let mut rollout = WaveRollout::default();
-    for (device_events, applied, failed) in results {
-        rollout.events.extend(device_events);
-        if let Some((id, snapshot)) = applied {
-            rollout.updated.push(id);
-            rollout.snapshots.insert(id, snapshot);
-            if failed {
-                rollout.probe_failed.push(id);
+    // The reference device: first in wave order that applied the update
+    // and attests byte-identical post-patch firmware, excluding
+    // probe-isolated devices. Its smoke verdict is deterministic for
+    // every device in the same attested state.
+    let reference = pass
+        .iter()
+        .position(|p| p.applied && p.attested && !p.isolated);
+
+    // Pass 2 (parallel): run the smoke probe on the devices that
+    // actually need one — the reference, every measurement-mismatched
+    // device and every probe-isolated device. Everyone else inherits.
+    let needs_smoke: Vec<usize> = pass
+        .iter()
+        .enumerate()
+        .filter(|(index, p)| {
+            Some(*index) == reference || (p.applied && (!p.attested || p.isolated))
+        })
+        .map(|(index, _)| index)
+        .collect();
+    let mut smoke_devices: Vec<&mut SimDevice> = Vec::with_capacity(needs_smoke.len());
+    {
+        let mut wanted = needs_smoke.iter().copied().peekable();
+        for (index, device) in devices.iter_mut().enumerate() {
+            if wanted.peek() == Some(&index) {
+                wanted.next();
+                smoke_devices.push(&mut **device);
             }
         }
-        if failed {
+    }
+    let smoke_results = parallel_map_mut(&mut smoke_devices, threads, |device| {
+        let outcome = device.run_slice(params.smoke_cycles);
+        matches!(
+            outcome,
+            RunOutcome::Completed { .. } | RunOutcome::Timeout { .. }
+        )
+    });
+    let healthy_by_index: BTreeMap<usize, bool> =
+        needs_smoke.into_iter().zip(smoke_results).collect();
+    let reference_healthy = reference.map(|index| healthy_by_index[&index]);
+
+    let mut rollout = WaveRollout::default();
+    for (index, device_pass) in pass.into_iter().enumerate() {
+        let UpdatePass {
+            mut events,
+            snapshot,
+            id,
+            applied,
+            attested,
+            ..
+        } = device_pass;
+        if !applied {
             rollout.failures += 1;
+            rollout.events.append(&mut events);
+            continue;
         }
+        let failed = match healthy_by_index.get(&index) {
+            Some(&healthy) => {
+                rollout.probes_executed += 1;
+                !(attested && healthy)
+            }
+            None => {
+                rollout.probes_memoized += 1;
+                !reference_healthy.expect("memoized devices imply a reference device")
+            }
+        };
+        if failed {
+            events.push(LedgerEvent::ProbeFailed { device: id });
+            rollout.failures += 1;
+            rollout.probe_failed.push(id);
+        }
+        rollout.updated.push(id);
+        rollout
+            .snapshots
+            .insert(id, snapshot.expect("applied devices are snapshotted"));
+        rollout.events.append(&mut events);
     }
     rollout
 }

@@ -3,8 +3,9 @@
 
 use eilid::{Device, RunOutcome};
 use eilid_casu::{
-    merkle_measure, AttestationReport, Attestor, Challenge, DeviceKey, IncrementalMeasurer,
-    MeasurerStats, UpdateEngine, UpdateError, UpdateRequest,
+    merkle_measure, AttestationReport, Attestor, Challenge, DeltaUpdateRequest, DeviceKey,
+    IncrementalMeasurer, MeasurementScheme, MeasurerStats, UpdateEngine, UpdateError,
+    UpdateRequest,
 };
 use eilid_workloads::WorkloadId;
 
@@ -28,6 +29,12 @@ pub struct SimDevice {
     /// invalidates the covered leaves.
     measurer: Option<IncrementalMeasurer>,
     last_outcome: Option<RunOutcome>,
+    /// When set, campaign probe memoization is disabled for this
+    /// device: its post-update health verdict must come from its own
+    /// smoke run, never inherited from a cohort reference device.
+    /// Fault-injection harnesses set this on devices whose behaviour
+    /// deliberately diverges from the cohort's.
+    probe_isolated: bool,
 }
 
 impl SimDevice {
@@ -50,6 +57,7 @@ impl SimDevice {
             attestor: Attestor::with_key(key),
             measurer,
             last_outcome: None,
+            probe_isolated: false,
         }
     }
 
@@ -90,6 +98,39 @@ impl SimDevice {
         self.measurer.as_ref().map(IncrementalMeasurer::stats)
     }
 
+    /// Whether this device is excluded from campaign probe memoization
+    /// (see [`SimDevice::set_probe_isolated`]).
+    pub fn probe_isolated(&self) -> bool {
+        self.probe_isolated
+    }
+
+    /// Marks this device as probe-isolated: campaigns must run its
+    /// post-update smoke probe on the device itself instead of
+    /// inheriting the cohort reference verdict. Fault-injection
+    /// configurations call this for every device they perturb.
+    pub fn set_probe_isolated(&mut self, isolated: bool) {
+        self.probe_isolated = isolated;
+    }
+
+    /// The device's current full-PMEM measurement under `scheme`,
+    /// served from the live incremental measurer when it covers the
+    /// PMEM range (re-hashing only dirty granules) and measured from
+    /// scratch otherwise — the fast path campaign snapshots take
+    /// instead of a full `measure_pmem`.
+    pub fn measure_pmem_cached(&mut self, scheme: MeasurementScheme) -> [u8; 32] {
+        let layout = self.device.layout();
+        let (pmem_start, pmem_end) = (*layout.pmem.start(), *layout.pmem.end());
+        match &mut self.measurer {
+            Some(measurer) if measurer.covers(pmem_start, pmem_end) => {
+                measurer.root(&mut self.device.cpu_mut().memory)
+            }
+            _ => {
+                let layout = self.device.layout().clone();
+                scheme.measure_pmem(&self.device.cpu().memory, &layout)
+            }
+        }
+    }
+
     /// Answers an attestation challenge over the device's memory.
     ///
     /// With an incremental engine, a challenge covering exactly the
@@ -124,6 +165,20 @@ impl SimDevice {
         let (cpu, monitor) = self.device.cpu_and_monitor_mut();
         let monitor = monitor.expect("fleet devices are always monitor-protected");
         self.engine.apply(request, &mut cpu.memory, monitor)
+    }
+
+    /// Verifies and applies a sparse delta update: the post-image is
+    /// assembled from the device's *current* bytes, so a tampered base
+    /// fails MAC verification exactly as a forged full image would.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`UpdateError`] of the first failed check; device
+    /// memory is untouched in that case.
+    pub fn apply_delta_update(&mut self, request: &DeltaUpdateRequest) -> Result<(), UpdateError> {
+        let (cpu, monitor) = self.device.cpu_and_monitor_mut();
+        let monitor = monitor.expect("fleet devices are always monitor-protected");
+        self.engine.apply_delta(request, &mut cpu.memory, monitor)
     }
 
     /// Reboots into the current firmware image (post-OTA restart).

@@ -1,0 +1,157 @@
+//! Anti-rollback at the fleet layer: a device's monotonic version
+//! counter survives reboots, kills replayed update requests and
+//! version downgrades *device-side*, and a downgrade campaign is
+//! rejected by every device with the refusals recorded in the fleet
+//! ledger — the operator sees exactly why nothing was installed.
+
+use eilid_casu::{DeviceKey, UpdateAuthority, UpdateError};
+use eilid_fleet::fixtures::{benign_patch, BENIGN_PATCH_TARGET};
+use eilid_fleet::{
+    CampaignConfig, CampaignOutcome, Fleet, FleetBuilder, FleetOps, LedgerEvent, LocalOps, Verifier,
+};
+use eilid_workloads::WorkloadId;
+
+const ROOT: &[u8] = b"fleet-root-key-0123456789abcdef";
+const COHORT: WorkloadId = WorkloadId::LightSensor;
+
+fn build(devices: usize) -> (Fleet, Verifier) {
+    FleetBuilder::new(DeviceKey::new(ROOT).unwrap())
+        .devices(devices)
+        .threads(2)
+        .workloads(&[COHORT])
+        .build()
+        .unwrap()
+}
+
+fn config(version: u64) -> CampaignConfig {
+    let mut config = CampaignConfig::new(COHORT, BENIGN_PATCH_TARGET, benign_patch());
+    config.smoke_cycles = 200_000;
+    config.version = version;
+    config
+}
+
+/// A replayed `UpdateRequest` — bit-for-bit the one the device already
+/// accepted — is refused as stale, and the refusal survives a reboot:
+/// the nonce floor is engine state, not boot-session state.
+#[test]
+fn replayed_update_request_is_rejected_across_reboot() {
+    let (mut fleet, verifier) = build(2);
+    let key = verifier.device_key(0);
+    let device = &mut fleet.devices_mut()[0];
+    let mut authority =
+        UpdateAuthority::with_key_resuming(&key, device.engine().last_nonce() + 1).with_version(2);
+
+    let request = authority.authorize(BENIGN_PATCH_TARGET, &benign_patch());
+    device.apply_update(&request).unwrap();
+    assert_eq!(device.engine().last_version(), 2);
+
+    // Same request again, same boot: stale.
+    assert!(matches!(
+        device.apply_update(&request),
+        Err(UpdateError::StaleNonce { .. })
+    ));
+
+    // And after a reboot — the replay window never reopens.
+    device.reboot();
+    assert!(matches!(
+        device.apply_update(&request),
+        Err(UpdateError::StaleNonce { .. })
+    ));
+    assert_eq!(device.engine().updates_applied(), 1);
+}
+
+/// A correctly MACed, fresh-nonced request carrying an *older* firmware
+/// version is a downgrade: refused before and after a reboot, with the
+/// version floor intact.
+#[test]
+fn version_downgrade_is_rejected_across_reboot() {
+    let (mut fleet, verifier) = build(2);
+    let key = verifier.device_key(0);
+    let device = &mut fleet.devices_mut()[0];
+    let mut authority =
+        UpdateAuthority::with_key_resuming(&key, device.engine().last_nonce() + 1).with_version(3);
+    let request = authority.authorize(BENIGN_PATCH_TARGET, &benign_patch());
+    device.apply_update(&request).unwrap();
+
+    // Downgrade attempt: fresh nonce, valid MAC, version 1 < 3.
+    authority.set_version(1);
+    let downgrade = authority.authorize(BENIGN_PATCH_TARGET, &[0xD0; 8]);
+    assert_eq!(
+        device.apply_update(&downgrade),
+        Err(UpdateError::RollbackVersion {
+            presented: 1,
+            current: 3,
+        })
+    );
+
+    device.reboot();
+    // Re-issue under yet another fresh nonce after the reboot; the
+    // floor persists.
+    let downgrade = authority.authorize(BENIGN_PATCH_TARGET, &[0xD0; 8]);
+    assert_eq!(
+        device.apply_update(&downgrade),
+        Err(UpdateError::RollbackVersion {
+            presented: 1,
+            current: 3,
+        })
+    );
+    assert_eq!(device.engine().last_version(), 3);
+    // The refused bytes never landed.
+    assert_ne!(
+        device.device().cpu().memory.read_byte(BENIGN_PATCH_TARGET),
+        0xD0
+    );
+}
+
+/// A whole *campaign* carrying an older version is refused by every
+/// device, halts at the canary, and the ledger records each device's
+/// `RollbackVersion` refusal — the fleet-wide audit trail of the
+/// downgrade attempt.
+#[test]
+fn downgrade_campaign_halts_and_is_ledger_recorded() {
+    let (mut fleet, mut verifier) = build(8);
+
+    let report = LocalOps::new(&mut fleet, &mut verifier)
+        .run_campaign(&config(2))
+        .unwrap();
+    assert_eq!(report.outcome, CampaignOutcome::Completed { updated: 8 });
+
+    let report = LocalOps::new(&mut fleet, &mut verifier)
+        .run_campaign(&config(1))
+        .unwrap();
+    assert!(
+        matches!(
+            report.outcome,
+            CampaignOutcome::HaltedAndRolledBack {
+                wave: 0,
+                rolled_back: 0,
+                ..
+            }
+        ),
+        "a downgrade campaign must die at the canary with nothing installed: {:?}",
+        report.outcome
+    );
+
+    let rejections: Vec<_> = fleet
+        .ledger()
+        .events()
+        .iter()
+        .filter_map(|event| match event {
+            LedgerEvent::UpdateRejected {
+                device,
+                error: UpdateError::RollbackVersion { presented, current },
+            } => Some((*device, *presented, *current)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !rejections.is_empty(),
+        "the ledger must carry the downgrade refusals"
+    );
+    assert!(
+        rejections
+            .iter()
+            .all(|(_, presented, current)| *presented == 1 && *current == 2),
+        "every refusal names the downgrade: {rejections:?}"
+    );
+}

@@ -356,6 +356,8 @@ pub(crate) fn update_error_code(error: &eilid_casu::UpdateError) -> u8 {
         eilid_casu::UpdateError::StaleNonce { .. } => 2,
         eilid_casu::UpdateError::TargetOutsidePmem { .. } => 3,
         eilid_casu::UpdateError::EmptyPayload => 4,
+        eilid_casu::UpdateError::RollbackVersion { .. } => 5,
+        eilid_casu::UpdateError::MalformedDelta => 6,
     }
 }
 

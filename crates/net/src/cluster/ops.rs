@@ -12,13 +12,18 @@
 //! single-gateway deployment produces.
 //!
 //! **Failover.** After every wave (and right after begin), each
-//! console checkpoints its gateway's campaign: pause, keep the
-//! [`PausedCampaign`] bytes operator-side, resume the gateway-retained
-//! run — two cheap lockstep exchanges per gateway per wave. When a
-//! gateway crashes mid-campaign, the supervisor restarts the process
-//! on the same address, [`ClusterOps::reconnect`] re-adopts the cohort
-//! and replays the retained checkpoint, and stepping continues from
-//! the wave boundary — a resume, not a redo. Wave replay is
+//! console checkpoints its gateway's campaign with the one-round-trip
+//! `OpCheckpoint` verb: the gateway snapshots the *running* run into
+//! its retained slot without pausing it, and — unless the console asks
+//! for durable checkpoints — no [`PausedCampaign`] bytes cross the
+//! wire at all; they are fetched only on actual failover. When a
+//! gateway goes away mid-campaign, [`ClusterOps::reconnect`] repairs
+//! state in layers: a connection blip finds the run still loaded
+//! (nothing to do); a restarted process that kept its retained record
+//! resumes in place; a fresh process is re-seeded from the
+//! console-held bytes (durable mode — see
+//! [`ClusterOps::set_durable_checkpoints`]). Stepping then continues
+//! from the wave boundary — a resume, not a redo. Wave replay is
 //! idempotent: update nonces resume from the device-reported last
 //! nonce, so devices that already applied the wave's patch simply
 //! accept it again.
@@ -76,8 +81,14 @@ pub struct ClusterOps {
     finished: Vec<bool>,
     /// Latest per-gateway wave-boundary checkpoint: the
     /// [`PausedCampaign`] bytes replayed into a restarted gateway by
-    /// [`ClusterOps::reconnect`].
+    /// [`ClusterOps::reconnect`]. Populated only in durable mode; the
+    /// default keeps the record gateway-retained and off the wire.
     checkpoints: Vec<Option<Vec<u8>>>,
+    /// When true, every wave-boundary checkpoint also fetches the
+    /// serialised record so a gateway *process* death is recoverable;
+    /// the default trusts the gateway-retained slot (connection blips,
+    /// drains) and skips the byte shuttle.
+    durable_checkpoints: bool,
     cohort: Option<WorkloadId>,
     op_timeout: Duration,
     /// Operator-side telemetry: fan-out latency across the cluster's
@@ -155,6 +166,7 @@ impl ClusterOps {
             participating: vec![false; n],
             finished: vec![false; n],
             checkpoints: vec![None; n],
+            durable_checkpoints: false,
             cohort: None,
             op_timeout: DEFAULT_OP_TIMEOUT,
             obs,
@@ -174,6 +186,17 @@ impl ClusterOps {
         Placement::new(self.addrs.len())
     }
 
+    /// Opts wave-boundary checkpoints into durable mode: the
+    /// serialised record rides back in every checkpoint ack and is
+    /// kept console-side, so [`ClusterOps::reconnect`] can re-seed a
+    /// gateway whose *process* died (SIGKILL, OOM) — not just one
+    /// whose connection dropped. Costs one record payload per gateway
+    /// per wave; leave off when a supervisor only restarts gateways
+    /// that drain cleanly.
+    pub fn set_durable_checkpoints(&mut self, durable: bool) {
+        self.durable_checkpoints = durable;
+    }
+
     /// Overrides the per-command reply deadline on every console
     /// (current and future reconnections).
     pub fn set_op_timeout(&mut self, timeout: Duration) {
@@ -184,13 +207,13 @@ impl ClusterOps {
     }
 
     /// Re-establishes the console to `gateway` after a crash/restart
-    /// and repairs campaign state: the cohort is re-adopted, and when
-    /// this gateway was mid-campaign its latest wave-boundary
-    /// checkpoint is replayed into the fresh process
-    /// ([`FleetOps::campaign_resume`] with the retained bytes). A
-    /// gateway that never lost its run (connection blip, drain/restart
-    /// with retained state) answers the replay with
-    /// [`OpsError::CampaignActive`], which counts as success.
+    /// and repairs campaign state in layers, cheapest first: a gateway
+    /// that never lost its run (connection blip) answers the in-place
+    /// resume with [`OpsError::CampaignActive`] and keeps stepping; a
+    /// restarted-but-retaining gateway resumes from its own retained
+    /// checkpoint; only a fresh process with nothing retained is
+    /// re-seeded from the console-held bytes (populated in durable
+    /// mode) via [`FleetOps::campaign_resume`].
     ///
     /// # Errors
     ///
@@ -203,11 +226,21 @@ impl ClusterOps {
             console.adopt(cohort);
         }
         if self.participating[gateway] && !self.finished[gateway] {
-            if let Some(bytes) = self.checkpoints[gateway].clone() {
-                match console.campaign_resume(&bytes) {
-                    Ok(()) | Err(OpsError::CampaignActive) => {}
-                    Err(err) => return Err(at_gateway(gateway, err)),
+            match console.resume_retained() {
+                // In-place resume from the gateway-retained record, or
+                // the run was never lost at all.
+                Ok(()) | Err(OpsError::CampaignActive) => {}
+                // A fresh process retains nothing: replay the
+                // console-held durable checkpoint, when there is one.
+                Err(OpsError::NoCampaign) => {
+                    if let Some(bytes) = self.checkpoints[gateway].clone() {
+                        match console.campaign_resume(&bytes) {
+                            Ok(()) | Err(OpsError::CampaignActive) => {}
+                            Err(err) => return Err(at_gateway(gateway, err)),
+                        }
+                    }
                 }
+                Err(err) => return Err(at_gateway(gateway, err)),
             }
         }
         self.consoles[gateway] = console;
@@ -264,15 +297,17 @@ impl ClusterOps {
         self.obs.snapshot()
     }
 
-    /// Checkpoints one console: pause, keep the bytes, resume the
-    /// gateway-retained run. Returns `None` when the gateway kept the
-    /// record itself (too large for one frame) — such a checkpoint
-    /// cannot survive a process restart, only a reconnect.
+    /// Checkpoints one console in a single round trip: the gateway
+    /// snapshots its *running* campaign into the retained slot without
+    /// pausing it. In durable mode the serialised record rides back in
+    /// the ack and is kept console-side; otherwise no `EPC2` bytes
+    /// cross the wire at all — they are fetched only on actual
+    /// failover.
     fn checkpoint_console(
         console: &mut RemoteOps<TcpTransport>,
+        durable: bool,
     ) -> Result<Option<Vec<u8>>, OpsError> {
-        let bytes = console.campaign_pause()?;
-        console.resume_retained()?;
+        let (_state, bytes) = console.campaign_checkpoint(durable)?;
         Ok((!bytes.is_empty()).then_some(bytes))
     }
 }
@@ -294,6 +329,7 @@ impl FleetOps for ClusterOps {
     }
 
     fn campaign_begin(&mut self, config: &CampaignConfig) -> Result<(), OpsError> {
+        let durable = self.durable_checkpoints;
         let results = fan_out(
             &mut self.consoles,
             |_| true,
@@ -301,7 +337,7 @@ impl FleetOps for ClusterOps {
                 console.campaign_begin(config)?;
                 // Checkpoint immediately: a gateway crash during the very
                 // first wave must also be resumable, not restartable-only.
-                Self::checkpoint_console(console)
+                Self::checkpoint_console(console, durable)
             },
         );
         let mut first_refusal = None;
@@ -334,6 +370,7 @@ impl FleetOps for ClusterOps {
         }
         let participating = self.participating.clone();
         let finished = self.finished.clone();
+        let durable = self.durable_checkpoints;
         let started = Instant::now();
         let results = fan_out(
             &mut self.consoles,
@@ -341,7 +378,9 @@ impl FleetOps for ClusterOps {
             |_, console| {
                 let status = console.campaign_step()?;
                 let checkpoint = match status {
-                    CampaignStatus::InProgress { .. } => Self::checkpoint_console(console)?,
+                    CampaignStatus::InProgress { .. } => {
+                        Self::checkpoint_console(console, durable)?
+                    }
                     CampaignStatus::Finished => None,
                 };
                 Ok((status, checkpoint))

@@ -19,22 +19,37 @@
 //!                        CampaignStatus (wave boundary) ─▶ operator conn
 //! ```
 //!
+//! Campaign waves are *streamed*: instead of three fleet-wide phase
+//! barriers (every snapshot, then every update, then every probe), each
+//! device advances through its own phase chain — snapshot → delta (or
+//! full) update → attest probe → verdict — the moment its previous
+//! reply lands, with admission capped by a per-connection window
+//! ([`ENGINE_WAVE_WINDOW`], the sweep client's window-of-32 pattern).
+//! A slow or busy device therefore stalls only itself, never the wave.
+//! The cohort-reference smoke probe runs once; byte-identical siblings
+//! (attested equal to `expected_after`) inherit its verdict, so the
+//! 2M-cycle reboot + smoke simulation leaves the per-device hot path.
+//!
 //! Outbound frames ride the gateway's existing completions channel (the
 //! same coalesced-write path worker verdicts use), so the reactor
 //! flushes them with its usual discipline. A device agent that cannot
 //! serve a push right now sheds it with a device-scoped
-//! [`Frame::DeviceError`] `Busy`; the engine retries exactly that
-//! device with bounded exponential backoff instead of counting it as a
-//! probe failure — backpressure is a scheduling signal, not a health
-//! verdict.
+//! [`Frame::DeviceError`] `Busy`; the engine schedules a bounded
+//! exponential-backoff retry *inside its event loop* (the thread keeps
+//! draining other devices' replies — it never sleeps through a backoff)
+//! instead of counting it as a probe failure — backpressure is a
+//! scheduling signal, not a health verdict.
 
-use std::collections::{BTreeMap, HashMap};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use eilid_casu::{AttestationVerifier, Challenge, UpdateAuthority, UpdateError};
+use eilid_casu::{
+    AttestationVerifier, Challenge, DeltaUpdateRequest, UpdateAuthority, UpdateError,
+};
 use eilid_fleet::{
     Campaign, CampaignRun, CohortInfo, DeviceId, FleetError, HealthClass, Ledger, LedgerEvent,
     PausedCampaign, PreUpdateSnapshot, RollbackOutcome, WaveExecutor, WaveRollout, WaveSpec,
@@ -45,7 +60,7 @@ use eilid_workloads::WorkloadId;
 use eilid_fleet::ops::class_index;
 
 use crate::gateway::GatewayCounters;
-use crate::metrics::{NetMetrics, TRACE_CAT_ENGINE, TRACE_ENGINE_PHASE};
+use crate::metrics::{NetMetrics, TRACE_CAT_ENGINE, TRACE_ENGINE_WAVE};
 use crate::poller::Waker;
 use crate::service::{health_to_wire, AttestationService};
 use crate::wire::{
@@ -56,6 +71,20 @@ use crate::wire::{
 /// How many times the engine re-pushes an exchange a device agent shed
 /// with a device-scoped `Busy` before giving up on that device.
 pub const ENGINE_BUSY_RETRIES: usize = 8;
+
+/// Per-connection cap on devices concurrently in flight during a
+/// streamed campaign wave. Matches the sweep client's window-of-32:
+/// enough to keep every agent's serve loop saturated, small enough
+/// that one connection's outbox never balloons.
+pub const ENGINE_WAVE_WINDOW: usize = 32;
+
+/// Bounded exponential backoff before re-pushing a `Busy`-shed frame
+/// (`attempts` counts from 1).
+fn busy_backoff(attempts: usize) -> Duration {
+    Duration::from_micros(500)
+        .saturating_mul(1 << (attempts - 1).min(8) as u32)
+        .min(Duration::from_millis(50))
+}
 
 /// The gateway's device→connection registry: which connection serves
 /// which attached device, and under which cohort. Written by the
@@ -156,6 +185,101 @@ impl ReplyKind {
             | (ReplyKind::Probe, Frame::ProbeResult { device, .. }) => Some(*device),
             _ => None,
         }
+    }
+}
+
+/// Where a device sits in the streamed wave's phase chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WavePhase {
+    /// Not yet admitted into the in-flight window.
+    Queued,
+    /// Snapshot request in flight.
+    Snapshot,
+    /// Update in flight; `delta` marks the sparse-segment attempt
+    /// (a rejection falls back to the full image under the same nonce).
+    Update { delta: bool },
+    /// Post-update attest probe ([`ProbeMode::UpdateAttest`]) in
+    /// flight.
+    Attest,
+    /// This device is the cohort reference: its real reboot + smoke
+    /// probe ([`ProbeMode::UpdateProbe`]) is in flight.
+    Reference,
+}
+
+/// Per-device progress through the streamed wave.
+#[derive(Debug)]
+struct WaveDevice {
+    phase: WavePhase,
+    /// The frame awaiting a reply, kept for `Busy` re-pushes.
+    in_flight: Option<Frame>,
+    /// `Busy` sheds of the current in-flight frame.
+    attempts: usize,
+    /// When the current in-flight frame was pushed (phase-latency
+    /// histograms).
+    pushed_at: Instant,
+    nonce: u64,
+    snapshot: Option<PreUpdateSnapshot>,
+    /// The authorized full-image request, held while the delta attempt
+    /// is in flight so a divergent device can fall back under the same
+    /// nonce (the recorded outcome is always the final attempt's).
+    fallback: Option<Frame>,
+    challenge: Option<Challenge>,
+    applied: bool,
+    /// Device-side rejection code of the *final* update attempt.
+    rejected: Option<u8>,
+    attested: bool,
+    /// The device's own probe verdict (probe-isolated devices, the
+    /// reference itself, and measurement mismatches — which never
+    /// inherit).
+    verdict: Option<bool>,
+    /// Verdict deferred to the cohort reference's smoke outcome.
+    inherit: bool,
+    done: bool,
+}
+
+impl WaveDevice {
+    fn new(now: Instant) -> Self {
+        WaveDevice {
+            phase: WavePhase::Queued,
+            in_flight: None,
+            attempts: 0,
+            pushed_at: now,
+            nonce: 0,
+            snapshot: None,
+            fallback: None,
+            challenge: None,
+            applied: false,
+            rejected: None,
+            attested: false,
+            verdict: None,
+            inherit: false,
+            done: false,
+        }
+    }
+}
+
+/// Wave-wide accounting the streamed loop threads through its
+/// handlers.
+#[derive(Debug, Default)]
+struct WaveTally {
+    /// Admitted-but-not-done devices (the window occupancy).
+    live: usize,
+    /// Devices not yet done (loop exit condition).
+    remaining: usize,
+    /// Smoke probes actually executed on a device.
+    executed: u64,
+    /// Verdicts inherited from the cohort reference.
+    memoized: u64,
+}
+
+/// Retires a device from the wave (no further frames will be pushed to
+/// it); idempotent.
+fn finish(st: &mut WaveDevice, tally: &mut WaveTally) {
+    if !st.done {
+        st.done = true;
+        st.in_flight = None;
+        tally.live -= 1;
+        tally.remaining -= 1;
     }
 }
 
@@ -388,6 +512,49 @@ impl OpsEngine {
                 });
                 self.send(conn, Frame::OpDrained { paused: records });
             }
+            Frame::OpCheckpoint { cohort, fetch } => {
+                let Some(slot) = self.campaigns.get_mut(&cohort) else {
+                    return self.send_error(conn, ErrorCode::NoCampaign);
+                };
+                let (state, record) = match slot.run.take() {
+                    Some(run) => {
+                        if run.is_finished() {
+                            slot.run = Some(run);
+                            return self.send_error(conn, ErrorCode::NoCampaign);
+                        }
+                        // Checkpoint without stopping: snapshot the run
+                        // through its pause format and resume the same
+                        // bytes in place — the campaign keeps stepping
+                        // while the gateway retains the record for a
+                        // failover resume.
+                        let paused = run.pause();
+                        let bytes = paused.to_bytes();
+                        let resumed = PausedCampaign::from_bytes(&bytes)
+                            .expect("checkpoint record round-trips");
+                        slot.run = Some(Campaign::resume(resumed));
+                        slot.paused = Some(paused);
+                        (CAMPAIGN_STATE_RUNNING, bytes)
+                    }
+                    None => match slot.paused.as_ref() {
+                        Some(paused) => (CAMPAIGN_STATE_PAUSED, paused.to_bytes()),
+                        None => return self.send_error(conn, ErrorCode::NoCampaign),
+                    },
+                };
+                let paused = if fetch != 0 { record } else { Vec::new() };
+                if paused.len() > crate::wire::MAX_OP_PAYLOAD {
+                    // Retained fine, but unframeable on the wire — same
+                    // discipline as the oversized-Pause path.
+                    return self.send_error(conn, ErrorCode::Unsupported);
+                }
+                self.send(
+                    conn,
+                    Frame::OpCheckpointAck {
+                        cohort,
+                        state,
+                        paused,
+                    },
+                );
+            }
             Frame::OpMetrics => {
                 // Refresh the point-in-time gauges, then render the
                 // whole registry (plus the pre-registry atomics) as the
@@ -420,21 +587,16 @@ impl OpsEngine {
         max as usize
     }
 
-    /// Records one finished rollout phase (`0` snapshot, `1` update,
-    /// `2` probe) into its latency histogram and the trace ring.
-    fn note_phase(&self, phase: u64, started: Instant) {
+    /// Records one finished streamed wave into the trace ring. The
+    /// per-phase latency histograms are fed per *device* (push →
+    /// reply) by the wave loop; this is the wave-level span.
+    fn note_wave(&self, started: Instant, devices: usize) {
         let elapsed = started.elapsed();
-        let hist = match phase {
-            0 => &self.metrics.phase_snapshot_us,
-            1 => &self.metrics.phase_update_us,
-            _ => &self.metrics.phase_probe_us,
-        };
-        hist.record_duration_us(elapsed);
         self.metrics.trace().record(
             TRACE_CAT_ENGINE,
-            TRACE_ENGINE_PHASE,
+            TRACE_ENGINE_WAVE,
             u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
-            phase,
+            devices as u64,
         );
     }
 
@@ -560,9 +722,12 @@ impl OpsEngine {
     }
 
     /// Pushes one request frame per device and collects the matching
-    /// replies. Device-scoped `Busy` sheds are retried with bounded
-    /// exponential backoff; devices whose connection is gone (or that
-    /// never answer within the idle timeout) are simply absent from the
+    /// replies. Device-scoped `Busy` sheds are re-pushed after a
+    /// bounded exponential backoff that is scheduled *inside* the
+    /// event loop (a due-time heap bounds `recv_timeout`), so one busy
+    /// device never blocks the thread from draining every other
+    /// device's reply. Devices whose connection is gone (or that never
+    /// answer within the idle timeout) are simply absent from the
     /// result, which the callers turn into per-device failures.
     fn exchange(
         &mut self,
@@ -572,6 +737,7 @@ impl OpsEngine {
         let mut pending: HashMap<DeviceId, Frame> = HashMap::with_capacity(requests.len());
         let mut replies: HashMap<DeviceId, Frame> = HashMap::with_capacity(requests.len());
         let mut retries: HashMap<DeviceId, usize> = HashMap::new();
+        let mut retry_at: BinaryHeap<Reverse<(Instant, DeviceId)>> = BinaryHeap::new();
 
         // Initial push, one coalesced completions message for the lot.
         let mut batch: Vec<(u64, Frame)> = Vec::with_capacity(requests.len());
@@ -595,11 +761,35 @@ impl OpsEngine {
         // `timeout` of *idle* tolerance, not `timeout` total.
         let mut deadline = Instant::now() + self.timeout;
         while !pending.is_empty() {
+            // Re-push every backoff that has come due.
             let now = Instant::now();
-            if now >= deadline {
+            while let Some(&Reverse((when, device))) = retry_at.peek() {
+                if when > now {
+                    break;
+                }
+                retry_at.pop();
+                let Some(request) = pending.get(&device).cloned() else {
+                    continue;
+                };
+                let conn = self.registry.lock().expect("registry lock").conn_of(device);
+                match conn {
+                    Some(conn) => {
+                        let _ = self.out.send(vec![(conn, request)]);
+                        self.waker.wake();
+                        deadline = now + self.timeout;
+                    }
+                    None => {
+                        pending.remove(&device);
+                    }
+                }
+            }
+            if pending.is_empty() || now >= deadline {
                 break;
             }
-            match self.rx.recv_timeout(deadline - now) {
+            let wake_at = retry_at
+                .peek()
+                .map_or(deadline, |&Reverse((when, _))| deadline.min(when));
+            match self.rx.recv_timeout(wake_at.saturating_duration_since(now)) {
                 Ok(EngineInput::Device { frame }) => {
                     // A non-retryable device-scoped error (unknown
                     // device, refused push) fails that device fast —
@@ -611,16 +801,11 @@ impl OpsEngine {
                             }
                             continue;
                         }
-                    }
-                    if let Frame::DeviceError {
-                        device,
-                        code: ErrorCode::Busy,
-                    } = frame
-                    {
                         // Satellite fix: a busy shed during a campaign
-                        // push is retried with backoff, never counted
-                        // as a probe failure.
-                        if let Some(request) = pending.get(&device).cloned() {
+                        // push is scheduled for a backoff retry, never
+                        // counted as a probe failure — and never slept
+                        // on: the loop keeps serving other devices.
+                        if pending.contains_key(&device) {
                             let attempts = retries.entry(device).or_insert(0);
                             *attempts += 1;
                             self.metrics.engine_busy_retries.inc();
@@ -628,21 +813,8 @@ impl OpsEngine {
                                 pending.remove(&device);
                                 continue;
                             }
-                            let backoff = Duration::from_micros(500)
-                                .saturating_mul(1 << (*attempts - 1).min(8) as u32)
-                                .min(Duration::from_millis(50));
-                            std::thread::sleep(backoff);
-                            let conn = self.registry.lock().expect("registry lock").conn_of(device);
-                            match conn {
-                                Some(conn) => {
-                                    let _ = self.out.send(vec![(conn, request)]);
-                                    self.waker.wake();
-                                    deadline = Instant::now() + self.timeout;
-                                }
-                                None => {
-                                    pending.remove(&device);
-                                }
-                            }
+                            retry_at
+                                .push(Reverse((Instant::now() + busy_backoff(*attempts), device)));
                         }
                         continue;
                     }
@@ -667,10 +839,119 @@ impl OpsEngine {
                     let registry = self.registry.lock().expect("registry lock");
                     pending.retain(|device, _| registry.conn_of(*device).is_some());
                 }
-                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+                // A timeout here may just be a backoff coming due; the
+                // loop head re-pushes it and the deadline check decides.
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => break,
             }
         }
         replies
+    }
+
+    /// Arms `frame` as `device`'s in-flight exchange and queues it on
+    /// the device's connection; a connectionless device is retired on
+    /// the spot.
+    fn stream_push(
+        &self,
+        device: DeviceId,
+        frame: Frame,
+        st: &mut WaveDevice,
+        tally: &mut WaveTally,
+        outbox: &mut Vec<(u64, Frame)>,
+    ) {
+        let conn = self.registry.lock().expect("registry lock").conn_of(device);
+        match conn {
+            Some(conn) => {
+                st.attempts = 0;
+                st.pushed_at = Instant::now();
+                st.in_flight = Some(frame.clone());
+                outbox.push((conn, frame));
+            }
+            None => finish(st, tally),
+        }
+    }
+
+    /// Authorizes `device`'s wave update off its reported nonce and
+    /// pushes it — as sparse delta segments against the cohort golden
+    /// when the campaign runs in delta mode, the full image otherwise.
+    #[allow(clippy::too_many_arguments)]
+    fn stream_update(
+        &self,
+        device: DeviceId,
+        last_nonce: u64,
+        spec: &WaveSpec<'_>,
+        delta_base: Option<&[u8]>,
+        st: &mut WaveDevice,
+        tally: &mut WaveTally,
+        outbox: &mut Vec<(u64, Frame)>,
+    ) {
+        let key = self.service.device_key(device);
+        let mut authority =
+            UpdateAuthority::with_key_resuming(&key, last_nonce + 1).with_version(spec.version);
+        let request = authority.authorize(spec.target, spec.payload);
+        st.nonce = request.nonce;
+        self.metrics
+            .update_bytes_full
+            .add(spec.payload.len() as u64);
+        // Delta encoding only pays when the segments (plus their
+        // offset+len framing) undercut the full image — a tiny patch
+        // that is all-dirty ships as a plain full-image request.
+        let delta = delta_base
+            .map(|base| DeltaUpdateRequest::from_full(&request, base))
+            .filter(|delta| delta.segments.len() * 8 + delta.delta_bytes() < request.payload.len());
+        let frame = match delta {
+            Some(delta) => {
+                let wire = delta.segments.len() * 8 + delta.delta_bytes();
+                self.metrics.update_bytes_wire.add(wire as u64);
+                st.fallback = Some(Frame::UpdateRequest { device, request });
+                st.phase = WavePhase::Update { delta: true };
+                Frame::DeltaUpdateRequest {
+                    device,
+                    request: delta,
+                }
+            }
+            None => {
+                self.metrics
+                    .update_bytes_wire
+                    .add(request.payload.len() as u64);
+                st.phase = WavePhase::Update { delta: false };
+                Frame::UpdateRequest { device, request }
+            }
+        };
+        self.stream_push(device, frame, st, tally, outbox);
+    }
+
+    /// Mints a cohort challenge and pushes a probe in `mode`,
+    /// transitioning the device to `phase`. A mint failure (the cohort
+    /// vanished mid-wave) reads as a lost probe.
+    #[allow(clippy::too_many_arguments)]
+    fn stream_probe(
+        &self,
+        device: DeviceId,
+        mode: ProbeMode,
+        phase: WavePhase,
+        spec: &WaveSpec<'_>,
+        st: &mut WaveDevice,
+        tally: &mut WaveTally,
+        outbox: &mut Vec<(u64, Frame)>,
+    ) {
+        let Ok(challenge) = self.service.challenge_for(spec.cohort) else {
+            return finish(st, tally);
+        };
+        st.challenge = Some(challenge);
+        st.phase = phase;
+        self.stream_push(
+            device,
+            Frame::ProbeRequest {
+                device,
+                mode,
+                smoke_cycles: spec.smoke_cycles,
+                challenge,
+            },
+            st,
+            tally,
+            outbox,
+        );
     }
 }
 
@@ -685,6 +966,11 @@ fn update_error_from_code(code: u8) -> UpdateError {
         },
         3 => UpdateError::TargetOutsidePmem { addr: 0 },
         4 => UpdateError::EmptyPayload,
+        5 => UpdateError::RollbackVersion {
+            presented: 0,
+            current: 0,
+        },
+        6 => UpdateError::MalformedDelta,
         _ => UpdateError::BadMac,
     }
 }
@@ -716,138 +1002,389 @@ impl WaveExecutor for OpsEngine {
         wave: &[DeviceId],
         spec: &WaveSpec<'_>,
     ) -> Result<WaveRollout, FleetError> {
-        // Phase A — snapshots: each device reports its pre-update
-        // patch-range bytes, full-PMEM measurement and last accepted
-        // nonce (what the in-process executor reads off the device
-        // structs directly).
-        let snapshot_requests: Vec<(DeviceId, Frame)> = wave
+        let wave_started = Instant::now();
+        // The delta base: the cohort golden's bytes under the patch
+        // range. In-sync devices ship sparse segments; a divergent (or
+        // tampered) device's delta rejects device-side and falls back
+        // to the full image under the same nonce.
+        let delta_base: Option<Vec<u8>> = if spec.delta {
+            self.service.cohort_golden(spec.cohort).map(|(golden, _)| {
+                let start = usize::from(spec.target);
+                golden.slice(start..start + spec.payload.len()).to_vec()
+            })
+        } else {
+            None
+        };
+
+        let now = Instant::now();
+        let mut states: BTreeMap<DeviceId, WaveDevice> = wave
             .iter()
-            .map(|&device| {
-                (
+            .map(|&device| (device, WaveDevice::new(now)))
+            .collect();
+        let mut queue: VecDeque<DeviceId> = wave.iter().copied().collect();
+        // Admission cap: window-of-32 per distinct agent connection.
+        let window = {
+            let registry = self.registry.lock().expect("registry lock");
+            let mut conns: Vec<u64> = wave.iter().filter_map(|&d| registry.conn_of(d)).collect();
+            conns.sort_unstable();
+            conns.dedup();
+            ENGINE_WAVE_WINDOW * conns.len().max(1)
+        };
+        let mut tally = WaveTally {
+            remaining: wave.len(),
+            ..WaveTally::default()
+        };
+        let mut retry_at: BinaryHeap<Reverse<(Instant, DeviceId)>> = BinaryHeap::new();
+        // The cohort reference and its smoke verdict, once resolved.
+        let mut reference: Option<DeviceId> = None;
+        let mut reference_verdict: Option<bool> = None;
+        // The deadline extends on progress: the wave is bounded by
+        // per-device idleness, not wave size.
+        let mut deadline = Instant::now() + self.timeout;
+
+        while tally.remaining > 0 {
+            let mut outbox: Vec<(u64, Frame)> = Vec::new();
+            let now = Instant::now();
+            // Re-push every backoff that has come due; the thread never
+            // sleeps through one.
+            while let Some(&Reverse((when, device))) = retry_at.peek() {
+                if when > now {
+                    break;
+                }
+                retry_at.pop();
+                let Some(st) = states.get_mut(&device) else {
+                    continue;
+                };
+                if st.done {
+                    continue;
+                }
+                let Some(frame) = st.in_flight.clone() else {
+                    continue;
+                };
+                let conn = self.registry.lock().expect("registry lock").conn_of(device);
+                match conn {
+                    Some(conn) => {
+                        outbox.push((conn, frame));
+                        deadline = now + self.timeout;
+                    }
+                    None => finish(st, &mut tally),
+                }
+            }
+            // Admit queued devices into freed window slots.
+            while tally.live < window {
+                let Some(device) = queue.pop_front() else {
+                    break;
+                };
+                let st = states.get_mut(&device).expect("queued device state");
+                st.phase = WavePhase::Snapshot;
+                tally.live += 1;
+                self.stream_push(
                     device,
                     Frame::SnapshotRequest {
                         device,
                         start: spec.target,
                         len: spec.payload.len() as u16,
                     },
-                )
-            })
-            .collect();
-        let phase_started = Instant::now();
-        let snapshots = self.exchange(snapshot_requests, ReplyKind::Snapshot);
-        self.note_phase(0, phase_started);
-
-        // Phase B — authenticated updates, nonces resuming above each
-        // device's reported last nonce.
-        let mut update_requests = Vec::new();
-        let mut request_nonces: HashMap<DeviceId, u64> = HashMap::new();
-        for &device in wave {
-            let Some(Frame::SnapshotReport { last_nonce, .. }) = snapshots.get(&device) else {
-                continue;
-            };
-            let key = self.service.device_key(device);
-            let mut authority = UpdateAuthority::with_key_resuming(&key, last_nonce + 1);
-            let request = authority.authorize(spec.target, spec.payload);
-            request_nonces.insert(device, request.nonce);
-            update_requests.push((device, Frame::UpdateRequest { device, request }));
-        }
-        let phase_started = Instant::now();
-        let acks = self.exchange(update_requests, ReplyKind::UpdateAck);
-        self.note_phase(1, phase_started);
-
-        // Phase C — post-update probes (attest against the expected
-        // post-patch measurement, then reboot + smoke-run) for every
-        // device that accepted its update.
-        let mut probe_requests = Vec::new();
-        let mut probe_challenges: HashMap<DeviceId, Challenge> = HashMap::new();
-        for &device in wave {
-            if !matches!(
-                acks.get(&device),
-                Some(Frame::UpdateResult { status: 0, .. })
-            ) {
-                continue;
+                    st,
+                    &mut tally,
+                    &mut outbox,
+                );
             }
-            let challenge = self.service.challenge_for(spec.cohort).map_err(|err| {
-                FleetError::InvalidCampaign(format!(
-                    "gateway cannot mint probe challenges: {err:?}"
-                ))
-            })?;
-            probe_challenges.insert(device, challenge);
-            probe_requests.push((
-                device,
-                Frame::ProbeRequest {
-                    device,
-                    mode: ProbeMode::UpdateProbe,
-                    smoke_cycles: spec.smoke_cycles,
-                    challenge,
-                },
-            ));
+            if !outbox.is_empty() {
+                let _ = self.out.send(outbox);
+                self.waker.wake();
+            }
+            if tally.remaining == 0 {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let wake_at = retry_at
+                .peek()
+                .map_or(deadline, |&Reverse((when, _))| deadline.min(when));
+            let first = match self.rx.recv_timeout(wake_at.saturating_duration_since(now)) {
+                Ok(input) => input,
+                // Possibly just a backoff coming due; the loop head
+                // re-pushes it and the deadline check decides.
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => break,
+            };
+            // Drain the burst that is already queued so one coalesced
+            // completions message carries every frame this pass
+            // produces.
+            let mut burst = vec![first];
+            while burst.len() < 1024 {
+                match self.rx.try_recv() {
+                    Ok(input) => burst.push(input),
+                    Err(_) => break,
+                }
+            }
+            let mut outbox: Vec<(u64, Frame)> = Vec::new();
+            for input in burst {
+                match input {
+                    // The engine is single-threaded by design (campaign
+                    // semantics are strictly wave-ordered): operator
+                    // commands mid-wave answer Busy immediately.
+                    EngineInput::Operator { conn, .. } => {
+                        self.send_error(conn, ErrorCode::Busy);
+                    }
+                    EngineInput::ConnClosed(_) => {
+                        let registry = self.registry.lock().expect("registry lock");
+                        for (&device, st) in states.iter_mut() {
+                            if !st.done
+                                && st.phase != WavePhase::Queued
+                                && registry.conn_of(device).is_none()
+                            {
+                                finish(st, &mut tally);
+                            }
+                        }
+                    }
+                    EngineInput::Device { frame } => match frame {
+                        Frame::DeviceError { device, code } => {
+                            let Some(st) = states.get_mut(&device) else {
+                                continue;
+                            };
+                            if st.done {
+                                continue;
+                            }
+                            if code != ErrorCode::Busy {
+                                // Non-retryable device-scoped error:
+                                // fail that device fast.
+                                finish(st, &mut tally);
+                                deadline = Instant::now() + self.timeout;
+                                continue;
+                            }
+                            // A busy shed is a scheduling signal: arm a
+                            // backoff retry and keep draining everyone
+                            // else.
+                            st.attempts += 1;
+                            self.metrics.engine_busy_retries.inc();
+                            if st.attempts > ENGINE_BUSY_RETRIES {
+                                finish(st, &mut tally);
+                            } else {
+                                retry_at.push(Reverse((
+                                    Instant::now() + busy_backoff(st.attempts),
+                                    device,
+                                )));
+                            }
+                        }
+                        Frame::SnapshotReport {
+                            device,
+                            last_nonce,
+                            measurement,
+                            data,
+                            ..
+                        } => {
+                            let Some(st) = states.get_mut(&device) else {
+                                continue;
+                            };
+                            if st.done || st.phase != WavePhase::Snapshot {
+                                continue;
+                            }
+                            deadline = Instant::now() + self.timeout;
+                            self.metrics
+                                .phase_snapshot_us
+                                .record_duration_us(st.pushed_at.elapsed());
+                            st.snapshot = Some(PreUpdateSnapshot {
+                                patch_range: data,
+                                measurement,
+                            });
+                            self.stream_update(
+                                device,
+                                last_nonce,
+                                spec,
+                                delta_base.as_deref(),
+                                st,
+                                &mut tally,
+                                &mut outbox,
+                            );
+                        }
+                        Frame::UpdateResult { device, status } => {
+                            let Some(st) = states.get_mut(&device) else {
+                                continue;
+                            };
+                            if st.done {
+                                continue;
+                            }
+                            let WavePhase::Update { delta } = st.phase else {
+                                continue;
+                            };
+                            deadline = Instant::now() + self.timeout;
+                            self.metrics
+                                .phase_update_us
+                                .record_duration_us(st.pushed_at.elapsed());
+                            if status == 0 {
+                                st.applied = true;
+                                self.stream_probe(
+                                    device,
+                                    ProbeMode::UpdateAttest,
+                                    WavePhase::Attest,
+                                    spec,
+                                    st,
+                                    &mut tally,
+                                    &mut outbox,
+                                );
+                            } else if delta {
+                                // The sparse attempt rejected (divergent
+                                // or tampered base): fall back to the
+                                // full image under the same nonce. Only
+                                // the final attempt is ledgered —
+                                // bit-for-bit what the in-process
+                                // executor records.
+                                let frame =
+                                    st.fallback.take().expect("delta attempt holds fallback");
+                                self.metrics
+                                    .update_bytes_wire
+                                    .add(spec.payload.len() as u64);
+                                st.phase = WavePhase::Update { delta: false };
+                                self.stream_push(device, frame, st, &mut tally, &mut outbox);
+                            } else {
+                                st.rejected = Some(status);
+                                finish(st, &mut tally);
+                            }
+                        }
+                        Frame::ProbeResult {
+                            device,
+                            healthy,
+                            report,
+                        } => {
+                            let Some(st) = states.get_mut(&device) else {
+                                continue;
+                            };
+                            if st.done {
+                                continue;
+                            }
+                            deadline = Instant::now() + self.timeout;
+                            self.metrics
+                                .phase_probe_us
+                                .record_duration_us(st.pushed_at.elapsed());
+                            match st.phase {
+                                WavePhase::Attest => {
+                                    let key = self.service.device_key(device);
+                                    let challenge =
+                                        st.challenge.as_ref().expect("attest challenge");
+                                    st.attested = AttestationVerifier::with_key(&key)
+                                        .verify(challenge, &report, Some(&spec.expected_after))
+                                        .is_ok();
+                                    if healthy == 2 {
+                                        // Attest-only reply: no verdict
+                                        // of its own; inherit-eligible
+                                        // iff its post-update
+                                        // measurement checked out.
+                                        if !st.attested {
+                                            // Measurement mismatch
+                                            // never inherits a clean
+                                            // verdict.
+                                            st.verdict = Some(false);
+                                            finish(st, &mut tally);
+                                        } else if let Some(verdict) = reference_verdict {
+                                            st.verdict = Some(verdict);
+                                            tally.memoized += 1;
+                                            finish(st, &mut tally);
+                                        } else if reference.is_none() {
+                                            // First eligible device:
+                                            // it becomes the cohort
+                                            // reference and runs the
+                                            // one real smoke probe.
+                                            reference = Some(device);
+                                            self.stream_probe(
+                                                device,
+                                                ProbeMode::UpdateProbe,
+                                                WavePhase::Reference,
+                                                spec,
+                                                st,
+                                                &mut tally,
+                                                &mut outbox,
+                                            );
+                                        } else {
+                                            // Reference still running:
+                                            // the verdict resolves at
+                                            // assembly.
+                                            st.inherit = true;
+                                            tally.memoized += 1;
+                                            finish(st, &mut tally);
+                                        }
+                                    } else {
+                                        // A probe-isolated device ran
+                                        // its own full probe; its
+                                        // verdict is its own.
+                                        st.verdict = Some(st.attested && healthy == 1);
+                                        tally.executed += 1;
+                                        finish(st, &mut tally);
+                                    }
+                                }
+                                WavePhase::Reference => {
+                                    let smoke_healthy = healthy != 0;
+                                    reference_verdict = Some(smoke_healthy);
+                                    st.verdict = Some(st.attested && smoke_healthy);
+                                    tally.executed += 1;
+                                    finish(st, &mut tally);
+                                }
+                                _ => {}
+                            }
+                        }
+                        _ => {}
+                    },
+                }
+            }
+            if !outbox.is_empty() {
+                let _ = self.out.send(outbox);
+                self.waker.wake();
+            }
         }
-        let phase_started = Instant::now();
-        let probes = self.exchange(probe_requests, ReplyKind::Probe);
-        self.note_phase(2, phase_started);
 
         // Compose per-device results in wave (id) order, mirroring the
-        // in-process rollout's event sequences exactly.
-        let mut rollout = WaveRollout::default();
+        // in-process rollout's event sequences exactly. Anything still
+        // in flight at deadline expiry is a lost exchange, exactly like
+        // the old barrier's absent replies.
+        let mut rollout = WaveRollout {
+            probes_executed: tally.executed as usize,
+            probes_memoized: tally.memoized as usize,
+            ..Default::default()
+        };
+        self.metrics.probes_executed.add(tally.executed);
+        self.metrics.probes_memoized.add(tally.memoized);
         for &device in wave {
-            let Some(Frame::SnapshotReport {
-                measurement, data, ..
-            }) = snapshots.get(&device)
-            else {
-                // Transport loss before the update was even attempted;
-                // the device keeps its old firmware and the wave counts
-                // a failure.
+            let st = &states[&device];
+            if let Some(status) = st.rejected {
+                rollout.events.push(LedgerEvent::UpdateRejected {
+                    device,
+                    error: update_error_from_code(status),
+                });
+                rollout.failures += 1;
+                continue;
+            }
+            if !st.applied {
+                // Transport loss before the update applied; the device
+                // keeps its old firmware and the wave counts a failure.
                 rollout.events.push(LedgerEvent::ProbeFailed { device });
                 rollout.failures += 1;
                 continue;
+            }
+            rollout.events.push(LedgerEvent::UpdateApplied {
+                device,
+                nonce: st.nonce,
+            });
+            rollout.updated.push(device);
+            let snapshot = st.snapshot.clone().expect("applied device has a snapshot");
+            rollout.snapshots.insert(device, snapshot);
+            let healthy = match st.verdict {
+                Some(verdict) => verdict,
+                // Inherit-eligible: the reference's verdict, failing
+                // closed when the reference probe was lost.
+                None if st.inherit => reference_verdict.unwrap_or(false),
+                // Probe lost in flight.
+                None => false,
             };
-            match acks.get(&device) {
-                Some(Frame::UpdateResult { status: 0, .. }) => {
-                    rollout.events.push(LedgerEvent::UpdateApplied {
-                        device,
-                        nonce: request_nonces[&device],
-                    });
-                    rollout.updated.push(device);
-                    rollout.snapshots.insert(
-                        device,
-                        PreUpdateSnapshot {
-                            patch_range: data.clone(),
-                            measurement: *measurement,
-                        },
-                    );
-                    let challenge = probe_challenges[&device];
-                    let key = self.service.device_key(device);
-                    let healthy = match probes.get(&device) {
-                        Some(Frame::ProbeResult {
-                            healthy, report, ..
-                        }) => {
-                            let attested = AttestationVerifier::with_key(&key)
-                                .verify(&challenge, report, Some(&spec.expected_after))
-                                .is_ok();
-                            attested && *healthy != 0
-                        }
-                        _ => false,
-                    };
-                    if !healthy {
-                        rollout.events.push(LedgerEvent::ProbeFailed { device });
-                        rollout.probe_failed.push(device);
-                        rollout.failures += 1;
-                    }
-                }
-                Some(Frame::UpdateResult { status, .. }) => {
-                    rollout.events.push(LedgerEvent::UpdateRejected {
-                        device,
-                        error: update_error_from_code(*status),
-                    });
-                    rollout.failures += 1;
-                }
-                _ => {
-                    rollout.events.push(LedgerEvent::ProbeFailed { device });
-                    rollout.failures += 1;
-                }
+            if !healthy {
+                rollout.events.push(LedgerEvent::ProbeFailed { device });
+                rollout.probe_failed.push(device);
+                rollout.failures += 1;
             }
         }
+        self.note_wave(wave_started, wave.len());
         Ok(rollout)
     }
 
@@ -877,14 +1414,24 @@ impl WaveExecutor for OpsEngine {
 
         let mut update_requests = Vec::new();
         for &device in ids {
-            let Some(Frame::SnapshotReport { last_nonce, .. }) = nonce_replies.get(&device) else {
+            let Some(Frame::SnapshotReport {
+                last_nonce,
+                version,
+                ..
+            }) = nonce_replies.get(&device)
+            else {
                 continue;
             };
             let Some(snapshot) = snapshots.get(&device) else {
                 continue;
             };
             let key = self.service.device_key(device);
-            let mut authority = UpdateAuthority::with_key_resuming(&key, last_nonce + 1);
+            // Re-issue the pre-campaign bytes *at the device's current
+            // version*: the monotonic anti-rollback counter refuses
+            // anything older, so a sanctioned rollback rides the same
+            // version the campaign update advanced the device to.
+            let mut authority =
+                UpdateAuthority::with_key_resuming(&key, last_nonce + 1).with_version(*version);
             let request = authority.authorize(target, &snapshot.patch_range);
             update_requests.push((device, Frame::UpdateRequest { device, request }));
         }

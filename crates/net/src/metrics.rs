@@ -35,6 +35,9 @@ pub const TRACE_REACTOR_PASS: u16 = 1;
 /// Engine trace code: one campaign wave phase finished (`a` = elapsed
 /// µs, `b` = phase index: 0 snapshot, 1 update, 2 probe).
 pub const TRACE_ENGINE_PHASE: u16 = 1;
+/// Engine trace code: one streamed campaign wave finished (`a` =
+/// elapsed µs, `b` = devices in the wave).
+pub const TRACE_ENGINE_WAVE: u16 = 2;
 /// Cluster trace code: a gateway process was restarted (`a` = gateway
 /// index, `b` = total restarts for that slot).
 pub const TRACE_CLUSTER_RESTART: u16 = 1;
@@ -129,6 +132,18 @@ pub struct NetMetrics {
     pub phase_probe_us: Histogram,
     /// Device exchanges the campaign engine retried after a `Busy`.
     pub engine_busy_retries: Counter,
+    /// Campaign smoke probes actually executed on a device (the
+    /// reference device plus per-device fallbacks).
+    pub probes_executed: Counter,
+    /// Campaign smoke verdicts inherited from the cohort reference
+    /// instead of re-running the 2M-cycle probe.
+    pub probes_memoized: Counter,
+    /// Update payload bytes a full-image push *would* have shipped
+    /// for every applied campaign update (the delta denominator).
+    pub update_bytes_full: Counter,
+    /// Update bytes actually shipped on the wire (delta segments, or
+    /// the full image when delta is disabled or falls back).
+    pub update_bytes_wire: Counter,
     rejects: [Counter; ERROR_CODES.len()],
 }
 
@@ -155,6 +170,10 @@ impl NetMetrics {
             phase_update_us: registry.histogram("eilid_ops_phase_update_us"),
             phase_probe_us: registry.histogram("eilid_ops_phase_probe_us"),
             engine_busy_retries: registry.counter("eilid_ops_busy_retries_total"),
+            probes_executed: registry.counter("eilid_ops_probes_executed_total"),
+            probes_memoized: registry.counter("eilid_ops_probes_memoized_total"),
+            update_bytes_full: registry.counter("eilid_ops_update_bytes_full_total"),
+            update_bytes_wire: registry.counter("eilid_ops_update_bytes_wire_total"),
             rejects,
             trace: TraceRing::new(TRACE_RING_CAPACITY),
             registry,

@@ -145,6 +145,30 @@ impl<T: Transport> RemoteOps<T> {
         }
     }
 
+    /// Checkpoints the active campaign into the gateway's retained
+    /// slot *without pausing it* — one round trip, and (with
+    /// `fetch = false`) no `EPC2` byte shuttle at all. Returns the
+    /// campaign state at checkpoint time plus the serialised record
+    /// when `fetch` is true (consoles that must survive gateway
+    /// *process* death re-seed a replacement from those bytes via
+    /// [`eilid_fleet::ops::FleetOps::campaign_resume`]).
+    ///
+    /// # Errors
+    ///
+    /// [`OpsError::NoCampaign`] when nothing is loaded (or the run
+    /// already finished); transport failures and gateway refusals as
+    /// [`OpsError`].
+    pub fn campaign_checkpoint(&mut self, fetch: bool) -> Result<(u8, Vec<u8>), OpsError> {
+        let cohort = self.active_cohort()?;
+        match self.request(Frame::OpCheckpoint {
+            cohort,
+            fetch: u8::from(fetch),
+        })? {
+            Frame::OpCheckpointAck { state, paused, .. } => Ok((state, paused)),
+            _ => Err(unexpected("expected OpCheckpointAck")),
+        }
+    }
+
     /// Asks the gateway to drain for planned maintenance: stop
     /// accepting connections, pause every live campaign, and hand the
     /// paused records back (those too large for one frame stay
@@ -491,6 +515,17 @@ impl<T: Transport> DeviceAgent<T> {
                     self.transport
                         .send(&Frame::UpdateResult { device, status })?;
                 }
+                Frame::DeltaUpdateRequest { device, request } => {
+                    let status = match find_device(devices, device) {
+                        Some(sim) => match sim.apply_delta_update(&request) {
+                            Ok(()) => 0,
+                            Err(err) => update_error_code(&err),
+                        },
+                        None => 0xFF,
+                    };
+                    self.transport
+                        .send(&Frame::UpdateResult { device, status })?;
+                }
                 Frame::ProbeRequest {
                     device,
                     mode,
@@ -523,18 +558,26 @@ fn find_device<D: BorrowMut<SimDevice>>(devices: &mut [D], id: u64) -> Option<&m
 
 /// Builds the snapshot reply: patch-range bytes, full-PMEM measurement
 /// under the fleet scheme, and the update engine's last accepted nonce
-/// — exactly the device state the in-process executor reads directly.
+/// and anti-rollback version — exactly the device state the in-process
+/// executor reads directly. The measurement comes from the device's
+/// live incremental measurer when it covers PMEM (re-hashing only dirty
+/// granules), not a from-scratch `measure_pmem`.
 fn snapshot_report(sim: &mut SimDevice, scheme: MeasurementScheme, start: u16, len: u16) -> Frame {
     let device = sim.id();
     let last_nonce = sim.engine().last_nonce();
-    let memory = &sim.device().cpu().memory;
-    let layout = sim.device().layout();
-    let measurement = scheme.measure_pmem(memory, layout);
+    let version = sim.engine().last_version();
+    let measurement = sim.measure_pmem_cached(scheme);
     let from = usize::from(start);
-    let data = memory.slice(from..from + usize::from(len)).to_vec();
+    let data = sim
+        .device()
+        .cpu()
+        .memory
+        .slice(from..from + usize::from(len))
+        .to_vec();
     Frame::SnapshotReport {
         device,
         last_nonce,
+        version,
         measurement,
         data,
     }
@@ -582,6 +625,23 @@ fn probe_result(
             Frame::ProbeResult {
                 device,
                 healthy: 1,
+                report,
+            }
+        }
+        // Memoized campaign probe: attest the updated image, reboot
+        // into it, and report `healthy = 2` — "no own verdict, eligible
+        // to inherit the cohort reference's". A probe-isolated device
+        // never takes the shortcut: it runs the full update probe and
+        // answers 0/1 like any per-device smoke run.
+        ProbeMode::UpdateAttest => {
+            if sim.probe_isolated() {
+                return probe_result(sim, device, ProbeMode::UpdateProbe, smoke_cycles, challenge);
+            }
+            let report = sim.attest(challenge);
+            sim.reboot();
+            Frame::ProbeResult {
+                device,
+                healthy: 2,
                 report,
             }
         }

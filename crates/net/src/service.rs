@@ -492,6 +492,7 @@ impl Session {
             | Frame::OpBegin { .. }
             | Frame::OpStep { .. }
             | Frame::OpResume { .. }
+            | Frame::OpCheckpoint { .. }
             | Frame::OpSweep
             | Frame::OpHealth
             | Frame::OpDrain
@@ -503,11 +504,13 @@ impl Session {
             | Frame::SnapshotReport { .. }
             | Frame::ProbeResult { .. }
             | Frame::DeviceError { .. }) => SessionOutput::DeviceReply(frame),
-            // Update *requests* flow gateway → device; one arriving at
-            // the gateway is refused.
-            Frame::UpdateRequest { .. } => SessionOutput::Reply(vec![Frame::Error {
-                code: ErrorCode::Unsupported,
-            }]),
+            // Update *requests* (full or delta) flow gateway → device;
+            // one arriving at the gateway is refused.
+            Frame::UpdateRequest { .. } | Frame::DeltaUpdateRequest { .. } => {
+                SessionOutput::Reply(vec![Frame::Error {
+                    code: ErrorCode::Unsupported,
+                }])
+            }
             // Server-bound frames arriving at the server are a protocol
             // violation.
             Frame::HelloAck { .. }
@@ -522,6 +525,7 @@ impl Session {
             | Frame::OpHealthResult { .. }
             | Frame::OpDrained { .. }
             | Frame::OpMetricsResult { .. }
+            | Frame::OpCheckpointAck { .. }
             | Frame::CampaignStatus { .. } => SessionOutput::ReplyAndClose(vec![Frame::Error {
                 code: ErrorCode::UnexpectedFrame,
             }]),

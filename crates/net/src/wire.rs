@@ -34,7 +34,7 @@ use std::fmt;
 
 use eilid_casu::wire as casu_wire;
 use eilid_casu::wire::{CodecError, Reader};
-use eilid_casu::{AttestationReport, Challenge, UpdateRequest};
+use eilid_casu::{AttestationReport, Challenge, DeltaUpdateRequest, UpdateRequest};
 use eilid_fleet::{CampaignConfig, CampaignOutcome, CampaignReport, WaveReport};
 use eilid_workloads::WorkloadId;
 
@@ -58,10 +58,19 @@ pub const FRAME_MAGIC: [u8; 4] = *b"EILD";
 /// [`Frame::OpMetricsResult`]): the gateway hands back its full
 /// metrics registry as a compact JSON snapshot, which
 /// `ClusterOps::metrics` merges across gateways.
+/// Version 6 is the campaign fast path: sparse
+/// [`Frame::DeltaUpdateRequest`] pushes (bytes proportional to the
+/// dirty granules, MAC still over the assembled post-image), the
+/// anti-rollback version counter carried by update requests and echoed
+/// in [`Frame::SnapshotReport`], the memoized campaign probe
+/// ([`ProbeMode::UpdateAttest`]) and the one-round-trip checkpoint verb
+/// ([`Frame::OpCheckpoint`] / [`Frame::OpCheckpointAck`]) that retains
+/// a running campaign's pause record gateway-side without shuttling it
+/// to the console.
 /// Each bump makes an older peer fail *at negotiation* with a typed
 /// `UnsupportedVersion` instead of mid-exchange on an unknown frame
 /// type.
-pub const PROTOCOL_VERSION: u8 = 5;
+pub const PROTOCOL_VERSION: u8 = 6;
 
 /// Size of the fixed frame header in bytes.
 pub const FRAME_HEADER_LEN: usize = 10;
@@ -105,7 +114,7 @@ pub const CAMPAIGN_STATE_IDLE: u8 = 3;
 /// bytes alone.
 fn max_payload_for(frame_type: u8) -> usize {
     match frame_type {
-        0x16 | 0x17 | 0x18 | 0x1A | 0x1E | 0x20 => MAX_OP_PAYLOAD,
+        0x16 | 0x17 | 0x18 | 0x1A | 0x1E | 0x20 | 0x23 => MAX_OP_PAYLOAD,
         _ => MAX_FRAME_PAYLOAD,
     }
 }
@@ -362,6 +371,13 @@ pub enum ProbeMode {
     /// Reboot first, then attest — the post-rollback verification
     /// probe.
     RollbackVerify,
+    /// Attest, then reboot into the just-updated firmware — the
+    /// memoized campaign probe (version 6). A device eligible for
+    /// memoization answers `healthy = 2` ("no own verdict; inherit the
+    /// cohort reference's"); a device marked probe-isolated ignores the
+    /// shortcut and runs the full [`ProbeMode::UpdateProbe`] flow,
+    /// answering 0/1 like any full probe.
+    UpdateAttest,
 }
 
 impl ProbeMode {
@@ -370,6 +386,7 @@ impl ProbeMode {
             ProbeMode::AttestOnly => 0,
             ProbeMode::UpdateProbe => 1,
             ProbeMode::RollbackVerify => 2,
+            ProbeMode::UpdateAttest => 3,
         }
     }
 
@@ -378,6 +395,7 @@ impl ProbeMode {
             0 => ProbeMode::AttestOnly,
             1 => ProbeMode::UpdateProbe,
             2 => ProbeMode::RollbackVerify,
+            3 => ProbeMode::UpdateAttest,
             value => {
                 return Err(WireError::BadEnum {
                     field: "probe mode",
@@ -428,7 +446,8 @@ fn checked_list_count(
 
 /// Wire layout of a [`CampaignConfig`] (the [`Frame::OpBegin`]
 /// payload): `cohort:u8 ‖ target:u16 ‖ canary:f64bits ‖
-/// threshold:f64bits ‖ smoke:u64 ‖ payload_len:u32 ‖ payload`.
+/// threshold:f64bits ‖ smoke:u64 ‖ version:u64 ‖ delta:u8 ‖
+/// payload_len:u32 ‖ payload`.
 fn encode_campaign_config(config: &CampaignConfig, out: &mut Vec<u8>) {
     debug_assert!(config.payload.len() <= casu_wire::MAX_UPDATE_PAYLOAD);
     out.push(config.cohort.index());
@@ -436,6 +455,8 @@ fn encode_campaign_config(config: &CampaignConfig, out: &mut Vec<u8>) {
     out.extend_from_slice(&config.canary_fraction.to_bits().to_le_bytes());
     out.extend_from_slice(&config.failure_threshold.to_bits().to_le_bytes());
     out.extend_from_slice(&config.smoke_cycles.to_le_bytes());
+    out.extend_from_slice(&config.version.to_le_bytes());
+    out.push(u8::from(config.delta));
     out.extend_from_slice(&(config.payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&config.payload);
 }
@@ -450,6 +471,17 @@ fn decode_campaign_config(reader: &mut Reader<'_>) -> Result<CampaignConfig, Wir
     let canary_fraction = f64::from_bits(reader.u64()?);
     let failure_threshold = f64::from_bits(reader.u64()?);
     let smoke_cycles = reader.u64()?;
+    let version = reader.u64()?;
+    let delta = match reader.u8()? {
+        0 => false,
+        1 => true,
+        value => {
+            return Err(WireError::BadEnum {
+                field: "campaign delta flag",
+                value,
+            })
+        }
+    };
     let len = reader.u32()? as usize;
     if len > casu_wire::MAX_UPDATE_PAYLOAD {
         return Err(WireError::BadPayload(CodecError::Oversized {
@@ -468,6 +500,8 @@ fn decode_campaign_config(reader: &mut Reader<'_>) -> Result<CampaignConfig, Wir
         canary_fraction,
         failure_threshold,
         smoke_cycles,
+        version,
+        delta,
     })
 }
 
@@ -691,6 +725,10 @@ pub enum Frame {
         device: u64,
         /// The device engine's last accepted update nonce.
         last_nonce: u64,
+        /// The device engine's anti-rollback version counter (version
+        /// 6). Rollback authorities re-issue bytes at this version so
+        /// the device's monotonic counter accepts them.
+        version: u64,
         /// The device's current full-PMEM measurement.
         measurement: [u8; 32],
         /// The requested byte range (empty for a nonce query).
@@ -737,7 +775,7 @@ pub enum Frame {
     /// [`PausedCampaign`](eilid_fleet::PausedCampaign) bytes — the
     /// gateway-restart recovery path.
     OpResume {
-        /// The `EPC1` paused-campaign record.
+        /// The `EPC2` paused-campaign record.
         paused: Vec<u8>,
     },
     /// Gateway → operator: the paused campaign, serialised for the
@@ -746,7 +784,7 @@ pub enum Frame {
     OpPaused {
         /// The paused campaign's cohort.
         cohort: WorkloadId,
-        /// The `EPC1` paused-campaign record.
+        /// The `EPC2` paused-campaign record.
         paused: Vec<u8>,
     },
     /// Gateway → operator: the finished campaign's full report.
@@ -797,7 +835,7 @@ pub enum Frame {
     /// campaign record the gateway retains, so the supervisor can
     /// re-seed a replacement gateway via [`Frame::OpResume`].
     OpDrained {
-        /// `(cohort, EPC1 paused-campaign record)` pairs, one per
+        /// `(cohort, EPC2 paused-campaign record)` pairs, one per
         /// campaign slot holding state at drain time.
         paused: Vec<(WorkloadId, Vec<u8>)>,
     },
@@ -812,6 +850,44 @@ pub enum Frame {
     OpMetricsResult {
         /// UTF-8 JSON snapshot bytes.
         snapshot: Vec<u8>,
+    },
+    /// Gateway/operator → device (version 6): a sparse delta update —
+    /// only the granules that differ from the cohort golden, MACed over
+    /// the *assembled* post-image so it is exactly as unforgeable as
+    /// the full-image request it stands in for. A device whose base
+    /// bytes diverge from the encoder's fails the MAC; the sender then
+    /// falls back to a full [`Frame::UpdateRequest`] under the same
+    /// nonce.
+    DeltaUpdateRequest {
+        /// The target device.
+        device: u64,
+        /// The MACed sparse update request.
+        request: DeltaUpdateRequest,
+    },
+    /// Operator → gateway (version 6): checkpoint the cohort's
+    /// *running* campaign into the gateway's retained slot — one round
+    /// trip, no pause, the run keeps stepping. With `fetch = 0` the ack
+    /// is a tiny acknowledgement (the console stops shuttling
+    /// `EPC2` bytes it never reads on the happy path); with `fetch = 1`
+    /// the ack also carries the serialised record, for consoles that
+    /// must survive gateway *process* death.
+    OpCheckpoint {
+        /// The campaign's cohort.
+        cohort: WorkloadId,
+        /// 1 to return the serialised record in the ack, 0 for an
+        /// ack-only retention checkpoint.
+        fetch: u8,
+    },
+    /// Gateway → operator (version 6): the checkpoint is retained.
+    OpCheckpointAck {
+        /// The campaign's cohort.
+        cohort: WorkloadId,
+        /// Campaign state at checkpoint time ([`CAMPAIGN_STATE_RUNNING`]
+        /// / [`CAMPAIGN_STATE_PAUSED`]).
+        state: u8,
+        /// The serialised `EPC2` record when `fetch` was 1; empty
+        /// otherwise.
+        paused: Vec<u8>,
     },
 }
 
@@ -850,6 +926,9 @@ impl Frame {
             Frame::OpDrained { .. } => 0x1E,
             Frame::OpMetrics => 0x1F,
             Frame::OpMetricsResult { .. } => 0x20,
+            Frame::DeltaUpdateRequest { .. } => 0x21,
+            Frame::OpCheckpoint { .. } => 0x22,
+            Frame::OpCheckpointAck { .. } => 0x23,
         }
     }
 
@@ -919,11 +998,13 @@ impl Frame {
             Frame::SnapshotReport {
                 device,
                 last_nonce,
+                version,
                 measurement,
                 data,
             } => {
                 out.extend_from_slice(&device.to_le_bytes());
                 out.extend_from_slice(&last_nonce.to_le_bytes());
+                out.extend_from_slice(&version.to_le_bytes());
                 out.extend_from_slice(measurement);
                 out.extend_from_slice(&(data.len() as u32).to_le_bytes());
                 out.extend_from_slice(data);
@@ -1011,6 +1092,24 @@ impl Frame {
                 out.extend_from_slice(&(snapshot.len() as u32).to_le_bytes());
                 out.extend_from_slice(snapshot);
             }
+            Frame::DeltaUpdateRequest { device, request } => {
+                out.extend_from_slice(&device.to_le_bytes());
+                casu_wire::encode_delta_update_request(request, out);
+            }
+            Frame::OpCheckpoint { cohort, fetch } => {
+                out.push(cohort.index());
+                out.push(*fetch);
+            }
+            Frame::OpCheckpointAck {
+                cohort,
+                state,
+                paused,
+            } => {
+                out.push(cohort.index());
+                out.push(*state);
+                out.extend_from_slice(&(paused.len() as u32).to_le_bytes());
+                out.extend_from_slice(paused);
+            }
         }
     }
 
@@ -1080,11 +1179,13 @@ impl Frame {
             0x11 => {
                 let device = reader.u64()?;
                 let last_nonce = reader.u64()?;
+                let version = reader.u64()?;
                 let measurement = reader.array()?;
                 let data = read_bounded_bytes(&mut reader, casu_wire::MAX_UPDATE_PAYLOAD)?;
                 Frame::SnapshotReport {
                     device,
                     last_nonce,
+                    version,
                     measurement,
                     data,
                 }
@@ -1164,6 +1265,24 @@ impl Frame {
             0x20 => Frame::OpMetricsResult {
                 snapshot: read_bounded_bytes(&mut reader, MAX_OP_PAYLOAD)?,
             },
+            0x21 => Frame::DeltaUpdateRequest {
+                device: reader.u64()?,
+                request: casu_wire::decode_delta_update_request(&mut reader)?,
+            },
+            0x22 => Frame::OpCheckpoint {
+                cohort: cohort_from_u8(reader.u8()?)?,
+                fetch: reader.u8()?,
+            },
+            0x23 => {
+                let cohort = cohort_from_u8(reader.u8()?)?;
+                let state = reader.u8()?;
+                let paused = read_bounded_bytes(&mut reader, MAX_OP_PAYLOAD)?;
+                Frame::OpCheckpointAck {
+                    cohort,
+                    state,
+                    paused,
+                }
+            }
             other => return Err(WireError::UnknownFrameType(other)),
         };
         if !reader.is_empty() {

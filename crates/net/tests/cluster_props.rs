@@ -376,6 +376,10 @@ fn campaign_resumes_through_gateway_restart() {
     let verifier = &mut verifier_b;
     let report_b = with_placed_fleet(&mut fleet_b, &addrs, 2, || {
         let mut ops = ClusterOps::connect(&addrs).map_err(|e| OpsError::Backend(e.to_string()))?;
+        // The restarted gateway is a *fresh process image*: its
+        // retained checkpoint dies with it, so the console must hold
+        // the bytes itself to replay them into the replacement.
+        ops.set_durable_checkpoints(true);
         ops.campaign_begin(&config)?;
         let status = ops.campaign_step()?;
         assert!(
@@ -384,7 +388,7 @@ fn campaign_resumes_through_gateway_restart() {
         );
         assert!(
             ops.checkpoint(1).is_some() || ops.checkpoint(0).is_some(),
-            "wave checkpoints are retained operator-side"
+            "durable wave checkpoints are held operator-side"
         );
 
         // Tear gateway 1 down (its campaign state dies with it) and

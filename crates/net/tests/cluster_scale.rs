@@ -179,6 +179,10 @@ fn supervised_cluster_campaign_survives_gateway_kill() {
     let supervisor = &mut supervisor;
     let (sweep_pre, report_b, sweep_b) = with_placed_fleet(&mut fleet_b, &addrs, 2, || {
         let mut ops = ClusterOps::connect(&addrs).map_err(|e| OpsError::Backend(e.to_string()))?;
+        // SIGKILL wipes the victim's whole process, including its
+        // retained gateway-side checkpoint — the console must hold the
+        // serialised bytes itself to re-seed the fresh process.
+        ops.set_durable_checkpoints(true);
 
         // Full-fleet sweep across all four processes first.
         let sweep_pre = ops.sweep()?;

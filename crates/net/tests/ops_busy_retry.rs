@@ -39,13 +39,16 @@ fn config() -> CampaignConfig {
 }
 
 /// A hand-rolled device agent that sheds the first `sheds` campaign
-/// pushes of each kind with a device-scoped `Busy` before serving
-/// normally — the device-side shape of transient backpressure.
+/// pushes with a device-scoped `Busy` before serving normally — the
+/// device-side shape of transient backpressure. When `busy_device` is
+/// set, every push at that one device is shed forever while the rest
+/// of the fleet serves immediately.
 fn scripted_busy_agent(
     addr: std::net::SocketAddr,
     devices: &mut [eilid_fleet::SimDevice],
     scheme: eilid_casu::MeasurementScheme,
     mut sheds: usize,
+    busy_device: Option<u64>,
     stop: &std::sync::atomic::AtomicBool,
 ) -> Result<(), NetError> {
     let mut transport = TcpTransport::connect_with_timeout(addr, Duration::from_millis(100))?;
@@ -92,10 +95,18 @@ fn scripted_busy_agent(
         let device_of = match &frame {
             Frame::SnapshotRequest { device, .. }
             | Frame::UpdateRequest { device, .. }
+            | Frame::DeltaUpdateRequest { device, .. }
             | Frame::ProbeRequest { device, .. } => Some(*device),
             _ => None,
         };
         if let Some(device) = device_of {
+            if busy_device == Some(device) {
+                transport.send(&Frame::DeviceError {
+                    device,
+                    code: ErrorCode::Busy,
+                })?;
+                continue;
+            }
             if sheds > 0 {
                 sheds -= 1;
                 transport.send(&Frame::DeviceError {
@@ -110,6 +121,7 @@ fn scripted_busy_agent(
                 let index = find(devices, device);
                 let sim = &mut devices[index];
                 let last_nonce = sim.engine().last_nonce();
+                let version = sim.engine().last_version();
                 let memory = &sim.device().cpu().memory;
                 let measurement = scheme.measure_pmem(memory, sim.device().layout());
                 let data = memory
@@ -118,6 +130,7 @@ fn scripted_busy_agent(
                 transport.send(&Frame::SnapshotReport {
                     device,
                     last_nonce,
+                    version,
                     measurement,
                     data,
                 })?;
@@ -125,6 +138,14 @@ fn scripted_busy_agent(
             Frame::UpdateRequest { device, request } => {
                 let index = find(devices, device);
                 let status = match devices[index].apply_update(&request) {
+                    Ok(()) => 0,
+                    Err(_) => 1,
+                };
+                transport.send(&Frame::UpdateResult { device, status })?;
+            }
+            Frame::DeltaUpdateRequest { device, request } => {
+                let index = find(devices, device);
+                let status = match devices[index].apply_delta_update(&request) {
                     Ok(()) => 0,
                     Err(_) => 1,
                 };
@@ -140,6 +161,11 @@ fn scripted_busy_agent(
                 let sim = &mut devices[index];
                 let (healthy, report) = match mode {
                     ProbeMode::AttestOnly => (1, sim.attest(challenge)),
+                    ProbeMode::UpdateAttest => {
+                        let report = sim.attest(challenge);
+                        sim.reboot();
+                        (2, report)
+                    }
                     ProbeMode::UpdateProbe => {
                         let report = sim.attest(challenge);
                         sim.reboot();
@@ -199,8 +225,8 @@ fn busy_sheds_during_campaign_pushes_are_retried_not_probe_failed() {
     let scheme = fleet_b.scheme();
     let stop = std::sync::atomic::AtomicBool::new(false);
     let report_b = std::thread::scope(|scope| {
-        let agent =
-            scope.spawn(|| scripted_busy_agent(addr, fleet_b.devices_mut(), scheme, 5, &stop));
+        let agent = scope
+            .spawn(|| scripted_busy_agent(addr, fleet_b.devices_mut(), scheme, 5, None, &stop));
         // The agent attaches before serving; give it a moment, then
         // drive the campaign.
         std::thread::sleep(Duration::from_millis(200));
@@ -221,6 +247,71 @@ fn busy_sheds_during_campaign_pushes_are_retried_not_probe_failed() {
         report_b.waves.iter().all(|wave| wave.failures == 0),
         "no shed may surface as a wave failure: {:?}",
         report_b.waves
+    );
+}
+
+/// Head-of-line regression: one permanently busy device amid fast ones
+/// must not stall the wave. The engine's backoff used to `sleep` on the
+/// single engine thread (up to 50 ms per retry, serialising everyone
+/// behind the slow device); retry deadlines now live inside the event
+/// loop, so the seven fast devices stream to completion while the busy
+/// one backs off in parallel, fails its bounded retry budget, and is
+/// the wave's only casualty.
+#[test]
+fn permanently_busy_device_does_not_stall_the_fast_ones() {
+    let (mut fleet, mut verifier) = build(8);
+    // The busy device must not be the canary (the first in wave
+    // order), or the whole campaign halts at wave 0 by design.
+    let busy = fleet.devices().iter().map(|d| d.id()).max().unwrap();
+    let service = Arc::new(AttestationService::new(verifier.service_snapshot(1 << 20)));
+    let handle = Gateway::bind(
+        ("127.0.0.1", 0),
+        service,
+        GatewayConfig {
+            workers: 2,
+            ops_timeout: Duration::from_secs(30),
+            ..GatewayConfig::default()
+        },
+    )
+    .unwrap()
+    .spawn();
+    let addr = handle.addr();
+
+    let scheme = fleet.scheme();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let start = std::time::Instant::now();
+    let report = std::thread::scope(|scope| {
+        let agent = scope
+            .spawn(|| scripted_busy_agent(addr, fleet.devices_mut(), scheme, 0, Some(busy), &stop));
+        std::thread::sleep(Duration::from_millis(200));
+        let mut ops = RemoteOps::connect(addr).map_err(|e| OpsError::Backend(e.to_string()))?;
+        let report = ops.run_campaign(&config())?;
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        agent.join().expect("agent thread panicked").unwrap();
+        Ok::<_, OpsError>(report)
+    })
+    .unwrap();
+    let elapsed = start.elapsed();
+    handle.shutdown().unwrap();
+
+    // 1/7 failures in the full wave is under the 25% halt threshold:
+    // the seven fast devices complete, the busy one is the only loss.
+    assert_eq!(
+        report.outcome,
+        CampaignOutcome::Completed { updated: 7 },
+        "fast devices must complete despite the permanently busy one"
+    );
+    assert_eq!(
+        report.waves.iter().map(|w| w.failures).sum::<usize>(),
+        1,
+        "exactly the busy device fails: {:?}",
+        report.waves
+    );
+    // The busy device's whole backoff ladder sums to ~150 ms; nothing
+    // here justifies serialised-sleep wall time.
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "wave stalled behind the busy device: {elapsed:?}"
     );
 }
 
@@ -247,8 +338,9 @@ fn permanently_busy_device_eventually_fails_the_wave() {
     let stop = std::sync::atomic::AtomicBool::new(false);
     // Shed effectively forever: every push is answered Busy.
     let report = std::thread::scope(|scope| {
-        let agent = scope
-            .spawn(|| scripted_busy_agent(addr, fleet.devices_mut(), scheme, usize::MAX, &stop));
+        let agent = scope.spawn(|| {
+            scripted_busy_agent(addr, fleet.devices_mut(), scheme, usize::MAX, None, &stop)
+        });
         std::thread::sleep(Duration::from_millis(200));
         let mut ops = RemoteOps::connect(addr).map_err(|e| OpsError::Backend(e.to_string()))?;
         let report = ops.run_campaign(&config())?;

@@ -2,7 +2,7 @@
 //! arbitrary frames, and a corpus of malformed inputs dies with clean
 //! typed errors — never a panic, never an unbounded allocation.
 
-use eilid_casu::{AttestationReport, Challenge, UpdateRequest};
+use eilid_casu::{AttestationReport, Challenge, DeltaSegment, DeltaUpdateRequest, UpdateRequest};
 use eilid_fleet::{CampaignConfig, CampaignOutcome, CampaignReport, WaveReport};
 use eilid_net::{
     ErrorCode, Frame, FrameDecoder, ProbeMode, WireError, WireHealth, FRAME_HEADER_LEN,
@@ -46,14 +46,44 @@ fn arb_update_request() -> impl Strategy<Value = UpdateRequest> {
         any::<u16>(),
         proptest::collection::vec(0u8..=255, 1..512),
         any::<u64>(),
+        any::<u64>(),
         arb_array32(),
     )
-        .prop_map(|(target, payload, nonce, mac)| UpdateRequest {
+        .prop_map(|(target, payload, nonce, version, mac)| UpdateRequest {
             target,
             payload,
             nonce,
+            version,
             mac,
         })
+}
+
+fn arb_delta_update_request() -> impl Strategy<Value = DeltaUpdateRequest> {
+    let segment =
+        (any::<u16>(), proptest::collection::vec(0u8..=255, 1..96)).prop_map(|(offset, bytes)| {
+            DeltaSegment {
+                offset: u32::from(offset),
+                bytes,
+            }
+        });
+    (
+        any::<u16>(),
+        0u32..=eilid_casu::wire::MAX_UPDATE_PAYLOAD as u32,
+        proptest::collection::vec(segment, 0..6),
+        any::<u64>(),
+        any::<u64>(),
+        arb_array32(),
+    )
+        .prop_map(
+            |(target, base_len, segments, nonce, version, mac)| DeltaUpdateRequest {
+                target,
+                base_len,
+                segments,
+                nonce,
+                version,
+                mac,
+            },
+        )
 }
 
 fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
@@ -75,6 +105,7 @@ fn arb_probe_mode() -> impl Strategy<Value = ProbeMode> {
         Just(ProbeMode::AttestOnly),
         Just(ProbeMode::UpdateProbe),
         Just(ProbeMode::RollbackVerify),
+        Just(ProbeMode::UpdateAttest),
     ]
 }
 
@@ -96,15 +127,20 @@ fn arb_campaign_config() -> impl Strategy<Value = CampaignConfig> {
         any::<u16>(),
         proptest::collection::vec(0u8..=255, 1..64),
         (1u32..=10, 0u32..=4, any::<u64>()),
+        (any::<u64>(), any::<bool>()),
     )
         .prop_map(
-            |(cohort, target, payload, (canary, threshold, smoke_cycles))| CampaignConfig {
-                cohort,
-                target,
-                payload,
-                canary_fraction: f64::from(canary) / 10.0,
-                failure_threshold: f64::from(threshold) / 4.0,
-                smoke_cycles,
+            |(cohort, target, payload, (canary, threshold, smoke_cycles), (version, delta))| {
+                CampaignConfig {
+                    cohort,
+                    target,
+                    payload,
+                    canary_fraction: f64::from(canary) / 10.0,
+                    failure_threshold: f64::from(threshold) / 4.0,
+                    smoke_cycles,
+                    version,
+                    delta,
+                }
             },
         )
 }
@@ -202,17 +238,19 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         (
             any::<u64>(),
             any::<u64>(),
+            any::<u64>(),
             arb_array32(),
             proptest::collection::vec(0u8..=255, 0..128),
         )
-            .prop_map(
-                |(device, last_nonce, measurement, data)| Frame::SnapshotReport {
+            .prop_map(|(device, last_nonce, version, measurement, data)| {
+                Frame::SnapshotReport {
                     device,
                     last_nonce,
+                    version,
                     measurement,
                     data,
                 }
-            ),
+            }),
         (
             any::<u64>(),
             arb_probe_mode(),
@@ -283,6 +321,20 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         Just(Frame::OpMetrics),
         proptest::collection::vec(0u8..=255, 0..512)
             .prop_map(|snapshot| Frame::OpMetricsResult { snapshot }),
+        // --- version 6: delta updates + retention checkpoints ---
+        (any::<u64>(), arb_delta_update_request())
+            .prop_map(|(device, request)| Frame::DeltaUpdateRequest { device, request }),
+        (arb_cohort(), 0u8..=1).prop_map(|(cohort, fetch)| Frame::OpCheckpoint { cohort, fetch }),
+        (
+            arb_cohort(),
+            any::<u8>(),
+            proptest::collection::vec(0u8..=255, 0..512),
+        )
+            .prop_map(|(cohort, state, paused)| Frame::OpCheckpointAck {
+                cohort,
+                state,
+                paused,
+            }),
     ]
 }
 
@@ -302,7 +354,8 @@ proptest! {
             | Frame::OpReport { .. }
             | Frame::OpSweepResult { .. }
             | Frame::OpDrained { .. }
-            | Frame::OpMetricsResult { .. } => MAX_OP_PAYLOAD,
+            | Frame::OpMetricsResult { .. }
+            | Frame::OpCheckpointAck { .. } => MAX_OP_PAYLOAD,
             _ => MAX_FRAME_PAYLOAD,
         };
         prop_assert!(bytes.len() <= FRAME_HEADER_LEN + ceiling);
@@ -429,12 +482,14 @@ fn malformed_corpus_yields_clean_typed_errors() {
             target: 0xE000,
             payload: vec![1, 2, 3, 4],
             nonce: 9,
+            version: 0,
             mac: [0; 32],
         },
     }
     .encode();
-    // Inner payload length sits after header(10) + device(8) + target(2) + nonce(8).
-    request[28..32].copy_from_slice(&(u32::MAX).to_le_bytes());
+    // Inner payload length sits after header(10) + device(8) + target(2)
+    // + nonce(8) + version(8).
+    request[36..40].copy_from_slice(&(u32::MAX).to_le_bytes());
     assert!(matches!(
         Frame::decode(&request),
         Err(WireError::BadPayload(_))
@@ -485,10 +540,11 @@ fn malformed_operator_plane_corpus_yields_clean_typed_errors() {
         config: CampaignConfig::new(WorkloadId::LightSensor, 0xF600, vec![1, 2, 3]),
     }
     .encode();
-    // Payload length sits after header(10) + cohort(1) + target(2) + 3×u64(24).
-    begin[37..41].copy_from_slice(&0u32.to_le_bytes());
-    begin.truncate(41);
-    begin[6..10].copy_from_slice(&31u32.to_le_bytes());
+    // Payload length sits after header(10) + cohort(1) + target(2)
+    // + 4×u64(32) + delta flag(1).
+    begin[46..50].copy_from_slice(&0u32.to_le_bytes());
+    begin.truncate(50);
+    begin[6..10].copy_from_slice(&40u32.to_le_bytes());
     assert!(matches!(
         Frame::decode(&begin),
         Err(WireError::BadPayload(_))
@@ -682,6 +738,108 @@ fn malformed_metrics_corpus_yields_clean_typed_errors() {
         Frame::decode(&metrics),
         Err(WireError::TrailingBytes { .. })
     ));
+}
+
+/// Version-6 frames (delta updates, retention checkpoints): malformed
+/// payloads die typed, and pre-v6 peers reject the new verbs from the
+/// version byte alone.
+#[test]
+fn malformed_v6_corpus_yields_clean_typed_errors() {
+    // DeltaUpdateRequest: a segment count the remaining bytes cannot
+    // hold is rejected before any allocation.
+    let template = Frame::DeltaUpdateRequest {
+        device: 7,
+        request: DeltaUpdateRequest {
+            target: 0xE000,
+            base_len: 128,
+            segments: vec![DeltaSegment {
+                offset: 64,
+                bytes: vec![0xAB; 64],
+            }],
+            nonce: 3,
+            version: 1,
+            mac: [0; 32],
+        },
+    }
+    .encode();
+    // Truncated at every strict prefix.
+    for cut in 0..template.len() {
+        assert!(matches!(
+            Frame::decode(&template[..cut]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+    // Segment count sits after header(10) + device(8) + target(2)
+    // + nonce(8) + version(8) + base_len(4).
+    let mut lying = template.clone();
+    lying[40..44].copy_from_slice(&(u32::MAX).to_le_bytes());
+    assert!(matches!(
+        Frame::decode(&lying),
+        Err(WireError::BadPayload(_)) | Err(WireError::Truncated { .. })
+    ));
+
+    // OpCheckpoint: unknown cohort discriminant dies typed.
+    let mut checkpoint = Frame::OpCheckpoint {
+        cohort: WorkloadId::LightSensor,
+        fetch: 1,
+    }
+    .encode();
+    checkpoint[FRAME_HEADER_LEN] = 0xEE;
+    assert!(matches!(
+        Frame::decode(&checkpoint),
+        Err(WireError::BadEnum {
+            field: "cohort",
+            ..
+        })
+    ));
+
+    // OpCheckpointAck: an inner record-length claim past the frame end
+    // is a typed error, and a header claim past the operator ceiling is
+    // rejected before buffering.
+    let ack = Frame::OpCheckpointAck {
+        cohort: WorkloadId::LightSensor,
+        state: eilid_net::CAMPAIGN_STATE_RUNNING,
+        paused: vec![0; 8],
+    }
+    .encode();
+    let mut lying = ack.clone();
+    lying[FRAME_HEADER_LEN + 2..FRAME_HEADER_LEN + 6].copy_from_slice(&(u32::MAX).to_le_bytes());
+    assert!(matches!(
+        Frame::decode(&lying),
+        Err(WireError::BadPayload(_)) | Err(WireError::Truncated { .. })
+    ));
+    let mut oversized = ack;
+    oversized[6..10].copy_from_slice(&((MAX_OP_PAYLOAD + 1) as u32).to_le_bytes());
+    assert_eq!(
+        Frame::decode(&oversized),
+        Err(WireError::Oversized {
+            claimed: MAX_OP_PAYLOAD + 1,
+            max: MAX_OP_PAYLOAD,
+        })
+    );
+
+    // A pre-v6 peer rejects every new verb from the version byte alone.
+    for frame in [
+        template.clone(),
+        Frame::OpCheckpoint {
+            cohort: WorkloadId::LightSensor,
+            fetch: 0,
+        }
+        .encode(),
+        Frame::OpCheckpointAck {
+            cohort: WorkloadId::LightSensor,
+            state: 0,
+            paused: vec![],
+        }
+        .encode(),
+    ] {
+        let mut v5 = frame;
+        v5[4] = PROTOCOL_VERSION - 1;
+        assert_eq!(
+            Frame::decode(&v5),
+            Err(WireError::UnsupportedVersion(PROTOCOL_VERSION - 1))
+        );
+    }
 }
 
 /// "Wrong MAC domain tag": a report whose MAC was minted under the
