@@ -1,0 +1,52 @@
+//! Criterion bench for the pluggable `CryptoProvider` backends: the
+//! measured cost of the verifier-side HMAC workload under each backend,
+//! alongside the structural prices `eilid_hwcost::crypto` derives for
+//! the same sweep shapes (the comparison row of the hwcost matrix).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eilid_casu::{BatchedProvider, CryptoProvider, SimHwProvider, SoftwareProvider};
+use eilid_hwcost::{price_providers, CryptoWorkload};
+
+/// One sweep's worth of report-MAC verifications: 256 devices, the
+/// 59-byte report message, a stable per-device key.
+fn sweep_macs(provider: &dyn CryptoProvider) -> u64 {
+    let message = [0xA7u8; 59];
+    let mut folded = 0u64;
+    for device in 0u64..256 {
+        let mut key = [0u8; 32];
+        key[..8].copy_from_slice(&device.to_le_bytes());
+        let tag = provider.hmac(&key, &message);
+        folded = folded.wrapping_add(u64::from(tag[0]));
+    }
+    folded
+}
+
+fn bench_providers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto_providers");
+    group.sample_size(20);
+    group.bench_function("software_sweep_macs", |b| {
+        let provider = SoftwareProvider;
+        b.iter(|| sweep_macs(&provider))
+    });
+    group.bench_function("batched_sweep_macs", |b| {
+        // The schedule cache persists across iterations — the steady
+        // state the backend exists for.
+        let provider = BatchedProvider::new();
+        b.iter(|| sweep_macs(&provider))
+    });
+    group.bench_function("sim_hw_sweep_macs", |b| {
+        let provider = SimHwProvider::new();
+        b.iter(|| sweep_macs(&provider))
+    });
+    group.bench_function("hwcost_price_matrix", |b| {
+        b.iter(|| {
+            let per_device = price_providers(&CryptoWorkload::per_device_sweep(1000));
+            let aggregated = price_providers(&CryptoWorkload::aggregated_sweep(1000, 16));
+            (per_device.len(), aggregated.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_providers);
+criterion_main!(benches);

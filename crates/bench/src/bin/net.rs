@@ -10,7 +10,7 @@
 //! net [--devices N] [--threads N] [--clients N] [--window N]
 //!     [--json PATH] [--min-pool-ratio X] [--min-in-memory N]
 //!     [--min-loopback N] [--min-campaign N] [--min-cluster-ratio X]
-//!     [--min-obs-ratio X] [--quick]
+//!     [--min-obs-ratio X] [--min-agg-ratio X] [--quick]
 //! ```
 //!
 //! `--quick` runs a smaller configuration (the CI smoke mode) and does
@@ -29,16 +29,22 @@
 //! magnitude below sweep throughput). `--min-cluster-ratio X` exits
 //! non-zero when fan-out sweeps across the widest measured cluster (4
 //! gateways) fall below `X` times the single-gateway cluster sweep —
-//! the gate for "adding gateway processes never costs throughput".
+//! the gate bounding fan-out coordination overhead (on a single-core
+//! box with hardware SHA-256 the four reactor threads honestly cost
+//! 5-40% run to run, so `make net-bench` sets the floor at 0.5).
 //! `--min-obs-ratio X` exits non-zero when the latency-observed
 //! loopback sweep falls below `X` times the bare loopback sweep — the
 //! gate for "telemetry recording is (nearly) free on the hot path".
+//! `--min-agg-ratio X` exits non-zero when the aggregated
+//! (collective-attestation) sweep falls below `X` times the per-device
+//! client-driven loopback sweep — the gate for "folding evidence into
+//! per-shard aggregate roots beats shipping per-device verdicts".
 
 use std::process::ExitCode;
 
 use eilid_bench::net::{
-    compare_schedulers, measure_campaigns, measure_cluster_sweeps, measure_transport_sweeps,
-    render_net_bench_json,
+    compare_schedulers, measure_aggregated_sweeps, measure_campaigns, measure_cluster_sweeps,
+    measure_transport_sweeps, render_net_bench_json,
 };
 
 /// Parses `--flag value`; a missing flag yields `default`, an
@@ -69,6 +75,7 @@ fn run() -> Result<(), String> {
     let min_campaign: f64 = flag_value(&args, "--min-campaign", 0.0)?;
     let min_cluster_ratio: f64 = flag_value(&args, "--min-cluster-ratio", 0.0)?;
     let min_obs_ratio: f64 = flag_value(&args, "--min-obs-ratio", 0.0)?;
+    let min_agg_ratio: f64 = flag_value(&args, "--min-agg-ratio", 0.0)?;
     // `--quick` runs a smaller, non-comparable configuration, so it
     // must never silently overwrite the recorded full-size baseline.
     // A `--json` with its value missing is a hard error like every
@@ -156,8 +163,25 @@ fn run() -> Result<(), String> {
     }
     println!("  widest/single     {:>9.2}x", clusters.scaling_ratio());
 
+    println!("collective attestation: {devices} devices, aggregated vs per-device operator sweeps");
+    let aggs = measure_aggregated_sweeps(devices, clients.min(8), window, rounds);
+    println!(
+        "  aggregated sweep  {:>9.0} devices/s  ({} aggregate roots verified, {} short-circuited)",
+        aggs.aggregated.devices_per_second, aggs.roots_verified, aggs.short_circuited,
+    );
+    println!(
+        "  per-device OpSweep{:>9.0} devices/s  ({:.2}x aggregated/per-device)",
+        aggs.per_device.devices_per_second,
+        aggs.op_ratio(),
+    );
+    println!(
+        "  client-driven     {:>9.0} devices/s  (interleaved loopback baseline; {:.2}x aggregated/client)",
+        aggs.client_driven.devices_per_second,
+        aggs.loopback_ratio(),
+    );
+
     if let Some(json_path) = json_path {
-        let json = render_net_bench_json(&schedulers, &transports, &campaigns, &clusters);
+        let json = render_net_bench_json(&schedulers, &transports, &campaigns, &clusters, &aggs);
         std::fs::write(&json_path, &json)
             .map_err(|e| format!("cannot write `{json_path}`: {e}"))?;
         println!("wrote {json_path}");
@@ -192,6 +216,13 @@ fn run() -> Result<(), String> {
             "telemetry overhead regression: the observed loopback sweep runs at {:.2}x the bare \
              sweep, below the accepted {min_obs_ratio}x",
             transports.obs_ratio()
+        ));
+    }
+    if aggs.loopback_ratio() < min_agg_ratio {
+        return Err(format!(
+            "aggregated sweep regression: {:.2}x the per-device loopback sweep is below the \
+             accepted {min_agg_ratio}x",
+            aggs.loopback_ratio()
         ));
     }
     if clusters.scaling_ratio() < min_cluster_ratio {

@@ -34,8 +34,12 @@ use eilid_net::{
 };
 use eilid_workloads::WorkloadId;
 
+/// The bench fleet's root key bytes — also what the operator feeds
+/// `set_agg_root_key` to re-derive shard aggregate keys.
+const BENCH_ROOT: &[u8] = b"bench-net-root-key-0123456789abc";
+
 fn bench_root() -> DeviceKey {
-    DeviceKey::new(b"bench-net-root-key-0123456789abc").expect("key length")
+    DeviceKey::new(BENCH_ROOT).expect("key length")
 }
 
 fn build(devices: usize, threads: usize) -> (Fleet, Verifier) {
@@ -466,6 +470,161 @@ pub fn measure_campaigns(devices: usize, agents: usize) -> CampaignComparison {
     }
 }
 
+/// Aggregated (collective-attestation) vs per-device operator sweeps
+/// through the same gateway session.
+#[derive(Debug, Clone)]
+pub struct AggSweepComparison {
+    /// Devices swept.
+    pub devices: usize,
+    /// Device-agent connections serving the probes.
+    pub agents: usize,
+    /// Gateway-driven aggregated sweep (`OpAggSweep`): one MAC'd
+    /// aggregate root per shard crosses the wire, the operator verifies
+    /// at most `SHARD_COUNT` MACs.
+    pub aggregated: TransportRow,
+    /// Gateway-driven per-device sweep (`OpSweep`) on the same attached
+    /// session — the like-for-like operator-plane comparator.
+    pub per_device: TransportRow,
+    /// Client-driven per-device loopback sweep through the *same*
+    /// gateway, interleaved round by round with the operator-plane
+    /// sweeps so both sample the same noise environment — the baseline
+    /// the ≥ 1.2x gate divides by. (A baseline measured in an earlier
+    /// phase lives in a different noise window; on a loaded box the
+    /// cross-phase ratio is mostly measuring the box, not the code.)
+    pub client_driven: TransportRow,
+    /// Non-empty shards in the aggregated result.
+    pub shards: usize,
+    /// Aggregate-root MACs the operator actually verified.
+    pub roots_verified: usize,
+    /// Devices whose verdict came from an aggregate root alone (all of
+    /// them, on this clean bench fleet).
+    pub short_circuited: usize,
+}
+
+impl AggSweepComparison {
+    /// Aggregated throughput relative to the interleaved client-driven
+    /// per-device loopback sweep (the bench gate demands ≥ 1.2).
+    pub fn loopback_ratio(&self) -> f64 {
+        if self.client_driven.devices_per_second <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.aggregated.devices_per_second / self.client_driven.devices_per_second
+    }
+
+    /// Aggregated throughput relative to the gateway-driven per-device
+    /// sweep on the same session.
+    pub fn op_ratio(&self) -> f64 {
+        if self.per_device.devices_per_second <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.aggregated.devices_per_second / self.per_device.devices_per_second
+    }
+}
+
+/// Measures aggregated vs per-device operator sweeps over loopback TCP
+/// (best of `rounds` each, alternating so both sample the same noise;
+/// one warm-up round first whose summaries must agree before any
+/// timing is trusted).
+///
+/// The client-driven baseline sweeps a *second*, identically-built
+/// fleet through the same gateway with `window` exchanges pipelined per
+/// connection: same root key, same device ids, same goldens, so the one
+/// service snapshot covers both. The client fleet never attaches, so it
+/// is invisible to the operator-plane sweeps — and interleaving all
+/// three paths round by round keeps the gate's ratio a comparison of
+/// code, not of the box's load at two different moments.
+pub fn measure_aggregated_sweeps(
+    devices: usize,
+    agents: usize,
+    window: usize,
+    rounds: usize,
+) -> AggSweepComparison {
+    let (mut fleet, mut verifier) = build(devices, agents.max(2));
+    let (mut client_fleet, _unused_lineage) = build(devices, agents.max(2));
+    let service = Arc::new(AttestationService::new(verifier.service_snapshot(1 << 32)));
+    let handle = Gateway::bind(
+        ("127.0.0.1", 0),
+        service,
+        GatewayConfig {
+            workers: agents,
+            queue_depth: 512,
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("gateway binds on loopback")
+    .spawn();
+    let addr = handle.addr();
+    let client_fleet = &mut client_fleet;
+    let (agg_best, per_best, client_best, last) =
+        with_attached_fleet(&mut fleet, agents, addr, move || {
+            let mut ops = RemoteOps::connect(addr).map_err(|e| OpsError::Backend(e.to_string()))?;
+            ops.set_agg_root_key(BENCH_ROOT);
+            // Warm-up: all three paths, verdicts must agree before
+            // timing.
+            let warm_agg = ops.sweep_aggregated()?;
+            let warm_per = ops.sweep()?;
+            assert_eq!(
+                warm_agg.summary, warm_per,
+                "aggregated and per-device sweeps must classify identically"
+            );
+            assert_eq!(warm_agg.summary.count(HealthClass::Attested), devices);
+            let warm_client = sweep_fleet_tcp_windowed(client_fleet, agents, window, addr)
+                .map_err(|e| OpsError::Backend(e.to_string()))?;
+            assert_eq!(warm_client.count(HealthClass::Attested), devices);
+            let mut agg_best = 0.0f64;
+            let mut per_best = 0.0f64;
+            let mut client_best = 0.0f64;
+            let mut last = warm_agg;
+            for _ in 0..rounds {
+                let start = Instant::now();
+                let agg = ops.sweep_aggregated()?;
+                let seconds = start.elapsed().as_secs_f64().max(1e-9);
+                assert_eq!(agg.summary.count(HealthClass::Attested), devices);
+                agg_best = agg_best.max(devices as f64 / seconds);
+                last = agg;
+
+                let start = Instant::now();
+                let per = ops.sweep()?;
+                let seconds = start.elapsed().as_secs_f64().max(1e-9);
+                assert_eq!(per.count(HealthClass::Attested), devices);
+                per_best = per_best.max(devices as f64 / seconds);
+
+                dirty_some(client_fleet);
+                let report = sweep_fleet_tcp_windowed(client_fleet, agents, window, addr)
+                    .map_err(|e| OpsError::Backend(e.to_string()))?;
+                assert_eq!(report.count(HealthClass::Attested), devices);
+                client_best = client_best.max(report.devices_per_second());
+            }
+            Ok::<_, OpsError>((agg_best, per_best, client_best, last))
+        })
+        .expect("device agents served cleanly")
+        .expect("aggregated sweeps succeed");
+    handle.shutdown().expect("gateway shuts down");
+
+    AggSweepComparison {
+        devices,
+        agents,
+        aggregated: TransportRow {
+            devices,
+            clients: agents,
+            devices_per_second: agg_best,
+        },
+        per_device: TransportRow {
+            devices,
+            clients: agents,
+            devices_per_second: per_best,
+        },
+        client_driven: TransportRow {
+            devices,
+            clients: agents,
+            devices_per_second: client_best,
+        },
+        shards: last.shards,
+        roots_verified: last.roots_verified,
+        short_circuited: last.short_circuited,
+    }
+}
+
 /// One multi-gateway fan-out sweep measurement row.
 #[derive(Debug, Clone)]
 pub struct ClusterRow {
@@ -598,6 +757,7 @@ pub fn render_net_bench_json(
     transports: &TransportComparison,
     campaigns: &CampaignComparison,
     clusters: &ClusterComparison,
+    aggs: &AggSweepComparison,
 ) -> String {
     format!(
         "{{\n  \"bench\": \"net_sweep\",\n  \"devices\": {},\n  \"threads\": {},\n  \
@@ -621,7 +781,15 @@ pub fn render_net_bench_json(
          \"cluster_sweep_1_gateway_devices_per_second\": {:.0},\n  \
          \"cluster_sweep_2_gateways_devices_per_second\": {:.0},\n  \
          \"cluster_sweep_4_gateways_devices_per_second\": {:.0},\n  \
-         \"cluster_scaling_ratio\": {:.2}\n}}\n",
+         \"cluster_scaling_ratio\": {:.2},\n  \
+         \"agg_sweep_devices\": {},\n  \
+         \"agg_sweep_devices_per_second\": {:.0},\n  \
+         \"agg_sweep_per_device_op_devices_per_second\": {:.0},\n  \
+         \"agg_client_driven_devices_per_second\": {:.0},\n  \
+         \"agg_vs_loopback_ratio\": {:.2},\n  \
+         \"agg_roots_verified\": {},\n  \
+         \"agg_shards\": {},\n  \
+         \"agg_short_circuited\": {}\n}}\n",
         schedulers.pool.devices,
         schedulers.pool.threads,
         transports.in_memory.clients,
@@ -651,6 +819,14 @@ pub fn render_net_bench_json(
         clusters.rate_at(2).unwrap_or(0.0),
         clusters.rate_at(4).unwrap_or(0.0),
         clusters.scaling_ratio(),
+        aggs.devices,
+        aggs.aggregated.devices_per_second,
+        aggs.per_device.devices_per_second,
+        aggs.client_driven.devices_per_second,
+        aggs.loopback_ratio(),
+        aggs.roots_verified,
+        aggs.shards,
+        aggs.short_circuited,
     )
 }
 
@@ -703,6 +879,23 @@ mod tests {
             "an all-clean cohort must inherit most probe verdicts"
         );
         assert!(comparison.probes_executed >= 1, "the reference still runs");
+    }
+
+    #[test]
+    fn aggregated_sweep_comparison_is_sane() {
+        let comparison = measure_aggregated_sweeps(32, 2, 4, 1);
+        assert_eq!(comparison.devices, 32);
+        assert!(comparison.aggregated.devices_per_second > 0.0);
+        assert!(comparison.per_device.devices_per_second > 0.0);
+        assert!(comparison.roots_verified <= eilid_fleet::SHARD_COUNT);
+        assert_eq!(comparison.roots_verified, comparison.shards);
+        assert_eq!(
+            comparison.short_circuited, 32,
+            "a clean bench fleet short-circuits every verdict"
+        );
+        assert!(comparison.op_ratio() > 0.0);
+        assert!(comparison.client_driven.devices_per_second > 0.0);
+        assert!(comparison.loopback_ratio() > 0.0);
     }
 
     #[test]
@@ -787,7 +980,29 @@ mod tests {
                 },
             ],
         };
-        let json = render_net_bench_json(&schedulers, &transports, &campaigns, &clusters);
+        let aggs = AggSweepComparison {
+            devices: 1000,
+            agents: 8,
+            aggregated: TransportRow {
+                devices: 1000,
+                clients: 8,
+                devices_per_second: 34_000.0,
+            },
+            per_device: TransportRow {
+                devices: 1000,
+                clients: 8,
+                devices_per_second: 30_000.0,
+            },
+            client_driven: TransportRow {
+                devices: 1000,
+                clients: 8,
+                devices_per_second: 17_000.0,
+            },
+            shards: 16,
+            roots_verified: 16,
+            short_circuited: 1000,
+        };
+        let json = render_net_bench_json(&schedulers, &transports, &campaigns, &clusters, &aggs);
         assert!(json.contains("\"bench\": \"net_sweep\""));
         assert!(json.contains("\"pool_vs_scoped_ratio\": 1.04"));
         assert!(json.contains("\"connections\": 8"));
@@ -808,6 +1023,15 @@ mod tests {
         assert!(json.contains("\"cluster_sweep_1_gateway_devices_per_second\": 15000"));
         assert!(json.contains("\"cluster_sweep_4_gateways_devices_per_second\": 18000"));
         assert!(json.contains("\"cluster_scaling_ratio\": 1.20"));
+        assert!(json.contains("\"agg_sweep_devices\": 1000"));
+        assert!(json.contains("\"agg_sweep_devices_per_second\": 34000"));
+        assert!(json.contains("\"agg_sweep_per_device_op_devices_per_second\": 30000"));
+        assert!(json.contains("\"agg_client_driven_devices_per_second\": 17000"));
+        // 34000 aggregated over the interleaved 17000 baseline above.
+        assert!(json.contains("\"agg_vs_loopback_ratio\": 2.00"));
+        assert!(json.contains("\"agg_roots_verified\": 16"));
+        assert!(json.contains("\"agg_shards\": 16"));
+        assert!(json.contains("\"agg_short_circuited\": 1000"));
         assert!(json.starts_with('{') && json.ends_with("}\n"));
     }
 }

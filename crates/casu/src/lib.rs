@@ -44,9 +44,13 @@
 //! # Ok::<(), eilid_casu::UpdateError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// Deny rather than forbid: the SHA-NI compression path in `sha256`
+// needs CPU intrinsics behind a module-scoped allow, the same pattern
+// the net crate's poller and the fleet crate's pool use.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod agg;
 pub mod attest;
 pub mod hmac;
 pub mod key;
@@ -54,11 +58,16 @@ pub mod layout;
 pub mod merkle;
 pub mod monitor;
 pub mod policy;
+pub mod provider;
 pub mod sha256;
 pub mod update;
 pub mod violation;
 pub mod wire;
 
+pub use agg::{
+    evidence_leaf, fleet_root, missing_leaf, shard_agg_key, AggProof, DescentReport, EvidenceTree,
+    AGG_FLEET_TAG, AGG_LEAF_TAG, AGG_NODE_TAG, AGG_ROOT_TAG, AGG_SHARD_KEY_TAG,
+};
 pub use attest::{
     measure_pmem, AttestError, AttestationReport, AttestationVerifier, Attestor, Challenge,
 };
@@ -71,6 +80,9 @@ pub use merkle::{
 };
 pub use monitor::CasuMonitor;
 pub use policy::{CasuPolicy, VIOLATION_STROBE_ADDR};
+pub use provider::{
+    BatchedProvider, CryptoProvider, ProviderStats, SimHwParams, SimHwProvider, SoftwareProvider,
+};
 pub use sha256::{sha256, Sha256, DIGEST_SIZE};
 pub use update::{
     DeltaSegment, DeltaUpdateRequest, UpdateAuthority, UpdateEngine, UpdateError, UpdateRequest,

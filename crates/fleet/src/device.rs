@@ -112,6 +112,15 @@ impl SimDevice {
         self.probe_isolated = isolated;
     }
 
+    /// Fault injection: swaps the device's attestation key for one the
+    /// verifier never derived, modelling a cloned or re-keyed impostor.
+    /// Every subsequent report fails the MAC check and classifies
+    /// `Unverified` — the adversarial and equivalence suites use this
+    /// for wrong-key populations in sweep mixes.
+    pub fn corrupt_attestation_key(&mut self) {
+        self.attestor = Attestor::new(b"impostor-key-never-derived-0000!");
+    }
+
     /// The device's current full-PMEM measurement under `scheme`,
     /// served from the live incremental measurer when it covers the
     /// PMEM range (re-hashing only dirty granules) and measured from

@@ -91,8 +91,8 @@ pub use eilid_casu::MeasurementScheme;
 pub use error::FleetError;
 pub use fleet::{Fleet, FleetBuilder, SliceReport};
 pub use ops::{
-    merge_health, merge_phases, merge_reports, merge_sweeps, CampaignPhase, FleetOps, LocalOps,
-    OpsError, OpsHealth, SweepSummary,
+    merge_agg_sweeps, merge_health, merge_phases, merge_reports, merge_sweeps, AggSweepSummary,
+    CampaignPhase, FleetOps, LocalOps, OpsError, OpsHealth, SweepSummary,
 };
 pub use pool::{PoolBusy, WorkerPool};
 pub use report::{DeviceHealth, FleetReport, HealthClass, Ledger, LedgerEvent};

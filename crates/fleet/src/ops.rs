@@ -115,6 +115,34 @@ impl SweepSummary {
     }
 }
 
+/// Backend-independent summary of one *aggregated* attestation sweep:
+/// the same per-class verdicts a per-device sweep yields (the
+/// equivalence the proptest oracle pins), plus the aggregate evidence —
+/// shard roots, their count, and how much operator-side work the
+/// aggregation saved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggSweepSummary {
+    /// Per-class verdicts, bit-equal to a per-device sweep's.
+    pub summary: SweepSummary,
+    /// The sweep epoch bound into every aggregate root MAC (the sweep's
+    /// reserved challenge-nonce base, strictly increasing).
+    pub epoch: u64,
+    /// Shards that aggregated at least one participant.
+    pub shards: usize,
+    /// Aggregate root MACs the operator verified — at most
+    /// `SHARD_COUNT` per gateway, no matter the fleet size.
+    pub roots_verified: usize,
+    /// Devices whose per-device verdict assembly was skipped because
+    /// their shard's aggregate was all-clean (the memoized-probe rule
+    /// pushed into sweeps).
+    pub short_circuited: usize,
+    /// Verified `(shard, aggregate root)` pairs, in canonical order
+    /// (ascending shard; for a cluster, gateways in placement order).
+    pub shard_roots: Vec<(u16, [u8; 32])>,
+    /// Digest folding all shard roots — one fleet-wide aggregate.
+    pub fleet_root: [u8; 32],
+}
+
 /// Maps a health class to its [`SweepSummary::counts`] slot.
 pub fn class_index(class: HealthClass) -> usize {
     match class {
@@ -172,6 +200,22 @@ pub trait FleetOps {
     /// Backend failures only; per-device verification failures are
     /// *classifications*, not errors.
     fn sweep(&mut self) -> Result<SweepSummary, OpsError>;
+
+    /// Runs one full *aggregated* attestation sweep: per-class verdicts
+    /// identical to [`FleetOps::sweep`], but the evidence folds into
+    /// one signed aggregate root per shard, so the operator verifies at
+    /// most `SHARD_COUNT` roots and descends to per-device verdicts
+    /// only for reported suspects.
+    ///
+    /// # Errors
+    ///
+    /// [`OpsError::Backend`] when the backend cannot aggregate (the
+    /// default); transport failures otherwise.
+    fn sweep_aggregated(&mut self) -> Result<AggSweepSummary, OpsError> {
+        Err(OpsError::Backend(
+            "aggregated sweep unsupported by this backend".to_string(),
+        ))
+    }
 
     /// Loads and validates a campaign into the backend's campaign slot.
     /// Nothing is rolled out yet.
@@ -269,6 +313,10 @@ impl FleetOps for LocalOps<'_> {
         Ok(SweepSummary::from(&report))
     }
 
+    fn sweep_aggregated(&mut self) -> Result<AggSweepSummary, OpsError> {
+        Ok(self.verifier.sweep_aggregated(self.fleet))
+    }
+
     fn campaign_begin(&mut self, config: &CampaignConfig) -> Result<(), OpsError> {
         if self.run.is_some() {
             return Err(OpsError::CampaignActive);
@@ -358,6 +406,35 @@ pub fn merge_sweeps(parts: &[SweepSummary]) -> SweepSummary {
     }
     merged.flagged.sort_by_key(|(id, _)| *id);
     merged
+}
+
+/// Folds per-gateway *aggregated* sweep summaries into the cluster's:
+/// verdict summaries fold through [`merge_sweeps`]; shard-root lists
+/// concatenate in the caller's gateway placement order (shards overlap
+/// across gateways — each gateway aggregates its own partition of every
+/// shard); root-verification and short-circuit counters add; the merged
+/// fleet root re-folds the concatenated shard roots through `provider`.
+/// The merged epoch is the newest partition's (each gateway draws from
+/// its own reserved nonce block).
+pub fn merge_agg_sweeps(
+    provider: &dyn eilid_casu::CryptoProvider,
+    parts: &[AggSweepSummary],
+) -> AggSweepSummary {
+    let summaries: Vec<SweepSummary> = parts.iter().map(|part| part.summary.clone()).collect();
+    let shard_roots: Vec<(u16, [u8; 32])> = parts
+        .iter()
+        .flat_map(|part| part.shard_roots.iter().copied())
+        .collect();
+    let fleet_root = eilid_casu::agg::fleet_root(provider, &shard_roots);
+    AggSweepSummary {
+        summary: merge_sweeps(&summaries),
+        epoch: parts.iter().map(|part| part.epoch).max().unwrap_or(0),
+        shards: parts.iter().map(|part| part.shards).sum(),
+        roots_verified: parts.iter().map(|part| part.roots_verified).sum(),
+        short_circuited: parts.iter().map(|part| part.short_circuited).sum(),
+        shard_roots,
+        fleet_root,
+    }
 }
 
 /// Folds per-gateway campaign reports, wave-aligned: wave `i` of the

@@ -3,20 +3,41 @@
 //! measurement bookkeeping.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
 
-use eilid_casu::{AttestError, AttestationVerifier, DeviceKey, MeasurementScheme, MemoryLayout};
+use eilid_casu::agg::{evidence_leaf, shard_agg_key, AggProof, EvidenceTree};
+use eilid_casu::{
+    AttestError, AttestationVerifier, CryptoProvider, DeviceKey, MeasurementScheme, MemoryLayout,
+    SoftwareProvider,
+};
 use eilid_msp430::Memory;
 use eilid_workloads::WorkloadId;
 
 use crate::device::{DeviceId, SimDevice};
 use crate::fleet::Fleet;
+use crate::ops::{class_index, AggSweepSummary, SweepSummary};
 use crate::pool::WorkerPool;
 use crate::report::{DeviceHealth, FleetReport, HealthClass, LedgerEvent};
 
 /// One shard's sweep job, ready for [`WorkerPool::scope`].
 type ShardJob<'env> = (usize, Box<dyn FnOnce() -> Vec<DeviceHealth> + Send + 'env>);
+
+/// One shard's aggregated-sweep job for [`WorkerPool::scope`].
+type AggShardJob<'env> = (usize, Box<dyn FnOnce() -> ShardAggregate + Send + 'env>);
+
+/// What one shard's aggregated-sweep job produces: the signed aggregate
+/// proof over the shard's evidence tree, plus only the *suspect*
+/// verdicts — clean devices are represented solely by the aggregate.
+#[derive(Debug, Clone)]
+struct ShardAggregate {
+    shard: u16,
+    devices: usize,
+    counts: [usize; 4],
+    proof: AggProof,
+    suspects: Vec<DeviceHealth>,
+}
 
 /// Number of sweep shards — the unit device-key caches are keyed by.
 ///
@@ -165,6 +186,10 @@ pub struct Verifier {
     shards: Vec<SweepShard>,
     pool: WorkerPool,
     next_nonce: u64,
+    /// Backend for verifier-side bulk crypto (aggregated sweeps route
+    /// MAC recomputation and tree hashing through it; the per-device
+    /// sweep keeps the scalar path). All backends are bit-compatible.
+    provider: Arc<dyn CryptoProvider>,
 }
 
 impl Clone for Verifier {
@@ -179,6 +204,7 @@ impl Clone for Verifier {
             shards: self.shards.clone(),
             pool: WorkerPool::new(self.pool.workers(), SHARD_COUNT, SHARD_COUNT),
             next_nonce: self.next_nonce,
+            provider: Arc::clone(&self.provider),
         }
     }
 }
@@ -211,7 +237,20 @@ impl Verifier {
             shards: vec![SweepShard::default(); SHARD_COUNT],
             pool: WorkerPool::new(fleet.threads(), SHARD_COUNT, SHARD_COUNT),
             next_nonce: 1,
+            provider: Arc::new(SoftwareProvider),
         }
+    }
+
+    /// Routes verifier-side bulk crypto (aggregated sweeps) through
+    /// `provider`. Backends are bit-compatible, so this changes cost,
+    /// never verdicts.
+    pub fn set_provider(&mut self, provider: Arc<dyn CryptoProvider>) {
+        self.provider = provider;
+    }
+
+    /// The crypto backend aggregated sweeps run on.
+    pub fn provider(&self) -> &Arc<dyn CryptoProvider> {
+        &self.provider
     }
 
     /// Re-derives the key of `device` from the fleet root.
@@ -468,6 +507,225 @@ impl Verifier {
             elapsed,
             threads,
             scheme,
+        }
+    }
+
+    /// Challenges, verifies and classifies one device exactly as
+    /// [`Verifier::check_device`] does — same challenge-nonce rule,
+    /// same classification — additionally digesting the evidence leaf
+    /// the shard's aggregation tree is built over. Verification routes
+    /// through `provider` (bit-compatible backends, identical verdicts).
+    fn check_device_evidence(
+        shard: &mut SweepShard,
+        provider: &dyn CryptoProvider,
+        root: &DeviceKey,
+        expected: &BTreeMap<WorkloadId, MeasurementHistory>,
+        nonce_base: u64,
+        device: &mut SimDevice,
+    ) -> (DeviceHealth, [u8; 32]) {
+        let key = shard.key(root, device.id());
+        let verifier = AttestationVerifier::with_key(key);
+        let challenge = verifier.challenge_pmem(device.device().layout(), nonce_base + device.id());
+        let report = device.attest(challenge);
+        let verified = verifier.verify_with(provider, &challenge, &report, None);
+        let (class, error) = match expected.get(&device.cohort()) {
+            Some(history) => history.classify(verified, &report.measurement),
+            None => (HealthClass::Unverified, None),
+        };
+        let leaf = evidence_leaf(provider, device.id(), &report);
+        (
+            DeviceHealth {
+                device: device.id(),
+                cohort: device.cohort(),
+                class,
+                error,
+            },
+            leaf,
+        )
+    }
+
+    /// Runs one shard of an aggregated sweep: verify every device,
+    /// build the evidence tree (leaves in ascending device-id order),
+    /// and sign the root with the shard's aggregation key. Only the
+    /// suspect (non-attested) verdicts are materialised — the clean
+    /// majority is represented solely by the aggregate.
+    fn aggregate_shard(
+        index: usize,
+        shard: &mut SweepShard,
+        targets: Vec<&mut SimDevice>,
+        provider: &dyn CryptoProvider,
+        root: &DeviceKey,
+        expected: &BTreeMap<WorkloadId, MeasurementHistory>,
+        epoch: u64,
+    ) -> ShardAggregate {
+        let devices = targets.len();
+        let mut counts = [0usize; 4];
+        let mut suspects = Vec::new();
+        let mut leaves = Vec::with_capacity(devices);
+        for device in targets {
+            let (health, leaf) =
+                Self::check_device_evidence(shard, provider, root, expected, epoch, device);
+            counts[class_index(health.class)] += 1;
+            if health.class != HealthClass::Attested {
+                suspects.push(health);
+            }
+            leaves.push(leaf);
+        }
+        let tree = EvidenceTree::from_leaves(provider, &leaves);
+        let key = shard_agg_key(provider, root.as_bytes(), index as u16);
+        let proof = AggProof::sign(
+            provider,
+            &key,
+            index as u16,
+            epoch,
+            devices as u32,
+            tree.root(),
+        );
+        ShardAggregate {
+            shard: index as u16,
+            devices,
+            counts,
+            proof,
+            suspects,
+        }
+    }
+
+    /// Issues one *aggregated* attestation sweep across the whole
+    /// fleet.
+    ///
+    /// Trust semantics are identical to [`Verifier::sweep`] — every
+    /// device is challenged with a fresh nonce and every report MAC is
+    /// checked — but the evidence is folded into one signed aggregate
+    /// root per shard, and an all-clean shard short-circuits per-device
+    /// verdict assembly: the operator-side check verifies at most
+    /// [`SHARD_COUNT`] aggregate root MACs, descending to per-device
+    /// verdicts only for the suspects each shard reports.
+    pub fn sweep_aggregated(&mut self, fleet: &mut Fleet) -> AggSweepSummary {
+        let ids: Vec<DeviceId> = fleet.devices().iter().map(|d| d.id()).collect();
+        self.sweep_devices_aggregated(fleet, &ids)
+    }
+
+    /// Aggregated sweep over a subset of devices (see
+    /// [`Verifier::sweep_aggregated`]). The sweep's reserved
+    /// challenge-nonce base doubles as the aggregation **epoch** —
+    /// strictly increasing, so no aggregate proof can be replayed into
+    /// a later sweep.
+    pub fn sweep_devices_aggregated(
+        &mut self,
+        fleet: &mut Fleet,
+        ids: &[DeviceId],
+    ) -> AggSweepSummary {
+        let epoch = self.reserve_challenge_nonces(ids);
+        let shard_count = self.shards.len();
+        let provider = Arc::clone(&self.provider);
+        let provider_ref: &dyn CryptoProvider = provider.as_ref();
+
+        let mut shard_targets: Vec<Vec<&mut SimDevice>> =
+            (0..shard_count).map(|_| Vec::new()).collect();
+        for device in fleet.devices_by_ids_mut(ids) {
+            let shard = (device.id() % shard_count as u64) as usize;
+            shard_targets[shard].push(device);
+        }
+        // Canonical leaf order inside a shard is ascending device id —
+        // every aggregator (local, gateway, cluster) must agree on it
+        // for roots to be comparable.
+        for targets in &mut shard_targets {
+            targets.sort_by_key(|device| device.id());
+        }
+
+        let root = &self.root;
+        let expected = &self.expected;
+        let aggregates: Vec<ShardAggregate> = if self.pool.workers() == 1 {
+            self.shards
+                .iter_mut()
+                .zip(shard_targets)
+                .enumerate()
+                .filter(|(_, (_, targets))| !targets.is_empty())
+                .map(|(index, (shard, targets))| {
+                    Self::aggregate_shard(
+                        index,
+                        shard,
+                        targets,
+                        provider_ref,
+                        root,
+                        expected,
+                        epoch,
+                    )
+                })
+                .collect()
+        } else {
+            let jobs: Vec<AggShardJob<'_>> = self
+                .shards
+                .iter_mut()
+                .zip(shard_targets)
+                .enumerate()
+                .filter(|(_, (_, targets))| !targets.is_empty())
+                .map(|(index, (shard, targets))| {
+                    let job: Box<dyn FnOnce() -> ShardAggregate + Send + '_> =
+                        Box::new(move || {
+                            Self::aggregate_shard(
+                                index,
+                                shard,
+                                targets,
+                                provider_ref,
+                                root,
+                                expected,
+                                epoch,
+                            )
+                        });
+                    (index, job)
+                })
+                .collect();
+            self.pool.scope(jobs)
+        };
+
+        // Operator-side assembly: one MAC verification per shard
+        // aggregate covers its whole clean population; per-device
+        // verdicts are assembled only from the reported suspects.
+        let mut summary = SweepSummary {
+            devices: 0,
+            counts: [0; 4],
+            flagged: Vec::new(),
+        };
+        let mut shard_roots = Vec::with_capacity(aggregates.len());
+        let mut roots_verified = 0usize;
+        let mut short_circuited = 0usize;
+        for aggregate in &aggregates {
+            let key = shard_agg_key(provider_ref, self.root.as_bytes(), aggregate.shard);
+            assert!(
+                aggregate.proof.verify(provider_ref, &key),
+                "shard {} aggregate root failed verification",
+                aggregate.shard
+            );
+            roots_verified += 1;
+            summary.devices += aggregate.devices;
+            for (slot, count) in summary.counts.iter_mut().zip(aggregate.counts) {
+                *slot += count;
+            }
+            if aggregate.suspects.is_empty() {
+                short_circuited += aggregate.devices;
+            }
+            for suspect in &aggregate.suspects {
+                summary.flagged.push((suspect.device, suspect.class));
+            }
+            shard_roots.push((aggregate.shard, aggregate.proof.root));
+        }
+        summary.flagged.sort_by_key(|(id, _)| *id);
+        for (device, class) in &summary.flagged {
+            fleet.ledger_mut().record(LedgerEvent::AttestationFlagged {
+                device: *device,
+                class: *class,
+            });
+        }
+        let fleet_root = eilid_casu::agg::fleet_root(provider_ref, &shard_roots);
+        AggSweepSummary {
+            summary,
+            epoch,
+            shards: aggregates.len(),
+            roots_verified,
+            short_circuited,
+            shard_roots,
+            fleet_root,
         }
     }
 

@@ -33,10 +33,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
+use eilid_casu::SoftwareProvider;
 use eilid_fleet::{
-    merge_health, merge_phases, merge_reports, merge_sweeps, CampaignConfig, CampaignPhase,
-    CampaignReport, CampaignStatus, Fleet, FleetOps, OpsError, OpsHealth, PausedCampaign,
-    SimDevice, SweepSummary,
+    merge_agg_sweeps, merge_health, merge_phases, merge_reports, merge_sweeps, AggSweepSummary,
+    CampaignConfig, CampaignPhase, CampaignReport, CampaignStatus, Fleet, FleetOps, OpsError,
+    OpsHealth, PausedCampaign, SimDevice, SweepSummary,
 };
 use eilid_workloads::WorkloadId;
 
@@ -91,6 +92,10 @@ pub struct ClusterOps {
     durable_checkpoints: bool,
     cohort: Option<WorkloadId>,
     op_timeout: Duration,
+    /// Fleet root key bytes forwarded to every console (current and
+    /// reconnected) so aggregated sweeps verify gateway aggregate
+    /// proofs cluster-wide.
+    agg_root: Option<Vec<u8>>,
     /// Operator-side telemetry: fan-out latency across the cluster's
     /// consoles, one sample per fanned-out verb.
     obs: eilid_obs::MetricsRegistry,
@@ -169,6 +174,7 @@ impl ClusterOps {
             durable_checkpoints: false,
             cohort: None,
             op_timeout: DEFAULT_OP_TIMEOUT,
+            agg_root: None,
             obs,
             fan_out_us,
         })
@@ -206,6 +212,16 @@ impl ClusterOps {
         }
     }
 
+    /// Provisions the fleet root key on every console (current and
+    /// future reconnections) so aggregated sweeps can verify each
+    /// gateway's aggregate-root MACs.
+    pub fn set_agg_root_key(&mut self, key: &[u8]) {
+        self.agg_root = Some(key.to_vec());
+        for console in &mut self.consoles {
+            console.set_agg_root_key(key);
+        }
+    }
+
     /// Re-establishes the console to `gateway` after a crash/restart
     /// and repairs campaign state in layers, cheapest first: a gateway
     /// that never lost its run (connection blip) answers the in-place
@@ -222,6 +238,9 @@ impl ClusterOps {
         let mut console = RemoteOps::connect(self.addrs[gateway])
             .map_err(|err| OpsError::Backend(format!("gateway {gateway}: {err}")))?;
         console.set_op_timeout(self.op_timeout);
+        if let Some(key) = &self.agg_root {
+            console.set_agg_root_key(key);
+        }
         if let Some(cohort) = self.cohort {
             console.adopt(cohort);
         }
@@ -326,6 +345,29 @@ impl FleetOps for ClusterOps {
             );
         }
         Ok(merge_sweeps(&parts))
+    }
+
+    fn sweep_aggregated(&mut self) -> Result<AggSweepSummary, OpsError> {
+        let started = Instant::now();
+        let results = fan_out(
+            &mut self.consoles,
+            |_| true,
+            |_, console| console.sweep_aggregated(),
+        );
+        self.fan_out_us.record_duration_us(started.elapsed());
+        let mut parts = Vec::with_capacity(results.len());
+        for (gateway, result) in results.into_iter().enumerate() {
+            parts.push(
+                result
+                    .expect("all selected")
+                    .map_err(|e| at_gateway(gateway, e))?,
+            );
+        }
+        // Each console verified its own gateway's aggregate MACs; the
+        // cluster merge folds the per-gateway shard roots (in pinned
+        // gateway order) into one fleet root — O(gateways) operator
+        // verifications total, summed in `roots_verified`.
+        Ok(merge_agg_sweeps(&SoftwareProvider, &parts))
     }
 
     fn campaign_begin(&mut self, config: &CampaignConfig) -> Result<(), OpsError> {

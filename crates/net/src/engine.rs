@@ -47,13 +47,14 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use eilid_casu::agg::{evidence_leaf, missing_leaf, AggProof, EvidenceTree};
 use eilid_casu::{
     AttestationVerifier, Challenge, DeltaUpdateRequest, UpdateAuthority, UpdateError,
 };
 use eilid_fleet::{
     Campaign, CampaignRun, CohortInfo, DeviceId, FleetError, HealthClass, Ledger, LedgerEvent,
     PausedCampaign, PreUpdateSnapshot, RollbackOutcome, WaveExecutor, WaveRollout, WaveSpec,
-    WorkerPool,
+    WorkerPool, SHARD_COUNT,
 };
 use eilid_workloads::WorkloadId;
 
@@ -62,10 +63,10 @@ use eilid_fleet::ops::class_index;
 use crate::gateway::GatewayCounters;
 use crate::metrics::{NetMetrics, TRACE_CAT_ENGINE, TRACE_ENGINE_WAVE};
 use crate::poller::Waker;
-use crate::service::{health_to_wire, AttestationService};
+use crate::service::{health_to_wire, AttestationService, VerifyTask};
 use crate::wire::{
-    CampaignOp, ErrorCode, Frame, ProbeMode, CAMPAIGN_STATE_FINISHED, CAMPAIGN_STATE_IDLE,
-    CAMPAIGN_STATE_PAUSED, CAMPAIGN_STATE_RUNNING,
+    CampaignOp, ErrorCode, Frame, ProbeMode, WireHealth, CAMPAIGN_STATE_FINISHED,
+    CAMPAIGN_STATE_IDLE, CAMPAIGN_STATE_PAUSED, CAMPAIGN_STATE_RUNNING,
 };
 
 /// How many times the engine re-pushes an exchange a device agent shed
@@ -155,6 +156,10 @@ pub(crate) enum EngineInput {
         /// The reply frame.
         frame: Frame,
     },
+    /// A batch of device-plane replies decoded in one reactor pass —
+    /// one channel message (and one receiver wake) for the lot, in
+    /// arrival order.
+    Devices(Vec<Frame>),
     /// A connection disappeared (its registrations are already gone
     /// from the registry); pending exchanges on it should fail fast.
     ConnClosed(#[allow(dead_code)] u64),
@@ -283,6 +288,10 @@ fn finish(st: &mut WaveDevice, tally: &mut WaveTally) {
     }
 }
 
+/// Per-device challenges minted for one sweep round, keyed by device
+/// with the cohort each challenge was drawn from.
+type SweepChallenges = BTreeMap<DeviceId, (WorkloadId, Challenge)>;
+
 /// The engine proper: one per gateway, on its own thread.
 pub(crate) struct OpsEngine {
     service: Arc<AttestationService>,
@@ -355,7 +364,9 @@ impl OpsEngine {
                 // Device replies outside an exchange (a late probe
                 // result after a timeout, an unsolicited ack) carry no
                 // pending state; drop them.
-                EngineInput::Device { .. } | EngineInput::ConnClosed(_) => {}
+                EngineInput::Device { .. }
+                | EngineInput::Devices(_)
+                | EngineInput::ConnClosed(_) => {}
             }
         }
     }
@@ -453,6 +464,7 @@ impl OpsEngine {
             }
             Frame::CampaignControl { cohort, op } => self.handle_control(conn, cohort, op),
             Frame::OpSweep => self.handle_sweep(conn),
+            Frame::OpAggSweep => self.handle_agg_sweep(conn),
             Frame::OpHealth => {
                 let attached = self.registry.lock().expect("registry lock").len() as u32;
                 let active = self
@@ -671,17 +683,26 @@ impl OpsEngine {
         }
     }
 
-    /// Gateway-driven sweep: push an attest-only probe to every attached
-    /// device, verify and classify exactly as the in-process verifier
-    /// would (same keys, same golden histories, same classification
-    /// rule).
-    fn handle_sweep(&mut self, conn: u64) {
+    /// Mints the probe requests for one sweep round: every device in a
+    /// cohort is challenged with the same round nonce (SEDA-style).
+    /// Per-device MAC keys already rule out cross-device replay, the
+    /// exchange's pending map drops duplicate replies, and nonces still
+    /// only move forward across rounds — so a 1000-device sweep consumes
+    /// one nonce per cohort instead of one per device. A cohort whose
+    /// mint fails (unprovisioned, nonces exhausted) is skipped once, not
+    /// retried per device.
+    fn sweep_requests(&self) -> (SweepChallenges, Vec<(DeviceId, Frame)>) {
         let targets = self.registry.lock().expect("registry lock").all();
+        let mut round: BTreeMap<WorkloadId, Option<Challenge>> = BTreeMap::new();
         let mut challenges: BTreeMap<DeviceId, (WorkloadId, Challenge)> = BTreeMap::new();
         let mut requests = Vec::with_capacity(targets.len());
         for (device, cohort) in targets {
-            let Ok(challenge) = self.service.challenge_for(cohort) else {
-                continue;
+            let challenge = match round
+                .entry(cohort)
+                .or_insert_with(|| self.service.challenge_for(cohort).ok())
+            {
+                Some(challenge) => *challenge,
+                None => continue,
             };
             challenges.insert(device, (cohort, challenge));
             requests.push((
@@ -694,6 +715,15 @@ impl OpsEngine {
                 },
             ));
         }
+        (challenges, requests)
+    }
+
+    /// Gateway-driven sweep: push an attest-only probe to every attached
+    /// device, verify and classify exactly as the in-process verifier
+    /// would (same keys, same golden histories, same classification
+    /// rule).
+    fn handle_sweep(&mut self, conn: u64) {
+        let (challenges, requests) = self.sweep_requests();
         let replies = self.exchange(requests, ReplyKind::Probe);
         let mut counts = [0u32; 4];
         let mut flagged = Vec::new();
@@ -717,6 +747,127 @@ impl OpsEngine {
                 devices: challenges.len() as u32,
                 counts,
                 flagged,
+            },
+        );
+    }
+
+    /// Gateway-driven *aggregated* sweep: probe every attached device
+    /// exactly as [`handle_sweep`](Self::handle_sweep) does, but instead
+    /// of shipping a per-device verdict list, fold each shard's evidence
+    /// into an [`EvidenceTree`] and publish one MAC'd [`AggProof`] per
+    /// shard. The operator verifies at most [`SHARD_COUNT`] aggregate
+    /// MACs; only non-Attested devices (and lost probes) appear
+    /// individually, in the suspect list. Every per-device report MAC is
+    /// still verified *here*, at the gateway — aggregation compresses
+    /// the operator's work and the result frame, never the trust checks.
+    ///
+    /// The sweep epoch is the service's nonce watermark taken before any
+    /// challenge is minted: challenge nonces only move forward, so a
+    /// replayed aggregate from an earlier sweep can never carry the
+    /// current epoch.
+    fn handle_agg_sweep(&mut self, conn: u64) {
+        let epoch = self.service.nonce_watermark();
+        let (challenges, requests) = self.sweep_requests();
+        let replies = self.exchange(requests, ReplyKind::Probe);
+
+        // Canonical order: ascending device id within each shard. The
+        // challenge map iterates ascending, so pushing in iteration
+        // order keeps every shard's member list sorted.
+        let mut shards: BTreeMap<u16, Vec<(DeviceId, WorkloadId, Challenge)>> = BTreeMap::new();
+        for (device, (cohort, challenge)) in &challenges {
+            shards
+                .entry((device % SHARD_COUNT as u64) as u16)
+                .or_default()
+                .push((*device, *cohort, *challenge));
+        }
+
+        let provider = Arc::clone(self.service.provider());
+        let mut counts = [0u32; 4];
+        let mut suspects: Vec<(u64, WireHealth)> = Vec::new();
+        let mut proofs = Vec::with_capacity(shards.len());
+        let mut short_circuited: u64 = 0;
+        for (shard, members) in &shards {
+            let suspects_before = suspects.len();
+            // One batched verification per shard: same shard → one key
+            // shard lock, and a batching provider reuses HMAC schedules.
+            let tasks: Vec<VerifyTask> = members
+                .iter()
+                .filter_map(|(device, cohort, challenge)| match replies.get(device) {
+                    Some(Frame::ProbeResult { report, .. }) => Some(VerifyTask {
+                        device: *device,
+                        cohort: *cohort,
+                        issued: *challenge,
+                        report: *report,
+                    }),
+                    _ => None,
+                })
+                .collect();
+            let mut verdicts = self.service.verify_batch(&tasks).into_iter();
+            let mut leaves = Vec::with_capacity(members.len());
+            for (device, _, _) in members {
+                let class = match replies.get(device) {
+                    Some(Frame::ProbeResult { report, .. }) => {
+                        leaves.push(evidence_leaf(&*provider, *device, report));
+                        verdicts.next().expect("one verdict per task").0
+                    }
+                    // A lost or shed probe is a failed verification; its
+                    // slot holds the domain-separated missing leaf so
+                    // the tree geometry matches the participant list.
+                    _ => {
+                        leaves.push(missing_leaf(&*provider, *device));
+                        HealthClass::Unverified
+                    }
+                };
+                counts[class_index(class)] += 1;
+                if class != HealthClass::Attested {
+                    suspects.push((*device, health_to_wire(class)));
+                }
+            }
+            let tree = EvidenceTree::from_leaves(&*provider, &leaves);
+            let key = self.service.agg_shard_key(*shard);
+            proofs.push(AggProof::sign(
+                &*provider,
+                &key,
+                *shard,
+                epoch,
+                members.len() as u32,
+                tree.root(),
+            ));
+            if suspects.len() == suspects_before {
+                short_circuited += members.len() as u64;
+            }
+        }
+        suspects.sort_by_key(|(device, _)| *device);
+
+        // Participant bitmap: bit (id - base) set for every device the
+        // sweep actually challenged, so the operator can tell "absent
+        // from the fleet" apart from "hidden by a forged aggregate".
+        let bitmap_base = challenges.keys().next().copied().unwrap_or(0);
+        let bitmap_len = challenges
+            .keys()
+            .next_back()
+            .map_or(0, |last| ((last - bitmap_base) / 8 + 1) as usize);
+        let mut bitmap = vec![0u8; bitmap_len];
+        for device in challenges.keys() {
+            let bit = device - bitmap_base;
+            bitmap[(bit / 8) as usize] |= 1 << (bit % 8);
+        }
+
+        self.metrics.agg_sweeps.inc();
+        self.metrics.agg_roots_published.add(proofs.len() as u64);
+        self.metrics.agg_suspects.add(suspects.len() as u64);
+        self.metrics.agg_short_circuited.add(short_circuited);
+
+        self.send(
+            conn,
+            Frame::OpAggSweepResult {
+                epoch,
+                devices: challenges.len() as u32,
+                counts,
+                bitmap_base,
+                bitmap,
+                proofs,
+                suspects,
             },
         );
     }
@@ -789,48 +940,18 @@ impl OpsEngine {
             let wake_at = retry_at
                 .peek()
                 .map_or(deadline, |&Reverse((when, _))| deadline.min(when));
-            match self.rx.recv_timeout(wake_at.saturating_duration_since(now)) {
-                Ok(EngineInput::Device { frame }) => {
-                    // A non-retryable device-scoped error (unknown
-                    // device, refused push) fails that device fast —
-                    // it must not stall the wave for the idle timeout.
-                    if let Frame::DeviceError { device, code } = frame {
-                        if code != ErrorCode::Busy {
-                            if pending.remove(&device).is_some() {
-                                deadline = Instant::now() + self.timeout;
-                            }
-                            continue;
-                        }
-                        // Satellite fix: a busy shed during a campaign
-                        // push is scheduled for a backoff retry, never
-                        // counted as a probe failure — and never slept
-                        // on: the loop keeps serving other devices.
-                        if pending.contains_key(&device) {
-                            let attempts = retries.entry(device).or_insert(0);
-                            *attempts += 1;
-                            self.metrics.engine_busy_retries.inc();
-                            if *attempts > ENGINE_BUSY_RETRIES {
-                                pending.remove(&device);
-                                continue;
-                            }
-                            retry_at
-                                .push(Reverse((Instant::now() + busy_backoff(*attempts), device)));
-                        }
-                        continue;
-                    }
-                    if let Some(device) = kind.device_of(&frame) {
-                        if pending.remove(&device).is_some() {
-                            replies.insert(device, frame);
-                            deadline = Instant::now() + self.timeout;
-                        }
-                    }
-                }
+            let frames = match self.rx.recv_timeout(wake_at.saturating_duration_since(now)) {
+                Ok(EngineInput::Device { frame }) => vec![frame],
+                // A reactor pass delivers a whole burst of replies as
+                // one message; process them in arrival order.
+                Ok(EngineInput::Devices(frames)) => frames,
                 // An operator command arriving mid-wave: the engine is
                 // single-threaded by design (campaign semantics are
                 // strictly wave-ordered), so answer Busy immediately
                 // instead of queueing it behind the wave.
                 Ok(EngineInput::Operator { conn, .. }) => {
                     self.send_error(conn, ErrorCode::Busy);
+                    continue;
                 }
                 Ok(EngineInput::ConnClosed(_)) => {
                     // Fail-fast every pending device that lost its
@@ -838,11 +959,49 @@ impl OpsEngine {
                     // registry).
                     let registry = self.registry.lock().expect("registry lock");
                     pending.retain(|device, _| registry.conn_of(*device).is_some());
+                    continue;
                 }
                 // A timeout here may just be a backoff coming due; the
                 // loop head re-pushes it and the deadline check decides.
                 Err(RecvTimeoutError::Timeout) => continue,
                 Err(RecvTimeoutError::Disconnected) => break,
+            };
+            // One clock read per burst: progress anywhere in it extends
+            // the idle deadline for the whole wave.
+            let arrived = Instant::now();
+            for frame in frames {
+                // A non-retryable device-scoped error (unknown device,
+                // refused push) fails that device fast — it must not
+                // stall the wave for the idle timeout.
+                if let Frame::DeviceError { device, code } = frame {
+                    if code != ErrorCode::Busy {
+                        if pending.remove(&device).is_some() {
+                            deadline = arrived + self.timeout;
+                        }
+                        continue;
+                    }
+                    // Satellite fix: a busy shed during a campaign
+                    // push is scheduled for a backoff retry, never
+                    // counted as a probe failure — and never slept
+                    // on: the loop keeps serving other devices.
+                    if pending.contains_key(&device) {
+                        let attempts = retries.entry(device).or_insert(0);
+                        *attempts += 1;
+                        self.metrics.engine_busy_retries.inc();
+                        if *attempts > ENGINE_BUSY_RETRIES {
+                            pending.remove(&device);
+                            continue;
+                        }
+                        retry_at.push(Reverse((arrived + busy_backoff(*attempts), device)));
+                    }
+                    continue;
+                }
+                if let Some(device) = kind.device_of(&frame) {
+                    if pending.remove(&device).is_some() {
+                        replies.insert(device, frame);
+                        deadline = arrived + self.timeout;
+                    }
+                }
             }
         }
         replies
@@ -1113,11 +1272,25 @@ impl WaveExecutor for OpsEngine {
             };
             // Drain the burst that is already queued so one coalesced
             // completions message carries every frame this pass
-            // produces.
-            let mut burst = vec![first];
+            // produces. Reactor-batched `Devices` messages flatten into
+            // per-frame items in arrival order — processing a
+            // ConnClosed ahead of a same-burst reply would misclassify
+            // an answered device.
+            let mut burst: Vec<EngineInput> = Vec::new();
+            let absorb = |burst: &mut Vec<EngineInput>, input: EngineInput| match input {
+                EngineInput::Devices(frames) => {
+                    burst.extend(
+                        frames
+                            .into_iter()
+                            .map(|frame| EngineInput::Device { frame }),
+                    );
+                }
+                other => burst.push(other),
+            };
+            absorb(&mut burst, first);
             while burst.len() < 1024 {
                 match self.rx.try_recv() {
-                    Ok(input) => burst.push(input),
+                    Ok(input) => absorb(&mut burst, input),
                     Err(_) => break,
                 }
             }
@@ -1141,6 +1314,9 @@ impl WaveExecutor for OpsEngine {
                             }
                         }
                     }
+                    // Batches were flattened into per-frame items when
+                    // the burst was drained above.
+                    EngineInput::Devices(_) => {}
                     EngineInput::Device { frame } => match frame {
                         Frame::DeviceError { device, code } => {
                             let Some(st) = states.get_mut(&device) else {

@@ -737,7 +737,10 @@ impl Gateway {
             }
         }
 
-        // Dispatch complete frames.
+        // Dispatch complete frames. Device-plane replies accumulate and
+        // ship to the engine as ONE channel message per pass — a sweep
+        // burst used to cost one send (and one engine wake) per device.
+        let mut device_replies: Vec<Frame> = Vec::new();
         loop {
             match conn.decoder.next_frame() {
                 Ok(Some(frame)) => {
@@ -769,7 +772,7 @@ impl Gateway {
                             });
                         }
                         SessionOutput::DeviceReply(frame) => {
-                            let _ = ctx.engine_tx.send(EngineInput::Device { frame });
+                            device_replies.push(frame);
                         }
                         SessionOutput::ReplyAndClose(frames) => {
                             for frame in frames {
@@ -791,7 +794,9 @@ impl Gateway {
                 }
                 Ok(None) => break,
                 Err(_wire) => {
-                    // Framing can't be trusted anymore; drop the peer.
+                    // Framing can't be trusted anymore; drop the peer —
+                    // but replies already decoded this pass are good.
+                    Self::flush_device_replies(&mut device_replies, ctx);
                     ctx.counters
                         .malformed_streams
                         .fetch_add(1, Ordering::Relaxed);
@@ -800,6 +805,7 @@ impl Gateway {
                 }
             }
         }
+        Self::flush_device_replies(&mut device_replies, ctx);
         // Push replies produced by this pass toward the socket now; the
         // poller's write interest covers whatever the socket refuses.
         progress |= conn.flush();
@@ -807,6 +813,23 @@ impl Gateway {
         // behind draining its replies (0 for a healthy peer).
         ctx.metrics.outbox_bytes.record(conn.outbox.len() as u64);
         progress
+    }
+
+    /// Ships this pass's accumulated device-plane replies to the engine
+    /// as a single batched message, preserving arrival order.
+    fn flush_device_replies(replies: &mut Vec<Frame>, ctx: &mut PassCtx<'_>) {
+        match replies.len() {
+            0 => {}
+            1 => {
+                let frame = replies.pop().expect("one buffered reply");
+                let _ = ctx.engine_tx.send(EngineInput::Device { frame });
+            }
+            _ => {
+                let _ = ctx
+                    .engine_tx
+                    .send(EngineInput::Devices(std::mem::take(replies)));
+            }
+        }
     }
 
     /// Runs the reactor until `shutdown` is set. The epoll backend

@@ -144,6 +144,15 @@ pub struct NetMetrics {
     /// Update bytes actually shipped on the wire (delta segments, or
     /// the full image when delta is disabled or falls back).
     pub update_bytes_wire: Counter,
+    /// Aggregated (`OpAggSweep`) sweeps the engine has served.
+    pub agg_sweeps: Counter,
+    /// Shard aggregate roots the engine has signed and published.
+    pub agg_roots_published: Counter,
+    /// Devices reported in aggregated-sweep suspect lists.
+    pub agg_suspects: Counter,
+    /// Devices covered by all-clean shard aggregates — verdicts the
+    /// operator accepts on the shard root alone, no per-device frame.
+    pub agg_short_circuited: Counter,
     rejects: [Counter; ERROR_CODES.len()],
 }
 
@@ -174,6 +183,10 @@ impl NetMetrics {
             probes_memoized: registry.counter("eilid_ops_probes_memoized_total"),
             update_bytes_full: registry.counter("eilid_ops_update_bytes_full_total"),
             update_bytes_wire: registry.counter("eilid_ops_update_bytes_wire_total"),
+            agg_sweeps: registry.counter("eilid_ops_agg_sweeps_total"),
+            agg_roots_published: registry.counter("eilid_ops_agg_roots_published_total"),
+            agg_suspects: registry.counter("eilid_ops_agg_suspects_total"),
+            agg_short_circuited: registry.counter("eilid_ops_agg_short_circuited_total"),
             rejects,
             trace: TraceRing::new(TRACE_RING_CAPACITY),
             registry,

@@ -23,14 +23,15 @@
 use std::borrow::{Borrow, BorrowMut};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use eilid::RunOutcome;
-use eilid_casu::MeasurementScheme;
+use eilid_casu::agg::{fleet_root, shard_agg_key};
+use eilid_casu::{CryptoProvider, MeasurementScheme, SoftwareProvider};
 use eilid_fleet::{
-    CampaignConfig, CampaignPhase, CampaignReport, CampaignStatus, Fleet, FleetOps, OpsError,
-    OpsHealth, SimDevice, SweepSummary,
+    AggSweepSummary, CampaignConfig, CampaignPhase, CampaignReport, CampaignStatus, Fleet,
+    FleetOps, OpsError, OpsHealth, SimDevice, SweepSummary, SHARD_COUNT,
 };
 use eilid_workloads::WorkloadId;
 
@@ -58,6 +59,17 @@ pub struct RemoteOps<T: Transport> {
     /// until this elapses — giving up early would leave the late reply
     /// in the stream and desynchronise every later command.
     op_timeout: Duration,
+    /// Fleet root key bytes for aggregated sweeps: the operator
+    /// re-derives each shard's aggregation key from these to verify the
+    /// gateway's aggregate-root MACs. Unset consoles refuse
+    /// [`FleetOps::sweep_aggregated`] — an unverifiable aggregate is
+    /// worthless.
+    agg_root: Option<Vec<u8>>,
+    /// Crypto backend the console verifies aggregate proofs with.
+    provider: Arc<dyn CryptoProvider>,
+    /// Highest aggregated-sweep epoch accepted so far; replayed or
+    /// stale aggregates (epoch not strictly increasing) are rejected.
+    last_agg_epoch: Option<u64>,
 }
 
 /// Default overall reply deadline for one operator command (a full
@@ -92,6 +104,9 @@ impl<T: Transport> RemoteOps<T> {
                 transport,
                 cohort: None,
                 op_timeout: DEFAULT_OP_TIMEOUT,
+                agg_root: None,
+                provider: Arc::new(SoftwareProvider),
+                last_agg_epoch: None,
             }),
             Frame::Error { code } => Err(NetError::Protocol(code)),
             _ => Err(NetError::Unexpected("expected HelloAck")),
@@ -102,6 +117,21 @@ impl<T: Transport> RemoteOps<T> {
     /// [`DEFAULT_OP_TIMEOUT`]).
     pub fn set_op_timeout(&mut self, timeout: Duration) {
         self.op_timeout = timeout;
+    }
+
+    /// Provisions the fleet root key aggregated sweeps verify against.
+    /// The console derives each shard's aggregation key from it
+    /// ([`shard_agg_key`]) and checks every [`eilid_casu::AggProof`] the
+    /// gateway publishes; without the key,
+    /// [`FleetOps::sweep_aggregated`] is refused.
+    pub fn set_agg_root_key(&mut self, key: &[u8]) {
+        self.agg_root = Some(key.to_vec());
+    }
+
+    /// Overrides the crypto backend aggregate proofs are verified with
+    /// (default [`SoftwareProvider`]).
+    pub fn set_provider(&mut self, provider: Arc<dyn CryptoProvider>) {
+        self.provider = provider;
     }
 
     /// Sends an orderly goodbye and returns the transport.
@@ -285,6 +315,122 @@ impl<T: Transport> FleetOps for RemoteOps<T> {
         }
     }
 
+    fn sweep_aggregated(&mut self) -> Result<AggSweepSummary, OpsError> {
+        let Some(agg_root) = self.agg_root.clone() else {
+            return Err(OpsError::Backend(
+                "aggregated sweep requires the fleet root key (set_agg_root_key)".to_string(),
+            ));
+        };
+        match self.request(Frame::OpAggSweep)? {
+            Frame::OpAggSweepResult {
+                epoch,
+                devices,
+                counts,
+                bitmap_base,
+                bitmap,
+                proofs,
+                suspects,
+            } => {
+                // Replay protection: epochs are challenge-nonce bases,
+                // so an honest gateway's are strictly increasing. A
+                // replayed result frame from an earlier sweep fails
+                // here even though its MACs still verify.
+                if devices > 0 {
+                    if let Some(last) = self.last_agg_epoch {
+                        if epoch <= last {
+                            return Err(OpsError::Backend(format!(
+                                "aggregated sweep epoch {epoch} not newer than {last} (replay?)"
+                            )));
+                        }
+                    }
+                    self.last_agg_epoch = Some(epoch);
+                }
+
+                // Structural cross-checks: the participant bitmap and
+                // the per-shard proof counts must both add up to the
+                // claimed device total, and every suspect must be a
+                // participant — a tampered device cannot be dropped
+                // from the aggregate without tripping one of these.
+                let popcount: u64 = bitmap.iter().map(|byte| u64::from(byte.count_ones())).sum();
+                if popcount != u64::from(devices) {
+                    return Err(OpsError::Backend(format!(
+                        "participant bitmap covers {popcount} devices, result claims {devices}"
+                    )));
+                }
+                let proof_total: u64 = proofs.iter().map(|proof| u64::from(proof.count)).sum();
+                if proof_total != u64::from(devices) {
+                    return Err(OpsError::Backend(format!(
+                        "shard proofs cover {proof_total} devices, result claims {devices}"
+                    )));
+                }
+                let participant = |device: u64| -> bool {
+                    device
+                        .checked_sub(bitmap_base)
+                        .and_then(|bit| bitmap.get((bit / 8) as usize).map(|byte| (byte, bit % 8)))
+                        .is_some_and(|(byte, bit)| byte & (1 << bit) != 0)
+                };
+                if let Some((device, _)) = suspects.iter().find(|(device, _)| !participant(*device))
+                {
+                    return Err(OpsError::Backend(format!(
+                        "suspect device {device} is not a sweep participant"
+                    )));
+                }
+
+                // The sublinear step: at most SHARD_COUNT aggregate-MAC
+                // verifications stand in for per-device verdict frames.
+                let mut roots_verified = 0usize;
+                let mut shard_roots = Vec::with_capacity(proofs.len());
+                for proof in &proofs {
+                    let key = shard_agg_key(&*self.provider, &agg_root, proof.shard);
+                    if !proof.verify(&*self.provider, &key) {
+                        return Err(OpsError::Backend(format!(
+                            "shard {} aggregate root failed verification",
+                            proof.shard
+                        )));
+                    }
+                    roots_verified += 1;
+                    shard_roots.push((proof.shard, proof.root));
+                }
+
+                // Memoized-probe rule, operator side: a shard whose
+                // aggregate arrived with zero suspects yields all its
+                // verdicts from the one verified root.
+                let short_circuited = proofs
+                    .iter()
+                    .filter(|proof| {
+                        !suspects
+                            .iter()
+                            .any(|(device, _)| (device % SHARD_COUNT as u64) as u16 == proof.shard)
+                    })
+                    .map(|proof| proof.count as usize)
+                    .sum();
+
+                Ok(AggSweepSummary {
+                    summary: SweepSummary {
+                        devices: devices as usize,
+                        counts: [
+                            counts[0] as usize,
+                            counts[1] as usize,
+                            counts[2] as usize,
+                            counts[3] as usize,
+                        ],
+                        flagged: suspects
+                            .into_iter()
+                            .map(|(device, class)| (device, health_from_wire(class)))
+                            .collect(),
+                    },
+                    epoch,
+                    shards: proofs.len(),
+                    roots_verified,
+                    short_circuited,
+                    shard_roots: shard_roots.clone(),
+                    fleet_root: fleet_root(&*self.provider, &shard_roots),
+                })
+            }
+            _ => Err(unexpected("expected OpAggSweepResult")),
+        }
+    }
+
     fn campaign_begin(&mut self, config: &CampaignConfig) -> Result<(), OpsError> {
         let cohort = config.cohort;
         match self.request(Frame::OpBegin {
@@ -390,6 +536,11 @@ impl<T: Transport> FleetOps for RemoteOps<T> {
     }
 }
 
+/// How many replies a [`DeviceAgent`] buffers before forcing a flush
+/// mid-burst. Bounds agent memory against a gateway that streams
+/// requests faster than the agent answers them.
+const AGENT_REPLY_BURST: usize = 256;
+
 /// The device-plane agent: serves gateway-initiated pushes for the
 /// devices it attached on this connection. This is what turns a fleet
 /// of [`SimDevice`]s into live campaign targets — the networked
@@ -462,6 +613,13 @@ impl<T: Transport> DeviceAgent<T> {
     /// says [`Frame::Bye`]. Use a transport with a short receive
     /// timeout so the stop flag is polled responsively.
     ///
+    /// Requests that arrive as a burst (an engine wave pushes hundreds
+    /// of probes per connection in one coalesced write) are answered as
+    /// a burst: the agent drains every already-buffered request via
+    /// [`Transport::recv_now`] and flushes all the replies in one
+    /// [`Transport::send_batch`] — one write syscall instead of one per
+    /// device.
+    ///
     /// # Errors
     ///
     /// Transport failures and protocol violations; an orderly close is
@@ -471,8 +629,9 @@ impl<T: Transport> DeviceAgent<T> {
         devices: &mut [D],
         stop: &AtomicBool,
     ) -> Result<(), NetError> {
+        let mut replies: Vec<Frame> = Vec::new();
         loop {
-            let frame = match self.transport.recv() {
+            let first = match self.transport.recv() {
                 Ok(frame) => frame,
                 Err(NetError::Timeout) => {
                     if stop.load(Ordering::Relaxed) {
@@ -483,67 +642,89 @@ impl<T: Transport> DeviceAgent<T> {
                 Err(NetError::Closed) => return Ok(()),
                 Err(err) => return Err(err),
             };
-            match frame {
-                Frame::SnapshotRequest { device, start, len } => {
-                    // The requested range is wire-controlled: validate
-                    // it against the address space before slicing, so a
-                    // hostile or version-skewed gateway cannot panic
-                    // the agent.
-                    let in_range =
-                        usize::from(start) + usize::from(len) <= eilid_msp430::ADDRESS_SPACE;
-                    let reply = match find_device(devices, device) {
-                        Some(sim) if in_range => snapshot_report(sim, self.scheme, start, len),
-                        Some(_) => Frame::DeviceError {
-                            device,
-                            code: ErrorCode::UnexpectedFrame,
-                        },
-                        None => Frame::DeviceError {
-                            device,
-                            code: ErrorCode::UnknownDevice,
-                        },
-                    };
-                    self.transport.send(&reply)?;
+            let mut next = Some(first);
+            // `Some(result)` ends the serve loop — but only after the
+            // replies buffered so far are flushed below.
+            let outcome: Option<Result<(), NetError>> = loop {
+                let Some(frame) = next.take() else { break None };
+                match frame {
+                    Frame::SnapshotRequest { device, start, len } => {
+                        // The requested range is wire-controlled:
+                        // validate it against the address space before
+                        // slicing, so a hostile or version-skewed
+                        // gateway cannot panic the agent.
+                        let in_range =
+                            usize::from(start) + usize::from(len) <= eilid_msp430::ADDRESS_SPACE;
+                        let reply = match find_device(devices, device) {
+                            Some(sim) if in_range => snapshot_report(sim, self.scheme, start, len),
+                            Some(_) => Frame::DeviceError {
+                                device,
+                                code: ErrorCode::UnexpectedFrame,
+                            },
+                            None => Frame::DeviceError {
+                                device,
+                                code: ErrorCode::UnknownDevice,
+                            },
+                        };
+                        replies.push(reply);
+                    }
+                    Frame::UpdateRequest { device, request } => {
+                        let status = match find_device(devices, device) {
+                            Some(sim) => match sim.apply_update(&request) {
+                                Ok(()) => 0,
+                                Err(err) => update_error_code(&err),
+                            },
+                            None => 0xFF,
+                        };
+                        replies.push(Frame::UpdateResult { device, status });
+                    }
+                    Frame::DeltaUpdateRequest { device, request } => {
+                        let status = match find_device(devices, device) {
+                            Some(sim) => match sim.apply_delta_update(&request) {
+                                Ok(()) => 0,
+                                Err(err) => update_error_code(&err),
+                            },
+                            None => 0xFF,
+                        };
+                        replies.push(Frame::UpdateResult { device, status });
+                    }
+                    Frame::ProbeRequest {
+                        device,
+                        mode,
+                        smoke_cycles,
+                        challenge,
+                    } => {
+                        let reply = match find_device(devices, device) {
+                            Some(sim) => probe_result(sim, device, mode, smoke_cycles, challenge),
+                            None => Frame::DeviceError {
+                                device,
+                                code: ErrorCode::UnknownDevice,
+                            },
+                        };
+                        replies.push(reply);
+                    }
+                    Frame::Bye => break Some(Ok(())),
+                    Frame::Error { code } => break Some(Err(NetError::Protocol(code))),
+                    _ => {
+                        break Some(Err(NetError::Unexpected(
+                            "unexpected frame at device agent",
+                        )))
+                    }
                 }
-                Frame::UpdateRequest { device, request } => {
-                    let status = match find_device(devices, device) {
-                        Some(sim) => match sim.apply_update(&request) {
-                            Ok(()) => 0,
-                            Err(err) => update_error_code(&err),
-                        },
-                        None => 0xFF,
-                    };
-                    self.transport
-                        .send(&Frame::UpdateResult { device, status })?;
+                if replies.len() >= AGENT_REPLY_BURST {
+                    break None;
                 }
-                Frame::DeltaUpdateRequest { device, request } => {
-                    let status = match find_device(devices, device) {
-                        Some(sim) => match sim.apply_delta_update(&request) {
-                            Ok(()) => 0,
-                            Err(err) => update_error_code(&err),
-                        },
-                        None => 0xFF,
-                    };
-                    self.transport
-                        .send(&Frame::UpdateResult { device, status })?;
+                match self.transport.recv_now() {
+                    Ok(frame) => next = frame,
+                    Err(err) => break Some(Err(err)),
                 }
-                Frame::ProbeRequest {
-                    device,
-                    mode,
-                    smoke_cycles,
-                    challenge,
-                } => {
-                    let reply = match find_device(devices, device) {
-                        Some(sim) => probe_result(sim, device, mode, smoke_cycles, challenge),
-                        None => Frame::DeviceError {
-                            device,
-                            code: ErrorCode::UnknownDevice,
-                        },
-                    };
-                    self.transport.send(&reply)?;
-                }
-                Frame::Bye => return Ok(()),
-                Frame::Error { code } => return Err(NetError::Protocol(code)),
-                _ => return Err(NetError::Unexpected("unexpected frame at device agent")),
+            };
+            if !replies.is_empty() {
+                self.transport.send_batch(&replies)?;
+                replies.clear();
+            }
+            if let Some(result) = outcome {
+                return result;
             }
         }
     }

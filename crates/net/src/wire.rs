@@ -32,6 +32,7 @@
 
 use std::fmt;
 
+use eilid_casu::agg::AggProof;
 use eilid_casu::wire as casu_wire;
 use eilid_casu::wire::{CodecError, Reader};
 use eilid_casu::{AttestationReport, Challenge, DeltaUpdateRequest, UpdateRequest};
@@ -67,10 +68,16 @@ pub const FRAME_MAGIC: [u8; 4] = *b"EILD";
 /// ([`Frame::OpCheckpoint`] / [`Frame::OpCheckpointAck`]) that retains
 /// a running campaign's pause record gateway-side without shuttling it
 /// to the console.
+/// Version 7 is collective attestation: the aggregated sweep exchange
+/// ([`Frame::OpAggSweep`] / [`Frame::OpAggSweepResult`]) carries one
+/// MAC'd aggregate evidence root per gateway shard (plus the
+/// participant bitmap and the suspect list) instead of touching every
+/// device at the operator, so a clean sweep costs the console at most
+/// `SHARD_COUNT` MAC verifications regardless of fleet size.
 /// Each bump makes an older peer fail *at negotiation* with a typed
 /// `UnsupportedVersion` instead of mid-exchange on an unknown frame
 /// type.
-pub const PROTOCOL_VERSION: u8 = 6;
+pub const PROTOCOL_VERSION: u8 = 7;
 
 /// Size of the fixed frame header in bytes.
 pub const FRAME_HEADER_LEN: usize = 10;
@@ -91,10 +98,11 @@ pub const MAX_FRAME_PAYLOAD: usize = casu_wire::MAX_UPDATE_PAYLOAD + 64;
 /// once, and [`Frame::OpMetricsResult`] carries a whole-registry JSON
 /// snapshot. The cap is still enforced from the header (which names the
 /// frame type) *before* any payload is buffered, so a forged length
-/// drives at most 4 MiB of buffering on exactly these six
-/// operator-plane types — and senders refuse (with a typed error) the
-/// rare record exceeding even this, instead of emitting an unframeable
-/// reply.
+/// drives at most 4 MiB of buffering on exactly these operator-plane
+/// types ([`Frame::OpAggSweepResult`]'s suspect list and participant
+/// bitmap joined them in version 7) — and senders refuse (with a typed
+/// error) the rare record exceeding even this, instead of emitting an
+/// unframeable reply.
 pub const MAX_OP_PAYLOAD: usize = 4 * 1024 * 1024;
 
 /// [`Frame::CampaignStatus`] `state`: a campaign run is loaded and
@@ -114,7 +122,7 @@ pub const CAMPAIGN_STATE_IDLE: u8 = 3;
 /// bytes alone.
 fn max_payload_for(frame_type: u8) -> usize {
     match frame_type {
-        0x16 | 0x17 | 0x18 | 0x1A | 0x1E | 0x20 | 0x23 => MAX_OP_PAYLOAD,
+        0x16 | 0x17 | 0x18 | 0x1A | 0x1E | 0x20 | 0x23 | 0x25 => MAX_OP_PAYLOAD,
         _ => MAX_FRAME_PAYLOAD,
     }
 }
@@ -889,6 +897,42 @@ pub enum Frame {
         /// otherwise.
         paused: Vec<u8>,
     },
+    /// Operator → gateway (version 7): run a gateway-driven
+    /// *aggregated* attestation sweep over every attached device. Same
+    /// probe exchange as [`Frame::OpSweep`] on the device plane; the
+    /// result folds the evidence into one MAC'd aggregate root per
+    /// shard instead of shipping per-device verdicts.
+    OpAggSweep,
+    /// Gateway → operator (version 7): the aggregated sweep result.
+    ///
+    /// A clean sweep is verified operator-side by checking the at most
+    /// `SHARD_COUNT` proof MACs — O(shards), not O(devices). Suspects
+    /// (every non-attested device, with its class) ride alongside so
+    /// the operator descends to per-device verdicts only where the
+    /// aggregate says it must.
+    OpAggSweepResult {
+        /// The sweep epoch bound into every proof MAC (the gateway's
+        /// reserved challenge-nonce base for this sweep).
+        epoch: u64,
+        /// Devices swept (equals the participant-bitmap popcount when
+        /// the bitmap is present).
+        devices: u32,
+        /// Per-class counts: `[attested, stale, tampered, unverified]`.
+        counts: [u32; 4],
+        /// First device id covered by `bitmap` (bit `i` set ⇔ device
+        /// `bitmap_base + i` participated).
+        bitmap_base: u64,
+        /// Participant bitmap; empty when the id span is too sparse to
+        /// enumerate compactly (participation is then implied by
+        /// `devices` alone).
+        bitmap: Vec<u8>,
+        /// One aggregate proof per non-empty shard, ascending shard
+        /// order. Every proof's epoch equals the frame's (the wire
+        /// carries it once).
+        proofs: Vec<AggProof>,
+        /// Non-attested devices with their health class, in id order.
+        suspects: Vec<(u64, WireHealth)>,
+    },
 }
 
 impl Frame {
@@ -929,6 +973,8 @@ impl Frame {
             Frame::DeltaUpdateRequest { .. } => 0x21,
             Frame::OpCheckpoint { .. } => 0x22,
             Frame::OpCheckpointAck { .. } => 0x23,
+            Frame::OpAggSweep => 0x24,
+            Frame::OpAggSweepResult { .. } => 0x25,
         }
     }
 
@@ -1110,6 +1156,40 @@ impl Frame {
                 out.extend_from_slice(&(paused.len() as u32).to_le_bytes());
                 out.extend_from_slice(paused);
             }
+            Frame::OpAggSweep => {}
+            Frame::OpAggSweepResult {
+                epoch,
+                devices,
+                counts,
+                bitmap_base,
+                bitmap,
+                proofs,
+                suspects,
+            } => {
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&devices.to_le_bytes());
+                for count in counts {
+                    out.extend_from_slice(&count.to_le_bytes());
+                }
+                out.extend_from_slice(&bitmap_base.to_le_bytes());
+                out.extend_from_slice(&(bitmap.len() as u32).to_le_bytes());
+                out.extend_from_slice(bitmap);
+                // The epoch is carried once at frame level; every
+                // proof's MAC binds it (the decoder re-attaches it).
+                out.extend_from_slice(&(proofs.len() as u32).to_le_bytes());
+                for proof in proofs {
+                    debug_assert_eq!(proof.epoch, *epoch);
+                    out.extend_from_slice(&proof.shard.to_le_bytes());
+                    out.extend_from_slice(&proof.count.to_le_bytes());
+                    out.extend_from_slice(&proof.root);
+                    out.extend_from_slice(&proof.mac);
+                }
+                out.extend_from_slice(&(suspects.len() as u32).to_le_bytes());
+                for (device, class) in suspects {
+                    out.extend_from_slice(&device.to_le_bytes());
+                    out.push(class.to_u8());
+                }
+            }
         }
     }
 
@@ -1281,6 +1361,52 @@ impl Frame {
                     cohort,
                     state,
                     paused,
+                }
+            }
+            0x24 => Frame::OpAggSweep,
+            0x25 => {
+                let epoch = reader.u64()?;
+                let devices = reader.u32()?;
+                let mut counts = [0u32; 4];
+                for count in &mut counts {
+                    *count = reader.u32()?;
+                }
+                let bitmap_base = reader.u64()?;
+                let bitmap = read_bounded_bytes(&mut reader, MAX_OP_PAYLOAD)?;
+                // Each proof costs shard(2) + count(4) + root(32) +
+                // mac(32) bytes on the wire.
+                let proof_count =
+                    checked_list_count(reader.u32()? as usize, 70, reader.remaining())?;
+                let mut proofs = Vec::with_capacity(proof_count);
+                for _ in 0..proof_count {
+                    let shard = reader.u16()?;
+                    let count = reader.u32()?;
+                    let mut root = [0u8; 32];
+                    root.copy_from_slice(reader.take(32)?);
+                    let mut mac = [0u8; 32];
+                    mac.copy_from_slice(reader.take(32)?);
+                    proofs.push(AggProof {
+                        shard,
+                        epoch,
+                        count,
+                        root,
+                        mac,
+                    });
+                }
+                let suspect_count =
+                    checked_list_count(reader.u32()? as usize, 9, reader.remaining())?;
+                let mut suspects = Vec::with_capacity(suspect_count);
+                for _ in 0..suspect_count {
+                    suspects.push((reader.u64()?, WireHealth::from_u8(reader.u8()?)?));
+                }
+                Frame::OpAggSweepResult {
+                    epoch,
+                    devices,
+                    counts,
+                    bitmap_base,
+                    bitmap,
+                    proofs,
+                    suspects,
                 }
             }
             other => return Err(WireError::UnknownFrameType(other)),
@@ -1491,5 +1617,60 @@ mod tests {
         let mut bytes = Frame::Bye.encode();
         bytes[0] = b'X';
         assert!(matches!(Frame::decode(&bytes), Err(WireError::BadMagic(_))));
+    }
+
+    #[test]
+    fn agg_sweep_frames_round_trip() {
+        let frame = Frame::OpAggSweep;
+        assert_eq!(Frame::decode(&frame.encode()), Ok(frame));
+
+        let epoch = 0x1122_3344_5566_7788;
+        let frame = Frame::OpAggSweepResult {
+            epoch,
+            devices: 1000,
+            counts: [997, 1, 1, 1],
+            bitmap_base: 0,
+            bitmap: vec![0xFF, 0x7F, 0x01],
+            proofs: vec![
+                AggProof {
+                    shard: 0,
+                    epoch,
+                    count: 63,
+                    root: [0xAB; 32],
+                    mac: [0xCD; 32],
+                },
+                AggProof {
+                    shard: 15,
+                    epoch,
+                    count: 62,
+                    root: [0x01; 32],
+                    mac: [0x02; 32],
+                },
+            ],
+            suspects: vec![(3, WireHealth::Stale), (77, WireHealth::Tampered)],
+        };
+        assert_eq!(Frame::decode(&frame.encode()), Ok(frame));
+    }
+
+    #[test]
+    fn agg_sweep_result_rejects_forged_list_counts() {
+        let frame = Frame::OpAggSweepResult {
+            epoch: 1,
+            devices: 4,
+            counts: [4, 0, 0, 0],
+            bitmap_base: 0,
+            bitmap: Vec::new(),
+            proofs: Vec::new(),
+            suspects: Vec::new(),
+        };
+        let mut bytes = frame.encode();
+        // The proof-count word sits after epoch(8) + devices(4) +
+        // counts(16) + base(8) + bitmap len(4): forge it huge.
+        let offset = FRAME_HEADER_LEN + 8 + 4 + 16 + 8 + 4;
+        bytes[offset..offset + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(WireError::BadPayload(CodecError::Oversized { .. }))
+        ));
     }
 }

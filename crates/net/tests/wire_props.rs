@@ -2,7 +2,9 @@
 //! arbitrary frames, and a corpus of malformed inputs dies with clean
 //! typed errors — never a panic, never an unbounded allocation.
 
-use eilid_casu::{AttestationReport, Challenge, DeltaSegment, DeltaUpdateRequest, UpdateRequest};
+use eilid_casu::{
+    AggProof, AttestationReport, Challenge, DeltaSegment, DeltaUpdateRequest, UpdateRequest,
+};
 use eilid_fleet::{CampaignConfig, CampaignOutcome, CampaignReport, WaveReport};
 use eilid_net::{
     ErrorCode, Frame, FrameDecoder, ProbeMode, WireError, WireHealth, FRAME_HEADER_LEN,
@@ -335,6 +337,45 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                 state,
                 paused,
             }),
+        // --- version 7: collective attestation ---
+        Just(Frame::OpAggSweep),
+        (
+            any::<u64>(),
+            (
+                any::<u32>(),
+                (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()),
+            ),
+            (any::<u64>(), proptest::collection::vec(0u8..=255, 0..64)),
+            proptest::collection::vec(
+                (any::<u16>(), any::<u32>(), arb_array32(), arb_array32()),
+                0..6,
+            ),
+            proptest::collection::vec((any::<u64>(), arb_wire_health()), 0..12),
+        )
+            .prop_map(
+                |(epoch, (devices, (a, s, t, u)), (bitmap_base, bitmap), proofs, suspects)| {
+                    // The wire form carries the epoch once at frame level,
+                    // so every proof in a frame shares it by construction.
+                    Frame::OpAggSweepResult {
+                        epoch,
+                        devices,
+                        counts: [a, s, t, u],
+                        bitmap_base,
+                        bitmap,
+                        proofs: proofs
+                            .into_iter()
+                            .map(|(shard, count, root, mac)| AggProof {
+                                shard,
+                                epoch,
+                                count,
+                                root,
+                                mac,
+                            })
+                            .collect(),
+                        suspects,
+                    }
+                },
+            ),
     ]
 }
 
@@ -353,6 +394,7 @@ proptest! {
             | Frame::OpPaused { .. }
             | Frame::OpReport { .. }
             | Frame::OpSweepResult { .. }
+            | Frame::OpAggSweepResult { .. }
             | Frame::OpDrained { .. }
             | Frame::OpMetricsResult { .. }
             | Frame::OpCheckpointAck { .. } => MAX_OP_PAYLOAD,
@@ -840,6 +882,105 @@ fn malformed_v6_corpus_yields_clean_typed_errors() {
             Err(WireError::UnsupportedVersion(PROTOCOL_VERSION - 1))
         );
     }
+}
+
+/// Version-7 frames (collective attestation): malformed
+/// `OpAggSweepResult` payloads die typed — a forged bitmap, proof or
+/// suspect count can never drive an allocation past the frame — and
+/// pre-v7 peers reject both new verbs from the version byte alone.
+#[test]
+fn malformed_v7_corpus_yields_clean_typed_errors() {
+    let template = Frame::OpAggSweepResult {
+        epoch: 9,
+        devices: 4,
+        counts: [3, 0, 1, 0],
+        bitmap_base: 0,
+        bitmap: vec![0x0F],
+        proofs: vec![AggProof {
+            shard: 3,
+            epoch: 9,
+            count: 4,
+            root: [0x11; 32],
+            mac: [0x22; 32],
+        }],
+        suspects: vec![(2, WireHealth::Tampered)],
+    }
+    .encode();
+
+    // Truncated at every strict prefix.
+    for cut in 0..template.len() {
+        assert!(matches!(
+            Frame::decode(&template[..cut]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    // Payload layout after the 10-byte header: epoch(8) devices(4)
+    // counts(16) bitmap_base(8) bitmap_len(4) bitmap(1) proofs_count(4)
+    // proof(70) suspects_count(4) suspect(9). Forge each list count in
+    // turn to claim more than the frame holds.
+    let bitmap_len_at = FRAME_HEADER_LEN + 36;
+    let proofs_count_at = FRAME_HEADER_LEN + 41;
+    let suspects_count_at = template.len() - 13;
+    for at in [bitmap_len_at, proofs_count_at, suspects_count_at] {
+        let mut lying = template.clone();
+        lying[at..at + 4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&lying),
+            Err(WireError::BadPayload(_)) | Err(WireError::Truncated { .. })
+        ));
+    }
+
+    // A header length claim past the operator-plane ceiling is
+    // rejected before any payload is buffered.
+    let mut oversized = template.clone();
+    oversized[6..10].copy_from_slice(&((MAX_OP_PAYLOAD + 1) as u32).to_le_bytes());
+    assert_eq!(
+        Frame::decode(&oversized),
+        Err(WireError::Oversized {
+            claimed: MAX_OP_PAYLOAD + 1,
+            max: MAX_OP_PAYLOAD,
+        })
+    );
+
+    // Trailing bytes past the declared suspect list are a typed error.
+    let mut trailing = template.clone();
+    trailing.push(0xAA);
+    let claimed = (trailing.len() - FRAME_HEADER_LEN) as u32;
+    trailing[6..10].copy_from_slice(&claimed.to_le_bytes());
+    assert!(matches!(
+        Frame::decode(&trailing),
+        Err(WireError::TrailingBytes { .. })
+    ));
+
+    // An unknown suspect health discriminant dies typed.
+    let mut bad_health = template.clone();
+    let last = bad_health.len() - 1;
+    bad_health[last] = 0xEE;
+    assert!(matches!(
+        Frame::decode(&bad_health),
+        Err(WireError::BadEnum { .. })
+    ));
+
+    // A pre-v7 peer rejects both new verbs from the version byte alone.
+    for frame in [Frame::OpAggSweep.encode(), template] {
+        let mut v6 = frame;
+        v6[4] = PROTOCOL_VERSION - 1;
+        assert_eq!(
+            Frame::decode(&v6),
+            Err(WireError::UnsupportedVersion(PROTOCOL_VERSION - 1))
+        );
+    }
+
+    // OpAggSweep itself is an empty-payload frame; extra bytes are
+    // trailing garbage, not silently ignored.
+    let mut sweep = Frame::OpAggSweep.encode();
+    sweep.push(0x01);
+    sweep[6..10].copy_from_slice(&1u32.to_le_bytes());
+    assert!(matches!(
+        Frame::decode(&sweep),
+        Err(WireError::TrailingBytes { .. })
+    ));
 }
 
 /// "Wrong MAC domain tag": a report whose MAC was minted under the

@@ -10,10 +10,12 @@
 //! eilid-cli fleet run [--devices N] [--threads N] [--cycles N]
 //!                                          simulate a fleet slice and print health counts
 //! eilid-cli fleet attest [--devices N] [--threads N] [--flat] [--sweeps N]
-//!                        [--gateway ADDR | --gateways A,B,..]
+//!                        [--aggregated] [--gateway ADDR | --gateways A,B,..]
 //!                                          attestation sweep + throughput (in-process,
 //!                                          gateway-driven over TCP, or fanned out over a
-//!                                          multi-gateway cluster)
+//!                                          multi-gateway cluster); `--aggregated` sweeps
+//!                                          via per-shard aggregate evidence roots — the
+//!                                          operator verifies O(shards) MACs, not O(devices)
 //! eilid-cli fleet campaign [--devices N] [--threads N] [--inject-bad]
 //!                          [--gateway ADDR | --gateways A,B,..]
 //!                                          staged OTA campaign (canary → full), in-process
@@ -90,7 +92,7 @@ fn main() -> ExitCode {
 fn print_usage() {
     println!(
         "eilid-cli — EILID (DATE 2025) reproduction\n\n\
-         USAGE:\n  eilid-cli instrument <app.s>\n  eilid-cli run <app.s> [--protect] [--max-cycles N]\n  eilid-cli disasm <app.s>\n  eilid-cli workloads\n  eilid-cli attack <workload> <attack>\n  eilid-cli fleet run [--devices N] [--threads N] [--cycles N]\n  eilid-cli fleet attest [--devices N] [--threads N] [--flat] [--sweeps N]\n                         [--gateway ADDR | --gateways A,B,..]\n  eilid-cli fleet campaign [--devices N] [--threads N] [--inject-bad]\n                           [--gateway ADDR | --gateways A,B,..]\n  eilid-cli fleet serve [--addr A] [--devices N] [--threads N] [--expect-reports N]\n                        [--poller epoll|scan] [--batch N]\n  eilid-cli fleet connect --addr A [--devices N] [--threads N] [--clients N] [--pipeline N]\n  eilid-cli fleet metrics --gateway ADDR | --gateways A,B,.. [--watch]\n\n\
+         USAGE:\n  eilid-cli instrument <app.s>\n  eilid-cli run <app.s> [--protect] [--max-cycles N]\n  eilid-cli disasm <app.s>\n  eilid-cli workloads\n  eilid-cli attack <workload> <attack>\n  eilid-cli fleet run [--devices N] [--threads N] [--cycles N]\n  eilid-cli fleet attest [--devices N] [--threads N] [--flat] [--sweeps N]\n                         [--aggregated] [--gateway ADDR | --gateways A,B,..]\n  eilid-cli fleet campaign [--devices N] [--threads N] [--inject-bad]\n                           [--gateway ADDR | --gateways A,B,..]\n  eilid-cli fleet serve [--addr A] [--devices N] [--threads N] [--expect-reports N]\n                        [--poller epoll|scan] [--batch N]\n  eilid-cli fleet connect --addr A [--devices N] [--threads N] [--clients N] [--pipeline N]\n  eilid-cli fleet metrics --gateway ADDR | --gateways A,B,.. [--watch]\n\n\
          Attacks: return-address, isr-context, indirect-call, code-injection"
     );
 }
@@ -576,6 +578,9 @@ fn with_fleet_ops<R: Send>(
         );
         return eilid_net::cluster::with_placed_fleet(&mut fleet, &addrs, agents, || {
             let mut ops = eilid_net::ClusterOps::connect(&addrs).map_err(|e| e.to_string())?;
+            // The demo root key is shared knowledge, so the console can
+            // always verify aggregate roots (`fleet attest --aggregated`).
+            ops.set_agg_root_key(FLEET_DEMO_ROOT);
             scenario(&mut ops)
         })
         .map_err(|e| format!("device agents failed: {e}"))?;
@@ -590,6 +595,7 @@ fn with_fleet_ops<R: Send>(
             );
             eilid_net::with_attached_fleet(&mut fleet, agents, addr, || {
                 let mut ops = eilid_net::RemoteOps::connect(addr).map_err(|e| e.to_string())?;
+                ops.set_agg_root_key(FLEET_DEMO_ROOT);
                 scenario(&mut ops)
             })
             .map_err(|e| format!("device agents failed: {e}"))?
@@ -623,18 +629,41 @@ fn print_sweep(summary: &SweepSummary, elapsed: std::time::Duration) {
 
 fn cmd_fleet_attest(args: &[String]) -> Result<(), String> {
     let sweeps = parse_flag_value(args, "--sweeps", 1)?.max(1);
+    let aggregated = args.iter().any(|a| a == "--aggregated");
     with_fleet_ops(args, |ops| {
         // With `--sweeps N` the later sweeps show the steady-state cost:
         // warm verifier key caches and (on the merkle scheme)
         // cache-served device roots.
-        let mut last = None;
-        for _ in 0..sweeps {
-            let start = Instant::now();
-            let summary = ops.sweep().map_err(|e| e.to_string())?;
-            last = Some((summary, start.elapsed()));
+        if aggregated {
+            let mut last = None;
+            for _ in 0..sweeps {
+                let start = Instant::now();
+                let agg = ops.sweep_aggregated().map_err(|e| e.to_string())?;
+                last = Some((agg, start.elapsed()));
+            }
+            let (agg, elapsed) = last.expect("at least one sweep ran");
+            print_sweep(&agg.summary, elapsed);
+            println!(
+                "  aggregated: {} shard roots verified (cap {}), {}/{} verdicts \
+                 short-circuited, epoch {}",
+                agg.roots_verified,
+                eilid_fleet::SHARD_COUNT,
+                agg.short_circuited,
+                agg.summary.devices,
+                agg.epoch,
+            );
+            let hex: String = agg.fleet_root.iter().map(|b| format!("{b:02x}")).collect();
+            println!("  fleet root: {hex}");
+        } else {
+            let mut last = None;
+            for _ in 0..sweeps {
+                let start = Instant::now();
+                let summary = ops.sweep().map_err(|e| e.to_string())?;
+                last = Some((summary, start.elapsed()));
+            }
+            let (summary, elapsed) = last.expect("at least one sweep ran");
+            print_sweep(&summary, elapsed);
         }
-        let (summary, elapsed) = last.expect("at least one sweep ran");
-        print_sweep(&summary, elapsed);
         if sweeps > 1 {
             println!("  (sweep {sweeps} of {sweeps}; verifier key caches warm)");
         }
